@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Ablation: enrollment sweep passes.
+ *
+ * Enrollment quality is the flip side of Sec 6.3's persistence story:
+ * a single-pass enrollment misses low-persistence lines (which later
+ * *appear* during authentication as unexpected errors) while many
+ * passes build a complete map whose weakest members then *mask*
+ * during cheap authentications. This bench sweeps the enrollment
+ * pass count and reports the enrolled-map size and the resulting
+ * response distance statistics.
+ */
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "firmware/client.hpp"
+#include "metrics/identifiability.hpp"
+#include "server/verifier.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+using namespace authenticache;
+namespace srv = authenticache::server;
+
+int
+main()
+{
+    authbench::banner(
+        "Ablation: enrollment sweep passes vs authentication quality",
+        "Sec 6.2/6.3 -- enrollment measurement noise == removed/"
+        "injected errors");
+
+    sim::ChipConfig chip_cfg;
+    chip_cfg.cacheBytes = 1024 * 1024;
+    sim::SimulatedChip chip(chip_cfg, 0xE401);
+    firmware::SimulatedMachine machine(2);
+    firmware::ClientConfig ccfg;
+    ccfg.selfTestAttempts = 4;
+    firmware::AuthenticacheClient client(chip, machine, ccfg);
+    double floor = client.boot();
+    auto level = static_cast<core::VddMv>(floor + 10.0);
+
+    const std::size_t bits = 128;
+    const int rounds = authbench::quickMode() ? 4 : 12;
+    srv::VerifierPolicy policy;
+    policy.pIntra = 0.08;
+    auto threshold =
+        metrics::eerThreshold(bits, policy.pInter, policy.pIntra)
+            .threshold;
+
+    util::Table table({"enroll_passes", "enrolled_errors", "mean_HD",
+                       "max_HD", "accepted_of_rounds"});
+
+    util::Rng rng(5);
+    for (std::uint32_t passes : {1u, 2u, 4u, 8u, 16u}) {
+        auto map = client.captureErrorMap({level}, passes);
+
+        util::RunningStats hd;
+        int accepted = 0;
+        for (int round = 0; round < rounds; ++round) {
+            auto challenge = core::randomChallenge(chip.geometry(),
+                                                   level, bits, rng);
+            auto expected = core::evaluate(map, challenge);
+            auto outcome = client.authenticate(challenge);
+            if (!outcome.ok())
+                continue;
+            auto distance =
+                expected.hammingDistance(outcome.response);
+            hd.add(static_cast<double>(distance));
+            accepted += distance <=
+                        static_cast<std::size_t>(threshold);
+        }
+
+        table.row()
+            .cell(std::uint64_t(passes))
+            .cell(std::uint64_t(map.plane(level).errorCount()))
+            .cell(hd.mean(), 1)
+            .cell(hd.count() ? hd.max() : 0.0, 0)
+            .cell(std::to_string(accepted) + "/" +
+                  std::to_string(rounds));
+    }
+    table.print(std::cout);
+
+    std::cout << "\nEER threshold at " << bits
+              << " bits: " << threshold
+              << "\nreading: the map converges within a few passes; "
+                 "single-pass enrollment leaves the most response "
+                 "noise (missed low-persistence lines behave as "
+                 "injected errors at auth time).\n";
+    return 0;
+}

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Ablation: repetition-code vs BCH fuzzy extractor for the remap /
+ * key-generation helper data (Sec 4.5, 7.3).
+ *
+ * Sweeps the response-bit flip rate and reports key-reproduction
+ * success for the 5x repetition code (the paper's simple construction)
+ * and BCH(127, 64, t=10), normalized per 64 extracted secret bits.
+ */
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "crypto/bch_fuzzy_extractor.hpp"
+#include "crypto/fuzzy_extractor.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+using namespace authenticache;
+
+int
+main()
+{
+    authbench::banner(
+        "Ablation: repetition vs BCH helper data",
+        "Sec 4.5/7.3 -- error correction for key derivation");
+
+    crypto::FuzzyExtractor rep(5);        // 64 secret bits from 320.
+    crypto::BchFuzzyExtractor bch(7, 10); // 64 secret bits from 127.
+
+    const std::size_t rep_bits = 64 * 5;
+    const std::size_t bch_bits = bch.responseBits();
+    const int trials = authbench::scaled(400, 80);
+
+    std::cout << "repetition(5): " << rep_bits
+              << " response bits -> 64 secret bits\n"
+              << "BCH(127,64,10): " << bch_bits
+              << " response bits -> 64 secret bits\n\n";
+
+    util::Table table({"flip_rate_%", "repetition_success_%",
+                       "bch_success_%"});
+
+    util::Rng rng(0xF22);
+    for (double flip_rate : {0.01, 0.03, 0.05, 0.08, 0.10, 0.15,
+                             0.20}) {
+        int rep_ok = 0;
+        int bch_ok = 0;
+        for (int trial = 0; trial < trials; ++trial) {
+            // Repetition extractor.
+            {
+                util::BitVec w(rep_bits);
+                for (std::size_t i = 0; i < rep_bits; ++i)
+                    w.set(i, rng.nextBool());
+                auto out = rep.generate(w, rng);
+                util::BitVec noisy = w;
+                for (std::size_t i = 0; i < rep_bits; ++i) {
+                    if (rng.nextBool(flip_rate))
+                        noisy.flip(i);
+                }
+                rep_ok += rep.reproduce(noisy, out.helper) == out.key;
+            }
+            // BCH extractor.
+            {
+                util::BitVec w(bch_bits);
+                for (std::size_t i = 0; i < bch_bits; ++i)
+                    w.set(i, rng.nextBool());
+                auto out = bch.generate(w, rng);
+                util::BitVec noisy = w;
+                for (std::size_t i = 0; i < bch_bits; ++i) {
+                    if (rng.nextBool(flip_rate))
+                        noisy.flip(i);
+                }
+                auto key = bch.reproduce(noisy, out.helper);
+                bch_ok += key.has_value() && *key == out.key;
+            }
+        }
+        table.row()
+            .cell(flip_rate * 100.0, 0)
+            .cell(100.0 * rep_ok / trials, 1)
+            .cell(100.0 * bch_ok / trials, 1);
+    }
+    table.print(std::cout);
+
+    std::cout
+        << "\nreading: BCH holds near-100% success to ~5-6% flips with "
+           "2.5x fewer response bits; repetition degrades smoothly but "
+           "needs 320 bits and still loses whole keys once any 5-bit "
+           "group accumulates 3 flips. BCH additionally *flags* "
+           "failures instead of silently deriving a wrong key.\n";
+    return 0;
+}

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Ablation: the tie rule of Eq 8.
+ *
+ * Equal distances resolve to "0", which is the source of the small
+ * bias away from 50% uniformity the paper measures (Sec 6.4). This
+ * bench quantifies the tie frequency as error density grows and
+ * compares the deployed rule against a random tie-break alternative,
+ * showing why the paper's choice is acceptable (and what it costs).
+ */
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/nearest.hpp"
+#include "mc/mapgen.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+using namespace authenticache;
+
+int
+main()
+{
+    authbench::banner(
+        "Ablation: Eq 8 tie rule (ties -> 0) vs random tie-break",
+        "Sec 6.4 -- the tie rule explains the ~1% bias toward 0");
+
+    const sim::CacheGeometry geom(4ull * 1024 * 1024);
+    const std::size_t samples = authbench::scaled(200000, 20000);
+    const std::size_t maps = authbench::scaled(20, 5);
+
+    util::Table table({"errors", "tie_rate_%", "ones_tie0_%",
+                       "ones_tierand_%", "bias_tie0", "bias_tierand"});
+
+    util::Rng rng(0x71E);
+    for (std::size_t errors : {20, 60, 100, 200, 400}) {
+        std::uint64_t ties = 0;
+        std::uint64_t ones_zero_rule = 0;
+        std::uint64_t ones_random_rule = 0;
+        std::uint64_t total = 0;
+
+        for (std::size_t m = 0; m < maps; ++m) {
+            auto plane = mc::randomPlane(geom, errors, rng);
+            for (std::size_t s = 0; s < samples / maps; ++s) {
+                auto a = geom.pointOf(rng.nextBelow(geom.lines()));
+                auto b = geom.pointOf(rng.nextBelow(geom.lines()));
+                auto ra = core::nearestErrorBrute(plane, a);
+                auto rb = core::nearestErrorBrute(plane, b);
+                std::uint64_t da =
+                    ra.found ? ra.distance : ~0ull;
+                std::uint64_t db =
+                    rb.found ? rb.distance : ~0ull;
+                ++total;
+                if (da == db) {
+                    ++ties;
+                    // Deployed rule: 0. Random rule: coin flip.
+                    ones_random_rule += rng.nextBool();
+                } else {
+                    bool bit = da > db;
+                    ones_zero_rule += bit;
+                    ones_random_rule += bit;
+                }
+            }
+        }
+
+        double tie_rate = 100.0 * static_cast<double>(ties) /
+                          static_cast<double>(total);
+        double ones0 = 100.0 *
+                       static_cast<double>(ones_zero_rule) /
+                       static_cast<double>(total);
+        double ones_r = 100.0 *
+                        static_cast<double>(ones_random_rule) /
+                        static_cast<double>(total);
+        table.row()
+            .cell(std::uint64_t(errors))
+            .cell(tie_rate, 2)
+            .cell(ones0, 2)
+            .cell(ones_r, 2)
+            .cell(std::abs(ones0 - 50.0), 2)
+            .cell(std::abs(ones_r - 50.0), 2);
+    }
+    table.print(std::cout);
+
+    std::cout
+        << "\nreading: the tie rate (and hence the 0 bias) grows with "
+           "error density; a random tie-break removes the bias but "
+           "makes tied bits irreproducible -- every tie would flip "
+           "between enrollment and authentication with probability "
+           "1/2, *adding* intra-chip noise. The paper's deterministic "
+           "rule trades ~1% uniformity for exact reproducibility.\n";
+    return 0;
+}

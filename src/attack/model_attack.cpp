@@ -1,0 +1,166 @@
+#include "attack/model_attack.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/nearest.hpp"
+
+namespace authenticache::attack {
+
+DistanceFieldModel::DistanceFieldModel(const core::CacheGeometry &geom_,
+                                       const ModelParams &params_)
+    : geom(geom_), params(params_), field(geom_.lines(), 0.0f)
+{
+}
+
+double
+DistanceFieldModel::estimate(const sim::LinePoint &p) const
+{
+    return field[geom.lineIndex(p)];
+}
+
+double
+DistanceFieldModel::fieldAt(const sim::LinePoint &p) const
+{
+    return estimate(p);
+}
+
+bool
+DistanceFieldModel::predict(const core::ChallengeBit &bit) const
+{
+    // Mirrors Eq 8 semantics: 1 iff A is strictly farther.
+    return estimate(bit.a.line) > estimate(bit.b.line);
+}
+
+void
+DistanceFieldModel::adjust(const sim::LinePoint &p, double delta)
+{
+    // Spread the update along the set axis with linear decay: the
+    // true distance field is 1-Lipschitz, so neighbors move together.
+    const std::int64_t radius = params.kernelSets;
+    const std::int64_t sets = geom.sets();
+    for (std::int64_t ds = -radius; ds <= radius; ++ds) {
+        std::int64_t set = static_cast<std::int64_t>(p.set) + ds;
+        if (set < 0 || set >= sets)
+            continue;
+        double weight = 1.0 - static_cast<double>(std::abs(ds)) /
+                                  (static_cast<double>(radius) + 1.0);
+        std::uint64_t idx = geom.lineIndex(
+            {static_cast<std::uint32_t>(set), p.way});
+        double updated = field[idx] + delta * weight;
+        field[idx] = static_cast<float>(std::max(0.0, updated));
+    }
+}
+
+void
+DistanceFieldModel::train(const core::ChallengeBit &bit, bool response)
+{
+    ++nObserved;
+    double da = estimate(bit.a.line);
+    double db = estimate(bit.b.line);
+
+    // response == 0: d(A) <= d(B); response == 1: d(A) > d(B).
+    if (!response) {
+        double violation = da - db + params.margin;
+        if (violation > 0.0) {
+            double step = params.learningRate * violation / 2.0;
+            adjust(bit.a.line, -step);
+            adjust(bit.b.line, +step);
+        }
+    } else {
+        double violation = db - da + params.margin;
+        if (violation > 0.0) {
+            double step = params.learningRate * violation / 2.0;
+            adjust(bit.a.line, +step);
+            adjust(bit.b.line, -step);
+        }
+    }
+}
+
+double
+DistanceFieldModel::accuracy(
+    const std::vector<core::ChallengeBit> &bits,
+    const std::vector<bool> &responses) const
+{
+    if (bits.empty() || bits.size() != responses.size())
+        return 0.0;
+    std::size_t correct = 0;
+    for (std::size_t i = 0; i < bits.size(); ++i)
+        correct += predict(bits[i]) == responses[i];
+    return static_cast<double>(correct) /
+           static_cast<double>(bits.size());
+}
+
+void
+DistanceFieldModel::reset()
+{
+    std::fill(field.begin(), field.end(), 0.0f);
+    nObserved = 0;
+}
+
+namespace {
+
+/** Ground-truth response bit for a pair on a plane. */
+bool
+truthBit(const core::ErrorPlane &plane, const core::ChallengeBit &bit)
+{
+    auto da = core::nearestErrorBrute(plane, bit.a.line);
+    auto db = core::nearestErrorBrute(plane, bit.b.line);
+    std::uint64_t dist_a =
+        da.found ? da.distance : core::kInfiniteDistance;
+    std::uint64_t dist_b =
+        db.found ? db.distance : core::kInfiniteDistance;
+    return core::responseBitFromDistances(dist_a, dist_b);
+}
+
+core::ChallengeBit
+randomPair(const core::CacheGeometry &geom, util::Rng &rng)
+{
+    core::ChallengeBit bit;
+    bit.a = core::ChallengePoint{
+        geom.pointOf(rng.nextBelow(geom.lines())), 0};
+    bit.b = core::ChallengePoint{
+        geom.pointOf(rng.nextBelow(geom.lines())), 0};
+    return bit;
+}
+
+} // namespace
+
+std::vector<LearningCurvePoint>
+runModelAttack(const core::ErrorPlane &plane, std::uint64_t total_crps,
+               std::size_t checkpoints, std::size_t validation_size,
+               const ModelParams &params, util::Rng &rng)
+{
+    const auto &geom = plane.geometry();
+    DistanceFieldModel model(geom, params);
+
+    // Fixed held-out validation set.
+    std::vector<core::ChallengeBit> val_bits;
+    std::vector<bool> val_truth;
+    val_bits.reserve(validation_size);
+    for (std::size_t i = 0; i < validation_size; ++i) {
+        auto bit = randomPair(geom, rng);
+        val_bits.push_back(bit);
+        val_truth.push_back(truthBit(plane, bit));
+    }
+
+    std::vector<LearningCurvePoint> curve;
+    curve.push_back({0, model.accuracy(val_bits, val_truth)});
+
+    const std::uint64_t per_checkpoint =
+        std::max<std::uint64_t>(1, total_crps / checkpoints);
+    std::uint64_t trained = 0;
+    while (trained < total_crps) {
+        std::uint64_t target =
+            std::min(total_crps, trained + per_checkpoint);
+        for (; trained < target; ++trained) {
+            auto bit = randomPair(geom, rng);
+            model.train(bit, truthBit(plane, bit));
+        }
+        curve.push_back(
+            {trained, model.accuracy(val_bits, val_truth)});
+    }
+    return curve;
+}
+
+} // namespace authenticache::attack

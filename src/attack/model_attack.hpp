@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Model-building attack (paper Sec 6.7, Figure 16).
+ *
+ * The attacker passively observes CRP transactions (logical
+ * coordinates and response bits) confined to a single error map, and
+ * "progressively establishes dependencies between points in the error
+ * map": every observed bit is an ordering constraint between the
+ * nearest-error distances of two points. The model maintains an
+ * estimated distance field over the cache plane and learns from each
+ * constraint with a perceptron-style update, spatially smoothed along
+ * the set axis -- the true distance field is 1-Lipschitz in the
+ * Manhattan metric, so neighboring cells share information, which is
+ * what makes the attack (slowly) effective.
+ */
+
+#ifndef AUTH_ATTACK_MODEL_ATTACK_HPP
+#define AUTH_ATTACK_MODEL_ATTACK_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "core/challenge.hpp"
+#include "util/rng.hpp"
+
+namespace authenticache::attack {
+
+/** Learning hyper-parameters. */
+struct ModelParams
+{
+    double learningRate = 0.12;   ///< Step per violated constraint.
+    double margin = 1.0;          ///< Required separation.
+    std::uint32_t kernelSets = 6; ///< Smoothing radius along sets.
+};
+
+class DistanceFieldModel
+{
+  public:
+    DistanceFieldModel(const core::CacheGeometry &geom,
+                       const ModelParams &params = {});
+
+    /** Predicted response bit for a challenge pair. */
+    bool predict(const core::ChallengeBit &bit) const;
+
+    /**
+     * Learn from one observed CRP bit: adjusts the field so the
+     * observed ordering holds with a margin.
+     */
+    void train(const core::ChallengeBit &bit, bool response);
+
+    /** Fraction of correctly predicted bits on a validation set. */
+    double accuracy(const std::vector<core::ChallengeBit> &bits,
+                    const std::vector<bool> &responses) const;
+
+    /** Observed training constraints so far. */
+    std::uint64_t observed() const { return nObserved; }
+
+    /** Current field estimate at a point (for inspection/tests). */
+    double fieldAt(const sim::LinePoint &p) const;
+
+    /** Reset all learned state (e.g. after a victim remap). */
+    void reset();
+
+  private:
+    double estimate(const sim::LinePoint &p) const;
+    void adjust(const sim::LinePoint &p, double delta);
+
+    core::CacheGeometry geom;
+    ModelParams params;
+    std::vector<float> field;
+    std::uint64_t nObserved = 0;
+};
+
+/** One point of the Fig 16 learning curve. */
+struct LearningCurvePoint
+{
+    std::uint64_t observedCrps = 0;
+    double predictionRate = 0.0; ///< Correct bits per response.
+};
+
+/**
+ * Run the full attack study: stream unique random CRPs from a single
+ * error plane through the model, recording held-out prediction
+ * accuracy at each checkpoint.
+ *
+ * @param plane The victim's (logical) error plane.
+ * @param total_crps Training constraints to stream.
+ * @param checkpoints Number of evenly spaced accuracy measurements.
+ * @param validation_size Held-out pairs per measurement.
+ */
+std::vector<LearningCurvePoint>
+runModelAttack(const core::ErrorPlane &plane, std::uint64_t total_crps,
+               std::size_t checkpoints, std::size_t validation_size,
+               const ModelParams &params, util::Rng &rng);
+
+} // namespace authenticache::attack
+
+#endif // AUTH_ATTACK_MODEL_ATTACK_HPP

@@ -1,0 +1,37 @@
+#include "attack/physical_access.hpp"
+
+namespace authenticache::attack {
+
+PhysicalMapAttacker::PhysicalMapAttacker(
+    core::ErrorMap stolen_physical_map,
+    std::optional<crypto::Key256> key_guess)
+    : logicalView([&] {
+          crypto::Key256 key = key_guess.value_or(
+              crypto::Key256::zero());
+          core::LogicalRemap remap(key,
+                                   stolen_physical_map.geometry());
+          return remap.mapErrorMap(stolen_physical_map);
+      }())
+{
+}
+
+core::Response
+PhysicalMapAttacker::predict(const core::Challenge &challenge) const
+{
+    return core::evaluate(logicalView, challenge);
+}
+
+double
+PhysicalMapAttacker::accuracy(const core::Challenge &challenge,
+                              const core::Response &actual) const
+{
+    if (challenge.size() == 0 || actual.size() != challenge.size())
+        return 0.0;
+    core::Response guess = predict(challenge);
+    std::size_t agree =
+        challenge.size() - guess.hammingDistance(actual);
+    return static_cast<double>(agree) /
+           static_cast<double>(challenge.size());
+}
+
+} // namespace authenticache::attack

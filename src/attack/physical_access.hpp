@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Physical-access attacker (paper Sec 4.4).
+ *
+ * Threat: an attacker with bench access to a stolen device bypasses
+ * firmware and extracts the *physical* error map (undervolting the
+ * cache and reading the raw ECC logs). Authenticache's second defense
+ * layer is the keyed logical remap: challenges reference logical
+ * coordinates, so the stolen physical map is only useful together
+ * with the remap key K_A.
+ *
+ * This attacker answers observed logical challenges using the stolen
+ * physical map and an optional key guess, quantifying both sides:
+ * with the true key the PUF is fully cloned (prediction ~100%);
+ * without it the permutation scrambles geometry and prediction falls
+ * to coin-flip.
+ */
+
+#ifndef AUTH_ATTACK_PHYSICAL_ACCESS_HPP
+#define AUTH_ATTACK_PHYSICAL_ACCESS_HPP
+
+#include <optional>
+
+#include "core/challenge.hpp"
+#include "core/remap.hpp"
+
+namespace authenticache::attack {
+
+class PhysicalMapAttacker
+{
+  public:
+    /**
+     * @param stolen_physical_map Error map extracted from the device.
+     * @param key_guess The attacker's guess of K_A (std::nullopt =
+     *        no key; the attacker assumes identity mapping).
+     */
+    PhysicalMapAttacker(core::ErrorMap stolen_physical_map,
+                        std::optional<crypto::Key256> key_guess);
+
+    /** Predicted response to a logical challenge. */
+    core::Response predict(const core::Challenge &challenge) const;
+
+    /** Fraction of bits predicted correctly. */
+    double accuracy(const core::Challenge &challenge,
+                    const core::Response &actual) const;
+
+  private:
+    core::ErrorMap logicalView; // Under the guessed key (or identity).
+};
+
+} // namespace authenticache::attack
+
+#endif // AUTH_ATTACK_PHYSICAL_ACCESS_HPP

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Replay attacker (paper Sec 4.4 threat model): records frames off the
+ * wire and re-injects them later, attempting to reuse an old response
+ * to win an authentication.
+ */
+
+#ifndef AUTH_ATTACK_REPLAY_HPP
+#define AUTH_ATTACK_REPLAY_HPP
+
+#include <optional>
+#include <vector>
+
+#include "protocol/channel.hpp"
+
+namespace authenticache::attack {
+
+class ReplayAttacker
+{
+  public:
+    explicit ReplayAttacker(const protocol::Transcript &wiretap)
+        : transcript(wiretap)
+    {
+    }
+
+    /** Most recent response frame seen on the wire, if any. */
+    std::optional<std::vector<std::uint8_t>> lastResponseFrame() const;
+
+    /** Most recent client auth request frame, if any. */
+    std::optional<std::vector<std::uint8_t>> lastRequestFrame() const;
+
+    /**
+     * Replay a captured frame toward the server. The caller then pumps
+     * the server and inspects the outcome: against Authenticache the
+     * response's nonce is spent, so the server rejects it.
+     */
+    void replayToServer(protocol::InMemoryChannel &channel,
+                        const std::vector<std::uint8_t> &frame) const;
+
+  private:
+    const protocol::Transcript &transcript;
+};
+
+} // namespace authenticache::attack
+
+#endif // AUTH_ATTACK_REPLAY_HPP

@@ -1,0 +1,45 @@
+#include "core/challenge.hpp"
+
+#include "core/nearest.hpp"
+
+namespace authenticache::core {
+
+std::uint64_t
+pointDistance(const ErrorMap &map, const ChallengePoint &point)
+{
+    if (!map.hasPlane(point.vddMv))
+        return kInfiniteDistance;
+    NearestResult r = nearestErrorBrute(map.plane(point.vddMv),
+                                        point.line);
+    return r.found ? r.distance : kInfiniteDistance;
+}
+
+Response
+evaluate(const ErrorMap &map, const Challenge &challenge)
+{
+    Response response(challenge.size());
+    for (std::size_t i = 0; i < challenge.size(); ++i) {
+        std::uint64_t da = pointDistance(map, challenge.bits[i].a);
+        std::uint64_t db = pointDistance(map, challenge.bits[i].b);
+        response.set(i, responseBitFromDistances(da, db));
+    }
+    return response;
+}
+
+Challenge
+randomChallenge(const CacheGeometry &geom, VddMv level,
+                std::size_t bits, util::Rng &rng)
+{
+    Challenge challenge;
+    challenge.bits.reserve(bits);
+    auto lines = rng.sampleDistinct(geom.lines(), bits * 2);
+    for (std::size_t i = 0; i < bits; ++i) {
+        ChallengeBit bit;
+        bit.a = ChallengePoint{geom.pointOf(lines[2 * i]), level};
+        bit.b = ChallengePoint{geom.pointOf(lines[2 * i + 1]), level};
+        challenge.bits.push_back(bit);
+    }
+    return challenge;
+}
+
+} // namespace authenticache::core

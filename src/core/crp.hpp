@@ -1,0 +1,55 @@
+/**
+ * @file
+ * CRP capacity accounting (paper Eq 10 and Table 1).
+ *
+ * The challenge space over an n-line cache is the edge set of the
+ * complete graph K_n; consuming each edge at most once (Sec 4.4's
+ * no-reuse rule) bounds the authentications available over a device
+ * lifetime.
+ */
+
+#ifndef AUTH_CORE_CRP_HPP
+#define AUTH_CORE_CRP_HPP
+
+#include <cstdint>
+
+#include "sim/geometry.hpp"
+
+namespace authenticache::core {
+
+/** Number of distinct single-bit challenges for n lines (Eq 10). */
+constexpr std::uint64_t
+possibleCrps(std::uint64_t lines)
+{
+    return lines * (lines - 1) / 2;
+}
+
+/**
+ * Whole authentications (of @p crp_bits pairs each) available at a
+ * single voltage level.
+ */
+constexpr std::uint64_t
+possibleAuthentications(std::uint64_t lines, std::uint64_t crp_bits)
+{
+    return crp_bits == 0 ? 0 : possibleCrps(lines) / crp_bits;
+}
+
+/**
+ * Average daily authentications over a device lifetime (Table 1).
+ *
+ * @param lines Cache lines at the challenge voltage.
+ * @param crp_bits Challenge length in bits.
+ * @param lifetime_years Deployment lifetime (paper uses 10 years).
+ */
+constexpr std::uint64_t
+authenticationsPerDay(std::uint64_t lines, std::uint64_t crp_bits,
+                      std::uint64_t lifetime_years = 10)
+{
+    std::uint64_t days = lifetime_years * 365;
+    return days == 0 ? 0
+                     : possibleAuthentications(lines, crp_bits) / days;
+}
+
+} // namespace authenticache::core
+
+#endif // AUTH_CORE_CRP_HPP

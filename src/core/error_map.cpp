@@ -1,0 +1,135 @@
+#include "core/error_map.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace authenticache::core {
+
+ErrorPlane::ErrorPlane(const CacheGeometry &geometry)
+    : geom(geometry), bitmap(geometry.lines())
+{
+}
+
+void
+ErrorPlane::add(const LinePoint &p)
+{
+    std::uint64_t idx = geom.lineIndex(p);
+    if (bitmap.get(idx))
+        return;
+    bitmap.set(idx, true);
+    auto it = std::lower_bound(list.begin(), list.end(), p);
+    list.insert(it, p);
+}
+
+void
+ErrorPlane::remove(const LinePoint &p)
+{
+    std::uint64_t idx = geom.lineIndex(p);
+    if (!bitmap.get(idx))
+        return;
+    bitmap.set(idx, false);
+    auto it = std::lower_bound(list.begin(), list.end(), p);
+    if (it != list.end() && *it == p)
+        list.erase(it);
+}
+
+bool
+ErrorPlane::contains(const LinePoint &p) const
+{
+    return bitmap.get(geom.lineIndex(p));
+}
+
+ErrorMap::ErrorMap(const CacheGeometry &geometry) : geom(geometry) {}
+
+ErrorPlane &
+ErrorMap::plane(VddMv level)
+{
+    auto it = planes.find(level);
+    if (it == planes.end())
+        it = planes.emplace(level, ErrorPlane(geom)).first;
+    return it->second;
+}
+
+const ErrorPlane &
+ErrorMap::plane(VddMv level) const
+{
+    auto it = planes.find(level);
+    if (it == planes.end())
+        throw std::out_of_range("ErrorMap: no plane at that voltage");
+    return it->second;
+}
+
+std::vector<VddMv>
+ErrorMap::levels() const
+{
+    std::vector<VddMv> out;
+    out.reserve(planes.size());
+    for (const auto &[level, _] : planes)
+        out.push_back(level);
+    return out;
+}
+
+void
+ErrorMap::addSweep(VddMv level, const std::vector<LinePoint> &lines)
+{
+    ErrorPlane &target = plane(level);
+    for (const auto &p : lines)
+        target.add(p);
+}
+
+std::size_t
+ErrorMap::totalErrors() const
+{
+    std::size_t acc = 0;
+    for (const auto &[_, p] : planes)
+        acc += p.errorCount();
+    return acc;
+}
+
+ErrorMap
+combineErrorMaps(const std::vector<ErrorMap> &maps,
+                 CombinePolicy policy)
+{
+    if (maps.empty())
+        throw std::invalid_argument("combineErrorMaps: no maps");
+    const CacheGeometry &geom = maps.front().geometry();
+    for (const auto &m : maps) {
+        if (!(m.geometry() == geom))
+            throw std::invalid_argument(
+                "combineErrorMaps: geometry mismatch");
+    }
+
+    // Collect the union of levels.
+    std::map<VddMv, bool> levels;
+    for (const auto &m : maps) {
+        for (auto level : m.levels())
+            levels[level] = true;
+    }
+
+    ErrorMap combined(geom);
+    const std::size_t quorum =
+        policy == CombinePolicy::Union
+            ? 1
+            : (policy == CombinePolicy::Intersection
+                   ? maps.size()
+                   : maps.size() / 2 + 1);
+
+    for (const auto &[level, _] : levels) {
+        // Count per-line occurrences across captures.
+        std::map<std::uint64_t, std::size_t> counts;
+        for (const auto &m : maps) {
+            if (!m.hasPlane(level))
+                continue;
+            for (const auto &e : m.plane(level).errors())
+                ++counts[geom.lineIndex(e)];
+        }
+        ErrorPlane &plane = combined.plane(level);
+        for (const auto &[line, count] : counts) {
+            if (count >= quorum)
+                plane.add(geom.pointOf(line));
+        }
+    }
+    return combined;
+}
+
+} // namespace authenticache::core

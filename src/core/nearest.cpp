@@ -1,0 +1,117 @@
+#include "core/nearest.hpp"
+
+#include <algorithm>
+
+namespace authenticache::core {
+
+NearestResult
+nearestErrorBrute(const ErrorPlane &plane, const LinePoint &from)
+{
+    NearestResult best;
+    for (const auto &e : plane.errors()) {
+        ++best.cellsExamined;
+        std::uint64_t d = sim::manhattan(from, e);
+        if (!best.found || d < best.distance ||
+            (d == best.distance && e < best.at)) {
+            best.found = true;
+            best.distance = d;
+            best.at = e;
+        }
+    }
+    return best;
+}
+
+std::vector<LinePoint>
+ringCells(const CacheGeometry &geom, const LinePoint &center,
+          std::uint64_t r)
+{
+    std::vector<LinePoint> cells;
+    if (r == 0) {
+        cells.push_back(center);
+        return cells;
+    }
+
+    const std::int64_t cx = center.set;
+    const std::int64_t cy = center.way;
+    const std::int64_t ways = geom.ways();
+    const std::int64_t sets = geom.sets();
+    const std::int64_t ri = static_cast<std::int64_t>(r);
+
+    struct Cand
+    {
+        std::int64_t t; // Clockwise perimeter parameter.
+        LinePoint p;
+    };
+    std::vector<Cand> cand;
+
+    // Only |dy| < ways can ever be in bounds; enumerate those rows.
+    std::int64_t dy_lo = std::max(-ri, -cy);
+    std::int64_t dy_hi = std::min(ri, ways - 1 - cy);
+    for (std::int64_t dy = dy_lo; dy <= dy_hi; ++dy) {
+        std::int64_t dx_mag = ri - std::abs(dy);
+        for (std::int64_t sign : {+1, -1}) {
+            std::int64_t dx = sign * dx_mag;
+            if (dx_mag == 0 && sign < 0)
+                continue; // Single apex cell, don't emit twice.
+            std::int64_t x = cx + dx;
+            std::int64_t y = cy + dy;
+            if (x < 0 || x >= sets)
+                continue;
+            // Clockwise parameter starting north (dy = +r):
+            //   edge 1 (N->E):  dx >= 0, dy > 0 : t = dx
+            //   edge 2 (E->S):  dx > 0, dy <= 0 : t = r - dy
+            //   edge 3 (S->W):  dx <= 0, dy < 0 : t = 2r - dx
+            //   edge 4 (W->N):  dx < 0, dy >= 0 : t = 3r + dy
+            std::int64_t t;
+            if (dx >= 0 && dy > 0)
+                t = dx;
+            else if (dx > 0)
+                t = ri - dy;
+            else if (dy < 0)
+                t = 2 * ri - dx;
+            else
+                t = 3 * ri + dy;
+            cand.push_back(
+                {t, LinePoint{static_cast<std::uint32_t>(x),
+                              static_cast<std::uint32_t>(y)}});
+        }
+    }
+
+    std::sort(cand.begin(), cand.end(),
+              [](const Cand &a, const Cand &b) { return a.t < b.t; });
+    cells.reserve(cand.size());
+    for (const auto &c : cand)
+        cells.push_back(c.p);
+    return cells;
+}
+
+NearestResult
+spiralSearch(const CacheGeometry &geom, const LinePoint &center,
+             std::uint64_t max_radius,
+             const std::function<bool(const LinePoint &)> &probe)
+{
+    NearestResult out;
+    for (std::uint64_t r = 0; r <= max_radius; ++r) {
+        auto cells = ringCells(geom, center, r);
+        if (cells.empty() && r > maxSearchRadius(geom))
+            break;
+        for (const auto &cell : cells) {
+            ++out.cellsExamined;
+            if (probe(cell)) {
+                out.found = true;
+                out.distance = r;
+                out.at = cell;
+                return out;
+            }
+        }
+    }
+    return out;
+}
+
+std::uint64_t
+maxSearchRadius(const CacheGeometry &geom)
+{
+    return static_cast<std::uint64_t>(geom.sets()) + geom.ways();
+}
+
+} // namespace authenticache::core

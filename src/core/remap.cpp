@@ -1,0 +1,75 @@
+#include "core/remap.hpp"
+
+namespace authenticache::core {
+
+LogicalRemap::LogicalRemap(const crypto::Key256 &key,
+                           const CacheGeometry &geometry)
+    : rootKey(key), geom(geometry), identity(key == crypto::Key256::zero())
+{
+}
+
+const crypto::FeistelPermutation &
+LogicalRemap::permFor(VddMv level) const
+{
+    auto it = perms.find(level);
+    if (it == perms.end()) {
+        crypto::SipHashKey sub = crypto::deriveSipHashKey(
+            rootKey, "remap-level-" + std::to_string(level));
+        it = perms
+                 .emplace(level,
+                          crypto::FeistelPermutation(sub, geom.lines()))
+                 .first;
+    }
+    return it->second;
+}
+
+LinePoint
+LogicalRemap::map(const LinePoint &p, VddMv level) const
+{
+    if (identity)
+        return p;
+    return geom.pointOf(permFor(level).map(geom.lineIndex(p)));
+}
+
+LinePoint
+LogicalRemap::unmap(const LinePoint &p, VddMv level) const
+{
+    if (identity)
+        return p;
+    return geom.pointOf(permFor(level).unmap(geom.lineIndex(p)));
+}
+
+ErrorMap
+LogicalRemap::mapErrorMap(const ErrorMap &physical) const
+{
+    if (identity)
+        return physical;
+    ErrorMap logical(geom);
+    for (VddMv level : physical.levels()) {
+        const ErrorPlane &phys = physical.plane(level);
+        ErrorPlane &log = logical.plane(level);
+        for (const auto &e : phys.errors())
+            log.add(map(e, level));
+    }
+    return logical;
+}
+
+Challenge
+LogicalRemap::unmapChallenge(const Challenge &logical) const
+{
+    if (identity)
+        return logical;
+    Challenge physical;
+    physical.bits.reserve(logical.size());
+    for (const auto &bit : logical.bits) {
+        ChallengeBit out;
+        out.a = ChallengePoint{unmap(bit.a.line, bit.a.vddMv),
+                               bit.a.vddMv};
+        out.b = ChallengePoint{unmap(bit.b.line, bit.b.vddMv),
+                               bit.b.vddMv};
+        physical.bits.push_back(out);
+    }
+    return physical;
+}
+
+} // namespace authenticache::core

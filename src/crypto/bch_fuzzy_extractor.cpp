@@ -1,0 +1,61 @@
+#include "crypto/bch_fuzzy_extractor.hpp"
+
+#include <stdexcept>
+
+namespace authenticache::crypto {
+
+BchFuzzyExtractor::BchFuzzyExtractor(unsigned m, unsigned t)
+    : code(m, t)
+{
+}
+
+FuzzyExtraction
+BchFuzzyExtractor::generate(const util::BitVec &response,
+                            util::Rng &rng) const
+{
+    if (response.size() != code.n())
+        throw std::invalid_argument(
+            "BchFuzzyExtractor: response must be n bits");
+
+    util::BitVec secret(code.k());
+    for (std::size_t i = 0; i < secret.size(); ++i)
+        secret.set(i, rng.nextBool());
+
+    util::BitVec codeword = code.encode(secret);
+
+    FuzzyExtraction out;
+    out.helper = codeword ^ response;
+    out.key = hashSecret(secret);
+    return out;
+}
+
+std::optional<Key256>
+BchFuzzyExtractor::reproduce(const util::BitVec &noisy_response,
+                             const util::BitVec &helper) const
+{
+    if (noisy_response.size() != code.n() ||
+        helper.size() != code.n())
+        throw std::invalid_argument(
+            "BchFuzzyExtractor: inputs must be n bits");
+
+    util::BitVec noisy_codeword = helper ^ noisy_response;
+    auto corrected = code.decode(noisy_codeword);
+    if (!corrected)
+        return std::nullopt;
+    return hashSecret(code.extractMessage(*corrected));
+}
+
+Key256
+BchFuzzyExtractor::hashSecret(const util::BitVec &secret) const
+{
+    Sha256 hasher;
+    hasher.update(std::string("authenticache-bch-fuzzy-v1"));
+    const auto &words = secret.words();
+    std::span<const std::uint8_t> bytes(
+        reinterpret_cast<const std::uint8_t *>(words.data()),
+        words.size() * sizeof(std::uint64_t));
+    hasher.update(bytes);
+    return Key256::fromDigest(hasher.finalize());
+}
+
+} // namespace authenticache::crypto

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Keyed format-preserving permutation over an arbitrary domain [0, n).
+ *
+ * Authenticache never exposes physical error coordinates in challenges:
+ * the server and client agree on a key K_A and communicate *logical*
+ * coordinates produced by a keyed bijection of the cache's line index
+ * space (paper Sec 4.3, Figure 6). We realize the bijection as a
+ * balanced Feistel network over the smallest power-of-four domain
+ * covering n, with SipHash-2-4 round functions and cycle walking to
+ * stay inside [0, n).
+ */
+
+#ifndef AUTH_CRYPTO_FEISTEL_HPP
+#define AUTH_CRYPTO_FEISTEL_HPP
+
+#include <cstdint>
+
+#include "crypto/siphash.hpp"
+
+namespace authenticache::crypto {
+
+/**
+ * Keyed bijection over [0, domain). Both directions are O(rounds)
+ * amortized; cycle walking visits out-of-range points of the covering
+ * power-of-two domain but never more than a few in expectation.
+ */
+class FeistelPermutation
+{
+  public:
+    /**
+     * @param key 128-bit permutation key.
+     * @param domain Size of the permuted domain; must be >= 2.
+     * @param rounds Feistel rounds; 4 suffices for PRP behaviour with
+     *               independent round functions, default is 6.
+     */
+    FeistelPermutation(const SipHashKey &key, std::uint64_t domain,
+                       unsigned rounds = 6);
+
+    /** Forward mapping (physical -> logical). */
+    std::uint64_t map(std::uint64_t x) const;
+
+    /** Inverse mapping (logical -> physical). */
+    std::uint64_t unmap(std::uint64_t y) const;
+
+    std::uint64_t domain() const { return domainSize; }
+
+  private:
+    std::uint64_t permuteOnce(std::uint64_t x) const;
+    std::uint64_t unpermuteOnce(std::uint64_t y) const;
+    std::uint64_t roundFunction(unsigned round, std::uint64_t half) const;
+
+    SipHashKey key;
+    std::uint64_t domainSize;
+    unsigned rounds;
+    unsigned halfBits; // Bits per Feistel half of the covering domain.
+};
+
+} // namespace authenticache::crypto
+
+#endif // AUTH_CRYPTO_FEISTEL_HPP

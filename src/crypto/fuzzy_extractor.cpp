@@ -1,0 +1,83 @@
+#include "crypto/fuzzy_extractor.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace authenticache::crypto {
+
+FuzzyExtractor::FuzzyExtractor(unsigned repetition) : rep(repetition)
+{
+    if (rep < 3 || rep % 2 == 0)
+        throw std::invalid_argument(
+            "FuzzyExtractor: repetition must be odd and >= 3");
+}
+
+std::size_t
+FuzzyExtractor::secretBits(std::size_t response_bits) const
+{
+    return response_bits / rep;
+}
+
+FuzzyExtraction
+FuzzyExtractor::generate(const util::BitVec &response,
+                         util::Rng &rng) const
+{
+    if (response.size() % rep != 0)
+        throw std::invalid_argument(
+            "FuzzyExtractor: response length not a multiple of R");
+
+    const std::size_t k = response.size() / rep;
+    util::BitVec secret(k);
+    for (std::size_t i = 0; i < k; ++i)
+        secret.set(i, rng.nextBool());
+
+    // Codeword: each secret bit repeated R times.
+    util::BitVec codeword(response.size());
+    for (std::size_t i = 0; i < k; ++i) {
+        for (unsigned j = 0; j < rep; ++j)
+            codeword.set(i * rep + j, secret.get(i));
+    }
+
+    FuzzyExtraction out;
+    out.helper = codeword ^ response;
+    out.key = hashSecret(secret);
+    return out;
+}
+
+Key256
+FuzzyExtractor::reproduce(const util::BitVec &noisy_response,
+                          const util::BitVec &helper) const
+{
+    if (noisy_response.size() != helper.size())
+        throw std::invalid_argument(
+            "FuzzyExtractor: helper/response length mismatch");
+    if (noisy_response.size() % rep != 0)
+        throw std::invalid_argument(
+            "FuzzyExtractor: response length not a multiple of R");
+
+    util::BitVec codeword = helper ^ noisy_response;
+    const std::size_t k = codeword.size() / rep;
+    util::BitVec secret(k);
+    for (std::size_t i = 0; i < k; ++i) {
+        unsigned ones = 0;
+        for (unsigned j = 0; j < rep; ++j)
+            ones += codeword.get(i * rep + j) ? 1 : 0;
+        secret.set(i, ones * 2 > rep);
+    }
+    return hashSecret(secret);
+}
+
+Key256
+FuzzyExtractor::hashSecret(const util::BitVec &secret) const
+{
+    Sha256 hasher;
+    hasher.update(std::string("authenticache-fuzzy-v1"));
+    const auto &words = secret.words();
+    std::span<const std::uint8_t> bytes(
+        reinterpret_cast<const std::uint8_t *>(words.data()),
+        words.size() * sizeof(std::uint64_t));
+    hasher.update(bytes);
+    return Key256::fromDigest(hasher.finalize());
+}
+
+} // namespace authenticache::crypto

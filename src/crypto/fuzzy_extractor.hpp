@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Fuzzy extractor built from a repetition code.
+ *
+ * The adaptive error-remapping protocol (paper Sec 4.5) derives a fresh
+ * logical-map key from a PUF response measured at a *reserved* voltage.
+ * PUF responses are noisy, so the server ships error-correcting
+ * "helper data" alongside the challenge; the client combines its noisy
+ * response with the helper data to reconstruct exactly the key the
+ * server derived. A repetition code with majority decoding gives the
+ * classic code-offset construction: tolerate fewer than R/2 bit flips
+ * per group of R response bits.
+ */
+
+#ifndef AUTH_CRYPTO_FUZZY_EXTRACTOR_HPP
+#define AUTH_CRYPTO_FUZZY_EXTRACTOR_HPP
+
+#include <cstdint>
+
+#include "crypto/key.hpp"
+#include "util/bitvec.hpp"
+#include "util/rng.hpp"
+
+namespace authenticache::crypto {
+
+/** Output of the generation step: the derived key plus public helper. */
+struct FuzzyExtraction
+{
+    Key256 key;
+    util::BitVec helper; // Public; reveals nothing about the key alone.
+};
+
+/** Code-offset fuzzy extractor with an R-fold repetition code. */
+class FuzzyExtractor
+{
+  public:
+    /**
+     * @param repetition Odd repetition factor R (3, 5, 7, ...).
+     */
+    explicit FuzzyExtractor(unsigned repetition = 5);
+
+    /**
+     * Generation: derive (key, helper) from a reference response. The
+     * response length must be a multiple of R; the extracted secret
+     * has response.size()/R bits and is hashed into a 256-bit key.
+     *
+     * @param response Reference PUF response w.
+     * @param rng Source for the random secret codeword.
+     */
+    FuzzyExtraction generate(const util::BitVec &response,
+                             util::Rng &rng) const;
+
+    /**
+     * Reproduction: recover the key from a noisy re-measurement w' and
+     * the helper data. Succeeds exactly when every R-bit group of
+     * w XOR w' has fewer than R/2 set bits.
+     */
+    Key256 reproduce(const util::BitVec &noisy_response,
+                     const util::BitVec &helper) const;
+
+    unsigned repetition() const { return rep; }
+
+    /** Number of secret bits extractable from an n-bit response. */
+    std::size_t secretBits(std::size_t response_bits) const;
+
+  private:
+    Key256 hashSecret(const util::BitVec &secret) const;
+
+    unsigned rep;
+};
+
+} // namespace authenticache::crypto
+
+#endif // AUTH_CRYPTO_FUZZY_EXTRACTOR_HPP

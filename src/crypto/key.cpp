@@ -1,0 +1,50 @@
+#include "crypto/key.hpp"
+
+#include <cstring>
+
+namespace authenticache::crypto {
+
+Key256
+Key256::fromDigest(const Digest256 &d)
+{
+    Key256 k;
+    k.bytes = d;
+    return k;
+}
+
+SipHashKey
+deriveSipHashKey(const Key256 &root, const std::string &label)
+{
+    Key256 child = deriveKey(root, "siphash:" + label);
+    SipHashKey key;
+    std::memcpy(&key.k0, child.bytes.data(), 8);
+    std::memcpy(&key.k1, child.bytes.data() + 8, 8);
+    return key;
+}
+
+Digest256
+keyConfirmation(const Key256 &key, std::uint64_t nonce)
+{
+    std::string message = "remap-confirm";
+    for (int i = 0; i < 8; ++i)
+        message.push_back(static_cast<char>(nonce >> (8 * i)));
+    std::span<const std::uint8_t> key_span(key.bytes.data(),
+                                           key.bytes.size());
+    std::span<const std::uint8_t> msg_span(
+        reinterpret_cast<const std::uint8_t *>(message.data()),
+        message.size());
+    return hmacSha256(key_span, msg_span);
+}
+
+Key256
+deriveKey(const Key256 &root, const std::string &label)
+{
+    std::span<const std::uint8_t> key_span(root.bytes.data(),
+                                           root.bytes.size());
+    std::span<const std::uint8_t> msg_span(
+        reinterpret_cast<const std::uint8_t *>(label.data()),
+        label.size());
+    return Key256::fromDigest(hmacSha256(key_span, msg_span));
+}
+
+} // namespace authenticache::crypto

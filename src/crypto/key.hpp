@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Key material types and derivation helpers shared by the remap
+ * protocol and the logical-map permutation.
+ */
+
+#ifndef AUTH_CRYPTO_KEY_HPP
+#define AUTH_CRYPTO_KEY_HPP
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "crypto/sha256.hpp"
+#include "crypto/siphash.hpp"
+
+namespace authenticache::crypto {
+
+/** 256-bit symmetric key. */
+struct Key256
+{
+    std::array<std::uint8_t, 32> bytes{};
+
+    bool operator==(const Key256 &) const = default;
+
+    /** All-zero key; the "default mapping" of the remap protocol. */
+    static Key256 zero() { return Key256{}; }
+
+    /** Key from a digest. */
+    static Key256 fromDigest(const Digest256 &d);
+};
+
+/**
+ * Derive a SipHash key for a named purpose. Domain separation via the
+ * label keeps e.g. the coordinate-permutation key independent from any
+ * MAC key derived from the same root.
+ */
+SipHashKey deriveSipHashKey(const Key256 &root, const std::string &label);
+
+/** Derive a child Key256 for a named purpose (HKDF-like, one step). */
+Key256 deriveKey(const Key256 &root, const std::string &label);
+
+/**
+ * Key-confirmation MAC for the remap two-phase commit: both sides
+ * compute HMAC(key, "remap-confirm" || nonce) and compare. Reveals
+ * nothing about the key; a mismatch proves the client mis-derived it
+ * (noise beyond the helper data's correction radius).
+ */
+Digest256 keyConfirmation(const Key256 &key, std::uint64_t nonce);
+
+} // namespace authenticache::crypto
+
+#endif // AUTH_CRYPTO_KEY_HPP

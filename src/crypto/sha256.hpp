@@ -1,0 +1,62 @@
+/**
+ * @file
+ * SHA-256 (FIPS 180-4), implemented from scratch. Used for key
+ * derivation in the adaptive error-remapping protocol (paper Sec 4.5)
+ * and for hashing error-map layouts into logical maps (Sec 4.3).
+ */
+
+#ifndef AUTH_CRYPTO_SHA256_HPP
+#define AUTH_CRYPTO_SHA256_HPP
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace authenticache::crypto {
+
+/** A 256-bit digest. */
+using Digest256 = std::array<std::uint8_t, 32>;
+
+/** Incremental SHA-256 hasher. */
+class Sha256
+{
+  public:
+    Sha256();
+
+    /** Absorb bytes. */
+    void update(std::span<const std::uint8_t> data);
+
+    /** Convenience: absorb a string's bytes. */
+    void update(const std::string &s);
+
+    /** Finalize and return the digest; hasher must not be reused. */
+    Digest256 finalize();
+
+    /** One-shot hash of a byte span. */
+    static Digest256 hash(std::span<const std::uint8_t> data);
+
+    /** One-shot hash of a string. */
+    static Digest256 hash(const std::string &s);
+
+  private:
+    void processBlock(const std::uint8_t *block);
+
+    std::array<std::uint32_t, 8> state;
+    std::array<std::uint8_t, 64> buffer;
+    std::size_t bufferLen = 0;
+    std::uint64_t totalLen = 0;
+    bool finalized = false;
+};
+
+/** HMAC-SHA256 (RFC 2104). */
+Digest256 hmacSha256(std::span<const std::uint8_t> key,
+                     std::span<const std::uint8_t> message);
+
+/** Hex encoding of a digest, for tests against published vectors. */
+std::string toHex(const Digest256 &digest);
+
+} // namespace authenticache::crypto
+
+#endif // AUTH_CRYPTO_SHA256_HPP

@@ -1,0 +1,110 @@
+#include "crypto/siphash.hpp"
+
+#include <cstring>
+
+namespace authenticache::crypto {
+
+namespace {
+
+inline std::uint64_t
+rotl(std::uint64_t x, int b)
+{
+    return (x << b) | (x >> (64 - b));
+}
+
+struct SipState
+{
+    std::uint64_t v0, v1, v2, v3;
+
+    void
+    round()
+    {
+        v0 += v1;
+        v1 = rotl(v1, 13);
+        v1 ^= v0;
+        v0 = rotl(v0, 32);
+        v2 += v3;
+        v3 = rotl(v3, 16);
+        v3 ^= v2;
+        v0 += v3;
+        v3 = rotl(v3, 21);
+        v3 ^= v0;
+        v2 += v1;
+        v1 = rotl(v1, 17);
+        v1 ^= v2;
+        v2 = rotl(v2, 32);
+    }
+};
+
+inline std::uint64_t
+readLe64(const std::uint8_t *p)
+{
+    std::uint64_t v;
+    std::memcpy(&v, p, 8);
+    return v; // Little-endian host assumed (x86/ARM little-endian).
+}
+
+} // namespace
+
+std::uint64_t
+siphash24(const SipHashKey &key, std::span<const std::uint8_t> data)
+{
+    SipState s{
+        key.k0 ^ 0x736f6d6570736575ull,
+        key.k1 ^ 0x646f72616e646f6dull,
+        key.k0 ^ 0x6c7967656e657261ull,
+        key.k1 ^ 0x7465646279746573ull,
+    };
+
+    const std::size_t len = data.size();
+    const std::size_t blocks = len / 8;
+    for (std::size_t i = 0; i < blocks; ++i) {
+        std::uint64_t m = readLe64(data.data() + 8 * i);
+        s.v3 ^= m;
+        s.round();
+        s.round();
+        s.v0 ^= m;
+    }
+
+    std::uint64_t last = static_cast<std::uint64_t>(len & 0xFF) << 56;
+    const std::uint8_t *tail = data.data() + 8 * blocks;
+    switch (len & 7) {
+      case 7: last |= static_cast<std::uint64_t>(tail[6]) << 48;
+              [[fallthrough]];
+      case 6: last |= static_cast<std::uint64_t>(tail[5]) << 40;
+              [[fallthrough]];
+      case 5: last |= static_cast<std::uint64_t>(tail[4]) << 32;
+              [[fallthrough]];
+      case 4: last |= static_cast<std::uint64_t>(tail[3]) << 24;
+              [[fallthrough]];
+      case 3: last |= static_cast<std::uint64_t>(tail[2]) << 16;
+              [[fallthrough]];
+      case 2: last |= static_cast<std::uint64_t>(tail[1]) << 8;
+              [[fallthrough]];
+      case 1: last |= static_cast<std::uint64_t>(tail[0]);
+              break;
+      case 0: break;
+    }
+
+    s.v3 ^= last;
+    s.round();
+    s.round();
+    s.v0 ^= last;
+
+    s.v2 ^= 0xFF;
+    s.round();
+    s.round();
+    s.round();
+    s.round();
+    return s.v0 ^ s.v1 ^ s.v2 ^ s.v3;
+}
+
+std::uint64_t
+siphash24(const SipHashKey &key, std::uint64_t word)
+{
+    std::array<std::uint8_t, 8> bytes;
+    std::memcpy(bytes.data(), &word, 8);
+    return siphash24(key, bytes);
+}
+
+} // namespace authenticache::crypto

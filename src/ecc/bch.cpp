@@ -1,0 +1,217 @@
+#include "ecc/bch.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+#include <stdexcept>
+
+namespace authenticache::ecc {
+
+namespace {
+
+/** Multiply two GF(2) polynomials (bit vectors of coefficients). */
+std::vector<std::uint8_t>
+polyMulGf2(const std::vector<std::uint8_t> &a,
+           const std::vector<std::uint8_t> &b)
+{
+    std::vector<std::uint8_t> out(a.size() + b.size() - 1, 0);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (!a[i])
+            continue;
+        for (std::size_t j = 0; j < b.size(); ++j)
+            out[i + j] ^= b[j];
+    }
+    return out;
+}
+
+} // namespace
+
+BchCode::BchCode(unsigned m, unsigned t)
+    : field(m), length((1u << m) - 1), tCorrect(t)
+{
+    if (t == 0 || 2 * t >= length)
+        throw std::invalid_argument("BchCode: bad correction power");
+
+    // Collect the cyclotomic cosets covering exponents 1..2t.
+    std::set<std::uint32_t> covered;
+    gen = {1};
+    for (std::uint32_t e = 1; e <= 2 * t; ++e) {
+        if (covered.count(e))
+            continue;
+        // The coset of e: {e, 2e, 4e, ...} mod n.
+        std::vector<std::uint32_t> coset;
+        std::uint32_t cur = e;
+        do {
+            coset.push_back(cur);
+            covered.insert(cur);
+            cur = static_cast<std::uint32_t>(
+                (2ull * cur) % length);
+        } while (cur != e);
+
+        // Minimal polynomial of alpha^e: prod (x + alpha^j), computed
+        // over GF(2^m); the result has 0/1 coefficients.
+        std::vector<std::uint32_t> min_poly{1};
+        for (auto j : coset) {
+            std::vector<std::uint32_t> next(min_poly.size() + 1, 0);
+            std::uint32_t root = field.alphaPow(j);
+            for (std::size_t d = 0; d < min_poly.size(); ++d) {
+                next[d + 1] ^= min_poly[d];              // x * c_d.
+                next[d] ^= field.mul(min_poly[d], root); // root * c_d.
+            }
+            min_poly = std::move(next);
+        }
+        std::vector<std::uint8_t> min_gf2(min_poly.size());
+        for (std::size_t d = 0; d < min_poly.size(); ++d) {
+            if (min_poly[d] > 1)
+                throw std::logic_error(
+                    "BchCode: minimal polynomial not binary");
+            min_gf2[d] = static_cast<std::uint8_t>(min_poly[d]);
+        }
+        gen = polyMulGf2(gen, min_gf2);
+    }
+
+    dimension = length - static_cast<unsigned>(gen.size() - 1);
+    if (dimension == 0)
+        throw std::invalid_argument("BchCode: dimension zero");
+}
+
+util::BitVec
+BchCode::encode(const util::BitVec &message) const
+{
+    if (message.size() != dimension)
+        throw std::invalid_argument("BchCode::encode: wrong length");
+
+    const unsigned parity = length - dimension;
+
+    // Compute m(x) * x^(n-k) mod g(x) with long division.
+    std::vector<std::uint8_t> rem(parity, 0);
+    for (unsigned i = dimension; i-- > 0;) {
+        // Bring down the next message bit (highest degree first).
+        std::uint8_t feedback =
+            static_cast<std::uint8_t>(message.get(i)) ^
+            (parity ? rem[parity - 1] : 0);
+        for (unsigned j = parity; j-- > 1;) {
+            rem[j] = static_cast<std::uint8_t>(
+                rem[j - 1] ^ (feedback ? gen[j] : 0));
+        }
+        rem[0] = static_cast<std::uint8_t>(feedback ? gen[0] : 0);
+    }
+
+    util::BitVec codeword(length);
+    for (unsigned i = 0; i < parity; ++i)
+        codeword.set(i, rem[i]);
+    for (unsigned i = 0; i < dimension; ++i)
+        codeword.set(parity + i, message.get(i));
+    return codeword;
+}
+
+util::BitVec
+BchCode::extractMessage(const util::BitVec &codeword) const
+{
+    if (codeword.size() != length)
+        throw std::invalid_argument("BchCode: wrong codeword length");
+    util::BitVec message(dimension);
+    const unsigned parity = length - dimension;
+    for (unsigned i = 0; i < dimension; ++i)
+        message.set(i, codeword.get(parity + i));
+    return message;
+}
+
+std::vector<std::uint32_t>
+BchCode::syndromes(const util::BitVec &r) const
+{
+    std::vector<std::uint32_t> s(2 * tCorrect, 0);
+    for (unsigned i = 0; i < 2 * tCorrect; ++i) {
+        std::uint32_t acc = 0;
+        for (unsigned p = 0; p < length; ++p) {
+            if (r.get(p))
+                acc ^= field.alphaPow(
+                    static_cast<std::uint64_t>(i + 1) * p);
+        }
+        s[i] = acc;
+    }
+    return s;
+}
+
+std::optional<util::BitVec>
+BchCode::decode(const util::BitVec &received) const
+{
+    if (received.size() != length)
+        throw std::invalid_argument("BchCode: wrong codeword length");
+
+    auto s = syndromes(received);
+    if (std::all_of(s.begin(), s.end(),
+                    [](std::uint32_t v) { return v == 0; }))
+        return received;
+
+    // Berlekamp-Massey: find the error locator sigma(x).
+    std::vector<std::uint32_t> sigma{1};
+    std::vector<std::uint32_t> prev{1};
+    unsigned L = 0;
+    unsigned shift = 1;
+    std::uint32_t prev_disc = 1;
+
+    for (unsigned step = 0; step < 2 * tCorrect; ++step) {
+        std::uint32_t disc = s[step];
+        for (unsigned i = 1; i <= L && i < sigma.size(); ++i)
+            disc ^= field.mul(sigma[i], s[step - i]);
+
+        if (disc == 0) {
+            ++shift;
+            continue;
+        }
+        if (2 * L <= step) {
+            auto saved = sigma;
+            std::uint32_t scale = field.div(disc, prev_disc);
+            if (sigma.size() < prev.size() + shift)
+                sigma.resize(prev.size() + shift, 0);
+            for (std::size_t i = 0; i < prev.size(); ++i)
+                sigma[i + shift] ^= field.mul(scale, prev[i]);
+            L = step + 1 - L;
+            prev = std::move(saved);
+            prev_disc = disc;
+            shift = 1;
+        } else {
+            std::uint32_t scale = field.div(disc, prev_disc);
+            if (sigma.size() < prev.size() + shift)
+                sigma.resize(prev.size() + shift, 0);
+            for (std::size_t i = 0; i < prev.size(); ++i)
+                sigma[i + shift] ^= field.mul(scale, prev[i]);
+            ++shift;
+        }
+    }
+
+    while (!sigma.empty() && sigma.back() == 0)
+        sigma.pop_back();
+    unsigned degree = static_cast<unsigned>(sigma.size()) - 1;
+    if (degree > tCorrect || L > tCorrect)
+        return std::nullopt; // More errors than the code corrects.
+
+    // Chien search: roots alpha^i of sigma mark errors at n - i.
+    util::BitVec corrected = received;
+    unsigned roots = 0;
+    for (unsigned i = 0; i < length; ++i) {
+        std::uint32_t acc = 0;
+        for (std::size_t d = 0; d < sigma.size(); ++d) {
+            acc ^= field.mul(
+                sigma[d],
+                field.alphaPow(static_cast<std::uint64_t>(d) * i));
+        }
+        if (acc == 0) {
+            unsigned pos = (length - i) % length;
+            corrected.flip(pos);
+            ++roots;
+        }
+    }
+    if (roots != degree)
+        return std::nullopt; // sigma does not split: decoder failure.
+
+    // Verify: the corrected word must be a codeword.
+    auto check = syndromes(corrected);
+    if (!std::all_of(check.begin(), check.end(),
+                     [](std::uint32_t v) { return v == 0; }))
+        return std::nullopt;
+    return corrected;
+}
+
+} // namespace authenticache::ecc

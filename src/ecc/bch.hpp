@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Binary BCH code over GF(2^m): systematic encoding, and decoding via
+ * syndromes, Berlekamp-Massey, and Chien search.
+ *
+ * Used as the strong error-correcting layer of the BCH fuzzy extractor
+ * (code-offset construction); e.g. BCH(127, 64, t=10) turns a 127-bit
+ * noisy PUF response into an exactly reproducible 64-bit secret while
+ * tolerating up to 10 bit flips -- far better rate than repetition.
+ */
+
+#ifndef AUTH_ECC_BCH_HPP
+#define AUTH_ECC_BCH_HPP
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "ecc/gf2m.hpp"
+#include "util/bitvec.hpp"
+
+namespace authenticache::ecc {
+
+class BchCode
+{
+  public:
+    /**
+     * Construct the narrow-sense binary BCH code of length 2^m - 1
+     * correcting @p t errors. The dimension k = n - deg(g) falls out
+     * of the generator-polynomial construction; query it with k().
+     */
+    BchCode(unsigned m, unsigned t);
+
+    unsigned n() const { return length; }     ///< Codeword bits.
+    unsigned k() const { return dimension; }  ///< Message bits.
+    unsigned t() const { return tCorrect; }   ///< Correctable errors.
+
+    /** Generator polynomial coefficients, g[0] = constant term. */
+    const std::vector<std::uint8_t> &generator() const { return gen; }
+
+    /**
+     * Systematic encode: the message occupies the high-order bit
+     * positions [n-k, n) of the codeword, parity the low ones.
+     */
+    util::BitVec encode(const util::BitVec &message) const;
+
+    /** Message bits of a (corrected) codeword. */
+    util::BitVec extractMessage(const util::BitVec &codeword) const;
+
+    /**
+     * Decode: correct up to t errors in place. Returns the corrected
+     * codeword, or std::nullopt when the error pattern is beyond the
+     * code's capability (decoder failure).
+     */
+    std::optional<util::BitVec> decode(const util::BitVec &received) const;
+
+  private:
+    std::vector<std::uint32_t> syndromes(const util::BitVec &r) const;
+
+    GF2m field;
+    unsigned length;
+    unsigned dimension;
+    unsigned tCorrect;
+    std::vector<std::uint8_t> gen; // GF(2) coefficients of g(x).
+};
+
+} // namespace authenticache::ecc
+
+#endif // AUTH_ECC_BCH_HPP

@@ -1,0 +1,95 @@
+#include "ecc/gf2m.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace authenticache::ecc {
+
+namespace {
+
+/** Primitive polynomials over GF(2), index = m (x^m + ... + 1). */
+constexpr std::uint32_t kPrimitivePoly[] = {
+    0,      0,      0,
+    0b1011,             // m=3:  x^3 + x + 1
+    0b10011,            // m=4:  x^4 + x + 1
+    0b100101,           // m=5:  x^5 + x^2 + 1
+    0b1000011,          // m=6:  x^6 + x + 1
+    0b10001001,         // m=7:  x^7 + x^3 + 1
+    0b100011101,        // m=8:  x^8 + x^4 + x^3 + x^2 + 1
+    0b1000010001,       // m=9:  x^9 + x^4 + 1
+    0b10000001001,      // m=10: x^10 + x^3 + 1
+    0b100000000101,     // m=11: x^11 + x^2 + 1
+    0b1000001010011,    // m=12: x^12 + x^6 + x^4 + x + 1
+    0b10000000011011,   // m=13: x^13 + x^4 + x^3 + x + 1
+    0b100010001000011,  // m=14: x^14 + x^10 + x^6 + x + 1
+};
+
+} // namespace
+
+GF2m::GF2m(unsigned m) : mBits(m)
+{
+    if (m < 3 || m > 14)
+        throw std::invalid_argument("GF2m: m must be in [3, 14]");
+
+    const std::uint32_t poly = kPrimitivePoly[m];
+    const std::uint32_t n = order();
+
+    expTable.resize(2 * n);
+    logTable.assign(size(), 0);
+
+    std::uint32_t x = 1;
+    for (std::uint32_t i = 0; i < n; ++i) {
+        expTable[i] = x;
+        logTable[x] = i;
+        x <<= 1;
+        if (x & size())
+            x ^= poly;
+    }
+    if (x != 1)
+        throw std::logic_error("GF2m: polynomial not primitive");
+    // Doubled table avoids a modulo in mul().
+    for (std::uint32_t i = 0; i < n; ++i)
+        expTable[n + i] = expTable[i];
+}
+
+std::uint32_t
+GF2m::mul(std::uint32_t a, std::uint32_t b) const
+{
+    if (a == 0 || b == 0)
+        return 0;
+    return expTable[logTable[a] + logTable[b]];
+}
+
+std::uint32_t
+GF2m::inv(std::uint32_t a) const
+{
+    if (a == 0)
+        throw std::domain_error("GF2m: inverse of zero");
+    return expTable[order() - logTable[a]];
+}
+
+std::uint32_t
+GF2m::div(std::uint32_t a, std::uint32_t b) const
+{
+    if (b == 0)
+        throw std::domain_error("GF2m: division by zero");
+    if (a == 0)
+        return 0;
+    return expTable[logTable[a] + order() - logTable[b]];
+}
+
+std::uint32_t
+GF2m::alphaPow(std::uint64_t e) const
+{
+    return expTable[e % order()];
+}
+
+std::uint32_t
+GF2m::logAlpha(std::uint32_t a) const
+{
+    if (a == 0)
+        throw std::domain_error("GF2m: log of zero");
+    return logTable[a];
+}
+
+} // namespace authenticache::ecc

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Finite-field arithmetic over GF(2^m), 3 <= m <= 14, via log/antilog
+ * tables built from a standard primitive polynomial. Substrate for
+ * the BCH code used by the strong fuzzy extractor (the paper's
+ * referenced key-generation error correction, Sec 7.3).
+ */
+
+#ifndef AUTH_ECC_GF2M_HPP
+#define AUTH_ECC_GF2M_HPP
+
+#include <cstdint>
+#include <vector>
+
+namespace authenticache::ecc {
+
+/** GF(2^m) with generator alpha (a root of the primitive polynomial). */
+class GF2m
+{
+  public:
+    explicit GF2m(unsigned m);
+
+    unsigned m() const { return mBits; }
+
+    /** Field size 2^m. */
+    std::uint32_t size() const { return 1u << mBits; }
+
+    /** Multiplicative group order 2^m - 1. */
+    std::uint32_t order() const { return size() - 1; }
+
+    /** Addition (= subtraction) is XOR. */
+    static std::uint32_t add(std::uint32_t a, std::uint32_t b)
+    {
+        return a ^ b;
+    }
+
+    std::uint32_t mul(std::uint32_t a, std::uint32_t b) const;
+    std::uint32_t div(std::uint32_t a, std::uint32_t b) const;
+    std::uint32_t inv(std::uint32_t a) const;
+
+    /** alpha^e (exponent taken mod the group order, may be >= order). */
+    std::uint32_t alphaPow(std::uint64_t e) const;
+
+    /** Discrete log base alpha; a must be nonzero. */
+    std::uint32_t logAlpha(std::uint32_t a) const;
+
+  private:
+    unsigned mBits;
+    std::vector<std::uint32_t> expTable; // alpha^i, doubled length.
+    std::vector<std::uint32_t> logTable;
+};
+
+} // namespace authenticache::ecc
+
+#endif // AUTH_ECC_GF2M_HPP

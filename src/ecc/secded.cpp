@@ -1,0 +1,112 @@
+#include "ecc/secded.hpp"
+
+#include <bit>
+#include <cassert>
+#include <stdexcept>
+
+namespace authenticache::ecc {
+
+unsigned
+secdedCheckBits(unsigned data_bits)
+{
+    // Need: (number of odd-weight c-bit values of weight >= 3) >= data
+    // bits, i.e. 2^(c-1) - c >= data_bits. 32 -> 7, 64 -> 8.
+    for (unsigned c = 4; c <= 16; ++c) {
+        if ((1u << (c - 1)) - c >= data_bits)
+            return c;
+    }
+    throw std::invalid_argument("secdedCheckBits: width too large");
+}
+
+SecdedCodec::SecdedCodec(unsigned data_bits) : nData(data_bits)
+{
+    if (data_bits == 0 || data_bits > 64)
+        throw std::invalid_argument("SecdedCodec: 1..64 data bits");
+    nCheck = secdedCheckBits(nData);
+
+    // Assign odd-weight columns, lowest weight first (Hsiao).
+    columns.reserve(nData);
+    for (unsigned weight = 3; columns.size() < nData; weight += 2) {
+        for (std::uint32_t v = 0; v < (1u << nCheck); ++v) {
+            if (std::popcount(v) == static_cast<int>(weight)) {
+                columns.push_back(v);
+                if (columns.size() == nData)
+                    break;
+            }
+        }
+        if (weight > nCheck)
+            throw std::logic_error("SecdedCodec: column space exhausted");
+    }
+
+    syndromeToDataBit.assign(1u << nCheck, -1);
+    for (unsigned i = 0; i < nData; ++i)
+        syndromeToDataBit[columns[i]] = static_cast<int>(i);
+
+    // Build the byte-sliced encoder table.
+    nBytes = (nData + 7) / 8;
+    byteParity.assign(nBytes * 256, 0);
+    for (unsigned byte_pos = 0; byte_pos < nBytes; ++byte_pos) {
+        for (unsigned value = 0; value < 256; ++value) {
+            std::uint32_t parity = 0;
+            for (unsigned bit = 0; bit < 8; ++bit) {
+                unsigned data_bit = byte_pos * 8 + bit;
+                if (data_bit < nData && ((value >> bit) & 1))
+                    parity ^= columns[data_bit];
+            }
+            byteParity[byte_pos * 256 + value] = parity;
+        }
+    }
+}
+
+std::uint32_t
+SecdedCodec::encode(std::uint64_t data) const
+{
+    std::uint32_t check = 0;
+    for (unsigned byte_pos = 0; byte_pos < nBytes; ++byte_pos) {
+        check ^= byteParity[byte_pos * 256 +
+                            ((data >> (8 * byte_pos)) & 0xFF)];
+    }
+    return check;
+}
+
+DecodeResult
+SecdedCodec::decode(std::uint64_t data, std::uint32_t check) const
+{
+    DecodeResult result;
+    result.data = data;
+
+    std::uint32_t syndrome = encode(data) ^ check;
+    if (syndrome == 0) {
+        result.status = DecodeStatus::Ok;
+        return result;
+    }
+
+    const int weight = std::popcount(syndrome);
+    if (weight % 2 == 0) {
+        // Even non-zero syndrome: double error by Hsiao construction.
+        result.status = DecodeStatus::DoubleError;
+        return result;
+    }
+
+    if (weight == 1) {
+        // Unit syndrome: the flipped bit is a check bit; data is fine.
+        result.status = DecodeStatus::CorrectedCheck;
+        result.bitPosition =
+            static_cast<int>(nData) + std::countr_zero(syndrome);
+        return result;
+    }
+
+    int bit = syndromeToDataBit[syndrome];
+    if (bit < 0) {
+        // Odd-weight syndrome matching no column: 3+ bit corruption.
+        result.status = DecodeStatus::Uncorrectable;
+        return result;
+    }
+
+    result.status = DecodeStatus::CorrectedData;
+    result.bitPosition = bit;
+    result.data = data ^ (1ull << bit);
+    return result;
+}
+
+} // namespace authenticache::ecc

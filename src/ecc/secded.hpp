@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Hsiao single-error-correct, double-error-detect (SECDED) codec.
+ *
+ * The simulated caches store every 64-bit word with 8 check bits --
+ * SECDED(72,64), the organization used by the Itanium 9560 L2 arrays
+ * the paper prototypes on -- and report corrected errors to the error
+ * log exactly the way the hardware's machine-check banks do. A
+ * SECDED(39,32) instance is provided for narrower arrays.
+ *
+ * Hsiao codes assign every data bit a distinct odd-weight parity-check
+ * column, which makes single and double errors distinguishable by
+ * syndrome weight parity: odd-weight syndrome => single (correctable),
+ * non-zero even-weight syndrome => double (detectable, uncorrectable).
+ */
+
+#ifndef AUTH_ECC_SECDED_HPP
+#define AUTH_ECC_SECDED_HPP
+
+#include <cstdint>
+#include <vector>
+
+namespace authenticache::ecc {
+
+/** Outcome of decoding one protected word. */
+enum class DecodeStatus
+{
+    Ok,              ///< Syndrome zero, word clean.
+    CorrectedData,   ///< Single data-bit error corrected.
+    CorrectedCheck,  ///< Single check-bit error corrected (data intact).
+    DoubleError,     ///< Two-bit error detected, not correctable.
+    Uncorrectable,   ///< Syndrome inconsistent (3+ bit corruption).
+};
+
+/** Full decode result: status, repaired data, error position. */
+struct DecodeResult
+{
+    DecodeStatus status = DecodeStatus::Ok;
+    std::uint64_t data = 0;   ///< Corrected data word.
+    int bitPosition = -1;     ///< Corrected bit index, -1 if none.
+};
+
+/**
+ * Hsiao SECDED codec for a configurable data width (<= 64 bits).
+ * The parity-check matrix is constructed at run time by assigning the
+ * lowest-weight odd columns first (weight 3, then 5, ...), the standard
+ * minimal-logic Hsiao construction.
+ */
+class SecdedCodec
+{
+  public:
+    /** @param data_bits Protected word width; 64 and 32 are typical. */
+    explicit SecdedCodec(unsigned data_bits = 64);
+
+    unsigned dataBits() const { return nData; }
+    unsigned checkBits() const { return nCheck; }
+
+    /** Compute the check bits for a data word. */
+    std::uint32_t encode(std::uint64_t data) const;
+
+    /**
+     * Decode a stored (data, check) pair, correcting a single-bit
+     * error anywhere in the 72- (or 39-) bit codeword.
+     */
+    DecodeResult decode(std::uint64_t data, std::uint32_t check) const;
+
+    /** The parity-check column for data bit i (for tests). */
+    std::uint32_t dataColumn(unsigned i) const { return columns.at(i); }
+
+  private:
+    unsigned nData;
+    unsigned nCheck;
+    std::vector<std::uint32_t> columns;     // Per data bit.
+    std::vector<int> syndromeToDataBit;     // 2^nCheck entries, -1 = none.
+
+    // Byte-sliced encoder: parity contribution of each possible byte
+    // value at each byte position; one XOR per byte instead of one
+    // per bit.
+    std::vector<std::uint32_t> byteParity;  // [byte_pos * 256 + value].
+    unsigned nBytes = 0;
+};
+
+/** Number of check bits a Hsiao SECDED code needs for data_bits. */
+unsigned secdedCheckBits(unsigned data_bits);
+
+} // namespace authenticache::ecc
+
+#endif // AUTH_ECC_SECDED_HPP

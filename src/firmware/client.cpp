@@ -1,0 +1,308 @@
+#include "firmware/client.hpp"
+
+#include <algorithm>
+
+#include "core/nearest.hpp"
+#include "util/logging.hpp"
+
+namespace authenticache::firmware {
+
+AuthenticacheClient::AuthenticacheClient(sim::SimulatedChip &chip_,
+                                         SimulatedMachine &machine_,
+                                         const ClientConfig &config)
+    : device(chip_),
+      machine(machine_),
+      cfg(config),
+      voltageCtl(chip_, config.voltageControl),
+      errorHandler(chip_, voltageCtl, config.errorHandler)
+{
+}
+
+double
+AuthenticacheClient::boot()
+{
+    SmmSession session(machine, 0);
+    TimingLedger ledger(cfg.timing);
+    ledger.addSmiEntry();
+    double floor = voltageCtl.calibrateFloor(session.token(), &ledger);
+    ledger.addSmiExit();
+    return floor;
+}
+
+core::ErrorMap
+AuthenticacheClient::captureErrorMap(
+    const std::vector<core::VddMv> &levels, std::uint32_t passes)
+{
+    SmmSession session(machine, 0);
+
+    core::ErrorMap map(device.geometry());
+
+    // Process levels in descending Vdd order (fewer big transitions).
+    std::vector<core::VddMv> sorted = levels;
+    std::sort(sorted.rbegin(), sorted.rend());
+
+    for (core::VddMv level : sorted) {
+        if (voltageCtl.requestVdd(session.token(),
+                                  static_cast<double>(level)) !=
+            VddRequestStatus::Ok) {
+            voltageCtl.restoreNominal(session.token());
+            throw std::invalid_argument(
+                "captureErrorMap: level below floor or out of range");
+        }
+        auto sweep = device.selfTest().sweepAll(passes);
+        map.addSweep(level, sweep.correctableLines);
+    }
+    voltageCtl.restoreNominal(session.token());
+    return map;
+}
+
+void
+AuthenticacheClient::issueDecoys(const FirmwareToken &token,
+                                 std::uint32_t genuine_tests,
+                                 TimingLedger &ledger)
+{
+    // One decoy per `1/ratio` genuine line tests in expectation:
+    // whole decoys plus a Bernoulli fractional part.
+    double target = cfg.decoyRatio * genuine_tests;
+    auto count = static_cast<std::uint64_t>(target);
+    if (decoyRng.nextBool(target - static_cast<double>(count)))
+        ++count;
+
+    const auto &geom = device.geometry();
+    for (std::uint64_t i = 0; i < count; ++i) {
+        sim::LinePoint decoy =
+            geom.pointOf(decoyRng.nextBelow(geom.lines()));
+        auto outcome = errorHandler.testLine(token, decoy, 1, &ledger);
+        if (outcome.emergency)
+            throw AbortException{"emergency voltage raise"};
+    }
+}
+
+std::uint64_t
+AuthenticacheClient::endpointDistance(const FirmwareToken &token,
+                                      const core::ChallengePoint &point,
+                                      const core::LogicalRemap &remap,
+                                      TimingLedger &ledger)
+{
+    // Set the endpoint's voltage (no-op when already there).
+    if (voltageCtl.requestVdd(token, static_cast<double>(point.vddMv),
+                              &ledger) != VddRequestStatus::Ok) {
+        throw AbortException{"invalid Vdd in challenge"};
+    }
+
+    const auto &geom = device.geometry();
+    std::uint64_t radius = cfg.maxSearchRadius != 0
+                               ? cfg.maxSearchRadius
+                               : core::maxSearchRadius(geom);
+
+    auto probe = [&](const sim::LinePoint &logical_cell) {
+        sim::LinePoint physical =
+            remap.unmap(logical_cell, point.vddMv);
+        auto outcome = errorHandler.testLine(
+            token, physical, cfg.selfTestAttempts, &ledger);
+        if (outcome.emergency)
+            throw AbortException{"emergency voltage raise"};
+        if (cfg.decoyRatio > 0.0)
+            issueDecoys(token, outcome.attemptsUsed, ledger);
+        return outcome.triggered;
+    };
+
+    auto hit = core::spiralSearch(geom, point.line, radius, probe);
+    return hit.found ? hit.distance : core::kInfiniteDistance;
+}
+
+void
+AuthenticacheClient::evaluateChallenge(
+    const FirmwareToken &token, const core::Challenge &challenge,
+    const core::LogicalRemap &remap, TimingLedger &ledger,
+    AuthOutcome &out, std::vector<BitDistances> *capture)
+{
+    // Flatten endpoints and sort by descending Vdd so the regulator
+    // only ever steps downward within a transaction (Sec 5.4).
+    struct Task
+    {
+        std::size_t bit;
+        bool second; // false = endpoint A, true = endpoint B.
+        core::ChallengePoint point;
+    };
+    std::vector<Task> tasks;
+    tasks.reserve(challenge.size() * 2);
+    for (std::size_t i = 0; i < challenge.size(); ++i) {
+        tasks.push_back({i, false, challenge.bits[i].a});
+        tasks.push_back({i, true, challenge.bits[i].b});
+    }
+    std::stable_sort(tasks.begin(), tasks.end(),
+                     [](const Task &x, const Task &y) {
+                         return x.point.vddMv > y.point.vddMv;
+                     });
+
+    ledger.addChallengeBits(challenge.size());
+
+    std::vector<std::uint64_t> dist_a(challenge.size(),
+                                      core::kInfiniteDistance);
+    std::vector<std::uint64_t> dist_b(challenge.size(),
+                                      core::kInfiniteDistance);
+
+    // Segment into atomic transactions bounded by the max payload.
+    const std::size_t per_txn = cfg.maxTransactionBits * 2;
+    for (std::size_t start = 0; start < tasks.size();
+         start += per_txn) {
+        ++out.transactions;
+        std::size_t end = std::min(tasks.size(), start + per_txn);
+        for (std::size_t t = start; t < end; ++t) {
+            std::uint64_t d = endpointDistance(token, tasks[t].point,
+                                               remap, ledger);
+            if (tasks[t].second)
+                dist_b[tasks[t].bit] = d;
+            else
+                dist_a[tasks[t].bit] = d;
+        }
+    }
+
+    out.response = core::Response(challenge.size());
+    for (std::size_t i = 0; i < challenge.size(); ++i) {
+        out.response.set(i, core::responseBitFromDistances(dist_a[i],
+                                                           dist_b[i]));
+    }
+    if (capture) {
+        capture->resize(challenge.size());
+        for (std::size_t i = 0; i < challenge.size(); ++i)
+            (*capture)[i] = BitDistances{dist_a[i], dist_b[i]};
+    }
+}
+
+AuthOutcome
+AuthenticacheClient::runChallenge(const core::Challenge &challenge,
+                                  const core::LogicalRemap &remap)
+{
+    AuthOutcome out;
+    TimingLedger ledger(cfg.timing);
+
+    if (!voltageCtl.calibrated()) {
+        out.status = AuthOutcome::Status::Aborted;
+        out.abortReason = "client not booted (no voltage floor)";
+        return out;
+    }
+
+    SmmSession session(machine, 0);
+    ledger.addSmiEntry();
+
+    try {
+        evaluateChallenge(session.token(), challenge, remap, ledger,
+                          out);
+        voltageCtl.restoreNominal(session.token(), &ledger);
+    } catch (const AbortException &abort) {
+        voltageCtl.restoreNominal(session.token(), &ledger);
+        out.status = AuthOutcome::Status::Aborted;
+        out.abortReason = abort.reason;
+        out.response = core::Response();
+    }
+
+    ledger.addSmiExit();
+    out.elapsedMs = ledger.totalMs();
+    out.lineTests = ledger.lineTests();
+    out.vddTransitions = ledger.vddTransitions();
+
+    if (out.ok())
+        ++nAuthsOk;
+    else
+        ++nAuthsAborted;
+    nLineTests += out.lineTests;
+    totalMs += out.elapsedMs;
+    return out;
+}
+
+void
+collectClientStats(const AuthenticacheClient &client,
+                   util::StatsRegistry &registry,
+                   const std::string &component)
+{
+    registry.set(component, "authentications_completed",
+                 client.authenticationsCompleted());
+    registry.set(component, "authentications_aborted",
+                 client.authenticationsAborted());
+    registry.set(component, "line_tests",
+                 client.lifetimeLineTests());
+    registry.set(component, "busy_ms", client.lifetimeMs());
+    registry.set(component, "emergencies", client.emergencyCount());
+    registry.set(component, "voltage_floor_mv", client.floorMv());
+}
+
+AuthOutcome
+AuthenticacheClient::authenticate(const core::Challenge &challenge)
+{
+    core::LogicalRemap remap(key, device.geometry());
+    return runChallenge(challenge, remap);
+}
+
+AuthOutcome
+AuthenticacheClient::answerWithDefaultMap(
+    const core::Challenge &challenge)
+{
+    core::LogicalRemap identity(crypto::Key256::zero(),
+                                device.geometry());
+    return runChallenge(challenge, identity);
+}
+
+AuthenticacheClient::DistanceOutcome
+AuthenticacheClient::measureDefaultMapDistances(
+    const core::Challenge &challenge)
+{
+    DistanceOutcome out;
+    if (!voltageCtl.calibrated()) {
+        out.abortReason = "client not booted (no voltage floor)";
+        return out;
+    }
+
+    core::LogicalRemap identity(crypto::Key256::zero(),
+                                device.geometry());
+    TimingLedger ledger(cfg.timing);
+    SmmSession session(machine, 0);
+    ledger.addSmiEntry();
+
+    AuthOutcome scratch;
+    try {
+        evaluateChallenge(session.token(), challenge, identity,
+                          ledger, scratch, &out.distances);
+        voltageCtl.restoreNominal(session.token(), &ledger);
+        out.ok = true;
+    } catch (const AbortException &abort) {
+        voltageCtl.restoreNominal(session.token(), &ledger);
+        out.abortReason = abort.reason;
+        out.distances.clear();
+    }
+    ledger.addSmiExit();
+    return out;
+}
+
+std::optional<crypto::Key256>
+AuthenticacheClient::deriveRemapKey(
+    const core::Challenge &challenge, const util::BitVec &helper,
+    const crypto::FuzzyExtractor &extractor)
+{
+    // Key-derivation challenges use the default (identity) mapping at
+    // a reserved voltage (Figure 7).
+    core::LogicalRemap default_map(crypto::Key256::zero(),
+                                   device.geometry());
+    AuthOutcome outcome = runChallenge(challenge, default_map);
+    if (!outcome.ok())
+        return std::nullopt;
+    if (outcome.response.size() != helper.size())
+        return std::nullopt;
+    return extractor.reproduce(outcome.response, helper);
+}
+
+bool
+AuthenticacheClient::processRemapRequest(
+    const core::Challenge &challenge, const util::BitVec &helper,
+    const crypto::FuzzyExtractor &extractor)
+{
+    auto new_key = deriveRemapKey(challenge, helper, extractor);
+    if (!new_key)
+        return false;
+    setMapKey(*new_key);
+    AUTH_LOG_INFO("firmware") << "logical map key rotated";
+    return true;
+}
+
+} // namespace authenticache::firmware

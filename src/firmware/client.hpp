@@ -1,0 +1,265 @@
+/**
+ * @file
+ * The Authenticache client: the firmware authentication algorithm of
+ * paper Sec 5.4, coordinating SMM entry, voltage control, the error
+ * handler, and the PUF search.
+ *
+ * Challenge processing:
+ *  1. A user-space authentication request raises an SMI; the master
+ *     core parks the others (SimulatedMachine/SmmSession).
+ *  2. Challenge endpoints are sorted in descending Vdd order to
+ *     minimize regulator transitions, then segmented into bounded
+ *     transactions.
+ *  3. Each endpoint's nearest error is located by self-testing its
+ *     Von Neumann neighborhood outward and clockwise (spiralSearch),
+ *     in *logical* coordinates: each candidate cell is unmapped with
+ *     the device key K_A to a physical line before testing.
+ *  4. Response bit = 0 iff dist(A) <= dist(B) (Eq 8).
+ *
+ * Aborts: an invalid Vdd request or an emergency declared by the
+ * error handler terminates the authentication with an error outcome,
+ * per the paper's ABORT path.
+ */
+
+#ifndef AUTH_FIRMWARE_CLIENT_HPP
+#define AUTH_FIRMWARE_CLIENT_HPP
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/challenge.hpp"
+#include "core/error_map.hpp"
+#include "core/remap.hpp"
+#include "crypto/fuzzy_extractor.hpp"
+#include "crypto/key.hpp"
+#include "firmware/error_handler.hpp"
+#include "firmware/machine.hpp"
+#include "firmware/timing.hpp"
+#include "firmware/voltage_control.hpp"
+#include "sim/chip.hpp"
+#include "util/stats_registry.hpp"
+
+namespace authenticache::firmware {
+
+/** Client tuning. */
+struct ClientConfig
+{
+    /** Self-test attempts per cache line (paper Sec 6.3). */
+    std::uint32_t selfTestAttempts = 4;
+
+    /** Challenge bits per atomic firmware transaction. */
+    std::size_t maxTransactionBits = 64;
+
+    /**
+     * Spiral give-up radius; 0 means cover the whole plane (a point
+     * with no reachable error contributes an infinite distance).
+     */
+    std::uint64_t maxSearchRadius = 0;
+
+    /**
+     * Side-channel decoy ratio (paper Sec 7.2): interleave this many
+     * self-tests of *random* cache lines per genuine challenge test,
+     * masking the EM/power signature of the ECC activity an attacker
+     * could correlate with error locations. 0 disables decoys; 1.0
+     * doubles the line-test count (and roughly the runtime).
+     */
+    double decoyRatio = 0.0;
+
+    TimingParams timing;
+    VoltageControlParams voltageControl;
+    ErrorHandlerParams errorHandler;
+};
+
+/** Result of one client authentication. */
+struct AuthOutcome
+{
+    enum class Status
+    {
+        Ok,
+        Aborted,
+    };
+
+    Status status = Status::Ok;
+    std::string abortReason;
+
+    core::Response response;
+
+    // Cost accounting (feeds Fig 13/14).
+    double elapsedMs = 0.0;
+    std::uint64_t lineTests = 0;
+    std::uint64_t vddTransitions = 0;
+    std::uint64_t transactions = 0;
+
+    bool ok() const { return status == Status::Ok; }
+};
+
+class AuthenticacheClient
+{
+  public:
+    AuthenticacheClient(sim::SimulatedChip &chip,
+                        SimulatedMachine &machine,
+                        const ClientConfig &config = {});
+
+    /**
+     * Boot-time initialization: calibrate the voltage floor under an
+     * SMM session. Must be called before authenticate().
+     * @return The established floor in mV.
+     */
+    double boot();
+
+    /** Established floor (0 before boot). */
+    double floorMv() const { return voltageCtl.floorMv(); }
+
+    /** Warm boot: adopt a floor calibrated by a previous session. */
+    void adoptFloor(double floor_mv) { voltageCtl.adoptFloor(floor_mv); }
+
+    /** Device logical-map key K_A (zero = identity/default map). */
+    const crypto::Key256 &mapKey() const { return key; }
+    void setMapKey(const crypto::Key256 &k) { key = k; }
+
+    /**
+     * Enrollment support: capture the physical error map at the given
+     * voltage levels with multi-pass sweeps. Runs under SMM; intended
+     * to be driven by the manufacturer/server in a trusted setting.
+     */
+    core::ErrorMap captureErrorMap(const std::vector<core::VddMv> &levels,
+                                   std::uint32_t passes = 8);
+
+    /** Answer a logical-coordinate challenge (the main entry point). */
+    AuthOutcome authenticate(const core::Challenge &challenge);
+
+    /**
+     * Answer a challenge under the default (identity) mapping,
+     * bypassing K_A. For on-device consumers only (key derivation,
+     * Sec 4.5/7.3): the response must never leave the firmware, since
+     * identity-mapped responses leak physical geometry.
+     */
+    AuthOutcome answerWithDefaultMap(const core::Challenge &challenge);
+
+    /** Distance pair of one challenge bit (firmware-internal). */
+    struct BitDistances
+    {
+        std::uint64_t a = 0;
+        std::uint64_t b = 0;
+
+        /** Margin |d(A)-d(B)|; large margins make robust bits. */
+        std::uint64_t margin() const { return a > b ? a - b : b - a; }
+    };
+
+    /** Result of a raw distance measurement. */
+    struct DistanceOutcome
+    {
+        bool ok = false;
+        std::string abortReason;
+        std::vector<BitDistances> distances;
+    };
+
+    /**
+     * Measure the raw nearest-error distances of every challenge bit
+     * under the default mapping. Firmware-internal: distances leak
+     * strictly more than response bits. Used by the key generator to
+     * select high-margin (drift-robust) bits at provisioning time.
+     */
+    DistanceOutcome measureDefaultMapDistances(
+        const core::Challenge &challenge);
+
+    /**
+     * Adaptive remap (paper Sec 4.5): process a key-update request.
+     * Evaluates the challenge under the *default* (identity) mapping
+     * at the reserved voltage, combines the response with the helper
+     * data to reconstruct the new key K_B, and installs it. The
+     * response itself is never disclosed.
+     *
+     * @return true when a key was installed (the client cannot itself
+     *         verify correctness; the server confirms via a
+     *         subsequent authentication).
+     */
+    bool processRemapRequest(const core::Challenge &challenge,
+                             const util::BitVec &helper,
+                             const crypto::FuzzyExtractor &extractor);
+
+    /**
+     * Two-phase remap, phase 1: derive the candidate key without
+     * installing it (the protocol layer installs on the server's
+     * commit, after key confirmation). Returns std::nullopt when the
+     * measurement aborts or lengths mismatch.
+     */
+    std::optional<crypto::Key256>
+    deriveRemapKey(const core::Challenge &challenge,
+                   const util::BitVec &helper,
+                   const crypto::FuzzyExtractor &extractor);
+
+    /** Emergencies observed since construction. */
+    std::uint64_t emergencyCount() const
+    {
+        return errorHandler.emergencyCount();
+    }
+
+    // Lifetime counters (telemetry).
+    std::uint64_t authenticationsCompleted() const { return nAuthsOk; }
+    std::uint64_t authenticationsAborted() const
+    {
+        return nAuthsAborted;
+    }
+    std::uint64_t lifetimeLineTests() const { return nLineTests; }
+    double lifetimeMs() const { return totalMs; }
+
+    const sim::SimulatedChip &chip() const { return device; }
+    sim::SimulatedChip &chip() { return device; }
+
+    const ClientConfig &config() const { return cfg; }
+
+  private:
+    struct AbortException
+    {
+        std::string reason;
+    };
+
+    /**
+     * Evaluate a challenge with a given remap, accumulating into the
+     * outcome; throws AbortException on ABORT conditions. When
+     * @p capture is non-null the raw per-bit distances are stored
+     * there (firmware-internal consumers only).
+     */
+    void evaluateChallenge(const FirmwareToken &token,
+                           const core::Challenge &challenge,
+                           const core::LogicalRemap &remap,
+                           TimingLedger &ledger, AuthOutcome &out,
+                           std::vector<BitDistances> *capture = nullptr);
+
+    /** Distance of one endpoint via spiral self-testing. */
+    std::uint64_t endpointDistance(const FirmwareToken &token,
+                                   const core::ChallengePoint &point,
+                                   const core::LogicalRemap &remap,
+                                   TimingLedger &ledger);
+
+    AuthOutcome runChallenge(const core::Challenge &challenge,
+                             const core::LogicalRemap &remap);
+
+    /** Issue decoy self-tests per the configured ratio. */
+    void issueDecoys(const FirmwareToken &token,
+                     std::uint32_t genuine_tests, TimingLedger &ledger);
+
+    sim::SimulatedChip &device;
+    SimulatedMachine &machine;
+    ClientConfig cfg;
+    VoltageControl voltageCtl;
+    ErrorHandler errorHandler;
+    crypto::Key256 key;
+    util::Rng decoyRng{0xDEC0};
+    std::uint64_t nAuthsOk = 0;
+    std::uint64_t nAuthsAborted = 0;
+    std::uint64_t nLineTests = 0;
+    double totalMs = 0.0;
+};
+
+/** Snapshot a client's lifetime counters into a stats registry. */
+void collectClientStats(const AuthenticacheClient &client,
+                        util::StatsRegistry &registry,
+                        const std::string &component = "client");
+
+} // namespace authenticache::firmware
+
+#endif // AUTH_FIRMWARE_CLIENT_HPP

@@ -1,0 +1,52 @@
+#include "firmware/error_handler.hpp"
+
+#include "util/logging.hpp"
+
+namespace authenticache::firmware {
+
+ErrorHandler::ErrorHandler(sim::SimulatedChip &chip_, VoltageControl &vc,
+                           const ErrorHandlerParams &params_)
+    : chip(chip_), voltageControl(vc), params(params_)
+{
+}
+
+void
+ErrorHandler::declareEmergency(TimingLedger *ledger)
+{
+    ++nEmergencies;
+    voltageControl.emergencyRaise(ledger);
+}
+
+TargetedTestOutcome
+ErrorHandler::testLine(const FirmwareToken &token,
+                       const sim::LinePoint &line,
+                       std::uint32_t attempts, TimingLedger *ledger)
+{
+    token.require("ErrorHandler::testLine");
+
+    TargetedTestOutcome out;
+    auto &log = chip.errorLog();
+    log.drain(); // Observe only this test's events.
+
+    auto before_uncorr = log.totalUncorrectable();
+    auto result = chip.selfTest().testLine(line, attempts);
+    out.triggered = result.triggered;
+    out.attemptsUsed = result.attemptsUsed;
+    if (ledger)
+        ledger->addLineTests(result.attemptsUsed);
+
+    auto events = log.drain();
+    std::uint64_t uncorr = log.totalUncorrectable() - before_uncorr;
+    if (uncorr >= params.emergencyUncorrectableThreshold ||
+        events.size() >= params.burstThreshold) {
+        AUTH_LOG_WARN("firmware")
+            << "abrupt error rate at line (" << line.set << ","
+            << line.way << "): " << events.size() << " events, "
+            << uncorr << " uncorrectable";
+        declareEmergency(ledger);
+        out.emergency = true;
+    }
+    return out;
+}
+
+} // namespace authenticache::firmware

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Firmware error handler (paper Sec 5.2).
+ *
+ * Owns the interaction with the self-test engine and the ECC error
+ * log: calibration sweeps, targeted per-line tests for challenges, and
+ * emergency detection -- an abrupt rise in the error rate (tracked per
+ * window of line tests) triggers an immediate voltage raise through
+ * the voltage-control service.
+ */
+
+#ifndef AUTH_FIRMWARE_ERROR_HANDLER_HPP
+#define AUTH_FIRMWARE_ERROR_HANDLER_HPP
+
+#include <cstdint>
+
+#include "firmware/machine.hpp"
+#include "firmware/timing.hpp"
+#include "firmware/voltage_control.hpp"
+#include "sim/chip.hpp"
+
+namespace authenticache::firmware {
+
+/** Emergency-detection tuning. */
+struct ErrorHandlerParams
+{
+    /** Uncorrectable events before declaring an emergency. */
+    std::uint64_t emergencyUncorrectableThreshold = 1;
+
+    /**
+     * Correctable events within one targeted test allowed before the
+     * rate is deemed abrupt (a whole-line multi-word burst).
+     */
+    std::uint64_t burstThreshold = 16;
+};
+
+/** Outcome of a targeted challenge test. */
+struct TargetedTestOutcome
+{
+    bool triggered = false;   ///< Correctable error observed.
+    bool emergency = false;   ///< Emergency raised during the test.
+    std::uint32_t attemptsUsed = 0;
+};
+
+class ErrorHandler
+{
+  public:
+    ErrorHandler(sim::SimulatedChip &chip, VoltageControl &vc,
+                 const ErrorHandlerParams &params = {});
+
+    /**
+     * Targeted test of one line with up to @p attempts self-tests,
+     * monitoring for emergencies (firmware privilege required).
+     */
+    TargetedTestOutcome testLine(const FirmwareToken &token,
+                                 const sim::LinePoint &line,
+                                 std::uint32_t attempts,
+                                 TimingLedger *ledger = nullptr);
+
+    /** Emergencies declared since construction. */
+    std::uint64_t emergencyCount() const { return nEmergencies; }
+
+  private:
+    void declareEmergency(TimingLedger *ledger);
+
+    sim::SimulatedChip &chip;
+    VoltageControl &voltageControl;
+    ErrorHandlerParams params;
+    std::uint64_t nEmergencies = 0;
+};
+
+} // namespace authenticache::firmware
+
+#endif // AUTH_FIRMWARE_ERROR_HANDLER_HPP

@@ -1,0 +1,90 @@
+#include "firmware/keygen.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "util/logging.hpp"
+
+namespace authenticache::firmware {
+
+PufKeyGenerator::PufKeyGenerator(AuthenticacheClient &client_,
+                                 unsigned m, unsigned t)
+    : client(client_), extractor(m, t)
+{
+}
+
+ProvisionedKey
+PufKeyGenerator::provision(core::VddMv level, util::Rng &rng)
+{
+    const std::size_t n = extractor.responseBits();
+    const std::size_t candidates =
+        n * std::max(1u, oversample);
+
+    // Oversample candidate pairs and measure their raw distances.
+    core::Challenge pool = core::randomChallenge(
+        client.chip().geometry(), level, candidates, rng);
+    auto measured = client.measureDefaultMapDistances(pool);
+    if (!measured.ok)
+        throw std::runtime_error(
+            "PufKeyGenerator: measurement aborted: " +
+            measured.abortReason);
+
+    // Robustness score. A bit (say d(A) <= d(B)) flips when either
+    // a new error lands within radius d(A) of B (injection risk,
+    // proportional to that capture area, so small d(A) is good) or
+    // the errors near A mask and d(A) climbs past d(B) (removal
+    // risk, shrinking with the margin). Rank by margin relative to
+    // the closer distance: ideal bits pair a point sitting on or
+    // next to an error with a point comfortably farther away.
+    auto score = [&](std::size_t idx) {
+        const auto &d = measured.distances[idx];
+        double closer = static_cast<double>(std::min(d.a, d.b));
+        return static_cast<double>(d.margin()) / (1.0 + closer);
+    };
+    std::vector<std::size_t> order(candidates);
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t x, std::size_t y) {
+                         return score(x) > score(y);
+                     });
+
+    core::Challenge challenge;
+    challenge.bits.reserve(n);
+    util::BitVec reference(n);
+    std::uint64_t weakest_margin = ~0ull;
+    for (std::size_t i = 0; i < n; ++i) {
+        std::size_t idx = order[i];
+        challenge.bits.push_back(pool.bits[idx]);
+        reference.set(i, core::responseBitFromDistances(
+                             measured.distances[idx].a,
+                             measured.distances[idx].b));
+        weakest_margin = std::min(weakest_margin,
+                                  measured.distances[idx].margin());
+    }
+    if (weakest_margin < marginTarget) {
+        AUTH_LOG_WARN("keygen")
+            << "weakest selected margin " << weakest_margin
+            << " below target " << marginTarget
+            << "; consider a sparser error map or more oversampling";
+    }
+
+    auto extraction = extractor.generate(reference, rng);
+
+    ProvisionedKey out;
+    out.key = extraction.key;
+    out.slot.challenge = std::move(challenge);
+    out.slot.helper = std::move(extraction.helper);
+    return out;
+}
+
+std::optional<crypto::Key256>
+PufKeyGenerator::regenerate(const KeySlot &slot)
+{
+    AuthOutcome outcome = client.answerWithDefaultMap(slot.challenge);
+    if (!outcome.ok())
+        return std::nullopt;
+    return extractor.reproduce(outcome.response, slot.helper);
+}
+
+} // namespace authenticache::firmware

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * PUF-backed cryptographic key generation (paper Sec 7.3).
+ *
+ * The other canonical PUF application: instead of authenticating to a
+ * server, the device derives a secret key from its own silicon --
+ * no key bytes in non-volatile storage, nothing to extract from a
+ * powered-off device. A provisioned "key slot" holds only *public*
+ * data (the challenge coordinates and the BCH helper data); the key
+ * itself exists only transiently, reconstructed on demand from the
+ * cache's error fingerprint through the fuzzy extractor.
+ *
+ * Noise handling is two-layered:
+ *
+ *  - Robust-bit selection at provisioning: candidate challenge pairs
+ *    are oversampled and only the highest-margin bits (|d(A) - d(B)|
+ *    large) are kept; flipping such a bit requires the error map to
+ *    deform by the margin, so environmental drift barely touches
+ *    them. This is the reliability-filtering idea of the paper's
+ *    key-generation references (e.g. pattern-matching generators).
+ *  - BCH(255, k>=64, t=23) absorbs the residual flips and *flags*
+ *    (rather than miscorrects) excessive noise.
+ */
+
+#ifndef AUTH_FIRMWARE_KEYGEN_HPP
+#define AUTH_FIRMWARE_KEYGEN_HPP
+
+#include <optional>
+
+#include "crypto/bch_fuzzy_extractor.hpp"
+#include "firmware/client.hpp"
+
+namespace authenticache::firmware {
+
+/** Public (non-secret) material of one provisioned key. */
+struct KeySlot
+{
+    core::Challenge challenge;  ///< 127 identity-mapped pairs.
+    util::BitVec helper;        ///< BCH code-offset helper data.
+};
+
+/** Result of provisioning: the key plus its reconstruction slot. */
+struct ProvisionedKey
+{
+    crypto::Key256 key;
+    KeySlot slot;
+};
+
+class PufKeyGenerator
+{
+  public:
+    /**
+     * @param client The device firmware (must be booted).
+     * @param m BCH field degree (response length 2^m - 1).
+     * @param t Correctable response-bit flips per regeneration.
+     */
+    explicit PufKeyGenerator(AuthenticacheClient &client, unsigned m = 8,
+                             unsigned t = 23);
+
+    /**
+     * Candidate-pair oversampling factor for robust-bit selection;
+     * provisioning measures factor * n pairs and keeps the n with the
+     * largest distance margins. 1 disables the filter.
+     */
+    void setOversampling(unsigned factor) { oversample = factor; }
+    unsigned oversampling() const { return oversample; }
+
+    /** Minimum margin a selected bit should have (best effort). */
+    void setMarginTarget(std::uint64_t margin)
+    {
+        marginTarget = margin;
+    }
+
+    /** PUF response bits consumed per key. */
+    std::size_t responseBits() const
+    {
+        return extractor.responseBits();
+    }
+
+    /** Secret bits the BCH code extracts per key. */
+    std::size_t secretBits() const { return extractor.secretBits(); }
+
+    /** Response-bit flips tolerated per regeneration. */
+    unsigned tolerance() const { return extractor.tolerance(); }
+
+    /**
+     * Provision a new key at a voltage level: draws a random
+     * challenge, measures the reference response (with generous
+     * self-test attempts for a clean enrollment), and derives
+     * (key, helper). Throws std::runtime_error when the measurement
+     * aborts.
+     */
+    ProvisionedKey provision(core::VddMv level, util::Rng &rng);
+
+    /**
+     * Regenerate the key from a slot. Returns std::nullopt when the
+     * measurement aborted or the accumulated noise exceeded the
+     * extractor's correction capability.
+     */
+    std::optional<crypto::Key256> regenerate(const KeySlot &slot);
+
+  private:
+    AuthenticacheClient &client;
+    crypto::BchFuzzyExtractor extractor;
+    unsigned oversample = 4;
+    std::uint64_t marginTarget = 6;
+};
+
+} // namespace authenticache::firmware
+
+#endif // AUTH_FIRMWARE_KEYGEN_HPP

@@ -1,0 +1,71 @@
+#include "firmware/machine.hpp"
+
+#include "util/logging.hpp"
+
+namespace authenticache::firmware {
+
+bool
+FirmwareToken::live() const
+{
+    return machine != nullptr && machine->inSmm();
+}
+
+void
+FirmwareToken::require(const char *operation) const
+{
+    if (!live()) {
+        throw PrivilegeError(std::string(operation) +
+                             ": requires an active SMM session");
+    }
+}
+
+SimulatedMachine::SimulatedMachine(unsigned cores)
+    : states(cores, CoreState::Running)
+{
+    if (cores == 0)
+        throw std::invalid_argument("SimulatedMachine: zero cores");
+}
+
+CoreState
+SimulatedMachine::coreState(unsigned core) const
+{
+    return states.at(core);
+}
+
+void
+SimulatedMachine::smiEnter(unsigned master)
+{
+    if (master >= coreCount())
+        throw std::out_of_range("smiEnter: bad core");
+    if (smmActive)
+        throw PrivilegeError("smiEnter: SMM session already active");
+    ++smis;
+    // The interrupted core becomes the master; it broadcasts
+    // synchronization interrupts parking every other core.
+    for (unsigned i = 0; i < coreCount(); ++i)
+        states[i] = (i == master) ? CoreState::Smm : CoreState::Halted;
+    smmActive = true;
+    AUTH_LOG_DEBUG("firmware") << "SMM entered, master core " << master;
+}
+
+void
+SimulatedMachine::smiExit()
+{
+    for (auto &s : states)
+        s = CoreState::Running;
+    smmActive = false;
+    AUTH_LOG_DEBUG("firmware") << "SMM exited, cores resumed";
+}
+
+SmmSession::SmmSession(SimulatedMachine &machine_, unsigned master_core)
+    : machine(machine_), masterCore(master_core), tok(&machine_)
+{
+    machine.smiEnter(master_core);
+}
+
+SmmSession::~SmmSession()
+{
+    machine.smiExit();
+}
+
+} // namespace authenticache::firmware

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Simulated machine and System Management Mode (paper Sec 5.1).
+ *
+ * Authentication runs inside firmware: a user-space request raises an
+ * SMI, the interrupted core becomes the master, the remaining cores
+ * are synchronized into SMM and halted, and only then may firmware
+ * services (voltage control, self-test) run. The FirmwareToken is a
+ * capability only an active SMM session can mint -- services that must
+ * be firmware-only take it by reference, making the privilege check a
+ * compile-time property plus a runtime liveness check.
+ */
+
+#ifndef AUTH_FIRMWARE_MACHINE_HPP
+#define AUTH_FIRMWARE_MACHINE_HPP
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+namespace authenticache::firmware {
+
+/** Execution state of one core. */
+enum class CoreState
+{
+    Running, ///< Executing OS/user code.
+    Smm,     ///< In System Management Mode (the master).
+    Halted,  ///< Parked by the master for the SMM session.
+};
+
+/** Thrown when a firmware-only service is invoked outside SMM. */
+class PrivilegeError : public std::runtime_error
+{
+  public:
+    explicit PrivilegeError(const std::string &what)
+        : std::runtime_error(what)
+    {
+    }
+};
+
+class SimulatedMachine;
+
+/**
+ * Capability proving the holder runs inside a live SMM session.
+ * Not copyable; obtainable only from SmmSession.
+ */
+class FirmwareToken
+{
+  public:
+    FirmwareToken(const FirmwareToken &) = delete;
+    FirmwareToken &operator=(const FirmwareToken &) = delete;
+
+    /** True while the owning SMM session is still open. */
+    bool live() const;
+
+    /** Throw PrivilegeError unless live. */
+    void require(const char *operation) const;
+
+  private:
+    friend class SmmSession;
+    explicit FirmwareToken(const SimulatedMachine *owner)
+        : machine(owner)
+    {
+    }
+
+    const SimulatedMachine *machine;
+};
+
+/**
+ * RAII SMM session: construction performs the SMI entry and core
+ * synchronization; destruction resumes all cores to the OS.
+ */
+class SmmSession
+{
+  public:
+    SmmSession(SimulatedMachine &machine, unsigned master_core);
+    ~SmmSession();
+
+    SmmSession(const SmmSession &) = delete;
+    SmmSession &operator=(const SmmSession &) = delete;
+
+    unsigned master() const { return masterCore; }
+    const FirmwareToken &token() const { return tok; }
+
+  private:
+    SimulatedMachine &machine;
+    unsigned masterCore;
+    FirmwareToken tok;
+};
+
+class SimulatedMachine
+{
+  public:
+    explicit SimulatedMachine(unsigned cores = 4);
+
+    unsigned coreCount() const
+    {
+        return static_cast<unsigned>(states.size());
+    }
+
+    CoreState coreState(unsigned core) const;
+
+    /** True while an SMM session is open. */
+    bool inSmm() const { return smmActive; }
+
+    /** Number of SMIs taken since power-on. */
+    std::uint64_t smiCount() const { return smis; }
+
+  private:
+    friend class SmmSession;
+    friend class FirmwareToken;
+
+    void smiEnter(unsigned master);
+    void smiExit();
+
+    std::vector<CoreState> states;
+    bool smmActive = false;
+    std::uint64_t smis = 0;
+};
+
+} // namespace authenticache::firmware
+
+#endif // AUTH_FIRMWARE_MACHINE_HPP

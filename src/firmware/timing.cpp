@@ -1,0 +1,49 @@
+#include "firmware/timing.hpp"
+
+namespace authenticache::firmware {
+
+TimingLedger::TimingLedger(const TimingParams &params_) : params(params_)
+{
+}
+
+void
+TimingLedger::addSmiEntry()
+{
+    us += params.smiEntryUs;
+}
+
+void
+TimingLedger::addSmiExit()
+{
+    us += params.smiExitUs;
+}
+
+void
+TimingLedger::addLineTests(std::uint64_t count)
+{
+    nLineTests += count;
+    us += params.lineTestUs * static_cast<double>(count);
+}
+
+void
+TimingLedger::addVddTransition(double latency_us)
+{
+    ++nTransitions;
+    us += latency_us;
+}
+
+void
+TimingLedger::addChallengeBits(std::uint64_t bits)
+{
+    us += params.perBitOverheadUs * static_cast<double>(bits);
+}
+
+void
+TimingLedger::reset()
+{
+    us = 0.0;
+    nLineTests = 0;
+    nTransitions = 0;
+}
+
+} // namespace authenticache::firmware

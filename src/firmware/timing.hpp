@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Authentication timing model.
+ *
+ * The paper reports wall-clock runtimes measured on the Itanium
+ * prototype (Fig 13/14). The simulation reproduces the *structure* of
+ * that cost -- SMI entry, voltage transitions (latency supplied by the
+ * regulator model), and per-line self-tests -- with constants
+ * calibrated so that a 512-bit CRP with 4 self-test attempts per line
+ * on a 100-error 4MB map lands near the paper's ~125 ms.
+ */
+
+#ifndef AUTH_FIRMWARE_TIMING_HPP
+#define AUTH_FIRMWARE_TIMING_HPP
+
+#include <cstdint>
+
+namespace authenticache::firmware {
+
+/** Cost constants, microseconds. */
+struct TimingParams
+{
+    double smiEntryUs = 50.0;       ///< SMI + core synchronization.
+    double smiExitUs = 20.0;        ///< Resume to OS.
+    double lineTestUs = 0.040;      ///< One write+readback line test.
+    double perBitOverheadUs = 0.5;  ///< Challenge parsing/bookkeeping.
+};
+
+/** Accumulates the cost of one authentication. */
+class TimingLedger
+{
+  public:
+    explicit TimingLedger(const TimingParams &params = {});
+
+    void addSmiEntry();
+    void addSmiExit();
+    void addLineTests(std::uint64_t count);
+    void addVddTransition(double latency_us);
+    void addChallengeBits(std::uint64_t bits);
+
+    double totalUs() const { return us; }
+    double totalMs() const { return us / 1000.0; }
+
+    std::uint64_t lineTests() const { return nLineTests; }
+    std::uint64_t vddTransitions() const { return nTransitions; }
+
+    void reset();
+
+  private:
+    TimingParams params;
+    double us = 0.0;
+    std::uint64_t nLineTests = 0;
+    std::uint64_t nTransitions = 0;
+};
+
+} // namespace authenticache::firmware
+
+#endif // AUTH_FIRMWARE_TIMING_HPP

@@ -1,0 +1,127 @@
+#include "firmware/voltage_control.hpp"
+
+#include "util/logging.hpp"
+
+namespace authenticache::firmware {
+
+VoltageControl::VoltageControl(sim::SimulatedChip &chip_,
+                               const VoltageControlParams &params_)
+    : chip(chip_), params(params_)
+{
+}
+
+double
+VoltageControl::calibrateFloor(const FirmwareToken &token,
+                               TimingLedger *ledger)
+{
+    token.require("calibrateFloor");
+    ++nCalibrations;
+
+    const double nominal = chip.regulator().nominalMv();
+    // Calibration may probe below any previously set floor.
+    chip.regulator().setFloorMv(0.0);
+
+    double unsafe = params.searchFloorMv;
+    bool found_unsafe = false;
+
+    for (double v = nominal - params.stepMv; v >= params.searchFloorMv;
+         v -= params.stepMv) {
+        double latency = 0.0;
+        if (chip.setVddMv(v, &latency) != sim::VoltageStatus::Ok)
+            break;
+        if (ledger)
+            ledger->addVddTransition(latency);
+
+        auto sweep = chip.selfTest().sweepAll(params.sweepPasses);
+        if (ledger)
+            ledger->addLineTests(sweep.linesTested);
+
+        if (sweep.uncorrectableCount > 0) {
+            unsafe = v;
+            found_unsafe = true;
+            break;
+        }
+    }
+
+    floor = (found_unsafe ? unsafe : params.searchFloorMv) +
+            params.guardbandMv;
+
+    // Verification phase: the candidate floor must sustain repeated
+    // full sweeps, run a stress margin *below* it, without a single
+    // uncorrectable event.
+    for (std::uint32_t retry = 0; retry < params.maxVerifyRetries;
+         ++retry) {
+        double latency = 0.0;
+        if (chip.setVddMv(floor - params.verifyStressMv, &latency) !=
+            sim::VoltageStatus::Ok)
+            break;
+        if (ledger)
+            ledger->addVddTransition(latency);
+        auto sweep = chip.selfTest().sweepAll(params.verifyPasses);
+        if (ledger)
+            ledger->addLineTests(sweep.linesTested);
+        if (sweep.uncorrectableCount == 0)
+            break;
+        floor += params.guardbandMv;
+    }
+
+    chip.regulator().setFloorMv(floor);
+
+    double latency = 0.0;
+    chip.setVddMv(nominal, &latency);
+    if (ledger)
+        ledger->addVddTransition(latency);
+
+    AUTH_LOG_INFO("firmware")
+        << "voltage floor calibrated to " << floor << " mV";
+    return floor;
+}
+
+void
+VoltageControl::adoptFloor(double floor_mv)
+{
+    floor = floor_mv;
+    chip.regulator().setFloorMv(floor);
+}
+
+VddRequestStatus
+VoltageControl::requestVdd(const FirmwareToken &token, double vdd_mv,
+                           TimingLedger *ledger)
+{
+    token.require("requestVdd");
+    if (!calibrated())
+        return VddRequestStatus::Abort;
+
+    double latency = 0.0;
+    sim::VoltageStatus status = chip.setVddMv(vdd_mv, &latency);
+    if (status != sim::VoltageStatus::Ok) {
+        AUTH_LOG_WARN("firmware")
+            << "Vdd request " << vdd_mv << " mV aborted";
+        return VddRequestStatus::Abort;
+    }
+    if (ledger && latency > 0.0)
+        ledger->addVddTransition(latency);
+    return VddRequestStatus::Ok;
+}
+
+void
+VoltageControl::restoreNominal(const FirmwareToken &token,
+                               TimingLedger *ledger)
+{
+    token.require("restoreNominal");
+    double latency = 0.0;
+    chip.setVddMv(chip.regulator().nominalMv(), &latency);
+    if (ledger && latency > 0.0)
+        ledger->addVddTransition(latency);
+}
+
+void
+VoltageControl::emergencyRaise(TimingLedger *ledger)
+{
+    double latency = chip.emergencyRaise();
+    if (ledger && latency > 0.0)
+        ledger->addVddTransition(latency);
+    AUTH_LOG_WARN("firmware") << "emergency Vdd raise";
+}
+
+} // namespace authenticache::firmware

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Firmware voltage-control service (paper Sec 5.3).
+ *
+ * Two phases of operation:
+ *
+ *  - Boot: establish the voltage floor -- the lowest Vdd at which all
+ *    triggered cache errors remain correctable -- by progressively
+ *    lowering Vdd with built-in self-tests until uncorrectable events
+ *    appear, then backing off by a guardband. Challenges below the
+ *    floor are refused, which defeats malicious challenges designed
+ *    to crash the device.
+ *
+ *  - Runtime: service Vdd requests from the authentication algorithm.
+ *    Requests are only honored from an active SMM session (firmware
+ *    privilege); invalid settings return Abort rather than applying.
+ *
+ * The service also periodically recalibrates to track environmental
+ * drift (aging / temperature), per the paper.
+ */
+
+#ifndef AUTH_FIRMWARE_VOLTAGE_CONTROL_HPP
+#define AUTH_FIRMWARE_VOLTAGE_CONTROL_HPP
+
+#include <cstdint>
+
+#include "firmware/machine.hpp"
+#include "firmware/timing.hpp"
+#include "sim/chip.hpp"
+
+namespace authenticache::firmware {
+
+/** Outcome of a runtime voltage request. */
+enum class VddRequestStatus
+{
+    Ok,     ///< Voltage applied.
+    Abort,  ///< Refused (below floor / out of range / no privilege).
+};
+
+/** Calibration tuning. */
+struct VoltageControlParams
+{
+    double stepMv = 5.0;       ///< Probe step during calibration.
+    double guardbandMv = 5.0;  ///< Backoff above the unsafe voltage.
+    double searchFloorMv = 550.0; ///< Give-up voltage for the probe.
+    std::uint32_t sweepPasses = 1; ///< Self-test passes per probe step.
+
+    /**
+     * Verification sweeps run *below* the candidate floor by this
+     * stress margin: a line whose uncorrectable threshold hides just
+     * under the floor (within supply-jitter reach, so it would only
+     * fire occasionally in the field) trips deterministically under
+     * stress. Any uncorrectable event raises the floor by one
+     * guardband and re-verifies.
+     */
+    double verifyStressMv = 4.0;
+    std::uint32_t verifyPasses = 3;
+    std::uint32_t maxVerifyRetries = 4;
+};
+
+class VoltageControl
+{
+  public:
+    VoltageControl(sim::SimulatedChip &chip,
+                   const VoltageControlParams &params = {});
+
+    /**
+     * Boot-time floor calibration. Lowers Vdd step by step running
+     * full-cache self-tests until an uncorrectable event is observed
+     * (or the search floor is reached), then sets the floor one
+     * guardband above the unsafe point and returns to nominal.
+     *
+     * @param token Live SMM capability.
+     * @param ledger Optional timing ledger charged with the work.
+     * @return The established floor in mV.
+     */
+    double calibrateFloor(const FirmwareToken &token,
+                          TimingLedger *ledger = nullptr);
+
+    /**
+     * Runtime request from the authentication algorithm. Applies the
+     * voltage through the regulator; refuses anything below the floor.
+     */
+    VddRequestStatus requestVdd(const FirmwareToken &token,
+                                double vdd_mv,
+                                TimingLedger *ledger = nullptr);
+
+    /** Return to nominal (used at the end of an authentication). */
+    void restoreNominal(const FirmwareToken &token,
+                        TimingLedger *ledger = nullptr);
+
+    /** Emergency: slam to nominal; callable from the error handler. */
+    void emergencyRaise(TimingLedger *ledger = nullptr);
+
+    /**
+     * Adopt a previously calibrated floor without re-sweeping (warm
+     * boot: real firmware persists the floor in NVRAM and only
+     * recalibrates on a schedule).
+     */
+    void adoptFloor(double floor_mv);
+
+    /** Established floor; 0 before calibration. */
+    double floorMv() const { return floor; }
+
+    bool calibrated() const { return floor > 0.0; }
+
+    /** Number of calibrations performed (boot + recalibrations). */
+    std::uint64_t calibrationCount() const { return nCalibrations; }
+
+  private:
+    sim::SimulatedChip &chip;
+    VoltageControlParams params;
+    double floor = 0.0;
+    std::uint64_t nCalibrations = 0;
+};
+
+} // namespace authenticache::firmware
+
+#endif // AUTH_FIRMWARE_VOLTAGE_CONTROL_HPP

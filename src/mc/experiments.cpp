@@ -1,0 +1,260 @@
+#include "mc/experiments.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "core/nearest.hpp"
+#include "mc/mapgen.hpp"
+#include "metrics/identifiability.hpp"
+
+namespace authenticache::mc {
+
+namespace {
+
+constexpr core::VddMv kLevel = 700; // Arbitrary; single-level maps.
+
+/** Distance of one point on a plane (infinite when error-free). */
+std::uint64_t
+planeDistance(const core::ErrorPlane &plane, const sim::LinePoint &p)
+{
+    auto r = core::nearestErrorBrute(plane, p);
+    return r.found ? r.distance : core::kInfiniteDistance;
+}
+
+/** One response bit of the pair (a, b) on a plane. */
+bool
+bitOn(const core::ErrorPlane &plane, const sim::LinePoint &a,
+      const sim::LinePoint &b)
+{
+    return core::responseBitFromDistances(planeDistance(plane, a),
+                                          planeDistance(plane, b));
+}
+
+sim::LinePoint
+randomPoint(const core::CacheGeometry &geom, util::Rng &rng)
+{
+    return geom.pointOf(rng.nextBelow(geom.lines()));
+}
+
+} // namespace
+
+HammingSamples
+hammingDistributions(const core::CacheGeometry &geom, std::size_t errors,
+                     std::size_t bits, const NoiseProfile &noise,
+                     const ExperimentConfig &cfg)
+{
+    util::Rng rng(cfg.seed);
+    HammingSamples out;
+    out.bits = bits;
+    out.intra.reserve(cfg.maps * cfg.samplesPerMap);
+    out.inter.reserve(cfg.maps * cfg.samplesPerMap);
+
+    for (std::size_t m = 0; m < cfg.maps; ++m) {
+        core::ErrorPlane enrolled = randomPlane(geom, errors, rng);
+        core::ErrorPlane other = randomPlane(geom, errors, rng);
+
+        for (std::size_t s = 0; s < cfg.samplesPerMap; ++s) {
+            core::ErrorPlane noisy = applyNoise(enrolled, noise, rng);
+
+            std::uint32_t hd_intra = 0;
+            std::uint32_t hd_inter = 0;
+            for (std::size_t bit = 0; bit < bits; ++bit) {
+                sim::LinePoint a = randomPoint(geom, rng);
+                sim::LinePoint b = randomPoint(geom, rng);
+                bool expected = bitOn(enrolled, a, b);
+                hd_intra += expected != bitOn(noisy, a, b);
+                hd_inter += expected != bitOn(other, a, b);
+            }
+            out.intra.push_back(hd_intra);
+            out.inter.push_back(hd_inter);
+        }
+    }
+    return out;
+}
+
+double
+estimateIntraFlipProbability(const core::CacheGeometry &geom,
+                             std::size_t errors,
+                             const NoiseProfile &noise,
+                             const ExperimentConfig &cfg)
+{
+    util::Rng rng(cfg.seed ^ 0x1D7A);
+    std::uint64_t flips = 0;
+    std::uint64_t total = 0;
+
+    for (std::size_t m = 0; m < cfg.maps; ++m) {
+        core::ErrorPlane enrolled = randomPlane(geom, errors, rng);
+        core::ErrorPlane noisy = applyNoise(enrolled, noise, rng);
+        for (std::size_t s = 0; s < cfg.samplesPerMap; ++s) {
+            sim::LinePoint a = randomPoint(geom, rng);
+            sim::LinePoint b = randomPoint(geom, rng);
+            flips += bitOn(enrolled, a, b) != bitOn(noisy, a, b);
+            ++total;
+        }
+    }
+    return static_cast<double>(flips) / static_cast<double>(total);
+}
+
+double
+estimateInterFlipProbability(const core::CacheGeometry &geom,
+                             std::size_t errors,
+                             const ExperimentConfig &cfg)
+{
+    util::Rng rng(cfg.seed ^ 0x147E6);
+    std::uint64_t flips = 0;
+    std::uint64_t total = 0;
+
+    for (std::size_t m = 0; m < cfg.maps; ++m) {
+        core::ErrorPlane chip_a = randomPlane(geom, errors, rng);
+        core::ErrorPlane chip_b = randomPlane(geom, errors, rng);
+        for (std::size_t s = 0; s < cfg.samplesPerMap; ++s) {
+            sim::LinePoint a = randomPoint(geom, rng);
+            sim::LinePoint b = randomPoint(geom, rng);
+            flips += bitOn(chip_a, a, b) != bitOn(chip_b, a, b);
+            ++total;
+        }
+    }
+    return static_cast<double>(flips) / static_cast<double>(total);
+}
+
+NoiseTolerance
+maxTolerableNoise(const core::CacheGeometry &geom, std::size_t errors,
+                  std::size_t bits, bool injected, double target_rate,
+                  const ExperimentConfig &cfg)
+{
+    // p_intra depends on the noise fraction but not the CRP size;
+    // memoize evaluations so the bisection stays cheap.
+    std::map<double, double> memo;
+    auto p_intra_at = [&](double fraction) {
+        auto it = memo.find(fraction);
+        if (it != memo.end())
+            return it->second;
+        NoiseProfile profile;
+        if (injected)
+            profile.injectFraction = fraction;
+        else
+            profile.removeFraction = fraction;
+        double p = estimateIntraFlipProbability(geom, errors, profile,
+                                                cfg);
+        memo[fraction] = p;
+        return p;
+    };
+
+    const double p_inter =
+        estimateInterFlipProbability(geom, errors, cfg);
+
+    auto rate_at = [&](double fraction) {
+        return metrics::misidentificationRate(bits, p_inter,
+                                              p_intra_at(fraction));
+    };
+
+    // Removal is capped at 100% (cannot remove more errors than
+    // enrolled); injection explored up to 400%.
+    double lo = 0.0;
+    double hi = injected ? 4.0 : 1.0;
+    if (rate_at(hi) <= target_rate) {
+        NoiseTolerance out;
+        out.maxNoisePercent = hi * 100.0;
+        out.pIntraAtMax = p_intra_at(hi);
+        out.pInter = p_inter;
+        out.rateAtMax = rate_at(hi);
+        return out;
+    }
+    if (rate_at(lo) > target_rate) {
+        NoiseTolerance out; // Even zero noise fails the target.
+        out.pIntraAtMax = p_intra_at(lo);
+        out.pInter = p_inter;
+        out.rateAtMax = rate_at(lo);
+        return out;
+    }
+
+    for (int iter = 0; iter < 24; ++iter) {
+        double mid = (lo + hi) / 2.0;
+        if (rate_at(mid) <= target_rate)
+            lo = mid;
+        else
+            hi = mid;
+    }
+
+    NoiseTolerance out;
+    out.maxNoisePercent = lo * 100.0;
+    out.pIntraAtMax = p_intra_at(lo);
+    out.pInter = p_inter;
+    out.rateAtMax = rate_at(lo);
+    return out;
+}
+
+double
+averageNearestErrorDistance(const core::CacheGeometry &geom,
+                            std::size_t errors,
+                            const ExperimentConfig &cfg)
+{
+    util::Rng rng(cfg.seed ^ 0xD157);
+    double acc = 0.0;
+    std::uint64_t count = 0;
+    for (std::size_t m = 0; m < cfg.maps; ++m) {
+        core::ErrorPlane plane = randomPlane(geom, errors, rng);
+        for (std::size_t s = 0; s < cfg.samplesPerMap; ++s) {
+            auto d = planeDistance(plane, randomPoint(geom, rng));
+            acc += static_cast<double>(d);
+            ++count;
+        }
+    }
+    return acc / static_cast<double>(count);
+}
+
+QualityCell
+aliasingUniformity(const core::CacheGeometry &geom, std::size_t errors,
+                   std::size_t bits, const ExperimentConfig &cfg)
+{
+    util::Rng rng(cfg.seed ^ 0xA11A5);
+
+    // A population of chips answers shared challenges; aliasing is
+    // the per-position ones-rate across chips, uniformity the
+    // per-chip ones-rate across a response.
+    const std::size_t chips = std::max<std::size_t>(2, cfg.maps);
+    std::vector<core::ErrorPlane> planes;
+    planes.reserve(chips);
+    for (std::size_t c = 0; c < chips; ++c)
+        planes.push_back(randomPlane(geom, errors, rng));
+
+    const std::size_t challenges =
+        std::max<std::size_t>(1, cfg.samplesPerMap / bits);
+
+    // Bit-aliasing: shared challenge bits evaluated across the whole
+    // chip population (Eq 6).
+    std::uint64_t aliasing_ones = 0;
+    std::uint64_t aliasing_total = 0;
+    for (std::size_t ch = 0; ch < challenges; ++ch) {
+        for (std::size_t bit = 0; bit < bits; ++bit) {
+            sim::LinePoint a = randomPoint(geom, rng);
+            sim::LinePoint b = randomPoint(geom, rng);
+            for (const auto &plane : planes) {
+                aliasing_ones += bitOn(plane, a, b);
+                ++aliasing_total;
+            }
+        }
+    }
+
+    // Uniformity: each chip answers its own random challenges (Eq 5).
+    std::uint64_t uniform_ones = 0;
+    std::uint64_t uniform_total = 0;
+    for (const auto &plane : planes) {
+        for (std::size_t bit = 0; bit < bits; ++bit) {
+            sim::LinePoint a = randomPoint(geom, rng);
+            sim::LinePoint b = randomPoint(geom, rng);
+            uniform_ones += bitOn(plane, a, b);
+            ++uniform_total;
+        }
+    }
+
+    QualityCell out;
+    out.bitAliasingPercent = static_cast<double>(aliasing_ones) /
+                             static_cast<double>(aliasing_total) *
+                             100.0;
+    out.uniformityPercent = static_cast<double>(uniform_ones) /
+                            static_cast<double>(uniform_total) * 100.0;
+    return out;
+}
+
+} // namespace authenticache::mc

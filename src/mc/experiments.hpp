@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Monte Carlo experiment kernels backing the paper's evaluation
+ * figures: Hamming-distance distributions (Fig 9), maximum tolerable
+ * noise at the 1 ppm criterion (Fig 10), bit-aliasing / uniformity
+ * sweeps (Fig 12), and average nearest-error distance (Fig 15).
+ */
+
+#ifndef AUTH_MC_EXPERIMENTS_HPP
+#define AUTH_MC_EXPERIMENTS_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "core/challenge.hpp"
+#include "mc/noise.hpp"
+#include "util/rng.hpp"
+
+namespace authenticache::mc {
+
+/** Shared experiment sizing. */
+struct ExperimentConfig
+{
+    std::size_t maps = 100;          ///< Distinct error maps (chips).
+    std::size_t samplesPerMap = 500; ///< Challenges / noise profiles.
+    std::uint64_t seed = 0xA07EC;
+};
+
+/** Raw Hamming-distance samples for Fig 9. */
+struct HammingSamples
+{
+    std::vector<std::uint32_t> intra; ///< Enrolled vs noisy, same chip.
+    std::vector<std::uint32_t> inter; ///< Same challenge, other chip.
+    std::size_t bits = 0;
+};
+
+/**
+ * Sample intra-chip (under the given noise) and inter-chip Hamming
+ * distances for @p bits -bit challenges on maps with @p errors errors.
+ */
+HammingSamples hammingDistributions(const core::CacheGeometry &geom,
+                                    std::size_t errors, std::size_t bits,
+                                    const NoiseProfile &noise,
+                                    const ExperimentConfig &cfg);
+
+/**
+ * Estimate the per-bit response flip probability under a noise
+ * profile (the p_intra of Eq 4), by sampling random challenge bits on
+ * random maps.
+ */
+double estimateIntraFlipProbability(const core::CacheGeometry &geom,
+                                    std::size_t errors,
+                                    const NoiseProfile &noise,
+                                    const ExperimentConfig &cfg);
+
+/**
+ * Estimate the per-bit disagreement probability between two
+ * independent chips answering the same challenge (the p_inter of
+ * Eq 3; ideally 0.5).
+ */
+double estimateInterFlipProbability(const core::CacheGeometry &geom,
+                                    std::size_t errors,
+                                    const ExperimentConfig &cfg);
+
+/** Result of the maximum-tolerable-noise search (Fig 10). */
+struct NoiseTolerance
+{
+    double maxNoisePercent = 0.0; ///< e.g. 142 means 142%.
+    double pIntraAtMax = 0.0;
+    double pInter = 0.5;
+    double rateAtMax = 0.0;       ///< Misidentification rate there.
+};
+
+/**
+ * Largest noise fraction (injected when @p injected, removed
+ * otherwise) keeping the misidentification rate at the EER threshold
+ * below @p target_rate for @p bits -bit responses. Binary search over
+ * the noise fraction; p_intra(f) estimated by Monte Carlo, the rate
+ * evaluated analytically with the binomial model of Eq 3-4 (the
+ * paper's own machinery -- ppm-scale rates are not reachable by
+ * direct simulation).
+ */
+NoiseTolerance maxTolerableNoise(const core::CacheGeometry &geom,
+                                 std::size_t errors, std::size_t bits,
+                                 bool injected,
+                                 double target_rate = 1e-6,
+                                 const ExperimentConfig &cfg = {});
+
+/** Mean Manhattan distance from a random line to the nearest error. */
+double averageNearestErrorDistance(const core::CacheGeometry &geom,
+                                   std::size_t errors,
+                                   const ExperimentConfig &cfg);
+
+/** Aliasing/uniformity summary for one (errors, bits) cell (Fig 12). */
+struct QualityCell
+{
+    double bitAliasingPercent = 0.0; ///< Ideal 50.
+    double uniformityPercent = 0.0;  ///< Ideal 50.
+};
+
+/**
+ * Bit-aliasing and uniformity across a population of chips answering
+ * shared challenges.
+ */
+QualityCell aliasingUniformity(const core::CacheGeometry &geom,
+                               std::size_t errors, std::size_t bits,
+                               const ExperimentConfig &cfg);
+
+} // namespace authenticache::mc
+
+#endif // AUTH_MC_EXPERIMENTS_HPP

@@ -1,0 +1,25 @@
+#include "mc/mapgen.hpp"
+
+namespace authenticache::mc {
+
+core::ErrorPlane
+randomPlane(const core::CacheGeometry &geom, std::size_t errors,
+            util::Rng &rng)
+{
+    core::ErrorPlane plane(geom);
+    for (auto idx : rng.sampleDistinct(geom.lines(), errors))
+        plane.add(geom.pointOf(idx));
+    return plane;
+}
+
+core::ErrorMap
+randomErrorMap(const core::CacheGeometry &geom, core::VddMv level,
+               std::size_t errors, util::Rng &rng)
+{
+    core::ErrorMap map(geom);
+    for (auto idx : rng.sampleDistinct(geom.lines(), errors))
+        map.plane(level).add(geom.pointOf(idx));
+    return map;
+}
+
+} // namespace authenticache::mc

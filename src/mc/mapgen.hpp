@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Random error-map generation for Monte Carlo experiments.
+ *
+ * The paper's simulations (Sec 6.1: "each cache configuration was
+ * simulated with 100 distinct error maps where every map was evaluated
+ * against 50K noise profiles") draw error locations uniformly over the
+ * cache plane, which matches the hardware characterization (Figure 2).
+ */
+
+#ifndef AUTH_MC_MAPGEN_HPP
+#define AUTH_MC_MAPGEN_HPP
+
+#include <cstdint>
+
+#include "core/error_map.hpp"
+#include "util/rng.hpp"
+
+namespace authenticache::mc {
+
+/** Uniform random error plane with exactly @p errors errors. */
+core::ErrorPlane randomPlane(const core::CacheGeometry &geom,
+                             std::size_t errors, util::Rng &rng);
+
+/** Single-level error map wrapping randomPlane. */
+core::ErrorMap randomErrorMap(const core::CacheGeometry &geom,
+                              core::VddMv level, std::size_t errors,
+                              util::Rng &rng);
+
+} // namespace authenticache::mc
+
+#endif // AUTH_MC_MAPGEN_HPP

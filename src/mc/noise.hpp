@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Noise profiles for Monte Carlo robustness studies (paper Sec 6.2).
+ *
+ * All environmental and measurement noise reduces to two effects on
+ * an error map:
+ *
+ *  - *Injection*: unexpected new errors appear (voltage fluctuation,
+ *    aging). "150% injected noise" on a 100-error map adds 150 new
+ *    error lines.
+ *  - *Removal (masking)*: enrolled errors fail to manifest during a
+ *    challenge (measurement inaccuracy at enrollment, single-attempt
+ *    self-tests missing low-persistence lines).
+ */
+
+#ifndef AUTH_MC_NOISE_HPP
+#define AUTH_MC_NOISE_HPP
+
+#include "core/error_map.hpp"
+#include "util/rng.hpp"
+
+namespace authenticache::mc {
+
+/** Noise intensity relative to the map's error count. */
+struct NoiseProfile
+{
+    /** New errors added, as a fraction of existing errors (1.5=150%). */
+    double injectFraction = 0.0;
+
+    /** Enrolled errors removed, as a fraction of existing errors. */
+    double removeFraction = 0.0;
+};
+
+/**
+ * Apply a noise profile to an error plane: returns the perturbed
+ * plane the *device* would exhibit, given the enrolled plane.
+ */
+core::ErrorPlane applyNoise(const core::ErrorPlane &enrolled,
+                            const NoiseProfile &profile, util::Rng &rng);
+
+/** Convenience for single-level maps. */
+core::ErrorMap applyNoise(const core::ErrorMap &enrolled,
+                          const NoiseProfile &profile, util::Rng &rng);
+
+} // namespace authenticache::mc
+
+#endif // AUTH_MC_NOISE_HPP

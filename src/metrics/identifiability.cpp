@@ -1,0 +1,45 @@
+#include "metrics/identifiability.hpp"
+
+#include "util/stats.hpp"
+
+namespace authenticache::metrics {
+
+double
+falseAcceptanceRate(std::int64_t threshold, std::uint64_t n,
+                    double p_inter)
+{
+    return util::binomialCdf(n, threshold, p_inter);
+}
+
+double
+falseRejectionRate(std::int64_t threshold, std::uint64_t n,
+                   double p_intra)
+{
+    return 1.0 - util::binomialCdf(n, threshold, p_intra);
+}
+
+ThresholdChoice
+eerThreshold(std::uint64_t n, double p_inter, double p_intra)
+{
+    ThresholdChoice best;
+    bool have_best = false;
+    for (std::int64_t t = 0; t <= static_cast<std::int64_t>(n); ++t) {
+        ThresholdChoice c;
+        c.threshold = t;
+        c.far = falseAcceptanceRate(t, n, p_inter);
+        c.frr = falseRejectionRate(t, n, p_intra);
+        if (!have_best || c.errorRate() < best.errorRate()) {
+            best = c;
+            have_best = true;
+        }
+    }
+    return best;
+}
+
+double
+misidentificationRate(std::uint64_t n, double p_inter, double p_intra)
+{
+    return eerThreshold(n, p_inter, p_intra).errorRate();
+}
+
+} // namespace authenticache::metrics

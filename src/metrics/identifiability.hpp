@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Identifiability analysis (paper Sec 2.2.3, Eq 3-4).
+ *
+ * A verifier accepts a response whose Hamming distance from the
+ * expected one is at most the identification threshold t_id. With
+ * per-bit flip probabilities p_intra (same chip under noise) and
+ * p_inter (different chip, ideally 0.5):
+ *
+ *     FAR(t) = F_bino(t; n, p_inter)      false acceptances
+ *     FRR(t) = 1 - F_bino(t; n, p_intra)  false rejections
+ *
+ * The threshold is chosen at the Equal Error Rate, where the two
+ * curves cross.
+ */
+
+#ifndef AUTH_METRICS_IDENTIFIABILITY_HPP
+#define AUTH_METRICS_IDENTIFIABILITY_HPP
+
+#include <cstdint>
+
+namespace authenticache::metrics {
+
+/** False Acceptance Rate at threshold t (Eq 3). */
+double falseAcceptanceRate(std::int64_t threshold, std::uint64_t n,
+                           double p_inter);
+
+/** False Rejection Rate at threshold t (Eq 4). */
+double falseRejectionRate(std::int64_t threshold, std::uint64_t n,
+                          double p_intra);
+
+/** Result of the EER threshold search. */
+struct ThresholdChoice
+{
+    std::int64_t threshold = 0; ///< Accept when HD <= threshold.
+    double far = 0.0;
+    double frr = 0.0;
+
+    /** max(FAR, FRR): the misidentification rate at this choice. */
+    double errorRate() const { return far > frr ? far : frr; }
+};
+
+/**
+ * Equal-error-rate threshold: the integer t in [0, n] minimizing
+ * max(FAR(t), FRR(t)).
+ *
+ * @param n Response length in bits.
+ * @param p_inter Inter-chip per-bit disagreement probability.
+ * @param p_intra Intra-chip per-bit flip probability under noise.
+ */
+ThresholdChoice eerThreshold(std::uint64_t n, double p_inter,
+                             double p_intra);
+
+/**
+ * Misidentification probability of a complete system: with the EER
+ * threshold for the given parameters, the larger of FAR and FRR.
+ * This is the quantity the paper's "1 ppm" criterion bounds (Fig 10).
+ */
+double misidentificationRate(std::uint64_t n, double p_inter,
+                             double p_intra);
+
+} // namespace authenticache::metrics
+
+#endif // AUTH_METRICS_IDENTIFIABILITY_HPP

@@ -1,0 +1,105 @@
+#include "metrics/quality.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace authenticache::metrics {
+
+namespace {
+
+void
+requireEqualLengths(const std::vector<BitVec> &responses)
+{
+    if (responses.empty())
+        throw std::invalid_argument("metrics: no responses");
+    for (const auto &r : responses) {
+        if (r.size() != responses.front().size() || r.empty())
+            throw std::invalid_argument("metrics: length mismatch");
+    }
+}
+
+} // namespace
+
+double
+uniqueness(const std::vector<BitVec> &responses)
+{
+    requireEqualLengths(responses);
+    const std::size_t k = responses.size();
+    if (k < 2)
+        throw std::invalid_argument("uniqueness: need >= 2 chips");
+    const double n = static_cast<double>(responses.front().size());
+
+    double acc = 0.0;
+    for (std::size_t i = 0; i + 1 < k; ++i) {
+        for (std::size_t j = i + 1; j < k; ++j) {
+            acc += static_cast<double>(
+                       responses[i].hammingDistance(responses[j])) /
+                   n;
+        }
+    }
+    return 2.0 / (static_cast<double>(k) * (k - 1)) * acc * 100.0;
+}
+
+double
+reliability(const BitVec &reference,
+            const std::vector<BitVec> &noisy_samples)
+{
+    if (noisy_samples.empty())
+        throw std::invalid_argument("reliability: no samples");
+    const double n = static_cast<double>(reference.size());
+    double acc = 0.0;
+    for (const auto &sample : noisy_samples) {
+        if (sample.size() != reference.size())
+            throw std::invalid_argument("reliability: length mismatch");
+        acc += static_cast<double>(reference.hammingDistance(sample)) /
+               n;
+    }
+    return 100.0 -
+           acc / static_cast<double>(noisy_samples.size()) * 100.0;
+}
+
+double
+uniformity(const BitVec &response)
+{
+    if (response.empty())
+        throw std::invalid_argument("uniformity: empty response");
+    return static_cast<double>(response.popcount()) /
+           static_cast<double>(response.size()) * 100.0;
+}
+
+double
+uniformity(const std::vector<BitVec> &responses)
+{
+    requireEqualLengths(responses);
+    double acc = 0.0;
+    for (const auto &r : responses)
+        acc += uniformity(r);
+    return acc / static_cast<double>(responses.size());
+}
+
+std::vector<double>
+bitAliasing(const std::vector<BitVec> &responses)
+{
+    requireEqualLengths(responses);
+    const std::size_t n = responses.front().size();
+    std::vector<double> out(n, 0.0);
+    for (const auto &r : responses) {
+        for (std::size_t j = 0; j < n; ++j)
+            out[j] += r.get(j) ? 1.0 : 0.0;
+    }
+    for (auto &v : out)
+        v = v / static_cast<double>(responses.size()) * 100.0;
+    return out;
+}
+
+double
+bitAliasingDeviation(const std::vector<BitVec> &responses)
+{
+    auto per_bit = bitAliasing(responses);
+    double acc = 0.0;
+    for (double v : per_bit)
+        acc += std::abs(v - 50.0);
+    return acc / static_cast<double>(per_bit.size());
+}
+
+} // namespace authenticache::metrics

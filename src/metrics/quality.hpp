@@ -1,0 +1,53 @@
+/**
+ * @file
+ * PUF quality metrics of Sec 2.2 of the paper: uniqueness (Eq 1),
+ * reliability (Eq 2), uniformity (Eq 5), and bit-aliasing (Eq 6).
+ * All return percentages to match the paper's presentation; ideal
+ * values are 50% (uniqueness, uniformity, bit-aliasing) and 100%
+ * (reliability).
+ */
+
+#ifndef AUTH_METRICS_QUALITY_HPP
+#define AUTH_METRICS_QUALITY_HPP
+
+#include <vector>
+
+#include "util/bitvec.hpp"
+
+namespace authenticache::metrics {
+
+using util::BitVec;
+
+/**
+ * Uniqueness (Eq 1): mean pairwise inter-chip Hamming distance of
+ * same-challenge responses from k different chips, as a percentage of
+ * the response length. Requires >= 2 equal-length responses.
+ */
+double uniqueness(const std::vector<BitVec> &responses);
+
+/**
+ * Reliability (Eq 2): 100% minus the mean intra-chip Hamming distance
+ * between the reference response and each noisy re-measurement, as a
+ * percentage of the response length.
+ */
+double reliability(const BitVec &reference,
+                   const std::vector<BitVec> &noisy_samples);
+
+/** Uniformity (Eq 5): percentage of 1s in a single response. */
+double uniformity(const BitVec &response);
+
+/** Mean uniformity across many responses of one chip. */
+double uniformity(const std::vector<BitVec> &responses);
+
+/**
+ * Bit-aliasing (Eq 6): per bit position, the percentage of chips
+ * whose response sets that bit; returns one value per position.
+ */
+std::vector<double> bitAliasing(const std::vector<BitVec> &responses);
+
+/** Mean absolute deviation of bit-aliasing from the 50% ideal. */
+double bitAliasingDeviation(const std::vector<BitVec> &responses);
+
+} // namespace authenticache::metrics
+
+#endif // AUTH_METRICS_QUALITY_HPP

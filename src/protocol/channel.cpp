@@ -1,0 +1,107 @@
+#include "protocol/channel.hpp"
+
+namespace authenticache::protocol {
+
+void
+Transcript::record(Direction d, const std::vector<std::uint8_t> &frame)
+{
+    log.push_back({d, frame});
+}
+
+std::vector<std::pair<core::Challenge, util::BitVec>>
+Transcript::observedCrps() const
+{
+    // Index challenges by nonce, then match responses.
+    std::vector<std::pair<std::uint64_t, core::Challenge>> challenges;
+    std::vector<std::pair<std::uint64_t, util::BitVec>> responses;
+
+    for (const auto &entry : log) {
+        Message m;
+        try {
+            m = decodeMessage(entry.frame);
+        } catch (const DecodeError &) {
+            continue; // Corrupted frames are invisible to the attacker.
+        }
+        if (auto *ch = std::get_if<ChallengeMsg>(&m))
+            challenges.emplace_back(ch->nonce, ch->challenge);
+        else if (auto *resp = std::get_if<ResponseMsg>(&m))
+            responses.emplace_back(resp->nonce, resp->response);
+    }
+
+    std::vector<std::pair<core::Challenge, util::BitVec>> out;
+    for (const auto &[nonce, challenge] : challenges) {
+        for (const auto &[rnonce, response] : responses) {
+            if (rnonce == nonce &&
+                response.size() == challenge.size()) {
+                out.emplace_back(challenge, response);
+                break;
+            }
+        }
+    }
+    return out;
+}
+
+bool
+InMemoryChannel::maybeDrop()
+{
+    if (dropBudget > 0) {
+        --dropBudget;
+        return true;
+    }
+    return false;
+}
+
+void
+InMemoryChannel::maybeCorrupt(std::vector<std::uint8_t> &frame)
+{
+    if (corruptBudget > 0 && !frame.empty()) {
+        --corruptBudget;
+        frame[frame.size() / 2] ^= 0xFF;
+    }
+}
+
+void
+InMemoryChannel::sendToServer(std::vector<std::uint8_t> frame)
+{
+    ++nFrames;
+    if (transcript)
+        transcript->record(Direction::ClientToServer, frame);
+    if (maybeDrop())
+        return;
+    maybeCorrupt(frame);
+    toServer.push_back(std::move(frame));
+}
+
+void
+InMemoryChannel::sendToClient(std::vector<std::uint8_t> frame)
+{
+    ++nFrames;
+    if (transcript)
+        transcript->record(Direction::ServerToClient, frame);
+    if (maybeDrop())
+        return;
+    maybeCorrupt(frame);
+    toClient.push_back(std::move(frame));
+}
+
+std::optional<std::vector<std::uint8_t>>
+InMemoryChannel::receiveAtServer()
+{
+    if (toServer.empty())
+        return std::nullopt;
+    auto frame = std::move(toServer.front());
+    toServer.pop_front();
+    return frame;
+}
+
+std::optional<std::vector<std::uint8_t>>
+InMemoryChannel::receiveAtClient()
+{
+    if (toClient.empty())
+        return std::nullopt;
+    auto frame = std::move(toClient.front());
+    toClient.pop_front();
+    return frame;
+}
+
+} // namespace authenticache::protocol

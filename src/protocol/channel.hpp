@@ -1,0 +1,153 @@
+/**
+ * @file
+ * In-memory duplex channel between a client and a server, with fault
+ * injection (frame corruption, drops) for failure testing and a
+ * transcript tap modeling a passive eavesdropper -- the observation
+ * surface of the paper's threat model (Sec 4.4) and of the model-
+ * building attack study (Sec 6.7).
+ */
+
+#ifndef AUTH_PROTOCOL_CHANNEL_HPP
+#define AUTH_PROTOCOL_CHANNEL_HPP
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "protocol/messages.hpp"
+
+namespace authenticache::protocol {
+
+/** Which way a frame travelled. */
+enum class Direction
+{
+    ClientToServer,
+    ServerToClient,
+};
+
+/** One captured frame, as an eavesdropper would see it. */
+struct TranscriptEntry
+{
+    Direction direction;
+    std::vector<std::uint8_t> frame;
+};
+
+/** Passive wiretap recording every frame crossing the channel. */
+class Transcript
+{
+  public:
+    void record(Direction d, const std::vector<std::uint8_t> &frame);
+
+    const std::vector<TranscriptEntry> &entries() const
+    {
+        return log;
+    }
+
+    std::size_t size() const { return log.size(); }
+    void clear() { log.clear(); }
+
+    /**
+     * Decode all observed (challenge, response) pairs by matching
+     * nonces -- exactly what a model-building attacker extracts.
+     */
+    std::vector<std::pair<core::Challenge, util::BitVec>>
+    observedCrps() const;
+
+  private:
+    std::vector<TranscriptEntry> log;
+};
+
+/**
+ * The channel itself: two frame queues plus optional fault injection.
+ * Endpoint objects (ClientEndpoint / ServerEndpoint) expose the
+ * directional send/receive pairs.
+ */
+class InMemoryChannel
+{
+  public:
+    /** Queue a frame toward the server. */
+    void sendToServer(std::vector<std::uint8_t> frame);
+
+    /** Queue a frame toward the client. */
+    void sendToClient(std::vector<std::uint8_t> frame);
+
+    /** Pop the next frame addressed to the server, if any. */
+    std::optional<std::vector<std::uint8_t>> receiveAtServer();
+
+    /** Pop the next frame addressed to the client, if any. */
+    std::optional<std::vector<std::uint8_t>> receiveAtClient();
+
+    /** Attach a wiretap (not owned). */
+    void attachTranscript(Transcript *tap) { transcript = tap; }
+
+    /** Corrupt one byte of the next @p n frames sent (either way). */
+    void corruptNextFrames(std::size_t n) { corruptBudget = n; }
+
+    /** Silently drop the next @p n frames sent (either way). */
+    void dropNextFrames(std::size_t n) { dropBudget = n; }
+
+    std::uint64_t framesSent() const { return nFrames; }
+
+  private:
+    bool maybeDrop();
+    void maybeCorrupt(std::vector<std::uint8_t> &frame);
+
+    std::deque<std::vector<std::uint8_t>> toServer;
+    std::deque<std::vector<std::uint8_t>> toClient;
+    Transcript *transcript = nullptr;
+    std::size_t corruptBudget = 0;
+    std::size_t dropBudget = 0;
+    std::uint64_t nFrames = 0;
+};
+
+/** Convenience wrappers giving each side a natural API. */
+class ClientEndpoint
+{
+  public:
+    explicit ClientEndpoint(InMemoryChannel &link) : channel(link) {}
+
+    void send(const Message &m)
+    {
+        channel.sendToServer(encodeMessage(m));
+    }
+
+    std::optional<Message>
+    receive()
+    {
+        auto frame = channel.receiveAtClient();
+        if (!frame)
+            return std::nullopt;
+        return decodeMessage(*frame);
+    }
+
+  private:
+    InMemoryChannel &channel;
+};
+
+class ServerEndpoint
+{
+  public:
+    explicit ServerEndpoint(InMemoryChannel &link) : channel(link) {}
+
+    void send(const Message &m)
+    {
+        channel.sendToClient(encodeMessage(m));
+    }
+
+    std::optional<Message>
+    receive()
+    {
+        auto frame = channel.receiveAtServer();
+        if (!frame)
+            return std::nullopt;
+        return decodeMessage(*frame);
+    }
+
+  private:
+    InMemoryChannel &channel;
+};
+
+} // namespace authenticache::protocol
+
+#endif // AUTH_PROTOCOL_CHANNEL_HPP

@@ -1,0 +1,228 @@
+#include "protocol/messages.hpp"
+
+#include <algorithm>
+
+#include "util/crc32.hpp"
+
+namespace authenticache::protocol {
+
+void
+encodeChallenge(ByteWriter &w, const core::Challenge &c)
+{
+    w.putU32(static_cast<std::uint32_t>(c.size()));
+    for (const auto &bit : c.bits) {
+        w.putU32(bit.a.line.set);
+        w.putU32(bit.a.line.way);
+        w.putU32(bit.a.vddMv);
+        w.putU32(bit.b.line.set);
+        w.putU32(bit.b.line.way);
+        w.putU32(bit.b.vddMv);
+    }
+}
+
+core::Challenge
+decodeChallenge(ByteReader &r)
+{
+    core::Challenge c;
+    std::uint32_t n = r.getU32();
+    if (n > 1u << 20)
+        throw DecodeError("challenge unreasonably large");
+    c.bits.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+        core::ChallengeBit bit;
+        bit.a.line.set = r.getU32();
+        bit.a.line.way = r.getU32();
+        bit.a.vddMv = r.getU32();
+        bit.b.line.set = r.getU32();
+        bit.b.line.way = r.getU32();
+        bit.b.vddMv = r.getU32();
+        c.bits.push_back(bit);
+    }
+    return c;
+}
+
+void
+encodeBitVec(ByteWriter &w, const util::BitVec &v)
+{
+    w.putU64(v.size());
+    for (auto word : v.words())
+        w.putU64(word);
+}
+
+util::BitVec
+decodeBitVec(ByteReader &r)
+{
+    std::uint64_t nbits = r.getU64();
+    if (nbits > 1u << 24)
+        throw DecodeError("bit vector unreasonably large");
+    std::size_t nwords = (nbits + 63) / 64;
+    std::vector<std::uint64_t> words;
+    words.reserve(nwords);
+    for (std::size_t i = 0; i < nwords; ++i)
+        words.push_back(r.getU64());
+    return util::BitVec::fromWords(std::move(words), nbits);
+}
+
+MessageType
+messageType(const Message &m)
+{
+    return std::visit(
+        [](const auto &v) -> MessageType {
+            using T = std::decay_t<decltype(v)>;
+            if constexpr (std::is_same_v<T, AuthRequest>)
+                return MessageType::AuthRequest;
+            else if constexpr (std::is_same_v<T, ChallengeMsg>)
+                return MessageType::ChallengeMsg;
+            else if constexpr (std::is_same_v<T, ResponseMsg>)
+                return MessageType::ResponseMsg;
+            else if constexpr (std::is_same_v<T, AuthDecision>)
+                return MessageType::AuthDecision;
+            else if constexpr (std::is_same_v<T, RemapRequest>)
+                return MessageType::RemapRequest;
+            else if constexpr (std::is_same_v<T, RemapAck>)
+                return MessageType::RemapAck;
+            else if constexpr (std::is_same_v<T, RemapCommit>)
+                return MessageType::RemapCommit;
+            else
+                return MessageType::ErrorMsg;
+        },
+        m);
+}
+
+namespace {
+
+void
+encodePayload(ByteWriter &w, const Message &m)
+{
+    std::visit(
+        [&](const auto &v) {
+            using T = std::decay_t<decltype(v)>;
+            if constexpr (std::is_same_v<T, AuthRequest>) {
+                w.putU64(v.deviceId);
+            } else if constexpr (std::is_same_v<T, ChallengeMsg>) {
+                w.putU64(v.nonce);
+                encodeChallenge(w, v.challenge);
+            } else if constexpr (std::is_same_v<T, ResponseMsg>) {
+                w.putU64(v.nonce);
+                encodeBitVec(w, v.response);
+            } else if constexpr (std::is_same_v<T, AuthDecision>) {
+                w.putU64(v.nonce);
+                w.putU8(v.accepted ? 1 : 0);
+                w.putU32(v.hammingDistance);
+            } else if constexpr (std::is_same_v<T, RemapRequest>) {
+                w.putU64(v.nonce);
+                encodeChallenge(w, v.challenge);
+                encodeBitVec(w, v.helper);
+                w.putU32(v.repetition);
+            } else if constexpr (std::is_same_v<T, RemapAck>) {
+                w.putU64(v.nonce);
+                w.putU8(v.success ? 1 : 0);
+                w.putBytes(v.confirmation);
+            } else if constexpr (std::is_same_v<T, RemapCommit>) {
+                w.putU64(v.nonce);
+                w.putU8(v.committed ? 1 : 0);
+            } else {
+                w.putString(v.reason);
+            }
+        },
+        m);
+}
+
+Message
+decodePayload(MessageType type, ByteReader &r)
+{
+    switch (type) {
+      case MessageType::AuthRequest: {
+        AuthRequest m;
+        m.deviceId = r.getU64();
+        return m;
+      }
+      case MessageType::ChallengeMsg: {
+        ChallengeMsg m;
+        m.nonce = r.getU64();
+        m.challenge = decodeChallenge(r);
+        return m;
+      }
+      case MessageType::ResponseMsg: {
+        ResponseMsg m;
+        m.nonce = r.getU64();
+        m.response = decodeBitVec(r);
+        return m;
+      }
+      case MessageType::AuthDecision: {
+        AuthDecision m;
+        m.nonce = r.getU64();
+        m.accepted = r.getU8() != 0;
+        m.hammingDistance = r.getU32();
+        return m;
+      }
+      case MessageType::RemapRequest: {
+        RemapRequest m;
+        m.nonce = r.getU64();
+        m.challenge = decodeChallenge(r);
+        m.helper = decodeBitVec(r);
+        m.repetition = r.getU32();
+        return m;
+      }
+      case MessageType::RemapAck: {
+        RemapAck m;
+        m.nonce = r.getU64();
+        m.success = r.getU8() != 0;
+        auto bytes = r.getBytes(m.confirmation.size());
+        std::copy(bytes.begin(), bytes.end(),
+                  m.confirmation.begin());
+        return m;
+      }
+      case MessageType::ErrorMsg: {
+        ErrorMsg m;
+        m.reason = r.getString();
+        return m;
+      }
+      case MessageType::RemapCommit: {
+        RemapCommit m;
+        m.nonce = r.getU64();
+        m.committed = r.getU8() != 0;
+        return m;
+      }
+    }
+    throw DecodeError("unknown message type");
+}
+
+} // namespace
+
+std::vector<std::uint8_t>
+encodeMessage(const Message &m)
+{
+    ByteWriter payload;
+    payload.putU8(static_cast<std::uint8_t>(messageType(m)));
+    encodePayload(payload, m);
+
+    ByteWriter frame;
+    frame.putU32(static_cast<std::uint32_t>(payload.size()));
+    frame.putBytes(payload.bytes());
+    frame.putU32(util::crc32(payload.bytes()));
+    return frame.take();
+}
+
+Message
+decodeMessage(std::span<const std::uint8_t> frame)
+{
+    ByteReader r(frame);
+    std::uint32_t len = r.getU32();
+    auto payload = r.getBytes(len);
+    std::uint32_t crc = r.getU32();
+    r.expectEnd();
+    if (util::crc32(payload) != crc)
+        throw DecodeError("CRC mismatch");
+
+    ByteReader pr(payload);
+    auto raw_type = pr.getU8();
+    if (raw_type < 1 ||
+        raw_type > static_cast<std::uint8_t>(MessageType::RemapCommit))
+        throw DecodeError("unknown message type");
+    Message m = decodePayload(static_cast<MessageType>(raw_type), pr);
+    pr.expectEnd();
+    return m;
+}
+
+} // namespace authenticache::protocol

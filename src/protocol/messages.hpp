@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Authentication protocol messages (paper Figures 6 and 7).
+ *
+ * Frame format on the wire:
+ *
+ *     [u32 payload_len][u8 type][payload bytes][u32 crc32]
+ *
+ * where the CRC covers type + payload. Challenges carry *logical*
+ * coordinates; responses carry raw bits. The remap request carries the
+ * reserved-voltage challenge plus the key-derivation helper data.
+ */
+
+#ifndef AUTH_PROTOCOL_MESSAGES_HPP
+#define AUTH_PROTOCOL_MESSAGES_HPP
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "core/challenge.hpp"
+#include "protocol/serialize.hpp"
+#include "util/bitvec.hpp"
+
+namespace authenticache::protocol {
+
+/** Wire identifier of each message type. */
+enum class MessageType : std::uint8_t
+{
+    AuthRequest = 1,
+    ChallengeMsg = 2,
+    ResponseMsg = 3,
+    AuthDecision = 4,
+    RemapRequest = 5,
+    RemapAck = 6,
+    ErrorMsg = 7,
+    RemapCommit = 8,
+};
+
+/** Client -> server: start an authentication. */
+struct AuthRequest
+{
+    std::uint64_t deviceId = 0;
+};
+
+/** Server -> client: the challenge to evaluate. */
+struct ChallengeMsg
+{
+    std::uint64_t nonce = 0;
+    core::Challenge challenge;
+};
+
+/** Client -> server: the PUF response. */
+struct ResponseMsg
+{
+    std::uint64_t nonce = 0;
+    util::BitVec response;
+};
+
+/** Server -> client: accept/reject. */
+struct AuthDecision
+{
+    std::uint64_t nonce = 0;
+    bool accepted = false;
+    std::uint32_t hammingDistance = 0;
+};
+
+/** Server -> client: adaptive remap request (Sec 4.5). */
+struct RemapRequest
+{
+    std::uint64_t nonce = 0;
+    core::Challenge challenge;   ///< At a reserved voltage.
+    util::BitVec helper;         ///< Key-derivation helper data.
+    std::uint32_t repetition = 5;///< Fuzzy-extractor repetition factor.
+};
+
+/**
+ * Client -> server: remap phase 1 done. Carries a key-confirmation
+ * MAC (HMAC of a fixed label and the nonce under the derived key) so
+ * the server can detect a mis-derived key *before* either side
+ * commits; the MAC reveals nothing about the key itself. The response
+ * to the reserved challenge stays secret throughout.
+ */
+struct RemapAck
+{
+    std::uint64_t nonce = 0;
+    bool success = false;
+    std::array<std::uint8_t, 32> confirmation{};
+};
+
+/**
+ * Server -> client: remap phase 2. committed=true means the server
+ * verified the confirmation and switched to the new key; the client
+ * installs it on receipt. committed=false aborts the exchange on
+ * both sides (keys unchanged).
+ */
+struct RemapCommit
+{
+    std::uint64_t nonce = 0;
+    bool committed = false;
+};
+
+/** Either direction: protocol-level failure. */
+struct ErrorMsg
+{
+    std::string reason;
+};
+
+using Message =
+    std::variant<AuthRequest, ChallengeMsg, ResponseMsg, AuthDecision,
+                 RemapRequest, RemapAck, ErrorMsg, RemapCommit>;
+
+/** Type tag of a decoded message. */
+MessageType messageType(const Message &m);
+
+/** Encode a message into a framed byte vector (with CRC). */
+std::vector<std::uint8_t> encodeMessage(const Message &m);
+
+/**
+ * Decode a framed byte vector; throws DecodeError on truncation, bad
+ * type tags, CRC mismatch, or trailing bytes.
+ *
+ * Challenge geometry is validated against @p geom when provided.
+ */
+Message decodeMessage(std::span<const std::uint8_t> frame);
+
+/** Serialization helpers shared with storage code. */
+void encodeChallenge(ByteWriter &w, const core::Challenge &c);
+core::Challenge decodeChallenge(ByteReader &r);
+void encodeBitVec(ByteWriter &w, const util::BitVec &v);
+util::BitVec decodeBitVec(ByteReader &r);
+
+} // namespace authenticache::protocol
+
+#endif // AUTH_PROTOCOL_MESSAGES_HPP

@@ -1,0 +1,142 @@
+#include "server/challenge_gen.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace authenticache::server {
+
+ChallengeGenerator::ChallengeGenerator(util::Rng rng_) : rng(rng_) {}
+
+GeneratedChallenge
+ChallengeGenerator::generateWithRemap(DeviceRecord &record,
+                                      core::VddMv level,
+                                      std::size_t bits,
+                                      const core::LogicalRemap &remap)
+{
+    const auto &geom = record.physicalMap().geometry();
+    if (!record.physicalMap().hasPlane(level))
+        throw std::invalid_argument(
+            "ChallengeGenerator: no error map at that level");
+
+    GeneratedChallenge out;
+    out.level = level;
+    out.challenge.bits.reserve(bits);
+
+    // Retire-before-use: each drawn pair is checked against the
+    // consumed set by its physical identity.
+    std::size_t attempts = 0;
+    const std::size_t max_attempts = bits * 64 + 1024;
+    while (out.challenge.bits.size() < bits) {
+        if (++attempts > max_attempts) {
+            throw std::runtime_error(
+                "ChallengeGenerator: fresh pair supply exhausted");
+        }
+        std::uint64_t la = rng.nextBelow(geom.lines());
+        std::uint64_t lb = rng.nextBelow(geom.lines());
+        if (la == lb)
+            continue;
+
+        sim::LinePoint logical_a = geom.pointOf(la);
+        sim::LinePoint logical_b = geom.pointOf(lb);
+        std::uint64_t phys_a =
+            geom.lineIndex(remap.unmap(logical_a, level));
+        std::uint64_t phys_b =
+            geom.lineIndex(remap.unmap(logical_b, level));
+        if (!record.consumePair(level, phys_a, phys_b))
+            continue; // Already used (in either order); redraw.
+
+        core::ChallengeBit bit;
+        bit.a = core::ChallengePoint{logical_a, level};
+        bit.b = core::ChallengePoint{logical_b, level};
+        out.challenge.bits.push_back(bit);
+    }
+
+    core::ErrorMap logical = remap.mapErrorMap(record.physicalMap());
+    out.expected = core::evaluate(logical, out.challenge);
+    return out;
+}
+
+GeneratedChallenge
+ChallengeGenerator::generate(DeviceRecord &record, core::VddMv level,
+                             std::size_t bits)
+{
+    const auto &levels = record.challengeLevels();
+    if (std::find(levels.begin(), levels.end(), level) == levels.end())
+        throw std::invalid_argument(
+            "ChallengeGenerator: not a challenge level");
+    core::LogicalRemap remap(record.mapKey(),
+                             record.physicalMap().geometry());
+    return generateWithRemap(record, level, bits, remap);
+}
+
+GeneratedChallenge
+ChallengeGenerator::generateMultiLevel(DeviceRecord &record,
+                                       std::size_t bits)
+{
+    const auto &levels = record.challengeLevels();
+    if (levels.size() < 2)
+        throw std::invalid_argument(
+            "generateMultiLevel: need >= 2 challenge levels");
+    const auto &geom = record.physicalMap().geometry();
+    for (auto level : levels) {
+        if (!record.physicalMap().hasPlane(level))
+            throw std::invalid_argument(
+                "generateMultiLevel: missing error map plane");
+    }
+
+    core::LogicalRemap remap(record.mapKey(), geom);
+
+    GeneratedChallenge out;
+    out.level = 0; // Mixed levels; no single value applies.
+    out.challenge.bits.reserve(bits);
+
+    std::size_t attempts = 0;
+    const std::size_t max_attempts = bits * 64 + 1024;
+    while (out.challenge.bits.size() < bits) {
+        if (++attempts > max_attempts) {
+            throw std::runtime_error(
+                "generateMultiLevel: fresh pair supply exhausted");
+        }
+        core::VddMv level_a = levels[rng.nextBelow(levels.size())];
+        core::VddMv level_b = levels[rng.nextBelow(levels.size())];
+        std::uint64_t la = rng.nextBelow(geom.lines());
+        std::uint64_t lb = rng.nextBelow(geom.lines());
+        if (la == lb && level_a == level_b)
+            continue;
+
+        sim::LinePoint logical_a = geom.pointOf(la);
+        sim::LinePoint logical_b = geom.pointOf(lb);
+        std::uint64_t phys_a =
+            geom.lineIndex(remap.unmap(logical_a, level_a));
+        std::uint64_t phys_b =
+            geom.lineIndex(remap.unmap(logical_b, level_b));
+        if (!record.consumeMixedPair(level_a, phys_a, level_b,
+                                     phys_b))
+            continue;
+
+        core::ChallengeBit bit;
+        bit.a = core::ChallengePoint{logical_a, level_a};
+        bit.b = core::ChallengePoint{logical_b, level_b};
+        out.challenge.bits.push_back(bit);
+    }
+
+    core::ErrorMap logical = remap.mapErrorMap(record.physicalMap());
+    out.expected = core::evaluate(logical, out.challenge);
+    return out;
+}
+
+GeneratedChallenge
+ChallengeGenerator::generateReserved(DeviceRecord &record,
+                                     core::VddMv level,
+                                     std::size_t bits)
+{
+    const auto &levels = record.reservedLevels();
+    if (std::find(levels.begin(), levels.end(), level) == levels.end())
+        throw std::invalid_argument(
+            "ChallengeGenerator: not a reserved level");
+    core::LogicalRemap identity(crypto::Key256::zero(),
+                                record.physicalMap().geometry());
+    return generateWithRemap(record, level, bits, identity);
+}
+
+} // namespace authenticache::server

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Server-side enrollment database (paper Sec 2.1, 4.2).
+ *
+ * The Authenticache server does not store CRPs: it stores each
+ * client's *error maps* (a compact representation) and generates
+ * challenges on demand. It additionally tracks consumed challenge
+ * pairs -- both orderings of a pair retire together (Sec 4.4) -- and
+ * the device's current logical-map key.
+ */
+
+#ifndef AUTH_SERVER_DATABASE_HPP
+#define AUTH_SERVER_DATABASE_HPP
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/error_map.hpp"
+#include "crypto/key.hpp"
+
+namespace authenticache::server {
+
+/** Everything the server knows about one enrolled device. */
+class DeviceRecord
+{
+  public:
+    DeviceRecord(std::uint64_t device_id, core::ErrorMap physical_map,
+                 std::vector<core::VddMv> challenge_levels,
+                 std::vector<core::VddMv> reserved_levels);
+
+    std::uint64_t deviceId() const { return id; }
+    const core::ErrorMap &physicalMap() const { return map; }
+
+    /** Voltage levels usable for ordinary authentication. */
+    const std::vector<core::VddMv> &challengeLevels() const
+    {
+        return authLevels;
+    }
+
+    /** Voltage levels reserved for remap key derivation (Sec 4.5). */
+    const std::vector<core::VddMv> &reservedLevels() const
+    {
+        return remapLevels;
+    }
+
+    const crypto::Key256 &mapKey() const { return key; }
+    void setMapKey(const crypto::Key256 &k) { key = k; }
+
+    /**
+     * Consume a challenge pair at a level. Pairs are canonicalized
+     * (unordered), so C(A,B) and C(B,A) retire together.
+     * @return false when the pair was already consumed.
+     */
+    bool consumePair(core::VddMv level, std::uint64_t line_a,
+                     std::uint64_t line_b);
+
+    /** True when the pair is still fresh. */
+    bool pairAvailable(core::VddMv level, std::uint64_t line_a,
+                       std::uint64_t line_b) const;
+
+    /**
+     * Consume a mixed-voltage pair {(level_a, line_a), (level_b,
+     * line_b)}; canonicalized so both orderings retire together.
+     * Same-level pairs share the single-level consumed set.
+     * @return false when already consumed.
+     */
+    bool consumeMixedPair(core::VddMv level_a, std::uint64_t line_a,
+                          core::VddMv level_b, std::uint64_t line_b);
+
+    /** Consumed pairs at a level (storage grows with usage only). */
+    std::size_t consumedCount(core::VddMv level) const;
+
+    /** Consumed mixed-voltage pairs. */
+    std::size_t consumedMixedCount() const { return mixed.size(); }
+
+    /** Pairs remaining at a level given the cache's line count. */
+    std::uint64_t remainingPairs(core::VddMv level) const;
+
+    // Authentication outcome counters.
+    void recordAccept()
+    {
+        ++nAccepted;
+        consecutiveFails = 0;
+    }
+    void recordReject()
+    {
+        ++nRejected;
+        ++consecutiveFails;
+    }
+    std::uint64_t accepted() const { return nAccepted; }
+    std::uint64_t rejected() const { return nRejected; }
+
+    /** Rejections since the last acceptance (lockout input). */
+    std::uint64_t consecutiveFailures() const
+    {
+        return consecutiveFails;
+    }
+
+    // Lockout state (set by the server's policy, cleared by an
+    // administrator action).
+    bool locked() const { return isLocked; }
+    void lock() { isLocked = true; }
+    void unlock()
+    {
+        isLocked = false;
+        consecutiveFails = 0;
+    }
+
+  private:
+    static std::uint64_t pairKey(std::uint64_t a, std::uint64_t b);
+
+    // Persistence (server/storage.cpp) snapshots/restores the
+    // consumed-pair state, which has no other public surface.
+    friend struct RecordStorageAccess;
+
+    std::uint64_t id;
+    core::ErrorMap map;
+    std::vector<core::VddMv> authLevels;
+    std::vector<core::VddMv> remapLevels;
+    crypto::Key256 key;
+    std::map<core::VddMv, std::unordered_set<std::uint64_t>> consumed;
+    std::set<std::array<std::uint64_t, 4>> mixed;
+    std::uint64_t nAccepted = 0;
+    std::uint64_t nRejected = 0;
+    std::uint64_t consecutiveFails = 0;
+    bool isLocked = false;
+};
+
+/** The database: device id -> record. */
+class EnrollmentDatabase
+{
+  public:
+    /** Add a record; throws if the id is already enrolled. */
+    DeviceRecord &enroll(DeviceRecord record);
+
+    bool contains(std::uint64_t device_id) const;
+
+    DeviceRecord &at(std::uint64_t device_id);
+    const DeviceRecord &at(std::uint64_t device_id) const;
+
+    std::size_t size() const { return records.size(); }
+
+    /** Remove a record (re-enrollment); @return false if absent. */
+    bool remove(std::uint64_t device_id)
+    {
+        return records.erase(device_id) > 0;
+    }
+
+    /** Read-only iteration over all records (reporting/persistence). */
+    const std::unordered_map<std::uint64_t, DeviceRecord> &
+    all() const
+    {
+        return records;
+    }
+
+  private:
+    std::unordered_map<std::uint64_t, DeviceRecord> records;
+};
+
+} // namespace authenticache::server
+
+#endif // AUTH_SERVER_DATABASE_HPP

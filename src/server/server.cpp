@@ -1,0 +1,428 @@
+#include "server/server.hpp"
+
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace authenticache::server {
+
+AuthenticationServer::AuthenticationServer(const ServerConfig &config,
+                                           std::uint64_t seed)
+    : cfg(config),
+      rng(seed),
+      generator(rng.fork()),
+      verify(config.verifier)
+{
+}
+
+DeviceRecord &
+AuthenticationServer::enrollWithMap(
+    std::uint64_t device_id, core::ErrorMap map,
+    firmware::AuthenticacheClient &client,
+    const std::vector<core::VddMv> &challenge_levels,
+    const std::vector<core::VddMv> &reserved_levels)
+{
+    DeviceRecord record(device_id, std::move(map), challenge_levels,
+                        reserved_levels);
+
+    // Install the initial logical-map key over the trusted enrollment
+    // channel.
+    crypto::Key256 initial;
+    for (auto &b : initial.bytes)
+        b = static_cast<std::uint8_t>(rng.nextBelow(256));
+    record.setMapKey(initial);
+    client.setMapKey(initial);
+
+    AUTH_LOG_INFO("server")
+        << "enrolled device " << device_id << " with "
+        << record.physicalMap().totalErrors() << " errors";
+    return db.enroll(std::move(record));
+}
+
+DeviceRecord &
+AuthenticationServer::enroll(
+    std::uint64_t device_id, firmware::AuthenticacheClient &client,
+    const std::vector<core::VddMv> &challenge_levels,
+    const std::vector<core::VddMv> &reserved_levels,
+    std::uint32_t sweep_passes)
+{
+    if (client.floorMv() <= 0.0)
+        client.boot();
+
+    std::vector<core::VddMv> all_levels = challenge_levels;
+    all_levels.insert(all_levels.end(), reserved_levels.begin(),
+                      reserved_levels.end());
+    core::ErrorMap map =
+        client.captureErrorMap(all_levels, sweep_passes);
+    return enrollWithMap(device_id, std::move(map), client,
+                         challenge_levels, reserved_levels);
+}
+
+void
+AuthenticationServer::handleAuthRequest(
+    const protocol::AuthRequest &msg,
+    protocol::ServerEndpoint &endpoint)
+{
+    if (!db.contains(msg.deviceId)) {
+        endpoint.send(protocol::ErrorMsg{"unknown device"});
+        return;
+    }
+    DeviceRecord &record = db.at(msg.deviceId);
+    if (record.locked()) {
+        endpoint.send(protocol::ErrorMsg{"device locked"});
+        return;
+    }
+    const auto &levels = record.challengeLevels();
+    if (levels.empty()) {
+        endpoint.send(protocol::ErrorMsg{"no challenge levels"});
+        return;
+    }
+    core::VddMv level = levels[rng.nextBelow(levels.size())];
+
+    GeneratedChallenge gen;
+    try {
+        if (cfg.multiLevelChallenges && levels.size() >= 2)
+            gen = generator.generateMultiLevel(record,
+                                               cfg.challengeBits);
+        else
+            gen = generator.generate(record, level,
+                                     cfg.challengeBits);
+    } catch (const std::runtime_error &e) {
+        endpoint.send(protocol::ErrorMsg{e.what()});
+        return;
+    }
+
+    std::uint64_t nonce = rng.next();
+    pendingAuths[nonce] =
+        PendingAuth{msg.deviceId, std::move(gen.expected)};
+    pendingOrder.push_back(nonce);
+    enforcePendingCap();
+
+    protocol::ChallengeMsg out;
+    out.nonce = nonce;
+    out.challenge = std::move(gen.challenge);
+    endpoint.send(out);
+}
+
+void
+AuthenticationServer::handleResponse(const protocol::ResponseMsg &msg,
+                                     protocol::ServerEndpoint &endpoint)
+{
+    auto it = pendingAuths.find(msg.nonce);
+    if (it == pendingAuths.end()) {
+        // Replay or stray response: never grants access.
+        endpoint.send(protocol::ErrorMsg{"unknown nonce"});
+        return;
+    }
+    PendingAuth pending = std::move(it->second);
+    pendingAuths.erase(it);
+
+    Verdict verdict = verify.verify(pending.expected, msg.response);
+
+    DeviceRecord &record = db.at(pending.deviceId);
+    if (verdict.accepted) {
+        record.recordAccept();
+    } else {
+        record.recordReject();
+        if (cfg.lockoutThreshold > 0 &&
+            record.consecutiveFailures() >= cfg.lockoutThreshold) {
+            record.lock();
+            AUTH_LOG_WARN("server")
+                << "device " << pending.deviceId << " locked after "
+                << record.consecutiveFailures()
+                << " consecutive failures";
+        }
+    }
+
+    log.push_back(AuthReport{pending.deviceId, msg.nonce,
+                             verdict.accepted, verdict.hammingDistance,
+                             verdict.threshold});
+
+    protocol::AuthDecision decision;
+    decision.nonce = msg.nonce;
+    decision.accepted = verdict.accepted;
+    decision.hammingDistance = verdict.hammingDistance;
+    endpoint.send(decision);
+}
+
+void
+AuthenticationServer::handleRemapAck(const protocol::RemapAck &msg,
+                                     protocol::ServerEndpoint &endpoint)
+{
+    auto it = pendingRemaps.find(msg.nonce);
+    if (it == pendingRemaps.end())
+        return;
+
+    // Two-phase commit: only switch keys when the client proves it
+    // derived the same one (a mis-derived key would desynchronize
+    // both sides until the next rotation).
+    auto expected = crypto::keyConfirmation(it->second.newKey,
+                                            msg.nonce);
+    bool confirmed =
+        msg.success &&
+        std::equal(expected.begin(), expected.end(),
+                   msg.confirmation.begin(), msg.confirmation.end());
+
+    if (confirmed) {
+        db.at(it->second.deviceId).setMapKey(it->second.newKey);
+        ++nRemaps;
+        AUTH_LOG_INFO("server")
+            << "device " << it->second.deviceId << " key rotated";
+    } else {
+        ++nRemapsRejected;
+        AUTH_LOG_WARN("server")
+            << "device " << it->second.deviceId
+            << " remap rejected (key confirmation failed)";
+    }
+    endpoint.send(protocol::RemapCommit{msg.nonce, confirmed});
+    pendingRemaps.erase(it);
+}
+
+void
+AuthenticationServer::enforcePendingCap()
+{
+    while (pendingSessions() > cfg.maxPendingSessions &&
+           !pendingOrder.empty()) {
+        std::uint64_t victim = pendingOrder.front();
+        pendingOrder.pop_front();
+        // The nonce may already have completed; eviction only counts
+        // when something was actually dropped.
+        if (pendingAuths.erase(victim) + pendingRemaps.erase(victim) >
+            0) {
+            ++nEvicted;
+            AUTH_LOG_WARN("server")
+                << "pending-session cap: evicted nonce " << victim;
+        }
+    }
+
+    // Completed sessions leave stale nonces in the order queue
+    // (lazy deletion); compact before it grows past a small multiple
+    // of the live set.
+    if (pendingOrder.size() > 4 * (cfg.maxPendingSessions + 1)) {
+        std::deque<std::uint64_t> live;
+        for (auto nonce : pendingOrder) {
+            if (pendingAuths.count(nonce) ||
+                pendingRemaps.count(nonce))
+                live.push_back(nonce);
+        }
+        pendingOrder = std::move(live);
+    }
+}
+
+bool
+AuthenticationServer::pumpOnce(protocol::ServerEndpoint &endpoint)
+{
+    std::optional<protocol::Message> msg;
+    try {
+        msg = endpoint.receive();
+    } catch (const protocol::DecodeError &e) {
+        endpoint.send(protocol::ErrorMsg{std::string("decode: ") +
+                                         e.what()});
+        return true;
+    }
+    if (!msg)
+        return false;
+
+    if (auto *req = std::get_if<protocol::AuthRequest>(&*msg))
+        handleAuthRequest(*req, endpoint);
+    else if (auto *resp = std::get_if<protocol::ResponseMsg>(&*msg))
+        handleResponse(*resp, endpoint);
+    else if (auto *ack = std::get_if<protocol::RemapAck>(&*msg))
+        handleRemapAck(*ack, endpoint);
+    else if (std::get_if<protocol::ErrorMsg>(&*msg) == nullptr)
+        endpoint.send(protocol::ErrorMsg{"unexpected message"});
+    return true;
+}
+
+void
+AuthenticationServer::pumpAll(protocol::ServerEndpoint &endpoint)
+{
+    while (pumpOnce(endpoint)) {
+    }
+}
+
+void
+AuthenticationServer::startRemap(std::uint64_t device_id,
+                                 protocol::ServerEndpoint &endpoint)
+{
+    DeviceRecord &record = db.at(device_id);
+    if (record.reservedLevels().empty())
+        throw std::logic_error("startRemap: no reserved levels");
+    core::VddMv level = record.reservedLevels()[rng.nextBelow(
+        record.reservedLevels().size())];
+
+    const std::size_t bits =
+        cfg.remapSecretBits * cfg.fuzzyRepetition;
+    GeneratedChallenge gen =
+        generator.generateReserved(record, level, bits);
+
+    crypto::FuzzyExtractor extractor(cfg.fuzzyRepetition);
+    auto extraction = extractor.generate(gen.expected, rng);
+
+    std::uint64_t nonce = rng.next();
+    pendingRemaps[nonce] = PendingRemap{device_id, extraction.key};
+    pendingOrder.push_back(nonce);
+    enforcePendingCap();
+
+    protocol::RemapRequest msg;
+    msg.nonce = nonce;
+    msg.challenge = std::move(gen.challenge);
+    msg.helper = std::move(extraction.helper);
+    msg.repetition = cfg.fuzzyRepetition;
+    endpoint.send(msg);
+}
+
+DeviceAgent::DeviceAgent(std::uint64_t device_id,
+                         firmware::AuthenticacheClient &client_,
+                         protocol::ClientEndpoint endpoint_)
+    : deviceId(device_id), client(client_), endpoint(endpoint_)
+{
+}
+
+void
+DeviceAgent::requestAuthentication()
+{
+    decision.reset();
+    endpoint.send(protocol::AuthRequest{deviceId});
+}
+
+bool
+DeviceAgent::pumpOnce()
+{
+    std::optional<protocol::Message> msg;
+    try {
+        msg = endpoint.receive();
+    } catch (const protocol::DecodeError &e) {
+        errorLog.push_back(std::string("decode: ") + e.what());
+        return true;
+    }
+    if (!msg)
+        return false;
+
+    if (auto *ch = std::get_if<protocol::ChallengeMsg>(&*msg)) {
+        auto outcome = client.authenticate(ch->challenge);
+        if (!outcome.ok()) {
+            errorLog.push_back("authentication aborted: " +
+                               outcome.abortReason);
+            endpoint.send(protocol::ErrorMsg{outcome.abortReason});
+        } else {
+            protocol::ResponseMsg resp;
+            resp.nonce = ch->nonce;
+            resp.response = std::move(outcome.response);
+            endpoint.send(resp);
+        }
+    } else if (auto *remap =
+                   std::get_if<protocol::RemapRequest>(&*msg)) {
+        // Phase 1: derive the candidate key and prove it with the
+        // confirmation MAC; install nothing yet.
+        std::optional<crypto::Key256> candidate;
+        try {
+            crypto::FuzzyExtractor extractor(remap->repetition);
+            candidate = client.deriveRemapKey(
+                remap->challenge, remap->helper, extractor);
+        } catch (const std::exception &e) {
+            errorLog.push_back(std::string("remap: ") + e.what());
+        }
+        protocol::RemapAck ack;
+        ack.nonce = remap->nonce;
+        ack.success = candidate.has_value();
+        if (candidate) {
+            pendingRemapKeys[remap->nonce] = *candidate;
+            ack.confirmation =
+                crypto::keyConfirmation(*candidate, remap->nonce);
+        }
+        endpoint.send(ack);
+    } else if (auto *commit =
+                   std::get_if<protocol::RemapCommit>(&*msg)) {
+        // Phase 2: the server verified the confirmation.
+        auto it = pendingRemapKeys.find(commit->nonce);
+        if (it != pendingRemapKeys.end()) {
+            if (commit->committed) {
+                client.setMapKey(it->second);
+                ++nRemaps;
+            }
+            pendingRemapKeys.erase(it);
+        }
+    } else if (auto *dec = std::get_if<protocol::AuthDecision>(&*msg)) {
+        decision = *dec;
+    } else if (auto *err = std::get_if<protocol::ErrorMsg>(&*msg)) {
+        errorLog.push_back(err->reason);
+    }
+    return true;
+}
+
+void
+DeviceAgent::pumpAll()
+{
+    while (pumpOnce()) {
+    }
+}
+
+void
+runExchange(AuthenticationServer &server,
+            protocol::ServerEndpoint &server_endpoint,
+            DeviceAgent &agent)
+{
+    bool progress = true;
+    while (progress) {
+        progress = false;
+        progress |= server.pumpOnce(server_endpoint);
+        progress |= agent.pumpOnce();
+    }
+}
+
+void
+collectServerStats(const AuthenticationServer &server,
+                   util::StatsRegistry &registry,
+                   const std::string &component)
+{
+    std::uint64_t accepted = 0;
+    std::uint64_t rejected = 0;
+    std::uint64_t locked = 0;
+    std::uint64_t errors = 0;
+    for (const auto &[id, record] : server.database().all()) {
+        accepted += record.accepted();
+        rejected += record.rejected();
+        locked += record.locked() ? 1 : 0;
+        errors += record.physicalMap().totalErrors();
+    }
+    registry.set(component, "devices",
+                 std::uint64_t(server.database().size()));
+    registry.set(component, "authentications_accepted", accepted);
+    registry.set(component, "authentications_rejected", rejected);
+    registry.set(component, "devices_locked", locked);
+    registry.set(component, "enrolled_error_lines", errors);
+    registry.set(component, "remaps_committed",
+                 server.remapsCommitted());
+    registry.set(component, "remaps_rejected",
+                 server.remapsRejected());
+}
+
+std::vector<core::VddMv>
+defaultChallengeLevels(const firmware::AuthenticacheClient &client,
+                       std::size_t count, double spacing_mv)
+{
+    if (client.floorMv() <= 0.0)
+        throw std::logic_error(
+            "defaultChallengeLevels: device not booted");
+    std::vector<core::VddMv> levels;
+    double v = client.floorMv();
+    for (std::size_t i = 0; i < count; ++i) {
+        levels.push_back(
+            static_cast<core::VddMv>(std::lround(v)));
+        v += spacing_mv;
+    }
+    return levels;
+}
+
+core::VddMv
+defaultReservedLevel(const firmware::AuthenticacheClient &client)
+{
+    if (client.floorMv() <= 0.0)
+        throw std::logic_error(
+            "defaultReservedLevel: device not booted");
+    return static_cast<core::VddMv>(
+        std::lround(client.floorMv() + 5.0));
+}
+
+} // namespace authenticache::server

@@ -1,0 +1,270 @@
+/**
+ * @file
+ * The Authenticache authentication server and the device-side protocol
+ * agent (paper Sec 2.1, 4.2-4.5, Figures 6-7).
+ *
+ * Enrollment is a trusted, direct interaction: the server drives the
+ * device firmware to capture its error maps, stores them, and installs
+ * the initial logical-map key. Field authentication then runs over the
+ * message protocol: AuthRequest -> Challenge -> Response -> Decision,
+ * plus the server-initiated adaptive remap exchange.
+ */
+
+#ifndef AUTH_SERVER_SERVER_HPP
+#define AUTH_SERVER_SERVER_HPP
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "crypto/fuzzy_extractor.hpp"
+#include "firmware/client.hpp"
+#include "protocol/channel.hpp"
+#include "server/challenge_gen.hpp"
+#include "server/database.hpp"
+#include "server/verifier.hpp"
+#include "util/stats_registry.hpp"
+
+namespace authenticache::server {
+
+/** Server behaviour knobs. */
+struct ServerConfig
+{
+    /** Bits per authentication challenge. */
+    std::size_t challengeBits = 128;
+
+    /** Secret bits derived per remap exchange. */
+    std::size_t remapSecretBits = 32;
+
+    /** Fuzzy-extractor repetition factor for remap helper data. */
+    unsigned fuzzyRepetition = 5;
+
+    /**
+     * Draw each challenge endpoint at an independent random voltage
+     * level (the paper's Eq 7 with V != V'; its prototype restricted
+     * itself to single-Vdd challenges). Requires >= 2 enrolled
+     * challenge levels; costs extra regulator transitions client-side.
+     */
+    bool multiLevelChallenges = false;
+
+    /**
+     * Lock a device after this many consecutive rejections (brute
+     * force / cloning attempts burn the CRP space otherwise). 0
+     * disables the policy; locked devices need unlockDevice().
+     */
+    std::uint64_t lockoutThreshold = 0;
+
+    /**
+     * Cap on simultaneously outstanding challenges (and remap
+     * exchanges). A flood of AuthRequests from clients that never
+     * answer would otherwise grow server state without bound; when
+     * full, the oldest outstanding session is evicted (its nonce is
+     * dead, the consumed pairs stay retired).
+     */
+    std::size_t maxPendingSessions = 1024;
+
+    VerifierPolicy verifier;
+};
+
+/** Record of one completed authentication (for reporting/tests). */
+struct AuthReport
+{
+    std::uint64_t deviceId = 0;
+    std::uint64_t nonce = 0;
+    bool accepted = false;
+    std::uint32_t hammingDistance = 0;
+    std::int64_t threshold = 0;
+};
+
+class AuthenticationServer
+{
+  public:
+    AuthenticationServer(const ServerConfig &config, std::uint64_t seed);
+
+    /**
+     * Trusted enrollment: boot the device if needed, capture its error
+     * maps at the given levels, install a fresh logical-map key, and
+     * store the record.
+     */
+    DeviceRecord &enroll(std::uint64_t device_id,
+                         firmware::AuthenticacheClient &client,
+                         const std::vector<core::VddMv> &challenge_levels,
+                         const std::vector<core::VddMv> &reserved_levels,
+                         std::uint32_t sweep_passes = 8);
+
+    /**
+     * Enroll with a pre-captured error map (robust enrollment: the
+     * factory captures under several environmental conditions and
+     * combines with core::combineErrorMaps before enrolling). Still
+     * installs the initial key into the live client.
+     */
+    DeviceRecord &
+    enrollWithMap(std::uint64_t device_id, core::ErrorMap map,
+                  firmware::AuthenticacheClient &client,
+                  const std::vector<core::VddMv> &challenge_levels,
+                  const std::vector<core::VddMv> &reserved_levels);
+
+    /**
+     * Re-enroll a device whose silicon has drifted (trusted, like
+     * first enrollment): recapture the error maps and issue a fresh
+     * key. The old record -- including its consumed-pair history --
+     * is discarded, since the old fingerprint's CRPs no longer
+     * describe the device.
+     */
+    DeviceRecord &
+    reenroll(std::uint64_t device_id,
+             firmware::AuthenticacheClient &client,
+             const std::vector<core::VddMv> &challenge_levels,
+             const std::vector<core::VddMv> &reserved_levels,
+             std::uint32_t sweep_passes = 8)
+    {
+        db.remove(device_id);
+        return enroll(device_id, client, challenge_levels,
+                      reserved_levels, sweep_passes);
+    }
+
+    /** Handle one queued message, if any. @return message handled. */
+    bool pumpOnce(protocol::ServerEndpoint &endpoint);
+
+    /** Drain the endpoint until idle. */
+    void pumpAll(protocol::ServerEndpoint &endpoint);
+
+    /** Initiate the adaptive remap exchange for a device. */
+    void startRemap(std::uint64_t device_id,
+                    protocol::ServerEndpoint &endpoint);
+
+    EnrollmentDatabase &database() { return db; }
+    const EnrollmentDatabase &database() const { return db; }
+    const Verifier &verifier() const { return verify; }
+    const std::vector<AuthReport> &reports() const { return log; }
+    const ServerConfig &config() const { return cfg; }
+
+    /** Remap exchanges committed after key confirmation. */
+    std::uint64_t remapsCommitted() const { return nRemaps; }
+
+    /** Remap exchanges rejected at the confirmation step. */
+    std::uint64_t remapsRejected() const { return nRemapsRejected; }
+
+    /** Outstanding sessions (challenges awaiting a response). */
+    std::size_t pendingSessions() const
+    {
+        return pendingAuths.size() + pendingRemaps.size();
+    }
+
+    /** Sessions evicted by the pending-session cap. */
+    std::uint64_t sessionsEvicted() const { return nEvicted; }
+
+    /** Administrator action: clear a device's lockout. */
+    void unlockDevice(std::uint64_t device_id)
+    {
+        db.at(device_id).unlock();
+    }
+
+  private:
+    void handleAuthRequest(const protocol::AuthRequest &msg,
+                           protocol::ServerEndpoint &endpoint);
+    void handleResponse(const protocol::ResponseMsg &msg,
+                        protocol::ServerEndpoint &endpoint);
+    void handleRemapAck(const protocol::RemapAck &msg,
+                        protocol::ServerEndpoint &endpoint);
+
+    struct PendingAuth
+    {
+        std::uint64_t deviceId;
+        core::Response expected;
+    };
+    struct PendingRemap
+    {
+        std::uint64_t deviceId;
+        crypto::Key256 newKey;
+    };
+
+    /** Evict oldest pending sessions down to the configured cap. */
+    void enforcePendingCap();
+
+    ServerConfig cfg;
+    util::Rng rng;
+    EnrollmentDatabase db;
+    ChallengeGenerator generator;
+    Verifier verify;
+    std::unordered_map<std::uint64_t, PendingAuth> pendingAuths;
+    std::unordered_map<std::uint64_t, PendingRemap> pendingRemaps;
+    std::deque<std::uint64_t> pendingOrder; // Nonces, oldest first.
+    std::uint64_t nEvicted = 0;
+    std::vector<AuthReport> log;
+    std::uint64_t nRemaps = 0;
+    std::uint64_t nRemapsRejected = 0;
+};
+
+/**
+ * Device-side protocol agent: bridges the wire protocol to the
+ * firmware client.
+ */
+class DeviceAgent
+{
+  public:
+    DeviceAgent(std::uint64_t device_id,
+                firmware::AuthenticacheClient &client,
+                protocol::ClientEndpoint endpoint);
+
+    /** Kick off an authentication round. */
+    void requestAuthentication();
+
+    /** Handle one queued message, if any. @return message handled. */
+    bool pumpOnce();
+
+    /** Drain the endpoint until idle. */
+    void pumpAll();
+
+    /** Decision from the most recent completed authentication. */
+    const std::optional<protocol::AuthDecision> &lastDecision() const
+    {
+        return decision;
+    }
+
+    /** Protocol-level errors received. */
+    const std::vector<std::string> &errors() const { return errorLog; }
+
+    std::uint64_t remapsProcessed() const { return nRemaps; }
+
+  private:
+    std::uint64_t deviceId;
+    firmware::AuthenticacheClient &client;
+    protocol::ClientEndpoint endpoint;
+    std::optional<protocol::AuthDecision> decision;
+    std::vector<std::string> errorLog;
+    std::uint64_t nRemaps = 0;
+    std::unordered_map<std::uint64_t, crypto::Key256>
+        pendingRemapKeys;
+};
+
+/** Snapshot a server's aggregate counters into a stats registry. */
+void collectServerStats(const AuthenticationServer &server,
+                        util::StatsRegistry &registry,
+                        const std::string &component = "server");
+
+/**
+ * Pump both sides of a channel until neither has queued work -- the
+ * synchronous equivalent of letting the exchange run to completion.
+ */
+void runExchange(AuthenticationServer &server,
+                 protocol::ServerEndpoint &server_endpoint,
+                 DeviceAgent &agent);
+
+/**
+ * Convenience: challenge levels spaced @p spacing_mv apart starting
+ * just above the device's calibrated floor. The device must be booted.
+ */
+std::vector<core::VddMv>
+defaultChallengeLevels(const firmware::AuthenticacheClient &client,
+                       std::size_t count, double spacing_mv = 10.0);
+
+/** A reserved (remap) level offset between the challenge levels. */
+core::VddMv
+defaultReservedLevel(const firmware::AuthenticacheClient &client);
+
+} // namespace authenticache::server
+
+#endif // AUTH_SERVER_SERVER_HPP

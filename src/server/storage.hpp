@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Persistence for the enrollment database.
+ *
+ * The paper's server keeps each client's error maps "in a secure
+ * database" (Sec 2.1, 4.2); this module provides the storage format:
+ * a versioned, CRC-protected binary snapshot of every device record --
+ * error maps, logical-map key, level roles, consumed-pair state, and
+ * counters -- so a server can restart without losing the no-reuse
+ * guarantees.
+ *
+ * Format (little endian):
+ *
+ *   [u32 magic "ACDB"][u16 version][u32 record count]
+ *     per record: id, geometry, planes, key, levels, consumed sets,
+ *                 mixed pairs, counters
+ *   [u32 crc32 of everything above]
+ */
+
+#ifndef AUTH_SERVER_STORAGE_HPP
+#define AUTH_SERVER_STORAGE_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "protocol/serialize.hpp"
+#include "server/database.hpp"
+
+namespace authenticache::server {
+
+/** Serialize an error map (shared by record encoding and tests). */
+void encodeErrorMap(protocol::ByteWriter &w, const core::ErrorMap &map);
+
+/** Deserialize an error map; throws protocol::DecodeError. */
+core::ErrorMap decodeErrorMap(protocol::ByteReader &r);
+
+/** Serialize one device record, including consumed-pair state. */
+void encodeDeviceRecord(protocol::ByteWriter &w,
+                        const DeviceRecord &record);
+
+/** Deserialize one device record. */
+DeviceRecord decodeDeviceRecord(protocol::ByteReader &r);
+
+/** Snapshot the whole database into a byte blob. */
+std::vector<std::uint8_t> saveDatabase(const EnrollmentDatabase &db);
+
+/** Restore a database from a blob; throws protocol::DecodeError. */
+EnrollmentDatabase loadDatabase(std::span<const std::uint8_t> blob);
+
+/** Write a snapshot to a file; throws std::runtime_error on I/O. */
+void saveDatabaseFile(const EnrollmentDatabase &db,
+                      const std::string &path);
+
+/** Load a snapshot from a file. */
+EnrollmentDatabase loadDatabaseFile(const std::string &path);
+
+} // namespace authenticache::server
+
+#endif // AUTH_SERVER_STORAGE_HPP

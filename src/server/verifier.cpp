@@ -1,0 +1,38 @@
+#include "server/verifier.hpp"
+
+namespace authenticache::server {
+
+Verifier::Verifier(const VerifierPolicy &policy) : pol(policy) {}
+
+std::int64_t
+Verifier::thresholdFor(std::size_t response_bits) const
+{
+    return metrics::eerThreshold(response_bits, pol.pInter, pol.pIntra)
+        .threshold;
+}
+
+Verdict
+Verifier::verify(const core::Response &expected,
+                 const core::Response &received) const
+{
+    Verdict v;
+    auto choice = metrics::eerThreshold(expected.size(), pol.pInter,
+                                        pol.pIntra);
+    v.threshold = choice.threshold;
+    v.farAtThreshold = choice.far;
+    v.frrAtThreshold = choice.frr;
+
+    if (received.size() != expected.size()) {
+        v.accepted = false;
+        v.hammingDistance =
+            static_cast<std::uint32_t>(expected.size());
+        return v;
+    }
+    v.hammingDistance = static_cast<std::uint32_t>(
+        expected.hammingDistance(received));
+    v.accepted = v.hammingDistance <=
+                 static_cast<std::uint32_t>(v.threshold);
+    return v;
+}
+
+} // namespace authenticache::server

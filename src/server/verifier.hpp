@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Response verification with an identification threshold chosen at the
+ * equal error rate (paper Sec 2.2.3).
+ */
+
+#ifndef AUTH_SERVER_VERIFIER_HPP
+#define AUTH_SERVER_VERIFIER_HPP
+
+#include <cstdint>
+
+#include "core/challenge.hpp"
+#include "metrics/identifiability.hpp"
+
+namespace authenticache::server {
+
+/** Verifier policy parameters. */
+struct VerifierPolicy
+{
+    /** Inter-chip per-bit disagreement probability (ideal 0.5). */
+    double pInter = 0.5;
+
+    /**
+     * Intra-chip per-bit flip probability the deployment must
+     * tolerate; the paper measures <6% on hardware across a 25C
+     * temperature swing (Sec 3).
+     */
+    double pIntra = 0.06;
+};
+
+/** One verification verdict. */
+struct Verdict
+{
+    bool accepted = false;
+    std::uint32_t hammingDistance = 0;
+    std::int64_t threshold = 0;
+    double farAtThreshold = 0.0;
+    double frrAtThreshold = 0.0;
+};
+
+class Verifier
+{
+  public:
+    explicit Verifier(const VerifierPolicy &policy = {});
+
+    /** EER threshold for an n-bit response under the policy. */
+    std::int64_t thresholdFor(std::size_t response_bits) const;
+
+    /** Compare a received response against the expected one. */
+    Verdict verify(const core::Response &expected,
+                   const core::Response &received) const;
+
+    const VerifierPolicy &policy() const { return pol; }
+
+  private:
+    VerifierPolicy pol;
+};
+
+} // namespace authenticache::server
+
+#endif // AUTH_SERVER_VERIFIER_HPP

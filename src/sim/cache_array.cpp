@@ -1,0 +1,140 @@
+#include "sim/cache_array.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace authenticache::sim {
+
+SramCacheArray::SramCacheArray(const VminField &field_,
+                               const EnvironmentModel &env_,
+                               EccErrorLog &log_,
+                               std::uint64_t access_seed)
+    : field(field_), env(env_), log(log_), secded(64), rng(access_seed)
+{
+    const auto &geom = field.geometry();
+    words.assign(geom.lines() * geom.wordsPerLine(), 0);
+    checks.assign(words.size(), 0);
+}
+
+void
+SramCacheArray::writeLine(const LinePoint &p,
+                          std::span<const std::uint64_t> data)
+{
+    const auto &geom = field.geometry();
+    if (data.size() != geom.wordsPerLine())
+        throw std::invalid_argument("writeLine: word count mismatch");
+    std::uint64_t base = geom.lineIndex(p) * geom.wordsPerLine();
+    for (std::uint32_t w = 0; w < geom.wordsPerLine(); ++w) {
+        words[base + w] = data[w];
+        checks[base + w] =
+            static_cast<std::uint8_t>(secded.encode(data[w]));
+    }
+    nWrites += geom.wordsPerLine();
+}
+
+void
+SramCacheArray::fillLine(const LinePoint &p, std::uint64_t pattern)
+{
+    const auto &geom = field.geometry();
+    std::uint64_t base = geom.lineIndex(p) * geom.wordsPerLine();
+    std::uint8_t check =
+        static_cast<std::uint8_t>(secded.encode(pattern));
+    for (std::uint32_t w = 0; w < geom.wordsPerLine(); ++w) {
+        words[base + w] = pattern;
+        checks[base + w] = check;
+    }
+    nWrites += geom.wordsPerLine();
+}
+
+SramCacheArray::FaultKind
+SramCacheArray::faultOn(std::uint64_t line)
+{
+    const double shift = env.thresholdShiftMv(line, conditions);
+    const double jitter = env.measurementJitterMv(conditions, rng);
+    const double v_eff = vdd + jitter;
+
+    if (v_eff < field.vUncorrectableMv(line) + shift)
+        return FaultKind::Double;
+    if (v_eff < field.vCorrectableMv(line) + shift) {
+        if (rng.nextBool(field.persistence(line)))
+            return FaultKind::Single;
+    }
+    return FaultKind::None;
+}
+
+ReadResult
+SramCacheArray::readWord(const LinePoint &p, std::uint32_t word)
+{
+    const auto &geom = field.geometry();
+    if (word >= geom.wordsPerLine())
+        throw std::out_of_range("readWord: bad word index");
+
+    ++nReads;
+    const std::uint64_t line = geom.lineIndex(p);
+    const std::uint64_t idx = line * geom.wordsPerLine() + word;
+    std::uint64_t raw = words[idx];
+    std::uint32_t check = checks[idx];
+
+    // The weak cell lives in exactly one word of the line; only that
+    // word can misread.
+    if (word == field.weakWord(line)) {
+        FaultKind kind = faultOn(line);
+        if (kind != FaultKind::None) {
+            auto flip = [&](std::uint32_t bit) {
+                if (bit < 64)
+                    raw ^= 1ull << bit;
+                else
+                    check ^= 1u << (bit - 64);
+            };
+            flip(field.weakBit(line));
+            if (kind == FaultKind::Double)
+                flip(field.weakBit2(line));
+        }
+    }
+
+    ecc::DecodeResult decoded = secded.decode(raw, check);
+
+    ReadResult out;
+    out.data = decoded.data;
+    out.status = decoded.status;
+
+    if (decoded.status != ecc::DecodeStatus::Ok) {
+        EccEvent event;
+        event.line = p;
+        event.word = word;
+        event.bitPosition = decoded.bitPosition;
+        event.vddMv = vdd;
+        event.severity =
+            (decoded.status == ecc::DecodeStatus::CorrectedData ||
+             decoded.status == ecc::DecodeStatus::CorrectedCheck)
+                ? EccSeverity::Corrected
+                : EccSeverity::Uncorrectable;
+        log.post(event);
+    }
+    return out;
+}
+
+LineAccessResult
+SramCacheArray::readLine(const LinePoint &p)
+{
+    const auto &geom = field.geometry();
+    LineAccessResult out;
+    for (std::uint32_t w = 0; w < geom.wordsPerLine(); ++w) {
+        ReadResult r = readWord(p, w);
+        switch (r.status) {
+          case ecc::DecodeStatus::Ok:
+            break;
+          case ecc::DecodeStatus::CorrectedData:
+          case ecc::DecodeStatus::CorrectedCheck:
+            out.corrected = true;
+            break;
+          case ecc::DecodeStatus::DoubleError:
+          case ecc::DecodeStatus::Uncorrectable:
+            out.uncorrectable = true;
+            break;
+        }
+    }
+    return out;
+}
+
+} // namespace authenticache::sim

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Voltage-sensitive SRAM cache data array with inline SECDED.
+ *
+ * Every 64-bit word is stored with its 8 Hsiao check bits. When the
+ * array operates below a line's (environment-shifted) failure
+ * threshold, the line's weak cell flips on read with the line's
+ * persistence probability; far enough below, a second cell flips too
+ * and the word becomes uncorrectable. All flips pass through the real
+ * SECDED codec; corrected/uncorrectable outcomes are posted to the ECC
+ * error log, which is the only observable Authenticache consumes.
+ */
+
+#ifndef AUTH_SIM_CACHE_ARRAY_HPP
+#define AUTH_SIM_CACHE_ARRAY_HPP
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ecc/secded.hpp"
+#include "sim/environment.hpp"
+#include "sim/error_log.hpp"
+#include "sim/geometry.hpp"
+#include "sim/variation.hpp"
+#include "util/rng.hpp"
+
+namespace authenticache::sim {
+
+/** Result of reading one word through ECC. */
+struct ReadResult
+{
+    std::uint64_t data = 0;
+    ecc::DecodeStatus status = ecc::DecodeStatus::Ok;
+};
+
+/** Result of accessing a whole line. */
+struct LineAccessResult
+{
+    bool corrected = false;       ///< At least one corrected word.
+    bool uncorrectable = false;   ///< At least one uncorrectable word.
+};
+
+class SramCacheArray
+{
+  public:
+    /**
+     * @param field Per-line silicon profile (owned elsewhere; must
+     *              outlive the array).
+     * @param env Environmental response of this chip.
+     * @param log Destination for ECC events.
+     * @param access_seed Seed of the per-access randomness stream.
+     */
+    SramCacheArray(const VminField &field, const EnvironmentModel &env,
+                   EccErrorLog &log, std::uint64_t access_seed);
+
+    const CacheGeometry &geometry() const { return field.geometry(); }
+
+    /** Set the array supply voltage (normally via the regulator). */
+    void setVddMv(double vdd_mv) { vdd = vdd_mv; }
+    double vddMv() const { return vdd; }
+
+    /** Set the environmental operating conditions. */
+    void setConditions(const Conditions &c) { conditions = c; }
+    const Conditions &currentConditions() const { return conditions; }
+
+    /** Store a full line; data must have wordsPerLine() entries. */
+    void writeLine(const LinePoint &p,
+                   std::span<const std::uint64_t> data);
+
+    /** Fill a line with a repeating test pattern word. */
+    void fillLine(const LinePoint &p, std::uint64_t pattern);
+
+    /** Read one word of a line through the ECC pipe. */
+    ReadResult readWord(const LinePoint &p, std::uint32_t word);
+
+    /** Read back a whole line; aggregates word statuses. */
+    LineAccessResult readLine(const LinePoint &p);
+
+    /** The codec used by the array (shared by tests). */
+    const ecc::SecdedCodec &codec() const { return secded; }
+
+    // Access counters (telemetry).
+    std::uint64_t wordReads() const { return nReads; }
+    std::uint64_t wordWrites() const { return nWrites; }
+
+  private:
+    /** Severity of a fault on this access, if any. */
+    enum class FaultKind { None, Single, Double };
+    FaultKind faultOn(std::uint64_t line);
+
+    const VminField &field;
+    const EnvironmentModel &env;
+    EccErrorLog &log;
+    ecc::SecdedCodec secded;
+    util::Rng rng;
+
+    double vdd = 800.0;
+    Conditions conditions;
+
+    std::vector<std::uint64_t> words;
+    std::vector<std::uint8_t> checks;
+    std::uint64_t nReads = 0;
+    std::uint64_t nWrites = 0;
+};
+
+} // namespace authenticache::sim
+
+#endif // AUTH_SIM_CACHE_ARRAY_HPP

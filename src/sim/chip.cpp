@@ -1,0 +1,59 @@
+#include "sim/chip.hpp"
+
+namespace authenticache::sim {
+
+SimulatedChip::SimulatedChip(const ChipConfig &config,
+                             std::uint64_t chip_seed)
+    : cfg(config),
+      chipSeed(chip_seed),
+      geom(config.cacheBytes, config.lineBytes, config.ways),
+      field(geom, config.variation, chip_seed),
+      env(geom.lines(), config.environment, chip_seed),
+      log(config.errorLogCapacity),
+      array(field, env, log, chip_seed ^ 0xACCE55ull),
+      vr(config.regulator),
+      tester(array, log)
+{
+    array.setVddMv(vr.vddMv());
+}
+
+VoltageStatus
+SimulatedChip::setVddMv(double vdd_mv, double *latency_us)
+{
+    VoltageStatus status = vr.request(vdd_mv, latency_us);
+    if (status == VoltageStatus::Ok)
+        array.setVddMv(vr.vddMv());
+    return status;
+}
+
+double
+SimulatedChip::emergencyRaise()
+{
+    double latency = vr.emergencyRaise();
+    array.setVddMv(vr.vddMv());
+    return latency;
+}
+
+void
+collectChipStats(const SimulatedChip &chip,
+                 util::StatsRegistry &registry,
+                 const std::string &component)
+{
+    registry.set(component, "word_reads",
+                 chip.cacheArray().wordReads());
+    registry.set(component, "word_writes",
+                 chip.cacheArray().wordWrites());
+    registry.set(component, "ecc_corrected",
+                 chip.errorLog().totalCorrected());
+    registry.set(component, "ecc_uncorrectable",
+                 chip.errorLog().totalUncorrectable());
+    registry.set(component, "ecc_log_overflows",
+                 chip.errorLog().overflowCount());
+    registry.set(component, "vdd_transitions",
+                 chip.regulator().transitions());
+    registry.set(component, "line_self_tests",
+                 chip.selfTest().lineTestsPerformed());
+    registry.set(component, "vdd_mv", chip.vddMv());
+}
+
+} // namespace authenticache::sim

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * A complete simulated chip: geometry, silicon profile, environment,
+ * ECC-protected cache array, voltage regulator, error log, and
+ * self-test engine, wired together. This is the "device" everything
+ * above the sim layer talks to.
+ */
+
+#ifndef AUTH_SIM_CHIP_HPP
+#define AUTH_SIM_CHIP_HPP
+
+#include <cstdint>
+#include <memory>
+
+#include "sim/cache_array.hpp"
+#include "sim/environment.hpp"
+#include "sim/error_log.hpp"
+#include "sim/geometry.hpp"
+#include "sim/self_test.hpp"
+#include "sim/variation.hpp"
+#include "sim/voltage_regulator.hpp"
+#include "util/stats_registry.hpp"
+
+namespace authenticache::sim {
+
+/** Everything needed to manufacture a chip. */
+struct ChipConfig
+{
+    std::uint64_t cacheBytes = 4ull * 1024 * 1024;
+    std::uint32_t lineBytes = 64;
+    std::uint32_t ways = 8;
+    VariationParams variation;
+    EnvironmentParams environment;
+    RegulatorParams regulator;
+    std::size_t errorLogCapacity = 4096;
+};
+
+class SimulatedChip
+{
+  public:
+    /**
+     * Manufacture a chip. The seed is the die identity: two chips
+     * with different seeds have independent error maps (Figure 3).
+     */
+    SimulatedChip(const ChipConfig &config, std::uint64_t chip_seed);
+
+    const CacheGeometry &geometry() const { return geom; }
+    const VminField &vminField() const { return field; }
+    std::uint64_t seed() const { return chipSeed; }
+
+    EccErrorLog &errorLog() { return log; }
+    const EccErrorLog &errorLog() const { return log; }
+    SramCacheArray &cacheArray() { return array; }
+    const SramCacheArray &cacheArray() const { return array; }
+    VoltageRegulator &regulator() { return vr; }
+    const VoltageRegulator &regulator() const { return vr; }
+    SelfTestEngine &selfTest() { return tester; }
+    const SelfTestEngine &selfTest() const { return tester; }
+
+    /** Set operating conditions (temperature, aging, supply noise). */
+    void setConditions(const Conditions &c) { array.setConditions(c); }
+    const Conditions &conditions() const
+    {
+        return array.currentConditions();
+    }
+
+    /**
+     * Request a supply-voltage change through the regulator and
+     * propagate it to the array on success.
+     */
+    VoltageStatus setVddMv(double vdd_mv, double *latency_us = nullptr);
+
+    /** Emergency ramp to nominal; returns latency in microseconds. */
+    double emergencyRaise();
+
+    double vddMv() const { return vr.vddMv(); }
+
+  private:
+    ChipConfig cfg;
+    std::uint64_t chipSeed;
+    CacheGeometry geom;
+    VminField field;
+    EnvironmentModel env;
+    EccErrorLog log;
+    SramCacheArray array;
+    VoltageRegulator vr;
+    SelfTestEngine tester;
+};
+
+/** Snapshot a chip's counters into a stats registry. */
+void collectChipStats(const SimulatedChip &chip,
+                      util::StatsRegistry &registry,
+                      const std::string &component = "chip");
+
+} // namespace authenticache::sim
+
+#endif // AUTH_SIM_CHIP_HPP

@@ -1,0 +1,37 @@
+#include "sim/environment.hpp"
+
+namespace authenticache::sim {
+
+EnvironmentModel::EnvironmentModel(std::uint64_t lines,
+                                   const EnvironmentParams &params,
+                                   std::uint64_t chip_seed)
+{
+    util::Rng rng(chip_seed ^ 0x454E564D4F444C21ull);
+    tempCoeff.resize(lines);
+    agingDrift.resize(lines);
+    for (std::uint64_t i = 0; i < lines; ++i) {
+        tempCoeff[i] = static_cast<float>(rng.nextGaussian(
+            params.tempCoeffMvPerC, params.tempCoeffSigma));
+        agingDrift[i] = static_cast<float>(
+            rng.nextGaussian(params.agingMvPerYear, params.agingSigma));
+    }
+}
+
+double
+EnvironmentModel::thresholdShiftMv(std::uint64_t line,
+                                   const Conditions &conditions) const
+{
+    return tempCoeff[line] * conditions.temperatureDeltaC +
+           agingDrift[line] * conditions.agingYears;
+}
+
+double
+EnvironmentModel::measurementJitterMv(const Conditions &conditions,
+                                      util::Rng &rng) const
+{
+    if (conditions.measurementSigmaMv <= 0.0)
+        return 0.0;
+    return rng.nextGaussian(0.0, conditions.measurementSigmaMv);
+}
+
+} // namespace authenticache::sim

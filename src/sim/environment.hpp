@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Environmental conditions acting on a chip: temperature, supply noise,
+ * and circuit aging (NBTI/HCI-style drift).
+ *
+ * The paper's noise discussion (Sec 6.1-6.2) reduces every source --
+ * static IR drop, dynamic voltage noise, temperature, aging -- to two
+ * observable effects on the error map: *new* errors appearing and
+ * *enrolled* errors masking. This model produces both mechanically:
+ * temperature and aging shift each line's effective failure threshold
+ * (with per-line sensitivity), and measurement noise jitters the
+ * threshold per access.
+ */
+
+#ifndef AUTH_SIM_ENVIRONMENT_HPP
+#define AUTH_SIM_ENVIRONMENT_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace authenticache::sim {
+
+/** Operating conditions relative to the enrollment environment. */
+struct Conditions
+{
+    /** Degrees C above the enrollment temperature. */
+    double temperatureDeltaC = 0.0;
+
+    /** Years of field aging since enrollment. */
+    double agingYears = 0.0;
+
+    /** Sigma of per-access threshold jitter (supply noise), in mV. */
+    double measurementSigmaMv = 1.0;
+
+    static Conditions nominal() { return Conditions{}; }
+};
+
+/** Sensitivity parameters translating conditions into mV shifts. */
+struct EnvironmentParams
+{
+    /** Mean threshold rise per degree C (hotter -> fails earlier). */
+    double tempCoeffMvPerC = 0.25;
+
+    /** Per-line sigma of the temperature coefficient. */
+    double tempCoeffSigma = 0.10;
+
+    /** Mean threshold rise per year of aging. */
+    double agingMvPerYear = 1.2;
+
+    /** Per-line sigma of the aging drift per year. */
+    double agingSigma = 0.8;
+};
+
+/**
+ * Per-chip environmental response. Holds each line's private
+ * temperature/aging sensitivities (drawn once per chip) and converts a
+ * Conditions setting into a per-line effective threshold shift.
+ */
+class EnvironmentModel
+{
+  public:
+    EnvironmentModel(std::uint64_t lines, const EnvironmentParams &params,
+                     std::uint64_t chip_seed);
+
+    /**
+     * Deterministic (per conditions) threshold shift of a line in mV.
+     * Positive values raise the failure voltage, i.e. make the line
+     * fail at higher Vdd -- the source of *new* errors; lines with
+     * negative shift can mask out of the enrolled map.
+     */
+    double thresholdShiftMv(std::uint64_t line,
+                            const Conditions &conditions) const;
+
+    /** Per-access measurement jitter in mV; consumes RNG state. */
+    double measurementJitterMv(const Conditions &conditions,
+                               util::Rng &rng) const;
+
+  private:
+    std::vector<float> tempCoeff;  // mV per degree C, per line.
+    std::vector<float> agingDrift; // mV per year, per line (signed).
+};
+
+} // namespace authenticache::sim
+
+#endif // AUTH_SIM_ENVIRONMENT_HPP

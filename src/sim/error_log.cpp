@@ -1,0 +1,40 @@
+#include "sim/error_log.hpp"
+
+namespace authenticache::sim {
+
+EccErrorLog::EccErrorLog(std::size_t capacity_) : capacity(capacity_) {}
+
+bool
+EccErrorLog::post(const EccEvent &event)
+{
+    if (event.severity == EccSeverity::Corrected)
+        ++nCorrected;
+    else
+        ++nUncorrectable;
+
+    if (events.size() >= capacity) {
+        ++overflow;
+        return false;
+    }
+    events.push_back(event);
+    return true;
+}
+
+std::vector<EccEvent>
+EccErrorLog::drain()
+{
+    std::vector<EccEvent> out(events.begin(), events.end());
+    events.clear();
+    return out;
+}
+
+void
+EccErrorLog::clear()
+{
+    events.clear();
+    overflow = 0;
+    nCorrected = 0;
+    nUncorrectable = 0;
+}
+
+} // namespace authenticache::sim

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * ECC event log modeled after processor machine-check error banks.
+ *
+ * The hardware the paper builds on (Itanium 9560) logs every corrected
+ * cache error -- location and syndrome -- into registers firmware can
+ * read. This class is that logging surface: the cache array posts
+ * events, the firmware error handler drains them.
+ */
+
+#ifndef AUTH_SIM_ERROR_LOG_HPP
+#define AUTH_SIM_ERROR_LOG_HPP
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "sim/geometry.hpp"
+
+namespace authenticache::sim {
+
+/** Severity of a logged ECC event. */
+enum class EccSeverity
+{
+    Corrected,      ///< Single-bit error, fixed in flight.
+    Uncorrectable,  ///< Double-bit (or worse); data loss signaled.
+};
+
+/** One logged ECC event. */
+struct EccEvent
+{
+    LinePoint line;
+    std::uint32_t word = 0;        ///< Word within the line.
+    int bitPosition = -1;          ///< Corrected bit, -1 if unknown.
+    EccSeverity severity = EccSeverity::Corrected;
+    double vddMv = 0.0;            ///< Supply voltage at event time.
+};
+
+/**
+ * Bounded event log. When full, new events are dropped and an overflow
+ * counter increments (matching real MCA bank semantics, where software
+ * must drain banks promptly).
+ */
+class EccErrorLog
+{
+  public:
+    explicit EccErrorLog(std::size_t capacity = 4096);
+
+    /** Post an event; returns false when dropped on overflow. */
+    bool post(const EccEvent &event);
+
+    /** Number of events currently queued. */
+    std::size_t pending() const { return events.size(); }
+
+    /** Drain all queued events in arrival order. */
+    std::vector<EccEvent> drain();
+
+    /** Events dropped due to a full log since the last clear. */
+    std::uint64_t overflowCount() const { return overflow; }
+
+    /** Lifetime counters, not reset by drain(). */
+    std::uint64_t totalCorrected() const { return nCorrected; }
+    std::uint64_t totalUncorrectable() const { return nUncorrectable; }
+
+    /** Reset queue and counters (power-on state). */
+    void clear();
+
+  private:
+    std::size_t capacity;
+    std::deque<EccEvent> events;
+    std::uint64_t overflow = 0;
+    std::uint64_t nCorrected = 0;
+    std::uint64_t nUncorrectable = 0;
+};
+
+} // namespace authenticache::sim
+
+#endif // AUTH_SIM_ERROR_LOG_HPP

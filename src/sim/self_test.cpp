@@ -1,0 +1,86 @@
+#include "sim/self_test.hpp"
+
+#include <algorithm>
+
+namespace authenticache::sim {
+
+namespace {
+
+constexpr std::uint64_t kCheckerboard = 0xAAAAAAAAAAAAAAAAull;
+constexpr std::uint64_t kInverse = 0x5555555555555555ull;
+
+} // namespace
+
+SelfTestEngine::SelfTestEngine(SramCacheArray &array_, EccErrorLog &log_)
+    : array(array_), log(log_)
+{
+}
+
+LineTestResult
+SelfTestEngine::testOnce(const LinePoint &p, std::uint64_t pattern)
+{
+    ++nLineTests;
+    array.fillLine(p, pattern);
+    LineAccessResult r = array.readLine(p);
+    LineTestResult out;
+    out.triggered = r.corrected;
+    out.uncorrectable = r.uncorrectable;
+    out.attemptsUsed = 1;
+    return out;
+}
+
+SweepResult
+SelfTestEngine::sweepAll(std::uint32_t passes)
+{
+    const auto &geom = array.geometry();
+    SweepResult result;
+
+    // Drop stale events so the sweep only observes its own.
+    log.drain();
+
+    std::vector<bool> seen(geom.lines(), false);
+    for (std::uint32_t pass = 0; pass < passes; ++pass) {
+        std::uint64_t pattern =
+            (pass % 2 == 0) ? kCheckerboard : kInverse;
+        for (std::uint32_t set = 0; set < geom.sets(); ++set) {
+            for (std::uint32_t way = 0; way < geom.ways(); ++way) {
+                LinePoint p{set, way};
+                LineTestResult r = testOnce(p, pattern);
+                ++result.linesTested;
+                if (r.uncorrectable)
+                    ++result.uncorrectableCount;
+                if (r.triggered) {
+                    std::uint64_t idx = geom.lineIndex(p);
+                    if (!seen[idx]) {
+                        seen[idx] = true;
+                        result.correctableLines.push_back(p);
+                    }
+                }
+            }
+        }
+    }
+    std::sort(result.correctableLines.begin(),
+              result.correctableLines.end());
+    log.drain();
+    return result;
+}
+
+LineTestResult
+SelfTestEngine::testLine(const LinePoint &p, std::uint32_t max_attempts)
+{
+    LineTestResult out;
+    for (std::uint32_t attempt = 0; attempt < max_attempts; ++attempt) {
+        std::uint64_t pattern =
+            (patternToggle++ % 2 == 0) ? kCheckerboard : kInverse;
+        LineTestResult r = testOnce(p, pattern);
+        out.attemptsUsed = attempt + 1;
+        out.uncorrectable = out.uncorrectable || r.uncorrectable;
+        if (r.triggered) {
+            out.triggered = true;
+            break;
+        }
+    }
+    return out;
+}
+
+} // namespace authenticache::sim

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Cache built-in self-test engine.
+ *
+ * Implements the two self-test services the paper's error handler
+ * provides (Sec 5.2): full-cache sweeps used during calibration and
+ * enrollment, and targeted per-line tests used while answering
+ * challenges. Tests write known patterns into the line and read them
+ * back through the ECC pipe; the error log is drained to learn which
+ * lines reported corrected events.
+ */
+
+#ifndef AUTH_SIM_SELF_TEST_HPP
+#define AUTH_SIM_SELF_TEST_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/cache_array.hpp"
+#include "sim/error_log.hpp"
+#include "sim/geometry.hpp"
+
+namespace authenticache::sim {
+
+/** Result of a full-cache sweep at one voltage. */
+struct SweepResult
+{
+    std::vector<LinePoint> correctableLines; ///< Distinct failing lines.
+    std::uint64_t uncorrectableCount = 0;    ///< Uncorrectable events.
+    std::uint64_t linesTested = 0;           ///< Lines exercised.
+};
+
+/** Result of a targeted line test. */
+struct LineTestResult
+{
+    bool triggered = false;      ///< Correctable error observed.
+    bool uncorrectable = false;  ///< Uncorrectable event observed.
+    std::uint32_t attemptsUsed = 0;
+};
+
+class SelfTestEngine
+{
+  public:
+    /**
+     * @param array Cache under test.
+     * @param log The array's error log (drained by the engine).
+     */
+    SelfTestEngine(SramCacheArray &array, EccErrorLog &log);
+
+    /**
+     * Sweep every line at the array's current voltage with the given
+     * number of passes; the standard pattern set (checkerboard and
+     * inverse) is applied on alternating passes.
+     */
+    SweepResult sweepAll(std::uint32_t passes = 1);
+
+    /**
+     * Test a single line up to @p max_attempts times, stopping at the
+     * first correctable event.
+     */
+    LineTestResult testLine(const LinePoint &p,
+                            std::uint32_t max_attempts = 1);
+
+    /** Total individual line tests performed (timing input). */
+    std::uint64_t lineTestsPerformed() const { return nLineTests; }
+
+    /** Reset the line-test counter. */
+    void resetCounters() { nLineTests = 0; }
+
+  private:
+    /** One write+readback pass over a line; true if corrected event. */
+    LineTestResult testOnce(const LinePoint &p, std::uint64_t pattern);
+
+    SramCacheArray &array;
+    EccErrorLog &log;
+    std::uint64_t nLineTests = 0;
+    std::uint64_t patternToggle = 0;
+};
+
+} // namespace authenticache::sim
+
+#endif // AUTH_SIM_SELF_TEST_HPP

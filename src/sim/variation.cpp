@@ -1,0 +1,89 @@
+#include "sim/variation.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace authenticache::sim {
+
+VminField::VminField(const CacheGeometry &geometry,
+                     const VariationParams &params,
+                     std::uint64_t chip_seed)
+    : geom(geometry)
+{
+    util::Rng rng(chip_seed);
+    const std::uint64_t n = geom.lines();
+
+    vCorr.resize(n);
+    uncorrGap.resize(n);
+    persist.resize(n);
+    weakWordIdx.resize(n);
+    weakBitIdx.resize(n);
+    weakBit2Idx.resize(n);
+
+    const double chip_vcorr =
+        rng.nextGaussian(params.vcorrMeanMv, params.vcorrSigmaMv);
+
+    const double expected_tail = params.tailDensityPerMv *
+                                 params.windowMv *
+                                 (static_cast<double>(n) /
+                                  params.densityReferenceLines);
+    const double p_tail =
+        std::min(1.0, expected_tail / static_cast<double>(n));
+
+    double max_vcorr = 0.0;
+    for (std::uint64_t i = 0; i < n; ++i) {
+        double v;
+        if (rng.nextBool(p_tail)) {
+            // Weak-tail line: fails within the measurable window.
+            v = chip_vcorr - rng.nextDouble() * params.windowMv;
+        } else {
+            // Bulk line: fails only far below the window.
+            v = chip_vcorr - params.bulkHighMv -
+                rng.nextDouble() * (params.bulkLowMv - params.bulkHighMv);
+        }
+        vCorr[i] = static_cast<float>(v);
+        max_vcorr = std::max(max_vcorr, v);
+
+        uncorrGap[i] = static_cast<float>(
+            params.uncorrGapMinMv +
+            rng.nextDouble() *
+                (params.uncorrGapMaxMv - params.uncorrGapMinMv));
+
+        double q = rng.nextBeta(params.persistenceAlpha,
+                                params.persistenceBeta);
+        persist[i] = static_cast<float>(std::clamp(q, 0.05, 1.0));
+
+        weakWordIdx[i] = static_cast<std::uint8_t>(
+            rng.nextBelow(geom.wordsPerLine()));
+        // 72-bit codeword: bits 64..71 are the SECDED check bits.
+        weakBitIdx[i] = static_cast<std::uint8_t>(rng.nextBelow(72));
+        std::uint32_t second = weakBitIdx[i];
+        while (second == weakBitIdx[i])
+            second = static_cast<std::uint32_t>(rng.nextBelow(72));
+        weakBit2Idx[i] = static_cast<std::uint8_t>(second);
+    }
+    vcorr = max_vcorr;
+}
+
+double
+VminField::maxUncorrectableMv() const
+{
+    double best = -1e9;
+    for (std::size_t i = 0; i < vCorr.size(); ++i)
+        best = std::max(best,
+                        static_cast<double>(vCorr[i]) - uncorrGap[i]);
+    return best;
+}
+
+std::vector<std::uint64_t>
+VminField::linesFailingAt(double vdd_mv) const
+{
+    std::vector<std::uint64_t> out;
+    for (std::uint64_t i = 0; i < vCorr.size(); ++i) {
+        if (vCorr[i] >= vdd_mv)
+            out.push_back(i);
+    }
+    return out;
+}
+
+} // namespace authenticache::sim

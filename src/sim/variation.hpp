@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Process-variation model for SRAM minimum operating voltage.
+ *
+ * Every cache line receives, at "manufacturing" time (construction from
+ * a chip seed):
+ *
+ *  - vCorrectable: the supply voltage below which the line exhibits
+ *    single-bit (ECC-correctable) errors. Following the hardware
+ *    characterization in Sec 3 of the paper, a small fraction of lines
+ *    (the "weak tail") land in a window of ~65 mV below the chip's
+ *    first-failure voltage Vcorr, at a density of ~2 lines/mV for a
+ *    4 MB cache (Figure 1); the bulk of lines only fail far below.
+ *  - vUncorrectable: a second, lower threshold below which the line
+ *    exhibits double-bit (detectable but uncorrectable) errors. The
+ *    gap between the thresholds is what creates the usable operating
+ *    window for Authenticache: the voltage floor is calibrated to the
+ *    highest vUncorrectable plus a guardband.
+ *  - weak word/bit: which cell of the line actually flips; fixed per
+ *    line, as parametric SRAM failures pin specific transistors.
+ *  - persistence q: per-line probability that a self-test at a voltage
+ *    below vCorrectable actually triggers the error; Beta-distributed,
+ *    calibrated against the persistence CDF of Figure 11 (74% of
+ *    enrolled lines fire on the first attempt, ~94% within four).
+ *
+ * Spatial placement of weak lines is uniform across sets and ways
+ * (Figure 2) and independent across chips (Figure 3).
+ */
+
+#ifndef AUTH_SIM_VARIATION_HPP
+#define AUTH_SIM_VARIATION_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/geometry.hpp"
+#include "util/rng.hpp"
+
+namespace authenticache::sim {
+
+/** Tunable parameters of the variation model, in millivolts. */
+struct VariationParams
+{
+    /** Mean first-correctable-error voltage across chips. */
+    double vcorrMeanMv = 720.0;
+
+    /** Chip-to-chip sigma of the first-failure voltage. */
+    double vcorrSigmaMv = 8.0;
+
+    /** Width of the weak-tail window below Vcorr. */
+    double windowMv = 65.0;
+
+    /**
+     * Expected weak lines per mV of window *per 64K lines* (4MB at
+     * 64B/8-way). Figure 1 measures ~2 lines/mV at that capacity;
+     * the count scales linearly with cache size.
+     */
+    double tailDensityPerMv = 2.0;
+
+    /** Reference line count the density is quoted at. */
+    double densityReferenceLines = 65536.0;
+
+    /**
+     * Gap between correctable and uncorrectable thresholds: bounds.
+     * Together with bulkHighMv this shapes the usable window: the
+     * calibrated floor lands ~uncorrGapMin below Vcorr, which must
+     * stay well above the bulk-failure edge or the error population
+     * explodes.
+     */
+    double uncorrGapMinMv = 60.0;
+    double uncorrGapMaxMv = 85.0;
+
+    /** Bulk (non-tail) lines fail uniformly in this band below Vcorr. */
+    double bulkLowMv = 300.0;
+    double bulkHighMv = 120.0;
+
+    /** Beta parameters of the per-line persistence probability. */
+    double persistenceAlpha = 1.4;
+    double persistenceBeta = 0.492;
+};
+
+/** Immutable per-line silicon profile generated from a chip seed. */
+class VminField
+{
+  public:
+    /**
+     * Manufacture a chip's Vmin field.
+     *
+     * @param geometry Cache shape.
+     * @param params Variation model parameters.
+     * @param chip_seed Unique per-chip seed (the "die").
+     */
+    VminField(const CacheGeometry &geometry, const VariationParams &params,
+              std::uint64_t chip_seed);
+
+    const CacheGeometry &geometry() const { return geom; }
+
+    /** Chip's first-failure voltage (highest vCorrectable). */
+    double vcorrMv() const { return vcorr; }
+
+    /** Single-bit-error threshold of a line. */
+    double vCorrectableMv(std::uint64_t line) const
+    {
+        return vCorr[line];
+    }
+
+    /** Double-bit-error threshold of a line. */
+    double vUncorrectableMv(std::uint64_t line) const
+    {
+        return vCorr[line] - uncorrGap[line];
+    }
+
+    /** Persistence probability of a line's weak cell. */
+    double persistence(std::uint64_t line) const { return persist[line]; }
+
+    /** Word within the line holding the weak cell. */
+    std::uint32_t weakWord(std::uint64_t line) const
+    {
+        return weakWordIdx[line];
+    }
+
+    /**
+     * Bit within the protected word that flips; values >= 64 denote a
+     * check bit (the ECC bits are SRAM cells too).
+     */
+    std::uint32_t weakBit(std::uint64_t line) const
+    {
+        return weakBitIdx[line];
+    }
+
+    /** Second bit flipped in the uncorrectable regime. */
+    std::uint32_t weakBit2(std::uint64_t line) const
+    {
+        return weakBit2Idx[line];
+    }
+
+    /** Highest vUncorrectable across the chip (the raw floor). */
+    double maxUncorrectableMv() const;
+
+    /** Lines whose vCorrectable lies at or above the given voltage. */
+    std::vector<std::uint64_t> linesFailingAt(double vdd_mv) const;
+
+  private:
+    CacheGeometry geom;
+    double vcorr = 0.0;
+    std::vector<float> vCorr;
+    std::vector<float> uncorrGap;
+    std::vector<float> persist;
+    std::vector<std::uint8_t> weakWordIdx;
+    std::vector<std::uint8_t> weakBitIdx;
+    std::vector<std::uint8_t> weakBit2Idx;
+};
+
+} // namespace authenticache::sim
+
+#endif // AUTH_SIM_VARIATION_HPP

@@ -1,0 +1,51 @@
+#include "sim/voltage_regulator.hpp"
+
+#include <cmath>
+
+namespace authenticache::sim {
+
+VoltageRegulator::VoltageRegulator(const RegulatorParams &params_)
+    : params(params_), current(params_.nominalMv)
+{
+}
+
+double
+VoltageRegulator::transitionLatencyUs(double from, double to) const
+{
+    if (from == to)
+        return 0.0;
+    return params.baseLatencyUs + params.slewUsPerMv * std::abs(to - from);
+}
+
+VoltageStatus
+VoltageRegulator::request(double vdd_mv, double *latency_us)
+{
+    // Quantize to the regulator's step grid.
+    double quantized =
+        std::round(vdd_mv / params.stepMv) * params.stepMv;
+
+    if (quantized > params.nominalMv || quantized < params.absoluteMinMv)
+        return VoltageStatus::OutOfRange;
+    if (floor > 0.0 && quantized < floor)
+        return VoltageStatus::BelowFloor;
+
+    double latency = transitionLatencyUs(current, quantized);
+    if (quantized != current)
+        ++nTransitions;
+    current = quantized;
+    if (latency_us)
+        *latency_us = latency;
+    return VoltageStatus::Ok;
+}
+
+double
+VoltageRegulator::emergencyRaise()
+{
+    double latency = transitionLatencyUs(current, params.nominalMv);
+    if (current != params.nominalMv)
+        ++nTransitions;
+    current = params.nominalMv;
+    return latency;
+}
+
+} // namespace authenticache::sim

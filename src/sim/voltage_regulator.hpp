@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Supply-voltage regulator model.
+ *
+ * Exposes the operations the paper's firmware voltage-control module
+ * needs: set a target Vdd (with a realistic transition latency that the
+ * timing model charges), enforce a floor below which requests are
+ * rejected, and an emergency ramp back to nominal (Sec 5.3).
+ */
+
+#ifndef AUTH_SIM_VOLTAGE_REGULATOR_HPP
+#define AUTH_SIM_VOLTAGE_REGULATOR_HPP
+
+#include <cstdint>
+
+namespace authenticache::sim {
+
+/** Regulator electrical/timing parameters. */
+struct RegulatorParams
+{
+    double nominalMv = 800.0;    ///< Power-on operating voltage.
+    double absoluteMinMv = 500.0;///< Hardware lower bound.
+    double stepMv = 1.0;         ///< Settable granularity.
+    double baseLatencyUs = 200.0;///< Fixed cost of any transition.
+    double slewUsPerMv = 12.0;   ///< Additional cost per mV moved.
+};
+
+/** Outcome of a voltage request. */
+enum class VoltageStatus
+{
+    Ok,           ///< Voltage set.
+    BelowFloor,   ///< Rejected: below the configured safety floor.
+    OutOfRange,   ///< Rejected: outside the hardware range.
+};
+
+class VoltageRegulator
+{
+  public:
+    explicit VoltageRegulator(const RegulatorParams &params = {});
+
+    double vddMv() const { return current; }
+    double nominalMv() const { return params.nominalMv; }
+
+    /**
+     * Safety floor; requests below it fail with BelowFloor. A zero
+     * floor (power-on state) disables the check so that boot-time
+     * calibration can probe downward.
+     */
+    void setFloorMv(double floor_mv) { floor = floor_mv; }
+    double floorMv() const { return floor; }
+
+    /**
+     * Request a supply change. On success the voltage is quantized to
+     * the step grid and @p latency_us (if non-null) receives the
+     * transition time.
+     */
+    VoltageStatus request(double vdd_mv, double *latency_us = nullptr);
+
+    /**
+     * Emergency action: slam back to nominal, ignoring the floor.
+     * @return Transition latency in microseconds.
+     */
+    double emergencyRaise();
+
+    /** Cumulative transition count (for the timing model / tests). */
+    std::uint64_t transitions() const { return nTransitions; }
+
+  private:
+    double transitionLatencyUs(double from, double to) const;
+
+    RegulatorParams params;
+    double current;
+    double floor = 0.0;
+    std::uint64_t nTransitions = 0;
+};
+
+} // namespace authenticache::sim
+
+#endif // AUTH_SIM_VOLTAGE_REGULATOR_HPP

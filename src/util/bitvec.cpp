@@ -1,0 +1,139 @@
+#include "util/bitvec.hpp"
+
+#include <bit>
+#include <cassert>
+#include <stdexcept>
+
+namespace authenticache::util {
+
+namespace {
+
+constexpr std::size_t kWordBits = 64;
+
+inline std::size_t
+wordsFor(std::size_t nbits)
+{
+    return (nbits + kWordBits - 1) / kWordBits;
+}
+
+} // namespace
+
+BitVec::BitVec(std::size_t nbits_) : data(wordsFor(nbits_), 0), nbits(nbits_)
+{
+}
+
+bool
+BitVec::get(std::size_t i) const
+{
+    assert(i < nbits);
+    return (data[i / kWordBits] >> (i % kWordBits)) & 1ull;
+}
+
+void
+BitVec::set(std::size_t i, bool v)
+{
+    assert(i < nbits);
+    std::uint64_t mask = 1ull << (i % kWordBits);
+    if (v)
+        data[i / kWordBits] |= mask;
+    else
+        data[i / kWordBits] &= ~mask;
+}
+
+void
+BitVec::pushBack(bool v)
+{
+    if (nbits % kWordBits == 0)
+        data.push_back(0);
+    ++nbits;
+    set(nbits - 1, v);
+}
+
+std::size_t
+BitVec::popcount() const
+{
+    std::size_t acc = 0;
+    for (auto w : data)
+        acc += static_cast<std::size_t>(std::popcount(w));
+    return acc;
+}
+
+std::size_t
+BitVec::hammingDistance(const BitVec &other) const
+{
+    assert(nbits == other.nbits);
+    std::size_t acc = 0;
+    for (std::size_t i = 0; i < data.size(); ++i)
+        acc += static_cast<std::size_t>(std::popcount(data[i] ^
+                                                      other.data[i]));
+    return acc;
+}
+
+BitVec
+BitVec::operator^(const BitVec &other) const
+{
+    assert(nbits == other.nbits);
+    BitVec out(nbits);
+    for (std::size_t i = 0; i < data.size(); ++i)
+        out.data[i] = data[i] ^ other.data[i];
+    return out;
+}
+
+void
+BitVec::flip(std::size_t i)
+{
+    assert(i < nbits);
+    data[i / kWordBits] ^= 1ull << (i % kWordBits);
+}
+
+void
+BitVec::clear()
+{
+    for (auto &w : data)
+        w = 0;
+}
+
+std::string
+BitVec::toString() const
+{
+    std::string s;
+    s.reserve(nbits);
+    for (std::size_t i = 0; i < nbits; ++i)
+        s.push_back(get(i) ? '1' : '0');
+    return s;
+}
+
+BitVec
+BitVec::fromString(const std::string &s)
+{
+    BitVec v(s.size());
+    for (std::size_t i = 0; i < s.size(); ++i) {
+        if (s[i] == '1')
+            v.set(i, true);
+        else if (s[i] != '0')
+            throw std::invalid_argument("BitVec: bad character");
+    }
+    return v;
+}
+
+BitVec
+BitVec::fromWords(std::vector<std::uint64_t> words, std::size_t nbits)
+{
+    if (words.size() != wordsFor(nbits))
+        throw std::invalid_argument("BitVec: word count mismatch");
+    BitVec v;
+    v.data = std::move(words);
+    v.nbits = nbits;
+    v.maskTail();
+    return v;
+}
+
+void
+BitVec::maskTail()
+{
+    std::size_t rem = nbits % kWordBits;
+    if (rem != 0 && !data.empty())
+        data.back() &= (~0ull >> (kWordBits - rem));
+}
+
+} // namespace authenticache::util

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Compact dynamic bit vector with Hamming-weight helpers.
+ *
+ * PUF responses and error-map planes are bit strings whose dominant
+ * operations are XOR and popcount; std::vector<bool> supports neither
+ * efficiently, hence this type.
+ */
+
+#ifndef AUTH_UTIL_BITVEC_HPP
+#define AUTH_UTIL_BITVEC_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace authenticache::util {
+
+/** Fixed-length bit vector backed by 64-bit words. */
+class BitVec
+{
+  public:
+    BitVec() = default;
+
+    /** All-zero vector of the given length in bits. */
+    explicit BitVec(std::size_t nbits);
+
+    std::size_t size() const { return nbits; }
+    bool empty() const { return nbits == 0; }
+
+    bool get(std::size_t i) const;
+    void set(std::size_t i, bool v);
+
+    /** Append one bit, growing the vector. */
+    void pushBack(bool v);
+
+    /** Number of set bits. */
+    std::size_t popcount() const;
+
+    /** Hamming distance; both vectors must have equal length. */
+    std::size_t hammingDistance(const BitVec &other) const;
+
+    /** Bitwise XOR; both vectors must have equal length. */
+    BitVec operator^(const BitVec &other) const;
+
+    bool operator==(const BitVec &other) const = default;
+
+    /** Flip bit i in place. */
+    void flip(std::size_t i);
+
+    /** Set all bits to zero, keeping the length. */
+    void clear();
+
+    /** "0"/"1" string, bit 0 first; for debugging and golden tests. */
+    std::string toString() const;
+
+    /** Parse from a "0"/"1" string. */
+    static BitVec fromString(const std::string &s);
+
+    /** Access to backing words (for serialization). */
+    const std::vector<std::uint64_t> &words() const { return data; }
+
+    /** Rebuild from raw words + bit count (for deserialization). */
+    static BitVec fromWords(std::vector<std::uint64_t> words,
+                            std::size_t nbits);
+
+  private:
+    void maskTail();
+
+    std::vector<std::uint64_t> data;
+    std::size_t nbits = 0;
+};
+
+} // namespace authenticache::util
+
+#endif // AUTH_UTIL_BITVEC_HPP

@@ -1,0 +1,41 @@
+#include "util/crc32.hpp"
+
+#include <array>
+
+namespace authenticache::util {
+
+namespace {
+
+std::array<std::uint32_t, 256>
+makeTable()
+{
+    std::array<std::uint32_t, 256> table{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+        std::uint32_t c = i;
+        for (int k = 0; k < 8; ++k)
+            c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+        table[i] = c;
+    }
+    return table;
+}
+
+const std::array<std::uint32_t, 256> kTable = makeTable();
+
+} // namespace
+
+std::uint32_t
+crc32Update(std::uint32_t crc, std::span<const std::uint8_t> data)
+{
+    std::uint32_t c = crc ^ 0xFFFFFFFFu;
+    for (auto b : data)
+        c = kTable[(c ^ b) & 0xFF] ^ (c >> 8);
+    return c ^ 0xFFFFFFFFu;
+}
+
+std::uint32_t
+crc32(std::span<const std::uint8_t> data)
+{
+    return crc32Update(0, data);
+}
+
+} // namespace authenticache::util

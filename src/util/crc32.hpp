@@ -1,0 +1,24 @@
+/**
+ * @file
+ * CRC-32 (IEEE 802.3 polynomial) used as a frame check sequence on
+ * protocol messages.
+ */
+
+#ifndef AUTH_UTIL_CRC32_HPP
+#define AUTH_UTIL_CRC32_HPP
+
+#include <cstdint>
+#include <span>
+
+namespace authenticache::util {
+
+/** CRC-32/IEEE over a byte span (init 0xFFFFFFFF, final xor). */
+std::uint32_t crc32(std::span<const std::uint8_t> data);
+
+/** Incremental variant: feed a prior CRC to continue a computation. */
+std::uint32_t crc32Update(std::uint32_t crc,
+                          std::span<const std::uint8_t> data);
+
+} // namespace authenticache::util
+
+#endif // AUTH_UTIL_CRC32_HPP

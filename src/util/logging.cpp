@@ -1,0 +1,51 @@
+#include "util/logging.hpp"
+
+#include <iostream>
+#include <mutex>
+
+namespace authenticache::util {
+
+namespace {
+
+LogLevel globalLevel = LogLevel::Warn;
+std::mutex logMutex;
+
+const char *
+levelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Debug: return "DEBUG";
+      case LogLevel::Info: return "INFO";
+      case LogLevel::Warn: return "WARN";
+      case LogLevel::Error: return "ERROR";
+      case LogLevel::Off: return "OFF";
+    }
+    return "?";
+}
+
+} // namespace
+
+void
+setLogLevel(LogLevel level)
+{
+    globalLevel = level;
+}
+
+LogLevel
+logLevel()
+{
+    return globalLevel;
+}
+
+void
+logMessage(LogLevel level, const std::string &component,
+           const std::string &message)
+{
+    if (level < globalLevel || globalLevel == LogLevel::Off)
+        return;
+    std::lock_guard<std::mutex> lock(logMutex);
+    std::cerr << '[' << levelName(level) << "] " << component << ": "
+              << message << '\n';
+}
+
+} // namespace authenticache::util

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Minimal leveled logger. Firmware modules log state transitions so
+ * integration tests and examples can narrate what the simulated machine
+ * is doing; everything defaults to warnings-only so test output stays
+ * quiet.
+ */
+
+#ifndef AUTH_UTIL_LOGGING_HPP
+#define AUTH_UTIL_LOGGING_HPP
+
+#include <sstream>
+#include <string>
+
+namespace authenticache::util {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/** Global log threshold; messages below it are dropped. */
+void setLogLevel(LogLevel level);
+LogLevel logLevel();
+
+/** Emit one log line (already formatted) at the given level. */
+void logMessage(LogLevel level, const std::string &component,
+                const std::string &message);
+
+/** Stream-style helper: LogStream(level, "sim") << "x=" << 3; */
+class LogStream
+{
+  public:
+    LogStream(LogLevel message_level, std::string component_name)
+        : level(message_level), component(std::move(component_name))
+    {
+    }
+
+    ~LogStream() { logMessage(level, component, os.str()); }
+
+    LogStream(const LogStream &) = delete;
+    LogStream &operator=(const LogStream &) = delete;
+
+    template <typename T>
+    LogStream &
+    operator<<(const T &v)
+    {
+        os << v;
+        return *this;
+    }
+
+  private:
+    LogLevel level;
+    std::string component;
+    std::ostringstream os;
+};
+
+} // namespace authenticache::util
+
+#define AUTH_LOG_DEBUG(component)                                          \
+    ::authenticache::util::LogStream(                                      \
+        ::authenticache::util::LogLevel::Debug, component)
+#define AUTH_LOG_INFO(component)                                           \
+    ::authenticache::util::LogStream(                                      \
+        ::authenticache::util::LogLevel::Info, component)
+#define AUTH_LOG_WARN(component)                                           \
+    ::authenticache::util::LogStream(                                      \
+        ::authenticache::util::LogLevel::Warn, component)
+#define AUTH_LOG_ERROR(component)                                          \
+    ::authenticache::util::LogStream(                                      \
+        ::authenticache::util::LogLevel::Error, component)
+
+#endif // AUTH_UTIL_LOGGING_HPP

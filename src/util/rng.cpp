@@ -1,0 +1,193 @@
+#include "util/rng.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <unordered_set>
+
+namespace authenticache::util {
+
+namespace {
+
+inline std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+std::uint64_t
+SplitMix64::next()
+{
+    std::uint64_t z = (state += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+}
+
+Rng::Rng(std::uint64_t seed)
+{
+    SplitMix64 sm(seed);
+    for (auto &s : state)
+        s = sm.next();
+    // A theoretical possibility only: all-zero state is invalid.
+    if (state[0] == 0 && state[1] == 0 && state[2] == 0 && state[3] == 0)
+        state[0] = 1;
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(state[1] * 5, 7) * 9;
+    const std::uint64_t t = state[1] << 17;
+    state[2] ^= state[0];
+    state[3] ^= state[1];
+    state[1] ^= state[2];
+    state[0] ^= state[3];
+    state[2] ^= t;
+    state[3] = rotl(state[3], 45);
+    return result;
+}
+
+std::uint64_t
+Rng::nextBelow(std::uint64_t bound)
+{
+    assert(bound > 0);
+    // Lemire's rejection method for unbiased bounded integers.
+    std::uint64_t x = next();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    std::uint64_t l = static_cast<std::uint64_t>(m);
+    if (l < bound) {
+        std::uint64_t t = -bound % bound;
+        while (l < t) {
+            x = next();
+            m = static_cast<__uint128_t>(x) * bound;
+            l = static_cast<std::uint64_t>(m);
+        }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t
+Rng::nextInRange(std::int64_t lo, std::int64_t hi)
+{
+    assert(lo <= hi);
+    std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(nextBelow(span));
+}
+
+double
+Rng::nextDouble()
+{
+    // 53 high bits -> double in [0, 1).
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool
+Rng::nextBool(double p)
+{
+    return nextDouble() < p;
+}
+
+double
+Rng::nextGaussian()
+{
+    if (hasCachedGaussian) {
+        hasCachedGaussian = false;
+        return cachedGaussian;
+    }
+    double u1 = 0.0;
+    do {
+        u1 = nextDouble();
+    } while (u1 <= 0.0);
+    double u2 = nextDouble();
+    double r = std::sqrt(-2.0 * std::log(u1));
+    double theta = 2.0 * M_PI * u2;
+    cachedGaussian = r * std::sin(theta);
+    hasCachedGaussian = true;
+    return r * std::cos(theta);
+}
+
+double
+Rng::nextGaussian(double mean, double stddev)
+{
+    return mean + stddev * nextGaussian();
+}
+
+double
+Rng::nextExponential(double lambda)
+{
+    assert(lambda > 0.0);
+    double u = 0.0;
+    do {
+        u = nextDouble();
+    } while (u <= 0.0);
+    return -std::log(u) / lambda;
+}
+
+double
+Rng::nextGamma(double shape, double scale)
+{
+    assert(shape > 0.0 && scale > 0.0);
+    if (shape < 1.0) {
+        // Boost to shape >= 1 then apply the standard power correction.
+        double u = 0.0;
+        do {
+            u = nextDouble();
+        } while (u <= 0.0);
+        return nextGamma(shape + 1.0, scale) * std::pow(u, 1.0 / shape);
+    }
+    // Marsaglia & Tsang squeeze method.
+    const double d = shape - 1.0 / 3.0;
+    const double c = 1.0 / std::sqrt(9.0 * d);
+    for (;;) {
+        double x = 0.0;
+        double v = 0.0;
+        do {
+            x = nextGaussian();
+            v = 1.0 + c * x;
+        } while (v <= 0.0);
+        v = v * v * v;
+        double u = nextDouble();
+        if (u < 1.0 - 0.0331 * x * x * x * x)
+            return d * v * scale;
+        if (u > 0.0 &&
+            std::log(u) < 0.5 * x * x + d * (1.0 - v + std::log(v))) {
+            return d * v * scale;
+        }
+    }
+}
+
+double
+Rng::nextBeta(double a, double b)
+{
+    double x = nextGamma(a, 1.0);
+    double y = nextGamma(b, 1.0);
+    return x / (x + y);
+}
+
+std::vector<std::uint64_t>
+Rng::sampleDistinct(std::uint64_t n, std::size_t k)
+{
+    assert(k <= n);
+    // Robert Floyd's sampling algorithm: k iterations, no retries.
+    std::vector<std::uint64_t> result;
+    std::unordered_set<std::uint64_t> chosen;
+    result.reserve(k);
+    chosen.reserve(k * 2);
+    for (std::uint64_t j = n - k; j < n; ++j) {
+        std::uint64_t t = nextBelow(j + 1);
+        std::uint64_t pick = chosen.count(t) ? j : t;
+        chosen.insert(pick);
+        result.push_back(pick);
+    }
+    return result;
+}
+
+Rng
+Rng::fork()
+{
+    return Rng(next() ^ 0x6A09E667F3BCC908ull);
+}
+
+} // namespace authenticache::util

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Statistics helpers: running moments, histograms, and the binomial
+ * machinery used by the PUF identifiability analysis (Eq 3-4 of the
+ * paper).
+ */
+
+#ifndef AUTH_UTIL_STATS_HPP
+#define AUTH_UTIL_STATS_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace authenticache::util {
+
+/** Streaming mean/variance accumulator (Welford's algorithm). */
+class RunningStats
+{
+  public:
+    /** Add one observation. */
+    void add(double x);
+
+    /** Number of observations so far. */
+    std::size_t count() const { return n; }
+
+    /** Sample mean; 0 when empty. */
+    double mean() const { return n ? m : 0.0; }
+
+    /** Unbiased sample variance; 0 with fewer than two samples. */
+    double variance() const;
+
+    /** Unbiased sample standard deviation. */
+    double stddev() const;
+
+    /** Smallest observation seen. */
+    double min() const { return lo; }
+
+    /** Largest observation seen. */
+    double max() const { return hi; }
+
+  private:
+    std::size_t n = 0;
+    double m = 0.0;
+    double s = 0.0;
+    double lo = std::numeric_limits<double>::infinity();
+    double hi = -std::numeric_limits<double>::infinity();
+};
+
+/**
+ * Fixed-bin histogram over [lo, hi). Values outside the range are
+ * clamped into the first/last bin so that tail mass is never lost.
+ */
+class Histogram
+{
+  public:
+    Histogram(double lo, double hi, std::size_t bins);
+
+    void add(double x);
+
+    std::size_t bins() const { return counts.size(); }
+    std::uint64_t total() const { return n; }
+    std::uint64_t binCount(std::size_t i) const { return counts.at(i); }
+
+    /** Center of bin i. */
+    double binCenter(std::size_t i) const;
+
+    /** Fraction of all samples falling in bin i. */
+    double binFraction(std::size_t i) const;
+
+    /** Empirical CDF evaluated at x. */
+    double cdf(double x) const;
+
+  private:
+    double lo;
+    double hi;
+    std::vector<std::uint64_t> counts;
+    std::uint64_t n = 0;
+};
+
+/** Natural log of n choose k; exact gamma-based evaluation. */
+double logBinomialCoefficient(std::uint64_t n, std::uint64_t k);
+
+/** Binomial PMF P[X = k] for X ~ Bino(n, p). */
+double binomialPmf(std::uint64_t n, std::uint64_t k, double p);
+
+/**
+ * Cumulative binomial distribution F_bino(k; n, p) = P[X <= k].
+ * This is the F_bino of the paper's Eq 3-4. Computed with log-space
+ * accumulation so that ppm-scale tails are representable.
+ */
+double binomialCdf(std::uint64_t n, std::int64_t k, double p);
+
+/** Upper tail P[X > k] computed directly (not as 1 - CDF). */
+double binomialSf(std::uint64_t n, std::int64_t k, double p);
+
+/** Standard normal CDF. */
+double normalCdf(double x);
+
+/**
+ * Exact two-sided binomial-proportion confidence half-width using the
+ * normal approximation; convenience for reporting Monte Carlo error.
+ */
+double proportionConfidence95(double p, std::size_t n);
+
+} // namespace authenticache::util
+
+#endif // AUTH_UTIL_STATS_HPP

@@ -1,0 +1,75 @@
+#include "util/stats_registry.hpp"
+
+#include <ostream>
+
+#include "util/table.hpp"
+
+namespace authenticache::util {
+
+std::string
+StatsRegistry::key(const std::string &component,
+                   const std::string &name)
+{
+    return component + "." + name;
+}
+
+void
+StatsRegistry::set(const std::string &component,
+                   const std::string &name, std::uint64_t value)
+{
+    ints[key(component, name)] = value;
+}
+
+void
+StatsRegistry::set(const std::string &component,
+                   const std::string &name, double value)
+{
+    floats[key(component, name)] = value;
+}
+
+void
+StatsRegistry::add(const std::string &component,
+                   const std::string &name, std::uint64_t delta)
+{
+    ints[key(component, name)] += delta;
+}
+
+std::optional<std::uint64_t>
+StatsRegistry::getInt(const std::string &component,
+                      const std::string &name) const
+{
+    auto it = ints.find(key(component, name));
+    if (it == ints.end())
+        return std::nullopt;
+    return it->second;
+}
+
+std::optional<double>
+StatsRegistry::getFloat(const std::string &component,
+                        const std::string &name) const
+{
+    auto it = floats.find(key(component, name));
+    if (it == floats.end())
+        return std::nullopt;
+    return it->second;
+}
+
+void
+StatsRegistry::clear()
+{
+    ints.clear();
+    floats.clear();
+}
+
+void
+StatsRegistry::dump(std::ostream &os) const
+{
+    Table table({"statistic", "value"});
+    for (const auto &[k, v] : ints)
+        table.row().cell(k).cell(v);
+    for (const auto &[k, v] : floats)
+        table.row().cell(k).cell(v, 3);
+    table.print(os);
+}
+
+} // namespace authenticache::util

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Lightweight named-statistics registry, in the spirit of a
+ * simulator's stats package: components publish counters/gauges under
+ * "component.name" keys, and tools dump them as one table. Collection
+ * is pull-based (collectors snapshot live objects into a registry),
+ * so the hot paths carry no registry dependency.
+ */
+
+#ifndef AUTH_UTIL_STATS_REGISTRY_HPP
+#define AUTH_UTIL_STATS_REGISTRY_HPP
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <optional>
+#include <string>
+
+namespace authenticache::util {
+
+class StatsRegistry
+{
+  public:
+    /** Set (or overwrite) an integer statistic. */
+    void set(const std::string &component, const std::string &name,
+             std::uint64_t value);
+
+    /** Set (or overwrite) a floating-point statistic. */
+    void set(const std::string &component, const std::string &name,
+             double value);
+
+    /** Add to an integer statistic (creating it at zero). */
+    void add(const std::string &component, const std::string &name,
+             std::uint64_t delta);
+
+    /** Look up an integer statistic. */
+    std::optional<std::uint64_t>
+    getInt(const std::string &component,
+           const std::string &name) const;
+
+    /** Look up a floating-point statistic. */
+    std::optional<double> getFloat(const std::string &component,
+                                   const std::string &name) const;
+
+    std::size_t size() const
+    {
+        return ints.size() + floats.size();
+    }
+
+    void clear();
+
+    /** Aligned "component  statistic  value" table, sorted by key. */
+    void dump(std::ostream &os) const;
+
+  private:
+    static std::string key(const std::string &component,
+                           const std::string &name);
+
+    std::map<std::string, std::uint64_t> ints;
+    std::map<std::string, double> floats;
+};
+
+} // namespace authenticache::util
+
+#endif // AUTH_UTIL_STATS_REGISTRY_HPP

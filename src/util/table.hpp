@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Aligned-table and CSV emitters used by the benchmark harness to print
+ * the paper's figure/table series in a uniform way.
+ */
+
+#ifndef AUTH_UTIL_TABLE_HPP
+#define AUTH_UTIL_TABLE_HPP
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace authenticache::util {
+
+/**
+ * Column-aligned text table. Cells are strings; numeric convenience
+ * overloads format with a fixed precision.
+ */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> headers);
+
+    /** Begin a new row. */
+    Table &row();
+
+    /** Append a cell to the current row. */
+    Table &cell(const std::string &value);
+    Table &cell(const char *value);
+    Table &cell(double value, int precision = 3);
+    Table &cell(std::uint64_t value);
+    Table &cell(std::int64_t value);
+    Table &cell(int value);
+
+    /** Render with aligned columns to the stream. */
+    void print(std::ostream &os) const;
+
+    /** Render as CSV (comma separated, header first). */
+    void printCsv(std::ostream &os) const;
+
+    std::size_t rowCount() const { return rows.size(); }
+
+  private:
+    std::vector<std::string> headers;
+    std::vector<std::vector<std::string>> rows;
+};
+
+/** Print a section banner for bench output. */
+void printBanner(std::ostream &os, const std::string &title);
+
+} // namespace authenticache::util
+
+#endif // AUTH_UTIL_TABLE_HPP

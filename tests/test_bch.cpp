@@ -1,0 +1,281 @@
+/**
+ * @file
+ * Tests for GF(2^m) arithmetic, the BCH codec (property: corrects
+ * every error pattern up to t, detects failure beyond), and the
+ * BCH-based fuzzy extractor.
+ */
+
+#include <gtest/gtest.h>
+
+#include "crypto/bch_fuzzy_extractor.hpp"
+#include "ecc/bch.hpp"
+#include "ecc/gf2m.hpp"
+#include "util/rng.hpp"
+
+namespace e = authenticache::ecc;
+namespace c = authenticache::crypto;
+using authenticache::util::BitVec;
+using authenticache::util::Rng;
+
+TEST(GF2m, RejectsBadDegrees)
+{
+    EXPECT_THROW(e::GF2m(2), std::invalid_argument);
+    EXPECT_THROW(e::GF2m(15), std::invalid_argument);
+}
+
+class GF2mDegrees : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(GF2mDegrees, FieldAxiomsSampled)
+{
+    e::GF2m field(GetParam());
+    Rng rng(GetParam());
+    for (int trial = 0; trial < 200; ++trial) {
+        std::uint32_t a =
+            static_cast<std::uint32_t>(rng.nextBelow(field.size()));
+        std::uint32_t b =
+            static_cast<std::uint32_t>(rng.nextBelow(field.size()));
+        std::uint32_t nz = static_cast<std::uint32_t>(
+            1 + rng.nextBelow(field.order()));
+
+        // Commutativity and identity.
+        ASSERT_EQ(field.mul(a, b), field.mul(b, a));
+        ASSERT_EQ(field.mul(a, 1), a);
+        ASSERT_EQ(field.mul(a, 0), 0u);
+
+        // Inverse.
+        ASSERT_EQ(field.mul(nz, field.inv(nz)), 1u);
+        ASSERT_EQ(field.div(field.mul(a, nz), nz), a);
+
+        // Distributivity over XOR addition.
+        std::uint32_t cval = static_cast<std::uint32_t>(
+            rng.nextBelow(field.size()));
+        ASSERT_EQ(field.mul(a, b ^ cval),
+                  field.mul(a, b) ^ field.mul(a, cval));
+    }
+}
+
+TEST_P(GF2mDegrees, AlphaGeneratesTheGroup)
+{
+    e::GF2m field(GetParam());
+    // alpha^i must enumerate all nonzero elements exactly once.
+    std::vector<bool> seen(field.size(), false);
+    for (std::uint32_t i = 0; i < field.order(); ++i) {
+        std::uint32_t v = field.alphaPow(i);
+        ASSERT_NE(v, 0u);
+        ASSERT_FALSE(seen[v]);
+        seen[v] = true;
+        ASSERT_EQ(field.logAlpha(v), i);
+    }
+    EXPECT_EQ(field.alphaPow(field.order()), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Degrees, GF2mDegrees,
+                         ::testing::Values(3u, 4u, 7u, 8u, 10u));
+
+TEST(Bch, StandardCodeShapes)
+{
+    // Classical narrow-sense BCH parameters.
+    e::BchCode c1(4, 1);
+    EXPECT_EQ(c1.n(), 15u);
+    EXPECT_EQ(c1.k(), 11u);
+    e::BchCode c2(4, 2);
+    EXPECT_EQ(c2.k(), 7u);
+    e::BchCode c3(4, 3);
+    EXPECT_EQ(c3.k(), 5u);
+    e::BchCode c127(7, 10);
+    EXPECT_EQ(c127.n(), 127u);
+    EXPECT_EQ(c127.k(), 64u);
+}
+
+TEST(Bch, EncodeIsSystematic)
+{
+    e::BchCode code(7, 10);
+    Rng rng(1);
+    BitVec message(code.k());
+    for (std::size_t i = 0; i < message.size(); ++i)
+        message.set(i, rng.nextBool());
+    auto codeword = code.encode(message);
+    EXPECT_EQ(codeword.size(), code.n());
+    EXPECT_EQ(code.extractMessage(codeword), message);
+}
+
+TEST(Bch, CleanCodewordDecodes)
+{
+    e::BchCode code(7, 10);
+    Rng rng(2);
+    BitVec message(code.k());
+    for (std::size_t i = 0; i < message.size(); ++i)
+        message.set(i, rng.nextBool());
+    auto codeword = code.encode(message);
+    auto decoded = code.decode(codeword);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(*decoded, codeword);
+}
+
+class BchErrorCounts : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(BchErrorCounts, CorrectsUpToTErrors)
+{
+    const unsigned errors = GetParam();
+    e::BchCode code(7, 10);
+    Rng rng(100 + errors);
+
+    for (int trial = 0; trial < 20; ++trial) {
+        BitVec message(code.k());
+        for (std::size_t i = 0; i < message.size(); ++i)
+            message.set(i, rng.nextBool());
+        auto codeword = code.encode(message);
+
+        BitVec corrupted = codeword;
+        for (auto pos : rng.sampleDistinct(code.n(), errors))
+            corrupted.flip(pos);
+
+        auto decoded = code.decode(corrupted);
+        ASSERT_TRUE(decoded.has_value())
+            << errors << " errors, trial " << trial;
+        ASSERT_EQ(*decoded, codeword);
+        ASSERT_EQ(code.extractMessage(*decoded), message);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(UpToT, BchErrorCounts,
+                         ::testing::Values(1u, 2u, 5u, 9u, 10u));
+
+TEST(Bch, BeyondTMostlyDetected)
+{
+    // t+2 and more errors: the decoder must never silently return a
+    // *wrong* message claiming success on the original; it either
+    // fails, or lands on a different valid codeword (bounded-distance
+    // decoding ambiguity) -- but it must never return the original
+    // codeword, and flagged failures should dominate.
+    e::BchCode code(7, 10);
+    Rng rng(55);
+    int flagged = 0;
+    const int trials = 60;
+    for (int trial = 0; trial < trials; ++trial) {
+        BitVec message(code.k());
+        for (std::size_t i = 0; i < message.size(); ++i)
+            message.set(i, rng.nextBool());
+        auto codeword = code.encode(message);
+        BitVec corrupted = codeword;
+        for (auto pos : rng.sampleDistinct(code.n(), 15))
+            corrupted.flip(pos);
+        auto decoded = code.decode(corrupted);
+        if (!decoded) {
+            ++flagged;
+        } else {
+            EXPECT_NE(*decoded, codeword);
+        }
+    }
+    EXPECT_GT(flagged, trials / 2);
+}
+
+TEST(Bch, SmallCodeExhaustiveSingleError)
+{
+    // BCH(15, 11, t=1) is the Hamming code: every single-bit error in
+    // every position must correct, for several messages.
+    e::BchCode code(4, 1);
+    Rng rng(7);
+    for (int trial = 0; trial < 10; ++trial) {
+        BitVec message(code.k());
+        for (std::size_t i = 0; i < message.size(); ++i)
+            message.set(i, rng.nextBool());
+        auto codeword = code.encode(message);
+        for (unsigned pos = 0; pos < code.n(); ++pos) {
+            BitVec corrupted = codeword;
+            corrupted.flip(pos);
+            auto decoded = code.decode(corrupted);
+            ASSERT_TRUE(decoded.has_value()) << "pos " << pos;
+            ASSERT_EQ(*decoded, codeword) << "pos " << pos;
+        }
+    }
+}
+
+TEST(Bch, ValidatesLengths)
+{
+    e::BchCode code(7, 10);
+    EXPECT_THROW(code.encode(BitVec(10)), std::invalid_argument);
+    EXPECT_THROW(code.decode(BitVec(10)), std::invalid_argument);
+    EXPECT_THROW(e::BchCode(4, 0), std::invalid_argument);
+    EXPECT_THROW(e::BchCode(4, 8), std::invalid_argument);
+}
+
+TEST(BchFuzzy, CleanReproduction)
+{
+    c::BchFuzzyExtractor fe(7, 10);
+    EXPECT_EQ(fe.responseBits(), 127u);
+    EXPECT_EQ(fe.secretBits(), 64u);
+
+    Rng rng(11);
+    BitVec response(fe.responseBits());
+    for (std::size_t i = 0; i < response.size(); ++i)
+        response.set(i, rng.nextBool());
+
+    auto out = fe.generate(response, rng);
+    auto key = fe.reproduce(response, out.helper);
+    ASSERT_TRUE(key.has_value());
+    EXPECT_EQ(*key, out.key);
+}
+
+TEST(BchFuzzy, ToleratesTFlips)
+{
+    c::BchFuzzyExtractor fe(7, 10);
+    Rng rng(13);
+    BitVec response(fe.responseBits());
+    for (std::size_t i = 0; i < response.size(); ++i)
+        response.set(i, rng.nextBool());
+    auto out = fe.generate(response, rng);
+
+    BitVec noisy = response;
+    for (auto pos : rng.sampleDistinct(fe.responseBits(), 10))
+        noisy.flip(pos);
+    auto key = fe.reproduce(noisy, out.helper);
+    ASSERT_TRUE(key.has_value());
+    EXPECT_EQ(*key, out.key);
+}
+
+TEST(BchFuzzy, FlagsExcessNoise)
+{
+    c::BchFuzzyExtractor fe(7, 10);
+    Rng rng(17);
+    BitVec response(fe.responseBits());
+    for (std::size_t i = 0; i < response.size(); ++i)
+        response.set(i, rng.nextBool());
+    auto out = fe.generate(response, rng);
+
+    BitVec noisy = response;
+    for (auto pos : rng.sampleDistinct(fe.responseBits(), 30))
+        noisy.flip(pos);
+    auto key = fe.reproduce(noisy, out.helper);
+    // Either flagged, or (rarely) decoded to a different key; never
+    // the right key by luck.
+    if (key.has_value()) {
+        EXPECT_NE(*key, out.key);
+    }
+}
+
+TEST(BchFuzzy, BetterRateThanRepetition)
+{
+    // At ~the same tolerated error fraction, BCH extracts many more
+    // secret bits per response bit than 5x repetition.
+    c::BchFuzzyExtractor bch(7, 10);   // 64 of 127 bits, ~7.9% noise.
+    c::FuzzyExtractor rep(5);          // 1 of 5 bits, <40% per group.
+    double bch_rate = static_cast<double>(bch.secretBits()) /
+                      static_cast<double>(bch.responseBits());
+    double rep_rate = 1.0 / 5.0;
+    EXPECT_GT(bch_rate, 2.0 * rep_rate);
+}
+
+TEST(BchFuzzy, ValidatesLengths)
+{
+    c::BchFuzzyExtractor fe(7, 10);
+    Rng rng(19);
+    EXPECT_THROW(fe.generate(BitVec(100), rng),
+                 std::invalid_argument);
+    EXPECT_THROW(fe.reproduce(BitVec(127), BitVec(100)),
+                 std::invalid_argument);
+}

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Tests for the compact bit vector.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/bitvec.hpp"
+#include "util/rng.hpp"
+
+using authenticache::util::BitVec;
+using authenticache::util::Rng;
+
+TEST(BitVec, StartsCleared)
+{
+    BitVec v(130);
+    EXPECT_EQ(v.size(), 130u);
+    EXPECT_EQ(v.popcount(), 0u);
+    for (std::size_t i = 0; i < v.size(); ++i)
+        EXPECT_FALSE(v.get(i));
+}
+
+TEST(BitVec, SetAndGetAcrossWordBoundaries)
+{
+    BitVec v(130);
+    for (std::size_t i : {0u, 63u, 64u, 65u, 127u, 128u, 129u}) {
+        v.set(i, true);
+        EXPECT_TRUE(v.get(i));
+    }
+    EXPECT_EQ(v.popcount(), 7u);
+    v.set(64, false);
+    EXPECT_FALSE(v.get(64));
+    EXPECT_EQ(v.popcount(), 6u);
+}
+
+TEST(BitVec, PushBackGrows)
+{
+    BitVec v;
+    for (int i = 0; i < 100; ++i)
+        v.pushBack(i % 3 == 0);
+    EXPECT_EQ(v.size(), 100u);
+    EXPECT_EQ(v.popcount(), 34u);
+    EXPECT_TRUE(v.get(0));
+    EXPECT_FALSE(v.get(1));
+    EXPECT_TRUE(v.get(99));
+}
+
+TEST(BitVec, FlipTogglesBit)
+{
+    BitVec v(10);
+    v.flip(3);
+    EXPECT_TRUE(v.get(3));
+    v.flip(3);
+    EXPECT_FALSE(v.get(3));
+}
+
+TEST(BitVec, HammingDistanceKnown)
+{
+    BitVec a = BitVec::fromString("10110010");
+    BitVec b = BitVec::fromString("10011010");
+    EXPECT_EQ(a.hammingDistance(b), 2u);
+    EXPECT_EQ(a.hammingDistance(a), 0u);
+}
+
+TEST(BitVec, XorMatchesHamming)
+{
+    Rng rng(99);
+    BitVec a(256);
+    BitVec b(256);
+    for (std::size_t i = 0; i < 256; ++i) {
+        a.set(i, rng.nextBool());
+        b.set(i, rng.nextBool());
+    }
+    EXPECT_EQ((a ^ b).popcount(), a.hammingDistance(b));
+}
+
+TEST(BitVec, EqualityAndClear)
+{
+    BitVec a = BitVec::fromString("1101");
+    BitVec b = BitVec::fromString("1101");
+    EXPECT_EQ(a, b);
+    b.flip(0);
+    EXPECT_NE(a, b);
+    a.clear();
+    EXPECT_EQ(a.popcount(), 0u);
+    EXPECT_EQ(a.size(), 4u);
+}
+
+TEST(BitVec, StringRoundTrip)
+{
+    std::string s = "101100111000101";
+    EXPECT_EQ(BitVec::fromString(s).toString(), s);
+}
+
+TEST(BitVec, FromStringRejectsGarbage)
+{
+    EXPECT_THROW(BitVec::fromString("10x1"), std::invalid_argument);
+}
+
+TEST(BitVec, WordsRoundTrip)
+{
+    Rng rng(7);
+    BitVec a(200);
+    for (std::size_t i = 0; i < 200; ++i)
+        a.set(i, rng.nextBool());
+    BitVec b = BitVec::fromWords(a.words(), a.size());
+    EXPECT_EQ(a, b);
+}
+
+TEST(BitVec, FromWordsValidatesLength)
+{
+    std::vector<std::uint64_t> words{0, 0};
+    EXPECT_THROW(BitVec::fromWords(words, 300), std::invalid_argument);
+}
+
+TEST(BitVec, FromWordsMasksDirtyTail)
+{
+    // Stray bits beyond nbits must not affect popcount or equality.
+    std::vector<std::uint64_t> words{~0ull};
+    BitVec v = BitVec::fromWords(words, 4);
+    EXPECT_EQ(v.popcount(), 4u);
+}

@@ -1,0 +1,259 @@
+/**
+ * @file
+ * Tests for the voltage-sensitive cache array, the self-test engine,
+ * and the assembled chip.
+ */
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "sim/chip.hpp"
+
+namespace s = authenticache::sim;
+
+namespace {
+
+/** Small chip for fast tests. */
+s::ChipConfig
+smallConfig()
+{
+    s::ChipConfig cfg;
+    cfg.cacheBytes = 1024 * 1024;
+    return cfg;
+}
+
+/**
+ * Find a weak line (fails in the window) with high persistence; a
+ * q >= 0.75 line misses 8 straight self-tests with probability
+ * <= 6e-5, and the tests below retry at least that often.
+ */
+std::uint64_t
+pickWeakLine(const s::VminField &field, double at_mv)
+{
+    for (std::uint64_t line : field.linesFailingAt(at_mv)) {
+        if (field.persistence(line) >= 0.75 &&
+            field.vUncorrectableMv(line) < at_mv) {
+            return line;
+        }
+    }
+    throw std::runtime_error("no deterministic weak line found");
+}
+
+/** Read a line until a corrected event shows (bounded retries). */
+bool
+readsCorrectedWithin(s::SimulatedChip &chip, const s::LinePoint &p,
+                     int tries)
+{
+    for (int i = 0; i < tries; ++i) {
+        chip.cacheArray().fillLine(p, 0xAAAAAAAAAAAAAAAAull);
+        if (chip.cacheArray().readLine(p).corrected)
+            return true;
+    }
+    return false;
+}
+
+} // namespace
+
+TEST(CacheArray, NominalVoltageReadsClean)
+{
+    s::SimulatedChip chip(smallConfig(), 42);
+    auto &array = chip.cacheArray();
+    std::vector<std::uint64_t> data(chip.geometry().wordsPerLine());
+    for (std::size_t i = 0; i < data.size(); ++i)
+        data[i] = 0x0123456789ABCDEFull * (i + 1);
+
+    s::LinePoint p{10, 3};
+    array.writeLine(p, data);
+    for (std::uint32_t w = 0; w < data.size(); ++w) {
+        auto r = array.readWord(p, w);
+        EXPECT_EQ(r.status, authenticache::ecc::DecodeStatus::Ok);
+        EXPECT_EQ(r.data, data[w]);
+    }
+    EXPECT_EQ(chip.errorLog().pending(), 0u);
+}
+
+TEST(CacheArray, WeakLineCorrectsAtLowVoltage)
+{
+    s::SimulatedChip chip(smallConfig(), 43);
+    const auto &field = chip.vminField();
+    double test_mv = field.vcorrMv() - 30.0;
+    std::uint64_t weak = pickWeakLine(field, test_mv);
+    s::LinePoint p = chip.geometry().pointOf(weak);
+
+    ASSERT_EQ(chip.setVddMv(test_mv), s::VoltageStatus::Ok);
+    EXPECT_TRUE(readsCorrectedWithin(chip, p, 30));
+
+    // Data must still read back correct after ECC correction.
+    auto word =
+        chip.cacheArray().readWord(p, field.weakWord(weak));
+    EXPECT_EQ(word.data, 0xAAAAAAAAAAAAAAAAull);
+
+    auto events = chip.errorLog().drain();
+    ASSERT_FALSE(events.empty());
+    EXPECT_EQ(events.front().line, p);
+    EXPECT_EQ(events.front().severity, s::EccSeverity::Corrected);
+    EXPECT_FALSE(chip.errorLog().totalUncorrectable() > 0);
+}
+
+TEST(CacheArray, DeepUndervoltIsUncorrectable)
+{
+    s::SimulatedChip chip(smallConfig(), 44);
+    const auto &field = chip.vminField();
+
+    // Find the weakest line and go below its uncorrectable threshold.
+    std::uint64_t weak =
+        pickWeakLine(field, field.vcorrMv() - 30.0);
+    double deep = field.vUncorrectableMv(weak) - 5.0;
+    s::LinePoint p = chip.geometry().pointOf(weak);
+
+    ASSERT_EQ(chip.setVddMv(deep), s::VoltageStatus::Ok);
+    bool saw_uncorrectable = false;
+    for (int i = 0; i < 10 && !saw_uncorrectable; ++i) {
+        chip.cacheArray().fillLine(p, 0);
+        saw_uncorrectable = chip.cacheArray().readLine(p).uncorrectable;
+    }
+    EXPECT_TRUE(saw_uncorrectable);
+    EXPECT_GT(chip.errorLog().totalUncorrectable(), 0u);
+}
+
+TEST(CacheArray, StrongLinesStayCleanInWindow)
+{
+    s::SimulatedChip chip(smallConfig(), 45);
+    const auto &field = chip.vminField();
+    double test_mv = field.vcorrMv() - 30.0;
+    ASSERT_EQ(chip.setVddMv(test_mv), s::VoltageStatus::Ok);
+
+    // A line whose correctable threshold is far below never errors.
+    s::LinePoint strong{0, 0};
+    for (std::uint64_t i = 0; i < chip.geometry().lines(); ++i) {
+        if (field.vCorrectableMv(i) < test_mv - 50.0) {
+            strong = chip.geometry().pointOf(i);
+            break;
+        }
+    }
+    for (int i = 0; i < 20; ++i) {
+        chip.cacheArray().fillLine(strong, 0x5555555555555555ull);
+        auto r = chip.cacheArray().readLine(strong);
+        EXPECT_FALSE(r.corrected);
+        EXPECT_FALSE(r.uncorrectable);
+    }
+}
+
+TEST(CacheArray, ConditionsShiftFailures)
+{
+    // A line just below the window edge fails only when heat raises
+    // its threshold.
+    s::ChipConfig cfg = smallConfig();
+    cfg.environment.tempCoeffMvPerC = 0.5;
+    cfg.environment.tempCoeffSigma = 0.0;
+    s::SimulatedChip chip(cfg, 46);
+    const auto &field = chip.vminField();
+
+    std::uint64_t weak = pickWeakLine(field, field.vcorrMv() - 40.0);
+    // Sit 5 mV above the line's threshold: clean when cool.
+    double v = field.vCorrectableMv(weak) + 5.0;
+    ASSERT_EQ(chip.setVddMv(v), s::VoltageStatus::Ok);
+    s::LinePoint p = chip.geometry().pointOf(weak);
+
+    s::Conditions cool;
+    cool.measurementSigmaMv = 0.0;
+    chip.setConditions(cool);
+    chip.cacheArray().fillLine(p, 0);
+    EXPECT_FALSE(chip.cacheArray().readLine(p).corrected);
+
+    s::Conditions hot;
+    hot.temperatureDeltaC = 25.0; // +12.5 mV shift > 5 mV headroom.
+    hot.measurementSigmaMv = 0.0;
+    chip.setConditions(hot);
+    bool corrected = false;
+    for (int i = 0; i < 30 && !corrected; ++i) {
+        chip.cacheArray().fillLine(p, 0);
+        corrected = chip.cacheArray().readLine(p).corrected;
+    }
+    EXPECT_TRUE(corrected);
+}
+
+TEST(CacheArray, ValidatesArguments)
+{
+    s::SimulatedChip chip(smallConfig(), 47);
+    std::vector<std::uint64_t> wrong(3);
+    EXPECT_THROW(chip.cacheArray().writeLine({0, 0}, wrong),
+                 std::invalid_argument);
+    EXPECT_THROW(chip.cacheArray().readWord({0, 0}, 100),
+                 std::out_of_range);
+}
+
+TEST(SelfTest, SweepFindsWindowLines)
+{
+    s::SimulatedChip chip(smallConfig(), 48);
+    const auto &field = chip.vminField();
+    double test_mv = field.vcorrMv() - 30.0;
+    ASSERT_EQ(chip.setVddMv(test_mv), s::VoltageStatus::Ok);
+
+    auto sweep = chip.selfTest().sweepAll(8);
+
+    // Measurement jitter (sigma 1 mV) blurs the window edge by a few
+    // mV; bound the sweep between the +5 mV (certain) and -5 mV
+    // (possible) weak sets.
+    auto certain = field.linesFailingAt(test_mv + 5.0);
+    auto possible = field.linesFailingAt(test_mv - 5.0);
+    EXPECT_GE(sweep.correctableLines.size(),
+              certain.size() * 8 / 10);
+    EXPECT_LE(sweep.correctableLines.size(), possible.size());
+
+    // Every reported line must genuinely be a weak line.
+    std::set<std::uint64_t> weak(possible.begin(), possible.end());
+    for (const auto &p : sweep.correctableLines)
+        EXPECT_TRUE(weak.count(chip.geometry().lineIndex(p)));
+}
+
+TEST(SelfTest, SweepAtNominalFindsNothing)
+{
+    s::SimulatedChip chip(smallConfig(), 49);
+    auto sweep = chip.selfTest().sweepAll(1);
+    EXPECT_TRUE(sweep.correctableLines.empty());
+    EXPECT_EQ(sweep.uncorrectableCount, 0u);
+    EXPECT_EQ(sweep.linesTested, chip.geometry().lines());
+}
+
+TEST(SelfTest, TargetedTestTriggersWeakLine)
+{
+    s::SimulatedChip chip(smallConfig(), 50);
+    const auto &field = chip.vminField();
+    double test_mv = field.vcorrMv() - 30.0;
+    std::uint64_t weak = pickWeakLine(field, test_mv);
+    ASSERT_EQ(chip.setVddMv(test_mv), s::VoltageStatus::Ok);
+
+    auto r =
+        chip.selfTest().testLine(chip.geometry().pointOf(weak), 30);
+    EXPECT_TRUE(r.triggered);
+    EXPECT_LE(r.attemptsUsed, 30u);
+}
+
+TEST(SelfTest, CountsLineTests)
+{
+    s::SimulatedChip chip(smallConfig(), 51);
+    chip.selfTest().resetCounters();
+    chip.selfTest().testLine({0, 0}, 4);
+    // Clean line: all 4 attempts consumed.
+    EXPECT_EQ(chip.selfTest().lineTestsPerformed(), 4u);
+}
+
+TEST(Chip, VoltagePropagatesToArray)
+{
+    s::SimulatedChip chip(smallConfig(), 52);
+    ASSERT_EQ(chip.setVddMv(700.0), s::VoltageStatus::Ok);
+    EXPECT_EQ(chip.cacheArray().vddMv(), 700.0);
+    chip.emergencyRaise();
+    EXPECT_EQ(chip.cacheArray().vddMv(), 800.0);
+}
+
+TEST(Chip, SameSeedSameFingerprint)
+{
+    s::SimulatedChip a(smallConfig(), 99);
+    s::SimulatedChip b(smallConfig(), 99);
+    double v = a.vminField().vcorrMv() - 30.0;
+    EXPECT_EQ(a.vminField().linesFailingAt(v),
+              b.vminField().linesFailingAt(v));
+}

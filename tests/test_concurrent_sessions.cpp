@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Integration: multiple devices interleaving authentications through
+ * one server, each over its own channel (one connection per client,
+ * as a real deployment would have) -- the server's nonce-based
+ * session state must keep the exchanges independent, and interleaved
+ * remaps must not cross wires.
+ */
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "server/server.hpp"
+
+namespace fw = authenticache::firmware;
+namespace sim = authenticache::sim;
+namespace proto = authenticache::protocol;
+namespace srv = authenticache::server;
+
+namespace {
+
+struct Device
+{
+    std::unique_ptr<sim::SimulatedChip> chip;
+    std::unique_ptr<fw::SimulatedMachine> machine;
+    std::unique_ptr<fw::AuthenticacheClient> client;
+    proto::InMemoryChannel channel;
+    std::unique_ptr<proto::ServerEndpoint> serverEnd;
+    std::unique_ptr<srv::DeviceAgent> agent;
+};
+
+} // namespace
+
+class ConcurrentSessions : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        srv::ServerConfig scfg;
+        scfg.challengeBits = 64;
+        scfg.verifier.pIntra = 0.08;
+        server = std::make_unique<srv::AuthenticationServer>(scfg, 4);
+
+        for (std::uint64_t i = 0; i < 3; ++i) {
+            sim::ChipConfig cfg;
+            cfg.cacheBytes = 1024 * 1024;
+            auto &dev = devices[i];
+            dev.chip = std::make_unique<sim::SimulatedChip>(
+                cfg, 7000 + i);
+            dev.machine = std::make_unique<fw::SimulatedMachine>(2);
+            fw::ClientConfig ccfg;
+            ccfg.selfTestAttempts = 8;
+            dev.client = std::make_unique<fw::AuthenticacheClient>(
+                *dev.chip, *dev.machine, ccfg);
+            dev.client->boot();
+            auto levels =
+                srv::defaultChallengeLevels(*dev.client, 1);
+            server->enroll(
+                i + 1, *dev.client, levels,
+                {srv::defaultReservedLevel(*dev.client)});
+            dev.serverEnd = std::make_unique<proto::ServerEndpoint>(
+                dev.channel);
+            dev.agent = std::make_unique<srv::DeviceAgent>(
+                i + 1, *dev.client,
+                proto::ClientEndpoint(dev.channel));
+        }
+    }
+
+    /** Pump every connection once, server side then device side. */
+    void
+    pumpEverything()
+    {
+        bool progress = true;
+        while (progress) {
+            progress = false;
+            for (auto &dev : devices) {
+                progress |= server->pumpOnce(*dev.serverEnd);
+                progress |= dev.agent->pumpOnce();
+            }
+        }
+    }
+
+    std::unique_ptr<srv::AuthenticationServer> server;
+    Device devices[3];
+};
+
+TEST_F(ConcurrentSessions, InterleavedAuthenticationsStayIndependent)
+{
+    // All three devices request before any response is processed.
+    for (auto &dev : devices)
+        dev.agent->requestAuthentication();
+
+    // Server issues all three challenges first, then the devices
+    // answer in a scrambled order.
+    for (auto &dev : devices)
+        server->pumpOnce(*dev.serverEnd);
+    devices[2].agent->pumpOnce(); // Answers its challenge.
+    devices[0].agent->pumpOnce();
+    devices[1].agent->pumpOnce();
+    pumpEverything();
+
+    for (auto &dev : devices) {
+        ASSERT_TRUE(dev.agent->lastDecision().has_value());
+        EXPECT_TRUE(dev.agent->lastDecision()->accepted);
+    }
+    EXPECT_EQ(server->reports().size(), 3u);
+}
+
+TEST_F(ConcurrentSessions, RemapAndAuthInterleave)
+{
+    // Device 1 remaps while devices 2 and 3 authenticate.
+    server->startRemap(1, *devices[0].serverEnd);
+    devices[1].agent->requestAuthentication();
+    devices[2].agent->requestAuthentication();
+    pumpEverything();
+
+    EXPECT_EQ(server->remapsCommitted(), 1u);
+    ASSERT_TRUE(devices[1].agent->lastDecision().has_value());
+    EXPECT_TRUE(devices[1].agent->lastDecision()->accepted);
+    ASSERT_TRUE(devices[2].agent->lastDecision().has_value());
+    EXPECT_TRUE(devices[2].agent->lastDecision()->accepted);
+
+    // Device 1's rotated key still authenticates.
+    devices[0].agent->requestAuthentication();
+    srv::runExchange(*server, *devices[0].serverEnd,
+                     *devices[0].agent);
+    ASSERT_TRUE(devices[0].agent->lastDecision().has_value());
+    EXPECT_TRUE(devices[0].agent->lastDecision()->accepted);
+}
+
+TEST_F(ConcurrentSessions, CrossDeviceResponseRejected)
+{
+    // Device 1 requests; device 2 tries to answer device 1's
+    // challenge with its own silicon: nonce matches but the response
+    // comes from the wrong fingerprint.
+    devices[0].agent->requestAuthentication();
+    server->pumpAll(*devices[0].serverEnd);
+
+    auto msg = proto::ClientEndpoint(devices[0].channel).receive();
+    ASSERT_TRUE(msg.has_value());
+    auto *ch = std::get_if<proto::ChallengeMsg>(&*msg);
+    ASSERT_NE(ch, nullptr);
+
+    // Device 2 evaluates device 1's challenge (its floor may differ;
+    // abort also counts as a failed hijack).
+    auto outcome = devices[1].client->authenticate(ch->challenge);
+    if (outcome.ok()) {
+        proto::ResponseMsg resp;
+        resp.nonce = ch->nonce;
+        resp.response = std::move(outcome.response);
+        proto::ClientEndpoint(devices[0].channel).send(resp);
+        server->pumpAll(*devices[0].serverEnd);
+        devices[0].agent->pumpAll();
+        ASSERT_TRUE(devices[0].agent->lastDecision().has_value());
+        EXPECT_FALSE(devices[0].agent->lastDecision()->accepted);
+    }
+}

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Cross-validation tests: the analytic identifiability machinery
+ * (binomial FAR/FRR of Eq 3-4) is checked against direct Monte Carlo
+ * measurement, and geometry/variation invariants are swept across
+ * cache sizes with parameterized tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/nearest.hpp"
+#include "mc/experiments.hpp"
+#include "mc/mapgen.hpp"
+#include "metrics/identifiability.hpp"
+#include "sim/variation.hpp"
+#include "util/stats.hpp"
+
+namespace mc = authenticache::mc;
+namespace m = authenticache::metrics;
+namespace sim = authenticache::sim;
+namespace core = authenticache::core;
+namespace u = authenticache::util;
+using authenticache::util::Rng;
+
+TEST(CrossCheck, AnalyticFarMatchesMonteCarlo)
+{
+    // FAR at threshold t with p_inter: fraction of random-chip
+    // responses landing within t of the expected one. Compare the
+    // binomial model against simulation at a threshold with a
+    // measurable rate.
+    const std::uint64_t n = 64;
+    const double p_inter = 0.5;
+    const std::int64_t t = 22;
+
+    double analytic = m::falseAcceptanceRate(t, n, p_inter);
+
+    Rng rng(0xCC01);
+    const int trials = 200000;
+    int accepted = 0;
+    for (int trial = 0; trial < trials; ++trial) {
+        // Random expected and random impostor response: HD ~
+        // Bino(n, 0.5).
+        int hd = 0;
+        for (std::uint64_t b = 0; b < n; ++b)
+            hd += rng.nextBool();
+        accepted += hd <= t;
+    }
+    double simulated = static_cast<double>(accepted) / trials;
+    EXPECT_NEAR(simulated, analytic,
+                5 * u::proportionConfidence95(analytic, trials));
+}
+
+TEST(CrossCheck, AnalyticFrrMatchesMonteCarlo)
+{
+    const std::uint64_t n = 128;
+    const double p_intra = 0.10;
+    const std::int64_t t = 18;
+
+    double analytic = m::falseRejectionRate(t, n, p_intra);
+
+    Rng rng(0xCC02);
+    const int trials = 200000;
+    int rejected = 0;
+    for (int trial = 0; trial < trials; ++trial) {
+        int hd = 0;
+        for (std::uint64_t b = 0; b < n; ++b)
+            hd += rng.nextBool(p_intra);
+        rejected += hd > t;
+    }
+    double simulated = static_cast<double>(rejected) / trials;
+    EXPECT_NEAR(simulated, analytic, 0.01);
+}
+
+TEST(CrossCheck, HammingSamplesMatchFlipProbability)
+{
+    // The mean of the intra Hamming distribution must equal
+    // bits * p_intra estimated independently.
+    const sim::CacheGeometry geom(256 * 1024);
+    mc::NoiseProfile noise;
+    noise.injectFraction = 0.5;
+
+    mc::ExperimentConfig cfg;
+    cfg.maps = 10;
+    cfg.samplesPerMap = 50;
+    cfg.seed = 0xCC03;
+    auto samples = mc::hammingDistributions(geom, 40, 128, noise, cfg);
+
+    u::RunningStats hd;
+    for (auto s : samples.intra)
+        hd.add(s);
+
+    mc::ExperimentConfig pcfg;
+    pcfg.maps = 30;
+    pcfg.samplesPerMap = 3000;
+    pcfg.seed = 0xCC04;
+    double p = mc::estimateIntraFlipProbability(geom, 40, noise, pcfg);
+
+    EXPECT_NEAR(hd.mean(), 128.0 * p, 128.0 * p * 0.15 + 1.0);
+}
+
+class GeometrySweep
+    : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(GeometrySweep, InvariantsHold)
+{
+    sim::CacheGeometry geom(GetParam());
+    EXPECT_EQ(static_cast<std::uint64_t>(geom.sets()) * geom.ways() *
+                  geom.lineBytes(),
+              geom.sizeBytes());
+    // Round trips at the corners.
+    EXPECT_EQ(geom.lineIndex(geom.pointOf(0)), 0u);
+    EXPECT_EQ(geom.lineIndex(geom.pointOf(geom.lines() - 1)),
+              geom.lines() - 1);
+    // CRP capacity is consistent with Eq 10.
+    EXPECT_EQ(geom.possibleCrps(),
+              geom.lines() * (geom.lines() - 1) / 2);
+}
+
+TEST_P(GeometrySweep, VariationDensityScalesWithSize)
+{
+    sim::CacheGeometry geom(GetParam());
+    sim::VariationParams params;
+    sim::VminField field(geom, params, 0xABC);
+    auto weak =
+        field.linesFailingAt(field.vcorrMv() - params.windowMv);
+
+    // Expected count scales linearly with line count (Fig 1 density).
+    double expected = params.tailDensityPerMv * params.windowMv *
+                      static_cast<double>(geom.lines()) /
+                      params.densityReferenceLines;
+    EXPECT_GT(static_cast<double>(weak.size()), expected * 0.4);
+    EXPECT_LT(static_cast<double>(weak.size()), expected * 1.9);
+}
+
+INSTANTIATE_TEST_SUITE_P(CacheSizes, GeometrySweep,
+                         ::testing::Values(256ull * 1024,
+                                           512ull * 1024,
+                                           1024ull * 1024,
+                                           2048ull * 1024,
+                                           4096ull * 1024));
+
+class RingOrder : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(RingOrder, ClockwiseParameterIsStrictlyIncreasing)
+{
+    // The ring enumerator promises clockwise perimeter order starting
+    // north; recompute each cell's perimeter parameter and verify
+    // monotonicity.
+    const sim::CacheGeometry geom(1024 * 1024);
+    const sim::LinePoint center{500, 4};
+    const std::int64_t r = static_cast<std::int64_t>(GetParam());
+
+    auto cells = core::ringCells(geom, center, GetParam());
+    std::int64_t prev = -1;
+    for (const auto &c : cells) {
+        std::int64_t dx = static_cast<std::int64_t>(c.set) -
+                          static_cast<std::int64_t>(center.set);
+        std::int64_t dy = static_cast<std::int64_t>(c.way) -
+                          static_cast<std::int64_t>(center.way);
+        std::int64_t t;
+        if (dx >= 0 && dy > 0)
+            t = dx;
+        else if (dx > 0)
+            t = r - dy;
+        else if (dy < 0)
+            t = 2 * r - dx;
+        else
+            t = 3 * r + dy;
+        EXPECT_GT(t, prev);
+        prev = t;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Radii, RingOrder,
+                         ::testing::Values(1ull, 2ull, 3ull, 7ull,
+                                           12ull, 40ull));

@@ -1,0 +1,298 @@
+/**
+ * @file
+ * Tests for the firmware layer: SMM machine, timing ledger, voltage
+ * control (floor calibration, abort paths), error handler emergencies,
+ * and the end-to-end client authentication algorithm.
+ */
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "core/nearest.hpp"
+#include "firmware/client.hpp"
+
+namespace fw = authenticache::firmware;
+namespace sim = authenticache::sim;
+namespace core = authenticache::core;
+namespace crypto = authenticache::crypto;
+using authenticache::util::Rng;
+
+namespace {
+
+sim::ChipConfig
+testChip()
+{
+    sim::ChipConfig cfg;
+    cfg.cacheBytes = 1024 * 1024; // 2048 sets x 8 ways.
+    return cfg;
+}
+
+} // namespace
+
+TEST(Machine, SmiEntryParksOtherCores)
+{
+    fw::SimulatedMachine machine(4);
+    EXPECT_FALSE(machine.inSmm());
+    {
+        fw::SmmSession session(machine, 1);
+        EXPECT_TRUE(machine.inSmm());
+        EXPECT_EQ(machine.coreState(1), fw::CoreState::Smm);
+        EXPECT_EQ(machine.coreState(0), fw::CoreState::Halted);
+        EXPECT_EQ(machine.coreState(2), fw::CoreState::Halted);
+        EXPECT_EQ(session.master(), 1u);
+        EXPECT_TRUE(session.token().live());
+    }
+    EXPECT_FALSE(machine.inSmm());
+    for (unsigned i = 0; i < 4; ++i)
+        EXPECT_EQ(machine.coreState(i), fw::CoreState::Running);
+    EXPECT_EQ(machine.smiCount(), 1u);
+}
+
+TEST(Machine, NestedSmiRejected)
+{
+    fw::SimulatedMachine machine(2);
+    fw::SmmSession session(machine, 0);
+    EXPECT_THROW(fw::SmmSession(machine, 1), fw::PrivilegeError);
+}
+
+TEST(Machine, BadCoreRejected)
+{
+    fw::SimulatedMachine machine(2);
+    EXPECT_THROW(fw::SmmSession(machine, 5), std::out_of_range);
+    EXPECT_THROW(fw::SimulatedMachine(0), std::invalid_argument);
+}
+
+TEST(Timing, LedgerAccumulates)
+{
+    fw::TimingParams params;
+    params.smiEntryUs = 100.0;
+    params.lineTestUs = 2.0;
+    fw::TimingLedger ledger(params);
+    ledger.addSmiEntry();
+    ledger.addLineTests(10);
+    ledger.addVddTransition(500.0);
+    EXPECT_DOUBLE_EQ(ledger.totalUs(), 100.0 + 20.0 + 500.0);
+    EXPECT_EQ(ledger.lineTests(), 10u);
+    EXPECT_EQ(ledger.vddTransitions(), 1u);
+    ledger.reset();
+    EXPECT_DOUBLE_EQ(ledger.totalUs(), 0.0);
+}
+
+TEST(VoltageControl, RequiresSmmPrivilege)
+{
+    sim::SimulatedChip chip(testChip(), 1);
+    fw::SimulatedMachine machine(2);
+    fw::VoltageControl vc(chip);
+
+    // A token is only mintable inside a session; verify the privilege
+    // check fires when the session has ended by minting one in an
+    // ended session scope via the client boot path instead: directly
+    // constructing a dead token is impossible by design, so check the
+    // nested-session and uncalibrated paths here.
+    fw::SmmSession session(machine, 0);
+    EXPECT_EQ(vc.requestVdd(session.token(), 700.0),
+              fw::VddRequestStatus::Abort); // Not calibrated yet.
+}
+
+TEST(VoltageControl, CalibratesFloorInPlausibleBand)
+{
+    sim::SimulatedChip chip(testChip(), 2);
+    fw::SimulatedMachine machine(2);
+    fw::VoltageControl vc(chip);
+
+    fw::SmmSession session(machine, 0);
+    double floor = vc.calibrateFloor(session.token());
+    EXPECT_TRUE(vc.calibrated());
+
+    // The floor sits below the first-failure voltage (there must be a
+    // usable window) and above the deepest uncorrectable threshold.
+    double vcorr = chip.vminField().vcorrMv();
+    EXPECT_LT(floor, vcorr);
+    EXPECT_GT(floor, chip.vminField().maxUncorrectableMv() - 10.0);
+    EXPECT_GT(vcorr - floor, 30.0);
+
+    // Back at nominal after calibration.
+    EXPECT_EQ(chip.vddMv(), chip.regulator().nominalMv());
+    EXPECT_EQ(vc.calibrationCount(), 1u);
+}
+
+TEST(VoltageControl, EnforcesFloorAtRuntime)
+{
+    sim::SimulatedChip chip(testChip(), 3);
+    fw::SimulatedMachine machine(2);
+    fw::VoltageControl vc(chip);
+    fw::SmmSession session(machine, 0);
+    double floor = vc.calibrateFloor(session.token());
+
+    EXPECT_EQ(vc.requestVdd(session.token(), floor - 10.0),
+              fw::VddRequestStatus::Abort);
+    EXPECT_EQ(vc.requestVdd(session.token(), floor + 10.0),
+              fw::VddRequestStatus::Ok);
+    EXPECT_NEAR(chip.vddMv(), floor + 10.0, 1.0);
+
+    vc.restoreNominal(session.token());
+    EXPECT_EQ(chip.vddMv(), chip.regulator().nominalMv());
+}
+
+TEST(ErrorHandler, EmergencyOnUncorrectable)
+{
+    sim::SimulatedChip chip(testChip(), 4);
+    fw::SimulatedMachine machine(2);
+    fw::VoltageControl vc(chip);
+    fw::ErrorHandler handler(chip, vc);
+    fw::SmmSession session(machine, 0);
+    vc.calibrateFloor(session.token());
+
+    // Find the chip's weakest line and push the array below its
+    // uncorrectable threshold, bypassing the floor (as a real voltage
+    // emergency would).
+    const auto &field = chip.vminField();
+    std::uint64_t weakest = 0;
+    double best = -1e9;
+    for (std::uint64_t i = 0; i < chip.geometry().lines(); ++i) {
+        if (field.vUncorrectableMv(i) > best) {
+            best = field.vUncorrectableMv(i);
+            weakest = i;
+        }
+    }
+    chip.cacheArray().setVddMv(best - 5.0);
+
+    auto outcome = handler.testLine(
+        session.token(), chip.geometry().pointOf(weakest), 2);
+    EXPECT_TRUE(outcome.emergency);
+    EXPECT_EQ(handler.emergencyCount(), 1u);
+    // The emergency slammed the chip back to nominal.
+    EXPECT_EQ(chip.vddMv(), chip.regulator().nominalMv());
+}
+
+class ClientAuth : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        chip = std::make_unique<sim::SimulatedChip>(testChip(), 77);
+        machine = std::make_unique<fw::SimulatedMachine>(4);
+        fw::ClientConfig cfg;
+        cfg.selfTestAttempts = 8;
+        client = std::make_unique<fw::AuthenticacheClient>(
+            *chip, *machine, cfg);
+        client->boot();
+        level = static_cast<core::VddMv>(client->floorMv() + 10.0);
+        map = std::make_unique<core::ErrorMap>(
+            client->captureErrorMap({level}, 8));
+    }
+
+    std::unique_ptr<sim::SimulatedChip> chip;
+    std::unique_ptr<fw::SimulatedMachine> machine;
+    std::unique_ptr<fw::AuthenticacheClient> client;
+    core::VddMv level = 0;
+    std::unique_ptr<core::ErrorMap> map;
+};
+
+TEST_F(ClientAuth, CaptureFindsWindowErrors)
+{
+    // A 1MB cache has ~30 weak lines in the 65 mV window; at
+    // floor+10 a healthy fraction of them is visible.
+    EXPECT_GT(map->plane(level).errorCount(), 5u);
+    EXPECT_LT(map->plane(level).errorCount(), 80u);
+}
+
+TEST_F(ClientAuth, AuthenticationMatchesIdealEvaluation)
+{
+    Rng rng(5);
+    auto challenge =
+        core::randomChallenge(chip->geometry(), level, 32, rng);
+    core::Response expected = core::evaluate(*map, challenge);
+
+    auto outcome = client->authenticate(challenge);
+    ASSERT_TRUE(outcome.ok()) << outcome.abortReason;
+    ASSERT_EQ(outcome.response.size(), 32u);
+
+    // With 8 self-test attempts the response should be near-perfect:
+    // allow a couple of bits of persistence/jitter noise.
+    EXPECT_LE(expected.hammingDistance(outcome.response), 4u);
+    EXPECT_GT(outcome.lineTests, 0u);
+    EXPECT_GT(outcome.elapsedMs, 0.0);
+    EXPECT_FALSE(machine->inSmm());
+}
+
+TEST_F(ClientAuth, LogicalRemapRoundTrip)
+{
+    // With a non-zero key the challenge travels in logical space but
+    // the client still answers consistently with the server's logical
+    // view of the map.
+    crypto::Key256 key = crypto::Key256::fromDigest(
+        crypto::Sha256::hash(std::string("device-key")));
+    client->setMapKey(key);
+
+    core::LogicalRemap remap(key, chip->geometry());
+    core::ErrorMap logical = remap.mapErrorMap(*map);
+
+    Rng rng(6);
+    auto challenge =
+        core::randomChallenge(chip->geometry(), level, 32, rng);
+    core::Response expected = core::evaluate(logical, challenge);
+
+    auto outcome = client->authenticate(challenge);
+    ASSERT_TRUE(outcome.ok()) << outcome.abortReason;
+    EXPECT_LE(expected.hammingDistance(outcome.response), 4u);
+}
+
+TEST_F(ClientAuth, AbortsOnSubFloorChallenge)
+{
+    core::Challenge challenge;
+    auto bad_level =
+        static_cast<core::VddMv>(client->floorMv() - 50.0);
+    challenge.bits.push_back(
+        {{{0, 0}, bad_level}, {{1, 0}, bad_level}});
+
+    auto outcome = client->authenticate(challenge);
+    EXPECT_FALSE(outcome.ok());
+    EXPECT_FALSE(outcome.abortReason.empty());
+    // The chip is left at nominal.
+    EXPECT_EQ(chip->vddMv(), chip->regulator().nominalMv());
+    EXPECT_FALSE(machine->inSmm());
+}
+
+TEST_F(ClientAuth, AbortsWhenNotBooted)
+{
+    sim::SimulatedChip fresh(testChip(), 78);
+    fw::SimulatedMachine fresh_machine(2);
+    fw::AuthenticacheClient unbooted(fresh, fresh_machine);
+    core::Challenge challenge;
+    challenge.bits.push_back({{{0, 0}, 700}, {{1, 0}, 700}});
+    auto outcome = unbooted.authenticate(challenge);
+    EXPECT_FALSE(outcome.ok());
+}
+
+TEST_F(ClientAuth, RemapRequestInstallsKey)
+{
+    Rng rng(7);
+    // Build a remap exchange by hand: identity-mapped challenge,
+    // expected response from the physical map, helper data.
+    auto challenge =
+        core::randomChallenge(chip->geometry(), level, 40, rng);
+    core::Response expected = core::evaluate(*map, challenge);
+
+    crypto::FuzzyExtractor extractor(5);
+    auto extraction = extractor.generate(expected, rng);
+
+    crypto::Key256 before = client->mapKey();
+    ASSERT_TRUE(client->processRemapRequest(challenge,
+                                            extraction.helper,
+                                            extractor));
+    // The derived key matches the server's, because the response
+    // reproduced within the code's correction radius.
+    EXPECT_EQ(client->mapKey(), extraction.key);
+    EXPECT_NE(client->mapKey(), before);
+}
+
+TEST_F(ClientAuth, CapturedMapRejectsBadLevels)
+{
+    auto bad = static_cast<core::VddMv>(client->floorMv() - 30.0);
+    EXPECT_THROW(client->captureErrorMap({bad}, 1),
+                 std::invalid_argument);
+    EXPECT_EQ(chip->vddMv(), chip->regulator().nominalMv());
+}

@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Tests for the PUF quality metrics (Eq 1-2, 5-6) and the
+ * identifiability machinery (Eq 3-4, EER threshold).
+ */
+
+#include <gtest/gtest.h>
+
+#include "metrics/identifiability.hpp"
+#include "metrics/quality.hpp"
+#include "util/rng.hpp"
+
+namespace m = authenticache::metrics;
+using authenticache::util::BitVec;
+using authenticache::util::Rng;
+
+namespace {
+
+BitVec
+randomResponse(std::size_t bits, Rng &rng)
+{
+    BitVec v(bits);
+    for (std::size_t i = 0; i < bits; ++i)
+        v.set(i, rng.nextBool());
+    return v;
+}
+
+} // namespace
+
+TEST(Uniqueness, TwoChipsHandValue)
+{
+    // Two 4-bit responses differing in 2 bits: uniqueness = 50%.
+    std::vector<BitVec> r{BitVec::fromString("0011"),
+                          BitVec::fromString("0101")};
+    EXPECT_DOUBLE_EQ(m::uniqueness(r), 50.0);
+}
+
+TEST(Uniqueness, IdenticalChipsZero)
+{
+    std::vector<BitVec> r{BitVec::fromString("1010"),
+                          BitVec::fromString("1010"),
+                          BitVec::fromString("1010")};
+    EXPECT_DOUBLE_EQ(m::uniqueness(r), 0.0);
+}
+
+TEST(Uniqueness, RandomChipsNearIdeal)
+{
+    Rng rng(1);
+    std::vector<BitVec> r;
+    for (int i = 0; i < 20; ++i)
+        r.push_back(randomResponse(256, rng));
+    EXPECT_NEAR(m::uniqueness(r), 50.0, 3.0);
+}
+
+TEST(Uniqueness, Validation)
+{
+    std::vector<BitVec> one{BitVec::fromString("1")};
+    EXPECT_THROW(m::uniqueness(one), std::invalid_argument);
+    std::vector<BitVec> mismatch{BitVec::fromString("10"),
+                                 BitVec::fromString("101")};
+    EXPECT_THROW(m::uniqueness(mismatch), std::invalid_argument);
+    EXPECT_THROW(m::uniqueness({}), std::invalid_argument);
+}
+
+TEST(Reliability, PerfectSamples)
+{
+    BitVec ref = BitVec::fromString("110010");
+    std::vector<BitVec> samples{ref, ref, ref};
+    EXPECT_DOUBLE_EQ(m::reliability(ref, samples), 100.0);
+}
+
+TEST(Reliability, KnownDegradation)
+{
+    BitVec ref = BitVec::fromString("11110000");
+    BitVec one_flip = ref;
+    one_flip.flip(0);
+    // One flip in 8 bits over one sample: 100 - 12.5 = 87.5%.
+    EXPECT_DOUBLE_EQ(m::reliability(ref, {one_flip}), 87.5);
+    // Averaged with a perfect sample: 93.75%.
+    EXPECT_DOUBLE_EQ(m::reliability(ref, {one_flip, ref}), 93.75);
+}
+
+TEST(Reliability, Validation)
+{
+    BitVec ref = BitVec::fromString("10");
+    EXPECT_THROW(m::reliability(ref, {}), std::invalid_argument);
+    EXPECT_THROW(m::reliability(ref, {BitVec::fromString("100")}),
+                 std::invalid_argument);
+}
+
+TEST(Uniformity, HandValues)
+{
+    EXPECT_DOUBLE_EQ(m::uniformity(BitVec::fromString("1100")), 50.0);
+    EXPECT_DOUBLE_EQ(m::uniformity(BitVec::fromString("1111")), 100.0);
+    EXPECT_DOUBLE_EQ(m::uniformity(BitVec::fromString("0000")), 0.0);
+    EXPECT_THROW(m::uniformity(BitVec()), std::invalid_argument);
+}
+
+TEST(Uniformity, MeanAcrossResponses)
+{
+    std::vector<BitVec> r{BitVec::fromString("1111"),
+                          BitVec::fromString("0000")};
+    EXPECT_DOUBLE_EQ(m::uniformity(r), 50.0);
+}
+
+TEST(BitAliasing, PerPositionValues)
+{
+    std::vector<BitVec> r{BitVec::fromString("10"),
+                          BitVec::fromString("11"),
+                          BitVec::fromString("10"),
+                          BitVec::fromString("11")};
+    auto aliasing = m::bitAliasing(r);
+    ASSERT_EQ(aliasing.size(), 2u);
+    EXPECT_DOUBLE_EQ(aliasing[0], 100.0);
+    EXPECT_DOUBLE_EQ(aliasing[1], 50.0);
+}
+
+TEST(BitAliasing, DeviationFromIdeal)
+{
+    std::vector<BitVec> r{BitVec::fromString("10"),
+                          BitVec::fromString("11")};
+    // Position 0: 100% (dev 50); position 1: 50% (dev 0) -> mean 25.
+    EXPECT_DOUBLE_EQ(m::bitAliasingDeviation(r), 25.0);
+}
+
+TEST(Identifiability, FarIsBinomialCdf)
+{
+    // FAR(t) with p_inter = 0.5 equals the binomial CDF directly.
+    EXPECT_NEAR(m::falseAcceptanceRate(5, 10, 0.5), 0.623046875,
+                1e-9);
+    EXPECT_NEAR(m::falseRejectionRate(10, 10, 0.1), 0.0, 1e-12);
+}
+
+TEST(Identifiability, FarMonotoneInThreshold)
+{
+    double prev = -1.0;
+    for (std::int64_t t = 0; t <= 64; t += 8) {
+        double far = m::falseAcceptanceRate(t, 64, 0.5);
+        EXPECT_GE(far, prev);
+        prev = far;
+    }
+}
+
+TEST(Identifiability, FrrMonotoneDecreasing)
+{
+    double prev = 2.0;
+    for (std::int64_t t = 0; t <= 64; t += 8) {
+        double frr = m::falseRejectionRate(t, 64, 0.06);
+        EXPECT_LE(frr, prev);
+        prev = frr;
+    }
+}
+
+TEST(Identifiability, EerBalancesRates)
+{
+    auto choice = m::eerThreshold(128, 0.5, 0.06);
+    // The threshold sits between the intra mean (7.7) and the inter
+    // mean (64).
+    EXPECT_GT(choice.threshold, 8);
+    EXPECT_LT(choice.threshold, 64);
+    // Within one step of the threshold, the max rate only gets worse.
+    auto below = m::eerThreshold(128, 0.5, 0.06);
+    double at = choice.errorRate();
+    double up =
+        std::max(m::falseAcceptanceRate(choice.threshold + 1, 128, 0.5),
+                 m::falseRejectionRate(choice.threshold + 1, 128, 0.06));
+    double down =
+        std::max(m::falseAcceptanceRate(choice.threshold - 1, 128, 0.5),
+                 m::falseRejectionRate(choice.threshold - 1, 128, 0.06));
+    EXPECT_LE(at, up);
+    EXPECT_LE(at, down);
+    EXPECT_EQ(below.threshold, choice.threshold);
+}
+
+TEST(Identifiability, PaperScaleRatesAreTiny)
+{
+    // 512-bit responses at p_intra = 6%: misidentification far below
+    // 1 ppm, which is why the paper's Fig 9 distributions at 10%
+    // noise show "virtually no overlap".
+    double rate = m::misidentificationRate(512, 0.5, 0.06);
+    EXPECT_LT(rate, 1e-6);
+    EXPECT_GT(rate, 0.0);
+}
+
+TEST(Identifiability, LargerResponsesSeparateBetter)
+{
+    double r64 = m::misidentificationRate(64, 0.5, 0.15);
+    double r512 = m::misidentificationRate(512, 0.5, 0.15);
+    EXPECT_LT(r512, r64);
+}
+
+TEST(Identifiability, HigherNoiseWorsensRate)
+{
+    double clean = m::misidentificationRate(128, 0.5, 0.05);
+    double noisy = m::misidentificationRate(128, 0.5, 0.25);
+    EXPECT_LT(clean, noisy);
+}

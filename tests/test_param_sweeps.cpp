@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Parameterized sweeps over code/extractor/verifier configuration
+ * spaces: BCH (m, t) grid, repetition factors, verifier thresholds
+ * across CRP sizes, and challenge-generation exhaustion.
+ */
+
+#include <gtest/gtest.h>
+
+#include "crypto/fuzzy_extractor.hpp"
+#include "core/crp.hpp"
+#include "ecc/bch.hpp"
+#include "mc/mapgen.hpp"
+#include "server/challenge_gen.hpp"
+#include "server/verifier.hpp"
+#include "util/rng.hpp"
+
+namespace e = authenticache::ecc;
+namespace c = authenticache::crypto;
+namespace core = authenticache::core;
+namespace sim = authenticache::sim;
+namespace srv = authenticache::server;
+using authenticache::util::BitVec;
+using authenticache::util::Rng;
+
+// ---------------------------------------------------------------- BCH
+
+class BchGrid
+    : public ::testing::TestWithParam<std::pair<unsigned, unsigned>>
+{
+};
+
+TEST_P(BchGrid, EncodeDecodeAtFullCorrectionPower)
+{
+    auto [m, t] = GetParam();
+    e::BchCode code(m, t);
+    EXPECT_EQ(code.n(), (1u << m) - 1);
+    EXPECT_GT(code.k(), 0u);
+
+    Rng rng(m * 100 + t);
+    for (int trial = 0; trial < 10; ++trial) {
+        BitVec message(code.k());
+        for (std::size_t i = 0; i < message.size(); ++i)
+            message.set(i, rng.nextBool());
+        auto codeword = code.encode(message);
+
+        BitVec corrupted = codeword;
+        for (auto pos : rng.sampleDistinct(code.n(), t))
+            corrupted.flip(pos);
+
+        auto decoded = code.decode(corrupted);
+        ASSERT_TRUE(decoded.has_value());
+        ASSERT_EQ(code.extractMessage(*decoded), message);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, BchGrid,
+    ::testing::Values(std::pair<unsigned, unsigned>{5, 3},
+                      std::pair<unsigned, unsigned>{6, 4},
+                      std::pair<unsigned, unsigned>{6, 7},
+                      std::pair<unsigned, unsigned>{7, 5},
+                      std::pair<unsigned, unsigned>{8, 23},
+                      std::pair<unsigned, unsigned>{9, 11}));
+
+// ------------------------------------------------- repetition factors
+
+class RepetitionFactors : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(RepetitionFactors, CorrectsBelowHalfPerGroup)
+{
+    const unsigned rep = GetParam();
+    c::FuzzyExtractor fe(rep);
+    Rng rng(rep);
+    const std::size_t groups = 24;
+    BitVec response(groups * rep);
+    for (std::size_t i = 0; i < response.size(); ++i)
+        response.set(i, rng.nextBool());
+    auto out = fe.generate(response, rng);
+
+    // Flip floor(rep/2) bits in every group: still corrects.
+    BitVec noisy = response;
+    for (std::size_t g = 0; g < groups; ++g) {
+        for (unsigned j = 0; j < rep / 2; ++j)
+            noisy.flip(g * rep + j);
+    }
+    EXPECT_EQ(fe.reproduce(noisy, out.helper), out.key);
+
+    // One more flip in one group: that group majority-flips.
+    noisy.flip(rep / 2);
+    EXPECT_NE(fe.reproduce(noisy, out.helper), out.key);
+}
+
+INSTANTIATE_TEST_SUITE_P(OddFactors, RepetitionFactors,
+                         ::testing::Values(3u, 5u, 7u, 9u));
+
+// -------------------------------------------------- verifier policy
+
+class VerifierSizes : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(VerifierSizes, ThresholdScalesWithResponseLength)
+{
+    const std::size_t bits = GetParam();
+    srv::Verifier verifier;
+    auto threshold = verifier.thresholdFor(bits);
+    // Threshold sits strictly between the intra mean (6% of n) and
+    // the inter mean (50% of n).
+    EXPECT_GT(static_cast<double>(threshold), 0.06 * bits);
+    EXPECT_LT(static_cast<double>(threshold), 0.5 * bits);
+
+    // Doubling the response grows the threshold, but sub-linearly:
+    // the binomial tails sharpen with n, so the crossing point moves
+    // proportionally closer to the intra mean.
+    auto twice = verifier.thresholdFor(bits * 2);
+    EXPECT_GT(twice, threshold);
+    // +1 slack: the threshold is an integer and the crossing point
+    // can round up.
+    EXPECT_LE(twice, 2 * threshold + 1);
+    double frac = static_cast<double>(threshold) /
+                  static_cast<double>(bits);
+    double frac2 = static_cast<double>(twice) /
+                   static_cast<double>(2 * bits);
+    EXPECT_LE(frac2, frac + 0.5 / static_cast<double>(bits));
+}
+
+INSTANTIATE_TEST_SUITE_P(CrpSizes, VerifierSizes,
+                         ::testing::Values(64u, 128u, 256u, 512u));
+
+// ----------------------------------------- challenge-space exhaustion
+
+TEST(ChallengeExhaustion, TinyCacheRunsOutOfFreshPairs)
+{
+    // 8KB cache: 128 lines, 8128 possible pairs. Draw until dry.
+    sim::CacheGeometry tiny(8 * 1024);
+    Rng rng(1);
+    auto map = authenticache::mc::randomErrorMap(tiny, 700, 5, rng);
+    srv::DeviceRecord record(1, std::move(map), {700}, {});
+    srv::ChallengeGenerator gen(Rng(2));
+
+    const std::uint64_t total = core::possibleCrps(tiny.lines());
+    std::uint64_t consumed = 0;
+    // Generate 63-bit challenges until the generator gives up.
+    bool exhausted = false;
+    for (int round = 0; round < 200 && !exhausted; ++round) {
+        try {
+            auto out = gen.generate(record, 700, 63);
+            consumed += out.challenge.size();
+        } catch (const std::runtime_error &) {
+            exhausted = true;
+        }
+    }
+    EXPECT_TRUE(exhausted);
+    // Nearly the whole pair space was served before giving up.
+    EXPECT_GT(consumed, total * 9 / 10);
+    EXPECT_LE(consumed, total);
+}
+
+TEST(ChallengeExhaustion, RemainingPairsTracksConsumption)
+{
+    sim::CacheGeometry tiny(8 * 1024);
+    Rng rng(3);
+    auto map = authenticache::mc::randomErrorMap(tiny, 700, 5, rng);
+    srv::DeviceRecord record(1, std::move(map), {700}, {});
+    srv::ChallengeGenerator gen(Rng(4));
+
+    auto before = record.remainingPairs(700);
+    gen.generate(record, 700, 32);
+    EXPECT_EQ(record.remainingPairs(700), before - 32);
+}
+
+// -------------------------------------------------- SMM bookkeeping
+
+#include "firmware/machine.hpp"
+
+TEST(SmmBookkeeping, SmiCountAccumulatesAcrossSessions)
+{
+    authenticache::firmware::SimulatedMachine machine(2);
+    for (int i = 0; i < 5; ++i)
+        authenticache::firmware::SmmSession session(machine, i % 2);
+    EXPECT_EQ(machine.smiCount(), 5u);
+    EXPECT_FALSE(machine.inSmm());
+}

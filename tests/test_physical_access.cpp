@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Tests for the physical-access attacker (Sec 4.4): the stolen
+ * physical error map clones the PUF only together with the remap key.
+ */
+
+#include <gtest/gtest.h>
+
+#include "attack/physical_access.hpp"
+#include "mc/mapgen.hpp"
+
+namespace attack = authenticache::attack;
+namespace core = authenticache::core;
+namespace sim = authenticache::sim;
+namespace crypto = authenticache::crypto;
+using authenticache::util::Rng;
+
+namespace {
+
+const sim::CacheGeometry kGeom(512 * 1024);
+
+struct Victim
+{
+    core::ErrorMap physical;
+    crypto::Key256 key;
+    core::ErrorMap logical;
+
+    explicit Victim(std::uint64_t seed)
+        : physical([&] {
+              Rng rng(seed);
+              return authenticache::mc::randomErrorMap(kGeom, 700, 40,
+                                                       rng);
+          }()),
+          key(crypto::Key256::fromDigest(crypto::Sha256::hash(
+              std::string("victim") + std::to_string(seed)))),
+          logical(core::LogicalRemap(key, kGeom).mapErrorMap(physical))
+    {
+    }
+
+    /** The victim's true response to a logical challenge. */
+    core::Response
+    answer(const core::Challenge &challenge) const
+    {
+        return core::evaluate(logical, challenge);
+    }
+};
+
+} // namespace
+
+TEST(PhysicalAccess, FullCompromiseWithStolenKey)
+{
+    Victim victim(1);
+    attack::PhysicalMapAttacker attacker(victim.physical, victim.key);
+
+    Rng rng(2);
+    auto challenge = core::randomChallenge(kGeom, 700, 256, rng);
+    auto actual = victim.answer(challenge);
+    EXPECT_EQ(attacker.accuracy(challenge, actual), 1.0);
+    EXPECT_EQ(attacker.predict(challenge), actual);
+}
+
+TEST(PhysicalAccess, MapAloneIsCoinFlip)
+{
+    Victim victim(3);
+    // No key: the attacker evaluates the physical map directly.
+    attack::PhysicalMapAttacker attacker(victim.physical,
+                                         std::nullopt);
+
+    Rng rng(4);
+    double acc_total = 0.0;
+    const int rounds = 8;
+    for (int round = 0; round < rounds; ++round) {
+        auto challenge = core::randomChallenge(kGeom, 700, 256, rng);
+        acc_total +=
+            attacker.accuracy(challenge, victim.answer(challenge));
+    }
+    EXPECT_NEAR(acc_total / rounds, 0.5, 0.06);
+}
+
+TEST(PhysicalAccess, WrongKeyGuessIsCoinFlip)
+{
+    Victim victim(5);
+    crypto::Key256 wrong = crypto::Key256::fromDigest(
+        crypto::Sha256::hash(std::string("not-the-key")));
+    attack::PhysicalMapAttacker attacker(victim.physical, wrong);
+
+    Rng rng(6);
+    double acc_total = 0.0;
+    const int rounds = 8;
+    for (int round = 0; round < rounds; ++round) {
+        auto challenge = core::randomChallenge(kGeom, 700, 256, rng);
+        acc_total +=
+            attacker.accuracy(challenge, victim.answer(challenge));
+    }
+    EXPECT_NEAR(acc_total / rounds, 0.5, 0.06);
+}
+
+TEST(PhysicalAccess, KeyRotationRevokesACompromisedKey)
+{
+    // The attacker captured K_A once; after the remap protocol
+    // rotates to K_B, the stolen map + old key predicts nothing.
+    Victim victim(7);
+    attack::PhysicalMapAttacker attacker(victim.physical, victim.key);
+
+    crypto::Key256 rotated = crypto::Key256::fromDigest(
+        crypto::Sha256::hash(std::string("K_B")));
+    core::ErrorMap new_logical =
+        core::LogicalRemap(rotated, kGeom).mapErrorMap(victim.physical);
+
+    Rng rng(8);
+    auto challenge = core::randomChallenge(kGeom, 700, 256, rng);
+    auto actual = core::evaluate(new_logical, challenge);
+    EXPECT_LT(attacker.accuracy(challenge, actual), 0.65);
+}
+
+TEST(PhysicalAccess, DegenerateInputs)
+{
+    Victim victim(9);
+    attack::PhysicalMapAttacker attacker(victim.physical, victim.key);
+    core::Challenge empty;
+    EXPECT_EQ(attacker.accuracy(empty, core::Response()), 0.0);
+    core::Challenge one;
+    one.bits.push_back({{{0, 0}, 700}, {{1, 0}, 700}});
+    EXPECT_EQ(attacker.accuracy(one, core::Response(5)), 0.0);
+}

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Robustness fuzzing: the protocol decoder and the database snapshot
+ * loader must never crash, hang, or mis-handle hostile bytes -- every
+ * malformed input must surface as DecodeError (or a clean decode of a
+ * genuinely valid frame).
+ */
+
+#include <gtest/gtest.h>
+
+#include "mc/mapgen.hpp"
+#include "protocol/messages.hpp"
+#include "server/storage.hpp"
+#include "util/rng.hpp"
+
+namespace proto = authenticache::protocol;
+namespace srv = authenticache::server;
+namespace core = authenticache::core;
+namespace sim = authenticache::sim;
+using authenticache::util::Rng;
+
+namespace {
+
+/** Try decoding; success or DecodeError are both acceptable. */
+void
+mustNotCrash(std::span<const std::uint8_t> frame)
+{
+    try {
+        (void)proto::decodeMessage(frame);
+    } catch (const proto::DecodeError &) {
+        // Expected for malformed inputs.
+    }
+}
+
+std::vector<std::uint8_t>
+validFrame(Rng &rng)
+{
+    const sim::CacheGeometry geom(256 * 1024);
+    switch (rng.nextBelow(4)) {
+      case 0:
+        return proto::encodeMessage(proto::AuthRequest{rng.next()});
+      case 1: {
+        proto::ChallengeMsg m;
+        m.nonce = rng.next();
+        m.challenge = core::randomChallenge(
+            geom, 700, 1 + rng.nextBelow(64), rng);
+        return proto::encodeMessage(m);
+      }
+      case 2: {
+        proto::ResponseMsg m;
+        m.nonce = rng.next();
+        m.response = authenticache::util::BitVec(64);
+        return proto::encodeMessage(m);
+      }
+      default:
+        return proto::encodeMessage(
+            proto::ErrorMsg{"fuzz seed frame"});
+    }
+}
+
+} // namespace
+
+TEST(ProtocolFuzz, RandomBytesNeverCrash)
+{
+    Rng rng(0xF022);
+    for (int trial = 0; trial < 3000; ++trial) {
+        std::size_t len = rng.nextBelow(200);
+        std::vector<std::uint8_t> blob(len);
+        for (auto &b : blob)
+            b = static_cast<std::uint8_t>(rng.nextBelow(256));
+        mustNotCrash(blob);
+    }
+}
+
+TEST(ProtocolFuzz, MutatedValidFramesNeverCrash)
+{
+    Rng rng(0xF023);
+    for (int trial = 0; trial < 2000; ++trial) {
+        auto frame = validFrame(rng);
+        // Mutate 1-4 bytes.
+        std::size_t mutations = 1 + rng.nextBelow(4);
+        for (std::size_t m = 0; m < mutations; ++m) {
+            std::size_t pos = rng.nextBelow(frame.size());
+            frame[pos] =
+                static_cast<std::uint8_t>(rng.nextBelow(256));
+        }
+        mustNotCrash(frame);
+    }
+}
+
+TEST(ProtocolFuzz, TruncatedAndExtendedFramesNeverCrash)
+{
+    Rng rng(0xF024);
+    for (int trial = 0; trial < 1000; ++trial) {
+        auto frame = validFrame(rng);
+        if (rng.nextBool()) {
+            frame.resize(rng.nextBelow(frame.size() + 1));
+        } else {
+            std::size_t extra = 1 + rng.nextBelow(16);
+            for (std::size_t i = 0; i < extra; ++i)
+                frame.push_back(static_cast<std::uint8_t>(
+                    rng.nextBelow(256)));
+        }
+        mustNotCrash(frame);
+    }
+}
+
+TEST(ProtocolFuzz, LengthFieldLies)
+{
+    // A frame whose length prefix points far beyond the buffer.
+    proto::ByteWriter w;
+    w.putU32(0xFFFFFF00u);
+    w.putU8(1);
+    EXPECT_THROW(proto::decodeMessage(w.bytes()),
+                 proto::DecodeError);
+}
+
+TEST(SnapshotFuzz, MutatedSnapshotsNeverCrash)
+{
+    Rng rng(0xF025);
+    srv::EnrollmentDatabase db;
+    const sim::CacheGeometry geom(256 * 1024);
+    auto map = authenticache::mc::randomErrorMap(geom, 700, 20, rng);
+    db.enroll(srv::DeviceRecord(1, std::move(map), {700}, {}));
+    auto blob = srv::saveDatabase(db);
+
+    for (int trial = 0; trial < 1500; ++trial) {
+        auto mutated = blob;
+        std::size_t mutations = 1 + rng.nextBelow(6);
+        for (std::size_t m = 0; m < mutations; ++m) {
+            mutated[rng.nextBelow(mutated.size())] =
+                static_cast<std::uint8_t>(rng.nextBelow(256));
+        }
+        try {
+            (void)srv::loadDatabase(mutated);
+        } catch (const proto::DecodeError &) {
+            // Expected: CRC or structural validation caught it.
+        } catch (const std::invalid_argument &) {
+            // Acceptable: duplicate-id enrollment from mutated ids.
+        }
+    }
+}
+
+TEST(SnapshotFuzz, RandomBlobsNeverCrash)
+{
+    Rng rng(0xF026);
+    for (int trial = 0; trial < 1000; ++trial) {
+        std::size_t len = rng.nextBelow(400);
+        std::vector<std::uint8_t> blob(len);
+        for (auto &b : blob)
+            b = static_cast<std::uint8_t>(rng.nextBelow(256));
+        try {
+            (void)srv::loadDatabase(blob);
+        } catch (const proto::DecodeError &) {
+        }
+    }
+}

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Tests for the remap two-phase commit with key confirmation: a
+ * client that mis-derives the key (helper corrupted / noise beyond
+ * correction) must be detected at the confirmation step, leaving both
+ * sides on the old key -- the desynchronization hazard the lifetime
+ * simulation exposed with the naive single-phase protocol.
+ */
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "server/server.hpp"
+
+namespace fw = authenticache::firmware;
+namespace sim = authenticache::sim;
+namespace core = authenticache::core;
+namespace crypto = authenticache::crypto;
+namespace proto = authenticache::protocol;
+namespace srv = authenticache::server;
+
+class RemapCommitFlow : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        sim::ChipConfig cfg;
+        cfg.cacheBytes = 1024 * 1024;
+        chip = std::make_unique<sim::SimulatedChip>(cfg, 6006);
+        machine = std::make_unique<fw::SimulatedMachine>(2);
+        fw::ClientConfig ccfg;
+        ccfg.selfTestAttempts = 8;
+        client = std::make_unique<fw::AuthenticacheClient>(
+            *chip, *machine, ccfg);
+        client->boot();
+
+        srv::ServerConfig scfg;
+        scfg.challengeBits = 64;
+        scfg.remapSecretBits = 16;
+        server =
+            std::make_unique<srv::AuthenticationServer>(scfg, 66);
+        auto levels = srv::defaultChallengeLevels(*client, 1);
+        server->enroll(8, *client, levels,
+                       {srv::defaultReservedLevel(*client)});
+
+        server_end = std::make_unique<proto::ServerEndpoint>(channel);
+        agent = std::make_unique<srv::DeviceAgent>(
+            8, *client, proto::ClientEndpoint(channel));
+    }
+
+    std::unique_ptr<sim::SimulatedChip> chip;
+    std::unique_ptr<fw::SimulatedMachine> machine;
+    std::unique_ptr<fw::AuthenticacheClient> client;
+    std::unique_ptr<srv::AuthenticationServer> server;
+    proto::InMemoryChannel channel;
+    std::unique_ptr<proto::ServerEndpoint> server_end;
+    std::unique_ptr<srv::DeviceAgent> agent;
+};
+
+TEST_F(RemapCommitFlow, CleanRemapCommitsBothSides)
+{
+    crypto::Key256 before = client->mapKey();
+    server->startRemap(8, *server_end);
+    srv::runExchange(*server, *server_end, *agent);
+
+    EXPECT_EQ(server->remapsCommitted(), 1u);
+    EXPECT_EQ(server->remapsRejected(), 0u);
+    EXPECT_NE(client->mapKey(), before);
+    EXPECT_EQ(client->mapKey(), server->database().at(8).mapKey());
+}
+
+TEST_F(RemapCommitFlow, CorruptedHelperIsRejectedWithoutDesync)
+{
+    crypto::Key256 before = client->mapKey();
+    ASSERT_EQ(server->database().at(8).mapKey(), before);
+
+    server->startRemap(8, *server_end);
+
+    // Intercept the RemapRequest and sabotage one helper group so
+    // the client derives the wrong secret.
+    auto frame = channel.receiveAtClient();
+    ASSERT_TRUE(frame.has_value());
+    auto msg = proto::decodeMessage(*frame);
+    auto *req = std::get_if<proto::RemapRequest>(&msg);
+    ASSERT_NE(req, nullptr);
+    req->helper.flip(0);
+    req->helper.flip(1);
+    req->helper.flip(2); // Majority of the first 5-bit group flips.
+    channel.sendToClient(proto::encodeMessage(*req));
+
+    srv::runExchange(*server, *server_end, *agent);
+
+    // The confirmation MAC exposed the mismatch: rejected, and both
+    // sides still hold the old key.
+    EXPECT_EQ(server->remapsCommitted(), 0u);
+    EXPECT_EQ(server->remapsRejected(), 1u);
+    EXPECT_EQ(client->mapKey(), before);
+    EXPECT_EQ(server->database().at(8).mapKey(), before);
+
+    // Authentication still works on the old key.
+    agent->requestAuthentication();
+    srv::runExchange(*server, *server_end, *agent);
+    ASSERT_TRUE(agent->lastDecision().has_value());
+    EXPECT_TRUE(agent->lastDecision()->accepted);
+
+    // And a clean retry succeeds.
+    server->startRemap(8, *server_end);
+    srv::runExchange(*server, *server_end, *agent);
+    EXPECT_EQ(server->remapsCommitted(), 1u);
+    EXPECT_EQ(client->mapKey(), server->database().at(8).mapKey());
+}
+
+TEST_F(RemapCommitFlow, StrayCommitIsIgnored)
+{
+    crypto::Key256 before = client->mapKey();
+    channel.sendToClient(
+        proto::encodeMessage(proto::RemapCommit{12345, true}));
+    agent->pumpAll();
+    EXPECT_EQ(client->mapKey(), before);
+}
+
+TEST_F(RemapCommitFlow, ForgedConfirmationRejected)
+{
+    // An attacker who hijacks the ack cannot confirm without the key.
+    server->startRemap(8, *server_end);
+    auto frame = channel.receiveAtClient();
+    ASSERT_TRUE(frame.has_value());
+    auto msg = proto::decodeMessage(*frame);
+    auto *req = std::get_if<proto::RemapRequest>(&msg);
+    ASSERT_NE(req, nullptr);
+
+    proto::RemapAck forged;
+    forged.nonce = req->nonce;
+    forged.success = true;
+    forged.confirmation.fill(0xAB);
+    channel.sendToServer(proto::encodeMessage(forged));
+    server->pumpAll(*server_end);
+
+    EXPECT_EQ(server->remapsCommitted(), 0u);
+    EXPECT_EQ(server->remapsRejected(), 1u);
+}

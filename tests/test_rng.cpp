@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Unit and statistical tests for the deterministic RNG.
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+using authenticache::util::Rng;
+using authenticache::util::RunningStats;
+using authenticache::util::SplitMix64;
+
+TEST(SplitMix64, KnownSequenceIsStable)
+{
+    SplitMix64 a(42);
+    SplitMix64 b(42);
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge)
+{
+    SplitMix64 a(1);
+    SplitMix64 b(2);
+    EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Rng, Deterministic)
+{
+    Rng a(123);
+    Rng b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, SeedsIndependent)
+{
+    Rng a(123);
+    Rng b(124);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, NextBelowRespectsBound)
+{
+    Rng rng(7);
+    for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull}) {
+        for (int i = 0; i < 200; ++i)
+            EXPECT_LT(rng.nextBelow(bound), bound);
+    }
+}
+
+TEST(Rng, NextBelowCoversSmallRangeUniformly)
+{
+    Rng rng(11);
+    std::array<int, 8> counts{};
+    const int draws = 80000;
+    for (int i = 0; i < draws; ++i)
+        ++counts[rng.nextBelow(8)];
+    for (int c : counts) {
+        EXPECT_NEAR(static_cast<double>(c), draws / 8.0,
+                    5 * std::sqrt(draws / 8.0));
+    }
+}
+
+TEST(Rng, NextInRangeInclusive)
+{
+    Rng rng(5);
+    bool saw_lo = false;
+    bool saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        std::int64_t v = rng.nextInRange(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        saw_lo |= v == -3;
+        saw_hi |= v == 3;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, DoubleInUnitInterval)
+{
+    Rng rng(9);
+    RunningStats stats;
+    for (int i = 0; i < 20000; ++i) {
+        double d = rng.nextDouble();
+        ASSERT_GE(d, 0.0);
+        ASSERT_LT(d, 1.0);
+        stats.add(d);
+    }
+    EXPECT_NEAR(stats.mean(), 0.5, 0.01);
+}
+
+TEST(Rng, BernoulliMatchesProbability)
+{
+    Rng rng(13);
+    int hits = 0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i)
+        hits += rng.nextBool(0.3);
+    EXPECT_NEAR(hits / static_cast<double>(n), 0.3, 0.01);
+}
+
+TEST(Rng, GaussianMoments)
+{
+    Rng rng(17);
+    RunningStats stats;
+    for (int i = 0; i < 50000; ++i)
+        stats.add(rng.nextGaussian(10.0, 2.0));
+    EXPECT_NEAR(stats.mean(), 10.0, 0.05);
+    EXPECT_NEAR(stats.stddev(), 2.0, 0.05);
+}
+
+TEST(Rng, ExponentialMean)
+{
+    Rng rng(19);
+    RunningStats stats;
+    for (int i = 0; i < 50000; ++i)
+        stats.add(rng.nextExponential(0.5));
+    EXPECT_NEAR(stats.mean(), 2.0, 0.08);
+}
+
+TEST(Rng, GammaMoments)
+{
+    Rng rng(23);
+    RunningStats stats;
+    for (int i = 0; i < 50000; ++i)
+        stats.add(rng.nextGamma(3.0, 2.0));
+    // Gamma(shape k, scale s): mean ks, variance ks^2.
+    EXPECT_NEAR(stats.mean(), 6.0, 0.1);
+    EXPECT_NEAR(stats.variance(), 12.0, 0.6);
+}
+
+TEST(Rng, GammaSmallShape)
+{
+    Rng rng(29);
+    RunningStats stats;
+    for (int i = 0; i < 50000; ++i) {
+        double v = rng.nextGamma(0.5, 1.0);
+        ASSERT_GE(v, 0.0);
+        stats.add(v);
+    }
+    EXPECT_NEAR(stats.mean(), 0.5, 0.03);
+}
+
+TEST(Rng, BetaMomentsMatchCalibratedPersistence)
+{
+    // The persistence model relies on Beta(1.4, 0.492) having mean
+    // ~0.74 and E[(1-q)^4] ~ 0.06; check both empirically.
+    Rng rng(31);
+    RunningStats mean_stats;
+    RunningStats mask4_stats;
+    for (int i = 0; i < 100000; ++i) {
+        double q = rng.nextBeta(1.4, 0.492);
+        ASSERT_GE(q, 0.0);
+        ASSERT_LE(q, 1.0);
+        mean_stats.add(q);
+        double miss = 1.0 - q;
+        mask4_stats.add(miss * miss * miss * miss);
+    }
+    EXPECT_NEAR(mean_stats.mean(), 0.74, 0.01);
+    EXPECT_NEAR(mask4_stats.mean(), 0.06, 0.01);
+}
+
+TEST(Rng, SampleDistinctProducesDistinctValues)
+{
+    Rng rng(37);
+    auto sample = rng.sampleDistinct(1000, 100);
+    std::set<std::uint64_t> unique(sample.begin(), sample.end());
+    EXPECT_EQ(unique.size(), 100u);
+    for (auto v : sample)
+        EXPECT_LT(v, 1000u);
+}
+
+TEST(Rng, SampleDistinctFullRange)
+{
+    Rng rng(41);
+    auto sample = rng.sampleDistinct(16, 16);
+    std::set<std::uint64_t> unique(sample.begin(), sample.end());
+    EXPECT_EQ(unique.size(), 16u);
+}
+
+TEST(Rng, ShufflePreservesElements)
+{
+    Rng rng(43);
+    std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+    auto original = v;
+    rng.shuffle(v);
+    std::sort(v.begin(), v.end());
+    EXPECT_EQ(v, original);
+}
+
+TEST(Rng, ForkDivergesFromParent)
+{
+    Rng parent(47);
+    Rng child = parent.fork();
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += parent.next() == child.next();
+    EXPECT_LT(same, 2);
+}

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Exhaustive property tests for the Hsiao SECDED codec: every single-
+ * bit flip in the codeword must correct, every double-bit flip must
+ * flag as a double error.
+ */
+
+#include <bit>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "ecc/secded.hpp"
+#include "util/rng.hpp"
+
+namespace e = authenticache::ecc;
+using authenticache::util::Rng;
+
+TEST(Secded, CheckBitCounts)
+{
+    EXPECT_EQ(e::secdedCheckBits(64), 8u);
+    EXPECT_EQ(e::secdedCheckBits(32), 7u);
+    EXPECT_EQ(e::secdedCheckBits(16), 6u);
+    EXPECT_EQ(e::secdedCheckBits(8), 5u);
+}
+
+TEST(Secded, RejectsBadWidths)
+{
+    EXPECT_THROW(e::SecdedCodec(0), std::invalid_argument);
+    EXPECT_THROW(e::SecdedCodec(65), std::invalid_argument);
+}
+
+TEST(Secded, ColumnsAreDistinctOddWeight)
+{
+    e::SecdedCodec codec(64);
+    std::set<std::uint32_t> seen;
+    for (unsigned i = 0; i < 64; ++i) {
+        std::uint32_t col = codec.dataColumn(i);
+        EXPECT_EQ(std::popcount(col) % 2, 1) << "column " << i;
+        EXPECT_GE(std::popcount(col), 3) << "column " << i;
+        EXPECT_TRUE(seen.insert(col).second) << "duplicate column";
+    }
+}
+
+TEST(Secded, CleanWordDecodesOk)
+{
+    e::SecdedCodec codec(64);
+    Rng rng(1);
+    for (int i = 0; i < 100; ++i) {
+        std::uint64_t data = rng.next();
+        auto check = codec.encode(data);
+        auto result = codec.decode(data, check);
+        EXPECT_EQ(result.status, e::DecodeStatus::Ok);
+        EXPECT_EQ(result.data, data);
+    }
+}
+
+class SecdedWidths : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(SecdedWidths, CorrectsEverySingleBitFlip)
+{
+    const unsigned width = GetParam();
+    e::SecdedCodec codec(width);
+    Rng rng(2);
+    const std::uint64_t mask =
+        width == 64 ? ~0ull : ((1ull << width) - 1);
+
+    for (int trial = 0; trial < 8; ++trial) {
+        std::uint64_t data = rng.next() & mask;
+        std::uint32_t check = codec.encode(data);
+
+        // Flip each data bit.
+        for (unsigned bit = 0; bit < width; ++bit) {
+            auto r = codec.decode(data ^ (1ull << bit), check);
+            ASSERT_EQ(r.status, e::DecodeStatus::CorrectedData)
+                << "data bit " << bit;
+            ASSERT_EQ(r.data, data);
+            ASSERT_EQ(r.bitPosition, static_cast<int>(bit));
+        }
+        // Flip each check bit.
+        for (unsigned bit = 0; bit < codec.checkBits(); ++bit) {
+            auto r = codec.decode(data, check ^ (1u << bit));
+            ASSERT_EQ(r.status, e::DecodeStatus::CorrectedCheck)
+                << "check bit " << bit;
+            ASSERT_EQ(r.data, data);
+        }
+    }
+}
+
+TEST_P(SecdedWidths, DetectsEveryDoubleBitFlip)
+{
+    const unsigned width = GetParam();
+    e::SecdedCodec codec(width);
+    Rng rng(3);
+    const std::uint64_t mask =
+        width == 64 ? ~0ull : ((1ull << width) - 1);
+    const unsigned total = width + codec.checkBits();
+
+    std::uint64_t data = rng.next() & mask;
+    std::uint32_t check = codec.encode(data);
+
+    auto flip = [&](unsigned bit, std::uint64_t &d, std::uint32_t &c) {
+        if (bit < width)
+            d ^= 1ull << bit;
+        else
+            c ^= 1u << (bit - width);
+    };
+
+    for (unsigned i = 0; i < total; ++i) {
+        for (unsigned j = i + 1; j < total; ++j) {
+            std::uint64_t d = data;
+            std::uint32_t c = check;
+            flip(i, d, c);
+            flip(j, d, c);
+            auto r = codec.decode(d, c);
+            ASSERT_EQ(r.status, e::DecodeStatus::DoubleError)
+                << "bits " << i << "," << j;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, SecdedWidths,
+                         ::testing::Values(8u, 16u, 32u, 64u));
+
+TEST(Secded, EncodeIsLinear)
+{
+    // Hsiao codes are linear: check(a ^ b) == check(a) ^ check(b).
+    e::SecdedCodec codec(64);
+    Rng rng(4);
+    for (int i = 0; i < 50; ++i) {
+        std::uint64_t a = rng.next();
+        std::uint64_t b = rng.next();
+        EXPECT_EQ(codec.encode(a ^ b),
+                  codec.encode(a) ^ codec.encode(b));
+    }
+}
+
+TEST(Secded, TripleFlipNeverSilentlyAccepted)
+{
+    // 3 flips can alias to a single-bit correction (that is expected
+    // of SECDED) but must never decode as Ok.
+    e::SecdedCodec codec(64);
+    Rng rng(5);
+    for (int trial = 0; trial < 2000; ++trial) {
+        std::uint64_t data = rng.next();
+        std::uint32_t check = codec.encode(data);
+        auto picks = rng.sampleDistinct(72, 3);
+        std::uint64_t d = data;
+        std::uint32_t c = check;
+        for (auto bit : picks) {
+            if (bit < 64)
+                d ^= 1ull << bit;
+            else
+                c ^= 1u << (bit - 64);
+        }
+        auto r = codec.decode(d, c);
+        EXPECT_NE(r.status, e::DecodeStatus::Ok);
+    }
+}

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Tests for the pending-session cap: a flood of unanswered
+ * authentication requests must not grow server state without bound,
+ * evicted sessions must reject late responses, and live sessions
+ * within the cap must be unaffected.
+ */
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "server/server.hpp"
+
+namespace fw = authenticache::firmware;
+namespace sim = authenticache::sim;
+namespace proto = authenticache::protocol;
+namespace srv = authenticache::server;
+
+class SessionCap : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        sim::ChipConfig cfg;
+        cfg.cacheBytes = 1024 * 1024;
+        chip = std::make_unique<sim::SimulatedChip>(cfg, 0xCAB);
+        machine = std::make_unique<fw::SimulatedMachine>(2);
+        fw::ClientConfig ccfg;
+        ccfg.selfTestAttempts = 8;
+        client = std::make_unique<fw::AuthenticacheClient>(
+            *chip, *machine, ccfg);
+        client->boot();
+
+        srv::ServerConfig scfg;
+        scfg.challengeBits = 32;
+        scfg.maxPendingSessions = 8;
+        scfg.verifier.pIntra = 0.08;
+        server =
+            std::make_unique<srv::AuthenticationServer>(scfg, 7);
+        auto levels = srv::defaultChallengeLevels(*client, 1);
+        server->enroll(2, *client, levels,
+                       {srv::defaultReservedLevel(*client)});
+
+        server_end = std::make_unique<proto::ServerEndpoint>(channel);
+    }
+
+    std::unique_ptr<sim::SimulatedChip> chip;
+    std::unique_ptr<fw::SimulatedMachine> machine;
+    std::unique_ptr<fw::AuthenticacheClient> client;
+    std::unique_ptr<srv::AuthenticationServer> server;
+    proto::InMemoryChannel channel;
+    std::unique_ptr<proto::ServerEndpoint> server_end;
+};
+
+TEST_F(SessionCap, FloodIsBounded)
+{
+    // 50 requests, none answered: pending state stays at the cap.
+    for (int i = 0; i < 50; ++i) {
+        channel.sendToServer(
+            proto::encodeMessage(proto::AuthRequest{2}));
+        server->pumpOnce(*server_end);
+    }
+    EXPECT_LE(server->pendingSessions(), 8u);
+    EXPECT_EQ(server->sessionsEvicted(), 42u);
+}
+
+TEST_F(SessionCap, EvictedChallengeRejectsLateResponse)
+{
+    // First challenge gets evicted by the flood; answering it later
+    // must fail with "unknown nonce".
+    channel.sendToServer(proto::encodeMessage(proto::AuthRequest{2}));
+    server->pumpOnce(*server_end);
+    auto first = channel.receiveAtClient();
+    ASSERT_TRUE(first.has_value());
+    auto first_msg = proto::decodeMessage(*first);
+    auto *first_ch = std::get_if<proto::ChallengeMsg>(&first_msg);
+    ASSERT_NE(first_ch, nullptr);
+
+    for (int i = 0; i < 20; ++i) {
+        channel.sendToServer(
+            proto::encodeMessage(proto::AuthRequest{2}));
+        server->pumpOnce(*server_end);
+    }
+
+    // Answer the evicted challenge honestly.
+    auto outcome = client->authenticate(first_ch->challenge);
+    ASSERT_TRUE(outcome.ok());
+    proto::ResponseMsg resp;
+    resp.nonce = first_ch->nonce;
+    resp.response = std::move(outcome.response);
+    channel.sendToServer(proto::encodeMessage(resp));
+    server->pumpOnce(*server_end);
+
+    // No decision was recorded for it.
+    for (const auto &report : server->reports())
+        EXPECT_NE(report.nonce, first_ch->nonce);
+}
+
+TEST_F(SessionCap, PromptSessionsUnaffected)
+{
+    // A device that answers promptly completes normally even while
+    // the cap churns.
+    srv::DeviceAgent agent(2, *client,
+                           proto::ClientEndpoint(channel));
+    for (int round = 0; round < 12; ++round) {
+        agent.requestAuthentication();
+        srv::runExchange(*server, *server_end, agent);
+        ASSERT_TRUE(agent.lastDecision().has_value());
+        EXPECT_TRUE(agent.lastDecision()->accepted);
+    }
+    EXPECT_EQ(server->sessionsEvicted(), 0u);
+}

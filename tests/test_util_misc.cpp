@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Tests for the table/CSV writer, CRC-32, and the logger.
+ */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "util/crc32.hpp"
+#include "util/logging.hpp"
+#include "util/table.hpp"
+
+namespace u = authenticache::util;
+
+TEST(Crc32, KnownVector)
+{
+    // CRC-32/IEEE of "123456789" is 0xCBF43926.
+    std::string s = "123456789";
+    std::span<const std::uint8_t> bytes(
+        reinterpret_cast<const std::uint8_t *>(s.data()), s.size());
+    EXPECT_EQ(u::crc32(bytes), 0xCBF43926u);
+}
+
+TEST(Crc32, EmptyIsZero)
+{
+    EXPECT_EQ(u::crc32({}), 0u);
+}
+
+TEST(Crc32, IncrementalMatchesOneShot)
+{
+    std::string s = "authenticache-protocol-frame";
+    std::span<const std::uint8_t> all(
+        reinterpret_cast<const std::uint8_t *>(s.data()), s.size());
+    auto first = all.subspan(0, 10);
+    auto rest = all.subspan(10);
+    std::uint32_t inc = u::crc32Update(u::crc32(first), rest);
+    EXPECT_EQ(inc, u::crc32(all));
+}
+
+TEST(Crc32, DetectsSingleByteChange)
+{
+    std::string a = "hello world";
+    std::string b = "hello worle";
+    std::span<const std::uint8_t> sa(
+        reinterpret_cast<const std::uint8_t *>(a.data()), a.size());
+    std::span<const std::uint8_t> sb(
+        reinterpret_cast<const std::uint8_t *>(b.data()), b.size());
+    EXPECT_NE(u::crc32(sa), u::crc32(sb));
+}
+
+TEST(Table, AlignedOutputContainsCells)
+{
+    u::Table t({"name", "value"});
+    t.row().cell("alpha").cell(std::uint64_t(42));
+    t.row().cell("beta").cell(2.5, 1);
+    std::ostringstream os;
+    t.print(os);
+    std::string out = os.str();
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    EXPECT_NE(out.find("42"), std::string::npos);
+    EXPECT_NE(out.find("2.5"), std::string::npos);
+    EXPECT_NE(out.find("name"), std::string::npos);
+}
+
+TEST(Table, CsvFormat)
+{
+    u::Table t({"a", "b"});
+    t.row().cell("x").cell("y");
+    std::ostringstream os;
+    t.printCsv(os);
+    EXPECT_EQ(os.str(), "a,b\nx,y\n");
+}
+
+TEST(Table, RowCount)
+{
+    u::Table t({"a"});
+    EXPECT_EQ(t.rowCount(), 0u);
+    t.row().cell("1");
+    t.row().cell("2");
+    EXPECT_EQ(t.rowCount(), 2u);
+}
+
+TEST(Logging, ThresholdSuppresses)
+{
+    // Capture stderr around a suppressed and an emitted message.
+    u::setLogLevel(u::LogLevel::Error);
+    testing::internal::CaptureStderr();
+    AUTH_LOG_INFO("test") << "hidden";
+    AUTH_LOG_ERROR("test") << "visible";
+    std::string err = testing::internal::GetCapturedStderr();
+    EXPECT_EQ(err.find("hidden"), std::string::npos);
+    EXPECT_NE(err.find("visible"), std::string::npos);
+    u::setLogLevel(u::LogLevel::Warn);
+}
+
+TEST(Logging, OffSilencesEverything)
+{
+    u::setLogLevel(u::LogLevel::Off);
+    testing::internal::CaptureStderr();
+    AUTH_LOG_ERROR("test") << "nope";
+    EXPECT_TRUE(testing::internal::GetCapturedStderr().empty());
+    u::setLogLevel(u::LogLevel::Warn);
+}

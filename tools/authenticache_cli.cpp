@@ -1,0 +1,349 @@
+/**
+ * @file
+ * Command-line front end for the Authenticache library.
+ *
+ *   authenticache_cli enroll --db FILE --device ID [--device ID ...]
+ *       Manufacture the devices (die seed = ID), enroll them, and
+ *       persist the server database.
+ *
+ *   authenticache_cli auth --db FILE --device ID [--rounds N]
+ *       Reload the database, re-manufacture the device from its die
+ *       seed, and run N protocol authentications (consuming fresh
+ *       CRPs; the updated database is written back).
+ *
+ *   authenticache_cli imposter --db FILE --device ID --die SEED
+ *       A different die (SEED) presents device ID's identity.
+ *
+ *   authenticache_cli keygen --die SEED
+ *       Provision a PUF-backed key and regenerate it under drift.
+ *
+ *   authenticache_cli info --db FILE
+ *       Summarize the enrollment database.
+ */
+
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "firmware/keygen.hpp"
+#include "server/server.hpp"
+#include "server/storage.hpp"
+#include "util/table.hpp"
+
+using namespace authenticache;
+
+namespace {
+
+struct Args
+{
+    std::string command;
+    std::map<std::string, std::vector<std::string>> options;
+
+    bool
+    has(const std::string &key) const
+    {
+        return options.count(key) > 0;
+    }
+
+    std::string
+    get(const std::string &key, const std::string &fallback = "") const
+    {
+        auto it = options.find(key);
+        return it == options.end() || it->second.empty()
+                   ? fallback
+                   : it->second.front();
+    }
+
+    std::uint64_t
+    getU64(const std::string &key, std::uint64_t fallback) const
+    {
+        auto v = get(key);
+        return v.empty() ? fallback : std::stoull(v, nullptr, 0);
+    }
+};
+
+Args
+parseArgs(int argc, char **argv)
+{
+    Args args;
+    if (argc >= 2)
+        args.command = argv[1];
+    for (int i = 2; i < argc; ++i) {
+        std::string token = argv[i];
+        if (token.rfind("--", 0) == 0) {
+            std::string key = token.substr(2);
+            if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2)) {
+                args.options[key].push_back(argv[++i]);
+            } else {
+                args.options[key].push_back("");
+            }
+        }
+    }
+    return args;
+}
+
+int
+usage()
+{
+    std::cerr
+        << "usage:\n"
+        << "  authenticache_cli enroll   --db FILE --device ID"
+           " [--device ID ...] [--cache-kb N]\n"
+        << "  authenticache_cli auth     --db FILE --device ID"
+           " [--rounds N] [--cache-kb N] [--stats]\n"
+        << "  authenticache_cli imposter --db FILE --device ID"
+           " --die SEED [--cache-kb N]\n"
+        << "  authenticache_cli keygen   --die SEED [--cache-kb N]\n"
+        << "  authenticache_cli info     --db FILE\n";
+    return 2;
+}
+
+/** A device re-manufactured from its die seed. */
+struct Device
+{
+    sim::SimulatedChip chip;
+    firmware::SimulatedMachine machine;
+    firmware::AuthenticacheClient client;
+
+    Device(std::uint64_t die_seed, std::uint64_t cache_kb)
+        : chip(
+              [&] {
+                  sim::ChipConfig cfg;
+                  cfg.cacheBytes = cache_kb * 1024;
+                  return cfg;
+              }(),
+              die_seed),
+          machine(4),
+          client(chip, machine,
+                 [] {
+                     firmware::ClientConfig cfg;
+                     cfg.selfTestAttempts = 8;
+                     return cfg;
+                 }())
+    {
+        client.boot();
+    }
+};
+
+int
+cmdEnroll(const Args &args)
+{
+    std::string path = args.get("db");
+    if (path.empty() || !args.has("device"))
+        return usage();
+    std::uint64_t cache_kb = args.getU64("cache-kb", 1024);
+
+    server::ServerConfig cfg;
+    cfg.challengeBits = 128;
+    cfg.verifier.pIntra = 0.08;
+    server::AuthenticationServer server(cfg, /*seed=*/0x5E4E4);
+
+    for (const auto &id_str : args.options.at("device")) {
+        std::uint64_t id = std::stoull(id_str, nullptr, 0);
+        Device device(id, cache_kb);
+        auto levels =
+            server::defaultChallengeLevels(device.client, 2);
+        auto reserved = server::defaultReservedLevel(device.client);
+        const auto &record =
+            server.enroll(id, device.client, levels, {reserved});
+        std::cout << "enrolled device " << id << ": floor "
+                  << device.client.floorMv() << " mV, "
+                  << record.physicalMap().totalErrors()
+                  << " error lines\n";
+    }
+    server::saveDatabaseFile(server.database(), path);
+    std::cout << "database written to " << path << "\n";
+    return 0;
+}
+
+int
+cmdAuth(const Args &args)
+{
+    std::string path = args.get("db");
+    if (path.empty() || !args.has("device"))
+        return usage();
+    std::uint64_t id = args.getU64("device", 0);
+    std::uint64_t rounds = args.getU64("rounds", 1);
+    std::uint64_t cache_kb = args.getU64("cache-kb", 1024);
+
+    server::ServerConfig cfg;
+    cfg.challengeBits = 128;
+    cfg.verifier.pIntra = 0.08;
+    server::AuthenticationServer server(cfg, 0xA17A);
+
+    // Rebuild the server around the persisted database.
+    auto db = server::loadDatabaseFile(path);
+    if (!db.contains(id)) {
+        std::cerr << "device " << id << " not enrolled in " << path
+                  << "\n";
+        return 1;
+    }
+    // Move the records into the live server.
+    for (const auto &[record_id, record] : db.all())
+        server.database().enroll(record);
+
+    Device device(id, cache_kb);
+    device.client.setMapKey(server.database().at(id).mapKey());
+
+    protocol::InMemoryChannel channel;
+    protocol::ServerEndpoint server_end(channel);
+    server::DeviceAgent agent(id, device.client,
+                              protocol::ClientEndpoint(channel));
+
+    util::Table table({"round", "decision", "hamming_distance"});
+    for (std::uint64_t round = 1; round <= rounds; ++round) {
+        agent.requestAuthentication();
+        server::runExchange(server, server_end, agent);
+        const auto &d = agent.lastDecision();
+        table.row()
+            .cell(round)
+            .cell(d ? (d->accepted ? "ACCEPTED" : "REJECTED")
+                    : (agent.errors().empty()
+                           ? "no decision"
+                           : agent.errors().back()))
+            .cell(d ? std::to_string(d->hammingDistance) : "-");
+    }
+    table.print(std::cout);
+
+    if (args.has("stats")) {
+        util::StatsRegistry registry;
+        sim::collectChipStats(device.chip, registry);
+        firmware::collectClientStats(device.client, registry);
+        server::collectServerStats(server, registry);
+        std::cout << "\n";
+        registry.dump(std::cout);
+    }
+
+    server::saveDatabaseFile(server.database(), path);
+    std::cout << "database updated (consumed pairs persisted)\n";
+    return 0;
+}
+
+int
+cmdImposter(const Args &args)
+{
+    std::string path = args.get("db");
+    if (path.empty() || !args.has("device") || !args.has("die"))
+        return usage();
+    std::uint64_t id = args.getU64("device", 0);
+    std::uint64_t die = args.getU64("die", 0);
+    std::uint64_t cache_kb = args.getU64("cache-kb", 1024);
+
+    server::ServerConfig cfg;
+    cfg.challengeBits = 128;
+    cfg.verifier.pIntra = 0.08;
+    server::AuthenticationServer server(cfg, 0x1290);
+    auto db = server::loadDatabaseFile(path);
+    for (const auto &[record_id, record] : db.all())
+        server.database().enroll(record);
+
+    Device imposter(die, cache_kb);
+    imposter.client.setMapKey(server.database().at(id).mapKey());
+
+    protocol::InMemoryChannel channel;
+    protocol::ServerEndpoint server_end(channel);
+    server::DeviceAgent agent(id, imposter.client,
+                              protocol::ClientEndpoint(channel));
+    agent.requestAuthentication();
+    server::runExchange(server, server_end, agent);
+
+    if (agent.lastDecision()) {
+        std::cout << "imposter die " << die << " presenting device "
+                  << id << ": "
+                  << (agent.lastDecision()->accepted ? "ACCEPTED"
+                                                     : "REJECTED")
+                  << " (HD " << agent.lastDecision()->hammingDistance
+                  << ")\n";
+        return agent.lastDecision()->accepted ? 1 : 0;
+    }
+    std::cout << "imposter aborted: "
+              << (agent.errors().empty() ? "no decision"
+                                         : agent.errors().back())
+              << "\n";
+    return 0;
+}
+
+int
+cmdKeygen(const Args &args)
+{
+    if (!args.has("die"))
+        return usage();
+    std::uint64_t die = args.getU64("die", 0);
+    std::uint64_t cache_kb = args.getU64("cache-kb", 1024);
+
+    Device device(die, cache_kb);
+    firmware::PufKeyGenerator keygen(device.client);
+    auto level = static_cast<core::VddMv>(
+        device.client.floorMv() + 10.0);
+
+    util::Rng rng(die ^ 0x6EA);
+    auto provisioned = keygen.provision(level, rng);
+    std::cout << "provisioned a " << keygen.secretBits()
+              << "-bit-secret key (BCH n=" << keygen.responseBits()
+              << ", t=" << keygen.tolerance() << ")\n";
+
+    for (double dt : {0.0, 15.0, 25.0}) {
+        sim::Conditions c;
+        c.temperatureDeltaC = dt;
+        device.chip.setConditions(c);
+        auto key = keygen.regenerate(provisioned.slot);
+        std::cout << "regenerate at +" << dt << "C: "
+                  << (key ? (*key == provisioned.key
+                                 ? "OK"
+                                 : "WRONG KEY")
+                          : "FAILED (flagged)")
+                  << "\n";
+    }
+    return 0;
+}
+
+int
+cmdInfo(const Args &args)
+{
+    std::string path = args.get("db");
+    if (path.empty())
+        return usage();
+    auto db = server::loadDatabaseFile(path);
+    std::cout << db.size() << " device(s) in " << path << "\n\n";
+
+    util::Table table({"device", "geometry", "errors", "levels",
+                       "accepted", "rejected", "locked"});
+    for (const auto &[id, record] : db.all()) {
+        table.row()
+            .cell(id)
+            .cell(record.physicalMap().geometry().describe())
+            .cell(std::uint64_t(record.physicalMap().totalErrors()))
+            .cell(std::uint64_t(record.challengeLevels().size()))
+            .cell(record.accepted())
+            .cell(record.rejected())
+            .cell(record.locked() ? "yes" : "no");
+    }
+    table.print(std::cout);
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Args args = parseArgs(argc, argv);
+    try {
+        if (args.command == "enroll")
+            return cmdEnroll(args);
+        if (args.command == "auth")
+            return cmdAuth(args);
+        if (args.command == "imposter")
+            return cmdImposter(args);
+        if (args.command == "keygen")
+            return cmdKeygen(args);
+        if (args.command == "info")
+            return cmdInfo(args);
+        return usage();
+    } catch (const std::exception &e) {
+        std::cerr << "error: " << e.what() << "\n";
+        return 1;
+    }
+}
