@@ -6,13 +6,43 @@
 #ifndef AUTH_BENCH_COMMON_HPP
 #define AUTH_BENCH_COMMON_HPP
 
+#include <chrono>
 #include <cstdlib>
 #include <iostream>
 #include <string>
 
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 
 namespace authbench {
+
+/** Wall-clock stopwatch for before/after numbers in EXPERIMENTS.md. */
+class WallTimer
+{
+  public:
+    WallTimer() : start(std::chrono::steady_clock::now()) {}
+
+    double
+    seconds() const
+    {
+        return std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - start)
+            .count();
+    }
+
+  private:
+    std::chrono::steady_clock::time_point start;
+};
+
+/** Print a labeled wall-clock measurement with the execution width. */
+inline void
+reportWallClock(const std::string &label, double seconds)
+{
+    std::cout << "[wall-clock] " << label << ": " << seconds
+              << " s  (threads: "
+              << authenticache::util::ThreadPool::defaultThreadCount()
+              << ")\n";
+}
 
 /** True when AUTHENTICACHE_QUICK=1 requests a fast smoke run. */
 inline bool

@@ -57,10 +57,13 @@ main()
     mc::NoiseProfile high;
     high.injectFraction = 1.50;
 
+    authbench::WallTimer timer;
     auto low_samples = mc::hammingDistributions(geom, errors, bits,
                                                 low, cfg);
     auto high_samples = mc::hammingDistributions(geom, errors, bits,
                                                  high, cfg);
+    authbench::reportWallClock("hamming distributions (2 noise levels)",
+                               timer.seconds());
 
     util::Histogram h_low(0, 512, 64);
     util::Histogram h_high(0, 512, 64);
@@ -86,11 +89,14 @@ main()
 
     // Analytic overlap at the EER threshold, per the paper's 2 ppm
     // observation for 150% noise.
+    authbench::WallTimer flip_timer;
     auto p10 =
         mc::estimateIntraFlipProbability(geom, errors, low, cfg);
     auto p150 =
         mc::estimateIntraFlipProbability(geom, errors, high, cfg);
     auto p_inter = mc::estimateInterFlipProbability(geom, errors, cfg);
+    authbench::reportWallClock("flip-probability estimates",
+                               flip_timer.seconds());
     double rate10 = metrics::misidentificationRate(bits, p_inter, p10);
     double rate150 =
         metrics::misidentificationRate(bits, p_inter, p150);

@@ -38,6 +38,7 @@ main()
     const char *paper_inj[] = {"~25", "~45", "79", "142"};
     const char *paper_rem[] = {"~20", "~33", "45", "62"};
 
+    authbench::WallTimer timer;
     int idx = 0;
     for (std::size_t bits : {64, 128, 256, 512}) {
         auto inj =
@@ -53,6 +54,8 @@ main()
         ++idx;
     }
     table.print(std::cout);
+    authbench::reportWallClock("noise-tolerance sweep (4 CRP sizes)",
+                               timer.seconds());
 
     std::cout << "\nexpected shape: tolerance grows with CRP size; "
                  "removal tolerance < injection tolerance.\n";

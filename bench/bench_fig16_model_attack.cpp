@@ -13,7 +13,7 @@
 
 #include "bench_common.hpp"
 #include "attack/model_attack.hpp"
-#include "core/nearest.hpp"
+#include "core/error_index.hpp"
 #include "core/remap.hpp"
 #include "crypto/sha256.hpp"
 #include "mc/mapgen.hpp"
@@ -24,13 +24,11 @@ using namespace authenticache;
 namespace {
 
 bool
-truthBit(const core::ErrorPlane &plane, const core::ChallengeBit &bit)
+truthBit(const core::ErrorIndex &index, const core::ChallengeBit &bit)
 {
-    auto da = core::nearestErrorBrute(plane, bit.a.line);
-    auto db = core::nearestErrorBrute(plane, bit.b.line);
     return core::responseBitFromDistances(
-        da.found ? da.distance : core::kInfiniteDistance,
-        db.found ? db.distance : core::kInfiniteDistance);
+        index.distanceOrInfinite(bit.a.line),
+        index.distanceOrInfinite(bit.b.line));
 }
 
 core::ChallengeBit
@@ -59,9 +57,12 @@ main()
 
     const std::uint64_t total =
         authbench::scaled(400000, 40000);
+    authbench::WallTimer attack_timer;
     auto curve = attack::runModelAttack(
         plane, total, /*checkpoints=*/10, /*validation=*/4000,
         attack::ModelParams{}, rng);
+    authbench::reportWallClock("model-attack learning curve",
+                               attack_timer.seconds());
 
     util::Table table({"observed_crps", "prediction_rate",
                        "bits_per_64b_response"});
@@ -106,34 +107,35 @@ main()
                                  std::to_string(phase)));
         core::LogicalRemap remap(key, geom);
         core::ErrorMap logical = remap.mapErrorMap(physical);
-        const auto &lplane = logical.plane(700);
+        const core::ErrorIndex lindex(logical.plane(700));
 
         // Train for one period on the current logical map.
         for (std::uint64_t i = 0; i < rotation_period; ++i) {
             auto bit = randomPair(geom, crng);
-            model.train(bit, truthBit(lplane, bit));
+            model.train(bit, truthBit(lindex, bit));
             ++trained;
         }
 
         // Accuracy against this map (pre-rotation) and the next
         // (post-rotation).
-        auto measure = [&](const core::ErrorPlane &p) {
+        auto measure = [&](const core::ErrorIndex &index) {
             std::size_t correct = 0;
             const std::size_t val = 2000;
             for (std::size_t i = 0; i < val; ++i) {
                 auto bit = randomPair(geom, crng);
-                correct += model.predict(bit) == truthBit(p, bit);
+                correct += model.predict(bit) == truthBit(index, bit);
             }
             return static_cast<double>(correct) / val;
         };
-        double pre = measure(lplane);
+        double pre = measure(lindex);
 
         crypto::Key256 next_key = crypto::Key256::fromDigest(
             crypto::Sha256::hash("rotation-" +
                                  std::to_string(phase + 1)));
         core::ErrorMap next_logical =
             core::LogicalRemap(next_key, geom).mapErrorMap(physical);
-        double post = measure(next_logical.plane(700));
+        double post =
+            measure(core::ErrorIndex(next_logical.plane(700)));
 
         saw.row()
             .cell(phase)

@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
-#include "core/nearest.hpp"
+#include "core/error_index.hpp"
 
 namespace authenticache::attack {
 
@@ -100,17 +100,13 @@ DistanceFieldModel::reset()
 
 namespace {
 
-/** Ground-truth response bit for a pair on a plane. */
+/** Ground-truth response bit for a pair on an indexed plane. */
 bool
-truthBit(const core::ErrorPlane &plane, const core::ChallengeBit &bit)
+truthBit(const core::ErrorIndex &index, const core::ChallengeBit &bit)
 {
-    auto da = core::nearestErrorBrute(plane, bit.a.line);
-    auto db = core::nearestErrorBrute(plane, bit.b.line);
-    std::uint64_t dist_a =
-        da.found ? da.distance : core::kInfiniteDistance;
-    std::uint64_t dist_b =
-        db.found ? db.distance : core::kInfiniteDistance;
-    return core::responseBitFromDistances(dist_a, dist_b);
+    return core::responseBitFromDistances(
+        index.distanceOrInfinite(bit.a.line),
+        index.distanceOrInfinite(bit.b.line));
 }
 
 core::ChallengeBit
@@ -133,6 +129,7 @@ runModelAttack(const core::ErrorPlane &plane, std::uint64_t total_crps,
 {
     const auto &geom = plane.geometry();
     DistanceFieldModel model(geom, params);
+    const core::ErrorIndex index(plane);
 
     // Fixed held-out validation set.
     std::vector<core::ChallengeBit> val_bits;
@@ -141,7 +138,7 @@ runModelAttack(const core::ErrorPlane &plane, std::uint64_t total_crps,
     for (std::size_t i = 0; i < validation_size; ++i) {
         auto bit = randomPair(geom, rng);
         val_bits.push_back(bit);
-        val_truth.push_back(truthBit(plane, bit));
+        val_truth.push_back(truthBit(index, bit));
     }
 
     std::vector<LearningCurvePoint> curve;
@@ -155,7 +152,7 @@ runModelAttack(const core::ErrorPlane &plane, std::uint64_t total_crps,
             std::min(total_crps, trained + per_checkpoint);
         for (; trained < target; ++trained) {
             auto bit = randomPair(geom, rng);
-            model.train(bit, truthBit(plane, bit));
+            model.train(bit, truthBit(index, bit));
         }
         curve.push_back(
             {trained, model.accuracy(val_bits, val_truth)});

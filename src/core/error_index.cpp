@@ -1,0 +1,103 @@
+#include "core/error_index.hpp"
+
+#include <algorithm>
+
+#include "core/challenge.hpp"
+
+namespace authenticache::core {
+
+ErrorIndex::ErrorIndex(const CacheGeometry &geometry)
+    : geom(geometry), rows(geometry.ways())
+{
+}
+
+ErrorIndex::ErrorIndex(const ErrorPlane &plane)
+    : geom(plane.geometry()), rows(plane.geometry().ways())
+{
+    // The plane's list is sorted by (set, way), so appending per way
+    // leaves every row sorted by set.
+    for (const auto &e : plane.errors())
+        rows[e.way].push_back(e.set);
+    count = plane.errorCount();
+}
+
+void
+ErrorIndex::add(const LinePoint &p)
+{
+    auto &row = rows[p.way];
+    auto it = std::lower_bound(row.begin(), row.end(), p.set);
+    if (it != row.end() && *it == p.set)
+        return;
+    row.insert(it, p.set);
+    ++count;
+}
+
+void
+ErrorIndex::remove(const LinePoint &p)
+{
+    auto &row = rows[p.way];
+    auto it = std::lower_bound(row.begin(), row.end(), p.set);
+    if (it == row.end() || *it != p.set)
+        return;
+    row.erase(it);
+    --count;
+}
+
+bool
+ErrorIndex::contains(const LinePoint &p) const
+{
+    const auto &row = rows[p.way];
+    return std::binary_search(row.begin(), row.end(), p.set);
+}
+
+NearestResult
+ErrorIndex::nearest(const LinePoint &from) const
+{
+    NearestResult best;
+    for (std::uint32_t way = 0; way < rows.size(); ++way) {
+        const auto &row = rows[way];
+        if (row.empty())
+            continue;
+        std::uint64_t dy = from.way > way ? from.way - way
+                                          : way - from.way;
+        // Rows whose vertical offset alone exceeds the incumbent
+        // cannot improve it (nor tie with a smaller coordinate,
+        // because a tie at larger total distance is impossible).
+        if (best.found && dy > best.distance)
+            continue;
+
+        auto consider = [&](std::uint32_t set) {
+            ++best.cellsExamined;
+            std::uint64_t dx = from.set > set ? from.set - set
+                                              : set - from.set;
+            std::uint64_t d = dx + dy;
+            LinePoint at{set, way};
+            if (!best.found || d < best.distance ||
+                (d == best.distance && at < best.at)) {
+                best.found = true;
+                best.distance = d;
+                best.at = at;
+            }
+        };
+
+        // The row's nearest elements flank the query set index; any
+        // element further out is strictly farther in-row, and the
+        // smaller-set neighbor is considered first so equal-distance
+        // ties resolve to the lexicographically smaller coordinate.
+        auto it = std::lower_bound(row.begin(), row.end(), from.set);
+        if (it != row.begin())
+            consider(*(it - 1));
+        if (it != row.end())
+            consider(*it);
+    }
+    return best;
+}
+
+std::uint64_t
+ErrorIndex::distanceOrInfinite(const LinePoint &from) const
+{
+    auto r = nearest(from);
+    return r.found ? r.distance : kInfiniteDistance;
+}
+
+} // namespace authenticache::core

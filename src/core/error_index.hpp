@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Indexed nearest-error queries over an error plane.
+ *
+ * nearestErrorBrute walks the whole error list (O(#errors) per
+ * query), which dominates the Monte Carlo hot paths: every response
+ * bit costs two nearest-error lookups. ErrorIndex exploits the
+ * plane's extreme aspect ratio (tens of thousands of sets, a handful
+ * of ways) by keeping one sorted set-index bucket per way row. A
+ * query binary-searches each row for the two set-neighbors of the
+ * query point, so the cost is O(ways * log(errors-per-row)) --
+ * independent of the total error count.
+ *
+ * Results are exactly those of nearestErrorBrute, including the
+ * tie rule: among equidistant errors the lexicographically smallest
+ * (set, way) coordinate wins.
+ *
+ * The index is kept incrementally in sync through add/remove, so
+ * callers that perturb a plane (noise application, aging) can mirror
+ * the mutation instead of rebuilding.
+ */
+
+#ifndef AUTH_CORE_ERROR_INDEX_HPP
+#define AUTH_CORE_ERROR_INDEX_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "core/error_map.hpp"
+#include "core/nearest.hpp"
+#include "sim/geometry.hpp"
+
+namespace authenticache::core {
+
+class ErrorIndex
+{
+  public:
+    /** Empty index over a geometry. */
+    explicit ErrorIndex(const CacheGeometry &geometry);
+
+    /** Bulk-build from a plane's current error set. */
+    explicit ErrorIndex(const ErrorPlane &plane);
+
+    /** Mark a line as erroneous; idempotent. */
+    void add(const LinePoint &p);
+
+    /** Unmark a line; idempotent. */
+    void remove(const LinePoint &p);
+
+    bool contains(const LinePoint &p) const;
+
+    std::size_t errorCount() const { return count; }
+
+    const CacheGeometry &geometry() const { return geom; }
+
+    /**
+     * Nearest error by Manhattan distance; identical result to
+     * nearestErrorBrute on an equal error set. cellsExamined counts
+     * candidate errors compared (at most two per way row).
+     */
+    NearestResult nearest(const LinePoint &from) const;
+
+    /** Nearest distance, or kInfiniteDistance on an empty index. */
+    std::uint64_t distanceOrInfinite(const LinePoint &from) const;
+
+  private:
+    CacheGeometry geom;
+    /** rows[way] holds the sorted set indices with an error there. */
+    std::vector<std::vector<std::uint32_t>> rows;
+    std::size_t count = 0;
+};
+
+} // namespace authenticache::core
+
+#endif // AUTH_CORE_ERROR_INDEX_HPP

@@ -93,7 +93,10 @@ spiralSearch(const CacheGeometry &geom, const LinePoint &center,
     NearestResult out;
     for (std::uint64_t r = 0; r <= max_radius; ++r) {
         auto cells = ringCells(geom, center, r);
-        if (cells.empty() && r > maxSearchRadius(geom))
+        // For an in-bounds center, ring r is populated for every r up
+        // to the distance of the farthest corner and empty for all
+        // larger r, so the first empty ring ends the search.
+        if (cells.empty() && r > 0)
             break;
         for (const auto &cell : cells) {
             ++out.cellsExamined;
@@ -111,7 +114,11 @@ spiralSearch(const CacheGeometry &geom, const LinePoint &center,
 std::uint64_t
 maxSearchRadius(const CacheGeometry &geom)
 {
-    return static_cast<std::uint64_t>(geom.sets()) + geom.ways();
+    // The farthest pair of in-bounds cells are opposite corners at
+    // (sets-1, ways-1) apart; sets + ways would walk two guaranteed
+    // empty rings on every miss.
+    return static_cast<std::uint64_t>(geom.sets() - 1) +
+           (geom.ways() - 1);
 }
 
 } // namespace authenticache::core

@@ -3,37 +3,56 @@
 #include <algorithm>
 #include <map>
 
-#include "core/nearest.hpp"
+#include "core/error_index.hpp"
 #include "mc/mapgen.hpp"
 #include "metrics/identifiability.hpp"
+#include "util/thread_pool.hpp"
 
 namespace authenticache::mc {
 
 namespace {
 
-constexpr core::VddMv kLevel = 700; // Arbitrary; single-level maps.
+// Stream-domain tags: each experiment derives its per-shard Rng
+// streams from a distinct seed domain so experiments never share
+// random sequences even under the same cfg.seed.
+constexpr std::uint64_t kIntraTag = 0x1D7A;
+constexpr std::uint64_t kInterTag = 0x147E6;
+constexpr std::uint64_t kDistTag = 0xD157;
+constexpr std::uint64_t kQualityTag = 0xA11A5;
 
-/** Distance of one point on a plane (infinite when error-free). */
-std::uint64_t
-planeDistance(const core::ErrorPlane &plane, const sim::LinePoint &p)
-{
-    auto r = core::nearestErrorBrute(plane, p);
-    return r.found ? r.distance : core::kInfiniteDistance;
-}
-
-/** One response bit of the pair (a, b) on a plane. */
+/** One response bit of the pair (a, b) through the index. */
 bool
-bitOn(const core::ErrorPlane &plane, const sim::LinePoint &a,
+bitOn(const core::ErrorIndex &index, const sim::LinePoint &a,
       const sim::LinePoint &b)
 {
-    return core::responseBitFromDistances(planeDistance(plane, a),
-                                          planeDistance(plane, b));
+    return core::responseBitFromDistances(index.distanceOrInfinite(a),
+                                          index.distanceOrInfinite(b));
 }
 
 sim::LinePoint
 randomPoint(const core::CacheGeometry &geom, util::Rng &rng)
 {
     return geom.pointOf(rng.nextBelow(geom.lines()));
+}
+
+/**
+ * Shard [0, count) across the configured execution width. Bodies
+ * must derive all randomness from the shard index and write to
+ * index-addressed slots; the pool guarantees nothing about order.
+ */
+void
+shard(const ExperimentConfig &cfg, std::size_t count,
+      const std::function<void(std::size_t)> &body)
+{
+    if (cfg.threads == 1) {
+        for (std::size_t i = 0; i < count; ++i)
+            body(i);
+    } else if (cfg.threads == 0) {
+        util::ThreadPool::global().parallelFor(count, body);
+    } else {
+        util::ThreadPool local(cfg.threads);
+        local.parallelFor(count, body);
+    }
 }
 
 } // namespace
@@ -43,32 +62,35 @@ hammingDistributions(const core::CacheGeometry &geom, std::size_t errors,
                      std::size_t bits, const NoiseProfile &noise,
                      const ExperimentConfig &cfg)
 {
-    util::Rng rng(cfg.seed);
     HammingSamples out;
     out.bits = bits;
-    out.intra.reserve(cfg.maps * cfg.samplesPerMap);
-    out.inter.reserve(cfg.maps * cfg.samplesPerMap);
+    out.intra.assign(cfg.maps * cfg.samplesPerMap, 0);
+    out.inter.assign(cfg.maps * cfg.samplesPerMap, 0);
 
-    for (std::size_t m = 0; m < cfg.maps; ++m) {
+    shard(cfg, cfg.maps, [&](std::size_t m) {
+        util::Rng rng = util::Rng::forStream(cfg.seed, m);
         core::ErrorPlane enrolled = randomPlane(geom, errors, rng);
         core::ErrorPlane other = randomPlane(geom, errors, rng);
+        core::ErrorIndex enrolled_idx(enrolled);
+        core::ErrorIndex other_idx(other);
 
         for (std::size_t s = 0; s < cfg.samplesPerMap; ++s) {
-            core::ErrorPlane noisy = applyNoise(enrolled, noise, rng);
+            core::ErrorIndex noisy_idx(
+                applyNoise(enrolled, noise, rng));
 
             std::uint32_t hd_intra = 0;
             std::uint32_t hd_inter = 0;
             for (std::size_t bit = 0; bit < bits; ++bit) {
                 sim::LinePoint a = randomPoint(geom, rng);
                 sim::LinePoint b = randomPoint(geom, rng);
-                bool expected = bitOn(enrolled, a, b);
-                hd_intra += expected != bitOn(noisy, a, b);
-                hd_inter += expected != bitOn(other, a, b);
+                bool expected = bitOn(enrolled_idx, a, b);
+                hd_intra += expected != bitOn(noisy_idx, a, b);
+                hd_inter += expected != bitOn(other_idx, a, b);
             }
-            out.intra.push_back(hd_intra);
-            out.inter.push_back(hd_inter);
+            out.intra[m * cfg.samplesPerMap + s] = hd_intra;
+            out.inter[m * cfg.samplesPerMap + s] = hd_inter;
         }
-    }
+    });
     return out;
 }
 
@@ -78,21 +100,28 @@ estimateIntraFlipProbability(const core::CacheGeometry &geom,
                              const NoiseProfile &noise,
                              const ExperimentConfig &cfg)
 {
-    util::Rng rng(cfg.seed ^ 0x1D7A);
-    std::uint64_t flips = 0;
-    std::uint64_t total = 0;
-
-    for (std::size_t m = 0; m < cfg.maps; ++m) {
+    std::vector<std::uint64_t> flips(cfg.maps, 0);
+    shard(cfg, cfg.maps, [&](std::size_t m) {
+        util::Rng rng =
+            util::Rng::forStream(cfg.seed ^ kIntraTag, m);
         core::ErrorPlane enrolled = randomPlane(geom, errors, rng);
-        core::ErrorPlane noisy = applyNoise(enrolled, noise, rng);
+        core::ErrorIndex enrolled_idx(enrolled);
+        core::ErrorIndex noisy_idx(applyNoise(enrolled, noise, rng));
+        std::uint64_t local = 0;
         for (std::size_t s = 0; s < cfg.samplesPerMap; ++s) {
             sim::LinePoint a = randomPoint(geom, rng);
             sim::LinePoint b = randomPoint(geom, rng);
-            flips += bitOn(enrolled, a, b) != bitOn(noisy, a, b);
-            ++total;
+            local += bitOn(enrolled_idx, a, b) !=
+                     bitOn(noisy_idx, a, b);
         }
-    }
-    return static_cast<double>(flips) / static_cast<double>(total);
+        flips[m] = local;
+    });
+
+    std::uint64_t total_flips = 0;
+    for (auto f : flips)
+        total_flips += f;
+    return static_cast<double>(total_flips) /
+           static_cast<double>(cfg.maps * cfg.samplesPerMap);
 }
 
 double
@@ -100,21 +129,26 @@ estimateInterFlipProbability(const core::CacheGeometry &geom,
                              std::size_t errors,
                              const ExperimentConfig &cfg)
 {
-    util::Rng rng(cfg.seed ^ 0x147E6);
-    std::uint64_t flips = 0;
-    std::uint64_t total = 0;
-
-    for (std::size_t m = 0; m < cfg.maps; ++m) {
-        core::ErrorPlane chip_a = randomPlane(geom, errors, rng);
-        core::ErrorPlane chip_b = randomPlane(geom, errors, rng);
+    std::vector<std::uint64_t> flips(cfg.maps, 0);
+    shard(cfg, cfg.maps, [&](std::size_t m) {
+        util::Rng rng =
+            util::Rng::forStream(cfg.seed ^ kInterTag, m);
+        core::ErrorIndex chip_a(randomPlane(geom, errors, rng));
+        core::ErrorIndex chip_b(randomPlane(geom, errors, rng));
+        std::uint64_t local = 0;
         for (std::size_t s = 0; s < cfg.samplesPerMap; ++s) {
             sim::LinePoint a = randomPoint(geom, rng);
             sim::LinePoint b = randomPoint(geom, rng);
-            flips += bitOn(chip_a, a, b) != bitOn(chip_b, a, b);
-            ++total;
+            local += bitOn(chip_a, a, b) != bitOn(chip_b, a, b);
         }
-    }
-    return static_cast<double>(flips) / static_cast<double>(total);
+        flips[m] = local;
+    });
+
+    std::uint64_t total_flips = 0;
+    for (auto f : flips)
+        total_flips += f;
+    return static_cast<double>(total_flips) /
+           static_cast<double>(cfg.maps * cfg.samplesPerMap);
 }
 
 NoiseTolerance
@@ -189,71 +223,94 @@ averageNearestErrorDistance(const core::CacheGeometry &geom,
                             std::size_t errors,
                             const ExperimentConfig &cfg)
 {
-    util::Rng rng(cfg.seed ^ 0xD157);
-    double acc = 0.0;
-    std::uint64_t count = 0;
-    for (std::size_t m = 0; m < cfg.maps; ++m) {
-        core::ErrorPlane plane = randomPlane(geom, errors, rng);
+    std::vector<double> acc(cfg.maps, 0.0);
+    shard(cfg, cfg.maps, [&](std::size_t m) {
+        util::Rng rng = util::Rng::forStream(cfg.seed ^ kDistTag, m);
+        core::ErrorIndex index(randomPlane(geom, errors, rng));
+        double local = 0.0;
         for (std::size_t s = 0; s < cfg.samplesPerMap; ++s) {
-            auto d = planeDistance(plane, randomPoint(geom, rng));
-            acc += static_cast<double>(d);
-            ++count;
+            local += static_cast<double>(
+                index.distanceOrInfinite(randomPoint(geom, rng)));
         }
-    }
-    return acc / static_cast<double>(count);
+        acc[m] = local;
+    });
+
+    // Fold in map order so the floating-point sum is deterministic.
+    double total = 0.0;
+    for (auto a : acc)
+        total += a;
+    return total / static_cast<double>(cfg.maps * cfg.samplesPerMap);
 }
 
 QualityCell
 aliasingUniformity(const core::CacheGeometry &geom, std::size_t errors,
                    std::size_t bits, const ExperimentConfig &cfg)
 {
-    util::Rng rng(cfg.seed ^ 0xA11A5);
-
     // A population of chips answers shared challenges; aliasing is
     // the per-position ones-rate across chips, uniformity the
     // per-chip ones-rate across a response.
     const std::size_t chips = std::max<std::size_t>(2, cfg.maps);
-    std::vector<core::ErrorPlane> planes;
-    planes.reserve(chips);
-    for (std::size_t c = 0; c < chips; ++c)
-        planes.push_back(randomPlane(geom, errors, rng));
+    std::vector<core::ErrorIndex> indexes(chips,
+                                          core::ErrorIndex(geom));
+    shard(cfg, chips, [&](std::size_t c) {
+        util::Rng rng =
+            util::Rng::forStream(cfg.seed ^ kQualityTag, c);
+        indexes[c] = core::ErrorIndex(randomPlane(geom, errors, rng));
+    });
 
     const std::size_t challenges =
         std::max<std::size_t>(1, cfg.samplesPerMap / bits);
 
     // Bit-aliasing: shared challenge bits evaluated across the whole
-    // chip population (Eq 6).
-    std::uint64_t aliasing_ones = 0;
-    std::uint64_t aliasing_total = 0;
-    for (std::size_t ch = 0; ch < challenges; ++ch) {
+    // chip population (Eq 6). One Rng stream per challenge so the
+    // challenge set is independent of the chip population above.
+    std::vector<std::uint64_t> aliasing(challenges, 0);
+    shard(cfg, challenges, [&](std::size_t ch) {
+        util::Rng rng = util::Rng::forStream(
+            cfg.seed ^ kQualityTag, chips + ch);
+        std::uint64_t ones = 0;
         for (std::size_t bit = 0; bit < bits; ++bit) {
             sim::LinePoint a = randomPoint(geom, rng);
             sim::LinePoint b = randomPoint(geom, rng);
-            for (const auto &plane : planes) {
-                aliasing_ones += bitOn(plane, a, b);
-                ++aliasing_total;
+            for (const auto &index : indexes)
+                ones += bitOn(index, a, b);
+        }
+        aliasing[ch] = ones;
+    });
+
+    // Uniformity: each chip answers its own random challenges (Eq 5),
+    // spending the same per-chip sample budget as the aliasing sweep
+    // (the sequential seed code drew a single challenge per chip and
+    // was needlessly noisy).
+    std::vector<std::uint64_t> uniform(chips, 0);
+    shard(cfg, chips, [&](std::size_t c) {
+        util::Rng rng = util::Rng::forStream(
+            cfg.seed ^ kQualityTag, chips + challenges + c);
+        std::uint64_t ones = 0;
+        for (std::size_t ch = 0; ch < challenges; ++ch) {
+            for (std::size_t bit = 0; bit < bits; ++bit) {
+                sim::LinePoint a = randomPoint(geom, rng);
+                sim::LinePoint b = randomPoint(geom, rng);
+                ones += bitOn(indexes[c], a, b);
             }
         }
-    }
+        uniform[c] = ones;
+    });
 
-    // Uniformity: each chip answers its own random challenges (Eq 5).
+    std::uint64_t aliasing_ones = 0;
+    for (auto a : aliasing)
+        aliasing_ones += a;
     std::uint64_t uniform_ones = 0;
-    std::uint64_t uniform_total = 0;
-    for (const auto &plane : planes) {
-        for (std::size_t bit = 0; bit < bits; ++bit) {
-            sim::LinePoint a = randomPoint(geom, rng);
-            sim::LinePoint b = randomPoint(geom, rng);
-            uniform_ones += bitOn(plane, a, b);
-            ++uniform_total;
-        }
-    }
+    for (auto u : uniform)
+        uniform_ones += u;
 
     QualityCell out;
-    out.bitAliasingPercent = static_cast<double>(aliasing_ones) /
-                             static_cast<double>(aliasing_total) *
-                             100.0;
-    out.uniformityPercent = static_cast<double>(uniform_ones) /
-                            static_cast<double>(uniform_total) * 100.0;
+    out.bitAliasingPercent =
+        static_cast<double>(aliasing_ones) /
+        static_cast<double>(challenges * bits * chips) * 100.0;
+    out.uniformityPercent =
+        static_cast<double>(uniform_ones) /
+        static_cast<double>(chips * challenges * bits) * 100.0;
     return out;
 }
 

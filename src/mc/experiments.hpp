@@ -24,6 +24,15 @@ struct ExperimentConfig
     std::size_t maps = 100;          ///< Distinct error maps (chips).
     std::size_t samplesPerMap = 500; ///< Challenges / noise profiles.
     std::uint64_t seed = 0xA07EC;
+
+    /**
+     * Execution width for the parallel engine: 0 uses the shared
+     * global pool at its default width. Every experiment shards over
+     * maps with one independent Rng stream per shard
+     * (util::Rng::forStream), so results are bit-identical for every
+     * thread count -- this knob only trades wall-clock time.
+     */
+    unsigned threads = 0;
 };
 
 /** Raw Hamming-distance samples for Fig 9. */

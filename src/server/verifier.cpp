@@ -4,11 +4,41 @@ namespace authenticache::server {
 
 Verifier::Verifier(const VerifierPolicy &policy) : pol(policy) {}
 
+Verifier::Verifier(const Verifier &other) : pol(other.pol) {}
+
+Verifier &
+Verifier::operator=(const Verifier &other)
+{
+    if (this != &other) {
+        std::lock_guard<std::mutex> lock(cacheMutex);
+        pol = other.pol;
+        cache.clear();
+    }
+    return *this;
+}
+
+metrics::ThresholdChoice
+Verifier::choiceFor(std::size_t response_bits) const
+{
+    {
+        std::lock_guard<std::mutex> lock(cacheMutex);
+        auto it = cache.find(response_bits);
+        if (it != cache.end())
+            return it->second;
+    }
+    // Compute outside the lock: the sweep is O(response_bits) and two
+    // threads racing on a cold entry just store the same value twice.
+    auto choice =
+        metrics::eerThreshold(response_bits, pol.pInter, pol.pIntra);
+    std::lock_guard<std::mutex> lock(cacheMutex);
+    cache.emplace(response_bits, choice);
+    return choice;
+}
+
 std::int64_t
 Verifier::thresholdFor(std::size_t response_bits) const
 {
-    return metrics::eerThreshold(response_bits, pol.pInter, pol.pIntra)
-        .threshold;
+    return choiceFor(response_bits).threshold;
 }
 
 Verdict
@@ -16,8 +46,7 @@ Verifier::verify(const core::Response &expected,
                  const core::Response &received) const
 {
     Verdict v;
-    auto choice = metrics::eerThreshold(expected.size(), pol.pInter,
-                                        pol.pIntra);
+    auto choice = choiceFor(expected.size());
     v.threshold = choice.threshold;
     v.farAtThreshold = choice.far;
     v.frrAtThreshold = choice.frr;

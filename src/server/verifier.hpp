@@ -2,12 +2,23 @@
  * @file
  * Response verification with an identification threshold chosen at the
  * equal error rate (paper Sec 2.2.3).
+ *
+ * The EER search sweeps all n+1 candidate thresholds with binomial
+ * tail evaluations, which is far too expensive to redo on every
+ * authentication. The Verifier memoizes one ThresholdChoice per
+ * response length -- the policy's (pInter, pIntra) are fixed for the
+ * verifier's lifetime, so the response bit-count is the full cache
+ * key -- making steady-state verification an O(1) lookup plus one
+ * Hamming distance. The cache is mutex-guarded so concurrent server
+ * sessions can verify on pool threads.
  */
 
 #ifndef AUTH_SERVER_VERIFIER_HPP
 #define AUTH_SERVER_VERIFIER_HPP
 
 #include <cstdint>
+#include <map>
+#include <mutex>
 
 #include "core/challenge.hpp"
 #include "metrics/identifiability.hpp"
@@ -43,6 +54,10 @@ class Verifier
   public:
     explicit Verifier(const VerifierPolicy &policy = {});
 
+    /** Copies share the policy but rebuild their cache lazily. */
+    Verifier(const Verifier &other);
+    Verifier &operator=(const Verifier &other);
+
     /** EER threshold for an n-bit response under the policy. */
     std::int64_t thresholdFor(std::size_t response_bits) const;
 
@@ -53,7 +68,13 @@ class Verifier
     const VerifierPolicy &policy() const { return pol; }
 
   private:
+    /** Memoized EER sweep for one response length. */
+    metrics::ThresholdChoice choiceFor(std::size_t response_bits) const;
+
     VerifierPolicy pol;
+    mutable std::mutex cacheMutex;
+    mutable std::map<std::size_t, metrics::ThresholdChoice>
+        cache; // Guarded by cacheMutex.
 };
 
 } // namespace authenticache::server

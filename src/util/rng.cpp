@@ -190,4 +190,16 @@ Rng::fork()
     return Rng(next() ^ 0x6A09E667F3BCC908ull);
 }
 
+Rng
+Rng::forStream(std::uint64_t seed, std::uint64_t stream)
+{
+    // Two SplitMix64 passes decorrelate nearby (seed, stream) pairs;
+    // the constructor runs a third over the combined value.
+    SplitMix64 outer(seed);
+    std::uint64_t a = outer.next();
+    std::uint64_t b = outer.next();
+    SplitMix64 inner(a ^ (stream * 0x9E3779B97F4A7C15ull) ^ b);
+    return Rng(inner.next());
+}
+
 } // namespace authenticache::util

@@ -103,6 +103,15 @@ class Rng
     /** Derive an independent child generator (for parallel streams). */
     Rng fork();
 
+    /**
+     * Independent stream for a (seed, stream-index) pair. This is the
+     * seed-splitting primitive of the parallel Monte Carlo engine:
+     * shard i of an experiment seeds itself with
+     * forStream(cfg.seed, i), so results depend only on the shard
+     * index and never on which thread ran it or in what order.
+     */
+    static Rng forStream(std::uint64_t seed, std::uint64_t stream);
+
   private:
     std::array<std::uint64_t, 4> state;
     bool hasCachedGaussian = false;

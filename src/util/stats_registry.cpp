@@ -17,6 +17,7 @@ void
 StatsRegistry::set(const std::string &component,
                    const std::string &name, std::uint64_t value)
 {
+    std::lock_guard<std::mutex> lock(mutex);
     ints[key(component, name)] = value;
 }
 
@@ -24,6 +25,7 @@ void
 StatsRegistry::set(const std::string &component,
                    const std::string &name, double value)
 {
+    std::lock_guard<std::mutex> lock(mutex);
     floats[key(component, name)] = value;
 }
 
@@ -31,6 +33,7 @@ void
 StatsRegistry::add(const std::string &component,
                    const std::string &name, std::uint64_t delta)
 {
+    std::lock_guard<std::mutex> lock(mutex);
     ints[key(component, name)] += delta;
 }
 
@@ -38,6 +41,7 @@ std::optional<std::uint64_t>
 StatsRegistry::getInt(const std::string &component,
                       const std::string &name) const
 {
+    std::lock_guard<std::mutex> lock(mutex);
     auto it = ints.find(key(component, name));
     if (it == ints.end())
         return std::nullopt;
@@ -48,15 +52,24 @@ std::optional<double>
 StatsRegistry::getFloat(const std::string &component,
                         const std::string &name) const
 {
+    std::lock_guard<std::mutex> lock(mutex);
     auto it = floats.find(key(component, name));
     if (it == floats.end())
         return std::nullopt;
     return it->second;
 }
 
+std::size_t
+StatsRegistry::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    return ints.size() + floats.size();
+}
+
 void
 StatsRegistry::clear()
 {
+    std::lock_guard<std::mutex> lock(mutex);
     ints.clear();
     floats.clear();
 }
@@ -64,10 +77,19 @@ StatsRegistry::clear()
 void
 StatsRegistry::dump(std::ostream &os) const
 {
+    // Snapshot under the lock, format outside it: streaming into os
+    // can block arbitrarily and must not extend the critical section.
+    std::map<std::string, std::uint64_t> int_snap;
+    std::map<std::string, double> float_snap;
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        int_snap = ints;
+        float_snap = floats;
+    }
     Table table({"statistic", "value"});
-    for (const auto &[k, v] : ints)
+    for (const auto &[k, v] : int_snap)
         table.row().cell(k).cell(v);
-    for (const auto &[k, v] : floats)
+    for (const auto &[k, v] : float_snap)
         table.row().cell(k).cell(v, 3);
     table.print(os);
 }

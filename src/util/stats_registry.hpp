@@ -5,6 +5,11 @@
  * "component.name" keys, and tools dump them as one table. Collection
  * is pull-based (collectors snapshot live objects into a registry),
  * so the hot paths carry no registry dependency.
+ *
+ * All operations are thread-safe: the parallel Monte Carlo engine and
+ * server sessions publish metrics from pool threads, so the maps are
+ * guarded by an internal mutex. Registries are intentionally
+ * non-copyable; they are shared sinks, passed by reference.
  */
 
 #ifndef AUTH_UTIL_STATS_REGISTRY_HPP
@@ -13,6 +18,7 @@
 #include <cstdint>
 #include <iosfwd>
 #include <map>
+#include <mutex>
 #include <optional>
 #include <string>
 
@@ -21,6 +27,10 @@ namespace authenticache::util {
 class StatsRegistry
 {
   public:
+    StatsRegistry() = default;
+    StatsRegistry(const StatsRegistry &) = delete;
+    StatsRegistry &operator=(const StatsRegistry &) = delete;
+
     /** Set (or overwrite) an integer statistic. */
     void set(const std::string &component, const std::string &name,
              std::uint64_t value);
@@ -42,10 +52,7 @@ class StatsRegistry
     std::optional<double> getFloat(const std::string &component,
                                    const std::string &name) const;
 
-    std::size_t size() const
-    {
-        return ints.size() + floats.size();
-    }
+    std::size_t size() const;
 
     void clear();
 
@@ -56,8 +63,9 @@ class StatsRegistry
     static std::string key(const std::string &component,
                            const std::string &name);
 
-    std::map<std::string, std::uint64_t> ints;
-    std::map<std::string, double> floats;
+    mutable std::mutex mutex;
+    std::map<std::string, std::uint64_t> ints;  // Guarded by mutex.
+    std::map<std::string, double> floats;       // Guarded by mutex.
 };
 
 } // namespace authenticache::util

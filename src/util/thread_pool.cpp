@@ -1,0 +1,143 @@
+#include "util/thread_pool.hpp"
+
+#include <cstdlib>
+#include <string>
+
+namespace authenticache::util {
+
+ThreadPool::ThreadPool(unsigned threads)
+{
+    if (threads == 0)
+        threads = defaultThreadCount();
+    workers.reserve(threads - 1);
+    for (unsigned t = 1; t < threads; ++t)
+        workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        stopping = true;
+    }
+    wake.notify_all();
+    for (auto &w : workers)
+        w.join();
+}
+
+void
+ThreadPool::Batch::run()
+{
+    std::size_t done_here = 0;
+    for (;;) {
+        std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= count)
+            break;
+        if (!failed.load(std::memory_order_acquire)) {
+            try {
+                (*body)(i);
+            } catch (...) {
+                {
+                    std::lock_guard<std::mutex> lock(errorMutex);
+                    if (!error)
+                        error = std::current_exception();
+                }
+                failed.store(true, std::memory_order_release);
+            }
+        }
+        ++done_here;
+    }
+    if (done_here == 0)
+        return;
+    std::size_t total =
+        finished.fetch_add(done_here, std::memory_order_acq_rel) +
+        done_here;
+    if (total == count) {
+        std::lock_guard<std::mutex> lock(doneMutex);
+        doneCv.notify_all();
+    }
+}
+
+void
+ThreadPool::Batch::wait()
+{
+    std::unique_lock<std::mutex> lock(doneMutex);
+    doneCv.wait(lock, [this] {
+        return finished.load(std::memory_order_acquire) == count;
+    });
+}
+
+void
+ThreadPool::workerLoop()
+{
+    std::shared_ptr<Batch> last;
+    for (;;) {
+        std::shared_ptr<Batch> batch;
+        {
+            std::unique_lock<std::mutex> lock(mutex);
+            wake.wait(lock,
+                      [&] { return stopping || current != last; });
+            if (stopping)
+                return;
+            batch = current;
+        }
+        if (batch)
+            batch->run();
+        last = std::move(batch);
+    }
+}
+
+void
+ThreadPool::parallelFor(std::size_t count,
+                        const std::function<void(std::size_t)> &body)
+{
+    if (count == 0)
+        return;
+    if (workers.empty() || count == 1) {
+        for (std::size_t i = 0; i < count; ++i)
+            body(i);
+        return;
+    }
+
+    auto batch = std::make_shared<Batch>();
+    batch->body = &body;
+    batch->count = count;
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        current = batch;
+    }
+    wake.notify_all();
+    batch->run(); // The caller is one of the execution lanes.
+    batch->wait();
+    {
+        // Unpublish so idle workers park instead of re-checking a
+        // finished batch.
+        std::lock_guard<std::mutex> lock(mutex);
+        if (current == batch)
+            current = nullptr;
+    }
+    if (batch->error)
+        std::rethrow_exception(batch->error);
+}
+
+unsigned
+ThreadPool::defaultThreadCount()
+{
+    if (const char *env = std::getenv("AUTHENTICACHE_THREADS")) {
+        char *end = nullptr;
+        long parsed = std::strtol(env, &end, 10);
+        if (end != env && *end == '\0' && parsed > 0)
+            return static_cast<unsigned>(parsed);
+    }
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+ThreadPool &
+ThreadPool::global()
+{
+    static ThreadPool pool;
+    return pool;
+}
+
+} // namespace authenticache::util

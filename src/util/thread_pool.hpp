@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Deterministic fork-join execution for the Monte Carlo engine.
+ *
+ * A ThreadPool owns a fixed set of worker threads and exposes
+ * parallelFor / parallelReduce over an index range. Determinism is a
+ * contract, not an accident: callers derive all per-shard randomness
+ * from the shard *index* (see util::Rng::forStream) and write results
+ * into index-addressed slots, so the outcome is bit-identical whether
+ * the indices run on 1 thread or 64. The pool only changes wall-clock
+ * time, never results.
+ *
+ * The calling thread participates in every batch, so ThreadPool(1)
+ * spawns no workers and runs inline, and threadCount() counts the
+ * caller.
+ */
+
+#ifndef AUTH_UTIL_THREAD_POOL_HPP
+#define AUTH_UTIL_THREAD_POOL_HPP
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace authenticache::util {
+
+class ThreadPool
+{
+  public:
+    /**
+     * @param threads Total execution width including the caller;
+     *        0 means defaultThreadCount().
+     */
+    explicit ThreadPool(unsigned threads = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Execution width, caller included. */
+    unsigned threadCount() const
+    {
+        return static_cast<unsigned>(workers.size()) + 1;
+    }
+
+    /**
+     * Run body(i) for every i in [0, count); blocks until all indices
+     * complete. Indices are claimed dynamically, so shards need not be
+     * equal-cost; the body must only depend on its index (plus shared
+     * read-only state) for results to be schedule-independent. The
+     * first exception thrown by any shard is rethrown here after the
+     * batch drains.
+     */
+    void parallelFor(std::size_t count,
+                     const std::function<void(std::size_t)> &body);
+
+    /**
+     * Map every index to a T, then fold the per-index results *in
+     * index order* (so floating-point reductions are deterministic).
+     *
+     * combine is called as combine(acc, partial[i]) for i ascending.
+     */
+    template <typename T, typename MapFn, typename CombineFn>
+    T
+    parallelReduce(std::size_t count, T init, MapFn mapFn,
+                   CombineFn combineFn)
+    {
+        std::vector<T> partial(count);
+        parallelFor(count, [&](std::size_t i) { partial[i] = mapFn(i); });
+        T acc = std::move(init);
+        for (std::size_t i = 0; i < count; ++i)
+            acc = combineFn(std::move(acc), std::move(partial[i]));
+        return acc;
+    }
+
+    /**
+     * Execution width when none is requested: AUTHENTICACHE_THREADS
+     * if set to a positive integer, else the hardware concurrency
+     * (minimum 1).
+     */
+    static unsigned defaultThreadCount();
+
+    /** Shared process-wide pool at the default width. */
+    static ThreadPool &global();
+
+  private:
+    /** One parallelFor invocation; workers hold their own reference
+     *  so a stale worker can never claim indices of a later batch. */
+    struct Batch
+    {
+        const std::function<void(std::size_t)> *body = nullptr;
+        std::size_t count = 0;
+        std::atomic<std::size_t> next{0};
+        std::atomic<std::size_t> finished{0};
+        std::atomic<bool> failed{false};
+        std::mutex errorMutex;
+        std::exception_ptr error;
+        std::mutex doneMutex;
+        std::condition_variable doneCv;
+
+        void run();
+        void wait();
+    };
+
+    void workerLoop();
+
+    std::vector<std::thread> workers;
+    std::mutex mutex;
+    std::condition_variable wake;
+    std::shared_ptr<Batch> current; // Guarded by mutex.
+    bool stopping = false;          // Guarded by mutex.
+};
+
+} // namespace authenticache::util
+
+#endif // AUTH_UTIL_THREAD_POOL_HPP

@@ -189,6 +189,37 @@ TEST(Nearest, SpiralRespectsMaxRadius)
     EXPECT_FALSE(r.found);
 }
 
+TEST(Nearest, MaxSearchRadiusIsTight)
+{
+    // The farthest reachable cell from any corner is the opposite
+    // corner at (sets-1) + (ways-1); anything larger walks rings that
+    // are guaranteed empty.
+    EXPECT_EQ(core::maxSearchRadius(kSmall),
+              static_cast<std::uint64_t>(kSmall.sets() - 1) +
+                  (kSmall.ways() - 1));
+}
+
+TEST(Nearest, SpiralStopsAtFirstEmptyRing)
+{
+    // On an error-free plane a corner search must examine each of the
+    // plane's cells exactly once and then give up at the first empty
+    // ring -- no walk through radii past the plane's extent.
+    core::ErrorPlane plane(kSmall);
+    auto probe = [&](const sim::LinePoint &p) {
+        return plane.contains(p);
+    };
+    auto r = core::spiralSearch(kSmall, {0, 0},
+                                core::maxSearchRadius(kSmall), probe);
+    EXPECT_FALSE(r.found);
+    EXPECT_EQ(r.cellsExamined, kSmall.lines());
+
+    // Even a wildly inflated give-up radius terminates at the same
+    // cost thanks to the empty-ring early exit.
+    auto r2 = core::spiralSearch(kSmall, {0, 0}, 1u << 20, probe);
+    EXPECT_FALSE(r2.found);
+    EXPECT_EQ(r2.cellsExamined, kSmall.lines());
+}
+
 TEST(Nearest, SpiralFindsCenter)
 {
     core::ErrorPlane plane(kSmall);

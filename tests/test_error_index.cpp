@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Cross-checks core::ErrorIndex against the brute-force reference:
+ * identical found/distance/coordinate (including the tie rule) on
+ * randomized planes, plus incremental add/remove consistency.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/challenge.hpp"
+#include "core/error_index.hpp"
+#include "core/nearest.hpp"
+#include "mc/mapgen.hpp"
+#include "util/rng.hpp"
+
+namespace core = authenticache::core;
+namespace sim = authenticache::sim;
+namespace mc = authenticache::mc;
+using authenticache::util::Rng;
+
+namespace {
+
+const sim::CacheGeometry kGeom(64 * 1024); // 128 sets x 8 ways.
+
+sim::LinePoint
+randomPoint(const sim::CacheGeometry &geom, Rng &rng)
+{
+    return geom.pointOf(rng.nextBelow(geom.lines()));
+}
+
+void
+expectSameAnswer(const core::ErrorPlane &plane,
+                 const core::ErrorIndex &index,
+                 const sim::LinePoint &from)
+{
+    auto brute = core::nearestErrorBrute(plane, from);
+    auto fast = index.nearest(from);
+    ASSERT_EQ(fast.found, brute.found)
+        << "query (" << from.set << "," << from.way << ")";
+    if (brute.found) {
+        EXPECT_EQ(fast.distance, brute.distance)
+            << "query (" << from.set << "," << from.way << ")";
+        EXPECT_EQ(fast.at, brute.at)
+            << "query (" << from.set << "," << from.way << ")";
+    }
+}
+
+} // namespace
+
+TEST(ErrorIndex, EmptyPlane)
+{
+    core::ErrorPlane plane(kGeom);
+    core::ErrorIndex index(plane);
+    EXPECT_EQ(index.errorCount(), 0u);
+    auto r = index.nearest({5, 3});
+    EXPECT_FALSE(r.found);
+    EXPECT_EQ(index.distanceOrInfinite({5, 3}),
+              core::kInfiniteDistance);
+    expectSameAnswer(plane, index, {0, 0});
+}
+
+TEST(ErrorIndex, SingleError)
+{
+    core::ErrorPlane plane(kGeom);
+    plane.add({100, 2});
+    core::ErrorIndex index(plane);
+    EXPECT_EQ(index.errorCount(), 1u);
+    for (auto from : {sim::LinePoint{100, 2}, sim::LinePoint{0, 0},
+                      sim::LinePoint{127, 7}, sim::LinePoint{100, 0},
+                      sim::LinePoint{0, 2}}) {
+        expectSameAnswer(plane, index, from);
+    }
+    auto r = index.nearest({100, 2});
+    EXPECT_EQ(r.distance, 0u);
+}
+
+TEST(ErrorIndex, TieBreaksToLexicographicSmallest)
+{
+    // Both errors at distance 2 from (10, 1); brute picks the
+    // lexicographically smaller (set, way), i.e. (9, 0).
+    core::ErrorPlane plane(kGeom);
+    plane.add({9, 0});
+    plane.add({11, 2});
+    core::ErrorIndex index(plane);
+    auto r = index.nearest({10, 1});
+    EXPECT_TRUE(r.found);
+    EXPECT_EQ(r.distance, 2u);
+    EXPECT_EQ(r.at, (sim::LinePoint{9, 0}));
+    expectSameAnswer(plane, index, {10, 1});
+
+    // Same-row tie: errors flank the query at equal distance.
+    core::ErrorPlane row(kGeom);
+    row.add({20, 4});
+    row.add({26, 4});
+    core::ErrorIndex row_index(row);
+    auto rr = row_index.nearest({23, 4});
+    EXPECT_EQ(rr.distance, 3u);
+    EXPECT_EQ(rr.at, (sim::LinePoint{20, 4}));
+    expectSameAnswer(row, row_index, {23, 4});
+}
+
+TEST(ErrorIndex, CrossCheckRandomPlanes)
+{
+    Rng rng(0xE11D);
+    for (std::size_t errors : {1u, 2u, 7u, 40u, 200u, 900u}) {
+        auto plane = mc::randomPlane(kGeom, errors, rng);
+        core::ErrorIndex index(plane);
+        EXPECT_EQ(index.errorCount(), errors);
+        for (int q = 0; q < 200; ++q)
+            expectSameAnswer(plane, index, randomPoint(kGeom, rng));
+        // Corners and edges, the clipping-sensitive spots.
+        expectSameAnswer(plane, index, {0, 0});
+        expectSameAnswer(plane, index, {kGeom.sets() - 1, 0});
+        expectSameAnswer(plane, index, {0, kGeom.ways() - 1});
+        expectSameAnswer(plane, index,
+                         {kGeom.sets() - 1, kGeom.ways() - 1});
+    }
+}
+
+TEST(ErrorIndex, ContainsMatchesPlane)
+{
+    Rng rng(0xC0);
+    auto plane = mc::randomPlane(kGeom, 64, rng);
+    core::ErrorIndex index(plane);
+    for (const auto &e : plane.errors())
+        EXPECT_TRUE(index.contains(e));
+    for (int q = 0; q < 200; ++q) {
+        auto p = randomPoint(kGeom, rng);
+        EXPECT_EQ(index.contains(p), plane.contains(p));
+    }
+}
+
+TEST(ErrorIndex, IncrementalAddRemoveStaysInSync)
+{
+    Rng rng(0x5EED);
+    core::ErrorPlane plane(kGeom);
+    core::ErrorIndex index(kGeom);
+
+    for (int step = 0; step < 600; ++step) {
+        auto p = randomPoint(kGeom, rng);
+        if (rng.nextBool(0.6)) {
+            plane.add(p);
+            index.add(p);
+        } else {
+            plane.remove(p);
+            index.remove(p);
+        }
+        ASSERT_EQ(index.errorCount(), plane.errorCount());
+        if (step % 10 == 0)
+            expectSameAnswer(plane, index, randomPoint(kGeom, rng));
+    }
+
+    // Idempotence both ways.
+    auto p = plane.errors().empty() ? sim::LinePoint{1, 1}
+                                    : plane.errors().front();
+    index.add(p);
+    index.add(p);
+    std::size_t count = index.errorCount();
+    index.add(p);
+    EXPECT_EQ(index.errorCount(), count);
+    index.remove(p);
+    index.remove(p);
+    EXPECT_EQ(index.errorCount(), count - 1);
+}
+
+TEST(ErrorIndex, CellsExaminedBounded)
+{
+    // The point of the index: query cost must not scale with the
+    // error count. At most two candidates per way row are compared.
+    Rng rng(0xB0B);
+    auto plane = mc::randomPlane(kGeom, 900, rng);
+    core::ErrorIndex index(plane);
+    for (int q = 0; q < 50; ++q) {
+        auto r = index.nearest(randomPoint(kGeom, rng));
+        EXPECT_LE(r.cellsExamined, 2ull * kGeom.ways());
+    }
+}

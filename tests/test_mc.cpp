@@ -268,6 +268,57 @@ TEST(Noise, MapOverloadPerturbsEveryPlane)
     EXPECT_EQ(noisy.levels(), map.levels());
 }
 
+TEST(Experiments, ResultsInvariantUnderThreadCount)
+{
+    // The engine's core contract: the pool only changes wall-clock,
+    // never results. Same seed, widths 1 / 2 / 8 -> bit-identical
+    // samples and exactly equal floating-point estimates.
+    mc::NoiseProfile noise;
+    noise.injectFraction = 0.25;
+    auto cfg = quickConfig(0xDE7);
+    cfg.maps = 7; // Not a multiple of any width: uneven shards.
+    cfg.samplesPerMap = 30;
+
+    cfg.threads = 1;
+    auto ref = mc::hammingDistributions(kGeom, 40, 64, noise, cfg);
+    double ref_intra =
+        mc::estimateIntraFlipProbability(kGeom, 40, noise, cfg);
+    double ref_inter = mc::estimateInterFlipProbability(kGeom, 40, cfg);
+    double ref_dist = mc::averageNearestErrorDistance(kGeom, 40, cfg);
+    auto ref_cell = mc::aliasingUniformity(kGeom, 10, 32, cfg);
+
+    for (unsigned threads : {2u, 8u}) {
+        cfg.threads = threads;
+        auto got = mc::hammingDistributions(kGeom, 40, 64, noise, cfg);
+        EXPECT_EQ(got.intra, ref.intra) << threads << " threads";
+        EXPECT_EQ(got.inter, ref.inter) << threads << " threads";
+        EXPECT_EQ(mc::estimateIntraFlipProbability(kGeom, 40, noise,
+                                                   cfg),
+                  ref_intra);
+        EXPECT_EQ(mc::estimateInterFlipProbability(kGeom, 40, cfg),
+                  ref_inter);
+        EXPECT_EQ(mc::averageNearestErrorDistance(kGeom, 40, cfg),
+                  ref_dist);
+        auto cell = mc::aliasingUniformity(kGeom, 10, 32, cfg);
+        EXPECT_EQ(cell.bitAliasingPercent, ref_cell.bitAliasingPercent);
+        EXPECT_EQ(cell.uniformityPercent, ref_cell.uniformityPercent);
+    }
+}
+
+TEST(Experiments, SampleLayoutIsMapMajor)
+{
+    // Samples land at [map * samplesPerMap + sample] regardless of
+    // completion order, so downstream histograms see a stable layout.
+    mc::NoiseProfile noise;
+    noise.injectFraction = 0.1;
+    auto cfg = quickConfig(7);
+    cfg.maps = 5;
+    cfg.samplesPerMap = 11;
+    auto s = mc::hammingDistributions(kGeom, 30, 32, noise, cfg);
+    EXPECT_EQ(s.intra.size(), cfg.maps * cfg.samplesPerMap);
+    EXPECT_EQ(s.inter.size(), cfg.maps * cfg.samplesPerMap);
+}
+
 TEST(Noise, MapOverloadKeepsEmptiedPlanes)
 {
     Rng rng(10);
