@@ -79,6 +79,12 @@ struct AuthOutcome
     {
         Ok,
         Aborted,
+        /**
+         * The session-reliability layer exhausted its retransmission
+         * budget without hearing back (set by the protocol agent, not
+         * by the firmware itself).
+         */
+        TimedOut,
     };
 
     Status status = Status::Ok;

@@ -1,5 +1,9 @@
 #include "protocol/channel.hpp"
 
+#include <algorithm>
+
+#include "util/rng.hpp"
+
 namespace authenticache::protocol {
 
 void
@@ -41,6 +45,17 @@ Transcript::observedCrps() const
     return out;
 }
 
+const FaultSpec *
+FaultPlan::at(std::uint64_t frame_index) const
+{
+    for (const auto &spec : specs) {
+        if (spec.frameIndex == frame_index &&
+            spec.type != FaultType::None)
+            return &spec;
+    }
+    return nullptr;
+}
+
 bool
 InMemoryChannel::maybeDrop()
 {
@@ -61,32 +76,120 @@ InMemoryChannel::maybeCorrupt(std::vector<std::uint8_t> &frame)
 }
 
 void
-InMemoryChannel::sendToServer(std::vector<std::uint8_t> frame)
+InMemoryChannel::corruptSeeded(std::vector<std::uint8_t> &frame,
+                               std::uint64_t ordinal)
 {
-    ++nFrames;
+    if (frame.empty())
+        return;
+    // Seed by (plan seed, ordinal): the damaged byte and mask depend
+    // only on the schedule, never on call order elsewhere.
+    util::Rng rng = util::Rng::forStream(plan.seed(), ordinal);
+    std::size_t pos = rng.nextBelow(frame.size());
+    auto mask = static_cast<std::uint8_t>(1 + rng.nextBelow(255));
+    frame[pos] ^= mask;
+}
+
+void
+InMemoryChannel::flushDelayed()
+{
+    if (delayed.empty())
+        return;
+    const std::uint64_t step = now();
+    // Release in (releaseStep, sequence) order so delivery is
+    // deterministic regardless of how far the clock jumped.
+    std::stable_sort(delayed.begin(), delayed.end(),
+                     [](const DelayedFrame &x, const DelayedFrame &y) {
+                         if (x.releaseStep != y.releaseStep)
+                             return x.releaseStep < y.releaseStep;
+                         return x.sequence < y.sequence;
+                     });
+    std::size_t released = 0;
+    for (auto &held : delayed) {
+        if (held.releaseStep > step)
+            break;
+        auto &queue = held.direction == Direction::ClientToServer
+                          ? toServer
+                          : toClient;
+        queue.push_back(std::move(held.frame));
+        ++released;
+    }
+    delayed.erase(delayed.begin(),
+                  delayed.begin() +
+                      static_cast<std::ptrdiff_t>(released));
+}
+
+void
+InMemoryChannel::dispatch(Direction d, std::vector<std::uint8_t> frame)
+{
+    const std::uint64_t ordinal = nFrames++;
     if (transcript)
-        transcript->record(Direction::ClientToServer, frame);
+        transcript->record(d, frame);
+
+    // Legacy one-shot budgets keep their original semantics.
     if (maybeDrop())
         return;
     maybeCorrupt(frame);
-    toServer.push_back(std::move(frame));
+
+    auto &queue =
+        d == Direction::ClientToServer ? toServer : toClient;
+    const FaultSpec *spec = plan.at(ordinal);
+    if (!spec) {
+        queue.push_back(std::move(frame));
+        return;
+    }
+
+    switch (spec->type) {
+      case FaultType::Drop:
+        ++counters.drops;
+        return;
+      case FaultType::Duplicate:
+        ++counters.duplicates;
+        // Both copies cross the wire; the eavesdropper sees both.
+        if (transcript)
+            transcript->record(d, frame);
+        queue.push_back(frame);
+        queue.push_back(std::move(frame));
+        return;
+      case FaultType::Reorder:
+        ++counters.reorders;
+        queue.push_front(std::move(frame));
+        return;
+      case FaultType::Delay:
+        if (!simClock || spec->delaySteps == 0) {
+            queue.push_back(std::move(frame));
+            return;
+        }
+        ++counters.delays;
+        delayed.push_back({now() + spec->delaySteps, nDelaySeq++, d,
+                           std::move(frame)});
+        return;
+      case FaultType::Corrupt:
+        ++counters.corruptions;
+        corruptSeeded(frame, ordinal);
+        queue.push_back(std::move(frame));
+        return;
+      case FaultType::None:
+        queue.push_back(std::move(frame));
+        return;
+    }
+}
+
+void
+InMemoryChannel::sendToServer(std::vector<std::uint8_t> frame)
+{
+    dispatch(Direction::ClientToServer, std::move(frame));
 }
 
 void
 InMemoryChannel::sendToClient(std::vector<std::uint8_t> frame)
 {
-    ++nFrames;
-    if (transcript)
-        transcript->record(Direction::ServerToClient, frame);
-    if (maybeDrop())
-        return;
-    maybeCorrupt(frame);
-    toClient.push_back(std::move(frame));
+    dispatch(Direction::ServerToClient, std::move(frame));
 }
 
 std::optional<std::vector<std::uint8_t>>
 InMemoryChannel::receiveAtServer()
 {
+    flushDelayed();
     if (toServer.empty())
         return std::nullopt;
     auto frame = std::move(toServer.front());
@@ -97,6 +200,7 @@ InMemoryChannel::receiveAtServer()
 std::optional<std::vector<std::uint8_t>>
 InMemoryChannel::receiveAtClient()
 {
+    flushDelayed();
     if (toClient.empty())
         return std::nullopt;
     auto frame = std::move(toClient.front());

@@ -1,10 +1,14 @@
 /**
  * @file
- * In-memory duplex channel between a client and a server, with fault
- * injection (frame corruption, drops) for failure testing and a
- * transcript tap modeling a passive eavesdropper -- the observation
- * surface of the paper's threat model (Sec 4.4) and of the model-
- * building attack study (Sec 6.7).
+ * In-memory duplex channel between a client and a server, with
+ * deterministic fault injection (drop, duplicate, reorder, delay,
+ * corrupt) for failure testing and a transcript tap modeling a passive
+ * eavesdropper -- the observation surface of the paper's threat model
+ * (Sec 4.4) and of the model-building attack study (Sec 6.7).
+ *
+ * Faults are scheduled by a seeded FaultPlan keyed on the global send
+ * ordinal, and delays run on a shared util::SimClock, so any fault
+ * schedule is replayable bit-for-bit (no wall-clock anywhere).
  */
 
 #ifndef AUTH_PROTOCOL_CHANNEL_HPP
@@ -16,6 +20,7 @@
 #include <vector>
 
 #include "protocol/messages.hpp"
+#include "util/sim_clock.hpp"
 
 namespace authenticache::protocol {
 
@@ -58,6 +63,67 @@ class Transcript
     std::vector<TranscriptEntry> log;
 };
 
+/** Fault applied to one scheduled frame. */
+enum class FaultType : std::uint8_t
+{
+    None,
+    Drop,      ///< Frame silently discarded.
+    Duplicate, ///< Frame enqueued twice back-to-back.
+    Reorder,   ///< Frame jumps ahead of anything already queued.
+    Delay,     ///< Frame held for delaySteps clock steps.
+    Corrupt,   ///< One seeded-random byte XORed with a nonzero mask.
+};
+
+/** One scheduled fault, addressed by global send ordinal. */
+struct FaultSpec
+{
+    FaultType type = FaultType::None;
+    std::uint64_t frameIndex = 0; ///< 0-based send ordinal (either way).
+    std::uint64_t delaySteps = 0; ///< Delay only.
+};
+
+/**
+ * A replayable fault schedule: a set of FaultSpecs plus the seed that
+ * drives corruption byte/mask choices. The same plan against the same
+ * exchange produces bit-identical channel behavior.
+ */
+class FaultPlan
+{
+  public:
+    FaultPlan() = default;
+    explicit FaultPlan(std::uint64_t corruption_seed)
+        : rngSeed(corruption_seed)
+    {
+    }
+
+    FaultPlan &
+    add(const FaultSpec &spec)
+    {
+        specs.push_back(spec);
+        return *this;
+    }
+
+    /** The fault scheduled for a send ordinal, if any. */
+    const FaultSpec *at(std::uint64_t frame_index) const;
+
+    std::uint64_t seed() const { return rngSeed; }
+    bool empty() const { return specs.empty(); }
+
+  private:
+    std::uint64_t rngSeed = 0xFA017;
+    std::vector<FaultSpec> specs;
+};
+
+/** Tally of faults the channel actually applied. */
+struct FaultCounters
+{
+    std::uint64_t drops = 0;
+    std::uint64_t duplicates = 0;
+    std::uint64_t reorders = 0;
+    std::uint64_t delays = 0;
+    std::uint64_t corruptions = 0;
+};
+
 /**
  * The channel itself: two frame queues plus optional fault injection.
  * Endpoint objects (ClientEndpoint / ServerEndpoint) expose the
@@ -81,6 +147,15 @@ class InMemoryChannel
     /** Attach a wiretap (not owned). */
     void attachTranscript(Transcript *tap) { transcript = tap; }
 
+    /**
+     * Bind the simulated clock driving Delay faults (not owned).
+     * Without a clock, delayed frames are delivered immediately.
+     */
+    void bindClock(const util::SimClock *clk) { simClock = clk; }
+
+    /** Install a deterministic fault schedule. */
+    void setFaultPlan(FaultPlan schedule) { plan = std::move(schedule); }
+
     /** Corrupt one byte of the next @p n frames sent (either way). */
     void corruptNextFrames(std::size_t n) { corruptBudget = n; }
 
@@ -89,16 +164,47 @@ class InMemoryChannel
 
     std::uint64_t framesSent() const { return nFrames; }
 
+    /** Faults applied so far from the plan. */
+    const FaultCounters &faultCounters() const { return counters; }
+
+    /** True when no frame is queued or held in the delay buffer. */
+    bool idle() const
+    {
+        return toServer.empty() && toClient.empty() &&
+               delayed.empty();
+    }
+
   private:
+    struct DelayedFrame
+    {
+        std::uint64_t releaseStep;
+        std::uint64_t sequence; // Tiebreak: preserve send order.
+        Direction direction;
+        std::vector<std::uint8_t> frame;
+    };
+
+    void dispatch(Direction d, std::vector<std::uint8_t> frame);
     bool maybeDrop();
     void maybeCorrupt(std::vector<std::uint8_t> &frame);
+    void corruptSeeded(std::vector<std::uint8_t> &frame,
+                       std::uint64_t ordinal);
+
+    /** Move delay-buffer frames whose release step has passed. */
+    void flushDelayed();
+
+    std::uint64_t now() const { return simClock ? simClock->now() : 0; }
 
     std::deque<std::vector<std::uint8_t>> toServer;
     std::deque<std::vector<std::uint8_t>> toClient;
+    std::vector<DelayedFrame> delayed;
     Transcript *transcript = nullptr;
+    const util::SimClock *simClock = nullptr;
+    FaultPlan plan;
+    FaultCounters counters;
     std::size_t corruptBudget = 0;
     std::size_t dropBudget = 0;
     std::uint64_t nFrames = 0;
+    std::uint64_t nDelaySeq = 0;
 };
 
 /** Convenience wrappers giving each side a natural API. */

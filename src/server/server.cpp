@@ -1,5 +1,6 @@
 #include "server/server.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "util/logging.hpp"
@@ -58,6 +59,64 @@ AuthenticationServer::enroll(
                          challenge_levels, reserved_levels);
 }
 
+std::uint64_t
+AuthenticationServer::sessionDeadline() const
+{
+    if (!simClock || cfg.sessionTimeoutSteps == 0)
+        return 0;
+    return simClock->now() + cfg.sessionTimeoutSteps;
+}
+
+void
+AuthenticationServer::forgetActiveAuth(std::uint64_t device_id,
+                                       std::uint64_t nonce)
+{
+    auto it = activeAuthByDevice.find(device_id);
+    if (it != activeAuthByDevice.end() && it->second == nonce)
+        activeAuthByDevice.erase(it);
+}
+
+void
+AuthenticationServer::cacheCompleted(std::uint64_t nonce,
+                                     protocol::Message reply)
+{
+    if (cfg.completedCacheSize == 0)
+        return;
+    if (completed.emplace(nonce, std::move(reply)).second)
+        completedOrder.push_back(nonce);
+    while (completed.size() > cfg.completedCacheSize) {
+        completed.erase(completedOrder.front());
+        completedOrder.pop_front();
+    }
+}
+
+void
+AuthenticationServer::expireSessions()
+{
+    if (!simClock || cfg.sessionTimeoutSteps == 0)
+        return;
+    const std::uint64_t step = simClock->now();
+    for (auto it = pendingAuths.begin(); it != pendingAuths.end();) {
+        if (it->second.deadline != 0 && it->second.deadline <= step) {
+            // Consumed pairs stay retired; the nonce is simply dead.
+            forgetActiveAuth(it->second.deviceId, it->first);
+            it = pendingAuths.erase(it);
+            ++nExpired;
+        } else {
+            ++it;
+        }
+    }
+    for (auto it = pendingRemaps.begin();
+         it != pendingRemaps.end();) {
+        if (it->second.deadline != 0 && it->second.deadline <= step) {
+            it = pendingRemaps.erase(it);
+            ++nExpired;
+        } else {
+            ++it;
+        }
+    }
+}
+
 void
 AuthenticationServer::handleAuthRequest(
     const protocol::AuthRequest &msg,
@@ -72,6 +131,27 @@ AuthenticationServer::handleAuthRequest(
         endpoint.send(protocol::ErrorMsg{"device locked"});
         return;
     }
+
+    // Idempotent retransmission handling: while this device already
+    // has an outstanding challenge, a duplicated or retransmitted
+    // AuthRequest re-issues the *same* challenge instead of burning
+    // fresh CRPs on every lost reply.
+    auto active = activeAuthByDevice.find(msg.deviceId);
+    if (active != activeAuthByDevice.end()) {
+        auto pending = pendingAuths.find(active->second);
+        if (pending != pendingAuths.end()) {
+            ++nDupRequests;
+            pending->second.deadline = sessionDeadline();
+            protocol::ChallengeMsg again;
+            again.nonce = active->second;
+            again.challenge = pending->second.challenge;
+            endpoint.send(again);
+            return;
+        }
+        // Stale index entry (evicted/expired session).
+        activeAuthByDevice.erase(active);
+    }
+
     const auto &levels = record.challengeLevels();
     if (levels.empty()) {
         endpoint.send(protocol::ErrorMsg{"no challenge levels"});
@@ -94,8 +174,10 @@ AuthenticationServer::handleAuthRequest(
 
     std::uint64_t nonce = rng.next();
     pendingAuths[nonce] =
-        PendingAuth{msg.deviceId, std::move(gen.expected)};
+        PendingAuth{msg.deviceId, std::move(gen.expected),
+                    gen.challenge, sessionDeadline()};
     pendingOrder.push_back(nonce);
+    activeAuthByDevice[msg.deviceId] = nonce;
     enforcePendingCap();
 
     protocol::ChallengeMsg out;
@@ -110,12 +192,22 @@ AuthenticationServer::handleResponse(const protocol::ResponseMsg &msg,
 {
     auto it = pendingAuths.find(msg.nonce);
     if (it == pendingAuths.end()) {
-        // Replay or stray response: never grants access.
+        // A retransmitted response for an already-completed session
+        // gets the original decision again -- and never re-counts
+        // toward the lockout policy. Anything else is a replay or a
+        // stray; it never grants access.
+        auto done = completed.find(msg.nonce);
+        if (done != completed.end()) {
+            ++nDupCompletions;
+            endpoint.send(done->second);
+            return;
+        }
         endpoint.send(protocol::ErrorMsg{"unknown nonce"});
         return;
     }
     PendingAuth pending = std::move(it->second);
     pendingAuths.erase(it);
+    forgetActiveAuth(pending.deviceId, msg.nonce);
 
     Verdict verdict = verify.verify(pending.expected, msg.response);
 
@@ -142,6 +234,7 @@ AuthenticationServer::handleResponse(const protocol::ResponseMsg &msg,
     decision.nonce = msg.nonce;
     decision.accepted = verdict.accepted;
     decision.hammingDistance = verdict.hammingDistance;
+    cacheCompleted(msg.nonce, decision);
     endpoint.send(decision);
 }
 
@@ -150,8 +243,16 @@ AuthenticationServer::handleRemapAck(const protocol::RemapAck &msg,
                                      protocol::ServerEndpoint &endpoint)
 {
     auto it = pendingRemaps.find(msg.nonce);
-    if (it == pendingRemaps.end())
+    if (it == pendingRemaps.end()) {
+        // Retransmitted ack for a completed exchange: resend the
+        // commit verbatim so a lost commit frame cannot desync keys.
+        auto done = completed.find(msg.nonce);
+        if (done != completed.end()) {
+            ++nDupCompletions;
+            endpoint.send(done->second);
+        }
         return;
+    }
 
     // Two-phase commit: only switch keys when the client proves it
     // derived the same one (a mis-derived key would desynchronize
@@ -174,7 +275,9 @@ AuthenticationServer::handleRemapAck(const protocol::RemapAck &msg,
             << "device " << it->second.deviceId
             << " remap rejected (key confirmation failed)";
     }
-    endpoint.send(protocol::RemapCommit{msg.nonce, confirmed});
+    protocol::RemapCommit commit{msg.nonce, confirmed};
+    cacheCompleted(msg.nonce, commit);
+    endpoint.send(commit);
     pendingRemaps.erase(it);
 }
 
@@ -187,8 +290,14 @@ AuthenticationServer::enforcePendingCap()
         pendingOrder.pop_front();
         // The nonce may already have completed; eviction only counts
         // when something was actually dropped.
-        if (pendingAuths.erase(victim) + pendingRemaps.erase(victim) >
-            0) {
+        auto auth = pendingAuths.find(victim);
+        if (auth != pendingAuths.end()) {
+            forgetActiveAuth(auth->second.deviceId, victim);
+            pendingAuths.erase(auth);
+            ++nEvicted;
+            AUTH_LOG_WARN("server")
+                << "pending-session cap: evicted nonce " << victim;
+        } else if (pendingRemaps.erase(victim) > 0) {
             ++nEvicted;
             AUTH_LOG_WARN("server")
                 << "pending-session cap: evicted nonce " << victim;
@@ -212,6 +321,7 @@ AuthenticationServer::enforcePendingCap()
 bool
 AuthenticationServer::pumpOnce(protocol::ServerEndpoint &endpoint)
 {
+    expireSessions();
     std::optional<protocol::Message> msg;
     try {
         msg = endpoint.receive();
@@ -260,7 +370,8 @@ AuthenticationServer::startRemap(std::uint64_t device_id,
     auto extraction = extractor.generate(gen.expected, rng);
 
     std::uint64_t nonce = rng.next();
-    pendingRemaps[nonce] = PendingRemap{device_id, extraction.key};
+    pendingRemaps[nonce] =
+        PendingRemap{device_id, extraction.key, sessionDeadline()};
     pendingOrder.push_back(nonce);
     enforcePendingCap();
 
@@ -272,6 +383,27 @@ AuthenticationServer::startRemap(std::uint64_t device_id,
     endpoint.send(msg);
 }
 
+std::uint64_t
+RetryPolicy::deadlineFor(std::uint64_t now,
+                         std::uint32_t attempt) const
+{
+    std::uint64_t backoff = 0;
+    if (attempt > 0) {
+        // Bounded exponential: base * 2^(attempt-1), capped.
+        std::uint64_t shifted = attempt - 1 >= 63
+                                    ? backoffCapSteps
+                                    : backoffBaseSteps
+                                          << (attempt - 1);
+        backoff = std::min(backoffCapSteps, shifted);
+    }
+    std::uint64_t jitter =
+        jitterSteps == 0
+            ? 0
+            : util::Rng::forStream(jitterSeed, attempt)
+                  .nextBelow(jitterSteps + 1);
+    return now + timeoutSteps + backoff + jitter;
+}
+
 DeviceAgent::DeviceAgent(std::uint64_t device_id,
                          firmware::AuthenticacheClient &client_,
                          protocol::ClientEndpoint endpoint_)
@@ -280,10 +412,74 @@ DeviceAgent::DeviceAgent(std::uint64_t device_id,
 }
 
 void
+DeviceAgent::armAuthSend(protocol::Message frame)
+{
+    endpoint.send(frame);
+    authSend.frame = std::move(frame);
+    authSend.attempt = 0;
+    if (simClock)
+        authSend.deadline =
+            policy.deadlineFor(simClock->now(), 0);
+}
+
+void
+DeviceAgent::failAuthSession()
+{
+    authPhase = AuthPhase::Idle;
+    authStatus = firmware::AuthOutcome::Status::TimedOut;
+    errorLog.push_back("authentication timed out: retries exhausted");
+}
+
+void
 DeviceAgent::requestAuthentication()
 {
     decision.reset();
-    endpoint.send(protocol::AuthRequest{deviceId});
+    authStatus.reset();
+    authPhase = AuthPhase::AwaitChallenge;
+    armAuthSend(protocol::AuthRequest{deviceId});
+}
+
+void
+DeviceAgent::answerChallenge(const protocol::ChallengeMsg &ch)
+{
+    // A re-issued or duplicated challenge is answered from the cache:
+    // the nonce was already evaluated, and re-running the firmware
+    // would waste line tests (and could flip noisy bits).
+    auto seen = answeredAuths.find(ch.nonce);
+    if (seen != answeredAuths.end()) {
+        endpoint.send(seen->second);
+        if (authPhase == AuthPhase::AwaitChallenge ||
+            authPhase == AuthPhase::AwaitDecision) {
+            authPhase = AuthPhase::AwaitDecision;
+            authSend.frame = seen->second;
+            authSend.attempt = 0;
+            if (simClock)
+                authSend.deadline =
+                    policy.deadlineFor(simClock->now(), 0);
+        }
+        return;
+    }
+
+    auto outcome = client.authenticate(ch.challenge);
+    if (!outcome.ok()) {
+        errorLog.push_back("authentication aborted: " +
+                           outcome.abortReason);
+        endpoint.send(protocol::ErrorMsg{outcome.abortReason});
+        authPhase = AuthPhase::Idle;
+        authStatus = outcome.status;
+        return;
+    }
+    protocol::ResponseMsg resp;
+    resp.nonce = ch.nonce;
+    resp.response = std::move(outcome.response);
+    if (answeredAuths.emplace(ch.nonce, resp).second)
+        answeredOrder.push_back(ch.nonce);
+    while (answeredAuths.size() > 32) {
+        answeredAuths.erase(answeredOrder.front());
+        answeredOrder.pop_front();
+    }
+    authPhase = AuthPhase::AwaitDecision;
+    armAuthSend(std::move(resp));
 }
 
 bool
@@ -300,19 +496,16 @@ DeviceAgent::pumpOnce()
         return false;
 
     if (auto *ch = std::get_if<protocol::ChallengeMsg>(&*msg)) {
-        auto outcome = client.authenticate(ch->challenge);
-        if (!outcome.ok()) {
-            errorLog.push_back("authentication aborted: " +
-                               outcome.abortReason);
-            endpoint.send(protocol::ErrorMsg{outcome.abortReason});
-        } else {
-            protocol::ResponseMsg resp;
-            resp.nonce = ch->nonce;
-            resp.response = std::move(outcome.response);
-            endpoint.send(resp);
-        }
+        answerChallenge(*ch);
     } else if (auto *remap =
                    std::get_if<protocol::RemapRequest>(&*msg)) {
+        // Duplicated request for an exchange already in phase 1:
+        // resend the cached ack rather than re-deriving.
+        auto seen = awaitCommit.find(remap->nonce);
+        if (seen != awaitCommit.end()) {
+            endpoint.send(seen->second.frame);
+            return true;
+        }
         // Phase 1: derive the candidate key and prove it with the
         // confirmation MAC; install nothing yet.
         std::optional<crypto::Key256> candidate;
@@ -332,9 +525,15 @@ DeviceAgent::pumpOnce()
                 crypto::keyConfirmation(*candidate, remap->nonce);
         }
         endpoint.send(ack);
+        OutstandingSend waiting;
+        waiting.frame = ack;
+        if (simClock)
+            waiting.deadline = policy.deadlineFor(simClock->now(), 0);
+        awaitCommit[remap->nonce] = std::move(waiting);
     } else if (auto *commit =
                    std::get_if<protocol::RemapCommit>(&*msg)) {
         // Phase 2: the server verified the confirmation.
+        awaitCommit.erase(commit->nonce);
         auto it = pendingRemapKeys.find(commit->nonce);
         if (it != pendingRemapKeys.end()) {
             if (commit->committed) {
@@ -345,7 +544,12 @@ DeviceAgent::pumpOnce()
         }
     } else if (auto *dec = std::get_if<protocol::AuthDecision>(&*msg)) {
         decision = *dec;
+        authPhase = AuthPhase::Idle;
+        authStatus = firmware::AuthOutcome::Status::Ok;
     } else if (auto *err = std::get_if<protocol::ErrorMsg>(&*msg)) {
+        // Transport-level errors (decode failures, dead nonces) are
+        // logged but do not end the session: the retry state machine
+        // either recovers it or times it out cleanly.
         errorLog.push_back(err->reason);
     }
     return true;
@@ -356,6 +560,51 @@ DeviceAgent::pumpAll()
 {
     while (pumpOnce()) {
     }
+}
+
+bool
+DeviceAgent::tick()
+{
+    if (!simClock)
+        return false;
+    const std::uint64_t step = simClock->now();
+    bool acted = false;
+
+    if (authPhase != AuthPhase::Idle && authSend.deadline <= step) {
+        if (authSend.attempt + 1 >= policy.maxAttempts) {
+            failAuthSession();
+        } else {
+            ++authSend.attempt;
+            ++nRetransmits;
+            endpoint.send(authSend.frame);
+            authSend.deadline =
+                policy.deadlineFor(step, authSend.attempt);
+        }
+        acted = true;
+    }
+
+    for (auto it = awaitCommit.begin(); it != awaitCommit.end();) {
+        if (it->second.deadline > step) {
+            ++it;
+            continue;
+        }
+        if (it->second.attempt + 1 >= policy.maxAttempts) {
+            pendingRemapKeys.erase(it->first);
+            ++nRemapsTimedOut;
+            errorLog.push_back(
+                "remap timed out: retries exhausted");
+            it = awaitCommit.erase(it);
+        } else {
+            ++it->second.attempt;
+            ++nRetransmits;
+            endpoint.send(it->second.frame);
+            it->second.deadline =
+                policy.deadlineFor(step, it->second.attempt);
+            ++it;
+        }
+        acted = true;
+    }
+    return acted;
 }
 
 void
@@ -369,6 +618,32 @@ runExchange(AuthenticationServer &server,
         progress |= server.pumpOnce(server_endpoint);
         progress |= agent.pumpOnce();
     }
+}
+
+SteppedExchangeResult
+runExchangeSteps(AuthenticationServer &server,
+                 protocol::ServerEndpoint &server_endpoint,
+                 DeviceAgent &agent, util::SimClock &clock,
+                 protocol::InMemoryChannel &channel,
+                 std::uint64_t max_steps)
+{
+    SteppedExchangeResult result;
+    for (; result.steps < max_steps; ++result.steps) {
+        bool progress = true;
+        while (progress) {
+            progress = false;
+            progress |= server.pumpOnce(server_endpoint);
+            progress |= agent.pumpOnce();
+        }
+        if (!agent.sessionActive() && channel.idle()) {
+            result.quiesced = true;
+            return result;
+        }
+        clock.advance(1);
+        server.tick();
+        agent.tick();
+    }
+    return result;
 }
 
 void
@@ -396,6 +671,16 @@ collectServerStats(const AuthenticationServer &server,
                  server.remapsCommitted());
     registry.set(component, "remaps_rejected",
                  server.remapsRejected());
+    registry.set(component, "pending_sessions",
+                 std::uint64_t(server.pendingSessions()));
+    registry.set(component, "sessions_evicted",
+                 server.sessionsEvicted());
+    registry.set(component, "sessions_expired",
+                 server.sessionsExpired());
+    registry.set(component, "duplicate_requests",
+                 server.duplicateRequests());
+    registry.set(component, "duplicate_completions",
+                 server.duplicateCompletions());
 }
 
 std::vector<core::VddMv>

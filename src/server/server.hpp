@@ -25,6 +25,7 @@
 #include "server/challenge_gen.hpp"
 #include "server/database.hpp"
 #include "server/verifier.hpp"
+#include "util/sim_clock.hpp"
 #include "util/stats_registry.hpp"
 
 namespace authenticache::server {
@@ -64,6 +65,24 @@ struct ServerConfig
      * dead, the consumed pairs stay retired).
      */
     std::size_t maxPendingSessions = 1024;
+
+    /**
+     * Per-session deadline in simulated clock steps: an outstanding
+     * challenge (or remap exchange) not answered within this many
+     * steps of issue is garbage-collected -- its consumed pairs stay
+     * retired, its nonce is dead. 0 disables expiry; expiry also needs
+     * a clock bound with bindClock().
+     */
+    std::uint64_t sessionTimeoutSteps = 0;
+
+    /**
+     * Completed sessions kept for idempotent retransmission handling:
+     * a duplicated or retransmitted ResponseMsg / RemapAck whose nonce
+     * already completed gets the original decision / commit resent
+     * verbatim instead of an "unknown nonce" error (and never
+     * double-counts toward the lockout policy).
+     */
+    std::size_t completedCacheSize = 256;
 
     VerifierPolicy verifier;
 };
@@ -131,6 +150,16 @@ class AuthenticationServer
     /** Drain the endpoint until idle. */
     void pumpAll(protocol::ServerEndpoint &endpoint);
 
+    /**
+     * Bind the simulated clock driving session deadlines (not owned).
+     * Without a clock (or with sessionTimeoutSteps == 0) sessions
+     * never expire, preserving the pre-reliability behavior.
+     */
+    void bindClock(const util::SimClock *clk) { simClock = clk; }
+
+    /** Garbage-collect expired sessions against the bound clock. */
+    void tick() { expireSessions(); }
+
     /** Initiate the adaptive remap exchange for a device. */
     void startRemap(std::uint64_t device_id,
                     protocol::ServerEndpoint &endpoint);
@@ -156,6 +185,18 @@ class AuthenticationServer
     /** Sessions evicted by the pending-session cap. */
     std::uint64_t sessionsEvicted() const { return nEvicted; }
 
+    /** Sessions garbage-collected by the per-session deadline. */
+    std::uint64_t sessionsExpired() const { return nExpired; }
+
+    /** Retransmitted AuthRequests answered with the same challenge. */
+    std::uint64_t duplicateRequests() const { return nDupRequests; }
+
+    /** Retransmitted responses/acks served from the completed cache. */
+    std::uint64_t duplicateCompletions() const
+    {
+        return nDupCompletions;
+    }
+
     /** Administrator action: clear a device's lockout. */
     void unlockDevice(std::uint64_t device_id)
     {
@@ -174,33 +215,95 @@ class AuthenticationServer
     {
         std::uint64_t deviceId;
         core::Response expected;
+        core::Challenge challenge; ///< Kept for idempotent re-issue.
+        std::uint64_t deadline = 0; ///< Absolute step; 0 = no expiry.
     };
     struct PendingRemap
     {
         std::uint64_t deviceId;
         crypto::Key256 newKey;
+        std::uint64_t deadline = 0;
     };
 
     /** Evict oldest pending sessions down to the configured cap. */
     void enforcePendingCap();
+
+    /** Drop every pending session whose deadline has passed. */
+    void expireSessions();
+
+    /** Remove a finished/evicted auth nonce from the device index. */
+    void forgetActiveAuth(std::uint64_t device_id,
+                          std::uint64_t nonce);
+
+    /** Deadline for a session opened now (0 when expiry is off). */
+    std::uint64_t sessionDeadline() const;
+
+    /** Remember a completed decision/commit for retransmit replies. */
+    void cacheCompleted(std::uint64_t nonce, protocol::Message reply);
 
     ServerConfig cfg;
     util::Rng rng;
     EnrollmentDatabase db;
     ChallengeGenerator generator;
     Verifier verify;
+    const util::SimClock *simClock = nullptr;
     std::unordered_map<std::uint64_t, PendingAuth> pendingAuths;
     std::unordered_map<std::uint64_t, PendingRemap> pendingRemaps;
     std::deque<std::uint64_t> pendingOrder; // Nonces, oldest first.
+    /** Device -> nonce of its outstanding auth challenge. */
+    std::unordered_map<std::uint64_t, std::uint64_t> activeAuthByDevice;
+    /** Completed nonce -> the decision/commit originally sent. */
+    std::unordered_map<std::uint64_t, protocol::Message> completed;
+    std::deque<std::uint64_t> completedOrder;
     std::uint64_t nEvicted = 0;
+    std::uint64_t nExpired = 0;
+    std::uint64_t nDupRequests = 0;
+    std::uint64_t nDupCompletions = 0;
     std::vector<AuthReport> log;
     std::uint64_t nRemaps = 0;
     std::uint64_t nRemapsRejected = 0;
 };
 
 /**
+ * Client-side retry knobs; all time in simulated clock steps.
+ * Attempt k (k = 0 for the original send) is declared lost after
+ *
+ *     timeoutSteps + min(capSteps, baseSteps << (k-1)) + jitter(k)
+ *
+ * steps (no backoff on the first attempt), where jitter(k) is drawn
+ * deterministically from Rng::forStream(jitterSeed, k) -- the same
+ * policy and seed always produce the same schedule.
+ */
+struct RetryPolicy
+{
+    /** Per-attempt reply deadline. */
+    std::uint64_t timeoutSteps = 12;
+
+    /** Total send attempts (original + retransmissions). */
+    std::uint32_t maxAttempts = 4;
+
+    /** Exponential backoff base, doubling per retransmission. */
+    std::uint64_t backoffBaseSteps = 2;
+
+    /** Backoff ceiling. */
+    std::uint64_t backoffCapSteps = 32;
+
+    /** Deterministic jitter drawn uniformly from [0, jitterSteps]. */
+    std::uint64_t jitterSteps = 2;
+    std::uint64_t jitterSeed = 0x0BACC0FF;
+
+    /** Deadline of attempt @p attempt sent at @p now. */
+    std::uint64_t deadlineFor(std::uint64_t now,
+                              std::uint32_t attempt) const;
+};
+
+/**
  * Device-side protocol agent: bridges the wire protocol to the
- * firmware client.
+ * firmware client, and (when a clock is bound) runs the retry state
+ * machine: per-request timeout, bounded exponential backoff with
+ * deterministic jitter, and a clean TimedOut outcome once the
+ * retransmission budget is exhausted -- a lost frame can no longer
+ * wedge an exchange.
  */
 class DeviceAgent
 {
@@ -218,6 +321,38 @@ class DeviceAgent
     /** Drain the endpoint until idle. */
     void pumpAll();
 
+    /** Bind the simulated clock enabling timeouts (not owned). */
+    void bindClock(const util::SimClock *clk) { simClock = clk; }
+
+    void setRetryPolicy(const RetryPolicy &p) { policy = p; }
+
+    /**
+     * Drive the retry state machine one step: retransmit anything
+     * past its deadline, or fail the session once the budget is gone.
+     * No-op without a bound clock. @return true when it acted.
+     */
+    bool tick();
+
+    /**
+     * An exchange is still in flight: an authentication awaiting its
+     * challenge or decision, or a remap awaiting its commit.
+     */
+    bool sessionActive() const
+    {
+        return authPhase != AuthPhase::Idle || !awaitCommit.empty();
+    }
+
+    /**
+     * How the last authentication round ended: Ok (decision
+     * received), Aborted (firmware refused), or TimedOut (retries
+     * exhausted). Empty while in flight or before the first round.
+     */
+    const std::optional<firmware::AuthOutcome::Status> &
+    lastAuthStatus() const
+    {
+        return authStatus;
+    }
+
     /** Decision from the most recent completed authentication. */
     const std::optional<protocol::AuthDecision> &lastDecision() const
     {
@@ -229,13 +364,51 @@ class DeviceAgent
 
     std::uint64_t remapsProcessed() const { return nRemaps; }
 
+    /** Remap exchanges abandoned after exhausting retransmissions. */
+    std::uint64_t remapsTimedOut() const { return nRemapsTimedOut; }
+
+    /** Frames retransmitted by the retry state machine. */
+    std::uint64_t retransmissions() const { return nRetransmits; }
+
   private:
+    enum class AuthPhase
+    {
+        Idle,
+        AwaitChallenge,
+        AwaitDecision,
+    };
+
+    /** A sent frame we may have to retransmit. */
+    struct OutstandingSend
+    {
+        protocol::Message frame;
+        std::uint32_t attempt = 0;
+        std::uint64_t deadline = 0;
+    };
+
+    void armAuthSend(protocol::Message frame);
+    void failAuthSession();
+    void answerChallenge(const protocol::ChallengeMsg &ch);
+
     std::uint64_t deviceId;
     firmware::AuthenticacheClient &client;
     protocol::ClientEndpoint endpoint;
+    const util::SimClock *simClock = nullptr;
+    RetryPolicy policy;
     std::optional<protocol::AuthDecision> decision;
+    std::optional<firmware::AuthOutcome::Status> authStatus;
+    AuthPhase authPhase = AuthPhase::Idle;
+    OutstandingSend authSend;
+    /** Answered auth nonces -> cached response (bounded FIFO). */
+    std::unordered_map<std::uint64_t, protocol::ResponseMsg>
+        answeredAuths;
+    std::deque<std::uint64_t> answeredOrder;
+    /** Remap nonce -> ack awaiting the server's commit. */
+    std::unordered_map<std::uint64_t, OutstandingSend> awaitCommit;
     std::vector<std::string> errorLog;
     std::uint64_t nRemaps = 0;
+    std::uint64_t nRemapsTimedOut = 0;
+    std::uint64_t nRetransmits = 0;
     std::unordered_map<std::uint64_t, crypto::Key256>
         pendingRemapKeys;
 };
@@ -252,6 +425,32 @@ void collectServerStats(const AuthenticationServer &server,
 void runExchange(AuthenticationServer &server,
                  protocol::ServerEndpoint &server_endpoint,
                  DeviceAgent &agent);
+
+/** Result of a clock-driven exchange (see runExchangeSteps). */
+struct SteppedExchangeResult
+{
+    /**
+     * The exchange reached quiescence (agent idle, channel empty)
+     * within the step budget; false means a hang, which the
+     * reliability layer exists to rule out.
+     */
+    bool quiesced = false;
+    std::uint64_t steps = 0;
+};
+
+/**
+ * Clock-driven exchange driver: each step pumps both sides to
+ * quiescence, then advances the shared clock by one and lets the
+ * server expire sessions and the agent retransmit. Returns once the
+ * agent has no session in flight and no frame is queued or delayed,
+ * or after @p max_steps (a hang).
+ */
+SteppedExchangeResult
+runExchangeSteps(AuthenticationServer &server,
+                 protocol::ServerEndpoint &server_endpoint,
+                 DeviceAgent &agent, util::SimClock &clock,
+                 protocol::InMemoryChannel &channel,
+                 std::uint64_t max_steps = 1000);
 
 /**
  * Convenience: challenge levels spaced @p spacing_mv apart starting

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Golden-vector tests pinning the ECC codecs' exact wire behavior.
+ *
+ * The check bits and codewords below were produced by the codecs
+ * themselves and frozen: any future change to the Hsiao column
+ * assignment, the BCH generator polynomial, or the systematic bit
+ * layout will break these tests loudly instead of silently changing
+ * every stored fingerprint and helper-data blob.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ecc/bch.hpp"
+#include "ecc/secded.hpp"
+#include "util/bitvec.hpp"
+
+namespace ecc = authenticache::ecc;
+using authenticache::util::BitVec;
+
+namespace {
+
+BitVec
+fromWords(std::vector<std::uint64_t> words, std::size_t bits)
+{
+    return BitVec::fromWords(std::move(words), bits);
+}
+
+} // namespace
+
+TEST(GoldenSecded, Hsiao72_64CheckBits)
+{
+    ecc::SecdedCodec codec(64);
+    ASSERT_EQ(codec.dataBits(), 64u);
+    ASSERT_EQ(codec.checkBits(), 8u);
+
+    const struct
+    {
+        std::uint64_t data;
+        std::uint32_t check;
+    } vectors[] = {
+        {0x0000000000000000ULL, 0x00},
+        {0x0000000000000001ULL, 0x07},
+        {0xFFFFFFFFFFFFFFFFULL, 0xD8},
+        {0xDEADBEEFCAFEBABEULL, 0xD2},
+        {0x0123456789ABCDEFULL, 0x42},
+        {0x5555555555555555ULL, 0x0F},
+        {0x8000000000000000ULL, 0x57},
+    };
+    for (const auto &v : vectors) {
+        EXPECT_EQ(codec.encode(v.data), v.check)
+            << "data word 0x" << std::hex << v.data;
+        auto clean = codec.decode(v.data, v.check);
+        EXPECT_EQ(clean.status, ecc::DecodeStatus::Ok);
+        EXPECT_EQ(clean.data, v.data);
+    }
+}
+
+TEST(GoldenSecded, Hsiao39_32CheckBits)
+{
+    ecc::SecdedCodec codec(32);
+    ASSERT_EQ(codec.dataBits(), 32u);
+    ASSERT_EQ(codec.checkBits(), 7u);
+
+    const struct
+    {
+        std::uint64_t data;
+        std::uint32_t check;
+    } vectors[] = {
+        {0x00000000ULL, 0x00}, {0x00000001ULL, 0x07},
+        {0xFFFFFFFFULL, 0x03}, {0xDEADBEEFULL, 0x05},
+        {0x89ABCDEFULL, 0x42}, {0x55555555ULL, 0x14},
+    };
+    for (const auto &v : vectors) {
+        EXPECT_EQ(codec.encode(v.data), v.check)
+            << "data word 0x" << std::hex << v.data;
+    }
+}
+
+TEST(GoldenSecded, SingleBitErrorsStillCorrectAgainstGoldenCheck)
+{
+    // The pinned check bits must keep their correction power: flip
+    // any data bit and the golden check word still repairs it.
+    ecc::SecdedCodec codec(64);
+    const std::uint64_t data = 0xDEADBEEFCAFEBABEULL;
+    const std::uint32_t check = 0xD2;
+    for (unsigned bit = 0; bit < 64; ++bit) {
+        auto r = codec.decode(data ^ (1ULL << bit), check);
+        EXPECT_EQ(r.status, ecc::DecodeStatus::CorrectedData);
+        EXPECT_EQ(r.data, data);
+        EXPECT_EQ(r.bitPosition, static_cast<int>(bit));
+    }
+}
+
+TEST(GoldenBch, Bch127_64Codeword)
+{
+    ecc::BchCode bch(7, 10);
+    ASSERT_EQ(bch.n(), 127u);
+    ASSERT_EQ(bch.k(), 64u);
+
+    auto message = fromWords({0x6E789E6AA1B965F4ULL}, 64);
+    auto expected = fromWords(
+        {0x5C90E20A1D7601C8ULL, 0x373C4F3550DCB2FAULL}, 127);
+
+    auto codeword = bch.encode(message);
+    EXPECT_EQ(codeword, expected);
+    EXPECT_EQ(bch.extractMessage(codeword), message);
+
+    // The pinned codeword still decodes through t = 10 flips.
+    auto damaged = codeword;
+    for (unsigned i = 0; i < bch.t(); ++i)
+        damaged.flip((i * 13 + 5) % bch.n());
+    auto repaired = bch.decode(damaged);
+    ASSERT_TRUE(repaired.has_value());
+    EXPECT_EQ(*repaired, expected);
+}
+
+TEST(GoldenBch, Bch255_99Codeword)
+{
+    ecc::BchCode bch(8, 23);
+    ASSERT_EQ(bch.n(), 255u);
+    ASSERT_EQ(bch.k(), 99u);
+
+    auto message = fromWords(
+        {0x6E789E6AA1B965F4ULL, 0x000000008009454FULL}, 99);
+    auto expected = fromWords(
+        {0x6E115230670200E1ULL, 0xFFA2785A78DD51D3ULL,
+         0xAA1B965F4D87A0BDULL, 0x08009454F6E789E6ULL},
+        255);
+
+    auto codeword = bch.encode(message);
+    EXPECT_EQ(codeword, expected);
+    EXPECT_EQ(bch.extractMessage(codeword), message);
+
+    auto damaged = codeword;
+    for (unsigned i = 0; i < bch.t(); ++i)
+        damaged.flip((i * 31 + 2) % bch.n());
+    auto repaired = bch.decode(damaged);
+    ASSERT_TRUE(repaired.has_value());
+    EXPECT_EQ(*repaired, expected);
+}
+
+TEST(GoldenBch, GeneratorPolynomialIsPinned)
+{
+    // BCH(127, 64, t=10): deg(g) = n - k = 63; g is fixed by the
+    // field's primitive polynomial, so pin it bit-for-bit.
+    ecc::BchCode bch(7, 10);
+    const char *expected =
+        "1010010000000001001101111110001111011010100000011101010110"
+        "000101";
+    const auto &gen = bch.generator();
+    ASSERT_EQ(gen.size(), 64u);
+    for (std::size_t i = 0; i < gen.size(); ++i)
+        EXPECT_EQ(gen[i], expected[i] == '1' ? 1 : 0) << "g[" << i
+                                                      << "]";
+}

@@ -17,6 +17,7 @@ namespace proto = authenticache::protocol;
 namespace srv = authenticache::server;
 namespace core = authenticache::core;
 namespace sim = authenticache::sim;
+namespace util = authenticache::util;
 using authenticache::util::Rng;
 
 namespace {
@@ -32,33 +33,157 @@ mustNotCrash(std::span<const std::uint8_t> frame)
     }
 }
 
-std::vector<std::uint8_t>
-validFrame(Rng &rng)
+util::BitVec
+randomBits(std::size_t n, Rng &rng)
+{
+    util::BitVec v(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        if (rng.nextBool())
+            v.flip(i);
+    }
+    return v;
+}
+
+/** A random valid instance of any of the 8 message types. */
+proto::Message
+randomMessage(Rng &rng)
 {
     const sim::CacheGeometry geom(256 * 1024);
-    switch (rng.nextBelow(4)) {
+    switch (rng.nextBelow(8)) {
       case 0:
-        return proto::encodeMessage(proto::AuthRequest{rng.next()});
+        return proto::AuthRequest{rng.next()};
       case 1: {
         proto::ChallengeMsg m;
         m.nonce = rng.next();
         m.challenge = core::randomChallenge(
             geom, 700, 1 + rng.nextBelow(64), rng);
-        return proto::encodeMessage(m);
+        return m;
       }
       case 2: {
         proto::ResponseMsg m;
         m.nonce = rng.next();
-        m.response = authenticache::util::BitVec(64);
-        return proto::encodeMessage(m);
+        m.response = randomBits(1 + rng.nextBelow(256), rng);
+        return m;
       }
-      default:
-        return proto::encodeMessage(
-            proto::ErrorMsg{"fuzz seed frame"});
+      case 3: {
+        proto::AuthDecision m;
+        m.nonce = rng.next();
+        m.accepted = rng.nextBool();
+        m.hammingDistance =
+            static_cast<std::uint32_t>(rng.nextBelow(512));
+        return m;
+      }
+      case 4: {
+        proto::RemapRequest m;
+        m.nonce = rng.next();
+        m.challenge = core::randomChallenge(
+            geom, 650, 1 + rng.nextBelow(40), rng);
+        m.helper = randomBits(1 + rng.nextBelow(200), rng);
+        m.repetition =
+            1 + static_cast<std::uint32_t>(rng.nextBelow(9));
+        return m;
+      }
+      case 5: {
+        proto::RemapAck m;
+        m.nonce = rng.next();
+        m.success = rng.nextBool();
+        for (auto &b : m.confirmation)
+            b = static_cast<std::uint8_t>(rng.nextBelow(256));
+        return m;
+      }
+      case 6: {
+        proto::RemapCommit m;
+        m.nonce = rng.next();
+        m.committed = rng.nextBool();
+        return m;
+      }
+      default: {
+        std::string reason;
+        std::size_t len = rng.nextBelow(64);
+        for (std::size_t i = 0; i < len; ++i)
+            reason.push_back(
+                static_cast<char>(' ' + rng.nextBelow(95)));
+        return proto::ErrorMsg{std::move(reason)};
+      }
     }
 }
 
+/** Field-by-field equality across every message alternative. */
+bool
+messagesEqual(const proto::Message &a, const proto::Message &b)
+{
+    if (a.index() != b.index())
+        return false;
+    if (auto *x = std::get_if<proto::AuthRequest>(&a))
+        return x->deviceId ==
+               std::get<proto::AuthRequest>(b).deviceId;
+    if (auto *x = std::get_if<proto::ChallengeMsg>(&a)) {
+        const auto &y = std::get<proto::ChallengeMsg>(b);
+        return x->nonce == y.nonce &&
+               x->challenge.bits == y.challenge.bits;
+    }
+    if (auto *x = std::get_if<proto::ResponseMsg>(&a)) {
+        const auto &y = std::get<proto::ResponseMsg>(b);
+        return x->nonce == y.nonce && x->response == y.response;
+    }
+    if (auto *x = std::get_if<proto::AuthDecision>(&a)) {
+        const auto &y = std::get<proto::AuthDecision>(b);
+        return x->nonce == y.nonce && x->accepted == y.accepted &&
+               x->hammingDistance == y.hammingDistance;
+    }
+    if (auto *x = std::get_if<proto::RemapRequest>(&a)) {
+        const auto &y = std::get<proto::RemapRequest>(b);
+        return x->nonce == y.nonce &&
+               x->challenge.bits == y.challenge.bits &&
+               x->helper == y.helper &&
+               x->repetition == y.repetition;
+    }
+    if (auto *x = std::get_if<proto::RemapAck>(&a)) {
+        const auto &y = std::get<proto::RemapAck>(b);
+        return x->nonce == y.nonce && x->success == y.success &&
+               x->confirmation == y.confirmation;
+    }
+    if (auto *x = std::get_if<proto::RemapCommit>(&a)) {
+        const auto &y = std::get<proto::RemapCommit>(b);
+        return x->nonce == y.nonce && x->committed == y.committed;
+    }
+    if (auto *x = std::get_if<proto::ErrorMsg>(&a))
+        return x->reason == std::get<proto::ErrorMsg>(b).reason;
+    return false;
+}
+
+std::vector<std::uint8_t>
+validFrame(Rng &rng)
+{
+    return proto::encodeMessage(randomMessage(rng));
+}
+
 } // namespace
+
+TEST(ProtocolRoundTrip, DecodeInvertsEncodeForEveryType)
+{
+    // Property: decode(encode(m)) == m, across all 8 message types
+    // with randomized field contents.
+    Rng rng(0xF021);
+    for (int trial = 0; trial < 800; ++trial) {
+        auto original = randomMessage(rng);
+        auto decoded =
+            proto::decodeMessage(proto::encodeMessage(original));
+        ASSERT_TRUE(messagesEqual(original, decoded))
+            << "round-trip mismatch at trial " << trial
+            << " (variant " << original.index() << ")";
+    }
+}
+
+TEST(ProtocolRoundTrip, EncodingIsDeterministic)
+{
+    Rng rngA(0xF028);
+    Rng rngB(0xF028);
+    for (int trial = 0; trial < 200; ++trial) {
+        EXPECT_EQ(proto::encodeMessage(randomMessage(rngA)),
+                  proto::encodeMessage(randomMessage(rngB)));
+    }
+}
 
 TEST(ProtocolFuzz, RandomBytesNeverCrash)
 {

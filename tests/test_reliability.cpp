@@ -1,0 +1,354 @@
+/**
+ * @file
+ * Unit tests for the session-reliability layer: the deterministic
+ * retry policy, the channel fault primitives, client-side timeout
+ * with a clean TimedOut status, server-side session expiry, and the
+ * composition of the lockout policy with duplicated frames (a
+ * retransmitted rejected response must never count as two failures).
+ */
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "server/server.hpp"
+
+namespace fw = authenticache::firmware;
+namespace sim = authenticache::sim;
+namespace core = authenticache::core;
+namespace proto = authenticache::protocol;
+namespace srv = authenticache::server;
+using authenticache::util::SimClock;
+
+namespace {
+
+sim::ChipConfig
+smallChip()
+{
+    sim::ChipConfig cfg;
+    cfg.cacheBytes = 256 * 1024;
+    return cfg;
+}
+
+std::vector<std::uint8_t>
+testFrame()
+{
+    return proto::encodeMessage(proto::AuthRequest{77});
+}
+
+} // namespace
+
+TEST(RetryPolicy, ScheduleIsDeterministic)
+{
+    srv::RetryPolicy p;
+    for (std::uint32_t attempt = 0; attempt < 8; ++attempt) {
+        EXPECT_EQ(p.deadlineFor(100, attempt),
+                  p.deadlineFor(100, attempt));
+    }
+}
+
+TEST(RetryPolicy, FirstAttemptHasNoBackoff)
+{
+    srv::RetryPolicy p;
+    std::uint64_t d = p.deadlineFor(0, 0);
+    EXPECT_GE(d, p.timeoutSteps);
+    EXPECT_LE(d, p.timeoutSteps + p.jitterSteps);
+}
+
+TEST(RetryPolicy, BackoffIsBoundedByCap)
+{
+    srv::RetryPolicy p;
+    for (std::uint32_t attempt = 0; attempt < 100; ++attempt) {
+        std::uint64_t d = p.deadlineFor(0, attempt);
+        EXPECT_GE(d, p.timeoutSteps);
+        EXPECT_LE(d, p.timeoutSteps + p.backoffCapSteps +
+                         p.jitterSteps);
+    }
+    // Deep into the schedule the backoff saturates at the cap.
+    std::uint64_t deep = p.deadlineFor(0, 90);
+    EXPECT_GE(deep, p.timeoutSteps + p.backoffCapSteps);
+}
+
+TEST(ChannelFaults, DropDiscardsExactlyTheTargetFrame)
+{
+    proto::InMemoryChannel channel;
+    channel.setFaultPlan(proto::FaultPlan(1).add(
+        {proto::FaultType::Drop, 1, 0}));
+    channel.sendToServer(testFrame());
+    channel.sendToServer(testFrame());
+    channel.sendToServer(testFrame());
+    EXPECT_TRUE(channel.receiveAtServer().has_value());
+    EXPECT_TRUE(channel.receiveAtServer().has_value());
+    EXPECT_FALSE(channel.receiveAtServer().has_value());
+    EXPECT_EQ(channel.faultCounters().drops, 1u);
+    EXPECT_TRUE(channel.idle());
+}
+
+TEST(ChannelFaults, DuplicateDeliversTwice)
+{
+    proto::InMemoryChannel channel;
+    channel.setFaultPlan(proto::FaultPlan(1).add(
+        {proto::FaultType::Duplicate, 0, 0}));
+    channel.sendToClient(testFrame());
+    auto a = channel.receiveAtClient();
+    auto b = channel.receiveAtClient();
+    ASSERT_TRUE(a.has_value());
+    ASSERT_TRUE(b.has_value());
+    EXPECT_EQ(*a, *b);
+    EXPECT_FALSE(channel.receiveAtClient().has_value());
+    EXPECT_EQ(channel.faultCounters().duplicates, 1u);
+}
+
+TEST(ChannelFaults, ReorderJumpsTheQueue)
+{
+    proto::InMemoryChannel channel;
+    channel.setFaultPlan(proto::FaultPlan(1).add(
+        {proto::FaultType::Reorder, 1, 0}));
+    auto first = proto::encodeMessage(proto::AuthRequest{1});
+    auto second = proto::encodeMessage(proto::AuthRequest{2});
+    channel.sendToServer(first);
+    channel.sendToServer(second);
+    EXPECT_EQ(*channel.receiveAtServer(), second);
+    EXPECT_EQ(*channel.receiveAtServer(), first);
+    EXPECT_EQ(channel.faultCounters().reorders, 1u);
+}
+
+TEST(ChannelFaults, DelayHoldsFrameUntilRelease)
+{
+    SimClock clock;
+    proto::InMemoryChannel channel;
+    channel.bindClock(&clock);
+    channel.setFaultPlan(proto::FaultPlan(1).add(
+        {proto::FaultType::Delay, 0, 5}));
+    channel.sendToServer(testFrame());
+    EXPECT_FALSE(channel.receiveAtServer().has_value());
+    EXPECT_FALSE(channel.idle()); // Held, not lost.
+    clock.advance(4);
+    EXPECT_FALSE(channel.receiveAtServer().has_value());
+    clock.advance(1);
+    EXPECT_TRUE(channel.receiveAtServer().has_value());
+    EXPECT_TRUE(channel.idle());
+    EXPECT_EQ(channel.faultCounters().delays, 1u);
+}
+
+TEST(ChannelFaults, CorruptionIsSeededAndReplayable)
+{
+    auto corruptOnce = [](std::uint64_t seed) {
+        proto::InMemoryChannel channel;
+        channel.setFaultPlan(proto::FaultPlan(seed).add(
+            {proto::FaultType::Corrupt, 0, 0}));
+        channel.sendToServer(testFrame());
+        return *channel.receiveAtServer();
+    };
+    auto one = corruptOnce(42);
+    auto two = corruptOnce(42);
+    EXPECT_EQ(one, two);       // Same seed: bit-identical damage.
+    EXPECT_NE(one, testFrame()); // But damage did happen.
+    EXPECT_NE(corruptOnce(43), one); // Different seed, different bits.
+}
+
+class RetryMachine : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        chip = std::make_unique<sim::SimulatedChip>(smallChip(), 31);
+        machine = std::make_unique<fw::SimulatedMachine>(4);
+        fw::ClientConfig ccfg;
+        ccfg.selfTestAttempts = 8;
+        client = std::make_unique<fw::AuthenticacheClient>(
+            *chip, *machine, ccfg);
+        client->boot();
+
+        srv::ServerConfig scfg;
+        scfg.challengeBits = 32;
+        scfg.verifier.pIntra = 0.08;
+        scfg.sessionTimeoutSteps = 40;
+        server =
+            std::make_unique<srv::AuthenticationServer>(scfg, 11);
+        auto levels = srv::defaultChallengeLevels(*client, 1);
+        server->enroll(4, *client, levels,
+                       {srv::defaultReservedLevel(*client)});
+
+        channel.bindClock(&clock);
+        server->bindClock(&clock);
+        server_end = std::make_unique<proto::ServerEndpoint>(channel);
+        agent = std::make_unique<srv::DeviceAgent>(
+            4, *client, proto::ClientEndpoint(channel));
+        agent->bindClock(&clock);
+    }
+
+    SimClock clock;
+    std::unique_ptr<sim::SimulatedChip> chip;
+    std::unique_ptr<fw::SimulatedMachine> machine;
+    std::unique_ptr<fw::AuthenticacheClient> client;
+    std::unique_ptr<srv::AuthenticationServer> server;
+    proto::InMemoryChannel channel;
+    std::unique_ptr<proto::ServerEndpoint> server_end;
+    std::unique_ptr<srv::DeviceAgent> agent;
+};
+
+TEST_F(RetryMachine, ExhaustedRetriesEndWithTimedOut)
+{
+    // Every AuthRequest attempt is lost: the agent must give up with
+    // a clean TimedOut status instead of wedging the exchange.
+    proto::FaultPlan plan(9);
+    for (std::uint64_t i = 0; i < 8; ++i)
+        plan.add({proto::FaultType::Drop, i, 0});
+    channel.setFaultPlan(plan);
+
+    agent->requestAuthentication();
+    auto result = srv::runExchangeSteps(*server, *server_end, *agent,
+                                        clock, channel, 400);
+    EXPECT_TRUE(result.quiesced);
+    EXPECT_FALSE(agent->sessionActive());
+    ASSERT_TRUE(agent->lastAuthStatus().has_value());
+    EXPECT_EQ(*agent->lastAuthStatus(),
+              fw::AuthOutcome::Status::TimedOut);
+    EXPECT_FALSE(agent->lastDecision().has_value());
+    EXPECT_GE(agent->retransmissions(), 1u);
+}
+
+TEST_F(RetryMachine, SingleLossRecoversViaRetransmission)
+{
+    channel.setFaultPlan(proto::FaultPlan(9).add(
+        {proto::FaultType::Drop, 0, 0}));
+    agent->requestAuthentication();
+    auto result = srv::runExchangeSteps(*server, *server_end, *agent,
+                                        clock, channel, 400);
+    EXPECT_TRUE(result.quiesced);
+    ASSERT_TRUE(agent->lastDecision().has_value());
+    EXPECT_TRUE(agent->lastDecision()->accepted);
+    EXPECT_EQ(agent->retransmissions(), 1u);
+}
+
+TEST_F(RetryMachine, ServerExpiresAbandonedSessions)
+{
+    // A request whose device never answers the challenge is garbage
+    // collected once its deadline passes -- nothing leaks.
+    channel.sendToServer(
+        proto::encodeMessage(proto::AuthRequest{4}));
+    server->pumpOnce(*server_end);
+    EXPECT_EQ(server->pendingSessions(), 1u);
+
+    clock.advance(39);
+    server->tick();
+    EXPECT_EQ(server->pendingSessions(), 1u); // Not yet due.
+
+    clock.advance(2);
+    server->tick();
+    EXPECT_EQ(server->pendingSessions(), 0u);
+    EXPECT_EQ(server->sessionsExpired(), 1u);
+
+    // The expired nonce is dead: answering it now is rejected.
+    (void)channel.receiveAtClient(); // Discard the challenge.
+    proto::ResponseMsg late;
+    late.nonce = 0xDEAD;
+    late.response = core::Response(32);
+    channel.sendToServer(proto::encodeMessage(late));
+    server->pumpOnce(*server_end);
+    EXPECT_TRUE(server->reports().empty());
+}
+
+class LockoutReplay : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        chip = std::make_unique<sim::SimulatedChip>(smallChip(), 31);
+        machine = std::make_unique<fw::SimulatedMachine>(4);
+        fw::ClientConfig ccfg;
+        ccfg.selfTestAttempts = 8;
+        client = std::make_unique<fw::AuthenticacheClient>(
+            *chip, *machine, ccfg);
+        client->boot();
+
+        srv::ServerConfig scfg;
+        scfg.challengeBits = 64;
+        scfg.lockoutThreshold = 2;
+        server =
+            std::make_unique<srv::AuthenticationServer>(scfg, 11);
+        auto levels = srv::defaultChallengeLevels(*client, 1);
+        server->enroll(4, *client, levels,
+                       {srv::defaultReservedLevel(*client)});
+        server_end = std::make_unique<proto::ServerEndpoint>(channel);
+    }
+
+    /** Open a session and build a response that must be rejected. */
+    proto::ResponseMsg
+    bogusResponse()
+    {
+        while (channel.receiveAtClient()) {
+            // Drain decisions left over from earlier rounds.
+        }
+        channel.sendToServer(
+            proto::encodeMessage(proto::AuthRequest{4}));
+        server->pumpOnce(*server_end);
+        auto frame = channel.receiveAtClient();
+        EXPECT_TRUE(frame.has_value());
+        auto msg = proto::decodeMessage(*frame);
+        auto *ch = std::get_if<proto::ChallengeMsg>(&msg);
+        EXPECT_NE(ch, nullptr);
+        proto::ResponseMsg bogus;
+        bogus.nonce = ch->nonce;
+        bogus.response = core::Response(ch->challenge.size());
+        for (std::size_t i = 0; i < bogus.response.size(); i += 2)
+            bogus.response.flip(i);
+        return bogus;
+    }
+
+    std::unique_ptr<sim::SimulatedChip> chip;
+    std::unique_ptr<fw::SimulatedMachine> machine;
+    std::unique_ptr<fw::AuthenticacheClient> client;
+    std::unique_ptr<srv::AuthenticationServer> server;
+    proto::InMemoryChannel channel;
+    std::unique_ptr<proto::ServerEndpoint> server_end;
+};
+
+TEST_F(LockoutReplay, DuplicatedRejectedResponseCountsOnce)
+{
+    // First rejection counts...
+    auto bogus = bogusResponse();
+    auto frame = proto::encodeMessage(bogus);
+    channel.sendToServer(frame);
+    server->pumpOnce(*server_end);
+    EXPECT_EQ(server->database().at(4).consecutiveFailures(), 1u);
+    EXPECT_FALSE(server->database().at(4).locked());
+
+    // ...but replaying the identical frame (a retransmission or a
+    // network duplicate) is served from the completed cache and must
+    // NOT count as a second failure toward the lockout threshold.
+    channel.sendToServer(frame);
+    server->pumpOnce(*server_end);
+    EXPECT_EQ(server->database().at(4).consecutiveFailures(), 1u);
+    EXPECT_FALSE(server->database().at(4).locked());
+    EXPECT_EQ(server->duplicateCompletions(), 1u);
+    EXPECT_EQ(server->reports().size(), 1u);
+
+    // A genuinely fresh failure still advances the policy.
+    channel.sendToServer(proto::encodeMessage(bogusResponse()));
+    server->pumpOnce(*server_end);
+    EXPECT_EQ(server->database().at(4).consecutiveFailures(), 2u);
+    EXPECT_TRUE(server->database().at(4).locked());
+}
+
+TEST_F(LockoutReplay, DuplicateChallengeReissueDoesNotBurnPairs)
+{
+    // Satellite invariant restated at the unit level: a retransmitted
+    // AuthRequest never consumes fresh challenge pairs.
+    channel.sendToServer(proto::encodeMessage(proto::AuthRequest{4}));
+    server->pumpOnce(*server_end);
+    auto consumedBefore = server->database().at(4).consumedCount(
+        server->database().at(4).challengeLevels().front());
+    for (int i = 0; i < 5; ++i) {
+        channel.sendToServer(
+            proto::encodeMessage(proto::AuthRequest{4}));
+        server->pumpOnce(*server_end);
+    }
+    EXPECT_EQ(server->database().at(4).consumedCount(
+                  server->database().at(4).challengeLevels().front()),
+              consumedBefore);
+    EXPECT_EQ(server->duplicateRequests(), 5u);
+}

@@ -290,22 +290,36 @@ TEST_F(Integration, ImposterChipRejected)
     EXPECT_GT(imposter_agent.lastDecision()->hammingDistance, 16u);
 }
 
-TEST_F(Integration, ReplayedResponseRejected)
+TEST_F(Integration, ReplayedResponseNeverGrantsFreshAccess)
 {
     authenticateOnce();
     ASSERT_TRUE(agent->lastDecision()->accepted);
 
-    // Replay the captured response frame: the nonce is spent.
+    // Replay the captured response frame: the nonce is spent, so the
+    // server serves the original decision from its completed cache
+    // (idempotent retransmission handling) without re-verifying,
+    // re-counting, or logging a fresh report.
     authenticache::attack::ReplayAttacker attacker(transcript);
     auto frame = attacker.lastResponseFrame();
     ASSERT_TRUE(frame.has_value());
-    std::size_t accepted_before = server->reports().size();
+    std::size_t reports_before = server->reports().size();
+    std::uint64_t accepts_before =
+        server->database().at(42).accepted();
 
     attacker.replayToServer(channel, *frame);
     server->pumpAll(*server_endpoint);
 
-    EXPECT_EQ(server->reports().size(), accepted_before);
-    // The server answered with an error, not a decision.
+    EXPECT_EQ(server->reports().size(), reports_before);
+    EXPECT_EQ(server->database().at(42).accepted(), accepts_before);
+    EXPECT_EQ(server->duplicateCompletions(), 1u);
+
+    // A replay of a nonce the server has never completed still gets
+    // a hard error.
+    proto::ResponseMsg stray;
+    stray.nonce = 0xDEAD;
+    stray.response = core::Response(128);
+    channel.sendToServer(proto::encodeMessage(stray));
+    server->pumpAll(*server_endpoint);
     agent->pumpAll();
     ASSERT_FALSE(agent->errors().empty());
     EXPECT_NE(agent->errors().back().find("unknown nonce"),
