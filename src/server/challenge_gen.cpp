@@ -5,13 +5,16 @@
 
 namespace authenticache::server {
 
-ChallengeGenerator::ChallengeGenerator(util::Rng rng_) : rng(rng_) {}
+ChallengeGenerator::ChallengeGenerator(util::Rng rng_) : ownRng(rng_)
+{
+}
 
 GeneratedChallenge
 ChallengeGenerator::generateWithRemap(DeviceRecord &record,
                                       core::VddMv level,
                                       std::size_t bits,
-                                      const core::LogicalRemap &remap)
+                                      const core::LogicalRemap &remap,
+                                      util::Rng &rng)
 {
     const auto &geom = record.physicalMap().geometry();
     if (!record.physicalMap().hasPlane(level))
@@ -58,7 +61,7 @@ ChallengeGenerator::generateWithRemap(DeviceRecord &record,
 
 GeneratedChallenge
 ChallengeGenerator::generate(DeviceRecord &record, core::VddMv level,
-                             std::size_t bits)
+                             std::size_t bits, util::Rng &rng)
 {
     const auto &levels = record.challengeLevels();
     if (std::find(levels.begin(), levels.end(), level) == levels.end())
@@ -66,12 +69,20 @@ ChallengeGenerator::generate(DeviceRecord &record, core::VddMv level,
             "ChallengeGenerator: not a challenge level");
     core::LogicalRemap remap(record.mapKey(),
                              record.physicalMap().geometry());
-    return generateWithRemap(record, level, bits, remap);
+    return generateWithRemap(record, level, bits, remap, rng);
+}
+
+GeneratedChallenge
+ChallengeGenerator::generate(DeviceRecord &record, core::VddMv level,
+                             std::size_t bits)
+{
+    return generate(record, level, bits, ownRng);
 }
 
 GeneratedChallenge
 ChallengeGenerator::generateMultiLevel(DeviceRecord &record,
-                                       std::size_t bits)
+                                       std::size_t bits,
+                                       util::Rng &rng)
 {
     const auto &levels = record.challengeLevels();
     if (levels.size() < 2)
@@ -126,9 +137,16 @@ ChallengeGenerator::generateMultiLevel(DeviceRecord &record,
 }
 
 GeneratedChallenge
+ChallengeGenerator::generateMultiLevel(DeviceRecord &record,
+                                       std::size_t bits)
+{
+    return generateMultiLevel(record, bits, ownRng);
+}
+
+GeneratedChallenge
 ChallengeGenerator::generateReserved(DeviceRecord &record,
                                      core::VddMv level,
-                                     std::size_t bits)
+                                     std::size_t bits, util::Rng &rng)
 {
     const auto &levels = record.reservedLevels();
     if (std::find(levels.begin(), levels.end(), level) == levels.end())
@@ -136,7 +154,15 @@ ChallengeGenerator::generateReserved(DeviceRecord &record,
             "ChallengeGenerator: not a reserved level");
     core::LogicalRemap identity(crypto::Key256::zero(),
                                 record.physicalMap().geometry());
-    return generateWithRemap(record, level, bits, identity);
+    return generateWithRemap(record, level, bits, identity, rng);
+}
+
+GeneratedChallenge
+ChallengeGenerator::generateReserved(DeviceRecord &record,
+                                     core::VddMv level,
+                                     std::size_t bits)
+{
+    return generateReserved(record, level, bits, ownRng);
 }
 
 } // namespace authenticache::server

@@ -26,6 +26,15 @@ struct GeneratedChallenge
     core::VddMv level = 0;
 };
 
+/**
+ * Draws challenges from stored error maps. The generator itself holds
+ * no per-device state: every overload taking an explicit util::Rng
+ * draws all randomness from it, so callers that keep one RNG stream
+ * per device (the sharded session layer) can generate challenges for
+ * distinct devices concurrently and deterministically. The overloads
+ * without an Rng use the generator's own member stream (the original
+ * single-threaded API, kept for tools and tests).
+ */
 class ChallengeGenerator
 {
   public:
@@ -42,6 +51,8 @@ class ChallengeGenerator
      */
     GeneratedChallenge generate(DeviceRecord &record, core::VddMv level,
                                 std::size_t bits);
+    GeneratedChallenge generate(DeviceRecord &record, core::VddMv level,
+                                std::size_t bits, util::Rng &rng);
 
     /**
      * Same, for a remap key-derivation challenge at a reserved level:
@@ -51,6 +62,10 @@ class ChallengeGenerator
     GeneratedChallenge generateReserved(DeviceRecord &record,
                                         core::VddMv level,
                                         std::size_t bits);
+    GeneratedChallenge generateReserved(DeviceRecord &record,
+                                        core::VddMv level,
+                                        std::size_t bits,
+                                        util::Rng &rng);
 
     /**
      * Multi-voltage challenge (paper Eq 7 with V != V', left as
@@ -65,14 +80,18 @@ class ChallengeGenerator
      */
     GeneratedChallenge generateMultiLevel(DeviceRecord &record,
                                           std::size_t bits);
+    GeneratedChallenge generateMultiLevel(DeviceRecord &record,
+                                          std::size_t bits,
+                                          util::Rng &rng);
 
   private:
-    GeneratedChallenge generateWithRemap(DeviceRecord &record,
-                                         core::VddMv level,
-                                         std::size_t bits,
-                                         const core::LogicalRemap &remap);
+    static GeneratedChallenge
+    generateWithRemap(DeviceRecord &record, core::VddMv level,
+                      std::size_t bits,
+                      const core::LogicalRemap &remap,
+                      util::Rng &rng);
 
-    util::Rng rng;
+    util::Rng ownRng; ///< Backs the legacy no-Rng overloads only.
 };
 
 } // namespace authenticache::server

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Server behaviour knobs and the per-authentication report record,
+ * shared by every layer of the server stack (SessionManager, the
+ * auth/remap flows, the batch front end, and the wiring facade).
+ */
+
+#ifndef AUTH_SERVER_CONFIG_HPP
+#define AUTH_SERVER_CONFIG_HPP
+
+#include <cstddef>
+#include <cstdint>
+
+#include "server/verifier.hpp"
+
+namespace authenticache::server {
+
+/** Server behaviour knobs. */
+struct ServerConfig
+{
+    /** Bits per authentication challenge. */
+    std::size_t challengeBits = 128;
+
+    /** Secret bits derived per remap exchange. */
+    std::size_t remapSecretBits = 32;
+
+    /** Fuzzy-extractor repetition factor for remap helper data. */
+    unsigned fuzzyRepetition = 5;
+
+    /**
+     * Draw each challenge endpoint at an independent random voltage
+     * level (the paper's Eq 7 with V != V'; its prototype restricted
+     * itself to single-Vdd challenges). Requires >= 2 enrolled
+     * challenge levels; costs extra regulator transitions client-side.
+     */
+    bool multiLevelChallenges = false;
+
+    /**
+     * Lock a device after this many consecutive rejections (brute
+     * force / cloning attempts burn the CRP space otherwise). 0
+     * disables the policy; locked devices need unlockDevice().
+     */
+    std::uint64_t lockoutThreshold = 0;
+
+    /**
+     * Cap on simultaneously outstanding challenges (and remap
+     * exchanges), summed across all session shards. A flood of
+     * AuthRequests from clients that never answer would otherwise
+     * grow server state without bound; when full, the globally oldest
+     * outstanding session is evicted (its nonce is dead, the consumed
+     * pairs stay retired). The cap is enforced at batch boundaries:
+     * after every handleMessage and after every handleBatch.
+     */
+    std::size_t maxPendingSessions = 1024;
+
+    /**
+     * Per-session deadline in simulated clock steps: an outstanding
+     * challenge (or remap exchange) not answered within this many
+     * steps of issue is garbage-collected -- its consumed pairs stay
+     * retired, its nonce is dead. 0 disables expiry; expiry also needs
+     * a clock bound with bindClock().
+     */
+    std::uint64_t sessionTimeoutSteps = 0;
+
+    /**
+     * Completed sessions kept *per shard* for idempotent
+     * retransmission handling: a duplicated or retransmitted
+     * ResponseMsg / RemapAck whose nonce already completed gets the
+     * original decision / commit resent verbatim instead of an
+     * "unknown nonce" error (and never double-counts toward the
+     * lockout policy).
+     */
+    std::size_t completedCacheSize = 256;
+
+    /**
+     * Independent session shards (rounded up to a power of two).
+     * Devices hash to shards by device id; each shard owns its own
+     * mutex, pending tables, replay cache, deadline wheel, and
+     * per-device RNG streams, so a batch of frames from distinct
+     * devices is serviced concurrently. 1 recovers a fully serial
+     * server.
+     */
+    unsigned sessionShards = 8;
+
+    VerifierPolicy verifier;
+};
+
+/** Record of one completed authentication (for reporting/tests). */
+struct AuthReport
+{
+    std::uint64_t deviceId = 0;
+    std::uint64_t nonce = 0;
+    bool accepted = false;
+    std::uint32_t hammingDistance = 0;
+    std::int64_t threshold = 0;
+};
+
+} // namespace authenticache::server
+
+#endif // AUTH_SERVER_CONFIG_HPP

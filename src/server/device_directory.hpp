@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Thin facade over the EnrollmentDatabase, giving the session layers
+ * one seam for device-record access. The directory does not add
+ * locking: a device record is only ever mutated by the session shard
+ * that owns the device (devices hash to shards by id), and the record
+ * table itself is structurally modified only during trusted
+ * enrollment, which is serialized by contract.
+ */
+
+#ifndef AUTH_SERVER_DEVICE_DIRECTORY_HPP
+#define AUTH_SERVER_DEVICE_DIRECTORY_HPP
+
+#include <cstdint>
+
+#include "server/database.hpp"
+
+namespace authenticache::server {
+
+class DeviceDirectory
+{
+  public:
+    DeviceDirectory() = default;
+
+    DeviceDirectory(const DeviceDirectory &) = delete;
+    DeviceDirectory &operator=(const DeviceDirectory &) = delete;
+
+    bool contains(std::uint64_t device_id) const
+    {
+        return db.contains(device_id);
+    }
+
+    DeviceRecord &at(std::uint64_t device_id)
+    {
+        return db.at(device_id);
+    }
+
+    const DeviceRecord &at(std::uint64_t device_id) const
+    {
+        return db.at(device_id);
+    }
+
+    /** Add a record; throws if the id is already enrolled. */
+    DeviceRecord &enroll(DeviceRecord record)
+    {
+        return db.enroll(std::move(record));
+    }
+
+    /** Remove a record (re-enrollment); @return false if absent. */
+    bool remove(std::uint64_t device_id) { return db.remove(device_id); }
+
+    std::size_t size() const { return db.size(); }
+
+    /** The wrapped database (persistence, reporting, tests). */
+    EnrollmentDatabase &database() { return db; }
+    const EnrollmentDatabase &database() const { return db; }
+
+  private:
+    EnrollmentDatabase db;
+};
+
+} // namespace authenticache::server
+
+#endif // AUTH_SERVER_DEVICE_DIRECTORY_HPP

@@ -1,0 +1,184 @@
+#include "server/front_end.hpp"
+
+#include <exception>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace authenticache::server {
+
+FlowOutput
+ServerFrontEnd::dispatch(const protocol::Message &msg)
+{
+    try {
+        if (auto *req = std::get_if<protocol::AuthRequest>(&msg)) {
+            SessionShard &sh = sessions.shardForDevice(req->deviceId);
+            std::lock_guard<std::mutex> lock(sh.mutex);
+            return auth.onRequest(sh, *req);
+        }
+        if (auto *resp = std::get_if<protocol::ResponseMsg>(&msg)) {
+            SessionShard &sh = sessions.shardForNonce(resp->nonce);
+            std::lock_guard<std::mutex> lock(sh.mutex);
+            return auth.onResponse(sh, *resp);
+        }
+        if (auto *ack = std::get_if<protocol::RemapAck>(&msg)) {
+            SessionShard &sh = sessions.shardForNonce(ack->nonce);
+            std::lock_guard<std::mutex> lock(sh.mutex);
+            return remap.onAck(sh, *ack);
+        }
+        FlowOutput out;
+        if (std::get_if<protocol::ErrorMsg>(&msg) == nullptr)
+            out.replies.push_back(
+                protocol::ErrorMsg{"unexpected message"});
+        return out;
+    } catch (const std::exception &e) {
+        // Programmer-error invariants aside, nothing a frame carries
+        // may crash the verifier: reject the frame and move on.
+        FlowOutput out;
+        out.replies.push_back(
+            protocol::ErrorMsg{std::string("server: ") + e.what()});
+        return out;
+    }
+}
+
+void
+ServerFrontEnd::mergeOutputs(std::span<Frame> frames,
+                             std::vector<FlowOutput> &outputs,
+                             std::uint64_t ordinal_base)
+{
+    for (std::size_t i = 0; i < outputs.size(); ++i) {
+        if (frames[i].reply != nullptr) {
+            for (const auto &reply : outputs[i].replies)
+                frames[i].reply->send(reply);
+        }
+        if (outputs[i].report)
+            log.push_back(*outputs[i].report);
+        if (outputs[i].openedNonce)
+            sessions.registerOpen(ordinal_base + i,
+                                  *outputs[i].openedNonce);
+    }
+    sessions.enforceCap();
+}
+
+void
+ServerFrontEnd::handleBatch(std::span<Frame> frames,
+                            util::ThreadPool &pool)
+{
+    sessions.expireAll();
+    const std::size_t n = frames.size();
+    const std::uint64_t base = sessions.reserveOrdinals(n);
+
+    std::vector<FlowOutput> outputs(n);
+    std::vector<std::optional<protocol::Message>> decoded(n);
+    pool.parallelFor(n, [&](std::size_t i) {
+        try {
+            decoded[i] = protocol::decodeMessage(frames[i].bytes);
+        } catch (const std::exception &e) {
+            outputs[i].replies.push_back(protocol::ErrorMsg{
+                std::string("decode: ") + e.what()});
+        }
+    });
+
+    // Group frames by owning shard, preserving frame order within
+    // each shard. Frames that need no session state (decode errors,
+    // unexpected types) are answered right here.
+    std::vector<std::vector<std::size_t>> perShard(
+        sessions.shardCount());
+    for (std::size_t i = 0; i < n; ++i) {
+        if (!decoded[i])
+            continue;
+        const protocol::Message &m = *decoded[i];
+        if (auto *req = std::get_if<protocol::AuthRequest>(&m)) {
+            perShard[sessions.shardIndexForDevice(req->deviceId)]
+                .push_back(i);
+        } else if (auto *resp =
+                       std::get_if<protocol::ResponseMsg>(&m)) {
+            perShard[sessions.shardIndexForNonce(resp->nonce)]
+                .push_back(i);
+        } else if (auto *ack = std::get_if<protocol::RemapAck>(&m)) {
+            perShard[sessions.shardIndexForNonce(ack->nonce)]
+                .push_back(i);
+        } else if (std::get_if<protocol::ErrorMsg>(&m) == nullptr) {
+            outputs[i].replies.push_back(
+                protocol::ErrorMsg{"unexpected message"});
+        }
+    }
+
+    std::vector<unsigned> active;
+    for (unsigned s = 0; s < sessions.shardCount(); ++s) {
+        if (!perShard[s].empty())
+            active.push_back(s);
+    }
+
+    // Each shard's frames run on exactly one pool index, in input
+    // order; all randomness is per-device, so the thread count only
+    // changes wall-clock time, never results.
+    pool.parallelFor(active.size(), [&](std::size_t k) {
+        for (std::size_t i : perShard[active[k]])
+            outputs[i] = dispatch(*decoded[i]);
+    });
+
+    mergeOutputs(frames, outputs, base);
+}
+
+void
+ServerFrontEnd::handleMessage(const protocol::Message &msg,
+                              protocol::ServerEndpoint &endpoint)
+{
+    // A one-frame batch: same GC / open-ordinal / cap timing the
+    // monolithic per-message server had.
+    sessions.expireAll();
+    const std::uint64_t base = sessions.reserveOrdinals(1);
+    std::vector<FlowOutput> outputs(1);
+    outputs[0] = dispatch(msg);
+    Frame frame;
+    frame.reply = &endpoint;
+    mergeOutputs(std::span<Frame>(&frame, 1), outputs, base);
+}
+
+bool
+ServerFrontEnd::pumpOnce(protocol::ServerEndpoint &endpoint)
+{
+    sessions.expireAll();
+    std::optional<protocol::Message> msg;
+    try {
+        msg = endpoint.receive();
+    } catch (const protocol::DecodeError &e) {
+        endpoint.send(protocol::ErrorMsg{std::string("decode: ") +
+                                         e.what()});
+        return true;
+    }
+    if (!msg)
+        return false;
+    handleMessage(*msg, endpoint);
+    return true;
+}
+
+void
+ServerFrontEnd::pumpAll(protocol::ServerEndpoint &endpoint)
+{
+    while (pumpOnce(endpoint)) {
+    }
+}
+
+void
+ServerFrontEnd::startRemap(std::uint64_t device_id,
+                           protocol::ServerEndpoint &endpoint)
+{
+    const std::uint64_t base = sessions.reserveOrdinals(1);
+    std::vector<FlowOutput> outputs(1);
+    try {
+        SessionShard &sh = sessions.shardForDevice(device_id);
+        std::lock_guard<std::mutex> lock(sh.mutex);
+        outputs[0] = remap.start(sh, device_id);
+    } catch (const std::exception &e) {
+        outputs[0].replies.push_back(
+            protocol::ErrorMsg{std::string("remap: ") + e.what()});
+    }
+    Frame frame;
+    frame.reply = &endpoint;
+    mergeOutputs(std::span<Frame>(&frame, 1), outputs, base);
+}
+
+} // namespace authenticache::server

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * The server's frame-level entry point. The ServerFrontEnd decodes
+ * incoming frames, routes them to the owning session shard (by device
+ * id for AuthRequests, by the shard tag in the nonce for responses
+ * and remap acks), runs the auth/remap flows, and merges the results
+ * back in deterministic frame order.
+ *
+ * handleBatch services frames from distinct devices in parallel on a
+ * util::ThreadPool with a fixed pipeline:
+ *
+ *   GC -> reserve open ordinals -> parallel decode -> group by shard
+ *      -> parallel per-shard flow (input order within a shard, under
+ *         the shard mutex)
+ *      -> sequential merge (replies/reports emitted in frame order,
+ *         opened sessions ranked by batch ordinal)
+ *      -> global cap enforcement
+ *
+ * Every source of randomness is a per-device Rng stream and every
+ * cross-frame effect happens in the sequential stages, so outcomes
+ * are bit-identical at any thread count. The single-frame pumpOnce
+ * path is a one-frame batch, preserving the old per-message GC and
+ * cap timing exactly.
+ *
+ * Frame dispatch is exception-hardened: a malformed or out-of-phase
+ * frame yields a protocol-level ErrorMsg reply, never an escaping
+ * exception -- one bad frame cannot take down the verifier.
+ */
+
+#ifndef AUTH_SERVER_FRONT_END_HPP
+#define AUTH_SERVER_FRONT_END_HPP
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "protocol/channel.hpp"
+#include "server/auth_flow.hpp"
+#include "server/remap_flow.hpp"
+#include "util/thread_pool.hpp"
+
+namespace authenticache::server {
+
+/** One received frame plus the endpoint its replies go to. */
+struct Frame
+{
+    std::vector<std::uint8_t> bytes;
+    protocol::ServerEndpoint *reply = nullptr;
+};
+
+class ServerFrontEnd
+{
+  public:
+    ServerFrontEnd(SessionManager &sessions_,
+                   DeviceDirectory &devices,
+                   ChallengeGenerator &generator,
+                   const Verifier &verifier)
+        : sessions(sessions_),
+          auth(sessions_, devices, generator, verifier),
+          remap(sessions_, devices, generator)
+    {
+    }
+
+    /**
+     * Service a batch of frames, parallelising across session shards
+     * on @p pool. Replies are sent to each frame's endpoint in frame
+     * order; outcomes are bit-identical at any pool width.
+     */
+    void handleBatch(std::span<Frame> frames, util::ThreadPool &pool);
+
+    /** One-frame-batch convenience for an already-decoded message. */
+    void handleMessage(const protocol::Message &msg,
+                       protocol::ServerEndpoint &endpoint);
+
+    /** Handle one queued message, if any. @return message handled. */
+    bool pumpOnce(protocol::ServerEndpoint &endpoint);
+
+    /** Drain the endpoint until idle. */
+    void pumpAll(protocol::ServerEndpoint &endpoint);
+
+    /** Initiate the adaptive remap exchange for a device. */
+    void startRemap(std::uint64_t device_id,
+                    protocol::ServerEndpoint &endpoint);
+
+    /** Completed-authentication reports, in completion order. */
+    const std::vector<AuthReport> &reports() const { return log; }
+
+  private:
+    /**
+     * Route a decoded message to its shard and flow. Takes the shard
+     * mutex; never throws (failures become ErrorMsg replies).
+     */
+    FlowOutput dispatch(const protocol::Message &msg);
+
+    /** Sequential tail of every batch: emit + rank + enforce cap. */
+    void mergeOutputs(std::span<Frame> frames,
+                      std::vector<FlowOutput> &outputs,
+                      std::uint64_t ordinal_base);
+
+    SessionManager &sessions;
+    AuthFlow auth;
+    RemapFlow remap;
+    std::vector<AuthReport> log;
+};
+
+} // namespace authenticache::server
+
+#endif // AUTH_SERVER_FRONT_END_HPP

@@ -1,6 +1,5 @@
 #include "server/server.hpp"
 
-#include <algorithm>
 #include <cmath>
 
 #include "util/logging.hpp"
@@ -12,7 +11,9 @@ AuthenticationServer::AuthenticationServer(const ServerConfig &config,
     : cfg(config),
       rng(seed),
       generator(rng.fork()),
-      verify(config.verifier)
+      verify(config.verifier),
+      sessionsMgr(cfg, seed),
+      front(sessionsMgr, devices, generator, verify)
 {
 }
 
@@ -37,7 +38,7 @@ AuthenticationServer::enrollWithMap(
     AUTH_LOG_INFO("server")
         << "enrolled device " << device_id << " with "
         << record.physicalMap().totalErrors() << " errors";
-    return db.enroll(std::move(record));
+    return devices.enroll(std::move(record));
 }
 
 DeviceRecord &
@@ -57,554 +58,6 @@ AuthenticationServer::enroll(
         client.captureErrorMap(all_levels, sweep_passes);
     return enrollWithMap(device_id, std::move(map), client,
                          challenge_levels, reserved_levels);
-}
-
-std::uint64_t
-AuthenticationServer::sessionDeadline() const
-{
-    if (!simClock || cfg.sessionTimeoutSteps == 0)
-        return 0;
-    return simClock->now() + cfg.sessionTimeoutSteps;
-}
-
-void
-AuthenticationServer::forgetActiveAuth(std::uint64_t device_id,
-                                       std::uint64_t nonce)
-{
-    auto it = activeAuthByDevice.find(device_id);
-    if (it != activeAuthByDevice.end() && it->second == nonce)
-        activeAuthByDevice.erase(it);
-}
-
-void
-AuthenticationServer::cacheCompleted(std::uint64_t nonce,
-                                     protocol::Message reply)
-{
-    if (cfg.completedCacheSize == 0)
-        return;
-    if (completed.emplace(nonce, std::move(reply)).second)
-        completedOrder.push_back(nonce);
-    while (completed.size() > cfg.completedCacheSize) {
-        completed.erase(completedOrder.front());
-        completedOrder.pop_front();
-    }
-}
-
-void
-AuthenticationServer::expireSessions()
-{
-    if (!simClock || cfg.sessionTimeoutSteps == 0)
-        return;
-    const std::uint64_t step = simClock->now();
-    for (auto it = pendingAuths.begin(); it != pendingAuths.end();) {
-        if (it->second.deadline != 0 && it->second.deadline <= step) {
-            // Consumed pairs stay retired; the nonce is simply dead.
-            forgetActiveAuth(it->second.deviceId, it->first);
-            it = pendingAuths.erase(it);
-            ++nExpired;
-        } else {
-            ++it;
-        }
-    }
-    for (auto it = pendingRemaps.begin();
-         it != pendingRemaps.end();) {
-        if (it->second.deadline != 0 && it->second.deadline <= step) {
-            it = pendingRemaps.erase(it);
-            ++nExpired;
-        } else {
-            ++it;
-        }
-    }
-}
-
-void
-AuthenticationServer::handleAuthRequest(
-    const protocol::AuthRequest &msg,
-    protocol::ServerEndpoint &endpoint)
-{
-    if (!db.contains(msg.deviceId)) {
-        endpoint.send(protocol::ErrorMsg{"unknown device"});
-        return;
-    }
-    DeviceRecord &record = db.at(msg.deviceId);
-    if (record.locked()) {
-        endpoint.send(protocol::ErrorMsg{"device locked"});
-        return;
-    }
-
-    // Idempotent retransmission handling: while this device already
-    // has an outstanding challenge, a duplicated or retransmitted
-    // AuthRequest re-issues the *same* challenge instead of burning
-    // fresh CRPs on every lost reply.
-    auto active = activeAuthByDevice.find(msg.deviceId);
-    if (active != activeAuthByDevice.end()) {
-        auto pending = pendingAuths.find(active->second);
-        if (pending != pendingAuths.end()) {
-            ++nDupRequests;
-            pending->second.deadline = sessionDeadline();
-            protocol::ChallengeMsg again;
-            again.nonce = active->second;
-            again.challenge = pending->second.challenge;
-            endpoint.send(again);
-            return;
-        }
-        // Stale index entry (evicted/expired session).
-        activeAuthByDevice.erase(active);
-    }
-
-    const auto &levels = record.challengeLevels();
-    if (levels.empty()) {
-        endpoint.send(protocol::ErrorMsg{"no challenge levels"});
-        return;
-    }
-    core::VddMv level = levels[rng.nextBelow(levels.size())];
-
-    GeneratedChallenge gen;
-    try {
-        if (cfg.multiLevelChallenges && levels.size() >= 2)
-            gen = generator.generateMultiLevel(record,
-                                               cfg.challengeBits);
-        else
-            gen = generator.generate(record, level,
-                                     cfg.challengeBits);
-    } catch (const std::runtime_error &e) {
-        endpoint.send(protocol::ErrorMsg{e.what()});
-        return;
-    }
-
-    std::uint64_t nonce = rng.next();
-    pendingAuths[nonce] =
-        PendingAuth{msg.deviceId, std::move(gen.expected),
-                    gen.challenge, sessionDeadline()};
-    pendingOrder.push_back(nonce);
-    activeAuthByDevice[msg.deviceId] = nonce;
-    enforcePendingCap();
-
-    protocol::ChallengeMsg out;
-    out.nonce = nonce;
-    out.challenge = std::move(gen.challenge);
-    endpoint.send(out);
-}
-
-void
-AuthenticationServer::handleResponse(const protocol::ResponseMsg &msg,
-                                     protocol::ServerEndpoint &endpoint)
-{
-    auto it = pendingAuths.find(msg.nonce);
-    if (it == pendingAuths.end()) {
-        // A retransmitted response for an already-completed session
-        // gets the original decision again -- and never re-counts
-        // toward the lockout policy. Anything else is a replay or a
-        // stray; it never grants access.
-        auto done = completed.find(msg.nonce);
-        if (done != completed.end()) {
-            ++nDupCompletions;
-            endpoint.send(done->second);
-            return;
-        }
-        endpoint.send(protocol::ErrorMsg{"unknown nonce"});
-        return;
-    }
-    PendingAuth pending = std::move(it->second);
-    pendingAuths.erase(it);
-    forgetActiveAuth(pending.deviceId, msg.nonce);
-
-    Verdict verdict = verify.verify(pending.expected, msg.response);
-
-    DeviceRecord &record = db.at(pending.deviceId);
-    if (verdict.accepted) {
-        record.recordAccept();
-    } else {
-        record.recordReject();
-        if (cfg.lockoutThreshold > 0 &&
-            record.consecutiveFailures() >= cfg.lockoutThreshold) {
-            record.lock();
-            AUTH_LOG_WARN("server")
-                << "device " << pending.deviceId << " locked after "
-                << record.consecutiveFailures()
-                << " consecutive failures";
-        }
-    }
-
-    log.push_back(AuthReport{pending.deviceId, msg.nonce,
-                             verdict.accepted, verdict.hammingDistance,
-                             verdict.threshold});
-
-    protocol::AuthDecision decision;
-    decision.nonce = msg.nonce;
-    decision.accepted = verdict.accepted;
-    decision.hammingDistance = verdict.hammingDistance;
-    cacheCompleted(msg.nonce, decision);
-    endpoint.send(decision);
-}
-
-void
-AuthenticationServer::handleRemapAck(const protocol::RemapAck &msg,
-                                     protocol::ServerEndpoint &endpoint)
-{
-    auto it = pendingRemaps.find(msg.nonce);
-    if (it == pendingRemaps.end()) {
-        // Retransmitted ack for a completed exchange: resend the
-        // commit verbatim so a lost commit frame cannot desync keys.
-        auto done = completed.find(msg.nonce);
-        if (done != completed.end()) {
-            ++nDupCompletions;
-            endpoint.send(done->second);
-        }
-        return;
-    }
-
-    // Two-phase commit: only switch keys when the client proves it
-    // derived the same one (a mis-derived key would desynchronize
-    // both sides until the next rotation).
-    auto expected = crypto::keyConfirmation(it->second.newKey,
-                                            msg.nonce);
-    bool confirmed =
-        msg.success &&
-        std::equal(expected.begin(), expected.end(),
-                   msg.confirmation.begin(), msg.confirmation.end());
-
-    if (confirmed) {
-        db.at(it->second.deviceId).setMapKey(it->second.newKey);
-        ++nRemaps;
-        AUTH_LOG_INFO("server")
-            << "device " << it->second.deviceId << " key rotated";
-    } else {
-        ++nRemapsRejected;
-        AUTH_LOG_WARN("server")
-            << "device " << it->second.deviceId
-            << " remap rejected (key confirmation failed)";
-    }
-    protocol::RemapCommit commit{msg.nonce, confirmed};
-    cacheCompleted(msg.nonce, commit);
-    endpoint.send(commit);
-    pendingRemaps.erase(it);
-}
-
-void
-AuthenticationServer::enforcePendingCap()
-{
-    while (pendingSessions() > cfg.maxPendingSessions &&
-           !pendingOrder.empty()) {
-        std::uint64_t victim = pendingOrder.front();
-        pendingOrder.pop_front();
-        // The nonce may already have completed; eviction only counts
-        // when something was actually dropped.
-        auto auth = pendingAuths.find(victim);
-        if (auth != pendingAuths.end()) {
-            forgetActiveAuth(auth->second.deviceId, victim);
-            pendingAuths.erase(auth);
-            ++nEvicted;
-            AUTH_LOG_WARN("server")
-                << "pending-session cap: evicted nonce " << victim;
-        } else if (pendingRemaps.erase(victim) > 0) {
-            ++nEvicted;
-            AUTH_LOG_WARN("server")
-                << "pending-session cap: evicted nonce " << victim;
-        }
-    }
-
-    // Completed sessions leave stale nonces in the order queue
-    // (lazy deletion); compact before it grows past a small multiple
-    // of the live set.
-    if (pendingOrder.size() > 4 * (cfg.maxPendingSessions + 1)) {
-        std::deque<std::uint64_t> live;
-        for (auto nonce : pendingOrder) {
-            if (pendingAuths.count(nonce) ||
-                pendingRemaps.count(nonce))
-                live.push_back(nonce);
-        }
-        pendingOrder = std::move(live);
-    }
-}
-
-bool
-AuthenticationServer::pumpOnce(protocol::ServerEndpoint &endpoint)
-{
-    expireSessions();
-    std::optional<protocol::Message> msg;
-    try {
-        msg = endpoint.receive();
-    } catch (const protocol::DecodeError &e) {
-        endpoint.send(protocol::ErrorMsg{std::string("decode: ") +
-                                         e.what()});
-        return true;
-    }
-    if (!msg)
-        return false;
-
-    if (auto *req = std::get_if<protocol::AuthRequest>(&*msg))
-        handleAuthRequest(*req, endpoint);
-    else if (auto *resp = std::get_if<protocol::ResponseMsg>(&*msg))
-        handleResponse(*resp, endpoint);
-    else if (auto *ack = std::get_if<protocol::RemapAck>(&*msg))
-        handleRemapAck(*ack, endpoint);
-    else if (std::get_if<protocol::ErrorMsg>(&*msg) == nullptr)
-        endpoint.send(protocol::ErrorMsg{"unexpected message"});
-    return true;
-}
-
-void
-AuthenticationServer::pumpAll(protocol::ServerEndpoint &endpoint)
-{
-    while (pumpOnce(endpoint)) {
-    }
-}
-
-void
-AuthenticationServer::startRemap(std::uint64_t device_id,
-                                 protocol::ServerEndpoint &endpoint)
-{
-    DeviceRecord &record = db.at(device_id);
-    if (record.reservedLevels().empty())
-        throw std::logic_error("startRemap: no reserved levels");
-    core::VddMv level = record.reservedLevels()[rng.nextBelow(
-        record.reservedLevels().size())];
-
-    const std::size_t bits =
-        cfg.remapSecretBits * cfg.fuzzyRepetition;
-    GeneratedChallenge gen =
-        generator.generateReserved(record, level, bits);
-
-    crypto::FuzzyExtractor extractor(cfg.fuzzyRepetition);
-    auto extraction = extractor.generate(gen.expected, rng);
-
-    std::uint64_t nonce = rng.next();
-    pendingRemaps[nonce] =
-        PendingRemap{device_id, extraction.key, sessionDeadline()};
-    pendingOrder.push_back(nonce);
-    enforcePendingCap();
-
-    protocol::RemapRequest msg;
-    msg.nonce = nonce;
-    msg.challenge = std::move(gen.challenge);
-    msg.helper = std::move(extraction.helper);
-    msg.repetition = cfg.fuzzyRepetition;
-    endpoint.send(msg);
-}
-
-std::uint64_t
-RetryPolicy::deadlineFor(std::uint64_t now,
-                         std::uint32_t attempt) const
-{
-    std::uint64_t backoff = 0;
-    if (attempt > 0) {
-        // Bounded exponential: base * 2^(attempt-1), capped.
-        std::uint64_t shifted = attempt - 1 >= 63
-                                    ? backoffCapSteps
-                                    : backoffBaseSteps
-                                          << (attempt - 1);
-        backoff = std::min(backoffCapSteps, shifted);
-    }
-    std::uint64_t jitter =
-        jitterSteps == 0
-            ? 0
-            : util::Rng::forStream(jitterSeed, attempt)
-                  .nextBelow(jitterSteps + 1);
-    return now + timeoutSteps + backoff + jitter;
-}
-
-DeviceAgent::DeviceAgent(std::uint64_t device_id,
-                         firmware::AuthenticacheClient &client_,
-                         protocol::ClientEndpoint endpoint_)
-    : deviceId(device_id), client(client_), endpoint(endpoint_)
-{
-}
-
-void
-DeviceAgent::armAuthSend(protocol::Message frame)
-{
-    endpoint.send(frame);
-    authSend.frame = std::move(frame);
-    authSend.attempt = 0;
-    if (simClock)
-        authSend.deadline =
-            policy.deadlineFor(simClock->now(), 0);
-}
-
-void
-DeviceAgent::failAuthSession()
-{
-    authPhase = AuthPhase::Idle;
-    authStatus = firmware::AuthOutcome::Status::TimedOut;
-    errorLog.push_back("authentication timed out: retries exhausted");
-}
-
-void
-DeviceAgent::requestAuthentication()
-{
-    decision.reset();
-    authStatus.reset();
-    authPhase = AuthPhase::AwaitChallenge;
-    armAuthSend(protocol::AuthRequest{deviceId});
-}
-
-void
-DeviceAgent::answerChallenge(const protocol::ChallengeMsg &ch)
-{
-    // A re-issued or duplicated challenge is answered from the cache:
-    // the nonce was already evaluated, and re-running the firmware
-    // would waste line tests (and could flip noisy bits).
-    auto seen = answeredAuths.find(ch.nonce);
-    if (seen != answeredAuths.end()) {
-        endpoint.send(seen->second);
-        if (authPhase == AuthPhase::AwaitChallenge ||
-            authPhase == AuthPhase::AwaitDecision) {
-            authPhase = AuthPhase::AwaitDecision;
-            authSend.frame = seen->second;
-            authSend.attempt = 0;
-            if (simClock)
-                authSend.deadline =
-                    policy.deadlineFor(simClock->now(), 0);
-        }
-        return;
-    }
-
-    auto outcome = client.authenticate(ch.challenge);
-    if (!outcome.ok()) {
-        errorLog.push_back("authentication aborted: " +
-                           outcome.abortReason);
-        endpoint.send(protocol::ErrorMsg{outcome.abortReason});
-        authPhase = AuthPhase::Idle;
-        authStatus = outcome.status;
-        return;
-    }
-    protocol::ResponseMsg resp;
-    resp.nonce = ch.nonce;
-    resp.response = std::move(outcome.response);
-    if (answeredAuths.emplace(ch.nonce, resp).second)
-        answeredOrder.push_back(ch.nonce);
-    while (answeredAuths.size() > 32) {
-        answeredAuths.erase(answeredOrder.front());
-        answeredOrder.pop_front();
-    }
-    authPhase = AuthPhase::AwaitDecision;
-    armAuthSend(std::move(resp));
-}
-
-bool
-DeviceAgent::pumpOnce()
-{
-    std::optional<protocol::Message> msg;
-    try {
-        msg = endpoint.receive();
-    } catch (const protocol::DecodeError &e) {
-        errorLog.push_back(std::string("decode: ") + e.what());
-        return true;
-    }
-    if (!msg)
-        return false;
-
-    if (auto *ch = std::get_if<protocol::ChallengeMsg>(&*msg)) {
-        answerChallenge(*ch);
-    } else if (auto *remap =
-                   std::get_if<protocol::RemapRequest>(&*msg)) {
-        // Duplicated request for an exchange already in phase 1:
-        // resend the cached ack rather than re-deriving.
-        auto seen = awaitCommit.find(remap->nonce);
-        if (seen != awaitCommit.end()) {
-            endpoint.send(seen->second.frame);
-            return true;
-        }
-        // Phase 1: derive the candidate key and prove it with the
-        // confirmation MAC; install nothing yet.
-        std::optional<crypto::Key256> candidate;
-        try {
-            crypto::FuzzyExtractor extractor(remap->repetition);
-            candidate = client.deriveRemapKey(
-                remap->challenge, remap->helper, extractor);
-        } catch (const std::exception &e) {
-            errorLog.push_back(std::string("remap: ") + e.what());
-        }
-        protocol::RemapAck ack;
-        ack.nonce = remap->nonce;
-        ack.success = candidate.has_value();
-        if (candidate) {
-            pendingRemapKeys[remap->nonce] = *candidate;
-            ack.confirmation =
-                crypto::keyConfirmation(*candidate, remap->nonce);
-        }
-        endpoint.send(ack);
-        OutstandingSend waiting;
-        waiting.frame = ack;
-        if (simClock)
-            waiting.deadline = policy.deadlineFor(simClock->now(), 0);
-        awaitCommit[remap->nonce] = std::move(waiting);
-    } else if (auto *commit =
-                   std::get_if<protocol::RemapCommit>(&*msg)) {
-        // Phase 2: the server verified the confirmation.
-        awaitCommit.erase(commit->nonce);
-        auto it = pendingRemapKeys.find(commit->nonce);
-        if (it != pendingRemapKeys.end()) {
-            if (commit->committed) {
-                client.setMapKey(it->second);
-                ++nRemaps;
-            }
-            pendingRemapKeys.erase(it);
-        }
-    } else if (auto *dec = std::get_if<protocol::AuthDecision>(&*msg)) {
-        decision = *dec;
-        authPhase = AuthPhase::Idle;
-        authStatus = firmware::AuthOutcome::Status::Ok;
-    } else if (auto *err = std::get_if<protocol::ErrorMsg>(&*msg)) {
-        // Transport-level errors (decode failures, dead nonces) are
-        // logged but do not end the session: the retry state machine
-        // either recovers it or times it out cleanly.
-        errorLog.push_back(err->reason);
-    }
-    return true;
-}
-
-void
-DeviceAgent::pumpAll()
-{
-    while (pumpOnce()) {
-    }
-}
-
-bool
-DeviceAgent::tick()
-{
-    if (!simClock)
-        return false;
-    const std::uint64_t step = simClock->now();
-    bool acted = false;
-
-    if (authPhase != AuthPhase::Idle && authSend.deadline <= step) {
-        if (authSend.attempt + 1 >= policy.maxAttempts) {
-            failAuthSession();
-        } else {
-            ++authSend.attempt;
-            ++nRetransmits;
-            endpoint.send(authSend.frame);
-            authSend.deadline =
-                policy.deadlineFor(step, authSend.attempt);
-        }
-        acted = true;
-    }
-
-    for (auto it = awaitCommit.begin(); it != awaitCommit.end();) {
-        if (it->second.deadline > step) {
-            ++it;
-            continue;
-        }
-        if (it->second.attempt + 1 >= policy.maxAttempts) {
-            pendingRemapKeys.erase(it->first);
-            ++nRemapsTimedOut;
-            errorLog.push_back(
-                "remap timed out: retries exhausted");
-            it = awaitCommit.erase(it);
-        } else {
-            ++it->second.attempt;
-            ++nRetransmits;
-            endpoint.send(it->second.frame);
-            it->second.deadline =
-                policy.deadlineFor(step, it->second.attempt);
-            ++it;
-        }
-        acted = true;
-    }
-    return acted;
 }
 
 void
@@ -681,6 +134,10 @@ collectServerStats(const AuthenticationServer &server,
                  server.duplicateRequests());
     registry.set(component, "duplicate_completions",
                  server.duplicateCompletions());
+    registry.set(component, "lockouts", server.lockouts());
+    registry.set(component, "session_shards",
+                 std::uint64_t(server.sessions().shardCount()));
+    server.sessions().collectStats(registry, component);
 }
 
 std::vector<core::VddMv>

@@ -1,101 +1,50 @@
 /**
  * @file
- * The Authenticache authentication server and the device-side protocol
- * agent (paper Sec 2.1, 4.2-4.5, Figures 6-7).
+ * The Authenticache authentication server facade (paper Sec 2.1,
+ * 4.2-4.5, Figures 6-7).
  *
- * Enrollment is a trusted, direct interaction: the server drives the
- * device firmware to capture its error maps, stores them, and installs
- * the initial logical-map key. Field authentication then runs over the
- * message protocol: AuthRequest -> Challenge -> Response -> Decision,
- * plus the server-initiated adaptive remap exchange.
+ * The server is wired from composable layers, each in its own header:
+ *
+ *  - SessionManager  (session_manager.hpp): N independent session
+ *    shards -- pending tables, replay cache, deadline wheel, GC,
+ *    per-device RNG streams -- plus the global pending-session cap.
+ *  - AuthFlow / RemapFlow (auth_flow.hpp / remap_flow.hpp): the
+ *    per-message protocol state machines.
+ *  - DeviceDirectory (device_directory.hpp): device-record access.
+ *  - ServerFrontEnd  (front_end.hpp): frame decode, shard routing,
+ *    and the parallel batch pipeline (handleBatch); the single-frame
+ *    pumpOnce path is a one-frame batch.
+ *
+ * This header keeps the stable public surface: trusted enrollment
+ * (capture error maps, install the initial logical-map key),
+ * single-message pumping, batch servicing, remap initiation, and the
+ * aggregate counters, all delegating to the layers above. The
+ * device-side agent lives in device_agent.hpp.
  */
 
 #ifndef AUTH_SERVER_SERVER_HPP
 #define AUTH_SERVER_SERVER_HPP
 
 #include <cstdint>
-#include <deque>
 #include <optional>
-#include <unordered_map>
+#include <span>
 #include <vector>
 
-#include "crypto/fuzzy_extractor.hpp"
 #include "firmware/client.hpp"
 #include "protocol/channel.hpp"
 #include "server/challenge_gen.hpp"
+#include "server/config.hpp"
 #include "server/database.hpp"
+#include "server/device_agent.hpp"
+#include "server/device_directory.hpp"
+#include "server/front_end.hpp"
+#include "server/session_manager.hpp"
 #include "server/verifier.hpp"
 #include "util/sim_clock.hpp"
 #include "util/stats_registry.hpp"
+#include "util/thread_pool.hpp"
 
 namespace authenticache::server {
-
-/** Server behaviour knobs. */
-struct ServerConfig
-{
-    /** Bits per authentication challenge. */
-    std::size_t challengeBits = 128;
-
-    /** Secret bits derived per remap exchange. */
-    std::size_t remapSecretBits = 32;
-
-    /** Fuzzy-extractor repetition factor for remap helper data. */
-    unsigned fuzzyRepetition = 5;
-
-    /**
-     * Draw each challenge endpoint at an independent random voltage
-     * level (the paper's Eq 7 with V != V'; its prototype restricted
-     * itself to single-Vdd challenges). Requires >= 2 enrolled
-     * challenge levels; costs extra regulator transitions client-side.
-     */
-    bool multiLevelChallenges = false;
-
-    /**
-     * Lock a device after this many consecutive rejections (brute
-     * force / cloning attempts burn the CRP space otherwise). 0
-     * disables the policy; locked devices need unlockDevice().
-     */
-    std::uint64_t lockoutThreshold = 0;
-
-    /**
-     * Cap on simultaneously outstanding challenges (and remap
-     * exchanges). A flood of AuthRequests from clients that never
-     * answer would otherwise grow server state without bound; when
-     * full, the oldest outstanding session is evicted (its nonce is
-     * dead, the consumed pairs stay retired).
-     */
-    std::size_t maxPendingSessions = 1024;
-
-    /**
-     * Per-session deadline in simulated clock steps: an outstanding
-     * challenge (or remap exchange) not answered within this many
-     * steps of issue is garbage-collected -- its consumed pairs stay
-     * retired, its nonce is dead. 0 disables expiry; expiry also needs
-     * a clock bound with bindClock().
-     */
-    std::uint64_t sessionTimeoutSteps = 0;
-
-    /**
-     * Completed sessions kept for idempotent retransmission handling:
-     * a duplicated or retransmitted ResponseMsg / RemapAck whose nonce
-     * already completed gets the original decision / commit resent
-     * verbatim instead of an "unknown nonce" error (and never
-     * double-counts toward the lockout policy).
-     */
-    std::size_t completedCacheSize = 256;
-
-    VerifierPolicy verifier;
-};
-
-/** Record of one completed authentication (for reporting/tests). */
-struct AuthReport
-{
-    std::uint64_t deviceId = 0;
-    std::uint64_t nonce = 0;
-    bool accepted = false;
-    std::uint32_t hammingDistance = 0;
-    std::int64_t threshold = 0;
-};
 
 class AuthenticationServer
 {
@@ -139,281 +88,147 @@ class AuthenticationServer
              const std::vector<core::VddMv> &reserved_levels,
              std::uint32_t sweep_passes = 8)
     {
-        db.remove(device_id);
+        devices.remove(device_id);
         return enroll(device_id, client, challenge_levels,
                       reserved_levels, sweep_passes);
     }
 
     /** Handle one queued message, if any. @return message handled. */
-    bool pumpOnce(protocol::ServerEndpoint &endpoint);
+    bool pumpOnce(protocol::ServerEndpoint &endpoint)
+    {
+        return front.pumpOnce(endpoint);
+    }
 
     /** Drain the endpoint until idle. */
-    void pumpAll(protocol::ServerEndpoint &endpoint);
+    void pumpAll(protocol::ServerEndpoint &endpoint)
+    {
+        front.pumpAll(endpoint);
+    }
+
+    /**
+     * Service a batch of frames, parallelising across session shards
+     * on @p pool (ThreadPool::global() by default). Outcomes are
+     * bit-identical at any pool width; replies are emitted to each
+     * frame's endpoint in frame order.
+     */
+    void
+    handleBatch(std::span<Frame> frames, util::ThreadPool &pool)
+    {
+        front.handleBatch(frames, pool);
+    }
+
+    void
+    handleBatch(std::span<Frame> frames)
+    {
+        front.handleBatch(frames, util::ThreadPool::global());
+    }
 
     /**
      * Bind the simulated clock driving session deadlines (not owned).
      * Without a clock (or with sessionTimeoutSteps == 0) sessions
      * never expire, preserving the pre-reliability behavior.
      */
-    void bindClock(const util::SimClock *clk) { simClock = clk; }
+    void bindClock(const util::SimClock *clk)
+    {
+        sessionsMgr.bindClock(clk);
+    }
 
     /** Garbage-collect expired sessions against the bound clock. */
-    void tick() { expireSessions(); }
+    void tick() { sessionsMgr.expireAll(); }
 
     /** Initiate the adaptive remap exchange for a device. */
     void startRemap(std::uint64_t device_id,
-                    protocol::ServerEndpoint &endpoint);
+                    protocol::ServerEndpoint &endpoint)
+    {
+        front.startRemap(device_id, endpoint);
+    }
 
-    EnrollmentDatabase &database() { return db; }
-    const EnrollmentDatabase &database() const { return db; }
+    EnrollmentDatabase &database() { return devices.database(); }
+    const EnrollmentDatabase &database() const
+    {
+        return devices.database();
+    }
+    DeviceDirectory &directory() { return devices; }
     const Verifier &verifier() const { return verify; }
-    const std::vector<AuthReport> &reports() const { return log; }
+    const std::vector<AuthReport> &reports() const
+    {
+        return front.reports();
+    }
     const ServerConfig &config() const { return cfg; }
 
+    /** The session layer (per-shard state and counters). */
+    SessionManager &sessions() { return sessionsMgr; }
+    const SessionManager &sessions() const { return sessionsMgr; }
+
+    /** The frame-level front end (batch API without the facade). */
+    ServerFrontEnd &frontEnd() { return front; }
+
     /** Remap exchanges committed after key confirmation. */
-    std::uint64_t remapsCommitted() const { return nRemaps; }
+    std::uint64_t remapsCommitted() const
+    {
+        return sessionsMgr.remapsCommitted();
+    }
 
     /** Remap exchanges rejected at the confirmation step. */
-    std::uint64_t remapsRejected() const { return nRemapsRejected; }
+    std::uint64_t remapsRejected() const
+    {
+        return sessionsMgr.remapsRejected();
+    }
 
     /** Outstanding sessions (challenges awaiting a response). */
     std::size_t pendingSessions() const
     {
-        return pendingAuths.size() + pendingRemaps.size();
+        return sessionsMgr.totalPending();
     }
 
     /** Sessions evicted by the pending-session cap. */
-    std::uint64_t sessionsEvicted() const { return nEvicted; }
+    std::uint64_t sessionsEvicted() const
+    {
+        return sessionsMgr.sessionsEvicted();
+    }
 
     /** Sessions garbage-collected by the per-session deadline. */
-    std::uint64_t sessionsExpired() const { return nExpired; }
+    std::uint64_t sessionsExpired() const
+    {
+        return sessionsMgr.sessionsExpired();
+    }
 
     /** Retransmitted AuthRequests answered with the same challenge. */
-    std::uint64_t duplicateRequests() const { return nDupRequests; }
+    std::uint64_t duplicateRequests() const
+    {
+        return sessionsMgr.duplicateRequests();
+    }
 
     /** Retransmitted responses/acks served from the completed cache. */
     std::uint64_t duplicateCompletions() const
     {
-        return nDupCompletions;
+        return sessionsMgr.duplicateCompletions();
     }
+
+    /** Devices locked by the lockout policy since construction. */
+    std::uint64_t lockouts() const { return sessionsMgr.lockouts(); }
 
     /** Administrator action: clear a device's lockout. */
     void unlockDevice(std::uint64_t device_id)
     {
-        db.at(device_id).unlock();
+        devices.at(device_id).unlock();
     }
 
   private:
-    void handleAuthRequest(const protocol::AuthRequest &msg,
-                           protocol::ServerEndpoint &endpoint);
-    void handleResponse(const protocol::ResponseMsg &msg,
-                        protocol::ServerEndpoint &endpoint);
-    void handleRemapAck(const protocol::RemapAck &msg,
-                        protocol::ServerEndpoint &endpoint);
-
-    struct PendingAuth
-    {
-        std::uint64_t deviceId;
-        core::Response expected;
-        core::Challenge challenge; ///< Kept for idempotent re-issue.
-        std::uint64_t deadline = 0; ///< Absolute step; 0 = no expiry.
-    };
-    struct PendingRemap
-    {
-        std::uint64_t deviceId;
-        crypto::Key256 newKey;
-        std::uint64_t deadline = 0;
-    };
-
-    /** Evict oldest pending sessions down to the configured cap. */
-    void enforcePendingCap();
-
-    /** Drop every pending session whose deadline has passed. */
-    void expireSessions();
-
-    /** Remove a finished/evicted auth nonce from the device index. */
-    void forgetActiveAuth(std::uint64_t device_id,
-                          std::uint64_t nonce);
-
-    /** Deadline for a session opened now (0 when expiry is off). */
-    std::uint64_t sessionDeadline() const;
-
-    /** Remember a completed decision/commit for retransmit replies. */
-    void cacheCompleted(std::uint64_t nonce, protocol::Message reply);
-
     ServerConfig cfg;
-    util::Rng rng;
-    EnrollmentDatabase db;
+    util::Rng rng; ///< Master stream: enrollment keys only.
+    DeviceDirectory devices;
     ChallengeGenerator generator;
     Verifier verify;
-    const util::SimClock *simClock = nullptr;
-    std::unordered_map<std::uint64_t, PendingAuth> pendingAuths;
-    std::unordered_map<std::uint64_t, PendingRemap> pendingRemaps;
-    std::deque<std::uint64_t> pendingOrder; // Nonces, oldest first.
-    /** Device -> nonce of its outstanding auth challenge. */
-    std::unordered_map<std::uint64_t, std::uint64_t> activeAuthByDevice;
-    /** Completed nonce -> the decision/commit originally sent. */
-    std::unordered_map<std::uint64_t, protocol::Message> completed;
-    std::deque<std::uint64_t> completedOrder;
-    std::uint64_t nEvicted = 0;
-    std::uint64_t nExpired = 0;
-    std::uint64_t nDupRequests = 0;
-    std::uint64_t nDupCompletions = 0;
-    std::vector<AuthReport> log;
-    std::uint64_t nRemaps = 0;
-    std::uint64_t nRemapsRejected = 0;
+    SessionManager sessionsMgr;
+    ServerFrontEnd front;
 };
 
 /**
- * Client-side retry knobs; all time in simulated clock steps.
- * Attempt k (k = 0 for the original send) is declared lost after
- *
- *     timeoutSteps + min(capSteps, baseSteps << (k-1)) + jitter(k)
- *
- * steps (no backoff on the first attempt), where jitter(k) is drawn
- * deterministically from Rng::forStream(jitterSeed, k) -- the same
- * policy and seed always produce the same schedule.
+ * Snapshot a server's aggregate counters into a stats registry,
+ * including the per-shard session counters (published under
+ * "<component>.shard<k>").
  */
-struct RetryPolicy
-{
-    /** Per-attempt reply deadline. */
-    std::uint64_t timeoutSteps = 12;
-
-    /** Total send attempts (original + retransmissions). */
-    std::uint32_t maxAttempts = 4;
-
-    /** Exponential backoff base, doubling per retransmission. */
-    std::uint64_t backoffBaseSteps = 2;
-
-    /** Backoff ceiling. */
-    std::uint64_t backoffCapSteps = 32;
-
-    /** Deterministic jitter drawn uniformly from [0, jitterSteps]. */
-    std::uint64_t jitterSteps = 2;
-    std::uint64_t jitterSeed = 0x0BACC0FF;
-
-    /** Deadline of attempt @p attempt sent at @p now. */
-    std::uint64_t deadlineFor(std::uint64_t now,
-                              std::uint32_t attempt) const;
-};
-
-/**
- * Device-side protocol agent: bridges the wire protocol to the
- * firmware client, and (when a clock is bound) runs the retry state
- * machine: per-request timeout, bounded exponential backoff with
- * deterministic jitter, and a clean TimedOut outcome once the
- * retransmission budget is exhausted -- a lost frame can no longer
- * wedge an exchange.
- */
-class DeviceAgent
-{
-  public:
-    DeviceAgent(std::uint64_t device_id,
-                firmware::AuthenticacheClient &client,
-                protocol::ClientEndpoint endpoint);
-
-    /** Kick off an authentication round. */
-    void requestAuthentication();
-
-    /** Handle one queued message, if any. @return message handled. */
-    bool pumpOnce();
-
-    /** Drain the endpoint until idle. */
-    void pumpAll();
-
-    /** Bind the simulated clock enabling timeouts (not owned). */
-    void bindClock(const util::SimClock *clk) { simClock = clk; }
-
-    void setRetryPolicy(const RetryPolicy &p) { policy = p; }
-
-    /**
-     * Drive the retry state machine one step: retransmit anything
-     * past its deadline, or fail the session once the budget is gone.
-     * No-op without a bound clock. @return true when it acted.
-     */
-    bool tick();
-
-    /**
-     * An exchange is still in flight: an authentication awaiting its
-     * challenge or decision, or a remap awaiting its commit.
-     */
-    bool sessionActive() const
-    {
-        return authPhase != AuthPhase::Idle || !awaitCommit.empty();
-    }
-
-    /**
-     * How the last authentication round ended: Ok (decision
-     * received), Aborted (firmware refused), or TimedOut (retries
-     * exhausted). Empty while in flight or before the first round.
-     */
-    const std::optional<firmware::AuthOutcome::Status> &
-    lastAuthStatus() const
-    {
-        return authStatus;
-    }
-
-    /** Decision from the most recent completed authentication. */
-    const std::optional<protocol::AuthDecision> &lastDecision() const
-    {
-        return decision;
-    }
-
-    /** Protocol-level errors received. */
-    const std::vector<std::string> &errors() const { return errorLog; }
-
-    std::uint64_t remapsProcessed() const { return nRemaps; }
-
-    /** Remap exchanges abandoned after exhausting retransmissions. */
-    std::uint64_t remapsTimedOut() const { return nRemapsTimedOut; }
-
-    /** Frames retransmitted by the retry state machine. */
-    std::uint64_t retransmissions() const { return nRetransmits; }
-
-  private:
-    enum class AuthPhase
-    {
-        Idle,
-        AwaitChallenge,
-        AwaitDecision,
-    };
-
-    /** A sent frame we may have to retransmit. */
-    struct OutstandingSend
-    {
-        protocol::Message frame;
-        std::uint32_t attempt = 0;
-        std::uint64_t deadline = 0;
-    };
-
-    void armAuthSend(protocol::Message frame);
-    void failAuthSession();
-    void answerChallenge(const protocol::ChallengeMsg &ch);
-
-    std::uint64_t deviceId;
-    firmware::AuthenticacheClient &client;
-    protocol::ClientEndpoint endpoint;
-    const util::SimClock *simClock = nullptr;
-    RetryPolicy policy;
-    std::optional<protocol::AuthDecision> decision;
-    std::optional<firmware::AuthOutcome::Status> authStatus;
-    AuthPhase authPhase = AuthPhase::Idle;
-    OutstandingSend authSend;
-    /** Answered auth nonces -> cached response (bounded FIFO). */
-    std::unordered_map<std::uint64_t, protocol::ResponseMsg>
-        answeredAuths;
-    std::deque<std::uint64_t> answeredOrder;
-    /** Remap nonce -> ack awaiting the server's commit. */
-    std::unordered_map<std::uint64_t, OutstandingSend> awaitCommit;
-    std::vector<std::string> errorLog;
-    std::uint64_t nRemaps = 0;
-    std::uint64_t nRemapsTimedOut = 0;
-    std::uint64_t nRetransmits = 0;
-    std::unordered_map<std::uint64_t, crypto::Key256>
-        pendingRemapKeys;
-};
-
-/** Snapshot a server's aggregate counters into a stats registry. */
 void collectServerStats(const AuthenticationServer &server,
                         util::StatsRegistry &registry,
                         const std::string &component = "server");
@@ -454,13 +269,19 @@ runExchangeSteps(AuthenticationServer &server,
 
 /**
  * Convenience: challenge levels spaced @p spacing_mv apart starting
- * just above the device's calibrated floor. The device must be booted.
+ * just above the device's calibrated floor. The device must be booted
+ * first -- calling this on an unbooted client is a programming error
+ * (std::logic_error), not a protocol condition, since no frame is in
+ * flight yet.
  */
 std::vector<core::VddMv>
 defaultChallengeLevels(const firmware::AuthenticacheClient &client,
                        std::size_t count, double spacing_mv = 10.0);
 
-/** A reserved (remap) level offset between the challenge levels. */
+/**
+ * A reserved (remap) level offset between the challenge levels. Same
+ * precondition as defaultChallengeLevels: the device must be booted.
+ */
 core::VddMv
 defaultReservedLevel(const firmware::AuthenticacheClient &client);
 

@@ -1,14 +1,23 @@
 #include "util/logging.hpp"
 
+#include <atomic>
 #include <iostream>
+#include <map>
 #include <mutex>
 
 namespace authenticache::util {
 
 namespace {
 
-LogLevel globalLevel = LogLevel::Warn;
+std::atomic<LogLevel> globalLevel{LogLevel::Warn};
 std::mutex logMutex;
+
+// Per-component overrides. The atomic count lets the common case (no
+// overrides anywhere) skip the map lookup and its lock entirely --
+// shard workers call logEnabled on every frame.
+std::mutex overrideMutex;
+std::map<std::string, LogLevel> overrides;
+std::atomic<std::size_t> overrideCount{0};
 
 const char *
 levelName(LogLevel level)
@@ -23,25 +32,78 @@ levelName(LogLevel level)
     return "?";
 }
 
+/**
+ * Most specific override for a component: exact name, then each
+ * dotted prefix ("a.b.c" -> "a.b" -> "a"). Caller holds overrideMutex.
+ */
+const LogLevel *
+findOverride(const std::string &component)
+{
+    std::string name = component;
+    while (true) {
+        auto it = overrides.find(name);
+        if (it != overrides.end())
+            return &it->second;
+        auto dot = name.rfind('.');
+        if (dot == std::string::npos)
+            return nullptr;
+        name.resize(dot);
+    }
+}
+
 } // namespace
 
 void
 setLogLevel(LogLevel level)
 {
-    globalLevel = level;
+    globalLevel.store(level, std::memory_order_relaxed);
 }
 
 LogLevel
 logLevel()
 {
-    return globalLevel;
+    return globalLevel.load(std::memory_order_relaxed);
+}
+
+void
+setLogLevel(const std::string &component, LogLevel level)
+{
+    std::lock_guard<std::mutex> lock(overrideMutex);
+    overrides[component] = level;
+    overrideCount.store(overrides.size(), std::memory_order_release);
+}
+
+void
+clearComponentLogLevels()
+{
+    std::lock_guard<std::mutex> lock(overrideMutex);
+    overrides.clear();
+    overrideCount.store(0, std::memory_order_release);
+}
+
+LogLevel
+logLevel(const std::string &component)
+{
+    if (overrideCount.load(std::memory_order_acquire) != 0) {
+        std::lock_guard<std::mutex> lock(overrideMutex);
+        if (const LogLevel *lvl = findOverride(component))
+            return *lvl;
+    }
+    return globalLevel.load(std::memory_order_relaxed);
+}
+
+bool
+logEnabled(LogLevel level, const std::string &component)
+{
+    LogLevel threshold = logLevel(component);
+    return threshold != LogLevel::Off && level >= threshold;
 }
 
 void
 logMessage(LogLevel level, const std::string &component,
            const std::string &message)
 {
-    if (level < globalLevel || globalLevel == LogLevel::Off)
+    if (!logEnabled(level, component))
         return;
     std::lock_guard<std::mutex> lock(logMutex);
     std::cerr << '[' << levelName(level) << "] " << component << ": "

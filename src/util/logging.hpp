@@ -4,6 +4,13 @@
  * integration tests and examples can narrate what the simulated machine
  * is doing; everything defaults to warnings-only so test output stays
  * quiet.
+ *
+ * Levels can be overridden per component: setLogLevel("server",
+ * LogLevel::Debug) turns on shard-level server tracing without
+ * drowning the output in firmware logs. Component names are
+ * hierarchical with '.' separators; a component without its own
+ * override inherits the nearest dotted prefix ("server.sessions"
+ * falls back to "server"), then the global threshold.
  */
 
 #ifndef AUTH_UTIL_LOGGING_HPP
@@ -20,6 +27,22 @@ enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
 void setLogLevel(LogLevel level);
 LogLevel logLevel();
 
+/** Per-component threshold override (hierarchical, '.'-separated). */
+void setLogLevel(const std::string &component, LogLevel level);
+
+/** Effective threshold for a component (override, prefix, global). */
+LogLevel logLevel(const std::string &component);
+
+/** Remove every per-component override (tests). */
+void clearComponentLogLevels();
+
+/**
+ * Would a message at @p level for @p component be emitted? Cheap when
+ * no per-component override exists (one atomic load), so hot paths
+ * can guard expensive message formatting with it.
+ */
+bool logEnabled(LogLevel level, const std::string &component);
+
 /** Emit one log line (already formatted) at the given level. */
 void logMessage(LogLevel level, const std::string &component,
                 const std::string &message);
@@ -29,11 +52,16 @@ class LogStream
 {
   public:
     LogStream(LogLevel message_level, std::string component_name)
-        : level(message_level), component(std::move(component_name))
+        : level(message_level), component(std::move(component_name)),
+          enabled(logEnabled(message_level, component))
     {
     }
 
-    ~LogStream() { logMessage(level, component, os.str()); }
+    ~LogStream()
+    {
+        if (enabled)
+            logMessage(level, component, os.str());
+    }
 
     LogStream(const LogStream &) = delete;
     LogStream &operator=(const LogStream &) = delete;
@@ -42,13 +70,15 @@ class LogStream
     LogStream &
     operator<<(const T &v)
     {
-        os << v;
+        if (enabled)
+            os << v;
         return *this;
     }
 
   private:
     LogLevel level;
     std::string component;
+    bool enabled;
     std::ostringstream os;
 };
 

@@ -1,0 +1,843 @@
+/**
+ * @file
+ * Concurrent-vs-sequential equivalence for the batch front end.
+ *
+ * The server's contract is that handleBatch produces bit-identical
+ * outcomes at any thread count, and that a one-frame batch (the
+ * pumpOnce path every existing test uses) is the same machine. Two
+ * suites enforce it:
+ *
+ *  - a 64-device mixed flood (honest auths, corrupted responses,
+ *    duplicate requests/responses/acks, garbage frames, unknown
+ *    devices and nonces, remap exchanges with tampered confirmations,
+ *    lockouts) whose complete observable state -- per-device record
+ *    state, server counters, the report log, and every reply byte --
+ *    must be identical whether driven per-message, through
+ *    handleBatch on one thread, or through handleBatch on eight;
+ *
+ *  - the canonical single-fault sweep of test_fault_sweep, re-driven
+ *    through the batch front end and compared outcome-for-outcome
+ *    against the per-message run.
+ *
+ * Smaller suites cover the per-shard stats surface and the
+ * per-component log-level overrides.
+ */
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/remap.hpp"
+#include "crypto/fuzzy_extractor.hpp"
+#include "mc/mapgen.hpp"
+#include "server/server.hpp"
+#include "util/logging.hpp"
+
+namespace fw = authenticache::firmware;
+namespace sim = authenticache::sim;
+namespace core = authenticache::core;
+namespace mc = authenticache::mc;
+namespace proto = authenticache::protocol;
+namespace srv = authenticache::server;
+namespace crypto = authenticache::crypto;
+namespace util = authenticache::util;
+
+namespace {
+
+// ---------------------------------------------------------------- //
+// Mixed-flood scenario                                             //
+// ---------------------------------------------------------------- //
+
+constexpr std::size_t kDevices = 64;
+constexpr std::uint64_t kFirstId = 101;
+constexpr core::VddMv kLevel = 700.0;
+constexpr core::VddMv kReservedLvl = 705.0;
+constexpr std::uint64_t kServerSeed = 0xBA7C4;
+constexpr std::size_t kMapErrors = 40;
+
+// Behaviour classes, by device id. A device can fall into several;
+// precedence is resolved where the frames are built.
+bool wantsRemap(std::uint64_t id) { return id % 4 == 0; }
+bool liesOnResponse(std::uint64_t id) { return id % 7 == 3; }
+bool skipsResponse(std::uint64_t id) { return id % 11 == 5; }
+bool duplicatesRequest(std::uint64_t id) { return id % 9 == 4; }
+bool duplicatesResponse(std::uint64_t id) { return id % 13 == 2; }
+bool tampersAck(std::uint64_t id) { return id % 8 == 0; }
+bool duplicatesAck(std::uint64_t id) { return id % 12 == 4; }
+
+/** One server-bound frame, addressed by channel slot. */
+struct TestFrame
+{
+    std::size_t slot;
+    std::vector<std::uint8_t> bytes;
+};
+
+/**
+ * The flood fixture: one server, one channel+endpoint per device so
+ * reply transcripts stay separated, plus a stray slot for frames that
+ * belong to no enrolled device.
+ */
+struct Harness
+{
+    srv::ServerConfig cfg;
+    srv::AuthenticationServer server;
+    std::vector<std::uint64_t> ids;
+    std::vector<std::unique_ptr<proto::InMemoryChannel>> chans;
+    std::vector<std::unique_ptr<proto::ServerEndpoint>> ends;
+    std::vector<std::string> transcript;
+    std::vector<std::optional<proto::ChallengeMsg>> lastChallenge;
+    std::vector<std::optional<proto::RemapRequest>> lastRemap;
+    std::size_t stray = 0;
+
+    Harness(const srv::ServerConfig &config, std::size_t n_devices)
+        : cfg(config), server(cfg, kServerSeed)
+    {
+        core::CacheGeometry geom(64 * 1024);
+        for (std::size_t i = 0; i < n_devices; ++i) {
+            std::uint64_t id = kFirstId + i;
+            // Per-device map stream: the fixture is reproducible
+            // regardless of enrollment order or device count.
+            util::Rng mr = util::Rng::forStream(0xD1CE, id);
+            core::ErrorMap map =
+                mc::randomErrorMap(geom, kLevel, kMapErrors, mr);
+            std::vector<core::VddMv> reserved;
+            if (wantsRemap(id)) {
+                auto &plane = map.plane(kReservedLvl);
+                while (plane.errorCount() < kMapErrors)
+                    plane.add(geom.pointOf(mr.nextBelow(geom.lines())));
+                reserved.push_back(kReservedLvl);
+            }
+            server.database().enroll(srv::DeviceRecord(
+                id, std::move(map), {kLevel}, std::move(reserved)));
+            ids.push_back(id);
+        }
+        stray = ids.size();
+        for (std::size_t s = 0; s <= ids.size(); ++s) {
+            chans.push_back(std::make_unique<proto::InMemoryChannel>());
+            ends.push_back(
+                std::make_unique<proto::ServerEndpoint>(*chans[s]));
+        }
+        transcript.resize(chans.size());
+        lastChallenge.resize(ids.size());
+        lastRemap.resize(ids.size());
+    }
+};
+
+std::string
+hex(const std::vector<std::uint8_t> &bytes)
+{
+    static const char digits[] = "0123456789abcdef";
+    std::string out;
+    out.reserve(bytes.size() * 2);
+    for (auto b : bytes) {
+        out.push_back(digits[b >> 4]);
+        out.push_back(digits[b & 0xF]);
+    }
+    return out;
+}
+
+/** Pull every client-bound reply; record bytes, track challenges. */
+void
+drainReplies(Harness &h)
+{
+    for (std::size_t s = 0; s < h.chans.size(); ++s) {
+        while (auto frame = h.chans[s]->receiveAtClient()) {
+            h.transcript[s] += hex(*frame);
+            h.transcript[s] += '\n';
+            auto msg = proto::decodeMessage(*frame);
+            if (s >= h.ids.size())
+                continue;
+            if (auto *c = std::get_if<proto::ChallengeMsg>(&msg))
+                h.lastChallenge[s] = *c;
+            else if (auto *r = std::get_if<proto::RemapRequest>(&msg))
+                h.lastRemap[s] = *r;
+        }
+    }
+}
+
+/** The response an honest, noiseless device would return. */
+util::BitVec
+honestResponse(const srv::DeviceRecord &rec, const core::Challenge &ch)
+{
+    core::LogicalRemap remap(rec.mapKey(),
+                             rec.physicalMap().geometry());
+    return core::evaluate(remap.mapErrorMap(rec.physicalMap()), ch);
+}
+
+/**
+ * The ack an honest device derives from a RemapRequest: reproduce the
+ * server's key from the reserved-level response plus the helper data,
+ * and prove it with the confirmation MAC.
+ */
+proto::RemapAck
+craftAck(const srv::DeviceRecord &rec, const proto::RemapRequest &rr,
+         bool tamper)
+{
+    core::LogicalRemap identity(crypto::Key256::zero(),
+                                rec.physicalMap().geometry());
+    auto response =
+        core::evaluate(identity.mapErrorMap(rec.physicalMap()),
+                       rr.challenge);
+    crypto::FuzzyExtractor extractor(rr.repetition);
+    auto key = extractor.reproduce(response, rr.helper);
+
+    proto::RemapAck ack;
+    ack.nonce = rr.nonce;
+    ack.success = true;
+    ack.confirmation = crypto::keyConfirmation(key, rr.nonce);
+    if (tamper)
+        ack.confirmation[0] ^= 0xFF;
+    return ack;
+}
+
+/** A driver delivers one round of frames to the server. */
+using Driver =
+    std::function<void(Harness &, const std::vector<TestFrame> &)>;
+
+/** Per-message baseline: the path every pre-batch test exercises. */
+void
+driveSequential(Harness &h, const std::vector<TestFrame> &frames)
+{
+    for (const auto &f : frames) {
+        h.chans[f.slot]->sendToServer(f.bytes);
+        h.server.pumpOnce(*h.ends[f.slot]);
+    }
+}
+
+/** Batch driver at a fixed pool width. */
+Driver
+batchDriver(std::shared_ptr<util::ThreadPool> pool)
+{
+    return [pool](Harness &h, const std::vector<TestFrame> &frames) {
+        std::vector<srv::Frame> batch;
+        batch.reserve(frames.size());
+        for (const auto &f : frames)
+            batch.push_back(srv::Frame{f.bytes, h.ends[f.slot].get()});
+        h.server.handleBatch(batch, *pool);
+    };
+}
+
+std::vector<std::uint8_t>
+garbageFrame()
+{
+    return {0xDE, 0xAD, 0xBE, 0xEF, 0x42};
+}
+
+srv::ServerConfig
+floodConfig(unsigned shards)
+{
+    srv::ServerConfig cfg;
+    cfg.challengeBits = 32;
+    cfg.remapSecretBits = 8;
+    cfg.fuzzyRepetition = 5;
+    cfg.verifier.pIntra = 0.08;
+    cfg.lockoutThreshold = 2;
+    cfg.completedCacheSize = 64;
+    cfg.sessionShards = shards;
+    return cfg;
+}
+
+/**
+ * Everything an observer can see after the flood: per-device record
+ * state (including the rotated map keys), aggregate counters, the
+ * completed-auth report log, and every reply byte each endpoint
+ * received, in order.
+ */
+std::string
+fingerprint(const Harness &h, bool include_wire = true)
+{
+    std::ostringstream os;
+    for (std::size_t i = 0; i < h.ids.size(); ++i) {
+        const auto &rec = h.server.database().at(h.ids[i]);
+        os << "dev " << h.ids[i] << ": acc=" << rec.accepted()
+           << " rej=" << rec.rejected()
+           << " locked=" << rec.locked()
+           << " authPairs=" << rec.consumedCount(kLevel)
+           << " reservedPairs=" << rec.consumedCount(kReservedLvl)
+           << " key=";
+        for (auto b : rec.mapKey().bytes)
+            os << std::hex << int(b) << std::dec;
+        os << "\n";
+    }
+    os << "pending=" << h.server.pendingSessions()
+       << " evicted=" << h.server.sessionsEvicted()
+       << " expired=" << h.server.sessionsExpired()
+       << " dupReq=" << h.server.duplicateRequests()
+       << " dupDone=" << h.server.duplicateCompletions()
+       << " remapsOk=" << h.server.remapsCommitted()
+       << " remapsBad=" << h.server.remapsRejected()
+       << " lockouts=" << h.server.lockouts() << "\n";
+    for (const auto &r : h.server.reports()) {
+        os << "report dev=" << r.deviceId;
+        // Nonces tag the owning shard in their low bits, so they (and
+        // the raw reply bytes that carry them) are only comparable
+        // between servers with the same shard count.
+        if (include_wire)
+            os << " nonce=" << r.nonce;
+        os << " acc=" << r.accepted << " hd=" << r.hammingDistance
+           << " thr=" << r.threshold << "\n";
+    }
+    if (include_wire)
+        for (std::size_t s = 0; s < h.transcript.size(); ++s)
+            os << "slot " << s << ":\n" << h.transcript[s];
+    return os.str();
+}
+
+/**
+ * Run the whole mixed flood under one driver and return the
+ * fingerprint. Six rounds: requests (+noise), responses (+lies,
+ * duplicates, silence), remap acks (+tampering), a second
+ * request/response pass that locks the repeat liars, and a final
+ * request round probing the locked devices.
+ */
+std::string
+runFlood(const Driver &drive, unsigned shards,
+         bool include_wire = true)
+{
+    Harness h(floodConfig(shards), kDevices);
+    auto frameFor = [&](std::size_t slot, const proto::Message &m) {
+        return TestFrame{slot, proto::encodeMessage(m)};
+    };
+
+    // Round 1: everyone requests; the stray slot injects garbage, an
+    // unknown device, an unknown nonce, an out-of-phase message, and
+    // a client-side ErrorMsg (consumed without a reply).
+    std::vector<TestFrame> round;
+    for (std::size_t i = 0; i < h.ids.size(); ++i)
+        round.push_back(
+            frameFor(i, proto::AuthRequest{h.ids[i]}));
+    round.push_back(frameFor(h.stray, proto::AuthRequest{9999}));
+    round.push_back(TestFrame{h.stray, garbageFrame()});
+    round.push_back(frameFor(
+        h.stray, proto::ResponseMsg{0xABCDEF12, util::BitVec()}));
+    round.push_back(frameFor(h.stray, proto::AuthDecision{}));
+    round.push_back(frameFor(h.stray, proto::ErrorMsg{"client woe"}));
+    drive(h, round);
+    drainReplies(h);
+
+    // Round 2: duplicate requests land first (their sessions are
+    // still open), then responses -- honest, corrupted, duplicated,
+    // or withheld (a garbage frame in place of the answer).
+    round.clear();
+    for (std::size_t i = 0; i < h.ids.size(); ++i)
+        if (duplicatesRequest(h.ids[i]))
+            round.push_back(
+                frameFor(i, proto::AuthRequest{h.ids[i]}));
+    for (std::size_t i = 0; i < h.ids.size(); ++i) {
+        std::uint64_t id = h.ids[i];
+        if (skipsResponse(id)) {
+            round.push_back(TestFrame{i, garbageFrame()});
+            continue;
+        }
+        const auto &ch = *h.lastChallenge[i];
+        auto resp =
+            honestResponse(h.server.database().at(id), ch.challenge);
+        if (liesOnResponse(id))
+            for (std::size_t b = 0; b < 16 && b < resp.size(); ++b)
+                resp.flip(b);
+        auto frame =
+            frameFor(i, proto::ResponseMsg{ch.nonce, resp});
+        round.push_back(frame);
+        if (duplicatesResponse(id))
+            round.push_back(frame);
+    }
+    drive(h, round);
+    drainReplies(h);
+
+    // Round 3: the server initiates remaps; clients ack honestly,
+    // with a tampered confirmation, or twice.
+    for (std::size_t i = 0; i < h.ids.size(); ++i)
+        if (wantsRemap(h.ids[i]))
+            h.server.startRemap(h.ids[i], *h.ends[i]);
+    drainReplies(h);
+    round.clear();
+    for (std::size_t i = 0; i < h.ids.size(); ++i) {
+        std::uint64_t id = h.ids[i];
+        if (!wantsRemap(id) || !h.lastRemap[i])
+            continue;
+        auto ack = craftAck(h.server.database().at(id),
+                            *h.lastRemap[i], tampersAck(id));
+        auto frame = frameFor(i, ack);
+        round.push_back(frame);
+        if (duplicatesAck(id))
+            round.push_back(frame);
+    }
+    drive(h, round);
+    drainReplies(h);
+
+    // Round 4: a second request wave. Devices that withheld their
+    // round-2 answer still hold an open session, so this is a dedup
+    // re-issue for them and a fresh challenge for everyone else.
+    round.clear();
+    for (std::size_t i = 0; i < h.ids.size(); ++i)
+        round.push_back(
+            frameFor(i, proto::AuthRequest{h.ids[i]}));
+    drive(h, round);
+    drainReplies(h);
+
+    // Round 5: second response wave. Repeat liars hit the lockout
+    // threshold here; everyone else authenticates (under the rotated
+    // key where a remap committed).
+    round.clear();
+    for (std::size_t i = 0; i < h.ids.size(); ++i) {
+        std::uint64_t id = h.ids[i];
+        const auto &ch = *h.lastChallenge[i];
+        auto resp =
+            honestResponse(h.server.database().at(id), ch.challenge);
+        if (liesOnResponse(id))
+            for (std::size_t b = 0; b < 16 && b < resp.size(); ++b)
+                resp.flip(b);
+        round.push_back(
+            frameFor(i, proto::ResponseMsg{ch.nonce, resp}));
+    }
+    round.push_back(frameFor(
+        h.stray, proto::ResponseMsg{0x13572468, util::BitVec()}));
+    drive(h, round);
+    drainReplies(h);
+
+    // Round 6: probe every device again; locked ones get rejected at
+    // the request stage.
+    round.clear();
+    for (std::size_t i = 0; i < h.ids.size(); ++i)
+        round.push_back(
+            frameFor(i, proto::AuthRequest{h.ids[i]}));
+    drive(h, round);
+    drainReplies(h);
+
+    return fingerprint(h, include_wire);
+}
+
+// ---------------------------------------------------------------- //
+// Fault sweep through the batch front end                          //
+// ---------------------------------------------------------------- //
+// Constants and structure mirror test_fault_sweep exactly: same
+// seeds, same canonical exchange, same outcome serialization. The
+// only degree of freedom is how the server is pumped.
+
+constexpr std::uint64_t kChipSeed = 0x5EED;
+constexpr std::uint64_t kSweepServerSeed = 777;
+constexpr std::uint64_t kDeviceId = 9;
+constexpr std::uint64_t kPlanSeed = 0xFA017;
+constexpr std::uint64_t kDelaySteps = 8;
+constexpr std::uint64_t kSessionTimeout = 40;
+constexpr std::uint64_t kMaxSteps = 400;
+constexpr std::uint64_t kBaselineFrames = 7;
+
+sim::ChipConfig
+chipConfig()
+{
+    sim::ChipConfig cfg;
+    cfg.cacheBytes = 256 * 1024;
+    return cfg;
+}
+
+srv::ServerConfig
+sweepServerConfig()
+{
+    srv::ServerConfig scfg;
+    scfg.challengeBits = 32;
+    scfg.remapSecretBits = 8;
+    scfg.fuzzyRepetition = 5;
+    scfg.verifier.pIntra = 0.08;
+    scfg.sessionTimeoutSteps = kSessionTimeout;
+    return scfg;
+}
+
+struct DeviceTemplate
+{
+    core::ErrorMap map;
+    double floorMv;
+    std::vector<core::VddMv> levels;
+    core::VddMv reserved;
+};
+
+DeviceTemplate
+captureTemplate()
+{
+    sim::SimulatedChip chip(chipConfig(), kChipSeed);
+    fw::SimulatedMachine machine(kDeviceId);
+    fw::ClientConfig ccfg;
+    ccfg.selfTestAttempts = 8;
+    fw::AuthenticacheClient client(chip, machine, ccfg);
+
+    double floor = client.boot();
+    auto levels = srv::defaultChallengeLevels(client, 1);
+    auto reserved = srv::defaultReservedLevel(client);
+    std::vector<core::VddMv> all = levels;
+    all.push_back(reserved);
+    return DeviceTemplate{client.captureErrorMap(all, 8), floor,
+                          std::move(levels), reserved};
+}
+
+struct RunOutcome
+{
+    bool quiesced = false;
+    std::uint64_t steps = 0;
+    std::string authStatus;
+    bool accepted = false;
+    std::uint64_t remapsCommitted = 0;
+    std::uint64_t agentRemapTimeouts = 0;
+    std::uint64_t retransmissions = 0;
+    std::uint64_t dupRequests = 0;
+    std::uint64_t dupCompletions = 0;
+    std::uint64_t expired = 0;
+    std::size_t pendingAfterGc = 0;
+    std::size_t consumedAuthPairs = 0;
+    std::size_t consumedReservedPairs = 0;
+    bool keysInSync = false;
+
+    std::string
+    serialize() const
+    {
+        std::ostringstream os;
+        os << "quiesced=" << quiesced << " steps=" << steps
+           << " auth=" << authStatus << " accepted=" << accepted
+           << " remaps=" << remapsCommitted
+           << " remapTimeouts=" << agentRemapTimeouts
+           << " retx=" << retransmissions
+           << " dupReq=" << dupRequests
+           << " dupDone=" << dupCompletions << " expired=" << expired
+           << " pending=" << pendingAfterGc
+           << " consumedAuth=" << consumedAuthPairs
+           << " consumedReserved=" << consumedReservedPairs
+           << " keySync=" << keysInSync;
+        return os.str();
+    }
+};
+
+std::string
+statusName(const std::optional<fw::AuthOutcome::Status> &s)
+{
+    if (!s)
+        return "InFlight";
+    switch (*s) {
+      case fw::AuthOutcome::Status::Ok: return "Ok";
+      case fw::AuthOutcome::Status::Aborted: return "Aborted";
+      case fw::AuthOutcome::Status::TimedOut: return "TimedOut";
+    }
+    return "?";
+}
+
+/**
+ * Drain everything currently queued at the server into one batch.
+ * @return whether any frame was serviced.
+ */
+bool
+pumpServerBatch(srv::AuthenticationServer &server,
+                proto::InMemoryChannel &channel,
+                proto::ServerEndpoint &endpoint,
+                util::ThreadPool &pool)
+{
+    std::vector<srv::Frame> frames;
+    while (auto frame = channel.receiveAtServer())
+        frames.push_back(srv::Frame{std::move(*frame), &endpoint});
+    if (frames.empty())
+        return false;
+    server.handleBatch(frames, pool);
+    return true;
+}
+
+/** runExchangeSteps with the per-message pump replaced by batches. */
+srv::SteppedExchangeResult
+runExchangeStepsBatch(srv::AuthenticationServer &server,
+                      proto::ServerEndpoint &server_endpoint,
+                      srv::DeviceAgent &agent, util::SimClock &clock,
+                      proto::InMemoryChannel &channel,
+                      util::ThreadPool &pool, std::uint64_t max_steps)
+{
+    srv::SteppedExchangeResult result;
+    for (; result.steps < max_steps; ++result.steps) {
+        bool progress = true;
+        while (progress) {
+            progress = false;
+            progress |= pumpServerBatch(server, channel,
+                                        server_endpoint, pool);
+            progress |= agent.pumpOnce();
+        }
+        if (!agent.sessionActive() && channel.idle()) {
+            result.quiesced = true;
+            return result;
+        }
+        clock.advance(1);
+        server.tick();
+        agent.tick();
+    }
+    return result;
+}
+
+/**
+ * The canonical faulted exchange, pumped either per-message (pool ==
+ * nullptr, the test_fault_sweep original) or through handleBatch.
+ */
+RunOutcome
+runFaultedExchange(const DeviceTemplate &tmpl,
+                   const proto::FaultPlan &fault_plan,
+                   util::ThreadPool *pool)
+{
+    sim::SimulatedChip chip(chipConfig(), kChipSeed);
+    fw::SimulatedMachine machine(kDeviceId);
+    fw::ClientConfig ccfg;
+    ccfg.selfTestAttempts = 8;
+    fw::AuthenticacheClient client(chip, machine, ccfg);
+    client.adoptFloor(tmpl.floorMv);
+
+    srv::AuthenticationServer server(sweepServerConfig(),
+                                     kSweepServerSeed);
+    server.enrollWithMap(kDeviceId, tmpl.map, client, tmpl.levels,
+                         {tmpl.reserved});
+
+    util::SimClock clock;
+    proto::InMemoryChannel channel;
+    channel.bindClock(&clock);
+    channel.setFaultPlan(fault_plan);
+    proto::ServerEndpoint server_end(channel);
+    server.bindClock(&clock);
+
+    srv::DeviceAgent agent(kDeviceId, client,
+                           proto::ClientEndpoint(channel));
+    agent.bindClock(&clock);
+
+    auto step = [&]() {
+        return pool ? runExchangeStepsBatch(server, server_end,
+                                            agent, clock, channel,
+                                            *pool, kMaxSteps)
+                    : srv::runExchangeSteps(server, server_end,
+                                            agent, clock, channel,
+                                            kMaxSteps);
+    };
+
+    RunOutcome out;
+    agent.requestAuthentication();
+    auto auth = step();
+    server.startRemap(kDeviceId, server_end);
+    auto remap = step();
+
+    out.quiesced = auth.quiesced && remap.quiesced;
+    out.steps = auth.steps + remap.steps;
+    out.authStatus = statusName(agent.lastAuthStatus());
+    out.accepted = agent.lastDecision().has_value() &&
+                   agent.lastDecision()->accepted;
+
+    clock.advance(kSessionTimeout + 1);
+    server.tick();
+    out.pendingAfterGc = server.pendingSessions();
+
+    out.remapsCommitted = server.remapsCommitted();
+    out.agentRemapTimeouts = agent.remapsTimedOut();
+    out.retransmissions = agent.retransmissions();
+    out.dupRequests = server.duplicateRequests();
+    out.dupCompletions = server.duplicateCompletions();
+    out.expired = server.sessionsExpired();
+
+    const auto &record = server.database().at(kDeviceId);
+    out.consumedAuthPairs = record.consumedCount(tmpl.levels[0]);
+    out.consumedReservedPairs = record.consumedCount(tmpl.reserved);
+    out.keysInSync = client.mapKey() == record.mapKey();
+    return out;
+}
+
+std::vector<std::pair<std::string, RunOutcome>>
+runFullSweep(const DeviceTemplate &tmpl, util::ThreadPool *pool)
+{
+    const proto::FaultType kinds[] = {
+        proto::FaultType::Drop, proto::FaultType::Duplicate,
+        proto::FaultType::Reorder, proto::FaultType::Delay,
+        proto::FaultType::Corrupt};
+    const char *kindNames[] = {"drop", "duplicate", "reorder",
+                               "delay", "corrupt"};
+
+    std::vector<std::pair<std::string, RunOutcome>> sweep;
+    for (std::size_t k = 0; k < std::size(kinds); ++k) {
+        for (std::uint64_t frame = 0; frame < kBaselineFrames;
+             ++frame) {
+            proto::FaultPlan plan(kPlanSeed);
+            plan.add({kinds[k], frame, kDelaySteps});
+            std::string label = std::string(kindNames[k]) + "@" +
+                                std::to_string(frame);
+            sweep.emplace_back(
+                label, runFaultedExchange(tmpl, plan, pool));
+        }
+    }
+    return sweep;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------- //
+// Tests                                                            //
+// ---------------------------------------------------------------- //
+
+TEST(BatchEquivalence, MixedFloodIdenticalAcrossDrivers)
+{
+    std::string sequential = runFlood(driveSequential, 8);
+    std::string batch1 =
+        runFlood(batchDriver(std::make_shared<util::ThreadPool>(1)), 8);
+    std::string batch8 =
+        runFlood(batchDriver(std::make_shared<util::ThreadPool>(8)), 8);
+
+    EXPECT_EQ(sequential, batch1);
+    EXPECT_EQ(sequential, batch8);
+
+    // The scenario must actually exercise the interesting paths;
+    // otherwise the equality above proves nothing.
+    EXPECT_NE(sequential.find(" locked=1"), std::string::npos);
+    EXPECT_NE(sequential.find("remapsOk="), std::string::npos);
+    EXPECT_EQ(sequential.find("remapsOk=0 "), std::string::npos);
+    EXPECT_EQ(sequential.find(" dupReq=0 "), std::string::npos);
+    EXPECT_EQ(sequential.find(" dupDone=0 "), std::string::npos);
+    EXPECT_EQ(sequential.find(" remapsBad=0 "), std::string::npos);
+    EXPECT_EQ(sequential.find("lockouts=0"), std::string::npos);
+}
+
+TEST(BatchEquivalence, ShardCountInvariantToFingerprint)
+{
+    // Shard layout is an implementation detail: every outcome --
+    // per-device record state, rotated keys, counters, reports --
+    // must not depend on it. (Raw nonce bytes do, by design: the
+    // shard index lives in a nonce's low bits, so the wire transcript
+    // is excluded from this comparison.)
+    auto pool = std::make_shared<util::ThreadPool>(4);
+    std::string oneShard =
+        runFlood(batchDriver(pool), 1, /*include_wire=*/false);
+    std::string eightShards =
+        runFlood(batchDriver(pool), 8, /*include_wire=*/false);
+    EXPECT_EQ(oneShard, eightShards);
+}
+
+TEST(BatchEquivalence, FaultSweepThroughBatchMatchesPerMessage)
+{
+    DeviceTemplate tmpl = captureTemplate();
+    util::ThreadPool pool(3);
+
+    auto perMessage = runFullSweep(tmpl, nullptr);
+    auto batched = runFullSweep(tmpl, &pool);
+
+    ASSERT_EQ(perMessage.size(), batched.size());
+    for (std::size_t i = 0; i < perMessage.size(); ++i) {
+        SCOPED_TRACE(perMessage[i].first);
+        EXPECT_EQ(perMessage[i].first, batched[i].first);
+        EXPECT_EQ(perMessage[i].second.serialize(),
+                  batched[i].second.serialize());
+    }
+}
+
+TEST(PerShardStats, CountersSurfaceInRegistry)
+{
+    Harness h(floodConfig(4), 16);
+    util::ThreadPool pool(2);
+    auto drive = batchDriver(std::make_shared<util::ThreadPool>(2));
+
+    // One request wave, duplicated wholesale: every device scores a
+    // dedup hit on its shard.
+    std::vector<TestFrame> round;
+    for (std::size_t i = 0; i < h.ids.size(); ++i)
+        round.push_back(TestFrame{
+            i, proto::encodeMessage(proto::AuthRequest{h.ids[i]})});
+    drive(h, round);
+    drive(h, round);
+    drainReplies(h);
+
+    util::StatsRegistry registry;
+    srv::collectServerStats(h.server, registry);
+
+    ASSERT_EQ(registry.getInt("server", "session_shards"),
+              std::optional<std::uint64_t>(4));
+    std::uint64_t active = 0;
+    std::uint64_t dedup = 0;
+    for (unsigned k = 0; k < 4; ++k) {
+        std::string shard = "server.shard" + std::to_string(k);
+        auto a = registry.getInt(shard, "sessions_active");
+        auto d = registry.getInt(shard, "dedup_hits");
+        ASSERT_TRUE(a.has_value()) << shard;
+        ASSERT_TRUE(d.has_value()) << shard;
+        ASSERT_TRUE(
+            registry.getInt(shard, "replay_cache_hits").has_value());
+        ASSERT_TRUE(
+            registry.getInt(shard, "gc_evictions").has_value());
+        ASSERT_TRUE(
+            registry.getInt(shard, "cap_evictions").has_value());
+        ASSERT_TRUE(registry.getInt(shard, "lockouts").has_value());
+        active += *a;
+        dedup += *d;
+    }
+    EXPECT_EQ(active, h.server.pendingSessions());
+    EXPECT_EQ(dedup, h.server.duplicateRequests());
+    EXPECT_EQ(dedup, h.ids.size());
+}
+
+TEST(PerShardStats, DevicesSpreadAcrossShards)
+{
+    Harness h(floodConfig(8), kDevices);
+    std::vector<bool> used(h.server.sessions().shardCount(), false);
+    for (auto id : h.ids) {
+        unsigned idx = h.server.sessions().shardIndexForDevice(id);
+        ASSERT_LT(idx, used.size());
+        used[idx] = true;
+    }
+    // 64 ids over 8 shards: a routing bug that pins everything to
+    // one shard would leave most of these false.
+    for (std::size_t k = 0; k < used.size(); ++k)
+        EXPECT_TRUE(used[k]) << "shard " << k << " unused";
+}
+
+TEST(SessionManagerTest, ShardCountRoundsUpToPowerOfTwo)
+{
+    EXPECT_EQ(Harness(floodConfig(1), 1)
+                  .server.sessions()
+                  .shardCount(),
+              1u);
+    EXPECT_EQ(Harness(floodConfig(3), 1)
+                  .server.sessions()
+                  .shardCount(),
+              4u);
+    EXPECT_EQ(Harness(floodConfig(8), 1)
+                  .server.sessions()
+                  .shardCount(),
+              8u);
+}
+
+TEST(ComponentLogging, OverridesAndPrefixFallback)
+{
+    util::clearComponentLogLevels();
+    util::setLogLevel(util::LogLevel::Warn);
+
+    EXPECT_FALSE(util::logEnabled(util::LogLevel::Debug, "server"));
+    util::setLogLevel("server", util::LogLevel::Debug);
+    EXPECT_TRUE(util::logEnabled(util::LogLevel::Debug, "server"));
+
+    // Dotted children inherit the nearest configured prefix.
+    EXPECT_TRUE(
+        util::logEnabled(util::LogLevel::Debug, "server.sessions"));
+    util::setLogLevel("server.sessions", util::LogLevel::Off);
+    EXPECT_FALSE(
+        util::logEnabled(util::LogLevel::Error, "server.sessions"));
+    EXPECT_TRUE(
+        util::logEnabled(util::LogLevel::Debug, "server.auth"));
+
+    // Unrelated components still follow the global level.
+    EXPECT_FALSE(util::logEnabled(util::LogLevel::Debug, "mc"));
+    EXPECT_TRUE(util::logEnabled(util::LogLevel::Warn, "mc"));
+
+    util::clearComponentLogLevels();
+    EXPECT_FALSE(util::logEnabled(util::LogLevel::Debug, "server"));
+    EXPECT_TRUE(
+        util::logEnabled(util::LogLevel::Error, "server.sessions"));
+}
+
+TEST(ComponentLogging, QueryReportsEffectiveLevel)
+{
+    util::clearComponentLogLevels();
+    util::setLogLevel(util::LogLevel::Warn);
+    EXPECT_EQ(util::logLevel("server"), util::LogLevel::Warn);
+    util::setLogLevel("server", util::LogLevel::Info);
+    EXPECT_EQ(util::logLevel("server"), util::LogLevel::Info);
+    EXPECT_EQ(util::logLevel("server.remap"), util::LogLevel::Info);
+    EXPECT_EQ(util::logLevel("firmware"), util::LogLevel::Warn);
+    util::clearComponentLogLevels();
+}

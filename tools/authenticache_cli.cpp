@@ -92,7 +92,7 @@ usage()
         << "  authenticache_cli enroll   --db FILE --device ID"
            " [--device ID ...] [--cache-kb N]\n"
         << "  authenticache_cli auth     --db FILE --device ID"
-           " [--rounds N] [--cache-kb N] [--stats]\n"
+           " [--rounds N] [--cache-kb N] [--shards N] [--stats]\n"
         << "  authenticache_cli imposter --db FILE --device ID"
            " --die SEED [--cache-kb N]\n"
         << "  authenticache_cli keygen   --die SEED [--cache-kb N]\n"
@@ -171,6 +171,8 @@ cmdAuth(const Args &args)
     server::ServerConfig cfg;
     cfg.challengeBits = 128;
     cfg.verifier.pIntra = 0.08;
+    cfg.sessionShards =
+        static_cast<unsigned>(args.getU64("shards", 8));
     server::AuthenticationServer server(cfg, 0xA17A);
 
     // Rebuild the server around the persisted database.
