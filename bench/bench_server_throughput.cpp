@@ -15,17 +15,27 @@
  * widths. Speedup tracks available cores: on a single-core host all
  * widths collapse to ~1x.
  *
+ * Each width is also re-run with the durability layer attached (WAL
+ * appends + one fsync per batch into a fresh temp directory), both to
+ * report the journaling overhead and to cross-check that outcomes
+ * with journaling enabled stay identical to the plain run at every
+ * width.
+ *
  * Flags: --smoke (or AUTHENTICACHE_QUICK=1) shrinks the flood for CI.
  */
 
 #include <cstring>
+#include <filesystem>
 #include <iostream>
 #include <memory>
+#include <optional>
+#include <string>
 #include <vector>
 
 #include "bench_common.hpp"
 #include "core/remap.hpp"
 #include "mc/mapgen.hpp"
+#include "server/durability.hpp"
 #include "server/server.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
@@ -38,7 +48,12 @@ constexpr core::VddMv kLevel = 700.0;
 constexpr std::uint64_t kServerSeed = 0x7B40;
 constexpr std::size_t kMapErrors = 60;
 
-/** A flood fixture: server, devices, one endpoint per device. */
+/**
+ * A flood fixture: server, devices, one endpoint per device. When
+ * @p durable_dir is non-empty the durability layer is attached after
+ * enrollment (the opening rotation snapshots the enrolled database),
+ * so the timed region pays WAL appends plus one sync per batch.
+ */
 struct Flood
 {
     server::ServerConfig cfg;
@@ -46,8 +61,10 @@ struct Flood
     std::vector<std::uint64_t> ids;
     std::vector<std::unique_ptr<protocol::InMemoryChannel>> chans;
     std::vector<std::unique_ptr<protocol::ServerEndpoint>> ends;
+    std::optional<server::DurabilityManager> dur;
 
-    explicit Flood(std::size_t n_devices)
+    explicit Flood(std::size_t n_devices,
+                   const std::string &durable_dir = "")
         : cfg([] {
               server::ServerConfig c;
               c.challengeBits = 64;
@@ -71,6 +88,11 @@ struct Flood
             ends.push_back(std::make_unique<protocol::ServerEndpoint>(
                 *chans.back()));
         }
+        if (!durable_dir.empty()) {
+            dur.emplace(server::DurabilityConfig{durable_dir, 4096},
+                        srv.database());
+            srv.attachDurability(&*dur);
+        }
     }
 };
 
@@ -93,11 +115,18 @@ struct Measurement
 /**
  * Run @p rounds of full request+response waves through handleBatch
  * at the given pool width, timing only the server's batch calls.
+ * A non-empty @p durable_dir attaches the durability layer (a fresh
+ * directory per run keeps the journaled event streams comparable).
  */
 Measurement
-run(std::size_t n_devices, std::size_t rounds, unsigned threads)
+run(std::size_t n_devices, std::size_t rounds, unsigned threads,
+    const std::string &durable_dir = "")
 {
-    Flood flood(n_devices);
+    if (!durable_dir.empty()) {
+        std::filesystem::remove_all(durable_dir);
+        std::filesystem::create_directories(durable_dir);
+    }
+    Flood flood(n_devices, durable_dir);
     util::ThreadPool pool(threads);
     Measurement m;
 
@@ -176,13 +205,21 @@ main(int argc, char **argv)
               << " request+response rounds per width (hardware "
               << "threads: " << hw << ")\n\n";
 
+    const std::string dur_dir =
+        (std::filesystem::temp_directory_path() / "authbench_dur")
+            .string();
+
     util::Table table({"threads", "frames", "seconds", "frames_per_s",
-                       "speedup_vs_1"});
+                       "speedup_vs_1", "durable_fps",
+                       "durable_overhead_pct"});
     double base_rate = 0.0;
     std::uint64_t base_accepted = 0;
     for (unsigned w : widths) {
         Measurement m = run(devices, rounds, w);
+        Measurement md = run(devices, rounds, w, dur_dir);
         double rate = m.frames / (m.seconds > 0 ? m.seconds : 1e-9);
+        double drate =
+            md.frames / (md.seconds > 0 ? md.seconds : 1e-9);
         if (w == 1) {
             base_rate = rate;
             base_accepted = m.accepted;
@@ -193,13 +230,26 @@ main(int argc, char **argv)
                       << base_accepted << ")\n";
             return 1;
         }
+        if (md.accepted != base_accepted) {
+            // ...and never on whether journaling is attached.
+            std::cerr << "FAIL: durable accepted count diverged at "
+                      << "width " << w << " (" << md.accepted
+                      << " vs " << base_accepted << ")\n";
+            return 1;
+        }
         table.row()
             .cell(std::uint64_t(w))
             .cell(std::uint64_t(m.frames))
             .cell(m.seconds)
             .cell(rate)
-            .cell(base_rate > 0 ? rate / base_rate : 1.0);
+            .cell(base_rate > 0 ? rate / base_rate : 1.0)
+            .cell(drate)
+            .cell(drate > 0 ? (rate / drate - 1.0) * 100.0 : 0.0);
     }
     table.print(std::cout);
+    std::cout << "\ndurable runs journal every mutation and fsync "
+                 "once per batch; accepted counts matched the plain "
+                 "run at every width\n";
+    std::filesystem::remove_all(dur_dir);
     return 0;
 }

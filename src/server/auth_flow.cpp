@@ -66,6 +66,14 @@ AuthFlow::onRequest(SessionShard &sh, const protocol::AuthRequest &msg)
         return out;
     }
 
+    // Retire-before-reply: the consumed pairs are journaled (and
+    // synced at the batch boundary) before the challenge that
+    // discloses them leaves the server. A crash in between only
+    // over-retires -- the safe direction for no-reuse.
+    if (sessions.journalingEnabled())
+        sh.wal.push_back(journal::PairsRetired{
+            msg.deviceId, std::move(gen.retired)});
+
     std::uint64_t nonce = sessions.makeNonce(sh, rng);
     std::uint64_t deadline = sessions.sessionDeadline();
     sh.pendingAuths[nonce] =
@@ -110,6 +118,7 @@ AuthFlow::onResponse(SessionShard &sh,
 
     const ServerConfig &cfg = sessions.config();
     DeviceRecord &record = devices.at(pending.deviceId);
+    bool locked_now = false;
     if (verdict.accepted) {
         record.recordAccept();
     } else {
@@ -117,12 +126,24 @@ AuthFlow::onResponse(SessionShard &sh,
         if (cfg.lockoutThreshold > 0 &&
             record.consecutiveFailures() >= cfg.lockoutThreshold) {
             record.lock();
+            locked_now = true;
             ++sh.counters.lockouts;
             AUTH_LOG_WARN("server.auth")
                 << "device " << pending.deviceId << " locked after "
                 << record.consecutiveFailures()
                 << " consecutive failures";
         }
+    }
+    if (sessions.journalingEnabled()) {
+        sh.wal.push_back(journal::AuthOutcome{
+            pending.deviceId, verdict.accepted, locked_now});
+        if (cfg.counterCheckpointEvery > 0 &&
+            (record.accepted() + record.rejected()) %
+                    cfg.counterCheckpointEvery ==
+                0)
+            sh.wal.push_back(journal::CounterCheckpoint{
+                pending.deviceId, record.accepted(),
+                record.rejected(), record.consecutiveFailures()});
     }
 
     out.report = AuthReport{pending.deviceId, msg.nonce,

@@ -47,6 +47,8 @@ ChallengeGenerator::generateWithRemap(DeviceRecord &record,
             geom.lineIndex(remap.unmap(logical_b, level));
         if (!record.consumePair(level, phys_a, phys_b))
             continue; // Already used (in either order); redraw.
+        out.retired.push_back(
+            journal::RetiredPair{level, level, phys_a, phys_b});
 
         core::ChallengeBit bit;
         bit.a = core::ChallengePoint{logical_a, level};
@@ -124,6 +126,8 @@ ChallengeGenerator::generateMultiLevel(DeviceRecord &record,
         if (!record.consumeMixedPair(level_a, phys_a, level_b,
                                      phys_b))
             continue;
+        out.retired.push_back(journal::RetiredPair{level_a, level_b,
+                                                   phys_a, phys_b});
 
         core::ChallengeBit bit;
         bit.a = core::ChallengePoint{logical_a, level_a};

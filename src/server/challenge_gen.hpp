@@ -11,9 +11,12 @@
 
 #include <cstdint>
 
+#include <vector>
+
 #include "core/challenge.hpp"
 #include "core/remap.hpp"
 #include "server/database.hpp"
+#include "server/journal.hpp"
 #include "util/rng.hpp"
 
 namespace authenticache::server {
@@ -24,6 +27,13 @@ struct GeneratedChallenge
     core::Challenge challenge;     ///< Logical coordinates.
     core::Response expected;       ///< From the stored error map.
     core::VddMv level = 0;
+
+    /**
+     * The pairs this generation consumed, in *physical* identity --
+     * exactly what the durability journal must persist before the
+     * challenge is disclosed (retire-before-reply).
+     */
+    std::vector<journal::RetiredPair> retired;
 };
 
 /**

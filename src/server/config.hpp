@@ -82,6 +82,15 @@ struct ServerConfig
      */
     unsigned sessionShards = 8;
 
+    /**
+     * With a durability layer attached: journal an absolute
+     * counter checkpoint for a device every N authentication
+     * outcomes (0 disables). Checkpoints are redundant with the
+     * AuthOutcome stream -- they exist to keep recovered counters
+     * self-correcting for hot devices whose snapshots are far apart.
+     */
+    std::uint64_t counterCheckpointEvery = 0;
+
     VerifierPolicy verifier;
 };
 

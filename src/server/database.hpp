@@ -116,8 +116,11 @@ class DeviceRecord
     static std::uint64_t pairKey(std::uint64_t a, std::uint64_t b);
 
     // Persistence (server/storage.cpp) snapshots/restores the
-    // consumed-pair state, which has no other public surface.
+    // consumed-pair state, which has no other public surface; journal
+    // replay (server/journal.cpp) restores absolute counter
+    // checkpoints the same way.
     friend struct RecordStorageAccess;
+    friend struct JournalApplyAccess;
 
     std::uint64_t id;
     core::ErrorMap map;

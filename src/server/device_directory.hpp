@@ -12,6 +12,7 @@
 #define AUTH_SERVER_DEVICE_DIRECTORY_HPP
 
 #include <cstdint>
+#include <utility>
 
 #include "server/database.hpp"
 
@@ -54,6 +55,12 @@ class DeviceDirectory
     /** The wrapped database (persistence, reporting, tests). */
     EnrollmentDatabase &database() { return db; }
     const EnrollmentDatabase &database() const { return db; }
+
+    /** Replace the database wholesale (recovery / restore). */
+    void adopt(EnrollmentDatabase replacement)
+    {
+        db = std::move(replacement);
+    }
 
   private:
     EnrollmentDatabase db;

@@ -1,0 +1,289 @@
+#include "server/durability.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <map>
+
+#include "util/logging.hpp"
+
+namespace authenticache::server {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr const char *kSnapshotPrefix = "snapshot-";
+constexpr const char *kSnapshotSuffix = ".acdb";
+constexpr const char *kJournalPrefix = "journal-";
+constexpr const char *kJournalSuffix = ".acjl";
+
+/** Parse "<prefix><decimal><suffix>"; nullopt for anything else. */
+std::optional<std::uint64_t>
+parseGeneration(const std::string &name, const char *prefix,
+                const char *suffix)
+{
+    std::string pre(prefix);
+    std::string suf(suffix);
+    if (name.size() <= pre.size() + suf.size())
+        return std::nullopt;
+    if (name.compare(0, pre.size(), pre) != 0)
+        return std::nullopt;
+    if (name.compare(name.size() - suf.size(), suf.size(), suf) != 0)
+        return std::nullopt;
+    std::string digits = name.substr(
+        pre.size(), name.size() - pre.size() - suf.size());
+    if (digits.empty() ||
+        digits.find_first_not_of("0123456789") != std::string::npos)
+        return std::nullopt;
+    return std::stoull(digits);
+}
+
+/** Generation -> path maps for the two file kinds in @p dir. */
+struct GenerationScan
+{
+    std::map<std::uint64_t, std::string> snapshots;
+    std::map<std::uint64_t, std::string> journals;
+};
+
+GenerationScan
+scanDir(const std::string &dir)
+{
+    GenerationScan out;
+    if (!fs::exists(dir))
+        return out;
+    for (const auto &entry : fs::directory_iterator(dir)) {
+        if (!entry.is_regular_file())
+            continue;
+        std::string name = entry.path().filename().string();
+        if (auto g = parseGeneration(name, kSnapshotPrefix,
+                                     kSnapshotSuffix))
+            out.snapshots[*g] = entry.path().string();
+        else if (auto j = parseGeneration(name, kJournalPrefix,
+                                          kJournalSuffix))
+            out.journals[*j] = entry.path().string();
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+DurabilityManager::snapshotPath(const std::string &dir,
+                                std::uint64_t generation)
+{
+    return dir + "/" + kSnapshotPrefix + std::to_string(generation) +
+           kSnapshotSuffix;
+}
+
+std::string
+DurabilityManager::journalPath(const std::string &dir,
+                               std::uint64_t generation)
+{
+    return dir + "/" + kJournalPrefix + std::to_string(generation) +
+           kJournalSuffix;
+}
+
+RecoveryResult
+DurabilityManager::recover(const DurabilityConfig &config)
+{
+    RecoveryResult out;
+    GenerationScan scan = scanDir(config.dir);
+
+    if (scan.snapshots.empty()) {
+        if (!scan.journals.empty())
+            throw protocol::DecodeError(
+                "durability: journal files without any snapshot");
+        out.freshStart = true;
+        return out;
+    }
+
+    // 1. Newest snapshot that loads wins; corrupt ones fall back a
+    // generation each.
+    SnapshotMeta meta;
+    bool loaded = false;
+    for (auto it = scan.snapshots.rbegin();
+         it != scan.snapshots.rend(); ++it) {
+        try {
+            out.db = loadDatabaseFile(it->second, &meta);
+            out.generation = it->first;
+            loaded = true;
+            break;
+        } catch (const std::exception &e) {
+            ++out.snapshotFallbacks;
+            AUTH_LOG_WARN("server.durability")
+                << "snapshot generation " << it->first
+                << " unreadable (" << e.what()
+                << "); falling back";
+        }
+    }
+    if (!loaded)
+        throw protocol::DecodeError(
+            "durability: no readable snapshot generation");
+    out.lastSeq = meta.journalWatermark;
+
+    // 2. Replay the journal chain from the chosen generation upward.
+    const std::uint64_t newest_journal =
+        scan.journals.empty() ? 0 : scan.journals.rbegin()->first;
+    for (std::uint64_t g = out.generation;
+         scan.journals.count(g) != 0; ++g) {
+        auto rr = journal::Journal::replay(
+            scan.journals[g], out.lastSeq,
+            [&out](std::uint64_t seq, const journal::Event &event) {
+                journal::applyEvent(out.db, event);
+                out.lastSeq = seq;
+                if (const auto *c =
+                        std::get_if<journal::RemapCommitted>(&event))
+                    out.remapOutcomes.emplace_back(c->nonce, true);
+                else if (const auto *rj =
+                             std::get_if<journal::RemapRejected>(
+                                 &event))
+                    out.remapOutcomes.emplace_back(rj->nonce, false);
+            });
+        out.replayedRecords += rr.records;
+        if (rr.tornTail) {
+            // 3. Torn tail in the newest journal marks the crash
+            // point: truncate to the valid prefix. Anywhere else it
+            // just ends the chain (older corruption cannot be "the
+            // crash", so nothing is rewritten).
+            if (g == newest_journal && rr.headerValid) {
+                std::error_code ec;
+                fs::resize_file(scan.journals[g], rr.validBytes, ec);
+                out.tornTailTruncated = !ec;
+            }
+            break;
+        }
+    }
+    return out;
+}
+
+DurabilityManager::DurabilityManager(DurabilityConfig config,
+                                     const EnrollmentDatabase &db,
+                                     std::uint64_t last_seq,
+                                     CrashInjector *inj_)
+    : cfg(std::move(config)), inj(inj_), lastSeq(last_seq)
+{
+    fs::create_directories(cfg.dir);
+    GenerationScan scan = scanDir(cfg.dir);
+    std::uint64_t max_seen = 0;
+    bool any = false;
+    if (!scan.snapshots.empty()) {
+        max_seen = std::max(max_seen, scan.snapshots.rbegin()->first);
+        any = true;
+    }
+    if (!scan.journals.empty()) {
+        max_seen = std::max(max_seen, scan.journals.rbegin()->first);
+        any = true;
+    }
+    // Startup always begins a fresh generation: one uniform path
+    // (atomic snapshot + empty journal) whether the directory was
+    // empty, clean, or mid-crash.
+    gen = any ? max_seen + 1 : 0;
+    saveDatabaseFile(snapshotPath(cfg.dir, gen), gen, db);
+    log = journal::Journal::create(journalPath(cfg.dir, gen), gen,
+                                   inj);
+    ++counters.rotations;
+    if (gen >= 1)
+        pruneBelow(gen - 1);
+}
+
+void
+DurabilityManager::saveDatabaseFile(const std::string &path,
+                                    std::uint64_t generation,
+                                    const EnrollmentDatabase &db)
+{
+    server::saveDatabaseFile(db, path,
+                             SnapshotMeta{generation, lastSeq}, inj);
+}
+
+void
+DurabilityManager::append(const journal::Event &event)
+{
+    log.append(++lastSeq, event);
+    ++counters.appends;
+    ++appendsSinceRotate;
+    counters.appendedBytes = log.bytesWritten();
+}
+
+void
+DurabilityManager::sync()
+{
+    if (log.sync())
+        ++counters.fsyncs;
+}
+
+void
+DurabilityManager::maybeRotate(const EnrollmentDatabase &db)
+{
+    if (cfg.rotateEveryAppends > 0 &&
+        appendsSinceRotate >= cfg.rotateEveryAppends)
+        rotate(db);
+}
+
+void
+DurabilityManager::rotate(const EnrollmentDatabase &db)
+{
+    // Order matters: current journal durable first, then the atomic
+    // snapshot (which embeds the watermark), then the fresh journal.
+    // A crash anywhere leaves either the old generation authoritative
+    // or the new snapshot complete -- never a gap.
+    sync();
+    log.close();
+    std::uint64_t next = gen + 1;
+    saveDatabaseFile(snapshotPath(cfg.dir, next), next, db);
+    log = journal::Journal::create(journalPath(cfg.dir, next), next,
+                                   inj);
+    gen = next;
+    appendsSinceRotate = 0;
+    ++counters.rotations;
+    if (gen >= 1)
+        pruneBelow(gen - 1);
+}
+
+void
+DurabilityManager::pruneBelow(std::uint64_t keep_from)
+{
+    GenerationScan scan = scanDir(cfg.dir);
+    auto drop = [this, keep_from](
+                    const std::map<std::uint64_t, std::string> &files) {
+        for (const auto &[g, path] : files) {
+            if (g >= keep_from)
+                break;
+            if (inj != nullptr)
+                inj->point("gc.unlink");
+            std::error_code ec;
+            fs::remove(path, ec);
+        }
+    };
+    drop(scan.snapshots);
+    drop(scan.journals);
+}
+
+void
+DurabilityManager::noteRecovery(const RecoveryResult &result)
+{
+    counters.replayedRecords = result.replayedRecords;
+    counters.tornTruncations = result.tornTailTruncated ? 1 : 0;
+    counters.snapshotFallbacks = result.snapshotFallbacks;
+    counters.recoveryOutcome =
+        static_cast<std::uint64_t>(result.outcome());
+}
+
+void
+DurabilityManager::collectStats(util::StatsRegistry &registry,
+                                const std::string &component) const
+{
+    const std::string c = component + ".durability";
+    registry.set(c, "journal_appends", counters.appends);
+    registry.set(c, "journal_bytes", counters.appendedBytes);
+    registry.set(c, "fsyncs", counters.fsyncs);
+    registry.set(c, "snapshot_rotations", counters.rotations);
+    registry.set(c, "generation", gen);
+    registry.set(c, "last_sequence", lastSeq);
+    registry.set(c, "replayed_records", counters.replayedRecords);
+    registry.set(c, "torn_tail_truncations",
+                 counters.tornTruncations);
+    registry.set(c, "snapshot_fallbacks", counters.snapshotFallbacks);
+    registry.set(c, "recovery_outcome", counters.recoveryOutcome);
+}
+
+} // namespace authenticache::server

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * The server's durability layer: snapshot generations + write-ahead
+ * journal + recovery.
+ *
+ * On-disk layout inside the durability directory:
+ *
+ *   snapshot-<gen>.acdb   storage.cpp v2 snapshot (atomic write)
+ *   journal-<gen>.acjl    events appended since that snapshot
+ *
+ * Rotation writes snapshot g+1 (carrying the journal watermark),
+ * opens journal g+1, then deletes generations <= g-1: the previous
+ * generation is always retained, so a corrupt newest snapshot falls
+ * back one generation and re-reaches the same state by replaying the
+ * retained journal chain. Startup always rotates to a fresh
+ * generation (max seen + 1), which makes the first write of every
+ * process life an atomic snapshot -- recovery therefore never needs
+ * to re-open a journal for append.
+ *
+ * Recovery algorithm (static, runs before the server is built):
+ *   1. newest snapshot that loads and CRC-checks wins; each corrupt
+ *      one falls back a generation (counted in the stats);
+ *   2. replay journal files gen, gen+1, ... in order, skipping
+ *      records at or below the snapshot watermark;
+ *   3. a torn final record in the *newest* journal is truncated --
+ *      that is the crash point, not corruption -- while a torn record
+ *      in an older journal just ends the chain;
+ *   4. no snapshot at all (but journals present) is real corruption:
+ *      protocol::DecodeError.
+ */
+
+#ifndef AUTH_SERVER_DURABILITY_HPP
+#define AUTH_SERVER_DURABILITY_HPP
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "server/journal.hpp"
+#include "server/storage.hpp"
+#include "util/stats_registry.hpp"
+
+namespace authenticache::server {
+
+/** Where and how often the durability layer persists. */
+struct DurabilityConfig
+{
+    /** Directory holding snapshot + journal generations. */
+    std::string dir;
+
+    /**
+     * Rotate (snapshot + fresh journal) after this many journal
+     * appends; 0 disables automatic rotation (manual rotate() only).
+     * Rotation happens at batch boundaries, never mid-batch.
+     */
+    std::uint64_t rotateEveryAppends = 4096;
+};
+
+/** How a recovery pass ended (surfaced through the stats). */
+enum class RecoveryOutcome : std::uint8_t
+{
+    FreshStart = 0,      ///< Empty directory: new database.
+    SnapshotOnly = 1,    ///< Snapshot loaded, no events replayed.
+    SnapshotPlusJournal = 2, ///< Snapshot plus replayed tail.
+    FallbackSnapshot = 3 ///< Newest snapshot corrupt; used previous.
+};
+
+/** Everything recovery learned, plus the recovered database. */
+struct RecoveryResult
+{
+    EnrollmentDatabase db;
+    std::uint64_t generation = 0; ///< Generation the snapshot had.
+    std::uint64_t lastSeq = 0;    ///< Highest durable sequence.
+    std::uint64_t replayedRecords = 0;
+    std::uint64_t snapshotFallbacks = 0; ///< Corrupt snapshots skipped.
+    bool tornTailTruncated = false;
+    bool freshStart = false;
+
+    /**
+     * Remap commit decisions seen in the journal, newest last:
+     * (nonce, committed). Seeding these into the completed-nonce
+     * cache lets a client that crashed us with its RemapAck in flight
+     * retransmit the ack and still receive the original commit.
+     */
+    std::vector<std::pair<std::uint64_t, bool>> remapOutcomes;
+
+    RecoveryOutcome
+    outcome() const
+    {
+        if (freshStart)
+            return RecoveryOutcome::FreshStart;
+        if (snapshotFallbacks > 0)
+            return RecoveryOutcome::FallbackSnapshot;
+        return replayedRecords > 0
+                   ? RecoveryOutcome::SnapshotPlusJournal
+                   : RecoveryOutcome::SnapshotOnly;
+    }
+};
+
+/** Counters published under "<component>.durability.*". */
+struct DurabilityStats
+{
+    std::uint64_t appends = 0;
+    std::uint64_t appendedBytes = 0;
+    std::uint64_t fsyncs = 0;
+    std::uint64_t rotations = 0;
+    // Recovery-side numbers (folded in via noteRecovery).
+    std::uint64_t replayedRecords = 0;
+    std::uint64_t tornTruncations = 0;
+    std::uint64_t snapshotFallbacks = 0;
+    std::uint64_t recoveryOutcome = 0; ///< RecoveryOutcome value.
+};
+
+/**
+ * Owns the open journal generation and the rotation policy. The
+ * front end appends the shard-drained events and syncs once per
+ * batch *before* any reply is emitted (sync-before-reply), so every
+ * state a client has observed is durable.
+ */
+class DurabilityManager
+{
+  public:
+    /**
+     * Open the durability directory for writing: scans existing
+     * generations, rotates to a fresh one (atomic snapshot of @p db
+     * + empty journal), and prunes generations older than the
+     * previous one. @p last_seq is the recovered sequence floor
+     * (RecoveryResult::lastSeq); appends continue from there.
+     */
+    DurabilityManager(DurabilityConfig config,
+                      const EnrollmentDatabase &db,
+                      std::uint64_t last_seq = 0,
+                      CrashInjector *inj = nullptr);
+
+    DurabilityManager(const DurabilityManager &) = delete;
+    DurabilityManager &operator=(const DurabilityManager &) = delete;
+
+    /** Recover (or fresh-start) from a durability directory. */
+    static RecoveryResult recover(const DurabilityConfig &config);
+
+    /** Append one event (assigning the next sequence number). */
+    void append(const journal::Event &event);
+
+    /** Make pending appends durable (no-op when clean). */
+    void sync();
+
+    /** Rotate when the append budget since the last rotation is spent. */
+    void maybeRotate(const EnrollmentDatabase &db);
+
+    /** Snapshot @p db as the next generation and start its journal. */
+    void rotate(const EnrollmentDatabase &db);
+
+    std::uint64_t generation() const { return gen; }
+    std::uint64_t lastSequence() const { return lastSeq; }
+    const DurabilityConfig &config() const { return cfg; }
+    const DurabilityStats &stats() const { return counters; }
+
+    /** Fold a recovery pass's numbers into the published stats. */
+    void noteRecovery(const RecoveryResult &result);
+
+    /** Publish counters as "<component>.durability.*". */
+    void collectStats(util::StatsRegistry &registry,
+                      const std::string &component) const;
+
+    static std::string snapshotPath(const std::string &dir,
+                                    std::uint64_t generation);
+    static std::string journalPath(const std::string &dir,
+                                   std::uint64_t generation);
+
+  private:
+    void pruneBelow(std::uint64_t keep_from);
+    void saveDatabaseFile(const std::string &path,
+                          std::uint64_t generation,
+                          const EnrollmentDatabase &db);
+
+    DurabilityConfig cfg;
+    CrashInjector *inj = nullptr;
+    journal::Journal log;
+    std::uint64_t gen = 0;
+    std::uint64_t lastSeq = 0;
+    std::uint64_t appendsSinceRotate = 0;
+    DurabilityStats counters;
+};
+
+} // namespace authenticache::server
+
+#endif // AUTH_SERVER_DURABILITY_HPP

@@ -1,0 +1,113 @@
+#include "server/durable_io.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+namespace authenticache::server {
+
+namespace {
+
+[[noreturn]] void
+throwErrno(const std::string &what)
+{
+    throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+void
+writeFully(int fd, const std::uint8_t *data, std::size_t n,
+           const char *tag)
+{
+    std::size_t done = 0;
+    while (done < n) {
+        ssize_t w = ::write(fd, data + done, n - done);
+        if (w < 0) {
+            if (errno == EINTR)
+                continue;
+            throwErrno(std::string("write failed at ") + tag);
+        }
+        done += static_cast<std::size_t>(w);
+    }
+}
+
+} // namespace
+
+void
+FdGuard::reset(int replacement)
+{
+    if (fd >= 0)
+        ::close(fd);
+    fd = replacement;
+}
+
+void
+writeAllOrCrash(int fd, std::span<const std::uint8_t> bytes,
+                CrashInjector *inj, const char *tag)
+{
+    if (inj != nullptr) {
+        if (auto prefix = inj->writeCrash(bytes.size(), tag)) {
+            writeFully(fd, bytes.data(), *prefix, tag);
+            // The torn prefix must be *on disk* for recovery to see
+            // it -- a simulated dying process cannot rely on the page
+            // cache, but the test's recovery pass reads the same
+            // filesystem, so flushing the fd is enough.
+            ::fsync(fd);
+            throw CrashException(tag);
+        }
+    }
+    writeFully(fd, bytes.data(), bytes.size(), tag);
+}
+
+void
+fsyncFd(int fd, const std::string &what)
+{
+    if (::fsync(fd) != 0)
+        throwErrno("fsync failed for " + what);
+}
+
+void
+fsyncParentDir(const std::string &path)
+{
+    auto slash = path.find_last_of('/');
+    std::string dir = slash == std::string::npos
+                          ? std::string(".")
+                          : path.substr(0, slash == 0 ? 1 : slash);
+    FdGuard fd(::open(dir.c_str(), O_RDONLY | O_DIRECTORY));
+    if (!fd.valid())
+        return; // Some filesystems refuse directory opens; best effort.
+    ::fsync(fd.get());
+}
+
+void
+atomicWriteFile(const std::string &path,
+                std::span<const std::uint8_t> bytes, CrashInjector *inj,
+                const char *tag)
+{
+    const std::string tmp = path + ".tmp";
+    const std::string t(tag);
+    {
+        FdGuard fd(::open(tmp.c_str(),
+                          O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                          0644));
+        if (!fd.valid())
+            throwErrno("atomicWriteFile: cannot create " + tmp);
+        writeAllOrCrash(fd.get(), bytes, inj, tag);
+        if (inj != nullptr)
+            inj->point((t + ".fsync").c_str());
+        fsyncFd(fd.get(), tmp);
+    }
+    if (inj != nullptr)
+        inj->point((t + ".rename").c_str());
+    if (::rename(tmp.c_str(), path.c_str()) != 0)
+        throwErrno("atomicWriteFile: rename to " + path);
+    if (inj != nullptr)
+        inj->point((t + ".dirsync").c_str());
+    fsyncParentDir(path);
+}
+
+} // namespace authenticache::server

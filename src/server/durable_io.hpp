@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Low-level durable-write primitives shared by the snapshot writer
+ * (server/storage.cpp) and the write-ahead journal (server/journal.*):
+ * fsync'd appends, atomic whole-file replacement (write temp + fsync +
+ * rename + parent-directory fsync), and the deterministic crash
+ * injector the recovery sweep uses to kill the process at every
+ * durability-relevant step.
+ *
+ * Crash model: a crash may interrupt a write at an arbitrary byte
+ * offset and may strike between any two syscalls, but completed
+ * fsyncs are durable and rename(2) on a single filesystem is atomic.
+ * The injector realizes exactly this model in-process by throwing
+ * CrashException after a chosen prefix of the side effects.
+ */
+
+#ifndef AUTH_SERVER_DURABLE_IO_HPP
+#define AUTH_SERVER_DURABLE_IO_HPP
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <stdexcept>
+#include <string>
+
+namespace authenticache::server {
+
+/** Simulated process death, thrown by an armed CrashInjector. */
+class CrashException : public std::runtime_error
+{
+  public:
+    explicit CrashException(const std::string &tag)
+        : std::runtime_error("crash injected at " + tag)
+    {
+    }
+};
+
+/**
+ * Deterministic crash-point counter. Every durability-relevant side
+ * effect calls point() (whole-step effects: fsync, rename, create,
+ * unlink) or writeCrash() (byte-granular writes). Each call burns one
+ * or more numbered *opportunities*; when armed, reaching the target
+ * opportunity kills the process via CrashException. A disarmed
+ * injector only counts, which is how sweeps size themselves: dry-run
+ * once, then arm at every opportunity in [0, opportunities()).
+ */
+class CrashInjector
+{
+  public:
+    /** How finely partial writes are probed. */
+    enum class WriteGranularity
+    {
+        Coarse,   ///< 3 opportunities per write: 0, n/2, n bytes.
+        EveryByte ///< n+1 opportunities: every prefix length.
+    };
+
+    /** Die at opportunity @p target_opportunity (counter resets). */
+    void
+    arm(std::uint64_t target_opportunity)
+    {
+        armed = true;
+        target = target_opportunity;
+        counter = 0;
+    }
+
+    /** Count opportunities without dying (counter resets). */
+    void
+    disarm()
+    {
+        armed = false;
+        counter = 0;
+    }
+
+    void setGranularity(WriteGranularity g) { gran = g; }
+    WriteGranularity granularity() const { return gran; }
+
+    /** Opportunities burned since the last arm()/disarm(). */
+    std::uint64_t opportunities() const { return counter; }
+
+    /** One all-or-nothing crash opportunity. */
+    void
+    point(const char *tag)
+    {
+        if (armed && counter == target) {
+            ++counter;
+            throw CrashException(tag);
+        }
+        ++counter;
+    }
+
+    /**
+     * Crash opportunities for an @p n byte write. Returns the number
+     * of bytes the caller must write before dying, or nullopt to
+     * write all @p n bytes and live.
+     */
+    std::optional<std::size_t>
+    writeCrash(std::size_t n, const char *tag)
+    {
+        (void)tag;
+        if (gran == WriteGranularity::EveryByte) {
+            for (std::size_t k = 0; k <= n; ++k)
+                if (burnOne())
+                    return k;
+        } else {
+            const std::size_t offs[3] = {0, n / 2, n};
+            for (auto k : offs)
+                if (burnOne())
+                    return k;
+        }
+        return std::nullopt;
+    }
+
+  private:
+    bool
+    burnOne()
+    {
+        bool hit = armed && counter == target;
+        ++counter;
+        return hit;
+    }
+
+    bool armed = false;
+    std::uint64_t target = 0;
+    std::uint64_t counter = 0;
+    WriteGranularity gran = WriteGranularity::Coarse;
+};
+
+/** RAII file descriptor (close on scope exit, including crashes). */
+class FdGuard
+{
+  public:
+    explicit FdGuard(int fd_ = -1) : fd(fd_) {}
+    ~FdGuard() { reset(); }
+    FdGuard(const FdGuard &) = delete;
+    FdGuard &operator=(const FdGuard &) = delete;
+
+    int get() const { return fd; }
+    bool valid() const { return fd >= 0; }
+
+    /** Close now (idempotent). */
+    void reset(int replacement = -1);
+
+    /** Give up ownership without closing. */
+    int
+    release()
+    {
+        int out = fd;
+        fd = -1;
+        return out;
+    }
+
+  private:
+    int fd;
+};
+
+/**
+ * Write @p bytes to @p fd, honouring the injector's write crash
+ * points: a partial prefix is really written (so the file shows a
+ * torn write) before CrashException propagates. Throws
+ * std::runtime_error on real I/O errors.
+ */
+void writeAllOrCrash(int fd, std::span<const std::uint8_t> bytes,
+                     CrashInjector *inj, const char *tag);
+
+/** fsync a descriptor; throws std::runtime_error on failure. */
+void fsyncFd(int fd, const std::string &what);
+
+/** fsync the directory containing @p path (crash-safe rename). */
+void fsyncParentDir(const std::string &path);
+
+/**
+ * Atomically replace @p path with @p bytes: write "<path>.tmp", fsync
+ * it, rename over @p path, fsync the parent directory. A crash at any
+ * point leaves either the old file intact or the new file complete --
+ * never a torn target. Injector crash points: the write itself
+ * (byte-granular), "<tag>.fsync", "<tag>.rename", "<tag>.dirsync".
+ */
+void atomicWriteFile(const std::string &path,
+                     std::span<const std::uint8_t> bytes,
+                     CrashInjector *inj = nullptr,
+                     const char *tag = "atomic-write");
+
+} // namespace authenticache::server
+
+#endif // AUTH_SERVER_DURABLE_IO_HPP

@@ -6,6 +6,8 @@
 #include <string>
 #include <utility>
 
+#include "server/durability.hpp"
+
 namespace authenticache::server {
 
 FlowOutput
@@ -43,10 +45,31 @@ ServerFrontEnd::dispatch(const protocol::Message &msg)
 }
 
 void
+ServerFrontEnd::flushJournal()
+{
+    if (dur == nullptr)
+        return;
+    // Shard index order, under each shard's mutex: the journal byte
+    // stream is a pure function of the batch contents, independent of
+    // the thread count (the determinism contract extends to disk).
+    for (unsigned s = 0; s < sessions.shardCount(); ++s) {
+        SessionShard &sh = sessions.shard(s);
+        std::lock_guard<std::mutex> lock(sh.mutex);
+        for (auto &event : sh.wal)
+            dur->append(event);
+        sh.wal.clear();
+    }
+    dur->sync();
+}
+
+void
 ServerFrontEnd::mergeOutputs(std::span<Frame> frames,
                              std::vector<FlowOutput> &outputs,
                              std::uint64_t ordinal_base)
 {
+    // Sync-before-reply: everything this batch mutated becomes
+    // durable before the first reply that could disclose it.
+    flushJournal();
     for (std::size_t i = 0; i < outputs.size(); ++i) {
         if (frames[i].reply != nullptr) {
             for (const auto &reply : outputs[i].replies)
@@ -59,6 +82,8 @@ ServerFrontEnd::mergeOutputs(std::span<Frame> frames,
                                   *outputs[i].openedNonce);
     }
     sessions.enforceCap();
+    if (dur != nullptr)
+        dur->maybeRotate(devices.database());
 }
 
 void

@@ -41,6 +41,8 @@
 
 namespace authenticache::server {
 
+class DurabilityManager;
+
 /** One received frame plus the endpoint its replies go to. */
 struct Frame
 {
@@ -52,14 +54,30 @@ class ServerFrontEnd
 {
   public:
     ServerFrontEnd(SessionManager &sessions_,
-                   DeviceDirectory &devices,
+                   DeviceDirectory &devices_,
                    ChallengeGenerator &generator,
                    const Verifier &verifier)
-        : sessions(sessions_),
-          auth(sessions_, devices, generator, verifier),
-          remap(sessions_, devices, generator)
+        : sessions(sessions_), devices(devices_),
+          auth(sessions_, devices_, generator, verifier),
+          remap(sessions_, devices_, generator)
     {
     }
+
+    /**
+     * Attach (or detach, with nullptr) the durability layer. While
+     * attached, every batch drains the shard-local event buffers into
+     * the journal and syncs it *before* any reply is sent
+     * (sync-before-reply), and snapshot rotation runs at batch
+     * boundaries.
+     */
+    void attachDurability(DurabilityManager *manager)
+    {
+        dur = manager;
+        sessions.setJournaling(manager != nullptr);
+    }
+
+    DurabilityManager *durability() { return dur; }
+    const DurabilityManager *durability() const { return dur; }
 
     /**
      * Service a batch of frames, parallelising across session shards
@@ -92,14 +110,23 @@ class ServerFrontEnd
      */
     FlowOutput dispatch(const protocol::Message &msg);
 
-    /** Sequential tail of every batch: emit + rank + enforce cap. */
+    /** Sequential tail of every batch: journal + emit + rank + cap. */
     void mergeOutputs(std::span<Frame> frames,
                       std::vector<FlowOutput> &outputs,
                       std::uint64_t ordinal_base);
 
+    /**
+     * Drain every shard's WAL buffer into the journal (shard index
+     * order, so journal bytes are identical at any thread count) and
+     * sync. Called before any reply of the batch is emitted.
+     */
+    void flushJournal();
+
     SessionManager &sessions;
+    DeviceDirectory &devices;
     AuthFlow auth;
     RemapFlow remap;
+    DurabilityManager *dur = nullptr;
     std::vector<AuthReport> log;
 };
 

@@ -1,0 +1,450 @@
+#include "server/journal.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <utility>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "server/storage.hpp"
+#include "util/crc32.hpp"
+
+namespace authenticache::server {
+
+/**
+ * Befriended accessor for replaying absolute counter checkpoints onto
+ * a DeviceRecord (the record exposes no setters for its counters).
+ */
+struct JournalApplyAccess
+{
+    static void
+    setCounters(DeviceRecord &record, std::uint64_t accepted,
+                std::uint64_t rejected, std::uint64_t fails)
+    {
+        record.nAccepted = accepted;
+        record.nRejected = rejected;
+        record.consecutiveFails = fails;
+    }
+};
+
+namespace journal {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x4C4A4341; // "ACJL".
+constexpr std::uint16_t kVersion = 1;
+constexpr std::size_t kHeaderBytes = 4 + 2 + 8;
+constexpr std::size_t kMaxRecordBytes = 1u << 24;
+
+enum EventType : std::uint8_t
+{
+    kPairsRetired = 0,
+    kAuthOutcome = 1,
+    kRemapPrepared = 2,
+    kRemapCommitted = 3,
+    kRemapRejected = 4,
+    kDeviceUnlocked = 5,
+    kDeviceRemoved = 6,
+    kEnrolled = 7,
+    kCounterCheckpoint = 8,
+};
+
+void
+requireDevice(const EnrollmentDatabase &db, std::uint64_t id)
+{
+    if (!db.contains(id))
+        throw protocol::DecodeError(
+            "journal replay: unknown device " + std::to_string(id));
+}
+
+} // namespace
+
+void
+encodeEvent(protocol::ByteWriter &w, const Event &event)
+{
+    std::visit(
+        [&w](const auto &e) {
+            using T = std::decay_t<decltype(e)>;
+            if constexpr (std::is_same_v<T, PairsRetired>) {
+                w.putU8(kPairsRetired);
+                w.putU64(e.deviceId);
+                w.putU32(static_cast<std::uint32_t>(e.pairs.size()));
+                for (const auto &p : e.pairs) {
+                    w.putU32(p.levelA);
+                    w.putU32(p.levelB);
+                    w.putU64(p.lineA);
+                    w.putU64(p.lineB);
+                }
+            } else if constexpr (std::is_same_v<T, AuthOutcome>) {
+                w.putU8(kAuthOutcome);
+                w.putU64(e.deviceId);
+                w.putU8(e.accepted ? 1 : 0);
+                w.putU8(e.lockedNow ? 1 : 0);
+            } else if constexpr (std::is_same_v<T, RemapPrepared>) {
+                w.putU8(kRemapPrepared);
+                w.putU64(e.deviceId);
+                w.putU64(e.nonce);
+            } else if constexpr (std::is_same_v<T, RemapCommitted>) {
+                w.putU8(kRemapCommitted);
+                w.putU64(e.deviceId);
+                w.putU64(e.nonce);
+                w.putBytes(std::span<const std::uint8_t>(
+                    e.newKey.bytes.data(), e.newKey.bytes.size()));
+            } else if constexpr (std::is_same_v<T, RemapRejected>) {
+                w.putU8(kRemapRejected);
+                w.putU64(e.deviceId);
+                w.putU64(e.nonce);
+            } else if constexpr (std::is_same_v<T, DeviceUnlocked>) {
+                w.putU8(kDeviceUnlocked);
+                w.putU64(e.deviceId);
+            } else if constexpr (std::is_same_v<T, DeviceRemoved>) {
+                w.putU8(kDeviceRemoved);
+                w.putU64(e.deviceId);
+            } else if constexpr (std::is_same_v<T, Enrolled>) {
+                w.putU8(kEnrolled);
+                w.putU32(static_cast<std::uint32_t>(e.record.size()));
+                w.putBytes(e.record);
+            } else if constexpr (std::is_same_v<T,
+                                                CounterCheckpoint>) {
+                w.putU8(kCounterCheckpoint);
+                w.putU64(e.deviceId);
+                w.putU64(e.accepted);
+                w.putU64(e.rejected);
+                w.putU64(e.consecutiveFails);
+            }
+        },
+        event);
+}
+
+Event
+decodeEvent(protocol::ByteReader &r)
+{
+    switch (r.getU8()) {
+    case kPairsRetired: {
+        PairsRetired e;
+        e.deviceId = r.getU64();
+        std::uint32_t count = r.getU32();
+        if (count > kMaxRecordBytes / 24)
+            throw protocol::DecodeError("journal: pair count");
+        e.pairs.reserve(count);
+        for (std::uint32_t i = 0; i < count; ++i) {
+            RetiredPair p;
+            p.levelA = r.getU32();
+            p.levelB = r.getU32();
+            p.lineA = r.getU64();
+            p.lineB = r.getU64();
+            e.pairs.push_back(p);
+        }
+        return e;
+    }
+    case kAuthOutcome: {
+        AuthOutcome e;
+        e.deviceId = r.getU64();
+        e.accepted = r.getU8() != 0;
+        e.lockedNow = r.getU8() != 0;
+        return e;
+    }
+    case kRemapPrepared: {
+        RemapPrepared e;
+        e.deviceId = r.getU64();
+        e.nonce = r.getU64();
+        return e;
+    }
+    case kRemapCommitted: {
+        RemapCommitted e;
+        e.deviceId = r.getU64();
+        e.nonce = r.getU64();
+        auto bytes = r.getBytes(e.newKey.bytes.size());
+        std::copy(bytes.begin(), bytes.end(),
+                  e.newKey.bytes.begin());
+        return e;
+    }
+    case kRemapRejected: {
+        RemapRejected e;
+        e.deviceId = r.getU64();
+        e.nonce = r.getU64();
+        return e;
+    }
+    case kDeviceUnlocked:
+        return DeviceUnlocked{r.getU64()};
+    case kDeviceRemoved:
+        return DeviceRemoved{r.getU64()};
+    case kEnrolled: {
+        Enrolled e;
+        std::uint32_t size = r.getU32();
+        if (size > kMaxRecordBytes)
+            throw protocol::DecodeError("journal: record size");
+        e.record = r.getBytes(size);
+        return e;
+    }
+    case kCounterCheckpoint: {
+        CounterCheckpoint e;
+        e.deviceId = r.getU64();
+        e.accepted = r.getU64();
+        e.rejected = r.getU64();
+        e.consecutiveFails = r.getU64();
+        return e;
+    }
+    default:
+        throw protocol::DecodeError("journal: unknown event type");
+    }
+}
+
+void
+applyEvent(EnrollmentDatabase &db, const Event &event)
+{
+    std::visit(
+        [&db](const auto &e) {
+            using T = std::decay_t<decltype(e)>;
+            if constexpr (std::is_same_v<T, PairsRetired>) {
+                requireDevice(db, e.deviceId);
+                DeviceRecord &record = db.at(e.deviceId);
+                for (const auto &p : e.pairs) {
+                    // Already-consumed is fine: replay after a
+                    // snapshot that includes the pair is idempotent.
+                    if (p.levelA == p.levelB)
+                        record.consumePair(p.levelA, p.lineA,
+                                           p.lineB);
+                    else
+                        record.consumeMixedPair(p.levelA, p.lineA,
+                                                p.levelB, p.lineB);
+                }
+            } else if constexpr (std::is_same_v<T, AuthOutcome>) {
+                requireDevice(db, e.deviceId);
+                DeviceRecord &record = db.at(e.deviceId);
+                if (e.accepted)
+                    record.recordAccept();
+                else
+                    record.recordReject();
+                // The lockout decision is replayed, not re-derived:
+                // recovered state must not depend on the restarted
+                // server's policy config.
+                if (e.lockedNow)
+                    record.lock();
+            } else if constexpr (std::is_same_v<T, RemapPrepared>) {
+                requireDevice(db, e.deviceId);
+                // Pending state is volatile by design: an in-flight
+                // remap whose commit never journaled is simply
+                // abandoned (its pairs stay retired).
+            } else if constexpr (std::is_same_v<T, RemapCommitted>) {
+                requireDevice(db, e.deviceId);
+                db.at(e.deviceId).setMapKey(e.newKey);
+            } else if constexpr (std::is_same_v<T, RemapRejected>) {
+                requireDevice(db, e.deviceId);
+            } else if constexpr (std::is_same_v<T, DeviceUnlocked>) {
+                requireDevice(db, e.deviceId);
+                db.at(e.deviceId).unlock();
+            } else if constexpr (std::is_same_v<T, DeviceRemoved>) {
+                requireDevice(db, e.deviceId);
+                db.remove(e.deviceId);
+            } else if constexpr (std::is_same_v<T, Enrolled>) {
+                protocol::ByteReader r(e.record);
+                DeviceRecord record = decodeDeviceRecord(r);
+                r.expectEnd();
+                db.enroll(std::move(record));
+            } else if constexpr (std::is_same_v<T,
+                                                CounterCheckpoint>) {
+                requireDevice(db, e.deviceId);
+                JournalApplyAccess::setCounters(
+                    db.at(e.deviceId), e.accepted, e.rejected,
+                    e.consecutiveFails);
+            }
+        },
+        event);
+}
+
+Journal::~Journal()
+{
+    if (fd >= 0)
+        ::close(fd);
+}
+
+Journal::Journal(Journal &&other) noexcept
+    : fd(std::exchange(other.fd, -1)), path(std::move(other.path)),
+      inj(other.inj), dirty(other.dirty), written(other.written)
+{
+}
+
+Journal &
+Journal::operator=(Journal &&other) noexcept
+{
+    if (this != &other) {
+        if (fd >= 0)
+            ::close(fd);
+        fd = std::exchange(other.fd, -1);
+        path = std::move(other.path);
+        inj = other.inj;
+        dirty = other.dirty;
+        written = other.written;
+    }
+    return *this;
+}
+
+Journal
+Journal::create(const std::string &path, std::uint64_t generation,
+                CrashInjector *inj)
+{
+    if (inj != nullptr)
+        inj->point("journal.create");
+    FdGuard fd(::open(path.c_str(),
+                      O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                      0644));
+    if (!fd.valid())
+        throw std::runtime_error("journal: cannot create " + path +
+                                 ": " + std::strerror(errno));
+
+    protocol::ByteWriter w;
+    w.putU32(kMagic);
+    w.putU16(kVersion);
+    w.putU64(generation);
+    auto header = w.take();
+    writeAllOrCrash(fd.get(), header, inj, "journal.header");
+    if (inj != nullptr)
+        inj->point("journal.header-fsync");
+    fsyncFd(fd.get(), path);
+    fsyncParentDir(path);
+
+    Journal out(fd.release(), path, inj);
+    out.written = header.size();
+    return out;
+}
+
+void
+Journal::append(std::uint64_t seq, const Event &event)
+{
+    if (fd < 0)
+        throw std::logic_error("journal: append on closed file");
+
+    protocol::ByteWriter payload;
+    payload.putU64(seq);
+    encodeEvent(payload, event);
+
+    protocol::ByteWriter frame;
+    frame.putU32(static_cast<std::uint32_t>(payload.bytes().size()));
+    frame.putU32(util::crc32(payload.bytes()));
+    frame.putBytes(payload.bytes());
+    auto bytes = frame.take();
+
+    // Mark dirty before the write: a crash *during* the write still
+    // leaves a torn tail that recovery must (and does) truncate.
+    dirty = true;
+    writeAllOrCrash(fd, bytes, inj, "journal.append");
+    written += bytes.size();
+}
+
+bool
+Journal::sync()
+{
+    if (fd < 0 || !dirty)
+        return false;
+    if (inj != nullptr)
+        inj->point("journal.fsync");
+    fsyncFd(fd, path);
+    dirty = false;
+    if (inj != nullptr)
+        inj->point("journal.fsync-done");
+    return true;
+}
+
+void
+Journal::close()
+{
+    if (fd >= 0) {
+        ::close(fd);
+        fd = -1;
+    }
+}
+
+Journal::ReplayResult
+Journal::replay(
+    const std::string &path, std::uint64_t after_seq,
+    const std::function<void(std::uint64_t, const Event &)> &fn)
+{
+    ReplayResult out;
+
+    std::ifstream in(path, std::ios::binary | std::ios::ate);
+    if (!in) {
+        out.tornTail = true;
+        return out;
+    }
+    auto size = in.tellg();
+    in.seekg(0);
+    std::vector<std::uint8_t> blob(static_cast<std::size_t>(size));
+    in.read(reinterpret_cast<char *>(blob.data()), size);
+    if (!in) {
+        out.tornTail = true;
+        return out;
+    }
+
+    if (blob.size() < kHeaderBytes) {
+        out.tornTail = true;
+        return out;
+    }
+    {
+        protocol::ByteReader r(
+            std::span<const std::uint8_t>(blob.data(), kHeaderBytes));
+        if (r.getU32() != kMagic || r.getU16() != kVersion) {
+            out.tornTail = true;
+            return out;
+        }
+        out.generation = r.getU64();
+    }
+    out.headerValid = true;
+    out.validBytes = kHeaderBytes;
+
+    std::size_t off = kHeaderBytes;
+    while (off < blob.size()) {
+        if (blob.size() - off < 8) {
+            out.tornTail = true;
+            break;
+        }
+        auto readU32 = [&blob](std::size_t at) {
+            std::uint32_t v = 0;
+            for (int i = 0; i < 4; ++i)
+                v |= static_cast<std::uint32_t>(blob[at + i])
+                     << (8 * i);
+            return v;
+        };
+        std::uint32_t len = readU32(off);
+        std::uint32_t crc = readU32(off + 4);
+        if (len > kMaxRecordBytes || blob.size() - off - 8 < len) {
+            out.tornTail = true;
+            break;
+        }
+        std::span<const std::uint8_t> payload(blob.data() + off + 8,
+                                              len);
+        if (util::crc32(payload) != crc) {
+            out.tornTail = true;
+            break;
+        }
+
+        std::uint64_t seq = 0;
+        Event event;
+        try {
+            protocol::ByteReader r(payload);
+            seq = r.getU64();
+            event = decodeEvent(r);
+            r.expectEnd();
+        } catch (const protocol::DecodeError &) {
+            // CRC-valid but undecodable: corruption, not a torn
+            // write; stop here and let recovery keep the prefix.
+            out.tornTail = true;
+            break;
+        }
+
+        if (seq > after_seq) {
+            fn(seq, event);
+            ++out.records;
+            out.lastSeq = seq;
+        }
+        off += 8 + len;
+        out.validBytes = off;
+    }
+    return out;
+}
+
+} // namespace journal
+
+} // namespace authenticache::server

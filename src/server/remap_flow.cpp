@@ -48,6 +48,11 @@ RemapFlow::start(SessionShard &sh, std::uint64_t device_id)
     auto extraction = extractor.generate(gen.expected, rng);
 
     std::uint64_t nonce = sessions.makeNonce(sh, rng);
+    if (sessions.journalingEnabled()) {
+        sh.wal.push_back(journal::PairsRetired{
+            device_id, std::move(gen.retired)});
+        sh.wal.push_back(journal::RemapPrepared{device_id, nonce});
+    }
     std::uint64_t deadline = sessions.sessionDeadline();
     sh.pendingRemaps[nonce] =
         PendingRemap{device_id, extraction.key, deadline};
@@ -99,6 +104,16 @@ RemapFlow::onAck(SessionShard &sh, const protocol::RemapAck &msg)
         AUTH_LOG_WARN("server.remap")
             << "device " << it->second.deviceId
             << " remap rejected (key confirmation failed)";
+    }
+    // The key switch is a single journal record: after recovery the
+    // device's key is fully old or fully new, never in between.
+    if (sessions.journalingEnabled()) {
+        if (confirmed)
+            sh.wal.push_back(journal::RemapCommitted{
+                it->second.deviceId, msg.nonce, it->second.newKey});
+        else
+            sh.wal.push_back(journal::RemapRejected{
+                it->second.deviceId, msg.nonce});
     }
     protocol::RemapCommit commit{msg.nonce, confirmed};
     sh.cacheCompleted(msg.nonce, commit,

@@ -1,10 +1,29 @@
 #include "server/server.hpp"
 
 #include <cmath>
+#include <mutex>
 
+#include "server/durability.hpp"
+#include "server/storage.hpp"
 #include "util/logging.hpp"
 
 namespace authenticache::server {
+
+namespace {
+
+/** Journal an enrollment (full record encoding) and make it durable. */
+void
+journalEnrollment(DurabilityManager *dur, const DeviceRecord &record)
+{
+    if (dur == nullptr)
+        return;
+    protocol::ByteWriter w;
+    encodeDeviceRecord(w, record);
+    dur->append(journal::Enrolled{w.take()});
+    dur->sync();
+}
+
+} // namespace
 
 AuthenticationServer::AuthenticationServer(const ServerConfig &config,
                                            std::uint64_t seed)
@@ -38,7 +57,55 @@ AuthenticationServer::enrollWithMap(
     AUTH_LOG_INFO("server")
         << "enrolled device " << device_id << " with "
         << record.physicalMap().totalErrors() << " errors";
-    return devices.enroll(std::move(record));
+    DeviceRecord &stored = devices.enroll(std::move(record));
+    journalEnrollment(durability(), stored);
+    return stored;
+}
+
+DeviceRecord &
+AuthenticationServer::enrollRecord(DeviceRecord record)
+{
+    DeviceRecord &stored = devices.enroll(std::move(record));
+    journalEnrollment(durability(), stored);
+    return stored;
+}
+
+DeviceRecord &
+AuthenticationServer::reenroll(
+    std::uint64_t device_id, firmware::AuthenticacheClient &client,
+    const std::vector<core::VddMv> &challenge_levels,
+    const std::vector<core::VddMv> &reserved_levels,
+    std::uint32_t sweep_passes)
+{
+    if (devices.remove(device_id) && durability() != nullptr)
+        durability()->append(journal::DeviceRemoved{device_id});
+    // The following enrollment syncs the removal and the fresh
+    // record together.
+    return enroll(device_id, client, challenge_levels,
+                  reserved_levels, sweep_passes);
+}
+
+void
+AuthenticationServer::unlockDevice(std::uint64_t device_id)
+{
+    devices.at(device_id).unlock();
+    if (durability() != nullptr) {
+        durability()->append(journal::DeviceUnlocked{device_id});
+        durability()->sync();
+    }
+}
+
+void
+AuthenticationServer::seedCompletedRemaps(
+    const std::vector<std::pair<std::uint64_t, bool>> &outcomes)
+{
+    for (const auto &[nonce, committed] : outcomes) {
+        SessionShard &sh = sessionsMgr.shardForNonce(nonce);
+        std::lock_guard<std::mutex> lock(sh.mutex);
+        sh.cacheCompleted(nonce,
+                          protocol::RemapCommit{nonce, committed},
+                          cfg.completedCacheSize);
+    }
 }
 
 DeviceRecord &
@@ -138,6 +205,8 @@ collectServerStats(const AuthenticationServer &server,
     registry.set(component, "session_shards",
                  std::uint64_t(server.sessions().shardCount()));
     server.sessions().collectStats(registry, component);
+    if (const DurabilityManager *dur = server.durability())
+        dur->collectStats(registry, component);
 }
 
 std::vector<core::VddMv>

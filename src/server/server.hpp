@@ -28,6 +28,7 @@
 #include <cstdint>
 #include <optional>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "firmware/client.hpp"
@@ -75,6 +76,13 @@ class AuthenticationServer
                   const std::vector<core::VddMv> &reserved_levels);
 
     /**
+     * Enroll a fully prepared record (key already set) -- the path
+     * used by synthetic fixtures and by restores. Journaled like any
+     * other enrollment when a durability layer is attached.
+     */
+    DeviceRecord &enrollRecord(DeviceRecord record);
+
+    /**
      * Re-enroll a device whose silicon has drifted (trusted, like
      * first enrollment): recapture the error maps and issue a fresh
      * key. The old record -- including its consumed-pair history --
@@ -86,12 +94,7 @@ class AuthenticationServer
              firmware::AuthenticacheClient &client,
              const std::vector<core::VddMv> &challenge_levels,
              const std::vector<core::VddMv> &reserved_levels,
-             std::uint32_t sweep_passes = 8)
-    {
-        devices.remove(device_id);
-        return enroll(device_id, client, challenge_levels,
-                      reserved_levels, sweep_passes);
-    }
+             std::uint32_t sweep_passes = 8);
 
     /** Handle one queued message, if any. @return message handled. */
     bool pumpOnce(protocol::ServerEndpoint &endpoint)
@@ -208,11 +211,44 @@ class AuthenticationServer
     /** Devices locked by the lockout policy since construction. */
     std::uint64_t lockouts() const { return sessionsMgr.lockouts(); }
 
-    /** Administrator action: clear a device's lockout. */
-    void unlockDevice(std::uint64_t device_id)
+    /** Administrator action: clear a device's lockout (journaled). */
+    void unlockDevice(std::uint64_t device_id);
+
+    /**
+     * Attach (or detach, with nullptr) a durability layer: every
+     * batch journals its events and syncs before replying, and
+     * snapshot rotation runs at batch boundaries. The manager is not
+     * owned and must outlive the attachment.
+     */
+    void attachDurability(DurabilityManager *manager)
     {
-        devices.at(device_id).unlock();
+        front.attachDurability(manager);
     }
+
+    /** The attached durability layer, or nullptr. */
+    DurabilityManager *durability() { return front.durability(); }
+    const DurabilityManager *durability() const
+    {
+        return front.durability();
+    }
+
+    /**
+     * Replace the whole database (recovery / persistence restore).
+     * Only valid before traffic: pending sessions are not rebuilt.
+     */
+    void adoptDatabase(EnrollmentDatabase db)
+    {
+        devices.adopt(std::move(db));
+    }
+
+    /**
+     * Seed the completed-nonce replay cache with remap commit
+     * decisions recovered from the journal, so a client whose
+     * RemapAck raced the crash can retransmit it and still get the
+     * original commit (RecoveryResult::remapOutcomes).
+     */
+    void seedCompletedRemaps(
+        const std::vector<std::pair<std::uint64_t, bool>> &outcomes);
 
   private:
     ServerConfig cfg;

@@ -36,6 +36,7 @@
 #include "crypto/key.hpp"
 #include "protocol/messages.hpp"
 #include "server/config.hpp"
+#include "server/journal.hpp"
 #include "util/rng.hpp"
 #include "util/sim_clock.hpp"
 #include "util/stats_registry.hpp"
@@ -95,6 +96,15 @@ struct SessionShard
     /** Lazily created per-device RNG streams. */
     std::unordered_map<std::uint64_t, util::Rng> deviceRngs;
     ShardCounters counters;
+
+    /**
+     * Shard-local write-ahead buffer: flows push the journal events
+     * their frame produced (under the shard mutex, so parallel
+     * dispatch stays race-free); the front end drains every shard in
+     * index order at the batch boundary and syncs the journal before
+     * any reply leaves. Empty unless journaling is enabled.
+     */
+    std::vector<journal::Event> wal;
 
     std::size_t pending() const
     {
@@ -215,6 +225,14 @@ class SessionManager
 
     const ServerConfig &config() const { return cfg; }
 
+    /**
+     * Turn shard-local event journaling on/off. Off (the default)
+     * keeps the WAL buffers empty -- zero cost for servers without a
+     * durability layer attached.
+     */
+    void setJournaling(bool on) { journalingOn = on; }
+    bool journalingEnabled() const { return journalingOn; }
+
   private:
     template <typename Fn>
     std::uint64_t
@@ -232,6 +250,7 @@ class SessionManager
     void compactOrdinals();
 
     const ServerConfig &cfg;
+    bool journalingOn = false;
     std::uint64_t masterSeed;
     std::uint64_t shardMask = 0;
     std::vector<std::unique_ptr<SessionShard>> shards;

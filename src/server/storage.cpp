@@ -10,7 +10,8 @@ namespace authenticache::server {
 namespace {
 
 constexpr std::uint32_t kMagic = 0x42444341; // "ACDB".
-constexpr std::uint16_t kVersion = 1;
+constexpr std::uint16_t kVersionLegacy = 1;
+constexpr std::uint16_t kVersion = 2; // Adds durability metadata.
 
 } // namespace
 
@@ -34,11 +35,17 @@ struct RecordStorageAccess
         for (auto level : record.remapLevels)
             w.putU32(level);
 
+        // Canonical order: the consumed sets are unordered in memory,
+        // so sort before dumping -- equal logical states must produce
+        // byte-identical snapshots (recovery sweeps compare them).
         w.putU32(static_cast<std::uint32_t>(record.consumed.size()));
         for (const auto &[level, pairs] : record.consumed) {
             w.putU32(level);
             w.putU64(pairs.size());
-            for (auto pair_key : pairs)
+            std::vector<std::uint64_t> sorted(pairs.begin(),
+                                              pairs.end());
+            std::sort(sorted.begin(), sorted.end());
+            for (auto pair_key : sorted)
                 w.putU64(pair_key);
         }
 
@@ -180,12 +187,19 @@ decodeDeviceRecord(protocol::ByteReader &r)
     return RecordStorageAccess::decode(r);
 }
 
+namespace {
+
 std::vector<std::uint8_t>
-saveDatabase(const EnrollmentDatabase &db)
+saveDatabaseVersioned(const EnrollmentDatabase &db,
+                      std::uint16_t version, const SnapshotMeta &meta)
 {
     protocol::ByteWriter w;
     w.putU32(kMagic);
-    w.putU16(kVersion);
+    w.putU16(version);
+    if (version >= 2) {
+        w.putU64(meta.generation);
+        w.putU64(meta.journalWatermark);
+    }
     w.putU32(static_cast<std::uint32_t>(db.size()));
 
     // Deterministic order: sort by device id.
@@ -202,9 +216,25 @@ saveDatabase(const EnrollmentDatabase &db)
     return w.take();
 }
 
-EnrollmentDatabase
-loadDatabase(std::span<const std::uint8_t> blob)
+} // namespace
+
+std::vector<std::uint8_t>
+saveDatabase(const EnrollmentDatabase &db, const SnapshotMeta &meta)
 {
+    return saveDatabaseVersioned(db, kVersion, meta);
+}
+
+std::vector<std::uint8_t>
+saveDatabaseV1(const EnrollmentDatabase &db)
+{
+    return saveDatabaseVersioned(db, kVersionLegacy, {});
+}
+
+EnrollmentDatabase
+loadDatabase(std::span<const std::uint8_t> blob, SnapshotMeta *meta)
+{
+    if (meta != nullptr)
+        *meta = {};
     if (blob.size() < 4)
         throw protocol::DecodeError("snapshot truncated");
     std::uint32_t stored_crc = 0;
@@ -220,8 +250,16 @@ loadDatabase(std::span<const std::uint8_t> blob)
     protocol::ByteReader r(body);
     if (r.getU32() != kMagic)
         throw protocol::DecodeError("bad snapshot magic");
-    if (r.getU16() != kVersion)
+    std::uint16_t version = r.getU16();
+    if (version < kVersionLegacy || version > kVersion)
         throw protocol::DecodeError("unsupported snapshot version");
+    if (version >= 2) {
+        SnapshotMeta m;
+        m.generation = r.getU64();
+        m.journalWatermark = r.getU64();
+        if (meta != nullptr)
+            *meta = m;
+    }
 
     EnrollmentDatabase db;
     std::uint32_t count = r.getU32();
@@ -232,21 +270,18 @@ loadDatabase(std::span<const std::uint8_t> blob)
 }
 
 void
-saveDatabaseFile(const EnrollmentDatabase &db, const std::string &path)
+saveDatabaseFile(const EnrollmentDatabase &db, const std::string &path,
+                 const SnapshotMeta &meta, CrashInjector *inj)
 {
-    auto blob = saveDatabase(db);
-    std::ofstream out(path, std::ios::binary | std::ios::trunc);
-    if (!out)
-        throw std::runtime_error("saveDatabaseFile: cannot open " +
-                                 path);
-    out.write(reinterpret_cast<const char *>(blob.data()),
-              static_cast<std::streamsize>(blob.size()));
-    if (!out)
-        throw std::runtime_error("saveDatabaseFile: write failed");
+    // Atomic replacement: a crash mid-write must never destroy the
+    // previous snapshot (the old ofstream+trunc version did exactly
+    // that).
+    auto blob = saveDatabase(db, meta);
+    atomicWriteFile(path, blob, inj, "snapshot");
 }
 
 EnrollmentDatabase
-loadDatabaseFile(const std::string &path)
+loadDatabaseFile(const std::string &path, SnapshotMeta *meta)
 {
     std::ifstream in(path, std::ios::binary | std::ios::ate);
     if (!in)
@@ -258,7 +293,7 @@ loadDatabaseFile(const std::string &path)
     in.read(reinterpret_cast<char *>(blob.data()), size);
     if (!in)
         throw std::runtime_error("loadDatabaseFile: read failed");
-    return loadDatabase(blob);
+    return loadDatabase(blob, meta);
 }
 
 } // namespace authenticache::server

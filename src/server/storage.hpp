@@ -11,10 +11,20 @@
  *
  * Format (little endian):
  *
- *   [u32 magic "ACDB"][u16 version][u32 record count]
+ *   [u32 magic "ACDB"][u16 version]
+ *   v2 only: [u64 generation][u64 journal watermark]
+ *   [u32 record count]
  *     per record: id, geometry, planes, key, levels, consumed sets,
  *                 mixed pairs, counters
  *   [u32 crc32 of everything above]
+ *
+ * v2 adds the snapshot's durability metadata: its generation number
+ * and the journal sequence number it compacts up to (replay resumes
+ * after the watermark). v1 snapshots still load, with zero metadata.
+ * Record encoding is canonical -- records sorted by id, consumed-pair
+ * sets dumped in sorted order -- so equal logical states produce
+ * byte-identical snapshots (the crash-recovery sweep compares states
+ * this way).
  */
 
 #ifndef AUTH_SERVER_STORAGE_HPP
@@ -26,6 +36,7 @@
 
 #include "protocol/serialize.hpp"
 #include "server/database.hpp"
+#include "server/durable_io.hpp"
 
 namespace authenticache::server {
 
@@ -42,18 +53,45 @@ void encodeDeviceRecord(protocol::ByteWriter &w,
 /** Deserialize one device record. */
 DeviceRecord decodeDeviceRecord(protocol::ByteReader &r);
 
-/** Snapshot the whole database into a byte blob. */
-std::vector<std::uint8_t> saveDatabase(const EnrollmentDatabase &db);
+/** Durability metadata carried by v2 snapshots (zero for v1). */
+struct SnapshotMeta
+{
+    /** Snapshot generation number (rotation counter). */
+    std::uint64_t generation = 0;
 
-/** Restore a database from a blob; throws protocol::DecodeError. */
-EnrollmentDatabase loadDatabase(std::span<const std::uint8_t> blob);
+    /** Journal sequence this snapshot compacts up to (inclusive). */
+    std::uint64_t journalWatermark = 0;
+};
 
-/** Write a snapshot to a file; throws std::runtime_error on I/O. */
+/** Snapshot the whole database into a byte blob (current format). */
+std::vector<std::uint8_t> saveDatabase(const EnrollmentDatabase &db,
+                                       const SnapshotMeta &meta = {});
+
+/** Legacy v1 writer, kept for migration tests and old tooling. */
+std::vector<std::uint8_t> saveDatabaseV1(const EnrollmentDatabase &db);
+
+/**
+ * Restore a database from a blob (v1 or v2); throws
+ * protocol::DecodeError. @p meta, when given, receives the snapshot's
+ * durability metadata (zeros for v1).
+ */
+EnrollmentDatabase loadDatabase(std::span<const std::uint8_t> blob,
+                                SnapshotMeta *meta = nullptr);
+
+/**
+ * Write a snapshot to a file atomically (temp file + fsync + rename),
+ * so a crash mid-write never destroys the previous snapshot. Throws
+ * std::runtime_error on I/O failure. @p inj is the crash-injection
+ * hook used by the recovery sweep.
+ */
 void saveDatabaseFile(const EnrollmentDatabase &db,
-                      const std::string &path);
+                      const std::string &path,
+                      const SnapshotMeta &meta = {},
+                      CrashInjector *inj = nullptr);
 
-/** Load a snapshot from a file. */
-EnrollmentDatabase loadDatabaseFile(const std::string &path);
+/** Load a snapshot from a file (v1 or v2). */
+EnrollmentDatabase loadDatabaseFile(const std::string &path,
+                                    SnapshotMeta *meta = nullptr);
 
 } // namespace authenticache::server
 

@@ -9,7 +9,15 @@
  *   authenticache_cli auth --db FILE --device ID [--rounds N]
  *       Reload the database, re-manufacture the device from its die
  *       seed, and run N protocol authentications (consuming fresh
- *       CRPs; the updated database is written back).
+ *       CRPs; the updated database is written back). With
+ *       --durable DIR the server journals every mutation to DIR
+ *       (write-ahead log + snapshot generations) and starts from
+ *       whatever state crash recovery finds there.
+ *
+ *   authenticache_cli recover --durable DIR [--export FILE]
+ *       Run crash recovery against a durability directory, report
+ *       what it found, and optionally export the recovered database
+ *       as a plain snapshot file.
  *
  *   authenticache_cli imposter --db FILE --device ID --die SEED
  *       A different die (SEED) presents device ID's identity.
@@ -24,10 +32,12 @@
 #include <cstring>
 #include <iostream>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "firmware/keygen.hpp"
+#include "server/durability.hpp"
 #include "server/server.hpp"
 #include "server/storage.hpp"
 #include "util/table.hpp"
@@ -92,7 +102,10 @@ usage()
         << "  authenticache_cli enroll   --db FILE --device ID"
            " [--device ID ...] [--cache-kb N]\n"
         << "  authenticache_cli auth     --db FILE --device ID"
-           " [--rounds N] [--cache-kb N] [--shards N] [--stats]\n"
+           " [--rounds N] [--cache-kb N] [--shards N] [--stats]"
+           " [--durable DIR]\n"
+        << "  authenticache_cli recover  --durable DIR"
+           " [--export FILE]\n"
         << "  authenticache_cli imposter --db FILE --device ID"
            " --die SEED [--cache-kb N]\n"
         << "  authenticache_cli keygen   --die SEED [--cache-kb N]\n"
@@ -175,16 +188,32 @@ cmdAuth(const Args &args)
         static_cast<unsigned>(args.getU64("shards", 8));
     server::AuthenticationServer server(cfg, 0xA17A);
 
-    // Rebuild the server around the persisted database.
-    auto db = server::loadDatabaseFile(path);
-    if (!db.contains(id)) {
+    // With --durable, the durability directory is authoritative: run
+    // crash recovery and continue from whatever state it restores
+    // (the --db snapshot only seeds a fresh directory). Without it,
+    // the plain snapshot file is loaded as before.
+    std::string durable_dir = args.get("durable");
+    std::optional<server::DurabilityManager> durability;
+    if (!durable_dir.empty()) {
+        server::DurabilityConfig dcfg{durable_dir, 4096};
+        auto recovered = server::DurabilityManager::recover(dcfg);
+        if (recovered.freshStart)
+            server.adoptDatabase(server::loadDatabaseFile(path));
+        else
+            server.adoptDatabase(std::move(recovered.db));
+        durability.emplace(dcfg, server.database(),
+                           recovered.lastSeq);
+        durability->noteRecovery(recovered);
+        server.attachDurability(&*durability);
+        server.seedCompletedRemaps(recovered.remapOutcomes);
+    } else {
+        server.adoptDatabase(server::loadDatabaseFile(path));
+    }
+    if (!server.database().contains(id)) {
         std::cerr << "device " << id << " not enrolled in " << path
                   << "\n";
         return 1;
     }
-    // Move the records into the live server.
-    for (const auto &[record_id, record] : db.all())
-        server.database().enroll(record);
 
     Device device(id, cache_kb);
     device.client.setMapKey(server.database().at(id).mapKey());
@@ -218,8 +247,68 @@ cmdAuth(const Args &args)
         registry.dump(std::cout);
     }
 
+    if (durability) {
+        // Compact on clean exit: the final state becomes a complete
+        // snapshot generation, so the next recovery replays nothing.
+        durability->rotate(server.database());
+    }
     server::saveDatabaseFile(server.database(), path);
     std::cout << "database updated (consumed pairs persisted)\n";
+    return 0;
+}
+
+int
+cmdRecover(const Args &args)
+{
+    std::string dir = args.get("durable");
+    if (dir.empty())
+        return usage();
+
+    server::DurabilityConfig dcfg{dir, 0};
+    auto recovered = server::DurabilityManager::recover(dcfg);
+
+    const char *outcome = "?";
+    switch (recovered.outcome()) {
+    case server::RecoveryOutcome::FreshStart:
+        outcome = "fresh start (empty directory)";
+        break;
+    case server::RecoveryOutcome::SnapshotOnly:
+        outcome = "snapshot only";
+        break;
+    case server::RecoveryOutcome::SnapshotPlusJournal:
+        outcome = "snapshot + journal replay";
+        break;
+    case server::RecoveryOutcome::FallbackSnapshot:
+        outcome = "fallback to previous snapshot generation";
+        break;
+    }
+    util::Table table({"field", "value"});
+    table.row().cell("outcome").cell(outcome);
+    table.row().cell("generation").cell(recovered.generation);
+    table.row().cell("last_sequence").cell(recovered.lastSeq);
+    table.row()
+        .cell("replayed_records")
+        .cell(recovered.replayedRecords);
+    table.row()
+        .cell("snapshot_fallbacks")
+        .cell(recovered.snapshotFallbacks);
+    table.row()
+        .cell("torn_tail_truncated")
+        .cell(recovered.tornTailTruncated ? "yes" : "no");
+    table.row()
+        .cell("remap_outcomes")
+        .cell(std::uint64_t(recovered.remapOutcomes.size()));
+    table.row()
+        .cell("devices")
+        .cell(std::uint64_t(recovered.db.size()));
+    table.print(std::cout);
+
+    std::string export_path = args.get("export");
+    if (!export_path.empty()) {
+        server::saveDatabaseFile(recovered.db, export_path);
+        std::cout << "recovered database exported to " << export_path
+                  << "\n";
+    }
     return 0;
 }
 
@@ -337,6 +426,8 @@ main(int argc, char **argv)
             return cmdEnroll(args);
         if (args.command == "auth")
             return cmdAuth(args);
+        if (args.command == "recover")
+            return cmdRecover(args);
         if (args.command == "imposter")
             return cmdImposter(args);
         if (args.command == "keygen")
