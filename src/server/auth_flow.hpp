@@ -54,7 +54,8 @@ class AuthFlow
      * Caller holds @p sh's mutex; @p sh is the device's shard.
      */
     FlowOutput onRequest(SessionShard &sh,
-                         const protocol::AuthRequest &msg);
+                         const protocol::AuthRequest &msg)
+        AUTH_REQUIRES(sh.mutex);
 
     /**
      * Service a ResponseMsg on the nonce's shard: verify against the
@@ -62,7 +63,8 @@ class AuthFlow
      * for replay. Caller holds @p sh's mutex.
      */
     FlowOutput onResponse(SessionShard &sh,
-                          const protocol::ResponseMsg &msg);
+                          const protocol::ResponseMsg &msg)
+        AUTH_REQUIRES(sh.mutex);
 
   private:
     SessionManager &sessions;

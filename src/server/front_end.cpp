@@ -1,7 +1,6 @@
 #include "server/front_end.hpp"
 
 #include <exception>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <utility>
@@ -16,17 +15,17 @@ ServerFrontEnd::dispatch(const protocol::Message &msg)
     try {
         if (auto *req = std::get_if<protocol::AuthRequest>(&msg)) {
             SessionShard &sh = sessions.shardForDevice(req->deviceId);
-            std::lock_guard<std::mutex> lock(sh.mutex);
+            util::MutexLock lock(sh.mutex);
             return auth.onRequest(sh, *req);
         }
         if (auto *resp = std::get_if<protocol::ResponseMsg>(&msg)) {
             SessionShard &sh = sessions.shardForNonce(resp->nonce);
-            std::lock_guard<std::mutex> lock(sh.mutex);
+            util::MutexLock lock(sh.mutex);
             return auth.onResponse(sh, *resp);
         }
         if (auto *ack = std::get_if<protocol::RemapAck>(&msg)) {
             SessionShard &sh = sessions.shardForNonce(ack->nonce);
-            std::lock_guard<std::mutex> lock(sh.mutex);
+            util::MutexLock lock(sh.mutex);
             return remap.onAck(sh, *ack);
         }
         FlowOutput out;
@@ -54,7 +53,7 @@ ServerFrontEnd::flushJournal()
     // the thread count (the determinism contract extends to disk).
     for (unsigned s = 0; s < sessions.shardCount(); ++s) {
         SessionShard &sh = sessions.shard(s);
-        std::lock_guard<std::mutex> lock(sh.mutex);
+        util::MutexLock lock(sh.mutex);
         for (auto &event : sh.wal)
             dur->append(event);
         sh.wal.clear();
@@ -195,7 +194,7 @@ ServerFrontEnd::startRemap(std::uint64_t device_id,
     std::vector<FlowOutput> outputs(1);
     try {
         SessionShard &sh = sessions.shardForDevice(device_id);
-        std::lock_guard<std::mutex> lock(sh.mutex);
+        util::MutexLock lock(sh.mutex);
         outputs[0] = remap.start(sh, device_id);
     } catch (const std::exception &e) {
         outputs[0].replies.push_back(

@@ -33,14 +33,16 @@ class RemapFlow
      * no reserved levels or an exhausted pair supply get an ErrorMsg
      * reject instead of an exception.
      */
-    FlowOutput start(SessionShard &sh, std::uint64_t device_id);
+    FlowOutput start(SessionShard &sh, std::uint64_t device_id)
+        AUTH_REQUIRES(sh.mutex);
 
     /**
      * Phase 2: check the client's key-confirmation MAC and commit or
      * reject (two-phase: keys switch only on proof of agreement).
      * Caller holds @p sh's mutex.
      */
-    FlowOutput onAck(SessionShard &sh, const protocol::RemapAck &msg);
+    FlowOutput onAck(SessionShard &sh, const protocol::RemapAck &msg)
+        AUTH_REQUIRES(sh.mutex);
 
   private:
     SessionManager &sessions;

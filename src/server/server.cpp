@@ -1,7 +1,6 @@
 #include "server/server.hpp"
 
 #include <cmath>
-#include <mutex>
 
 #include "server/durability.hpp"
 #include "server/storage.hpp"
@@ -101,7 +100,7 @@ AuthenticationServer::seedCompletedRemaps(
 {
     for (const auto &[nonce, committed] : outcomes) {
         SessionShard &sh = sessionsMgr.shardForNonce(nonce);
-        std::lock_guard<std::mutex> lock(sh.mutex);
+        util::MutexLock lock(sh.mutex);
         sh.cacheCompleted(nonce,
                           protocol::RemapCommit{nonce, committed},
                           cfg.completedCacheSize);
@@ -175,6 +174,7 @@ collectServerStats(const AuthenticationServer &server,
     std::uint64_t rejected = 0;
     std::uint64_t locked = 0;
     std::uint64_t errors = 0;
+    // Order-independent sums over the records. LINT:allow(unordered-iter)
     for (const auto &[id, record] : server.database().all()) {
         accepted += record.accepted();
         rejected += record.rejected();

@@ -181,7 +181,7 @@ SessionManager::expireAll()
         return;
     const std::uint64_t now = simClock->now();
     for (auto &sh : shards) {
-        std::lock_guard<std::mutex> guard(sh->mutex);
+        util::MutexLock guard(sh->mutex);
         sh->expire(now);
     }
 }
@@ -210,7 +210,7 @@ SessionManager::enforceCap()
         const std::uint64_t victim = oldest->second;
         pendingByOrdinal.erase(oldest);
         SessionShard &sh = shardForNonce(victim);
-        std::lock_guard<std::mutex> guard(sh.mutex);
+        util::MutexLock guard(sh.mutex);
         if (sh.evict(victim))
             --total; // Stale entries (completed nonces) just drop out.
     }
@@ -228,7 +228,7 @@ SessionManager::compactOrdinals()
     for (auto it = pendingByOrdinal.begin();
          it != pendingByOrdinal.end();) {
         SessionShard &sh = shardForNonce(it->second);
-        std::lock_guard<std::mutex> guard(sh.mutex);
+        util::MutexLock guard(sh.mutex);
         if (sh.pendingAuths.count(it->second) ||
             sh.pendingRemaps.count(it->second))
             ++it;
@@ -240,64 +240,54 @@ SessionManager::compactOrdinals()
 std::size_t
 SessionManager::totalPending() const
 {
-    return static_cast<std::size_t>(sumShards(
-        [](const SessionShard &sh) { return sh.pending(); }));
+    std::size_t total = 0;
+    for (const auto &sh : shards) {
+        util::MutexLock guard(sh->mutex);
+        total += sh->pending();
+    }
+    return total;
 }
 
 std::uint64_t
 SessionManager::sessionsEvicted() const
 {
-    return sumShards([](const SessionShard &sh) {
-        return sh.counters.evicted;
-    });
+    return sumCounter(&ShardCounters::evicted);
 }
 
 std::uint64_t
 SessionManager::sessionsExpired() const
 {
-    return sumShards([](const SessionShard &sh) {
-        return sh.counters.expired;
-    });
+    return sumCounter(&ShardCounters::expired);
 }
 
 std::uint64_t
 SessionManager::duplicateRequests() const
 {
-    return sumShards([](const SessionShard &sh) {
-        return sh.counters.dupRequests;
-    });
+    return sumCounter(&ShardCounters::dupRequests);
 }
 
 std::uint64_t
 SessionManager::duplicateCompletions() const
 {
-    return sumShards([](const SessionShard &sh) {
-        return sh.counters.dupCompletions;
-    });
+    return sumCounter(&ShardCounters::dupCompletions);
 }
 
 std::uint64_t
 SessionManager::remapsCommitted() const
 {
-    return sumShards([](const SessionShard &sh) {
-        return sh.counters.remapsCommitted;
-    });
+    return sumCounter(&ShardCounters::remapsCommitted);
 }
 
 std::uint64_t
 SessionManager::remapsRejected() const
 {
-    return sumShards([](const SessionShard &sh) {
-        return sh.counters.remapsRejected;
-    });
+    return sumCounter(&ShardCounters::remapsRejected);
 }
 
 std::uint64_t
 SessionManager::lockouts() const
 {
-    return sumShards([](const SessionShard &sh) {
-        return sh.counters.lockouts;
-    });
+    return sumCounter(&ShardCounters::lockouts);
 }
 
 void
@@ -305,7 +295,7 @@ SessionManager::collectStats(util::StatsRegistry &registry,
                              const std::string &component) const
 {
     for (const auto &sh : shards) {
-        std::lock_guard<std::mutex> guard(sh->mutex);
+        util::MutexLock guard(sh->mutex);
         const std::string name =
             component + ".shard" + std::to_string(sh->index);
         registry.set(name, "sessions_active",

@@ -202,9 +202,11 @@ saveDatabaseVersioned(const EnrollmentDatabase &db,
     }
     w.putU32(static_cast<std::uint32_t>(db.size()));
 
-    // Deterministic order: sort by device id.
+    // Deterministic order: ids are sorted below before any byte is
+    // written, so the map's order never reaches the snapshot.
     std::vector<std::uint64_t> ids;
     ids.reserve(db.size());
+    // LINT:allow(unordered-iter)
     for (const auto &[id, _] : db.all())
         ids.push_back(id);
     std::sort(ids.begin(), ids.end());

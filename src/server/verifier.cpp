@@ -4,33 +4,54 @@ namespace authenticache::server {
 
 Verifier::Verifier(const VerifierPolicy &policy) : pol(policy) {}
 
-Verifier::Verifier(const Verifier &other) : pol(other.pol) {}
+Verifier::Verifier(const Verifier &other)
+{
+    // Read the source's policy under *its* lock: a concurrent
+    // operator= on `other` would otherwise tear the doubles.
+    util::MutexLock lock(other.cacheMutex);
+    pol = other.pol;
+}
 
 Verifier &
 Verifier::operator=(const Verifier &other)
 {
     if (this != &other) {
-        std::lock_guard<std::mutex> lock(cacheMutex);
-        pol = other.pol;
+        // Copy out under the source's lock, then install under ours;
+        // never hold both, so no acquisition order can deadlock.
+        VerifierPolicy incoming;
+        {
+            util::MutexLock lock(other.cacheMutex);
+            incoming = other.pol;
+        }
+        util::MutexLock lock(cacheMutex);
+        pol = incoming;
         cache.clear();
     }
     return *this;
 }
 
+VerifierPolicy
+Verifier::policy() const
+{
+    util::MutexLock lock(cacheMutex);
+    return pol;
+}
+
 metrics::ThresholdChoice
 Verifier::choiceFor(std::size_t response_bits) const
 {
+    VerifierPolicy p;
     {
-        std::lock_guard<std::mutex> lock(cacheMutex);
+        util::MutexLock lock(cacheMutex);
         auto it = cache.find(response_bits);
         if (it != cache.end())
             return it->second;
+        p = pol;
     }
     // Compute outside the lock: the sweep is O(response_bits) and two
     // threads racing on a cold entry just store the same value twice.
-    auto choice =
-        metrics::eerThreshold(response_bits, pol.pInter, pol.pIntra);
-    std::lock_guard<std::mutex> lock(cacheMutex);
+    auto choice = metrics::eerThreshold(response_bits, p.pInter, p.pIntra);
+    util::MutexLock lock(cacheMutex);
     cache.emplace(response_bits, choice);
     return choice;
 }

@@ -9,8 +9,10 @@
  * response length -- the policy's (pInter, pIntra) are fixed for the
  * verifier's lifetime, so the response bit-count is the full cache
  * key -- making steady-state verification an O(1) lookup plus one
- * Hamming distance. The cache is mutex-guarded so concurrent server
- * sessions can verify on pool threads.
+ * Hamming distance. The cache (and the policy, which copy-assignment
+ * can replace) is mutex-guarded so concurrent server sessions can
+ * verify on pool threads; the guard relationships are stated with
+ * Clang thread-safety annotations (util/mutex.hpp).
  */
 
 #ifndef AUTH_SERVER_VERIFIER_HPP
@@ -18,7 +20,8 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
+
+#include "util/mutex.hpp"
 
 #include "core/challenge.hpp"
 #include "metrics/identifiability.hpp"
@@ -59,22 +62,27 @@ class Verifier
     Verifier &operator=(const Verifier &other);
 
     /** EER threshold for an n-bit response under the policy. */
-    std::int64_t thresholdFor(std::size_t response_bits) const;
+    std::int64_t thresholdFor(std::size_t response_bits) const
+        AUTH_EXCLUDES(cacheMutex);
 
     /** Compare a received response against the expected one. */
     Verdict verify(const core::Response &expected,
-                   const core::Response &received) const;
+                   const core::Response &received) const
+        AUTH_EXCLUDES(cacheMutex);
 
-    const VerifierPolicy &policy() const { return pol; }
+    /** Snapshot of the policy (by value: assignment can replace it). */
+    VerifierPolicy policy() const AUTH_EXCLUDES(cacheMutex);
 
   private:
     /** Memoized EER sweep for one response length. */
-    metrics::ThresholdChoice choiceFor(std::size_t response_bits) const;
+    metrics::ThresholdChoice choiceFor(std::size_t response_bits) const
+        AUTH_EXCLUDES(cacheMutex);
 
-    VerifierPolicy pol;
-    mutable std::mutex cacheMutex;
-    mutable std::map<std::size_t, metrics::ThresholdChoice>
-        cache; // Guarded by cacheMutex.
+    /** `mutable` so const read APIs can lock; see DESIGN.md 5g. */
+    mutable util::Mutex cacheMutex;
+    VerifierPolicy pol AUTH_GUARDED_BY(cacheMutex);
+    mutable std::map<std::size_t, metrics::ThresholdChoice> cache
+        AUTH_GUARDED_BY(cacheMutex);
 };
 
 } // namespace authenticache::server

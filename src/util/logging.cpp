@@ -3,20 +3,24 @@
 #include <atomic>
 #include <iostream>
 #include <map>
-#include <mutex>
+
+#include "util/mutex.hpp"
 
 namespace authenticache::util {
 
 namespace {
 
 std::atomic<LogLevel> globalLevel{LogLevel::Warn};
-std::mutex logMutex;
+Mutex logMutex;
 
 // Per-component overrides. The atomic count lets the common case (no
 // overrides anywhere) skip the map lookup and its lock entirely --
-// shard workers call logEnabled on every frame.
-std::mutex overrideMutex;
-std::map<std::string, LogLevel> overrides;
+// shard workers call logEnabled on every frame. Sanctioned order:
+// overrideMutex (level lookup) strictly before logMutex (emission);
+// today the two are never nested, and the ACQUIRED_BEFORE keeps any
+// future nesting one-directional.
+Mutex overrideMutex AUTH_ACQUIRED_BEFORE(logMutex);
+std::map<std::string, LogLevel> overrides AUTH_GUARDED_BY(overrideMutex);
 std::atomic<std::size_t> overrideCount{0};
 
 const char *
@@ -37,7 +41,7 @@ levelName(LogLevel level)
  * dotted prefix ("a.b.c" -> "a.b" -> "a"). Caller holds overrideMutex.
  */
 const LogLevel *
-findOverride(const std::string &component)
+findOverride(const std::string &component) AUTH_REQUIRES(overrideMutex)
 {
     std::string name = component;
     while (true) {
@@ -68,7 +72,7 @@ logLevel()
 void
 setLogLevel(const std::string &component, LogLevel level)
 {
-    std::lock_guard<std::mutex> lock(overrideMutex);
+    MutexLock lock(overrideMutex);
     overrides[component] = level;
     overrideCount.store(overrides.size(), std::memory_order_release);
 }
@@ -76,7 +80,7 @@ setLogLevel(const std::string &component, LogLevel level)
 void
 clearComponentLogLevels()
 {
-    std::lock_guard<std::mutex> lock(overrideMutex);
+    MutexLock lock(overrideMutex);
     overrides.clear();
     overrideCount.store(0, std::memory_order_release);
 }
@@ -85,7 +89,7 @@ LogLevel
 logLevel(const std::string &component)
 {
     if (overrideCount.load(std::memory_order_acquire) != 0) {
-        std::lock_guard<std::mutex> lock(overrideMutex);
+        MutexLock lock(overrideMutex);
         if (const LogLevel *lvl = findOverride(component))
             return *lvl;
     }
@@ -105,7 +109,7 @@ logMessage(LogLevel level, const std::string &component,
 {
     if (!logEnabled(level, component))
         return;
-    std::lock_guard<std::mutex> lock(logMutex);
+    MutexLock lock(logMutex);
     std::cerr << '[' << levelName(level) << "] " << component << ": "
               << message << '\n';
 }

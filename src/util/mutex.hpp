@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Annotated mutex wrappers for Clang Thread Safety Analysis.
+ *
+ * Every lock in the project goes through these types instead of raw
+ * std::mutex / std::shared_mutex, so the lock discipline -- which
+ * fields a mutex guards, which methods require it held, which must be
+ * called without it -- is stated in the type system and checked at
+ * compile time by Clang's -Wthread-safety. Under GCC (and any other
+ * compiler without the capability attributes) the macros expand to
+ * nothing and the wrappers are zero-cost shims over the std types, so
+ * the annotated build is byte-for-byte the plain build.
+ *
+ * Conventions (see DESIGN.md section 5g):
+ *  - data members guarded by a lock carry AUTH_GUARDED_BY(mu);
+ *  - methods whose caller must already hold the lock carry
+ *    AUTH_REQUIRES(mu) -- capability expressions may name a
+ *    parameter's lock, e.g. AUTH_REQUIRES(sh.mutex);
+ *  - methods that take the lock themselves carry AUTH_EXCLUDES(mu) so
+ *    re-entrant callers are rejected instead of deadlocking;
+ *  - fixed acquisition orders are declared with AUTH_ACQUIRED_BEFORE /
+ *    AUTH_ACQUIRED_AFTER on the mutex declarations themselves;
+ *  - a `mutable Mutex` on a const read API that locks internally is
+ *    idiomatic, NOT a workaround; const_cast around locking is.
+ */
+
+#ifndef AUTH_UTIL_MUTEX_HPP
+#define AUTH_UTIL_MUTEX_HPP
+
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+// Attribute shims, modeled on Abseil's thread_annotations.h. Clang
+// understands the capability attributes; everything else sees no-ops.
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define AUTH_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef AUTH_THREAD_ANNOTATION
+#define AUTH_THREAD_ANNOTATION(x) // no-op outside Clang
+#endif
+
+#define AUTH_CAPABILITY(x) AUTH_THREAD_ANNOTATION(capability(x))
+#define AUTH_SCOPED_CAPABILITY AUTH_THREAD_ANNOTATION(scoped_lockable)
+#define AUTH_GUARDED_BY(x) AUTH_THREAD_ANNOTATION(guarded_by(x))
+#define AUTH_PT_GUARDED_BY(x) AUTH_THREAD_ANNOTATION(pt_guarded_by(x))
+#define AUTH_ACQUIRED_BEFORE(...)                                           \
+    AUTH_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define AUTH_ACQUIRED_AFTER(...)                                            \
+    AUTH_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+#define AUTH_REQUIRES(...)                                                  \
+    AUTH_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define AUTH_REQUIRES_SHARED(...)                                           \
+    AUTH_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+#define AUTH_ACQUIRE(...)                                                   \
+    AUTH_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define AUTH_ACQUIRE_SHARED(...)                                            \
+    AUTH_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+#define AUTH_RELEASE(...)                                                   \
+    AUTH_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define AUTH_RELEASE_SHARED(...)                                            \
+    AUTH_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+#define AUTH_TRY_ACQUIRE(...)                                               \
+    AUTH_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define AUTH_EXCLUDES(...) AUTH_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define AUTH_ASSERT_CAPABILITY(x)                                           \
+    AUTH_THREAD_ANNOTATION(assert_capability(x))
+#define AUTH_RETURN_CAPABILITY(x)                                           \
+    AUTH_THREAD_ANNOTATION(lock_returned(x))
+#define AUTH_NO_THREAD_SAFETY_ANALYSIS                                      \
+    AUTH_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace authenticache::util {
+
+/** Exclusive mutex; a Clang "capability" the analysis can track. */
+class AUTH_CAPABILITY("mutex") Mutex
+{
+  public:
+    Mutex() = default;
+    Mutex(const Mutex &) = delete;
+    Mutex &operator=(const Mutex &) = delete;
+
+    void lock() AUTH_ACQUIRE() { m.lock(); }
+    void unlock() AUTH_RELEASE() { m.unlock(); }
+    bool try_lock() AUTH_TRY_ACQUIRE(true) { return m.try_lock(); }
+
+  private:
+    friend class CondVar;
+    std::mutex m;
+};
+
+/** RAII exclusive lock over a Mutex (the std::lock_guard analogue). */
+class AUTH_SCOPED_CAPABILITY MutexLock
+{
+  public:
+    explicit MutexLock(Mutex &mutex) AUTH_ACQUIRE(mutex) : mu(mutex)
+    {
+        mu.lock();
+    }
+    ~MutexLock() AUTH_RELEASE() { mu.unlock(); }
+
+    MutexLock(const MutexLock &) = delete;
+    MutexLock &operator=(const MutexLock &) = delete;
+
+  private:
+    Mutex &mu;
+};
+
+/** Reader/writer mutex capability over std::shared_mutex. */
+class AUTH_CAPABILITY("shared_mutex") SharedMutex
+{
+  public:
+    SharedMutex() = default;
+    SharedMutex(const SharedMutex &) = delete;
+    SharedMutex &operator=(const SharedMutex &) = delete;
+
+    void lock() AUTH_ACQUIRE() { m.lock(); }
+    void unlock() AUTH_RELEASE() { m.unlock(); }
+    void lock_shared() AUTH_ACQUIRE_SHARED() { m.lock_shared(); }
+    void unlock_shared() AUTH_RELEASE_SHARED() { m.unlock_shared(); }
+
+  private:
+    std::shared_mutex m;
+};
+
+/** RAII exclusive (writer) lock over a SharedMutex. */
+class AUTH_SCOPED_CAPABILITY SharedMutexLock
+{
+  public:
+    explicit SharedMutexLock(SharedMutex &mutex) AUTH_ACQUIRE(mutex)
+        : mu(mutex)
+    {
+        mu.lock();
+    }
+    ~SharedMutexLock() AUTH_RELEASE() { mu.unlock(); }
+
+    SharedMutexLock(const SharedMutexLock &) = delete;
+    SharedMutexLock &operator=(const SharedMutexLock &) = delete;
+
+  private:
+    SharedMutex &mu;
+};
+
+/** RAII shared (reader) lock over a SharedMutex. */
+class AUTH_SCOPED_CAPABILITY SharedReaderLock
+{
+  public:
+    explicit SharedReaderLock(SharedMutex &mutex)
+        AUTH_ACQUIRE_SHARED(mutex)
+        : mu(mutex)
+    {
+        mu.lock_shared();
+    }
+    ~SharedReaderLock() AUTH_RELEASE() { mu.unlock_shared(); }
+
+    SharedReaderLock(const SharedReaderLock &) = delete;
+    SharedReaderLock &operator=(const SharedReaderLock &) = delete;
+
+  private:
+    SharedMutex &mu;
+};
+
+/**
+ * Condition variable paired with util::Mutex. wait() is annotated
+ * REQUIRES(mu), so the predicate re-check loop around it is analyzed
+ * with the lock held -- write the loop in the caller:
+ *
+ *   MutexLock lock(mu);
+ *   while (!ready)
+ *       cv.wait(mu);
+ *
+ * (No predicate overload on purpose: a lambda predicate is analyzed
+ * as a separate unannotated function and would defeat the checking of
+ * the guarded fields it reads.)
+ */
+class CondVar
+{
+  public:
+    CondVar() = default;
+    CondVar(const CondVar &) = delete;
+    CondVar &operator=(const CondVar &) = delete;
+
+    /** Atomically release @p mu, sleep, and re-acquire before return. */
+    void
+    wait(Mutex &mu) AUTH_REQUIRES(mu)
+    {
+        std::unique_lock<std::mutex> native(mu.m, std::adopt_lock);
+        cv.wait(native);
+        native.release(); // Ownership stays with the caller's scope.
+    }
+
+    void notify_one() { cv.notify_one(); }
+    void notify_all() { cv.notify_all(); }
+
+  private:
+    std::condition_variable cv;
+};
+
+} // namespace authenticache::util
+
+#endif // AUTH_UTIL_MUTEX_HPP

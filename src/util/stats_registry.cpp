@@ -17,7 +17,7 @@ void
 StatsRegistry::set(const std::string &component,
                    const std::string &name, std::uint64_t value)
 {
-    std::lock_guard<std::mutex> lock(mutex);
+    MutexLock lock(mutex);
     ints[key(component, name)] = value;
 }
 
@@ -25,7 +25,7 @@ void
 StatsRegistry::set(const std::string &component,
                    const std::string &name, double value)
 {
-    std::lock_guard<std::mutex> lock(mutex);
+    MutexLock lock(mutex);
     floats[key(component, name)] = value;
 }
 
@@ -33,7 +33,7 @@ void
 StatsRegistry::add(const std::string &component,
                    const std::string &name, std::uint64_t delta)
 {
-    std::lock_guard<std::mutex> lock(mutex);
+    MutexLock lock(mutex);
     ints[key(component, name)] += delta;
 }
 
@@ -41,7 +41,7 @@ std::optional<std::uint64_t>
 StatsRegistry::getInt(const std::string &component,
                       const std::string &name) const
 {
-    std::lock_guard<std::mutex> lock(mutex);
+    MutexLock lock(mutex);
     auto it = ints.find(key(component, name));
     if (it == ints.end())
         return std::nullopt;
@@ -52,7 +52,7 @@ std::optional<double>
 StatsRegistry::getFloat(const std::string &component,
                         const std::string &name) const
 {
-    std::lock_guard<std::mutex> lock(mutex);
+    MutexLock lock(mutex);
     auto it = floats.find(key(component, name));
     if (it == floats.end())
         return std::nullopt;
@@ -62,14 +62,14 @@ StatsRegistry::getFloat(const std::string &component,
 std::size_t
 StatsRegistry::size() const
 {
-    std::lock_guard<std::mutex> lock(mutex);
+    MutexLock lock(mutex);
     return ints.size() + floats.size();
 }
 
 void
 StatsRegistry::clear()
 {
-    std::lock_guard<std::mutex> lock(mutex);
+    MutexLock lock(mutex);
     ints.clear();
     floats.clear();
 }
@@ -82,7 +82,7 @@ StatsRegistry::dump(std::ostream &os) const
     std::map<std::string, std::uint64_t> int_snap;
     std::map<std::string, double> float_snap;
     {
-        std::lock_guard<std::mutex> lock(mutex);
+        MutexLock lock(mutex);
         int_snap = ints;
         float_snap = floats;
     }

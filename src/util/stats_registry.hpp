@@ -18,9 +18,10 @@
 #include <cstdint>
 #include <iosfwd>
 #include <map>
-#include <mutex>
 #include <optional>
 #include <string>
+
+#include "util/mutex.hpp"
 
 namespace authenticache::util {
 
@@ -33,39 +34,40 @@ class StatsRegistry
 
     /** Set (or overwrite) an integer statistic. */
     void set(const std::string &component, const std::string &name,
-             std::uint64_t value);
+             std::uint64_t value) AUTH_EXCLUDES(mutex);
 
     /** Set (or overwrite) a floating-point statistic. */
     void set(const std::string &component, const std::string &name,
-             double value);
+             double value) AUTH_EXCLUDES(mutex);
 
     /** Add to an integer statistic (creating it at zero). */
     void add(const std::string &component, const std::string &name,
-             std::uint64_t delta);
+             std::uint64_t delta) AUTH_EXCLUDES(mutex);
 
     /** Look up an integer statistic. */
     std::optional<std::uint64_t>
     getInt(const std::string &component,
-           const std::string &name) const;
+           const std::string &name) const AUTH_EXCLUDES(mutex);
 
     /** Look up a floating-point statistic. */
-    std::optional<double> getFloat(const std::string &component,
-                                   const std::string &name) const;
+    std::optional<double>
+    getFloat(const std::string &component,
+             const std::string &name) const AUTH_EXCLUDES(mutex);
 
-    std::size_t size() const;
+    std::size_t size() const AUTH_EXCLUDES(mutex);
 
-    void clear();
+    void clear() AUTH_EXCLUDES(mutex);
 
     /** Aligned "component  statistic  value" table, sorted by key. */
-    void dump(std::ostream &os) const;
+    void dump(std::ostream &os) const AUTH_EXCLUDES(mutex);
 
   private:
     static std::string key(const std::string &component,
                            const std::string &name);
 
-    mutable std::mutex mutex;
-    std::map<std::string, std::uint64_t> ints;  // Guarded by mutex.
-    std::map<std::string, double> floats;       // Guarded by mutex.
+    mutable Mutex mutex;
+    std::map<std::string, std::uint64_t> ints AUTH_GUARDED_BY(mutex);
+    std::map<std::string, double> floats AUTH_GUARDED_BY(mutex);
 };
 
 } // namespace authenticache::util

@@ -17,7 +17,7 @@ ThreadPool::ThreadPool(unsigned threads)
 ThreadPool::~ThreadPool()
 {
     {
-        std::lock_guard<std::mutex> lock(mutex);
+        MutexLock lock(mutex);
         stopping = true;
     }
     wake.notify_all();
@@ -38,7 +38,7 @@ ThreadPool::Batch::run()
                 (*body)(i);
             } catch (...) {
                 {
-                    std::lock_guard<std::mutex> lock(errorMutex);
+                    MutexLock lock(errorMutex);
                     if (!error)
                         error = std::current_exception();
                 }
@@ -53,7 +53,7 @@ ThreadPool::Batch::run()
         finished.fetch_add(done_here, std::memory_order_acq_rel) +
         done_here;
     if (total == count) {
-        std::lock_guard<std::mutex> lock(doneMutex);
+        MutexLock lock(doneMutex);
         doneCv.notify_all();
     }
 }
@@ -61,10 +61,9 @@ ThreadPool::Batch::run()
 void
 ThreadPool::Batch::wait()
 {
-    std::unique_lock<std::mutex> lock(doneMutex);
-    doneCv.wait(lock, [this] {
-        return finished.load(std::memory_order_acquire) == count;
-    });
+    MutexLock lock(doneMutex);
+    while (finished.load(std::memory_order_acquire) != count)
+        doneCv.wait(doneMutex);
 }
 
 void
@@ -74,9 +73,9 @@ ThreadPool::workerLoop()
     for (;;) {
         std::shared_ptr<Batch> batch;
         {
-            std::unique_lock<std::mutex> lock(mutex);
-            wake.wait(lock,
-                      [&] { return stopping || current != last; });
+            MutexLock lock(mutex);
+            while (!stopping && current == last)
+                wake.wait(mutex);
             if (stopping)
                 return;
             batch = current;
@@ -103,7 +102,7 @@ ThreadPool::parallelFor(std::size_t count,
     batch->body = &body;
     batch->count = count;
     {
-        std::lock_guard<std::mutex> lock(mutex);
+        MutexLock lock(mutex);
         current = batch;
     }
     wake.notify_all();
@@ -112,12 +111,19 @@ ThreadPool::parallelFor(std::size_t count,
     {
         // Unpublish so idle workers park instead of re-checking a
         // finished batch.
-        std::lock_guard<std::mutex> lock(mutex);
+        MutexLock lock(mutex);
         if (current == batch)
             current = nullptr;
     }
-    if (batch->error)
-        std::rethrow_exception(batch->error);
+    // Reading the slot under its lock keeps the annotation sound; the
+    // finished-counter handshake in wait() already ordered the write.
+    std::exception_ptr error;
+    {
+        MutexLock lock(batch->errorMutex);
+        error = batch->error;
+    }
+    if (error)
+        std::rethrow_exception(error);
 }
 
 unsigned

@@ -19,13 +19,13 @@
 #define AUTH_UTIL_THREAD_POOL_HPP
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.hpp"
 
 namespace authenticache::util {
 
@@ -57,7 +57,8 @@ class ThreadPool
      * batch drains.
      */
     void parallelFor(std::size_t count,
-                     const std::function<void(std::size_t)> &body);
+                     const std::function<void(std::size_t)> &body)
+        AUTH_EXCLUDES(mutex);
 
     /**
      * Map every index to a T, then fold the per-index results *in
@@ -93,27 +94,29 @@ class ThreadPool
      *  so a stale worker can never claim indices of a later batch. */
     struct Batch
     {
+        /** Immutable after publication (set before the batch becomes
+         *  visible to any worker), so not lock-guarded. */
         const std::function<void(std::size_t)> *body = nullptr;
         std::size_t count = 0;
         std::atomic<std::size_t> next{0};
         std::atomic<std::size_t> finished{0};
         std::atomic<bool> failed{false};
-        std::mutex errorMutex;
-        std::exception_ptr error;
-        std::mutex doneMutex;
-        std::condition_variable doneCv;
+        Mutex errorMutex;
+        std::exception_ptr error AUTH_GUARDED_BY(errorMutex);
+        Mutex doneMutex;
+        CondVar doneCv;
 
         void run();
-        void wait();
+        void wait() AUTH_EXCLUDES(doneMutex);
     };
 
-    void workerLoop();
+    void workerLoop() AUTH_EXCLUDES(mutex);
 
     std::vector<std::thread> workers;
-    std::mutex mutex;
-    std::condition_variable wake;
-    std::shared_ptr<Batch> current; // Guarded by mutex.
-    bool stopping = false;          // Guarded by mutex.
+    Mutex mutex;
+    CondVar wake;
+    std::shared_ptr<Batch> current AUTH_GUARDED_BY(mutex);
+    bool stopping AUTH_GUARDED_BY(mutex) = false;
 };
 
 } // namespace authenticache::util

@@ -1,0 +1,20 @@
+// A determinism-respecting file: no finding for any rule.
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+std::uint64_t sumSorted(const std::unordered_map<std::uint64_t, std::uint64_t> &m)
+{
+    // Canonical idiom: copy the keys out, sort, then iterate the
+    // vector -- the unordered order never reaches the result.
+    std::vector<std::uint64_t> keys;
+    for (std::size_t i = 0; i < keys.size(); ++i)
+        keys[i] += 1;
+    std::uint64_t total = 0;
+    std::vector<std::uint64_t> values{1, 2, 3};
+    for (auto v : values)
+        total += v;
+    (void)m;
+    return total;
+}

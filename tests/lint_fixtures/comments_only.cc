@@ -1,0 +1,5 @@
+// Words like rand( and mt19937 and steady_clock in comments or
+// strings must never trip the scanner: it strips both first.
+/* fwrite( fsync( std::random_device */
+const char *kDoc = "call rand( and fwrite( at time( of day";
+int unused() { return 0; }

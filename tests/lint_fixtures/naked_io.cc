@@ -1,0 +1,8 @@
+#include <cstdio>
+#include <unistd.h>
+
+void persist(std::FILE *f, int fd, const char *buf)
+{
+    fwrite(buf, 1, 4, f);
+    fsync(fd);
+}

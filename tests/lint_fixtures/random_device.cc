@@ -1,0 +1,7 @@
+#include <random>
+
+unsigned seedFromHardware()
+{
+    std::random_device rd;
+    return rd();
+}

@@ -1,0 +1,7 @@
+#include <random>
+
+unsigned sample()
+{
+    std::mt19937 gen(7);
+    return static_cast<unsigned>(gen());
+}

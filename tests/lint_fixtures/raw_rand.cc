@@ -1,0 +1,7 @@
+#include <cstdlib>
+
+int draw()
+{
+    std::srand(42);
+    return std::rand();
+}

@@ -1,0 +1,12 @@
+#include <cstdint>
+#include <unordered_map>
+
+std::unordered_map<std::uint64_t, std::uint64_t> table;
+
+std::uint64_t firstKeyWins()
+{
+    std::uint64_t out = 0;
+    for (const auto &[k, v] : table)
+        out = out * 31 + k + v; // Order-dependent fold: a real bug.
+    return out;
+}

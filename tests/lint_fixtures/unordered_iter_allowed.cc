@@ -1,0 +1,13 @@
+#include <cstdint>
+#include <unordered_map>
+
+std::unordered_map<std::uint64_t, std::uint64_t> table;
+
+std::uint64_t orderIndependentSum()
+{
+    std::uint64_t out = 0;
+    // Commutative fold, reviewed. LINT:allow(unordered-iter)
+    for (const auto &[k, v] : table)
+        out += k + v;
+    return out;
+}

@@ -1,0 +1,9 @@
+#include <chrono>
+#include <ctime>
+
+long nowTwice()
+{
+    auto a = std::chrono::steady_clock::now().time_since_epoch().count();
+    auto b = static_cast<long>(time(nullptr));
+    return static_cast<long>(a) + b;
+}

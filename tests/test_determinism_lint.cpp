@@ -1,0 +1,236 @@
+/**
+ * @file
+ * Golden-fixture tests for the determinism lint (tools/lint): every
+ * rule must fire on its violating fixture, stay quiet on the clean
+ * ones, honor the per-rule path allowlists (util/rng.*,
+ * util/sim_clock.hpp, server/durable_io.*), and respect the
+ * `// LINT:allow(<rule>)` escape hatch on the flagged line or the
+ * line above. The ctest entry DeterminismLint.Tree separately gates
+ * the real src/ tree.
+ */
+
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "determinism_lint.hpp"
+
+namespace lint = authenticache::lint;
+
+namespace {
+
+std::string
+fixture(const std::string &name)
+{
+    const std::string path =
+        std::string(AUTH_LINT_FIXTURE_DIR) + "/" + name;
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in.good()) << "missing fixture " << path;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+}
+
+std::vector<lint::Finding>
+lintFixture(const std::string &name,
+            const std::string &label_override = "")
+{
+    const std::string label =
+        label_override.empty() ? "src/fixture/" + name
+                               : label_override;
+    return lint::lintSource(label, fixture(name),
+                            lint::Options::defaults());
+}
+
+std::set<std::string>
+rulesOf(const std::vector<lint::Finding> &findings)
+{
+    std::set<std::string> rules;
+    for (const auto &f : findings)
+        rules.insert(f.rule);
+    return rules;
+}
+
+} // namespace
+
+TEST(DeterminismLintFixtures, CleanFilePasses)
+{
+    EXPECT_TRUE(lintFixture("clean.cc").empty());
+}
+
+TEST(DeterminismLintFixtures, CommentsAndStringsNeverTrip)
+{
+    EXPECT_TRUE(lintFixture("comments_only.cc").empty());
+}
+
+TEST(DeterminismLintFixtures, RawRandFails)
+{
+    auto findings = lintFixture("raw_rand.cc");
+    ASSERT_EQ(findings.size(), 2u); // srand( and rand(
+    EXPECT_EQ(rulesOf(findings),
+              std::set<std::string>{"raw-rand"});
+    EXPECT_EQ(findings[0].line, 5u);
+    EXPECT_EQ(findings[1].line, 6u);
+}
+
+TEST(DeterminismLintFixtures, RandomDeviceFails)
+{
+    auto findings = lintFixture("random_device.cc");
+    ASSERT_FALSE(findings.empty());
+    EXPECT_EQ(rulesOf(findings),
+              std::set<std::string>{"random-device"});
+}
+
+TEST(DeterminismLintFixtures, RawEngineFailsOutsideRng)
+{
+    auto findings = lintFixture("raw_engine.cc");
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].rule, "raw-engine");
+    EXPECT_EQ(findings[0].line, 5u);
+}
+
+TEST(DeterminismLintFixtures, RawEngineAllowedInsideRngSources)
+{
+    // The same content relabeled as util/rng.cpp is allowlisted:
+    // Rng's own implementation is the one sanctioned engine home.
+    EXPECT_TRUE(
+        lintFixture("raw_engine.cc", "src/util/rng.cpp").empty());
+    EXPECT_TRUE(
+        lintFixture("raw_engine.cc", "src/util/rng.hpp").empty());
+    // Any other util file still fails.
+    EXPECT_FALSE(
+        lintFixture("raw_engine.cc", "src/util/stats.cpp").empty());
+}
+
+TEST(DeterminismLintFixtures, WallClockFails)
+{
+    auto findings = lintFixture("wall_clock.cc");
+    ASSERT_EQ(findings.size(), 2u); // steady_clock and time(
+    EXPECT_EQ(rulesOf(findings),
+              std::set<std::string>{"wall-clock"});
+}
+
+TEST(DeterminismLintFixtures, WallClockAllowedInSimClock)
+{
+    EXPECT_TRUE(
+        lintFixture("wall_clock.cc", "src/util/sim_clock.hpp")
+            .empty());
+}
+
+TEST(DeterminismLintFixtures, NakedDurabilityIoFails)
+{
+    auto findings = lintFixture("naked_io.cc");
+    ASSERT_EQ(findings.size(), 2u); // fwrite( and fsync(
+    EXPECT_EQ(rulesOf(findings),
+              std::set<std::string>{"naked-durability-io"});
+}
+
+TEST(DeterminismLintFixtures, NakedDurabilityIoAllowedInDurableIo)
+{
+    EXPECT_TRUE(
+        lintFixture("naked_io.cc", "src/server/durable_io.cpp")
+            .empty());
+}
+
+TEST(DeterminismLintFixtures, UnorderedIterationFails)
+{
+    auto findings = lintFixture("unordered_iter.cc");
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].rule, "unordered-iter");
+    EXPECT_EQ(findings[0].line, 9u);
+}
+
+TEST(DeterminismLintFixtures, EscapeHatchOnPreviousLineSuppresses)
+{
+    EXPECT_TRUE(lintFixture("unordered_iter_allowed.cc").empty());
+}
+
+TEST(DeterminismLintFixtures, EscapeHatchIsRuleSpecific)
+{
+    // An allow for a *different* rule must not suppress the finding.
+    std::string src = "#include <cstdlib>\n"
+                      "// LINT:allow(wall-clock)\n"
+                      "int f() { return rand(); }\n";
+    auto findings = lint::lintSource("src/x.cpp", src,
+                                     lint::Options::defaults());
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].rule, "raw-rand");
+
+    // Same line, right rule: suppressed.
+    src = "#include <cstdlib>\n"
+          "int f() { return rand(); } // LINT:allow(raw-rand)\n";
+    EXPECT_TRUE(lint::lintSource("src/x.cpp", src,
+                                 lint::Options::defaults())
+                    .empty());
+}
+
+TEST(DeterminismLintFixtures, KnownUnorderedAccessorIsFlagged)
+{
+    // `.all()` is configured as returning an unordered container even
+    // though the declaration lives in another file.
+    const std::string src =
+        "int f(Db &db) {\n"
+        "    int n = 0;\n"
+        "    for (const auto &kv : db.all())\n"
+        "        ++n;\n"
+        "    return n;\n"
+        "}\n";
+    auto findings = lint::lintSource("src/x.cpp", src,
+                                     lint::Options::defaults());
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].rule, "unordered-iter");
+    EXPECT_EQ(findings[0].line, 3u);
+}
+
+TEST(DeterminismLintFixtures, ClassicForLoopIsNotARangeFor)
+{
+    const std::string src =
+        "#include <unordered_map>\n"
+        "std::unordered_map<int, int> m;\n"
+        "int f() {\n"
+        "    int n = 0;\n"
+        "    for (int i = 0; i < 3; ++i)\n"
+        "        n += m.count(i);\n"
+        "    return n;\n"
+        "}\n";
+    EXPECT_TRUE(lint::lintSource("src/x.cpp", src,
+                                 lint::Options::defaults())
+                    .empty());
+}
+
+TEST(DeterminismLintInventory, AllSixRulesListed)
+{
+    auto inventory = lint::ruleInventory();
+    std::set<std::string> names;
+    for (const auto &[rule, summary] : inventory) {
+        names.insert(rule);
+        EXPECT_FALSE(summary.empty());
+    }
+    EXPECT_EQ(names,
+              (std::set<std::string>{
+                  "raw-rand", "random-device", "raw-engine",
+                  "wall-clock", "naked-durability-io",
+                  "unordered-iter"}));
+}
+
+TEST(DeterminismLintTree, FixtureDirectoryAggregates)
+{
+    // lintTree over the fixture directory: exactly the violating
+    // fixtures fire, with labels relative to the parent directory.
+    auto findings = lint::lintTree(AUTH_LINT_FIXTURE_DIR,
+                                   lint::Options::defaults());
+    std::set<std::string> files;
+    for (const auto &f : findings)
+        files.insert(f.file);
+    EXPECT_EQ(files,
+              (std::set<std::string>{
+                  "lint_fixtures/raw_rand.cc",
+                  "lint_fixtures/random_device.cc",
+                  "lint_fixtures/raw_engine.cc",
+                  "lint_fixtures/wall_clock.cc",
+                  "lint_fixtures/naked_io.cc",
+                  "lint_fixtures/unordered_iter.cc"}));
+}

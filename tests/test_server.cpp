@@ -7,6 +7,8 @@
  */
 
 #include <memory>
+#include <thread>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -167,6 +169,85 @@ TEST(Verifier, LengthMismatchRejected)
     core::Response expected(64);
     core::Response wrong(32);
     EXPECT_FALSE(verifier.verify(expected, wrong).accepted);
+}
+
+TEST(VerifierConcurrentCopy, AssignRacingVerifyNeverTearsPolicy)
+{
+    // Regression for the torn-policy race fixed during the
+    // lock-discipline migration: copy/assignment used to read the
+    // source's (pInter, pIntra) doubles without the source's
+    // cacheMutex, so a verify() racing an operator= could observe half
+    // of the old policy and half of the new. Both policies here sit on
+    // the same side of the verdicts being checked, so any interleaving
+    // must still produce consistent accept/reject results; TSan (this
+    // suite matches the CI filter) catches the torn read itself.
+    srv::VerifierPolicy strict;
+    strict.pIntra = 0.05;
+    srv::VerifierPolicy loose;
+    loose.pIntra = 0.07;
+
+    srv::Verifier shared(strict);
+    const srv::Verifier strictSrc(strict);
+    const srv::Verifier looseSrc(loose);
+
+    core::Response expected(128);
+    core::Response identical = expected;
+    core::Response opposite = expected;
+    for (std::size_t i = 0; i < 128; ++i)
+        opposite.flip(i);
+
+    std::thread writer([&] {
+        for (int i = 0; i < 400; ++i)
+            shared = (i % 2 == 0) ? looseSrc : strictSrc;
+    });
+    std::vector<std::thread> readers;
+    for (int r = 0; r < 4; ++r)
+        readers.emplace_back([&] {
+            for (int i = 0; i < 400; ++i) {
+                EXPECT_TRUE(shared.verify(expected, identical).accepted);
+                EXPECT_FALSE(shared.verify(expected, opposite).accepted);
+                auto p = shared.policy();
+                // Never a mix of the two source policies.
+                EXPECT_TRUE(p.pIntra == strict.pIntra ||
+                            p.pIntra == loose.pIntra);
+                EXPECT_EQ(p.pInter, 0.5);
+            }
+        });
+    writer.join();
+    for (auto &th : readers)
+        th.join();
+}
+
+TEST(VerifierConcurrentCopy, ConcurrentCopyConstructionFromLiveSource)
+{
+    // Copy-construction takes the source's lock; copying from a
+    // verifier that is concurrently being reassigned must yield one of
+    // the two source policies, never a blend.
+    srv::VerifierPolicy a;
+    a.pIntra = 0.05;
+    srv::VerifierPolicy b;
+    b.pIntra = 0.07;
+    srv::Verifier source(a);
+    const srv::Verifier srcA(a);
+    const srv::Verifier srcB(b);
+
+    std::thread writer([&] {
+        for (int i = 0; i < 300; ++i)
+            source = (i % 2 == 0) ? srcB : srcA;
+    });
+    std::vector<std::thread> copiers;
+    for (int r = 0; r < 3; ++r)
+        copiers.emplace_back([&] {
+            for (int i = 0; i < 300; ++i) {
+                srv::Verifier copy(source);
+                auto p = copy.policy();
+                EXPECT_TRUE(p.pIntra == a.pIntra ||
+                            p.pIntra == b.pIntra);
+            }
+        });
+    writer.join();
+    for (auto &th : copiers)
+        th.join();
 }
 
 /**

@@ -86,6 +86,65 @@ TEST(ThreadPool, ReusableAcrossBatches)
     }
 }
 
+TEST(ThreadPool, RapidConstructDestructShutdownStress)
+{
+    // Regression for the shutdown handshake audited during the
+    // lock-discipline migration: `stopping` and `current` are guarded
+    // by the pool mutex and workers wait on the condvar, so tearing a
+    // pool down immediately after construction (workers may not have
+    // reached their first wait yet) must neither hang nor crash.
+    for (int round = 0; round < 50; ++round) {
+        u::ThreadPool pool(4);
+        if (round % 2 == 0) {
+            std::atomic<int> hits{0};
+            pool.parallelFor(4, [&](std::size_t) { ++hits; });
+            EXPECT_EQ(hits.load(), 4);
+        }
+        // Destructor runs here, racing worker startup on odd rounds.
+    }
+}
+
+TEST(ThreadPool, DestructImmediatelyAfterFailedBatch)
+{
+    // The batch error is guarded by its own errorMutex; destroying the
+    // pool right after a throwing batch must not lose the shutdown
+    // wakeup or touch the dead batch.
+    for (int round = 0; round < 20; ++round) {
+        u::ThreadPool pool(3);
+        EXPECT_THROW(pool.parallelFor(16,
+                                      [](std::size_t i) {
+                                          if (i % 2 == 0)
+                                              throw std::runtime_error(
+                                                  "boom");
+                                      }),
+                     std::runtime_error);
+    }
+}
+
+TEST(ThreadPool, ErrorRethrowKeepsFirstExceptionOnly)
+{
+    // Many lanes throw concurrently; exactly one exception must come
+    // back (the first recorded under errorMutex), and the pool must
+    // stay usable for ordered reduction afterwards.
+    u::ThreadPool pool(8);
+    for (int round = 0; round < 5; ++round) {
+        bool threw = false;
+        try {
+            pool.parallelFor(256, [](std::size_t) {
+                throw std::runtime_error("every lane throws");
+            });
+        } catch (const std::runtime_error &) {
+            threw = true;
+        }
+        EXPECT_TRUE(threw);
+        double result = pool.parallelReduce(
+            10, 0.0,
+            [](std::size_t i) { return static_cast<double>(i); },
+            [](double acc, double x) { return acc + x; });
+        EXPECT_DOUBLE_EQ(result, 45.0);
+    }
+}
+
 TEST(ThreadPool, DefaultThreadCountHonorsEnv)
 {
     // Only checks the parser contract when the variable is absent:

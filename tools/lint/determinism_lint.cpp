@@ -1,0 +1,453 @@
+#include "determinism_lint.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+namespace authenticache::lint {
+
+namespace {
+
+bool
+isIdentChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/**
+ * Replace comments and string/char literals with spaces (newlines
+ * kept, so line numbers survive). Handles //, block comments, escape
+ * sequences, and the simple R"( ... )" raw-string form.
+ */
+std::string
+stripCommentsAndStrings(const std::string &text)
+{
+    std::string out = text;
+    enum class State { Code, Line, Block, Str, Chr, Raw } st =
+        State::Code;
+    for (std::size_t i = 0; i < out.size(); ++i) {
+        const char c = out[i];
+        const char nx = i + 1 < out.size() ? out[i + 1] : '\0';
+        switch (st) {
+          case State::Code:
+            if (c == '/' && nx == '/') {
+                st = State::Line;
+                out[i] = ' ';
+            } else if (c == '/' && nx == '*') {
+                st = State::Block;
+                out[i] = ' ';
+            } else if (c == 'R' && nx == '"' &&
+                       (i == 0 || !isIdentChar(out[i - 1]))) {
+                st = State::Raw;
+                out[i] = ' ';
+            } else if (c == '"') {
+                st = State::Str;
+                out[i] = ' ';
+            } else if (c == '\'' && i > 0 && !isIdentChar(out[i - 1])) {
+                // Identifier check skips digit separators (1'000).
+                st = State::Chr;
+                out[i] = ' ';
+            }
+            break;
+          case State::Line:
+            if (c == '\n')
+                st = State::Code;
+            else
+                out[i] = ' ';
+            break;
+          case State::Block:
+            if (c == '*' && nx == '/') {
+                out[i] = ' ';
+                out[i + 1] = ' ';
+                ++i;
+                st = State::Code;
+            } else if (c != '\n') {
+                out[i] = ' ';
+            }
+            break;
+          case State::Str:
+            if (c == '\\' && nx != '\0') {
+                out[i] = ' ';
+                if (nx != '\n')
+                    out[i + 1] = ' ';
+                ++i;
+            } else if (c == '"') {
+                out[i] = ' ';
+                st = State::Code;
+            } else if (c != '\n') {
+                out[i] = ' ';
+            }
+            break;
+          case State::Chr:
+            if (c == '\\' && nx != '\0') {
+                out[i] = ' ';
+                if (nx != '\n')
+                    out[i + 1] = ' ';
+                ++i;
+            } else if (c == '\'') {
+                out[i] = ' ';
+                st = State::Code;
+            } else if (c != '\n') {
+                out[i] = ' ';
+            }
+            break;
+          case State::Raw:
+            // Plain R"( ... )" only -- no custom delimiters in-tree.
+            if (c == ')' && nx == '"') {
+                out[i] = ' ';
+                out[i + 1] = ' ';
+                ++i;
+                st = State::Code;
+            } else if (c != '\n') {
+                out[i] = ' ';
+            }
+            break;
+        }
+    }
+    return out;
+}
+
+std::size_t
+lineOfOffset(const std::string &text, std::size_t offset)
+{
+    return static_cast<std::size_t>(
+               std::count(text.begin(), text.begin() + offset, '\n')) +
+           1;
+}
+
+std::vector<std::string>
+splitLines(const std::string &text)
+{
+    std::vector<std::string> lines;
+    std::string cur;
+    for (char c : text) {
+        if (c == '\n') {
+            lines.push_back(cur);
+            cur.clear();
+        } else {
+            cur += c;
+        }
+    }
+    lines.push_back(cur);
+    return lines;
+}
+
+/** `// LINT:allow(rule)` on the finding's line or the line above. */
+bool
+allowedByComment(const std::vector<std::string> &raw_lines,
+                 std::size_t line, const std::string &rule)
+{
+    const std::string needle = "LINT:allow(" + rule + ")";
+    for (std::size_t l : {line, line - 1}) {
+        if (l >= 1 && l <= raw_lines.size() &&
+            raw_lines[l - 1].find(needle) != std::string::npos)
+            return true;
+    }
+    return false;
+}
+
+bool
+pathAllowed(const Options &options, const std::string &rule,
+            const std::string &path)
+{
+    auto it = options.allow.find(rule);
+    if (it == options.allow.end())
+        return false;
+    for (const auto &fragment : it->second) {
+        if (path.find(fragment) != std::string::npos)
+            return true;
+    }
+    return false;
+}
+
+/** All offsets where @p token occurs as a standalone identifier (not
+ *  preceded/followed by identifier chars). A trailing '(' in the
+ *  token pins call sites specifically. */
+std::vector<std::size_t>
+findToken(const std::string &text, const std::string &token)
+{
+    std::vector<std::size_t> hits;
+    const bool call = !token.empty() && token.back() == '(';
+    const std::string word =
+        call ? token.substr(0, token.size() - 1) : token;
+    std::size_t pos = 0;
+    while ((pos = text.find(word, pos)) != std::string::npos) {
+        const bool lead_ok =
+            pos == 0 || !isIdentChar(text[pos - 1]);
+        std::size_t end = pos + word.size();
+        bool trail_ok;
+        if (call) {
+            // Allow whitespace between the name and the paren.
+            std::size_t p = end;
+            while (p < text.size() &&
+                   std::isspace(static_cast<unsigned char>(text[p])) &&
+                   text[p] != '\n')
+                ++p;
+            trail_ok = p < text.size() && text[p] == '(';
+        } else {
+            trail_ok = end >= text.size() || !isIdentChar(text[end]);
+        }
+        if (lead_ok && trail_ok)
+            hits.push_back(pos);
+        pos = end;
+    }
+    return hits;
+}
+
+struct TokenRule
+{
+    std::string rule;
+    std::vector<std::string> tokens;
+    std::string message;
+};
+
+const std::vector<TokenRule> &
+tokenRules()
+{
+    static const std::vector<TokenRule> rules = {
+        {"raw-rand",
+         {"rand(", "srand(", "rand_r("},
+         "libc rand() is not replayable; draw from util::Rng streams"},
+        {"random-device",
+         {"random_device"},
+         "std::random_device seeds nondeterministically; derive seeds "
+         "from the experiment config"},
+        {"raw-engine",
+         {"mt19937", "minstd_rand", "default_random_engine", "ranlux24",
+          "ranlux48"},
+         "raw std engines bypass the forStream() splitting contract; "
+         "use util::Rng"},
+        {"wall-clock",
+         {"system_clock", "steady_clock", "high_resolution_clock",
+          "time(", "clock_gettime(", "gettimeofday("},
+         "wall-clock time varies run to run; use util::SimClock"},
+        {"naked-durability-io",
+         {"fsync(", "fdatasync(", "fwrite("},
+         "raw durability I/O bypasses the crash-injection hooks; go "
+         "through server/durable_io"},
+    };
+    return rules;
+}
+
+/**
+ * Names declared in this file with an unordered container type:
+ * after each "unordered_map<...>" (angles balanced), the next
+ * identifier -- member, local, parameter, or function name -- is
+ * recorded. Heuristic by design; combined with the accessor list and
+ * the escape hatch it errs toward flagging.
+ */
+std::vector<std::string>
+declaredUnorderedNames(const std::string &stripped)
+{
+    static const char *kinds[] = {"unordered_map", "unordered_set",
+                                  "unordered_multimap",
+                                  "unordered_multiset"};
+    std::vector<std::string> names;
+    for (const char *kind : kinds) {
+        for (std::size_t pos : findToken(stripped, kind)) {
+            std::size_t p = pos + std::string(kind).size();
+            while (p < stripped.size() &&
+                   std::isspace(static_cast<unsigned char>(stripped[p])))
+                ++p;
+            if (p >= stripped.size() || stripped[p] != '<')
+                continue;
+            int depth = 0;
+            for (; p < stripped.size(); ++p) {
+                if (stripped[p] == '<')
+                    ++depth;
+                else if (stripped[p] == '>' && --depth == 0) {
+                    ++p;
+                    break;
+                }
+            }
+            while (p < stripped.size() &&
+                   (std::isspace(
+                        static_cast<unsigned char>(stripped[p])) ||
+                    stripped[p] == '&' || stripped[p] == '*'))
+                ++p;
+            std::string name;
+            while (p < stripped.size() && isIdentChar(stripped[p]))
+                name += stripped[p++];
+            if (!name.empty() &&
+                !std::isdigit(static_cast<unsigned char>(name[0])))
+                names.push_back(name);
+        }
+    }
+    std::sort(names.begin(), names.end());
+    names.erase(std::unique(names.begin(), names.end()), names.end());
+    return names;
+}
+
+void
+lintUnorderedIteration(const std::string &path_label,
+                       const std::string &stripped,
+                       const std::vector<std::string> &raw_lines,
+                       const Options &options,
+                       std::vector<Finding> &findings)
+{
+    const std::string rule = "unordered-iter";
+    if (pathAllowed(options, rule, path_label))
+        return;
+    const auto names = declaredUnorderedNames(stripped);
+    for (std::size_t pos : findToken(stripped, "for")) {
+        std::size_t p = pos + 3;
+        while (p < stripped.size() &&
+               std::isspace(static_cast<unsigned char>(stripped[p])))
+            ++p;
+        if (p >= stripped.size() || stripped[p] != '(')
+            continue;
+        // Find the matching close and a top-level ':' (skipping '::').
+        int depth = 0;
+        std::size_t colon = std::string::npos;
+        std::size_t close = std::string::npos;
+        for (std::size_t q = p; q < stripped.size(); ++q) {
+            const char c = stripped[q];
+            if (c == '(' || c == '[' || c == '{') {
+                ++depth;
+            } else if (c == ')' || c == ']' || c == '}') {
+                if (--depth == 0 && c == ')') {
+                    close = q;
+                    break;
+                }
+            } else if (c == ':' && depth == 1 &&
+                       colon == std::string::npos) {
+                const bool dbl =
+                    (q + 1 < stripped.size() &&
+                     stripped[q + 1] == ':') ||
+                    (q > 0 && stripped[q - 1] == ':');
+                if (!dbl)
+                    colon = q;
+            }
+        }
+        if (colon == std::string::npos || close == std::string::npos)
+            continue; // Classic for loop (or unparsable).
+        const std::string range =
+            stripped.substr(colon + 1, close - colon - 1);
+
+        bool hit = false;
+        for (const auto &accessor : options.unorderedAccessors) {
+            if (range.find(accessor) != std::string::npos)
+                hit = true;
+        }
+        for (const auto &name : names) {
+            if (hit)
+                break;
+            for (std::size_t off : findToken(range, name)) {
+                (void)off;
+                hit = true;
+                break;
+            }
+        }
+        if (!hit)
+            continue;
+        const std::size_t line = lineOfOffset(stripped, pos);
+        if (allowedByComment(raw_lines, line, rule))
+            continue;
+        findings.push_back(
+            {path_label, line, rule,
+             "range-for over an unordered container: iteration order "
+             "is implementation-defined -- canonicalize (sort or "
+             "order-independent fold) and annotate with "
+             "LINT:allow(unordered-iter)"});
+    }
+}
+
+} // namespace
+
+Options
+Options::defaults()
+{
+    Options o;
+    o.allow["raw-engine"] = {"util/rng."};
+    o.allow["wall-clock"] = {"util/sim_clock.hpp"};
+    o.allow["naked-durability-io"] = {"server/durable_io."};
+    o.unorderedAccessors = {".all()"};
+    return o;
+}
+
+std::vector<std::pair<std::string, std::string>>
+ruleInventory()
+{
+    std::vector<std::pair<std::string, std::string>> inv;
+    for (const auto &rule : tokenRules())
+        inv.emplace_back(rule.rule, rule.message);
+    inv.emplace_back("unordered-iter",
+                     "range-for over an unordered container in a "
+                     "result-producing loop must canonicalize");
+    return inv;
+}
+
+std::vector<Finding>
+lintSource(const std::string &path_label, const std::string &contents,
+           const Options &options)
+{
+    std::vector<Finding> findings;
+    const std::string stripped = stripCommentsAndStrings(contents);
+    const std::vector<std::string> raw_lines = splitLines(contents);
+
+    for (const auto &rule : tokenRules()) {
+        if (pathAllowed(options, rule.rule, path_label))
+            continue;
+        for (const auto &token : rule.tokens) {
+            for (std::size_t pos : findToken(stripped, token)) {
+                const std::size_t line = lineOfOffset(stripped, pos);
+                if (allowedByComment(raw_lines, line, rule.rule))
+                    continue;
+                findings.push_back({path_label, line, rule.rule,
+                                    token + ": " + rule.message});
+            }
+        }
+    }
+    lintUnorderedIteration(path_label, stripped, raw_lines, options,
+                           findings);
+
+    std::sort(findings.begin(), findings.end(),
+              [](const Finding &a, const Finding &b) {
+                  return std::tie(a.line, a.rule) <
+                         std::tie(b.line, b.rule);
+              });
+    return findings;
+}
+
+std::vector<Finding>
+lintTree(const std::filesystem::path &root, const Options &options)
+{
+    namespace fs = std::filesystem;
+    std::vector<fs::path> files;
+    const fs::path base = root.has_parent_path() ? root.parent_path()
+                                                 : fs::path(".");
+    if (fs::is_regular_file(root)) {
+        files.push_back(root);
+    } else {
+        for (auto it = fs::recursive_directory_iterator(root);
+             it != fs::recursive_directory_iterator(); ++it) {
+            if (it->is_directory() &&
+                it->path().filename() == "build") {
+                it.disable_recursion_pending();
+                continue;
+            }
+            if (!it->is_regular_file())
+                continue;
+            const std::string ext = it->path().extension().string();
+            if (ext == ".cpp" || ext == ".hpp" || ext == ".h" ||
+                ext == ".cc" || ext == ".hh")
+                files.push_back(it->path());
+        }
+    }
+    std::sort(files.begin(), files.end());
+
+    std::vector<Finding> findings;
+    for (const auto &file : files) {
+        std::ifstream in(file, std::ios::binary);
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        std::string label =
+            fs::relative(file, base).generic_string();
+        auto one = lintSource(label, buf.str(), options);
+        findings.insert(findings.end(), one.begin(), one.end());
+    }
+    return findings;
+}
+
+} // namespace authenticache::lint

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Determinism lint: a source scanner that rejects the constructs that
+ * would silently break the project's replay/determinism contract
+ * (DESIGN.md 5c-5f, EXPERIMENTS.md). Every result-producing path must
+ * draw randomness from util::Rng streams, time from util::SimClock,
+ * and durability bytes from server/durable_io -- this tool makes that
+ * contract a CI gate instead of a review convention.
+ *
+ * Rules (all file-allowlist-driven, see Options::defaults):
+ *   raw-rand            rand( / srand( / rand_r( anywhere
+ *   random-device       std::random_device anywhere (nondeterministic
+ *                       seeding defeats replay)
+ *   raw-engine          mt19937 / minstd_rand / default_random_engine /
+ *                       ranlux outside src/util/rng.*
+ *   wall-clock          system_clock / steady_clock /
+ *                       high_resolution_clock / time( /
+ *                       clock_gettime( / gettimeofday( outside
+ *                       src/util/sim_clock.hpp
+ *   naked-durability-io fsync( / fdatasync( / fwrite( outside
+ *                       src/server/durable_io.* (raw syncs bypass the
+ *                       crash-injection hooks)
+ *   unordered-iter      range-for over an unordered_{map,set} (or an
+ *                       accessor known to return one, e.g. .all()):
+ *                       iteration order is implementation-defined, so
+ *                       a result-producing loop must canonicalize
+ *                       (sort / order-independent fold) and say so
+ *                       with the escape hatch
+ *
+ * Escape hatch: a `// LINT:allow(<rule>)` comment on the flagged line
+ * or the line directly above suppresses that one finding -- reviewed,
+ * greppable, and rule-specific.
+ *
+ * Comments and string/char literals are stripped before matching, so
+ * prose about "randomness" or logged text never trips the scanner.
+ */
+
+#ifndef AUTH_TOOLS_LINT_DETERMINISM_LINT_HPP
+#define AUTH_TOOLS_LINT_DETERMINISM_LINT_HPP
+
+#include <cstddef>
+#include <filesystem>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace authenticache::lint {
+
+/** One rule violation, with a file:line anchor for the diagnostic. */
+struct Finding
+{
+    std::string file; ///< Path label as given to lintSource.
+    std::size_t line = 0;
+    std::string rule;
+    std::string message;
+};
+
+/** Scanner configuration: per-rule path allowlists. */
+struct Options
+{
+    /**
+     * rule -> path substrings (forward-slash-normalized) where the
+     * rule does not apply. Substring match keeps the list short:
+     * "util/rng." covers util/rng.hpp and util/rng.cpp.
+     */
+    std::map<std::string, std::vector<std::string>> allow;
+
+    /**
+     * Range expressions containing one of these substrings are
+     * treated as iterating an unordered container even when the
+     * declaration is in another file (e.g. ".all()" returning the
+     * enrollment database's unordered_map).
+     */
+    std::vector<std::string> unorderedAccessors;
+
+    /** The project's shipping configuration. */
+    static Options defaults();
+};
+
+/** Names + one-line summaries of every rule, for --list-rules. */
+std::vector<std::pair<std::string, std::string>> ruleInventory();
+
+/** Lint one in-memory source file. @p path_label is used both for
+ *  diagnostics and for allowlist matching. */
+std::vector<Finding> lintSource(const std::string &path_label,
+                                const std::string &contents,
+                                const Options &options);
+
+/**
+ * Lint every C++ source/header under @p root (recursively; any
+ * directory named "build" is skipped). Path labels in the findings
+ * are relative to @p root's parent, so "src/util/rng.cpp" style
+ * allowlists match regardless of where the tree is checked out.
+ */
+std::vector<Finding> lintTree(const std::filesystem::path &root,
+                              const Options &options);
+
+} // namespace authenticache::lint
+
+#endif // AUTH_TOOLS_LINT_DETERMINISM_LINT_HPP

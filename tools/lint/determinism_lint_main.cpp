@@ -1,0 +1,53 @@
+/**
+ * @file
+ * CLI for the determinism lint (see determinism_lint.hpp). Run by
+ * ctest (DeterminismLint.Tree) and the static-analysis CI job:
+ *
+ *   determinism_lint [--list-rules] <dir-or-file>...
+ *
+ * Exit 0: clean. Exit 1: findings (printed as file:line: [rule] msg).
+ */
+
+#include <cstring>
+#include <iostream>
+
+#include "determinism_lint.hpp"
+
+int
+main(int argc, char **argv)
+{
+    using namespace authenticache::lint;
+    const Options options = Options::defaults();
+
+    std::vector<const char *> paths;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--list-rules") == 0) {
+            for (const auto &[rule, summary] : ruleInventory())
+                std::cout << rule << ": " << summary << "\n";
+            return 0;
+        }
+        paths.push_back(argv[i]);
+    }
+    if (paths.empty()) {
+        std::cerr << "usage: determinism_lint [--list-rules] "
+                     "<dir-or-file>...\n";
+        return 2;
+    }
+
+    std::vector<Finding> findings;
+    for (const char *path : paths) {
+        auto one = lintTree(path, options);
+        findings.insert(findings.end(), one.begin(), one.end());
+    }
+    for (const auto &f : findings)
+        std::cerr << f.file << ":" << f.line << ": [" << f.rule
+                  << "] " << f.message << "\n";
+    if (!findings.empty()) {
+        std::cerr << findings.size()
+                  << " determinism-lint finding(s); see "
+                     "tools/lint/determinism_lint.hpp for the rule "
+                     "inventory and the LINT:allow escape hatch\n";
+        return 1;
+    }
+    return 0;
+}

@@ -1,0 +1,86 @@
+#!/usr/bin/env bash
+# clang-tidy ratchet wrapper.
+#
+# Runs clang-tidy (config: .clang-tidy at the repo root) over every
+# src/ and tools/ translation unit in a compile_commands.json,
+# normalizes the findings to stable "<relpath>:<check>" lines, and
+# diffs them against the checked-in suppression baseline
+# (tools/lint/tidy_baseline.txt). Only findings NOT in the baseline
+# fail the gate, so legacy noise never blocks a PR while new
+# violations always do. Shrink the baseline over time; never grow it
+# without review.
+#
+# Usage:
+#   tools/lint/run_tidy.sh [BUILD_DIR]            # gate (default: build)
+#   UPDATE_BASELINE=1 tools/lint/run_tidy.sh ...  # regenerate baseline
+#   TIDY_REUSE=1 tools/lint/run_tidy.sh ...       # reuse cached findings
+#                                                 # file if present (CI
+#                                                 # cache hit)
+#
+# Requires: clang-tidy in PATH, python3 (to parse the compilation
+# database), and a build configured with CMAKE_EXPORT_COMPILE_COMMANDS
+# (the repo's CMakeLists sets it unconditionally).
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+REPO_ROOT="$(cd "$(dirname "$0")/../.." && pwd)"
+BASELINE="$REPO_ROOT/tools/lint/tidy_baseline.txt"
+DB="$BUILD_DIR/compile_commands.json"
+FINDINGS="$BUILD_DIR/tidy_findings.txt"
+RAW="$BUILD_DIR/tidy_raw.log"
+
+if ! command -v clang-tidy >/dev/null 2>&1; then
+    echo "run_tidy.sh: clang-tidy not found in PATH" >&2
+    exit 2
+fi
+if [ ! -f "$DB" ]; then
+    echo "run_tidy.sh: $DB not found (configure with cmake first)" >&2
+    exit 2
+fi
+
+if [ "${TIDY_REUSE:-0}" != "1" ] || [ ! -f "$FINDINGS" ]; then
+    # Only first-party translation units; tests/bench/examples link the
+    # same library code and would triple the runtime for no new signal.
+    python3 - "$DB" <<'EOF' > "$BUILD_DIR/tidy_files.txt"
+import json, sys
+for entry in json.load(open(sys.argv[1])):
+    f = entry["file"]
+    if "/src/" in f or "/tools/" in f:
+        print(f)
+EOF
+    sort -u "$BUILD_DIR/tidy_files.txt" -o "$BUILD_DIR/tidy_files.txt"
+
+    : > "$RAW"
+    # clang-tidy exits nonzero on findings; the gate decision is ours.
+    xargs -a "$BUILD_DIR/tidy_files.txt" -r \
+        clang-tidy -p "$BUILD_DIR" --quiet >> "$RAW" 2>/dev/null || true
+
+    # "path:line:col: warning: ... [check]" -> "relpath:check",
+    # deduplicated. Line numbers are left out of the key so baseline
+    # entries survive unrelated edits above them.
+    sed -n 's/^\([^ :][^:]*\):[0-9][0-9]*:[0-9][0-9]*: \(warning\|error\): .*\[\(.*\)\]$/\1:\3/p' "$RAW" \
+        | sed "s#^$REPO_ROOT/##" \
+        | sort -u > "$FINDINGS"
+fi
+
+if [ "${UPDATE_BASELINE:-0}" = "1" ]; then
+    {
+        echo "# clang-tidy suppression baseline (relpath:check, sorted)."
+        echo "# Regenerate: UPDATE_BASELINE=1 tools/lint/run_tidy.sh <build-dir>"
+        echo "# The gate fails only on findings NOT listed here; shrink,"
+        echo "# don't grow."
+        cat "$FINDINGS"
+    } > "$BASELINE"
+    echo "run_tidy.sh: baseline updated with $(wc -l < "$FINDINGS") entries"
+    exit 0
+fi
+
+grep -v '^#' "$BASELINE" | sort -u > "$BUILD_DIR/tidy_baseline_sorted.txt"
+NEW="$(comm -13 "$BUILD_DIR/tidy_baseline_sorted.txt" "$FINDINGS")"
+if [ -n "$NEW" ]; then
+    echo "run_tidy.sh: new clang-tidy findings (not in baseline):" >&2
+    echo "$NEW" >&2
+    echo "--- full diagnostics for the new findings are in $RAW ---" >&2
+    exit 1
+fi
+echo "run_tidy.sh: clean ($(wc -l < "$FINDINGS") finding(s), all baselined)"
