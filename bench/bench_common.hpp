@@ -44,12 +44,30 @@ reportWallClock(const std::string &label, double seconds)
               << ")\n";
 }
 
-/** True when AUTHENTICACHE_QUICK=1 requests a fast smoke run. */
+/**
+ * True when AUTHENTICACHE_QUICK requests a fast smoke run: any
+ * non-empty value other than "0" enables quick mode ("1" is the
+ * documented spelling). Values outside {"0", "1"} still count as
+ * enabled but draw a one-time warning, so a typo like "yes " cannot
+ * silently select the multi-minute full run in CI.
+ */
 inline bool
 quickMode()
 {
-    const char *env = std::getenv("AUTHENTICACHE_QUICK");
-    return env != nullptr && std::string(env) == "1";
+    static const bool enabled = [] {
+        const char *env = std::getenv("AUTHENTICACHE_QUICK");
+        if (env == nullptr || *env == '\0')
+            return false;
+        const std::string value(env);
+        if (value == "0")
+            return false;
+        if (value != "1")
+            std::cerr << "[bench] AUTHENTICACHE_QUICK=\"" << value
+                      << "\" unrecognized; treating as enabled "
+                         "(use 1 or 0)\n";
+        return true;
+    }();
+    return enabled;
 }
 
 /** Scale a Monte Carlo count down in quick mode. */

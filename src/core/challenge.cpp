@@ -1,6 +1,7 @@
 #include "core/challenge.hpp"
 
 #include "core/nearest.hpp"
+#include "core/nearest_scan.hpp"
 
 namespace authenticache::core {
 
@@ -9,8 +10,11 @@ pointDistance(const ErrorMap &map, const ChallengePoint &point)
 {
     if (!map.hasPlane(point.vddMv))
         return kInfiniteDistance;
-    NearestResult r = nearestErrorBrute(map.plane(point.vddMv),
-                                        point.line);
+    // The SIMD scan is bit-identical to nearestErrorBrute at every
+    // width (tests/test_nearest_scan.cpp), so evaluation results do
+    // not depend on the host's vector capability.
+    NearestResult r = nearestErrorScan(map.plane(point.vddMv),
+                                       point.line);
     return r.found ? r.distance : kInfiniteDistance;
 }
 
@@ -24,6 +28,67 @@ evaluate(const ErrorMap &map, const Challenge &challenge)
         response.set(i, responseBitFromDistances(da, db));
     }
     return response;
+}
+
+Response
+evaluateIndexed(const ErrorIndexMap &indexes,
+                const Challenge &challenge, EvalScratch &scratch,
+                util::SimdLevel level)
+{
+    const std::size_t npts = challenge.size() * 2;
+    scratch.arena.reset();
+    auto pts = scratch.arena.allocate<LinePoint>(npts);
+    auto order = scratch.arena.allocate<std::uint32_t>(npts);
+    auto results = scratch.arena.allocate<NearestResult>(npts);
+    auto dist = scratch.arena.allocate<std::uint64_t>(npts);
+
+    // Points at a level with no index keep infinite distance --
+    // evaluate()'s missing-plane rule.
+    for (std::size_t i = 0; i < npts; ++i)
+        dist[i] = kInfiniteDistance;
+
+    auto pointAt = [&](std::size_t i) -> const ChallengePoint & {
+        const ChallengeBit &bit = challenge.bits[i / 2];
+        return (i % 2 == 0) ? bit.a : bit.b;
+    };
+
+    // One batched query per plane: gather that level's endpoints
+    // contiguously, answer them in one nearestBatch call, scatter
+    // the distances back.
+    for (const auto &[vdd, index] : indexes) {
+        std::size_t m = 0;
+        for (std::size_t i = 0; i < npts; ++i) {
+            if (pointAt(i).vddMv == vdd) {
+                order[m] = static_cast<std::uint32_t>(i);
+                pts[m] = pointAt(i).line;
+                ++m;
+            }
+        }
+        if (m == 0)
+            continue;
+        index.nearestBatch(pts.subspan(0, m),
+                           results.subspan(0, m), scratch.nearest,
+                           level);
+        for (std::size_t j = 0; j < m; ++j) {
+            dist[order[j]] = results[j].found ? results[j].distance
+                                              : kInfiniteDistance;
+        }
+    }
+
+    Response response(challenge.size());
+    for (std::size_t i = 0; i < challenge.size(); ++i) {
+        response.set(i, responseBitFromDistances(dist[2 * i],
+                                                 dist[2 * i + 1]));
+    }
+    return response;
+}
+
+Response
+evaluateIndexed(const ErrorIndexMap &indexes,
+                const Challenge &challenge, EvalScratch &scratch)
+{
+    return evaluateIndexed(indexes, challenge, scratch,
+                           util::simdLevel());
 }
 
 Challenge

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/challenge.hpp"
+#include "core/nearest_scan.hpp"
 
 namespace authenticache::core {
 
@@ -93,11 +94,85 @@ ErrorIndex::nearest(const LinePoint &from) const
     return best;
 }
 
+void
+ErrorIndex::nearestBatch(std::span<const LinePoint> queries,
+                         std::span<NearestResult> out,
+                         NearestScratch &scratch,
+                         util::SimdLevel level) const
+{
+    scratch.arena.reset();
+    const std::size_t max_cand = 2 * rows.size();
+    auto cand_sets = scratch.arena.allocate<std::uint32_t>(max_cand);
+    auto cand_ways = scratch.arena.allocate<std::uint32_t>(max_cand);
+    auto cand_d = scratch.arena.allocate<std::uint32_t>(max_cand);
+
+    for (std::size_t q = 0; q < queries.size(); ++q) {
+        const LinePoint &from = queries[q];
+        // Gather every row's flank candidates (no incumbent pruning:
+        // the batch trades a few extra distance lanes for branchless
+        // vector work).
+        std::size_t n = 0;
+        for (std::uint32_t way = 0; way < rows.size(); ++way) {
+            const auto &row = rows[way];
+            if (row.empty())
+                continue;
+            auto it =
+                std::lower_bound(row.begin(), row.end(), from.set);
+            if (it != row.begin()) {
+                cand_sets[n] = *(it - 1);
+                cand_ways[n] = way;
+                ++n;
+            }
+            if (it != row.end()) {
+                cand_sets[n] = *it;
+                cand_ways[n] = way;
+                ++n;
+            }
+        }
+
+        NearestResult best;
+        best.cellsExamined = n;
+        if (n > 0) {
+            manhattanBatch(cand_sets.data(), cand_ways.data(), n,
+                           from, cand_d.data(), level);
+            // Candidates arrive in way order, not lexicographic
+            // order, so ties must compare the full coordinate.
+            for (std::size_t i = 0; i < n; ++i) {
+                LinePoint at{cand_sets[i], cand_ways[i]};
+                if (!best.found || cand_d[i] < best.distance ||
+                    (cand_d[i] == best.distance && at < best.at)) {
+                    best.found = true;
+                    best.distance = cand_d[i];
+                    best.at = at;
+                }
+            }
+        }
+        out[q] = best;
+    }
+}
+
+void
+ErrorIndex::nearestBatch(std::span<const LinePoint> queries,
+                         std::span<NearestResult> out,
+                         NearestScratch &scratch) const
+{
+    nearestBatch(queries, out, scratch, util::simdLevel());
+}
+
 std::uint64_t
 ErrorIndex::distanceOrInfinite(const LinePoint &from) const
 {
     auto r = nearest(from);
     return r.found ? r.distance : kInfiniteDistance;
+}
+
+ErrorIndexMap
+buildErrorIndexes(const ErrorMap &map)
+{
+    ErrorIndexMap indexes;
+    for (VddMv level : map.levels())
+        indexes.emplace(level, ErrorIndex(map.plane(level)));
+    return indexes;
 }
 
 } // namespace authenticache::core

@@ -24,13 +24,28 @@
 #define AUTH_CORE_ERROR_INDEX_HPP
 
 #include <cstdint>
+#include <map>
+#include <span>
 #include <vector>
 
 #include "core/error_map.hpp"
 #include "core/nearest.hpp"
 #include "sim/geometry.hpp"
+#include "util/arena.hpp"
+#include "util/simd.hpp"
 
 namespace authenticache::core {
+
+/**
+ * Reusable scratch for ErrorIndex::nearestBatch. One per session (or
+ * per thread): the candidate and distance buffers live in the arena
+ * and are recycled wholesale each call, so steady-state batch
+ * queries perform no heap allocation.
+ */
+struct NearestScratch
+{
+    util::Arena arena;
+};
 
 class ErrorIndex
 {
@@ -55,10 +70,42 @@ class ErrorIndex
 
     /**
      * Nearest error by Manhattan distance; identical result to
-     * nearestErrorBrute on an equal error set. cellsExamined counts
-     * candidate errors compared (at most two per way row).
+     * nearestErrorBrute on an equal error set. cellsExamined follows
+     * the unified definition in nearest.hpp: every flank candidate
+     * whose distance is evaluated counts, including the winner (at
+     * most two per way row; rows pruned by the incumbent-distance
+     * bound contribute nothing, since none of their cells are
+     * examined).
      */
     NearestResult nearest(const LinePoint &from) const;
+
+    /**
+     * Batched nearest-error queries: gathers every row's flank
+     * candidates for each query into @p scratch and runs the
+     * vectorized Manhattan-distance candidate scan
+     * (core::manhattanBatch) over them at @p level.
+     *
+     * found/distance/at are bit-identical to nearest() -- and hence
+     * to nearestErrorBrute -- at every vector width; the tie-break
+     * compares (distance, set, way) explicitly because the gather
+     * order is per-way, not lexicographic. cellsExamined counts the
+     * gathered candidates; it can exceed nearest()'s count because
+     * the batch path skips the sequential incumbent-distance row
+     * pruning (all rows contribute their flanks).
+     *
+     * @p queries and @p out must have equal lengths. The scratch's
+     * previous contents are recycled (spans from earlier calls are
+     * invalidated).
+     */
+    void nearestBatch(std::span<const LinePoint> queries,
+                      std::span<NearestResult> out,
+                      NearestScratch &scratch,
+                      util::SimdLevel level) const;
+
+    /** Same, dispatched at the process-wide util::simdLevel(). */
+    void nearestBatch(std::span<const LinePoint> queries,
+                      std::span<NearestResult> out,
+                      NearestScratch &scratch) const;
 
     /** Nearest distance, or kInfiniteDistance on an empty index. */
     std::uint64_t distanceOrInfinite(const LinePoint &from) const;
@@ -69,6 +116,15 @@ class ErrorIndex
     std::vector<std::vector<std::uint32_t>> rows;
     std::size_t count = 0;
 };
+
+/**
+ * One nearest-error index per voltage plane -- the indexed view of a
+ * whole ErrorMap (see ErrorMap's plane keying).
+ */
+using ErrorIndexMap = std::map<VddMv, ErrorIndex>;
+
+/** Build an index for every plane of @p map. */
+ErrorIndexMap buildErrorIndexes(const ErrorMap &map);
 
 } // namespace authenticache::core
 

@@ -18,7 +18,10 @@ ErrorPlane::add(const LinePoint &p)
         return;
     bitmap.set(idx, true);
     auto it = std::lower_bound(list.begin(), list.end(), p);
+    auto pos = it - list.begin();
     list.insert(it, p);
+    soaSets.insert(soaSets.begin() + pos, p.set);
+    soaWays.insert(soaWays.begin() + pos, p.way);
 }
 
 void
@@ -29,8 +32,12 @@ ErrorPlane::remove(const LinePoint &p)
         return;
     bitmap.set(idx, false);
     auto it = std::lower_bound(list.begin(), list.end(), p);
-    if (it != list.end() && *it == p)
+    if (it != list.end() && *it == p) {
+        auto pos = it - list.begin();
         list.erase(it);
+        soaSets.erase(soaSets.begin() + pos);
+        soaWays.erase(soaWays.begin() + pos);
+    }
 }
 
 bool

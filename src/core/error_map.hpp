@@ -45,6 +45,22 @@ class ErrorPlane
     /** Error coordinates in sorted (set, way) order. */
     const std::vector<LinePoint> &errors() const { return list; }
 
+    /**
+     * Structure-of-arrays mirror of errors(): the set (and way)
+     * coordinates in the same sorted order, kept in sync by
+     * add/remove. This is the layout the SIMD nearest-error scan
+     * (core/nearest_scan.hpp) consumes -- one contiguous lane-friendly
+     * stream per coordinate instead of interleaved LinePoints.
+     */
+    const std::vector<std::uint32_t> &errorSets() const
+    {
+        return soaSets;
+    }
+    const std::vector<std::uint32_t> &errorWays() const
+    {
+        return soaWays;
+    }
+
     std::size_t errorCount() const { return list.size(); }
 
     const CacheGeometry &geometry() const { return geom; }
@@ -57,6 +73,9 @@ class ErrorPlane
   private:
     CacheGeometry geom;
     std::vector<LinePoint> list; // Sorted.
+    // SoA mirror of list, same order (see errorSets/errorWays).
+    std::vector<std::uint32_t> soaSets;
+    std::vector<std::uint32_t> soaWays;
     util::BitVec bitmap;
 };
 

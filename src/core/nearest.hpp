@@ -31,7 +31,25 @@
 
 namespace authenticache::core {
 
-/** Result of a nearest-error query. */
+/**
+ * Result of a nearest-error query.
+ *
+ * cellsExamined accounting -- the unified definition every
+ * implementation follows (so the Fig 13/14 runtime benches compare
+ * like with like): it counts each candidate cell whose error status
+ * or distance was actually evaluated, *including* the successful one.
+ * Concretely:
+ *  - nearestErrorBrute / nearestErrorScan: every error point on the
+ *    plane (each is distance-compared exactly once);
+ *  - ErrorIndex::nearest: every flank candidate compared (<= two per
+ *    way row; rows skipped by the incumbent-distance bound examine
+ *    nothing and add nothing);
+ *  - ErrorIndex::nearestBatch: every gathered flank candidate (no
+ *    row pruning, see error_index.hpp);
+ *  - spiralSearch: every cell probed, the terminating hit included.
+ * The counts are comparable *units* (cells evaluated), not equal
+ * numbers -- each algorithm examines a different candidate set.
+ */
 struct NearestResult
 {
     bool found = false;
@@ -57,6 +75,13 @@ std::vector<LinePoint> ringCells(const CacheGeometry &geom,
  * Outward clockwise search. The predicate is invoked once per cell in
  * ring order and should return true when the cell reports an error;
  * the first hit terminates the search.
+ *
+ * The returned distance always matches the map-side searches on an
+ * equal error set (rings enumerate cells in exact distance order).
+ * The returned *coordinate* follows the client's clockwise-first tie
+ * rule of Sec 5.4, which can differ from the map-side lexicographic
+ * rule when several errors tie; tests/test_nearest_scan.cpp pins
+ * both behaviors.
  *
  * @param geom Plane bounds.
  * @param center Challenge point.

@@ -38,6 +38,15 @@ SecdedCodec::SecdedCodec(unsigned data_bits) : nData(data_bits)
             throw std::logic_error("SecdedCodec: column space exhausted");
     }
 
+    // Transpose the columns into one 64-bit parity mask per check
+    // bit; the SIMD batch kernels AND-and-fold these over whole
+    // data words.
+    masks.assign(nCheck, 0);
+    for (unsigned i = 0; i < nData; ++i)
+        for (unsigned j = 0; j < nCheck; ++j)
+            if ((columns[i] >> j) & 1)
+                masks[j] |= 1ull << i;
+
     syndromeToDataBit.assign(1u << nCheck, -1);
     for (unsigned i = 0; i < nData; ++i)
         syndromeToDataBit[columns[i]] = static_cast<int>(i);

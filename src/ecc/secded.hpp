@@ -17,8 +17,11 @@
 #ifndef AUTH_ECC_SECDED_HPP
 #define AUTH_ECC_SECDED_HPP
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
+
+#include "util/simd.hpp"
 
 namespace authenticache::ecc {
 
@@ -64,13 +67,60 @@ class SecdedCodec
      */
     DecodeResult decode(std::uint64_t data, std::uint32_t check) const;
 
+    /**
+     * Check bits for each of @p n data words. Bit-identical to
+     * calling encode() per word at every @p level; the SSE2/AVX2
+     * paths fold the transposed parity masks over 2/4 words per
+     * vector instead of walking the byte table.
+     */
+    void encodeBatch(const std::uint64_t *data, std::uint32_t *check,
+                     std::size_t n, util::SimdLevel level) const;
+
+    /** Same, dispatched at the process-wide util::simdLevel(). */
+    void encodeBatch(const std::uint64_t *data, std::uint32_t *check,
+                     std::size_t n) const;
+
+    /**
+     * syndrome[i] = encode(data[i]) ^ check[i] for each of @p n
+     * stored words; the vectorized front half of decodeBatch,
+     * exposed for scrub-style passes that only need to know *which*
+     * words are dirty.
+     */
+    void syndromeBatch(const std::uint64_t *data,
+                       const std::uint32_t *check,
+                       std::uint32_t *syndrome, std::size_t n,
+                       util::SimdLevel level) const;
+
+    /**
+     * Decode @p n stored words. Syndrome computation is vectorized;
+     * only words with a non-zero syndrome (rare in practice) take
+     * the scalar correction path. Results are bit-identical to
+     * calling decode() per word at every @p level.
+     */
+    void decodeBatch(const std::uint64_t *data,
+                     const std::uint32_t *check, DecodeResult *out,
+                     std::size_t n, util::SimdLevel level) const;
+
+    /** Same, dispatched at the process-wide util::simdLevel(). */
+    void decodeBatch(const std::uint64_t *data,
+                     const std::uint32_t *check, DecodeResult *out,
+                     std::size_t n) const;
+
     /** The parity-check column for data bit i (for tests). */
     std::uint32_t dataColumn(unsigned i) const { return columns.at(i); }
+
+    /**
+     * Transposed parity mask of check bit @p j: data bit i feeds
+     * check bit j iff bit i is set (for tests; the SIMD kernels'
+     * working representation of the H matrix).
+     */
+    std::uint64_t checkMask(unsigned j) const { return masks.at(j); }
 
   private:
     unsigned nData;
     unsigned nCheck;
     std::vector<std::uint32_t> columns;     // Per data bit.
+    std::vector<std::uint64_t> masks;       // Per check bit (H transposed).
     std::vector<int> syndromeToDataBit;     // 2^nCheck entries, -1 = none.
 
     // Byte-sliced encoder: parity contribution of each possible byte

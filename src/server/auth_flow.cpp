@@ -56,11 +56,11 @@ AuthFlow::onRequest(SessionShard &sh, const protocol::AuthRequest &msg)
     GeneratedChallenge gen;
     try {
         if (cfg.multiLevelChallenges && levels.size() >= 2)
-            gen = generator.generateMultiLevel(record,
-                                               cfg.challengeBits, rng);
+            gen = generator.generateMultiLevel(
+                record, cfg.challengeBits, rng, sh.evalScratch);
         else
             gen = generator.generate(record, level, cfg.challengeBits,
-                                     rng);
+                                     rng, sh.evalScratch);
     } catch (const std::runtime_error &e) {
         out.replies.push_back(protocol::ErrorMsg{e.what()});
         return out;

@@ -10,11 +10,10 @@ ChallengeGenerator::ChallengeGenerator(util::Rng rng_) : ownRng(rng_)
 }
 
 GeneratedChallenge
-ChallengeGenerator::generateWithRemap(DeviceRecord &record,
-                                      core::VddMv level,
-                                      std::size_t bits,
-                                      const core::LogicalRemap &remap,
-                                      util::Rng &rng)
+ChallengeGenerator::drawWithRemap(DeviceRecord &record,
+                                  core::VddMv level, std::size_t bits,
+                                  const core::LogicalRemap &remap,
+                                  util::Rng &rng)
 {
     const auto &geom = record.physicalMap().geometry();
     if (!record.physicalMap().hasPlane(level))
@@ -55,9 +54,22 @@ ChallengeGenerator::generateWithRemap(DeviceRecord &record,
         bit.b = core::ChallengePoint{logical_b, level};
         out.challenge.bits.push_back(bit);
     }
+    return out;
+}
 
-    core::ErrorMap logical = remap.mapErrorMap(record.physicalMap());
-    out.expected = core::evaluate(logical, out.challenge);
+GeneratedChallenge
+ChallengeGenerator::generate(DeviceRecord &record, core::VddMv level,
+                             std::size_t bits, util::Rng &rng,
+                             core::EvalScratch &scratch)
+{
+    const auto &levels = record.challengeLevels();
+    if (std::find(levels.begin(), levels.end(), level) == levels.end())
+        throw std::invalid_argument(
+            "ChallengeGenerator: not a challenge level");
+    GeneratedChallenge out = drawWithRemap(
+        record, level, bits, record.logicalRemap(), rng);
+    out.expected = core::evaluateIndexed(record.logicalIndexes(),
+                                         out.challenge, scratch);
     return out;
 }
 
@@ -65,26 +77,21 @@ GeneratedChallenge
 ChallengeGenerator::generate(DeviceRecord &record, core::VddMv level,
                              std::size_t bits, util::Rng &rng)
 {
-    const auto &levels = record.challengeLevels();
-    if (std::find(levels.begin(), levels.end(), level) == levels.end())
-        throw std::invalid_argument(
-            "ChallengeGenerator: not a challenge level");
-    core::LogicalRemap remap(record.mapKey(),
-                             record.physicalMap().geometry());
-    return generateWithRemap(record, level, bits, remap, rng);
+    return generate(record, level, bits, rng, ownScratch);
 }
 
 GeneratedChallenge
 ChallengeGenerator::generate(DeviceRecord &record, core::VddMv level,
                              std::size_t bits)
 {
-    return generate(record, level, bits, ownRng);
+    return generate(record, level, bits, ownRng, ownScratch);
 }
 
 GeneratedChallenge
 ChallengeGenerator::generateMultiLevel(DeviceRecord &record,
                                        std::size_t bits,
-                                       util::Rng &rng)
+                                       util::Rng &rng,
+                                       core::EvalScratch &scratch)
 {
     const auto &levels = record.challengeLevels();
     if (levels.size() < 2)
@@ -97,7 +104,7 @@ ChallengeGenerator::generateMultiLevel(DeviceRecord &record,
                 "generateMultiLevel: missing error map plane");
     }
 
-    core::LogicalRemap remap(record.mapKey(), geom);
+    const core::LogicalRemap &remap = record.logicalRemap();
 
     GeneratedChallenge out;
     out.level = 0; // Mixed levels; no single value applies.
@@ -135,16 +142,24 @@ ChallengeGenerator::generateMultiLevel(DeviceRecord &record,
         out.challenge.bits.push_back(bit);
     }
 
-    core::ErrorMap logical = remap.mapErrorMap(record.physicalMap());
-    out.expected = core::evaluate(logical, out.challenge);
+    out.expected = core::evaluateIndexed(record.logicalIndexes(),
+                                         out.challenge, scratch);
     return out;
+}
+
+GeneratedChallenge
+ChallengeGenerator::generateMultiLevel(DeviceRecord &record,
+                                       std::size_t bits,
+                                       util::Rng &rng)
+{
+    return generateMultiLevel(record, bits, rng, ownScratch);
 }
 
 GeneratedChallenge
 ChallengeGenerator::generateMultiLevel(DeviceRecord &record,
                                        std::size_t bits)
 {
-    return generateMultiLevel(record, bits, ownRng);
+    return generateMultiLevel(record, bits, ownRng, ownScratch);
 }
 
 GeneratedChallenge
@@ -156,9 +171,16 @@ ChallengeGenerator::generateReserved(DeviceRecord &record,
     if (std::find(levels.begin(), levels.end(), level) == levels.end())
         throw std::invalid_argument(
             "ChallengeGenerator: not a reserved level");
+    // Reserved-level challenges use the identity mapping, so the
+    // expected response is evaluated directly on the physical map
+    // (no logical copy was ever needed here).
     core::LogicalRemap identity(crypto::Key256::zero(),
                                 record.physicalMap().geometry());
-    return generateWithRemap(record, level, bits, identity, rng);
+    GeneratedChallenge out =
+        drawWithRemap(record, level, bits, identity, rng);
+    out.expected =
+        core::evaluate(record.physicalMap(), out.challenge);
+    return out;
 }
 
 GeneratedChallenge

@@ -65,6 +65,18 @@ class ChallengeGenerator
                                 std::size_t bits, util::Rng &rng);
 
     /**
+     * Same, with caller-provided evaluation scratch (one per session
+     * shard): the expected response is computed through the record's
+     * cached logical indexes with core::evaluateIndexed, so the
+     * steady-state hot path performs no per-challenge map copy and no
+     * heap allocation beyond the returned challenge itself. Results
+     * are bit-identical to the scratch-less overloads.
+     */
+    GeneratedChallenge generate(DeviceRecord &record, core::VddMv level,
+                                std::size_t bits, util::Rng &rng,
+                                core::EvalScratch &scratch);
+
+    /**
      * Same, for a remap key-derivation challenge at a reserved level:
      * drawn under the *default* (identity) mapping, expected response
      * evaluated directly on the physical map.
@@ -93,15 +105,24 @@ class ChallengeGenerator
     GeneratedChallenge generateMultiLevel(DeviceRecord &record,
                                           std::size_t bits,
                                           util::Rng &rng);
+    GeneratedChallenge generateMultiLevel(DeviceRecord &record,
+                                          std::size_t bits,
+                                          util::Rng &rng,
+                                          core::EvalScratch &scratch);
 
   private:
+    /**
+     * Draw the challenge and retire its pairs; expected response is
+     * NOT filled in (each public overload evaluates through the view
+     * appropriate to its remap).
+     */
     static GeneratedChallenge
-    generateWithRemap(DeviceRecord &record, core::VddMv level,
-                      std::size_t bits,
-                      const core::LogicalRemap &remap,
-                      util::Rng &rng);
+    drawWithRemap(DeviceRecord &record, core::VddMv level,
+                  std::size_t bits, const core::LogicalRemap &remap,
+                  util::Rng &rng);
 
     util::Rng ownRng; ///< Backs the legacy no-Rng overloads only.
+    core::EvalScratch ownScratch; ///< Backs the no-scratch overloads.
 };
 
 } // namespace authenticache::server

@@ -25,6 +25,36 @@ DeviceRecord::DeviceRecord(std::uint64_t device_id,
     }
 }
 
+const core::LogicalRemap &
+DeviceRecord::logicalRemap() const
+{
+    if (!remapCache)
+        remapCache = std::make_shared<core::LogicalRemap>(
+            key, map.geometry());
+    return *remapCache;
+}
+
+const core::ErrorMap &
+DeviceRecord::logicalMap() const
+{
+    const core::LogicalRemap &remap = logicalRemap();
+    if (remap.isIdentity())
+        return map;
+    if (!logicalCache)
+        logicalCache = std::make_shared<core::ErrorMap>(
+            remap.mapErrorMap(map));
+    return *logicalCache;
+}
+
+const core::ErrorIndexMap &
+DeviceRecord::logicalIndexes() const
+{
+    if (!indexCache)
+        indexCache = std::make_shared<core::ErrorIndexMap>(
+            core::buildErrorIndexes(logicalMap()));
+    return *indexCache;
+}
+
 std::uint64_t
 DeviceRecord::pairKey(std::uint64_t a, std::uint64_t b)
 {

@@ -15,13 +15,16 @@
 #include <array>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <set>
 #include <stdexcept>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
+#include "core/error_index.hpp"
 #include "core/error_map.hpp"
+#include "core/remap.hpp"
 #include "crypto/key.hpp"
 
 namespace authenticache::server {
@@ -50,7 +53,43 @@ class DeviceRecord
     }
 
     const crypto::Key256 &mapKey() const { return key; }
-    void setMapKey(const crypto::Key256 &k) { key = k; }
+
+    /** Rotate the map key; drops the cached logical views. */
+    void setMapKey(const crypto::Key256 &k)
+    {
+        if (!(k == key)) {
+            remapCache.reset();
+            logicalCache.reset();
+            indexCache.reset();
+        }
+        key = k;
+    }
+
+    /**
+     * The coordinate permutation under the current map key, built on
+     * first use and cached until setMapKey(). Like the rest of the
+     * record's mutable state, callers synchronize externally (the
+     * session layer holds the device's shard mutex).
+     */
+    const core::LogicalRemap &logicalRemap() const;
+
+    /**
+     * The device's error map in logical coordinates under the current
+     * map key -- the view challenges are evaluated against. Computed
+     * on first use and cached until the key rotates, which removes
+     * the full-map permutation from the per-challenge hot path. The
+     * identity key returns physicalMap() itself. The physical map is
+     * immutable after enrollment, so key rotation is the only
+     * invalidation point.
+     */
+    const core::ErrorMap &logicalMap() const;
+
+    /**
+     * Per-plane nearest-error indexes over logicalMap(), cached the
+     * same way; the generator's batched expected-response evaluation
+     * (core::evaluateIndexed) runs against these.
+     */
+    const core::ErrorIndexMap &logicalIndexes() const;
 
     /**
      * Consume a challenge pair at a level. Pairs are canonicalized
@@ -127,6 +166,12 @@ class DeviceRecord
     std::vector<core::VddMv> authLevels;
     std::vector<core::VddMv> remapLevels;
     crypto::Key256 key;
+    // Cached views under `key`; shared_ptr keeps the record copyable
+    // (copies share the immutable cache until either side rotates,
+    // which swaps the pointer rather than mutating through it).
+    mutable std::shared_ptr<core::LogicalRemap> remapCache;
+    mutable std::shared_ptr<core::ErrorMap> logicalCache;
+    mutable std::shared_ptr<core::ErrorIndexMap> indexCache;
     std::map<core::VddMv, std::unordered_set<std::uint64_t>> consumed;
     std::set<std::array<std::uint64_t, 4>> mixed;
     std::uint64_t nAccepted = 0;

@@ -1,5 +1,6 @@
 #include "sim/cache_array.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <stdexcept>
 
@@ -24,10 +25,17 @@ SramCacheArray::writeLine(const LinePoint &p,
     if (data.size() != geom.wordsPerLine())
         throw std::invalid_argument("writeLine: word count mismatch");
     std::uint64_t base = geom.lineIndex(p) * geom.wordsPerLine();
-    for (std::uint32_t w = 0; w < geom.wordsPerLine(); ++w) {
-        words[base + w] = data[w];
-        checks[base + w] =
-            static_cast<std::uint8_t>(secded.encode(data[w]));
+    std::copy(data.begin(), data.end(), words.begin() + base);
+    // Encode the whole line through the vectorized batch kernel; the
+    // stack chunk keeps the path allocation-free for any line width.
+    constexpr std::size_t kChunk = 64;
+    std::uint32_t cbuf[kChunk];
+    for (std::size_t off = 0; off < data.size(); off += kChunk) {
+        const std::size_t m = std::min(kChunk, data.size() - off);
+        secded.encodeBatch(data.data() + off, cbuf, m);
+        for (std::size_t i = 0; i < m; ++i)
+            checks[base + off + i] =
+                static_cast<std::uint8_t>(cbuf[i]);
     }
     nWrites += geom.wordsPerLine();
 }
@@ -119,19 +127,69 @@ SramCacheArray::readLine(const LinePoint &p)
 {
     const auto &geom = field.geometry();
     LineAccessResult out;
-    for (std::uint32_t w = 0; w < geom.wordsPerLine(); ++w) {
-        ReadResult r = readWord(p, w);
-        switch (r.status) {
-          case ecc::DecodeStatus::Ok:
-            break;
-          case ecc::DecodeStatus::CorrectedData:
-          case ecc::DecodeStatus::CorrectedCheck:
-            out.corrected = true;
-            break;
-          case ecc::DecodeStatus::DoubleError:
-          case ecc::DecodeStatus::Uncorrectable:
-            out.uncorrectable = true;
-            break;
+    const std::uint64_t line = geom.lineIndex(p);
+    const std::uint64_t base = line * geom.wordsPerLine();
+    const std::uint32_t weak = field.weakWord(line);
+
+    // Whole-line read: stage the stored words, inject the fault model
+    // on the (single) weak word, then decode the line through the
+    // vectorized batch kernel. The fault draw order matches the
+    // word-at-a-time path exactly -- one faultOn() per line read, at
+    // the weak word -- so replay streams are unchanged.
+    constexpr std::size_t kChunk = 64;
+    std::uint64_t raw[kChunk];
+    std::uint32_t chk[kChunk];
+    ecc::DecodeResult dec[kChunk];
+
+    for (std::uint32_t off = 0; off < geom.wordsPerLine();
+         off += kChunk) {
+        const std::uint32_t m = static_cast<std::uint32_t>(
+            std::min<std::size_t>(kChunk,
+                                  geom.wordsPerLine() - off));
+        for (std::uint32_t i = 0; i < m; ++i) {
+            raw[i] = words[base + off + i];
+            chk[i] = checks[base + off + i];
+        }
+        if (weak >= off && weak < off + m) {
+            FaultKind kind = faultOn(line);
+            if (kind != FaultKind::None) {
+                auto flip = [&](std::uint32_t bit) {
+                    if (bit < 64)
+                        raw[weak - off] ^= 1ull << bit;
+                    else
+                        chk[weak - off] ^= 1u << (bit - 64);
+                };
+                flip(field.weakBit(line));
+                if (kind == FaultKind::Double)
+                    flip(field.weakBit2(line));
+            }
+        }
+        secded.decodeBatch(raw, chk, dec, m);
+        for (std::uint32_t i = 0; i < m; ++i) {
+            ++nReads;
+            switch (dec[i].status) {
+              case ecc::DecodeStatus::Ok:
+                continue;
+              case ecc::DecodeStatus::CorrectedData:
+              case ecc::DecodeStatus::CorrectedCheck:
+                out.corrected = true;
+                break;
+              case ecc::DecodeStatus::DoubleError:
+              case ecc::DecodeStatus::Uncorrectable:
+                out.uncorrectable = true;
+                break;
+            }
+            EccEvent event;
+            event.line = p;
+            event.word = off + i;
+            event.bitPosition = dec[i].bitPosition;
+            event.vddMv = vdd;
+            event.severity =
+                (dec[i].status == ecc::DecodeStatus::CorrectedData ||
+                 dec[i].status == ecc::DecodeStatus::CorrectedCheck)
+                    ? EccSeverity::Corrected
+                    : EccSeverity::Uncorrectable;
+            log.post(event);
         }
     }
     return out;

@@ -1,0 +1,76 @@
+#include "util/arena.hpp"
+
+#include <algorithm>
+
+namespace authenticache::util {
+
+namespace {
+
+constexpr std::size_t kMinBlock = 256;
+
+std::size_t
+roundUp(std::size_t value, std::size_t align)
+{
+    return (value + align - 1) & ~(align - 1);
+}
+
+} // namespace
+
+Arena::Arena(std::size_t initial_bytes)
+{
+    Block b;
+    b.size = std::max(initial_bytes, kMinBlock);
+    b.data = std::make_unique<std::byte[]>(b.size);
+    blocks.push_back(std::move(b));
+}
+
+void *
+Arena::allocateBytes(std::size_t bytes, std::size_t align)
+{
+    Block *b = &blocks.back();
+    std::size_t at = roundUp(b->offset, align);
+    if (at + bytes > b->size) {
+        // Overflow: chain a block big enough for this allocation and
+        // at least double the previous block, amortizing growth.
+        Block next;
+        next.size = std::max(b->size * 2, roundUp(bytes, 64));
+        next.data = std::make_unique<std::byte[]>(next.size);
+        blocks.push_back(std::move(next));
+        b = &blocks.back();
+        at = 0;
+    }
+    b->offset = at + bytes;
+    used += bytes;
+    return b->data.get() + at;
+}
+
+void
+Arena::reset()
+{
+    if (blocks.size() > 1) {
+        // Consolidate to one block covering the observed peak so the
+        // next cycle never overflows.
+        std::size_t total = 0;
+        for (const auto &b : blocks)
+            total += b.size;
+        blocks.clear();
+        Block b;
+        b.size = total;
+        b.data = std::make_unique<std::byte[]>(b.size);
+        blocks.push_back(std::move(b));
+    } else {
+        blocks.back().offset = 0;
+    }
+    used = 0;
+}
+
+std::size_t
+Arena::capacity() const
+{
+    std::size_t total = 0;
+    for (const auto &b : blocks)
+        total += b.size;
+    return total;
+}
+
+} // namespace authenticache::util

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Bump-pointer scratch arena for hot-path temporaries.
+ *
+ * The authentication hot path (challenge generation, batched
+ * nearest-error queries, response evaluation) needs short-lived
+ * buffers whose lifetime is one frame or one query batch. Allocating
+ * them from the general heap puts malloc/free on every request; the
+ * arena instead hands out slices of one growing block and recycles
+ * the whole block with a single reset() at the frame boundary, so
+ * steady-state request processing performs no heap allocation at all.
+ *
+ * Only trivially-destructible element types are supported: reset()
+ * runs no destructors. The arena is move-only and not thread-safe;
+ * each session shard owns its own (guarded by the shard mutex, like
+ * the rest of the shard state).
+ */
+
+#ifndef AUTH_UTIL_ARENA_HPP
+#define AUTH_UTIL_ARENA_HPP
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+namespace authenticache::util {
+
+class Arena
+{
+  public:
+    /** @param initial_bytes Capacity of the first block. */
+    explicit Arena(std::size_t initial_bytes = 4096);
+
+    Arena(Arena &&) noexcept = default;
+    Arena &operator=(Arena &&) noexcept = default;
+    Arena(const Arena &) = delete;
+    Arena &operator=(const Arena &) = delete;
+
+    /**
+     * Allocate an uninitialized span of @p n elements, aligned for T.
+     * Grows by adding overflow blocks (doubling) when the current
+     * block is exhausted; after the next reset() the arena owns one
+     * block large enough for the whole previous high-water mark.
+     */
+    template <typename T>
+    std::span<T>
+    allocate(std::size_t n)
+    {
+        static_assert(std::is_trivially_destructible_v<T>,
+                      "Arena::reset runs no destructors");
+        void *p = allocateBytes(n * sizeof(T), alignof(T));
+        return {static_cast<T *>(p), n};
+    }
+
+    /** Allocate and zero-fill. */
+    template <typename T>
+    std::span<T>
+    allocateZeroed(std::size_t n)
+    {
+        auto s = allocate<T>(n);
+        std::fill(s.begin(), s.end(), T{});
+        return s;
+    }
+
+    /**
+     * Recycle every allocation. Invalidates all outstanding spans.
+     * If the last cycle overflowed into extra blocks, they are
+     * consolidated into one block sized for the observed peak, so a
+     * steady-state workload settles into zero heap traffic.
+     */
+    void reset();
+
+    /** Bytes handed out since the last reset (excludes padding). */
+    std::size_t bytesInUse() const { return used; }
+
+    /** Total capacity across blocks. */
+    std::size_t capacity() const;
+
+    /** Blocks currently owned (1 in steady state). */
+    std::size_t blockCount() const { return blocks.size(); }
+
+  private:
+    struct Block
+    {
+        std::unique_ptr<std::byte[]> data;
+        std::size_t size = 0;
+        std::size_t offset = 0;
+    };
+
+    void *allocateBytes(std::size_t bytes, std::size_t align);
+
+    std::vector<Block> blocks; ///< blocks.back() is the active one.
+    std::size_t used = 0;
+};
+
+} // namespace authenticache::util
+
+#endif // AUTH_UTIL_ARENA_HPP

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Runtime SIMD dispatch: detection sanity, the AUTHENTICACHE_SIMD
+ * override resolution (including clamping and unrecognized values),
+ * and the process-wide cached level.
+ *
+ * The cached simdLevel() reads the environment once, so the override
+ * paths are driven through detail::resolveSimdLevel directly -- the
+ * same function the cache calls -- rather than by re-execing.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+
+#include "util/simd.hpp"
+
+namespace util = authenticache::util;
+using util::SimdLevel;
+
+TEST(SimdDispatch, NamesRoundTrip)
+{
+    EXPECT_STREQ(util::simdLevelName(SimdLevel::Scalar), "scalar");
+    EXPECT_STREQ(util::simdLevelName(SimdLevel::Sse2), "sse2");
+    EXPECT_STREQ(util::simdLevelName(SimdLevel::Avx2), "avx2");
+}
+
+TEST(SimdDispatch, SupportedLevelsAreNarrowestFirstAndNonEmpty)
+{
+    auto levels = util::supportedSimdLevels();
+    ASSERT_FALSE(levels.empty());
+    EXPECT_EQ(levels.front(), SimdLevel::Scalar);
+    EXPECT_TRUE(std::is_sorted(levels.begin(), levels.end()));
+    EXPECT_EQ(levels.back(), util::detectedSimdLevel());
+}
+
+TEST(SimdDispatch, CachedLevelIsSupported)
+{
+    auto levels = util::supportedSimdLevels();
+    EXPECT_NE(std::find(levels.begin(), levels.end(),
+                        util::simdLevel()),
+              levels.end());
+}
+
+TEST(SimdDispatch, ResolveKeepsDetectedWithoutOverride)
+{
+    bool clamped = true, unrecognized = true;
+    EXPECT_EQ(util::detail::resolveSimdLevel(nullptr, SimdLevel::Avx2,
+                                             &clamped, &unrecognized),
+              SimdLevel::Avx2);
+    EXPECT_FALSE(clamped);
+    EXPECT_FALSE(unrecognized);
+
+    EXPECT_EQ(util::detail::resolveSimdLevel("", SimdLevel::Sse2,
+                                             &clamped, &unrecognized),
+              SimdLevel::Sse2);
+    EXPECT_FALSE(clamped);
+    EXPECT_FALSE(unrecognized);
+}
+
+TEST(SimdDispatch, ResolveHonorsEachRecognizedName)
+{
+    bool clamped = false, unrecognized = false;
+    EXPECT_EQ(util::detail::resolveSimdLevel("scalar", SimdLevel::Avx2,
+                                             &clamped, &unrecognized),
+              SimdLevel::Scalar);
+    EXPECT_FALSE(clamped);
+    EXPECT_FALSE(unrecognized);
+
+    EXPECT_EQ(util::detail::resolveSimdLevel("sse2", SimdLevel::Avx2,
+                                             &clamped, &unrecognized),
+              SimdLevel::Sse2);
+    EXPECT_FALSE(clamped);
+
+    EXPECT_EQ(util::detail::resolveSimdLevel("avx2", SimdLevel::Avx2,
+                                             &clamped, &unrecognized),
+              SimdLevel::Avx2);
+    EXPECT_FALSE(clamped);
+}
+
+TEST(SimdDispatch, ResolveClampsRequestsAboveTheCpu)
+{
+    bool clamped = false, unrecognized = false;
+    EXPECT_EQ(util::detail::resolveSimdLevel("avx2", SimdLevel::Sse2,
+                                             &clamped, &unrecognized),
+              SimdLevel::Sse2);
+    EXPECT_TRUE(clamped);
+    EXPECT_FALSE(unrecognized);
+
+    clamped = false;
+    EXPECT_EQ(util::detail::resolveSimdLevel("avx2",
+                                             SimdLevel::Scalar,
+                                             &clamped, &unrecognized),
+              SimdLevel::Scalar);
+    EXPECT_TRUE(clamped);
+}
+
+TEST(SimdDispatch, ResolveFlagsUnrecognizedNames)
+{
+    bool clamped = false, unrecognized = false;
+    // Unknown names keep the detected level and set the flag (the
+    // cached resolver warns once on stderr).
+    EXPECT_EQ(util::detail::resolveSimdLevel("AVX2", SimdLevel::Avx2,
+                                             &clamped, &unrecognized),
+              SimdLevel::Avx2);
+    EXPECT_TRUE(unrecognized);
+    EXPECT_FALSE(clamped);
+
+    unrecognized = false;
+    EXPECT_EQ(util::detail::resolveSimdLevel("avx512",
+                                             SimdLevel::Sse2,
+                                             &clamped, &unrecognized),
+              SimdLevel::Sse2);
+    EXPECT_TRUE(unrecognized);
+}
+
+TEST(SimdDispatch, EnvironmentOverrideMatchesResolver)
+{
+    // When the suite is launched with AUTHENTICACHE_SIMD set (the CI
+    // width matrix does exactly that), the cached level must equal
+    // what the pure resolver says for that string; without the
+    // variable it must equal the detected level.
+    const char *env = std::getenv("AUTHENTICACHE_SIMD");
+    bool clamped = false, unrecognized = false;
+    SimdLevel expected = util::detail::resolveSimdLevel(
+        env, util::detectedSimdLevel(), &clamped, &unrecognized);
+    EXPECT_EQ(util::simdLevel(), expected);
+}

@@ -1,0 +1,172 @@
+#!/usr/bin/env python3
+"""Perf-trajectory regression gate.
+
+Compares a fresh bench_runner output against a checked-in baseline
+(BENCH_hotpath.json / BENCH_server.json at the repo root) and exits
+non-zero on regression. See EXPERIMENTS.md "Perf trajectory" for the
+schema and the baseline-update policy.
+
+Two modes:
+
+  absolute (default)
+      Every benchmark series (matched on name+simd) must hold
+      ops_per_s within --threshold (default 10%) of the baseline.
+      Only meaningful when baseline and current ran on comparable
+      hardware -- a developer box against its own previous run.
+
+  --ratios-only
+      Only the "derived" ratios (SIMD speedup over scalar, durable
+      overhead, thread scaling) and the baseline's "floors" are
+      enforced. Ratios divide out the host's absolute speed, so this
+      is the mode CI uses on anonymous runners.
+
+In both modes the "floors" object in the *baseline* file is enforced
+against the *current* derived ratios (e.g. the nearest-error SIMD
+scan must stay >= 2x over scalar) -- unless the current run detected
+a CPU without the wide instruction set (floors assume the baseline's
+detected_simd is available).
+
+Usage:
+  tools/bench_compare.py BASELINE CURRENT [BASELINE2 CURRENT2 ...]
+      [--threshold 0.10] [--ratios-only]
+"""
+
+import argparse
+import json
+import sys
+
+# Derived ratios below this are treated as "width unavailable on this
+# host" rather than a regression (a scalar-only CI runner can't hold
+# a SIMD speedup floor).
+_SAME_WIDTH = 1.001
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"bench_compare: cannot read {path}: {e}",
+              file=sys.stderr)
+        sys.exit(2)
+
+
+def series_map(doc):
+    return {(s["name"], s["simd"]): s
+            for s in doc.get("benchmarks", [])}
+
+
+def compare_pair(baseline_path, current_path, threshold,
+                 ratios_only):
+    base = load(baseline_path)
+    cur = load(current_path)
+    failures = []
+    notes = []
+
+    if base.get("schema") != cur.get("schema"):
+        failures.append(
+            f"schema mismatch: baseline {base.get('schema')} vs "
+            f"current {cur.get('schema')}")
+        return failures, notes
+
+    if base.get("quick") != cur.get("quick"):
+        notes.append(
+            f"note: quick={base.get('quick')} baseline vs "
+            f"quick={cur.get('quick')} current -- absolute numbers "
+            "are not comparable; ratios still are")
+
+    same_width = (base.get("detected_simd") ==
+                  cur.get("detected_simd"))
+
+    if not ratios_only:
+        bmap, cmap = series_map(base), series_map(cur)
+        for key, bs in sorted(bmap.items()):
+            cs = cmap.get(key)
+            if cs is None:
+                failures.append(
+                    f"{key[0]} [{key[1]}]: missing from current run")
+                continue
+            floor = bs["ops_per_s"] * (1.0 - threshold)
+            if cs["ops_per_s"] < floor:
+                failures.append(
+                    f"{key[0]} [{key[1]}]: {cs['ops_per_s']:.0f} "
+                    f"ops/s < {floor:.0f} "
+                    f"(baseline {bs['ops_per_s']:.0f}, "
+                    f"threshold {threshold:.0%})")
+        for key in sorted(set(cmap) - set(bmap)):
+            notes.append(
+                f"note: {key[0]} [{key[1]}] is new (no baseline)")
+
+    bder = base.get("derived", {})
+    cder = cur.get("derived", {})
+    for name, bval in sorted(bder.items()):
+        cval = cder.get(name)
+        if cval is None:
+            failures.append(f"derived {name}: missing from current")
+            continue
+        if bval <= _SAME_WIDTH:
+            continue  # Baseline itself saw no headroom; nothing to hold.
+        if not same_width and cval <= _SAME_WIDTH:
+            notes.append(
+                f"note: derived {name} skipped (current host lacks "
+                f"{base.get('detected_simd')})")
+            continue
+        floor = bval * (1.0 - threshold)
+        if cval < floor:
+            failures.append(
+                f"derived {name}: {cval:.3f} < {floor:.3f} "
+                f"(baseline {bval:.3f}, threshold {threshold:.0%})")
+
+    for name, floor in sorted(base.get("floors", {}).items()):
+        cval = cder.get(name)
+        if cval is None:
+            failures.append(f"floor {name}: missing from current")
+            continue
+        if not same_width and cval <= _SAME_WIDTH:
+            notes.append(
+                f"note: floor {name} skipped (current host lacks "
+                f"{base.get('detected_simd')})")
+            continue
+        if cval < floor:
+            failures.append(
+                f"floor {name}: {cval:.3f} < required {floor:.3f}")
+
+    return failures, notes
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="Perf-trajectory regression gate")
+    ap.add_argument("files", nargs="+",
+                    help="BASELINE CURRENT file pairs")
+    ap.add_argument("--threshold", type=float, default=0.10,
+                    help="allowed fractional regression "
+                         "(default 0.10)")
+    ap.add_argument("--ratios-only", action="store_true",
+                    help="enforce only derived ratios and floors "
+                         "(hardware-independent; CI mode)")
+    args = ap.parse_args()
+
+    if len(args.files) % 2 != 0:
+        ap.error("files must come in BASELINE CURRENT pairs")
+
+    any_failures = False
+    for i in range(0, len(args.files), 2):
+        baseline, current = args.files[i], args.files[i + 1]
+        failures, notes = compare_pair(
+            baseline, current, args.threshold, args.ratios_only)
+        tag = f"[{baseline} vs {current}]"
+        for n in notes:
+            print(f"{tag} {n}")
+        for f in failures:
+            print(f"{tag} FAIL: {f}", file=sys.stderr)
+            any_failures = True
+        if not failures:
+            print(f"{tag} OK"
+                  + (" (ratios-only)" if args.ratios_only else ""))
+
+    return 1 if any_failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
