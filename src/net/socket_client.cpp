@@ -1,0 +1,161 @@
+#include "net/socket_client.hpp"
+
+#include <cerrno>
+#include <utility>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace authenticache::net {
+
+SocketClient::~SocketClient()
+{
+    close();
+}
+
+SocketClient::SocketClient(SocketClient &&other) noexcept
+    : fd(std::exchange(other.fd, -1)),
+      sawEof(std::exchange(other.sawEof, false)),
+      decoder(std::move(other.decoder))
+{
+}
+
+SocketClient &
+SocketClient::operator=(SocketClient &&other) noexcept
+{
+    if (this != &other) {
+        close();
+        fd = std::exchange(other.fd, -1);
+        sawEof = std::exchange(other.sawEof, false);
+        decoder = std::move(other.decoder);
+    }
+    return *this;
+}
+
+bool
+SocketClient::connectTo(std::uint16_t port)
+{
+    close();
+    fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0)
+        return false;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) < 0) {
+        close();
+        return false;
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    sawEof = false;
+    decoder = WireDecoder{};
+    return true;
+}
+
+bool
+SocketClient::writeRaw(std::span<const std::uint8_t> data)
+{
+    std::size_t off = 0;
+    while (off < data.size()) {
+        ssize_t n = ::send(fd, data.data() + off, data.size() - off,
+                           MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        off += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+bool
+SocketClient::writeSlowly(std::span<const std::uint8_t> data)
+{
+    for (std::size_t i = 0; i < data.size(); ++i)
+        if (!writeRaw(data.subspan(i, 1)))
+            return false;
+    return true;
+}
+
+bool
+SocketClient::sendMessage(std::uint64_t stream,
+                          const protocol::Message &m)
+{
+    return writeRaw(encodeWireMessage(stream, m));
+}
+
+std::optional<std::pair<std::uint64_t, protocol::Message>>
+SocketClient::readMessage(int timeoutMs)
+{
+    for (;;) {
+        if (auto frame = decoder.next()) {
+            try {
+                return std::make_pair(
+                    frame->stream,
+                    protocol::decodeMessage(frame->payload));
+            } catch (const protocol::DecodeError &) {
+                return std::nullopt;
+            }
+        }
+        if (decoder.failed() || sawEof || fd < 0)
+            return std::nullopt;
+
+        pollfd pfd{fd, POLLIN, 0};
+        int ready = ::poll(&pfd, 1, timeoutMs);
+        if (ready <= 0)
+            return std::nullopt; // Timeout or poll failure.
+
+        std::uint8_t chunk[4096];
+        ssize_t n = ::read(fd, chunk, sizeof(chunk));
+        if (n > 0) {
+            decoder.feed(std::span<const std::uint8_t>(
+                chunk, static_cast<std::size_t>(n)));
+            continue;
+        }
+        if (n == 0) {
+            sawEof = true;
+            continue; // A buffered frame may still decode.
+        }
+        if (errno == EINTR)
+            continue;
+        sawEof = true;
+    }
+}
+
+void
+SocketClient::shutdownWrite()
+{
+    if (fd >= 0)
+        ::shutdown(fd, SHUT_WR);
+}
+
+void
+SocketClient::abort()
+{
+    if (fd >= 0) {
+        // SO_LINGER with zero timeout turns close() into an RST --
+        // the server sees an abortive disconnect, not a FIN.
+        linger lg{1, 0};
+        ::setsockopt(fd, SOL_SOCKET, SO_LINGER, &lg, sizeof(lg));
+    }
+    close();
+}
+
+void
+SocketClient::close()
+{
+    if (fd >= 0) {
+        ::close(fd);
+        fd = -1;
+    }
+}
+
+} // namespace authenticache::net

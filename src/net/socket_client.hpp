@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Minimal blocking TCP client for tests and benches: connects to the
+ * EpollTransport listener, frames messages onto streams, and decodes
+ * replies with its own WireDecoder. Waiting uses poll() with caller
+ * supplied millisecond budgets -- the client never reads a clock, so
+ * it stays inside the repo's determinism lint for src/.
+ *
+ * It also exposes the raw-byte and partial-write surface the chaos
+ * suite needs: writeRaw for garbage/torn frames, writeSlowly for a
+ * slow-loris byte dribble, shutdownWrite for half-open connections,
+ * and abort() for RST-style disconnects mid-frame.
+ */
+
+#ifndef AUTH_NET_SOCKET_CLIENT_HPP
+#define AUTH_NET_SOCKET_CLIENT_HPP
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "net/wire.hpp"
+
+namespace authenticache::net {
+
+class SocketClient
+{
+  public:
+    SocketClient() = default;
+    ~SocketClient();
+
+    SocketClient(SocketClient &&other) noexcept;
+    SocketClient &operator=(SocketClient &&other) noexcept;
+    SocketClient(const SocketClient &) = delete;
+    SocketClient &operator=(const SocketClient &) = delete;
+
+    /** Connect to 127.0.0.1:@p port. @return success. */
+    bool connectTo(std::uint16_t port);
+
+    bool connected() const { return fd >= 0; }
+
+    /** Write all of @p data (blocking). @return success. */
+    bool writeRaw(std::span<const std::uint8_t> data);
+
+    /** Write @p data one byte at a time (slow-loris probe). */
+    bool writeSlowly(std::span<const std::uint8_t> data);
+
+    /** Frame and send @p m on @p stream. */
+    bool sendMessage(std::uint64_t stream, const protocol::Message &m);
+
+    /**
+     * Next reply frame, waiting up to @p timeoutMs for bytes.
+     * std::nullopt on timeout, EOF, or decode failure (failed()).
+     */
+    std::optional<std::pair<std::uint64_t, protocol::Message>>
+    readMessage(int timeoutMs);
+
+    /** Decoder hit a wire error on the reply stream. */
+    bool failed() const { return decoder.failed(); }
+
+    /** Server closed the connection (seen during a read). */
+    bool eof() const { return sawEof; }
+
+    /** Half-close: FIN our side, replies still readable. */
+    void shutdownWrite();
+
+    /** Hard close, pending bytes discarded (RST to the server). */
+    void abort();
+
+    void close();
+
+  private:
+    int fd = -1;
+    bool sawEof = false;
+    WireDecoder decoder;
+};
+
+} // namespace authenticache::net
+
+#endif // AUTH_NET_SOCKET_CLIENT_HPP

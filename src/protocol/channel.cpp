@@ -89,6 +89,36 @@ InMemoryChannel::corruptSeeded(std::vector<std::uint8_t> &frame,
     frame[pos] ^= mask;
 }
 
+std::size_t
+InMemoryChannel::occupancy(Direction d) const
+{
+    std::size_t n = d == Direction::ClientToServer ? toServer.size()
+                                                   : toClient.size();
+    for (const auto &held : delayed)
+        if (held.direction == d)
+            ++n;
+    return n;
+}
+
+bool
+InMemoryChannel::enqueue(Direction d, std::vector<std::uint8_t> frame,
+                         bool front)
+{
+    // A delay-held frame already owns its queue slot, so the cap
+    // covers queued + held: releasing a delayed frame never drops it.
+    if (queueCap != 0 && occupancy(d) >= queueCap) {
+        ++counters.overflows;
+        return false;
+    }
+    auto &queue =
+        d == Direction::ClientToServer ? toServer : toClient;
+    if (front)
+        queue.push_front(std::move(frame));
+    else
+        queue.push_back(std::move(frame));
+    return true;
+}
+
 void
 InMemoryChannel::flushDelayed()
 {
@@ -130,11 +160,9 @@ InMemoryChannel::dispatch(Direction d, std::vector<std::uint8_t> frame)
         return;
     maybeCorrupt(frame);
 
-    auto &queue =
-        d == Direction::ClientToServer ? toServer : toClient;
     const FaultSpec *spec = plan.at(ordinal);
     if (!spec) {
-        queue.push_back(std::move(frame));
+        enqueue(d, std::move(frame));
         return;
     }
 
@@ -147,16 +175,22 @@ InMemoryChannel::dispatch(Direction d, std::vector<std::uint8_t> frame)
         // Both copies cross the wire; the eavesdropper sees both.
         if (transcript)
             transcript->record(d, frame);
-        queue.push_back(frame);
-        queue.push_back(std::move(frame));
+        enqueue(d, frame);
+        enqueue(d, std::move(frame));
         return;
       case FaultType::Reorder:
         ++counters.reorders;
-        queue.push_front(std::move(frame));
+        enqueue(d, std::move(frame), /*front=*/true);
         return;
       case FaultType::Delay:
         if (!simClock || spec->delaySteps == 0) {
-            queue.push_back(std::move(frame));
+            enqueue(d, std::move(frame));
+            return;
+        }
+        // The held frame owns a queue slot (see enqueue); a full
+        // queue sheds the frame here, not at release time.
+        if (queueCap != 0 && occupancy(d) >= queueCap) {
+            ++counters.overflows;
             return;
         }
         ++counters.delays;
@@ -166,10 +200,10 @@ InMemoryChannel::dispatch(Direction d, std::vector<std::uint8_t> frame)
       case FaultType::Corrupt:
         ++counters.corruptions;
         corruptSeeded(frame, ordinal);
-        queue.push_back(std::move(frame));
+        enqueue(d, std::move(frame));
         return;
       case FaultType::None:
-        queue.push_back(std::move(frame));
+        enqueue(d, std::move(frame));
         return;
     }
 }

@@ -122,16 +122,42 @@ struct FaultCounters
     std::uint64_t reorders = 0;
     std::uint64_t delays = 0;
     std::uint64_t corruptions = 0;
+    /** Frames discarded because a direction's queue was at its cap. */
+    std::uint64_t overflows = 0;
+};
+
+/**
+ * Where replies go. The batch front end addresses each frame's
+ * replies through this interface, so the same pipeline serves an
+ * in-memory channel endpoint (ServerEndpoint) and a wire-transport
+ * stream (net::TransportCore's per-stream sinks) without knowing
+ * which is behind it.
+ */
+class ReplySink
+{
+  public:
+    virtual ~ReplySink() = default;
+
+    /** Deliver one protocol message to the peer. */
+    virtual void send(const Message &m) = 0;
 };
 
 /**
  * The channel itself: two frame queues plus optional fault injection.
  * Endpoint objects (ClientEndpoint / ServerEndpoint) expose the
  * directional send/receive pairs.
+ *
+ * Both queues are bounded (setQueueCap), mirroring the bounded
+ * per-connection request queues of the real socket transport: a frame
+ * sent at a full queue is discarded and counted in
+ * faultCounters().overflows, exactly as a saturated connection would
+ * lose it, so loopback tests cannot mask unbounded-memory behavior.
  */
 class InMemoryChannel
 {
   public:
+    /** Default per-direction queue cap (frames). */
+    static constexpr std::size_t kDefaultQueueCap = 4096;
     /** Queue a frame toward the server. */
     void sendToServer(std::vector<std::uint8_t> frame);
 
@@ -155,6 +181,15 @@ class InMemoryChannel
 
     /** Install a deterministic fault schedule. */
     void setFaultPlan(FaultPlan schedule) { plan = std::move(schedule); }
+
+    /**
+     * Cap each direction's queue at @p frames (0 = unbounded, for
+     * tests that deliberately model an infinite pipe). The cap counts
+     * queued plus delay-held frames per direction.
+     */
+    void setQueueCap(std::size_t frames) { queueCap = frames; }
+
+    std::size_t queueCapacity() const { return queueCap; }
 
     /** Corrupt one byte of the next @p n frames sent (either way). */
     void corruptNextFrames(std::size_t n) { corruptBudget = n; }
@@ -184,6 +219,14 @@ class InMemoryChannel
     };
 
     void dispatch(Direction d, std::vector<std::uint8_t> frame);
+
+    /** Enqueue respecting the per-direction cap; false on overflow. */
+    bool enqueue(Direction d, std::vector<std::uint8_t> frame,
+                 bool front = false);
+
+    /** Queued plus delay-held frames heading in direction @p d. */
+    std::size_t occupancy(Direction d) const;
+
     bool maybeDrop();
     void maybeCorrupt(std::vector<std::uint8_t> &frame);
     void corruptSeeded(std::vector<std::uint8_t> &frame,
@@ -203,6 +246,7 @@ class InMemoryChannel
     FaultCounters counters;
     std::size_t corruptBudget = 0;
     std::size_t dropBudget = 0;
+    std::size_t queueCap = kDefaultQueueCap;
     std::uint64_t nFrames = 0;
     std::uint64_t nDelaySeq = 0;
 };
@@ -231,12 +275,12 @@ class ClientEndpoint
     InMemoryChannel &channel;
 };
 
-class ServerEndpoint
+class ServerEndpoint : public ReplySink
 {
   public:
     explicit ServerEndpoint(InMemoryChannel &link) : channel(link) {}
 
-    void send(const Message &m)
+    void send(const Message &m) override
     {
         channel.sendToClient(encodeMessage(m));
     }

@@ -89,6 +89,18 @@ messageType(const Message &m)
         m);
 }
 
+std::optional<MessageType>
+peekMessageType(std::span<const std::uint8_t> frame)
+{
+    if (frame.size() < 5)
+        return std::nullopt;
+    const std::uint8_t tag = frame[4]; // After the u32 payload length.
+    if (tag < static_cast<std::uint8_t>(MessageType::AuthRequest) ||
+        tag > static_cast<std::uint8_t>(MessageType::RemapCommit))
+        return std::nullopt;
+    return static_cast<MessageType>(tag);
+}
+
 namespace {
 
 void

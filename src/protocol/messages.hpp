@@ -16,6 +16,8 @@
 
 #include <array>
 #include <cstdint>
+#include <optional>
+#include <span>
 #include <string>
 #include <variant>
 #include <vector>
@@ -114,6 +116,15 @@ using Message =
 
 /** Type tag of a decoded message. */
 MessageType messageType(const Message &m);
+
+/**
+ * Peek a framed message's type tag without decoding (the tag sits
+ * right after the u32 payload length). std::nullopt on frames too
+ * short to carry a tag or with an unknown tag; full validation stays
+ * with decodeMessage.
+ */
+std::optional<MessageType>
+peekMessageType(std::span<const std::uint8_t> frame);
 
 /** Encode a message into a framed byte vector (with CRC). */
 std::vector<std::uint8_t> encodeMessage(const Message &m);

@@ -43,11 +43,15 @@ namespace authenticache::server {
 
 class DurabilityManager;
 
-/** One received frame plus the endpoint its replies go to. */
+/**
+ * One received frame plus the sink its replies go to: an in-memory
+ * ServerEndpoint in simulation, or a wire-transport stream sink when
+ * the frame arrived over a socket (src/net).
+ */
 struct Frame
 {
     std::vector<std::uint8_t> bytes;
-    protocol::ServerEndpoint *reply = nullptr;
+    protocol::ReplySink *reply = nullptr;
 };
 
 class ServerFrontEnd
