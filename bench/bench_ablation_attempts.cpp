@@ -16,6 +16,7 @@
 #include "firmware/client.hpp"
 #include "mc/experiments.hpp"
 #include "metrics/identifiability.hpp"
+#include "sim/chip.hpp"
 #include "util/table.hpp"
 
 using namespace authenticache;

@@ -14,6 +14,7 @@
 
 #include "bench_common.hpp"
 #include "firmware/client.hpp"
+#include "sim/chip.hpp"
 #include "util/table.hpp"
 
 using namespace authenticache;

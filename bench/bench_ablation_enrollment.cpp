@@ -17,6 +17,7 @@
 #include "firmware/client.hpp"
 #include "metrics/identifiability.hpp"
 #include "server/verifier.hpp"
+#include "sim/chip.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 

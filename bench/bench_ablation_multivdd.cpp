@@ -16,6 +16,7 @@
 #include "firmware/client.hpp"
 #include "core/crp.hpp"
 #include "server/server.hpp"
+#include "sim/chip.hpp"
 #include "util/table.hpp"
 
 using namespace authenticache;

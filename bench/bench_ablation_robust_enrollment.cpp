@@ -16,6 +16,7 @@
 
 #include "bench_common.hpp"
 #include "firmware/client.hpp"
+#include "sim/chip.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 

@@ -20,6 +20,7 @@
 
 #include "bench_common.hpp"
 #include "server/server.hpp"
+#include "sim/chip.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 

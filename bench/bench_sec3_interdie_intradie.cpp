@@ -13,6 +13,7 @@
 #include "core/challenge.hpp"
 #include "firmware/client.hpp"
 #include "metrics/quality.hpp"
+#include "sim/chip.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 

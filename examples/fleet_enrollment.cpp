@@ -13,6 +13,7 @@
 
 #include "metrics/quality.hpp"
 #include "server/server.hpp"
+#include "sim/chip.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 

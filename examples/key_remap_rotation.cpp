@@ -12,6 +12,7 @@
 
 #include "crypto/fuzzy_extractor.hpp"
 #include "server/server.hpp"
+#include "sim/chip.hpp"
 
 using namespace authenticache;
 

@@ -11,6 +11,7 @@
 
 #include "attack/model_attack.hpp"
 #include "server/server.hpp"
+#include "sim/chip.hpp"
 #include "util/table.hpp"
 
 using namespace authenticache;

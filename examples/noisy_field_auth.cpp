@@ -12,6 +12,7 @@
 
 #include "metrics/identifiability.hpp"
 #include "server/server.hpp"
+#include "sim/chip.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 

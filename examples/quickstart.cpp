@@ -12,6 +12,7 @@
 #include <iostream>
 
 #include "server/server.hpp"
+#include "sim/chip.hpp"
 
 using namespace authenticache;
 

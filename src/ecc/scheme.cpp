@@ -1,0 +1,330 @@
+#include "ecc/scheme.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <map>
+#include <stdexcept>
+
+#include "ecc/bch.hpp"
+#include "util/crc32.hpp"
+
+namespace authenticache::ecc {
+
+void
+EccScheme::noteDecode(const DecodeResult &r)
+{
+    ++nDecodes;
+    switch (r.status) {
+      case DecodeStatus::Ok:
+        break;
+      case DecodeStatus::CorrectedData:
+      case DecodeStatus::CorrectedCheck:
+        ++nCorrected;
+        break;
+      case DecodeStatus::Detected:
+        ++nDetected;
+        break;
+      case DecodeStatus::DoubleError:
+      case DecodeStatus::Uncorrectable:
+        ++nUncorrectable;
+        break;
+    }
+}
+
+void
+EccScheme::encodeBatch(const std::uint64_t *data, std::uint64_t *check,
+                       std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        check[i] = encode(data[i]);
+}
+
+void
+EccScheme::decodeBatch(const std::uint64_t *data,
+                       const std::uint64_t *check, DecodeResult *out,
+                       std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        out[i] = decode(data[i], check[i]);
+}
+
+void
+EccScheme::reportStats(util::StatsRegistry &registry,
+                       const std::string &component) const
+{
+    registry.set(component, "data_bits",
+                 static_cast<std::uint64_t>(dataBits()));
+    registry.set(component, "check_bits",
+                 static_cast<std::uint64_t>(checkBits()));
+    registry.set(component, "corrects",
+                 static_cast<std::uint64_t>(corrects() ? 1 : 0));
+    registry.set(component, "encodes", nEncodes);
+    registry.set(component, "decodes", nDecodes);
+    registry.set(component, "corrected", nCorrected);
+    registry.set(component, "detected", nDetected);
+    registry.set(component, "uncorrectable", nUncorrectable);
+}
+
+namespace {
+
+/** Hsiao SECDED(72,64): forwards to the SIMD batch kernels. */
+class SecdedScheme final : public EccScheme
+{
+  public:
+    SecdedScheme() : codec(64) {}
+
+    std::string name() const override { return "secded_72_64"; }
+    unsigned dataBits() const override { return codec.dataBits(); }
+    unsigned checkBits() const override { return codec.checkBits(); }
+    bool corrects() const override { return true; }
+
+    std::uint64_t
+    encode(std::uint64_t data) override
+    {
+        noteEncodes(1);
+        return codec.encode(data);
+    }
+
+    DecodeResult
+    decode(std::uint64_t data, std::uint64_t check) override
+    {
+        DecodeResult r =
+            codec.decode(data, static_cast<std::uint32_t>(check));
+        noteDecode(r);
+        return r;
+    }
+
+    void
+    encodeBatch(const std::uint64_t *data, std::uint64_t *check,
+                std::size_t n) override
+    {
+        constexpr std::size_t kChunk = 64;
+        std::uint32_t buf[kChunk];
+        for (std::size_t off = 0; off < n; off += kChunk) {
+            const std::size_t m = std::min(kChunk, n - off);
+            codec.encodeBatch(data + off, buf, m);
+            for (std::size_t i = 0; i < m; ++i)
+                check[off + i] = buf[i];
+        }
+        noteEncodes(n);
+    }
+
+    void
+    decodeBatch(const std::uint64_t *data, const std::uint64_t *check,
+                DecodeResult *out, std::size_t n) override
+    {
+        constexpr std::size_t kChunk = 64;
+        std::uint32_t buf[kChunk];
+        for (std::size_t off = 0; off < n; off += kChunk) {
+            const std::size_t m = std::min(kChunk, n - off);
+            for (std::size_t i = 0; i < m; ++i)
+                buf[i] = static_cast<std::uint32_t>(check[off + i]);
+            codec.decodeBatch(data + off, buf, out + off, m);
+        }
+        for (std::size_t i = 0; i < n; ++i)
+            noteDecode(out[i]);
+    }
+
+  private:
+    SecdedCodec codec;
+};
+
+/**
+ * BCH(127,64,t=10): the 63 parity bits of the systematic codeword are
+ * the stored check word. Corrects up to 10 flipped bits per word;
+ * error patterns past the decoder's capability report Uncorrectable.
+ */
+class BchScheme final : public EccScheme
+{
+  public:
+    BchScheme() : code(7, 10) {}
+
+    std::string name() const override { return "bch_127_64"; }
+    unsigned dataBits() const override { return code.k(); }
+    unsigned checkBits() const override { return code.n() - code.k(); }
+    bool corrects() const override { return true; }
+
+    std::uint64_t
+    encode(std::uint64_t data) override
+    {
+        noteEncodes(1);
+        return parityOf(data);
+    }
+
+    DecodeResult
+    decode(std::uint64_t data, std::uint64_t check) override
+    {
+        DecodeResult r;
+        r.data = data;
+        const std::uint64_t parity = check & parityMask();
+        if (parityOf(data) == parity) {
+            noteDecode(r);
+            return r;
+        }
+
+        const unsigned p = checkBits();
+        util::BitVec received(code.n());
+        for (unsigned i = 0; i < p; ++i)
+            received.set(i, ((parity >> i) & 1) != 0);
+        for (unsigned i = 0; i < dataBits(); ++i)
+            received.set(p + i, ((data >> i) & 1) != 0);
+
+        auto corrected = code.decode(received);
+        if (!corrected) {
+            r.status = DecodeStatus::Uncorrectable;
+            noteDecode(r);
+            return r;
+        }
+
+        std::uint64_t fixed = 0;
+        for (unsigned i = 0; i < dataBits(); ++i)
+            if (corrected->get(p + i))
+                fixed |= 1ull << i;
+        std::uint64_t fixed_parity = 0;
+        for (unsigned i = 0; i < p; ++i)
+            if (corrected->get(i))
+                fixed_parity |= 1ull << i;
+
+        r.data = fixed;
+        if (fixed != data) {
+            r.status = DecodeStatus::CorrectedData;
+            r.bitPosition = std::countr_zero(fixed ^ data);
+        } else {
+            r.status = DecodeStatus::CorrectedCheck;
+            r.bitPosition =
+                64 + std::countr_zero(fixed_parity ^ parity);
+        }
+        noteDecode(r);
+        return r;
+    }
+
+  private:
+    std::uint64_t
+    parityMask() const
+    {
+        return (1ull << checkBits()) - 1;
+    }
+
+    /** Parity word of @p data (no telemetry; shared by both paths). */
+    std::uint64_t
+    parityOf(std::uint64_t data) const
+    {
+        util::BitVec message(code.k());
+        for (unsigned i = 0; i < code.k(); ++i)
+            message.set(i, ((data >> i) & 1) != 0);
+        util::BitVec codeword = code.encode(message);
+        std::uint64_t parity = 0;
+        const unsigned p = code.n() - code.k();
+        for (unsigned i = 0; i < p; ++i)
+            if (codeword.get(i))
+                parity |= 1ull << i;
+        return parity;
+    }
+
+    BchCode code;
+};
+
+/**
+ * Detect-only CRC-32 of the data word. Any mismatch is reported as
+ * Detected; the data is returned as stored (no repair is possible).
+ */
+class CrcEdcScheme final : public EccScheme
+{
+  public:
+    std::string name() const override { return "crc_edc"; }
+    unsigned dataBits() const override { return 64; }
+    unsigned checkBits() const override { return 32; }
+    bool corrects() const override { return false; }
+
+    std::uint64_t
+    encode(std::uint64_t data) override
+    {
+        noteEncodes(1);
+        return crcOf(data);
+    }
+
+    DecodeResult
+    decode(std::uint64_t data, std::uint64_t check) override
+    {
+        DecodeResult r;
+        r.data = data;
+        if (crcOf(data) != (check & 0xffffffffull))
+            r.status = DecodeStatus::Detected;
+        noteDecode(r);
+        return r;
+    }
+
+  private:
+    static std::uint64_t
+    crcOf(std::uint64_t data)
+    {
+        std::uint8_t bytes[8];
+        for (int i = 0; i < 8; ++i)
+            bytes[i] = static_cast<std::uint8_t>(data >> (8 * i));
+        return util::crc32(bytes);
+    }
+};
+
+using SchemeFactory = std::shared_ptr<EccScheme> (*)();
+
+std::map<std::string, SchemeFactory> &
+schemeTable()
+{
+    static std::map<std::string, SchemeFactory> table;
+    return table;
+}
+
+/**
+ * Builtins are registered lazily on first lookup rather than from
+ * static initializers: static-library dead-stripping would silently
+ * drop an initializer-only translation unit.
+ */
+void
+ensureBuiltins()
+{
+    auto &table = schemeTable();
+    if (!table.empty())
+        return;
+    table.emplace("secded_72_64", []() -> std::shared_ptr<EccScheme> {
+        return std::make_shared<SecdedScheme>();
+    });
+    table.emplace("bch_127_64", []() -> std::shared_ptr<EccScheme> {
+        return std::make_shared<BchScheme>();
+    });
+    table.emplace("crc_edc", []() -> std::shared_ptr<EccScheme> {
+        return std::make_shared<CrcEdcScheme>();
+    });
+}
+
+} // namespace
+
+std::shared_ptr<EccScheme>
+makeEccScheme(const std::string &name)
+{
+    ensureBuiltins();
+    auto it = schemeTable().find(name);
+    if (it == schemeTable().end())
+        throw std::invalid_argument("unknown ECC scheme '" + name +
+                                    "'");
+    return it->second();
+}
+
+std::vector<std::string>
+eccSchemeNames()
+{
+    ensureBuiltins();
+    std::vector<std::string> names;
+    names.reserve(schemeTable().size());
+    for (const auto &[name, factory] : schemeTable())
+        names.push_back(name);
+    return names;
+}
+
+bool
+eccSchemeExists(const std::string &name)
+{
+    ensureBuiltins();
+    return schemeTable().count(name) > 0;
+}
+
+} // namespace authenticache::ecc

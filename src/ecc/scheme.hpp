@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Pluggable ECC-scheme interface for the fingerprint substrates.
+ *
+ * The cache arrays store every 64-bit data word with a check word
+ * computed by an EccScheme and route all readbacks through its
+ * decoder. Schemes are selected by name through the registry
+ * (makeEccScheme), so a platform config can pair any substrate with
+ * any code:
+ *
+ *  - "secded_72_64": the Hsiao SECDED(72,64) codec the paper's
+ *    hardware uses (corrects one bit, detects two; SIMD batch path).
+ *  - "bch_127_64":   BCH(127,64,t=10); the 63 parity bits of the
+ *    systematic codeword are the stored check word. Strong
+ *    correction, scalar decode.
+ *  - "crc_edc":      detect-only CRC-32 of the data word. Any
+ *    corruption reports DecodeStatus::Detected with the raw data
+ *    left untouched; there is no correction, so substrates using it
+ *    see every fault as a detected (never "corrected") event.
+ *
+ * Every scheme self-reports lifetime counters into a StatsRegistry
+ * under a caller-chosen component ("ecc.*" from the CLI).
+ */
+
+#ifndef AUTH_ECC_SCHEME_HPP
+#define AUTH_ECC_SCHEME_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ecc/secded.hpp"
+#include "util/stats_registry.hpp"
+
+namespace authenticache::ecc {
+
+/**
+ * One error-protection scheme instance. Instances carry per-device
+ * telemetry counters, so each array owns its own (shared_ptr lets a
+ * chip hand the same instance to its array and its stats reporter).
+ * Encode/decode are non-const because they tally; arrays are
+ * single-threaded by contract, so the counters need no locks.
+ */
+class EccScheme
+{
+  public:
+    virtual ~EccScheme() = default;
+
+    /** Registry name ("secded_72_64", "bch_127_64", "crc_edc"). */
+    virtual std::string name() const = 0;
+
+    /** Protected data width in bits (64 for every built-in). */
+    virtual unsigned dataBits() const = 0;
+
+    /** Stored check-word width in bits (must be <= 64). */
+    virtual unsigned checkBits() const = 0;
+
+    /** False for detect-only schemes (no repair, no remap support). */
+    virtual bool corrects() const = 0;
+
+    /** Compute the check word for a data word. */
+    virtual std::uint64_t encode(std::uint64_t data) = 0;
+
+    /** Decode a stored (data, check) pair. */
+    virtual DecodeResult decode(std::uint64_t data,
+                                std::uint64_t check) = 0;
+
+    /**
+     * Batch encode/decode; bit-identical to the word-at-a-time calls.
+     * The default implementations loop; SECDED forwards to its SIMD
+     * kernels.
+     */
+    virtual void encodeBatch(const std::uint64_t *data,
+                             std::uint64_t *check, std::size_t n);
+    virtual void decodeBatch(const std::uint64_t *data,
+                             const std::uint64_t *check,
+                             DecodeResult *out, std::size_t n);
+
+    /** Publish lifetime counters under "<component>.*". */
+    void reportStats(util::StatsRegistry &registry,
+                     const std::string &component = "ecc") const;
+
+  protected:
+    /** Tally one decode outcome (implementations must call this). */
+    void noteDecode(const DecodeResult &r);
+    void noteEncodes(std::uint64_t n) { nEncodes += n; }
+
+  private:
+    std::uint64_t nEncodes = 0;
+    std::uint64_t nDecodes = 0;
+    std::uint64_t nCorrected = 0;
+    std::uint64_t nDetected = 0;
+    std::uint64_t nUncorrectable = 0;
+};
+
+/**
+ * Instantiate a scheme by registry name. Each call returns a fresh
+ * instance (schemes carry per-device counters).
+ * @throws std::invalid_argument for an unknown name.
+ */
+std::shared_ptr<EccScheme> makeEccScheme(const std::string &name);
+
+/** Registered scheme names, sorted. */
+std::vector<std::string> eccSchemeNames();
+
+/** True when @p name is a registered scheme. */
+bool eccSchemeExists(const std::string &name);
+
+} // namespace authenticache::ecc
+
+#endif // AUTH_ECC_SCHEME_HPP

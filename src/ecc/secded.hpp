@@ -33,6 +33,7 @@ enum class DecodeStatus
     CorrectedCheck,  ///< Single check-bit error corrected (data intact).
     DoubleError,     ///< Two-bit error detected, not correctable.
     Uncorrectable,   ///< Syndrome inconsistent (3+ bit corruption).
+    Detected,        ///< Corruption detected by a detect-only scheme.
 };
 
 /** Full decode result: status, repaired data, error position. */

@@ -7,14 +7,14 @@
 
 namespace authenticache::firmware {
 
-AuthenticacheClient::AuthenticacheClient(sim::SimulatedChip &chip_,
-                                         SimulatedMachine &machine_,
-                                         const ClientConfig &config)
-    : device(chip_),
+AuthenticacheClient::AuthenticacheClient(
+    substrate::FingerprintSubstrate &device_,
+    SimulatedMachine &machine_, const ClientConfig &config)
+    : device(device_),
       machine(machine_),
       cfg(config),
-      voltageCtl(chip_, config.voltageControl),
-      errorHandler(chip_, voltageCtl, config.errorHandler)
+      voltageCtl(device_, config.voltageControl),
+      errorHandler(device_, voltageCtl, config.errorHandler)
 {
 }
 
@@ -49,7 +49,7 @@ AuthenticacheClient::captureErrorMap(
             throw std::invalid_argument(
                 "captureErrorMap: level below floor or out of range");
         }
-        auto sweep = device.selfTest().sweepAll(passes);
+        auto sweep = device.sweepAll(passes);
         map.addSweep(level, sweep.correctableLines);
     }
     voltageCtl.restoreNominal(session.token());

@@ -38,7 +38,7 @@
 #include "firmware/machine.hpp"
 #include "firmware/timing.hpp"
 #include "firmware/voltage_control.hpp"
-#include "sim/chip.hpp"
+#include "substrate/substrate.hpp"
 #include "util/stats_registry.hpp"
 
 namespace authenticache::firmware {
@@ -104,7 +104,7 @@ struct AuthOutcome
 class AuthenticacheClient
 {
   public:
-    AuthenticacheClient(sim::SimulatedChip &chip,
+    AuthenticacheClient(substrate::FingerprintSubstrate &device,
                         SimulatedMachine &machine,
                         const ClientConfig &config = {});
 
@@ -212,8 +212,11 @@ class AuthenticacheClient
     std::uint64_t lifetimeLineTests() const { return nLineTests; }
     double lifetimeMs() const { return totalMs; }
 
-    const sim::SimulatedChip &chip() const { return device; }
-    sim::SimulatedChip &chip() { return device; }
+    const substrate::FingerprintSubstrate &substrate() const
+    {
+        return device;
+    }
+    substrate::FingerprintSubstrate &substrate() { return device; }
 
     const ClientConfig &config() const { return cfg; }
 
@@ -248,7 +251,7 @@ class AuthenticacheClient
     void issueDecoys(const FirmwareToken &token,
                      std::uint32_t genuine_tests, TimingLedger &ledger);
 
-    sim::SimulatedChip &device;
+    substrate::FingerprintSubstrate &device;
     SimulatedMachine &machine;
     ClientConfig cfg;
     VoltageControl voltageCtl;

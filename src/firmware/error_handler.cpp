@@ -4,9 +4,10 @@
 
 namespace authenticache::firmware {
 
-ErrorHandler::ErrorHandler(sim::SimulatedChip &chip_, VoltageControl &vc,
+ErrorHandler::ErrorHandler(substrate::FingerprintSubstrate &device,
+                           VoltageControl &vc,
                            const ErrorHandlerParams &params_)
-    : chip(chip_), voltageControl(vc), params(params_)
+    : chip(device), voltageControl(vc), params(params_)
 {
 }
 
@@ -29,7 +30,7 @@ ErrorHandler::testLine(const FirmwareToken &token,
     log.drain(); // Observe only this test's events.
 
     auto before_uncorr = log.totalUncorrectable();
-    auto result = chip.selfTest().testLine(line, attempts);
+    auto result = chip.testLine(line, attempts);
     out.triggered = result.triggered;
     out.attemptsUsed = result.attemptsUsed;
     if (ledger)

@@ -17,7 +17,7 @@
 #include "firmware/machine.hpp"
 #include "firmware/timing.hpp"
 #include "firmware/voltage_control.hpp"
-#include "sim/chip.hpp"
+#include "substrate/substrate.hpp"
 
 namespace authenticache::firmware {
 
@@ -45,7 +45,8 @@ struct TargetedTestOutcome
 class ErrorHandler
 {
   public:
-    ErrorHandler(sim::SimulatedChip &chip, VoltageControl &vc,
+    ErrorHandler(substrate::FingerprintSubstrate &device,
+                 VoltageControl &vc,
                  const ErrorHandlerParams &params = {});
 
     /**
@@ -63,7 +64,7 @@ class ErrorHandler
   private:
     void declareEmergency(TimingLedger *ledger);
 
-    sim::SimulatedChip &chip;
+    substrate::FingerprintSubstrate &chip;
     VoltageControl &voltageControl;
     ErrorHandlerParams params;
     std::uint64_t nEmergencies = 0;

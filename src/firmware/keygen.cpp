@@ -23,7 +23,7 @@ PufKeyGenerator::provision(core::VddMv level, util::Rng &rng)
 
     // Oversample candidate pairs and measure their raw distances.
     core::Challenge pool = core::randomChallenge(
-        client.chip().geometry(), level, candidates, rng);
+        client.substrate().geometry(), level, candidates, rng);
     auto measured = client.measureDefaultMapDistances(pool);
     if (!measured.ok)
         throw std::runtime_error(

@@ -4,9 +4,10 @@
 
 namespace authenticache::firmware {
 
-VoltageControl::VoltageControl(sim::SimulatedChip &chip_,
-                               const VoltageControlParams &params_)
-    : chip(chip_), params(params_)
+VoltageControl::VoltageControl(
+    substrate::FingerprintSubstrate &device,
+    const VoltageControlParams &params_)
+    : chip(device), params(params_)
 {
 }
 
@@ -17,9 +18,9 @@ VoltageControl::calibrateFloor(const FirmwareToken &token,
     token.require("calibrateFloor");
     ++nCalibrations;
 
-    const double nominal = chip.regulator().nominalMv();
+    const double nominal = chip.nominalLevel();
     // Calibration may probe below any previously set floor.
-    chip.regulator().setFloorMv(0.0);
+    chip.setLevelFloor(0.0);
 
     double unsafe = params.searchFloorMv;
     bool found_unsafe = false;
@@ -27,12 +28,12 @@ VoltageControl::calibrateFloor(const FirmwareToken &token,
     for (double v = nominal - params.stepMv; v >= params.searchFloorMv;
          v -= params.stepMv) {
         double latency = 0.0;
-        if (chip.setVddMv(v, &latency) != sim::VoltageStatus::Ok)
+        if (chip.setLevel(v, &latency) != substrate::LevelStatus::Ok)
             break;
         if (ledger)
             ledger->addVddTransition(latency);
 
-        auto sweep = chip.selfTest().sweepAll(params.sweepPasses);
+        auto sweep = chip.sweepAll(params.sweepPasses);
         if (ledger)
             ledger->addLineTests(sweep.linesTested);
 
@@ -52,12 +53,12 @@ VoltageControl::calibrateFloor(const FirmwareToken &token,
     for (std::uint32_t retry = 0; retry < params.maxVerifyRetries;
          ++retry) {
         double latency = 0.0;
-        if (chip.setVddMv(floor - params.verifyStressMv, &latency) !=
-            sim::VoltageStatus::Ok)
+        if (chip.setLevel(floor - params.verifyStressMv, &latency) !=
+            substrate::LevelStatus::Ok)
             break;
         if (ledger)
             ledger->addVddTransition(latency);
-        auto sweep = chip.selfTest().sweepAll(params.verifyPasses);
+        auto sweep = chip.sweepAll(params.verifyPasses);
         if (ledger)
             ledger->addLineTests(sweep.linesTested);
         if (sweep.uncorrectableCount == 0)
@@ -65,10 +66,10 @@ VoltageControl::calibrateFloor(const FirmwareToken &token,
         floor += params.guardbandMv;
     }
 
-    chip.regulator().setFloorMv(floor);
+    chip.setLevelFloor(floor);
 
     double latency = 0.0;
-    chip.setVddMv(nominal, &latency);
+    chip.setLevel(nominal, &latency);
     if (ledger)
         ledger->addVddTransition(latency);
 
@@ -81,7 +82,7 @@ void
 VoltageControl::adoptFloor(double floor_mv)
 {
     floor = floor_mv;
-    chip.regulator().setFloorMv(floor);
+    chip.setLevelFloor(floor);
 }
 
 VddRequestStatus
@@ -93,8 +94,8 @@ VoltageControl::requestVdd(const FirmwareToken &token, double vdd_mv,
         return VddRequestStatus::Abort;
 
     double latency = 0.0;
-    sim::VoltageStatus status = chip.setVddMv(vdd_mv, &latency);
-    if (status != sim::VoltageStatus::Ok) {
+    substrate::LevelStatus status = chip.setLevel(vdd_mv, &latency);
+    if (status != substrate::LevelStatus::Ok) {
         AUTH_LOG_WARN("firmware")
             << "Vdd request " << vdd_mv << " mV aborted";
         return VddRequestStatus::Abort;
@@ -110,7 +111,7 @@ VoltageControl::restoreNominal(const FirmwareToken &token,
 {
     token.require("restoreNominal");
     double latency = 0.0;
-    chip.setVddMv(chip.regulator().nominalMv(), &latency);
+    chip.setLevel(chip.nominalLevel(), &latency);
     if (ledger && latency > 0.0)
         ledger->addVddTransition(latency);
 }
@@ -118,7 +119,7 @@ VoltageControl::restoreNominal(const FirmwareToken &token,
 void
 VoltageControl::emergencyRaise(TimingLedger *ledger)
 {
-    double latency = chip.emergencyRaise();
+    double latency = chip.emergencyRestore();
     if (ledger && latency > 0.0)
         ledger->addVddTransition(latency);
     AUTH_LOG_WARN("firmware") << "emergency Vdd raise";

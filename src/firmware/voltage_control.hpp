@@ -26,7 +26,7 @@
 
 #include "firmware/machine.hpp"
 #include "firmware/timing.hpp"
-#include "sim/chip.hpp"
+#include "substrate/substrate.hpp"
 
 namespace authenticache::firmware {
 
@@ -61,7 +61,7 @@ struct VoltageControlParams
 class VoltageControl
 {
   public:
-    VoltageControl(sim::SimulatedChip &chip,
+    VoltageControl(substrate::FingerprintSubstrate &device,
                    const VoltageControlParams &params = {});
 
     /**
@@ -108,7 +108,7 @@ class VoltageControl
     std::uint64_t calibrationCount() const { return nCalibrations; }
 
   private:
-    sim::SimulatedChip &chip;
+    substrate::FingerprintSubstrate &chip;
     VoltageControlParams params;
     double floor = 0.0;
     std::uint64_t nCalibrations = 0;

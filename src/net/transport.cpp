@@ -25,7 +25,8 @@ TransportCounters::serialize() const
        << " codecErrors=" << codecErrors
        << " droppedOnClose=" << droppedOnClose
        << " slowReaderDrops=" << slowReaderDrops
-       << " batches=" << batches;
+       << " batches=" << batches
+       << " sinksRetired=" << sinksRetired;
     return os.str();
 }
 
@@ -54,6 +55,12 @@ isContinuationPayload(std::span<const std::uint8_t> payload)
 void
 TransportCore::StreamSink::send(const protocol::Message &m)
 {
+    // Terminal messages end the exchange; the sink becomes
+    // garbage-collectable whether or not delivery succeeds.
+    if (std::holds_alternative<protocol::AuthDecision>(m) ||
+        std::holds_alternative<protocol::RemapCommit>(m) ||
+        std::holds_alternative<protocol::ErrorMsg>(m))
+        isRetired = true;
     if (conn.closed)
         return; // The peer is gone; nowhere to deliver.
     std::vector<std::uint8_t> bytes = encodeWireMessage(stream, m);
@@ -130,6 +137,12 @@ TransportCore::admit(Conn &conn, WireFrame frame)
             frame.stream, *this, conn, frame.stream);
         (void)inserted;
         it->second.send(protocol::Message{overloadedReject()});
+        // admit() never runs inside handleBatch, so no batch frame
+        // holds this sink's address: erase it right away.
+        if (it->second.retired()) {
+            conn.streams.erase(it);
+            ++tally.sinksRetired;
+        }
         return;
     }
     ++tally.accepted;
@@ -199,7 +212,8 @@ TransportCore::runBatch(util::ThreadPool &pool)
             --queuedTotal;
             auto [it, inserted] = conn->streams.try_emplace(
                 wf.stream, *this, *conn, wf.stream);
-            (void)inserted;
+            if (!inserted)
+                it->second.revive();
             frames.push_back(server::Frame{std::move(wf.payload),
                                            &it->second});
             progress = true;
@@ -212,6 +226,21 @@ TransportCore::runBatch(util::ThreadPool &pool)
     inBatch = true;
     front.handleBatch(frames, pool);
     inBatch = false;
+
+    // Retire sinks whose exchange completed this batch. Safe only
+    // here: the batch's Frame::sink pointers are dead now, and the
+    // next lift re-creates any stream that speaks again.
+    for (auto &[id, conn] : conns) {
+        for (auto it = conn->streams.begin();
+             it != conn->streams.end();) {
+            if (it->second.retired()) {
+                it = conn->streams.erase(it);
+                ++tally.sinksRetired;
+            } else {
+                ++it;
+            }
+        }
+    }
 
     // Queue space opened up: connections whose decoders were stalled
     // on a full queue can surface their buffered frames now.
@@ -241,6 +270,7 @@ TransportCore::collectStats(util::StatsRegistry &registry,
     registry.set(comp, "dropped_on_close", tally.droppedOnClose);
     registry.set(comp, "slow_reader_drops", tally.slowReaderDrops);
     registry.set(comp, "batches", tally.batches);
+    registry.set(comp, "sinks_retired", tally.sinksRetired);
     registry.set(comp, "queued", static_cast<std::uint64_t>(
                                      queuedTotal));
     registry.set(comp, "connections_live",

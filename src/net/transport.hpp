@@ -128,6 +128,7 @@ struct TransportCounters
     std::uint64_t droppedOnClose = 0; ///< Queued frames of dead connections.
     std::uint64_t slowReaderDrops = 0; ///< Connections over maxWriteBuffered.
     std::uint64_t batches = 0;       ///< handleBatch invocations.
+    std::uint64_t sinksRetired = 0;  ///< Stream sinks GC'd after a terminal reply.
 
     /** Canonical one-line rendering (determinism tests compare it). */
     std::string serialize() const;
@@ -177,7 +178,17 @@ class TransportCore
         std::size_t pendingOut() const { return out.size() - outHead; }
     };
 
-    /** ReplySink bound to one (connection, stream) pair. */
+    /**
+     * ReplySink bound to one (connection, stream) pair. Sending a
+     * terminal server->client message (AuthDecision, RemapCommit,
+     * ErrorMsg) marks the sink retired: the exchange is over, so the
+     * core erases the entry from the stream table -- immediately on
+     * the shed path, or in the post-batch sweep (never mid-batch,
+     * because handleBatch frames hold sink pointers). A later frame
+     * on the same stream id simply re-creates the sink, so retirement
+     * is invisible to peers; it only keeps long-lived connections
+     * from accumulating one table entry per stream ever used.
+     */
     class StreamSink : public protocol::ReplySink
     {
       public:
@@ -189,10 +200,17 @@ class TransportCore
 
         void send(const protocol::Message &m) override;
 
+        /** Exchange finished; the core may erase this sink. */
+        bool retired() const { return isRetired; }
+
+        /** A new frame reuses this stream: the exchange restarts. */
+        void revive() { isRetired = false; }
+
       private:
         TransportCore &core;
         Conn &conn;
         std::uint64_t stream;
+        bool isRetired = false;
     };
 
     TransportCore(server::ServerFrontEnd &front_,

@@ -6,47 +6,64 @@
 
 namespace authenticache::sim {
 
-SramCacheArray::SramCacheArray(const VminField &field_,
-                               const EnvironmentModel &env_,
-                               EccErrorLog &log_,
-                               std::uint64_t access_seed)
-    : field(field_), env(env_), log(log_), secded(64), rng(access_seed)
+namespace {
+
+/** Severity bucket of a decode outcome; Ok never reaches this. */
+EccSeverity
+severityOf(ecc::DecodeStatus status)
 {
-    const auto &geom = field.geometry();
+    switch (status) {
+      case ecc::DecodeStatus::CorrectedData:
+      case ecc::DecodeStatus::CorrectedCheck:
+      // A detect-only scheme cannot repair, but a detected event is
+      // the same benign, consumable observation a correction is: the
+      // stored word is intact and a self-test rewrite recovers it.
+      case ecc::DecodeStatus::Detected:
+        return EccSeverity::Corrected;
+      case ecc::DecodeStatus::Ok:
+      case ecc::DecodeStatus::DoubleError:
+      case ecc::DecodeStatus::Uncorrectable:
+        break;
+    }
+    return EccSeverity::Uncorrectable;
+}
+
+} // namespace
+
+EccCacheArray::EccCacheArray(const DeviceFaultModel &model_,
+                             EccErrorLog &log_,
+                             std::shared_ptr<ecc::EccScheme> scheme,
+                             std::uint64_t access_seed)
+    : model(model_), log(log_), code(std::move(scheme)),
+      rng(access_seed)
+{
+    if (!code)
+        throw std::invalid_argument(
+            "EccCacheArray: null ECC scheme");
+    const auto &geom = model.geometry();
     words.assign(geom.lines() * geom.wordsPerLine(), 0);
     checks.assign(words.size(), 0);
 }
 
 void
-SramCacheArray::writeLine(const LinePoint &p,
-                          std::span<const std::uint64_t> data)
+EccCacheArray::writeLine(const LinePoint &p,
+                         std::span<const std::uint64_t> data)
 {
-    const auto &geom = field.geometry();
+    const auto &geom = model.geometry();
     if (data.size() != geom.wordsPerLine())
         throw std::invalid_argument("writeLine: word count mismatch");
     std::uint64_t base = geom.lineIndex(p) * geom.wordsPerLine();
     std::copy(data.begin(), data.end(), words.begin() + base);
-    // Encode the whole line through the vectorized batch kernel; the
-    // stack chunk keeps the path allocation-free for any line width.
-    constexpr std::size_t kChunk = 64;
-    std::uint32_t cbuf[kChunk];
-    for (std::size_t off = 0; off < data.size(); off += kChunk) {
-        const std::size_t m = std::min(kChunk, data.size() - off);
-        secded.encodeBatch(data.data() + off, cbuf, m);
-        for (std::size_t i = 0; i < m; ++i)
-            checks[base + off + i] =
-                static_cast<std::uint8_t>(cbuf[i]);
-    }
+    code->encodeBatch(data.data(), checks.data() + base, data.size());
     nWrites += geom.wordsPerLine();
 }
 
 void
-SramCacheArray::fillLine(const LinePoint &p, std::uint64_t pattern)
+EccCacheArray::fillLine(const LinePoint &p, std::uint64_t pattern)
 {
-    const auto &geom = field.geometry();
+    const auto &geom = model.geometry();
     std::uint64_t base = geom.lineIndex(p) * geom.wordsPerLine();
-    std::uint8_t check =
-        static_cast<std::uint8_t>(secded.encode(pattern));
+    std::uint64_t check = code->encode(pattern);
     for (std::uint32_t w = 0; w < geom.wordsPerLine(); ++w) {
         words[base + w] = pattern;
         checks[base + w] = check;
@@ -54,26 +71,39 @@ SramCacheArray::fillLine(const LinePoint &p, std::uint64_t pattern)
     nWrites += geom.wordsPerLine();
 }
 
-SramCacheArray::FaultKind
-SramCacheArray::faultOn(std::uint64_t line)
+void
+EccCacheArray::applyFault(FaultKind kind, std::uint64_t line,
+                          std::uint64_t &raw,
+                          std::uint64_t &check) const
 {
-    const double shift = env.thresholdShiftMv(line, conditions);
-    const double jitter = env.measurementJitterMv(conditions, rng);
-    const double v_eff = vdd + jitter;
+    auto flip = [&](std::uint32_t bit) {
+        if (bit < 64)
+            raw ^= 1ull << bit;
+        else
+            check ^= 1ull << ((bit - 64) % code->checkBits());
+    };
+    flip(model.weakBit(line));
+    if (kind == FaultKind::Double)
+        flip(model.weakBit2(line));
+}
 
-    if (v_eff < field.vUncorrectableMv(line) + shift)
-        return FaultKind::Double;
-    if (v_eff < field.vCorrectableMv(line) + shift) {
-        if (rng.nextBool(field.persistence(line)))
-            return FaultKind::Single;
-    }
-    return FaultKind::None;
+void
+EccCacheArray::postEvent(const LinePoint &p, std::uint32_t word,
+                         const ecc::DecodeResult &decoded)
+{
+    EccEvent event;
+    event.line = p;
+    event.word = word;
+    event.bitPosition = decoded.bitPosition;
+    event.vddMv = level;
+    event.severity = severityOf(decoded.status);
+    log.post(event);
 }
 
 ReadResult
-SramCacheArray::readWord(const LinePoint &p, std::uint32_t word)
+EccCacheArray::readWord(const LinePoint &p, std::uint32_t word)
 {
-    const auto &geom = field.geometry();
+    const auto &geom = model.geometry();
     if (word >= geom.wordsPerLine())
         throw std::out_of_range("readWord: bad word index");
 
@@ -81,64 +111,44 @@ SramCacheArray::readWord(const LinePoint &p, std::uint32_t word)
     const std::uint64_t line = geom.lineIndex(p);
     const std::uint64_t idx = line * geom.wordsPerLine() + word;
     std::uint64_t raw = words[idx];
-    std::uint32_t check = checks[idx];
+    std::uint64_t check = checks[idx];
 
     // The weak cell lives in exactly one word of the line; only that
     // word can misread.
-    if (word == field.weakWord(line)) {
-        FaultKind kind = faultOn(line);
-        if (kind != FaultKind::None) {
-            auto flip = [&](std::uint32_t bit) {
-                if (bit < 64)
-                    raw ^= 1ull << bit;
-                else
-                    check ^= 1u << (bit - 64);
-            };
-            flip(field.weakBit(line));
-            if (kind == FaultKind::Double)
-                flip(field.weakBit2(line));
-        }
+    if (word == model.weakWord(line)) {
+        FaultKind kind = model.faultOn(line, level, conditions, rng);
+        if (kind != FaultKind::None)
+            applyFault(kind, line, raw, check);
     }
 
-    ecc::DecodeResult decoded = secded.decode(raw, check);
+    ecc::DecodeResult decoded = code->decode(raw, check);
 
     ReadResult out;
     out.data = decoded.data;
     out.status = decoded.status;
 
-    if (decoded.status != ecc::DecodeStatus::Ok) {
-        EccEvent event;
-        event.line = p;
-        event.word = word;
-        event.bitPosition = decoded.bitPosition;
-        event.vddMv = vdd;
-        event.severity =
-            (decoded.status == ecc::DecodeStatus::CorrectedData ||
-             decoded.status == ecc::DecodeStatus::CorrectedCheck)
-                ? EccSeverity::Corrected
-                : EccSeverity::Uncorrectable;
-        log.post(event);
-    }
+    if (decoded.status != ecc::DecodeStatus::Ok)
+        postEvent(p, word, decoded);
     return out;
 }
 
 LineAccessResult
-SramCacheArray::readLine(const LinePoint &p)
+EccCacheArray::readLine(const LinePoint &p)
 {
-    const auto &geom = field.geometry();
+    const auto &geom = model.geometry();
     LineAccessResult out;
     const std::uint64_t line = geom.lineIndex(p);
     const std::uint64_t base = line * geom.wordsPerLine();
-    const std::uint32_t weak = field.weakWord(line);
+    const std::uint32_t weak = model.weakWord(line);
 
     // Whole-line read: stage the stored words, inject the fault model
     // on the (single) weak word, then decode the line through the
-    // vectorized batch kernel. The fault draw order matches the
+    // scheme's batch kernel. The fault draw order matches the
     // word-at-a-time path exactly -- one faultOn() per line read, at
     // the weak word -- so replay streams are unchanged.
     constexpr std::size_t kChunk = 64;
     std::uint64_t raw[kChunk];
-    std::uint32_t chk[kChunk];
+    std::uint64_t chk[kChunk];
     ecc::DecodeResult dec[kChunk];
 
     for (std::uint32_t off = 0; off < geom.wordsPerLine();
@@ -151,48 +161,38 @@ SramCacheArray::readLine(const LinePoint &p)
             chk[i] = checks[base + off + i];
         }
         if (weak >= off && weak < off + m) {
-            FaultKind kind = faultOn(line);
-            if (kind != FaultKind::None) {
-                auto flip = [&](std::uint32_t bit) {
-                    if (bit < 64)
-                        raw[weak - off] ^= 1ull << bit;
-                    else
-                        chk[weak - off] ^= 1u << (bit - 64);
-                };
-                flip(field.weakBit(line));
-                if (kind == FaultKind::Double)
-                    flip(field.weakBit2(line));
-            }
+            FaultKind kind =
+                model.faultOn(line, level, conditions, rng);
+            if (kind != FaultKind::None)
+                applyFault(kind, line, raw[weak - off],
+                           chk[weak - off]);
         }
-        secded.decodeBatch(raw, chk, dec, m);
+        code->decodeBatch(raw, chk, dec, m);
         for (std::uint32_t i = 0; i < m; ++i) {
             ++nReads;
-            switch (dec[i].status) {
-              case ecc::DecodeStatus::Ok:
+            if (dec[i].status == ecc::DecodeStatus::Ok)
                 continue;
-              case ecc::DecodeStatus::CorrectedData:
-              case ecc::DecodeStatus::CorrectedCheck:
+            if (severityOf(dec[i].status) == EccSeverity::Corrected)
                 out.corrected = true;
-                break;
-              case ecc::DecodeStatus::DoubleError:
-              case ecc::DecodeStatus::Uncorrectable:
+            else
                 out.uncorrectable = true;
-                break;
-            }
-            EccEvent event;
-            event.line = p;
-            event.word = off + i;
-            event.bitPosition = dec[i].bitPosition;
-            event.vddMv = vdd;
-            event.severity =
-                (dec[i].status == ecc::DecodeStatus::CorrectedData ||
-                 dec[i].status == ecc::DecodeStatus::CorrectedCheck)
-                    ? EccSeverity::Corrected
-                    : EccSeverity::Uncorrectable;
-            log.post(event);
+            postEvent(p, off + i, dec[i]);
         }
     }
     return out;
+}
+
+SramCacheArray::SramCacheArray(const VminField &field,
+                               const EnvironmentModel &env,
+                               EccErrorLog &log,
+                               std::uint64_t access_seed,
+                               std::shared_ptr<ecc::EccScheme> scheme)
+    : SramModelHolder(field, env),
+      EccCacheArray(SramModelHolder::model, log,
+                    scheme ? std::move(scheme)
+                           : ecc::makeEccScheme("secded_72_64"),
+                    access_seed)
+{
 }
 
 } // namespace authenticache::sim

@@ -1,26 +1,33 @@
 /**
  * @file
- * Voltage-sensitive SRAM cache data array with inline SECDED.
+ * Generic ECC-protected storage array over a pluggable fault model
+ * and ECC scheme.
  *
- * Every 64-bit word is stored with its 8 Hsiao check bits. When the
- * array operates below a line's (environment-shifted) failure
- * threshold, the line's weak cell flips on read with the line's
- * persistence probability; far enough below, a second cell flips too
- * and the word becomes uncorrectable. All flips pass through the real
- * SECDED codec; corrected/uncorrectable outcomes are posted to the ECC
- * error log, which is the only observable Authenticache consumes.
+ * Every 64-bit word is stored with the check word its EccScheme
+ * computes. When the array operates below a line's (environment-
+ * shifted) failure threshold, the fault model flips the line's weak
+ * cell(s) on read; all flips pass through the real codec and the
+ * corrected / detected / uncorrectable outcomes are posted to the ECC
+ * error log -- the only observable Authenticache consumes.
+ *
+ * SramCacheArray is the voltage-sensitive SRAM specialization (Vmin
+ * field + environment model + SECDED by default), kept source- and
+ * bit-compatible with the pre-plugin implementation.
  */
 
 #ifndef AUTH_SIM_CACHE_ARRAY_HPP
 #define AUTH_SIM_CACHE_ARRAY_HPP
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
+#include "ecc/scheme.hpp"
 #include "ecc/secded.hpp"
 #include "sim/environment.hpp"
 #include "sim/error_log.hpp"
+#include "sim/fault_model.hpp"
 #include "sim/geometry.hpp"
 #include "sim/variation.hpp"
 #include "util/rng.hpp"
@@ -37,28 +44,34 @@ struct ReadResult
 /** Result of accessing a whole line. */
 struct LineAccessResult
 {
-    bool corrected = false;       ///< At least one corrected word.
+    bool corrected = false;       ///< At least one corrected/detected word.
     bool uncorrectable = false;   ///< At least one uncorrectable word.
 };
 
-class SramCacheArray
+class EccCacheArray
 {
   public:
     /**
-     * @param field Per-line silicon profile (owned elsewhere; must
+     * @param model Substrate fault physics (owned elsewhere; must
      *              outlive the array).
-     * @param env Environmental response of this chip.
      * @param log Destination for ECC events.
+     * @param scheme The protection code (shared with the chip's
+     *               stats reporting; must be non-null).
      * @param access_seed Seed of the per-access randomness stream.
      */
-    SramCacheArray(const VminField &field, const EnvironmentModel &env,
-                   EccErrorLog &log, std::uint64_t access_seed);
+    EccCacheArray(const DeviceFaultModel &model, EccErrorLog &log,
+                  std::shared_ptr<ecc::EccScheme> scheme,
+                  std::uint64_t access_seed);
 
-    const CacheGeometry &geometry() const { return field.geometry(); }
+    const CacheGeometry &geometry() const { return model.geometry(); }
 
-    /** Set the array supply voltage (normally via the regulator). */
-    void setVddMv(double vdd_mv) { vdd = vdd_mv; }
-    double vddMv() const { return vdd; }
+    /** Set the stress level (supply mV / activation-interval units). */
+    void setLevel(double level_) { level = level_; }
+    double currentLevel() const { return level; }
+
+    // SRAM-era spellings, kept for the voltage-domain call sites.
+    void setVddMv(double vdd_mv) { setLevel(vdd_mv); }
+    double vddMv() const { return level; }
 
     /** Set the environmental operating conditions. */
     void setConditions(const Conditions &c) { conditions = c; }
@@ -77,31 +90,68 @@ class SramCacheArray
     /** Read back a whole line; aggregates word statuses. */
     LineAccessResult readLine(const LinePoint &p);
 
-    /** The codec used by the array (shared by tests). */
-    const ecc::SecdedCodec &codec() const { return secded; }
+    /** The protection scheme used by the array. */
+    const ecc::EccScheme &scheme() const { return *code; }
+    ecc::EccScheme &scheme() { return *code; }
 
     // Access counters (telemetry).
     std::uint64_t wordReads() const { return nReads; }
     std::uint64_t wordWrites() const { return nWrites; }
 
   private:
-    /** Severity of a fault on this access, if any. */
-    enum class FaultKind { None, Single, Double };
-    FaultKind faultOn(std::uint64_t line);
+    /** Apply the line's weak-cell flip(s) to a staged word. */
+    void applyFault(FaultKind kind, std::uint64_t line,
+                    std::uint64_t &raw, std::uint64_t &check) const;
 
-    const VminField &field;
-    const EnvironmentModel &env;
+    /** Post one decode outcome to the error log. */
+    void postEvent(const LinePoint &p, std::uint32_t word,
+                   const ecc::DecodeResult &decoded);
+
+    const DeviceFaultModel &model;
     EccErrorLog &log;
-    ecc::SecdedCodec secded;
+    std::shared_ptr<ecc::EccScheme> code;
     util::Rng rng;
 
-    double vdd = 800.0;
+    double level = 800.0;
     Conditions conditions;
 
     std::vector<std::uint64_t> words;
-    std::vector<std::uint8_t> checks;
+    std::vector<std::uint64_t> checks;
     std::uint64_t nReads = 0;
     std::uint64_t nWrites = 0;
+};
+
+namespace detail {
+
+/** Base-from-member holder so the model outlives the array base. */
+struct SramModelHolder
+{
+    SramModelHolder(const VminField &field, const EnvironmentModel &env)
+        : model(field, env)
+    {
+    }
+
+    SramVminFaultModel model;
+};
+
+} // namespace detail
+
+/** Voltage-sensitive SRAM cache data array (the paper's substrate). */
+class SramCacheArray : private detail::SramModelHolder,
+                       public EccCacheArray
+{
+  public:
+    /**
+     * @param field Per-line silicon profile (owned elsewhere; must
+     *              outlive the array).
+     * @param env Environmental response of this chip.
+     * @param log Destination for ECC events.
+     * @param access_seed Seed of the per-access randomness stream.
+     * @param scheme Protection code; null selects SECDED(72,64).
+     */
+    SramCacheArray(const VminField &field, const EnvironmentModel &env,
+                   EccErrorLog &log, std::uint64_t access_seed,
+                   std::shared_ptr<ecc::EccScheme> scheme = nullptr);
 };
 
 } // namespace authenticache::sim

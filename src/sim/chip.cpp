@@ -3,14 +3,16 @@
 namespace authenticache::sim {
 
 SimulatedChip::SimulatedChip(const ChipConfig &config,
-                             std::uint64_t chip_seed)
+                             std::uint64_t chip_seed,
+                             std::shared_ptr<ecc::EccScheme> scheme)
     : cfg(config),
       chipSeed(chip_seed),
       geom(config.cacheBytes, config.lineBytes, config.ways),
       field(geom, config.variation, chip_seed),
       env(geom.lines(), config.environment, chip_seed),
       log(config.errorLogCapacity),
-      array(field, env, log, chip_seed ^ 0xACCE55ull),
+      array(field, env, log, chip_seed ^ 0xACCE55ull,
+            std::move(scheme)),
       vr(config.regulator),
       tester(array, log)
 {
@@ -32,6 +34,37 @@ SimulatedChip::emergencyRaise()
     double latency = vr.emergencyRaise();
     array.setVddMv(vr.vddMv());
     return latency;
+}
+
+substrate::LevelStatus
+SimulatedChip::setLevel(double level_mv, double *latency_us)
+{
+    switch (setVddMv(level_mv, latency_us)) {
+      case VoltageStatus::Ok:
+        return substrate::LevelStatus::Ok;
+      case VoltageStatus::BelowFloor:
+        return substrate::LevelStatus::BelowFloor;
+      case VoltageStatus::OutOfRange:
+        break;
+    }
+    return substrate::LevelStatus::OutOfRange;
+}
+
+void
+SimulatedChip::reportStats(util::StatsRegistry &registry,
+                           const std::string &component) const
+{
+    registry.set(component, "word_reads", array.wordReads());
+    registry.set(component, "word_writes", array.wordWrites());
+    registry.set(component, "ecc_corrected", log.totalCorrected());
+    registry.set(component, "ecc_uncorrectable",
+                 log.totalUncorrectable());
+    registry.set(component, "ecc_log_overflows", log.overflowCount());
+    registry.set(component, "level_transitions", vr.transitions());
+    registry.set(component, "line_self_tests",
+                 tester.lineTestsPerformed());
+    registry.set(component, "level", vr.vddMv());
+    array.scheme().reportStats(registry, "ecc");
 }
 
 void

@@ -1,9 +1,11 @@
 /**
  * @file
- * A complete simulated chip: geometry, silicon profile, environment,
- * ECC-protected cache array, voltage regulator, error log, and
- * self-test engine, wired together. This is the "device" everything
- * above the sim layer talks to.
+ * A complete simulated SRAM chip: geometry, silicon profile,
+ * environment, ECC-protected cache array, voltage regulator, error
+ * log, and self-test engine, wired together. This is the paper's
+ * device, and the first FingerprintSubstrate plugin ("sram_vmin"):
+ * everything above the device layer talks to it through that
+ * interface, with the supply voltage in mV as the stress axis.
  */
 
 #ifndef AUTH_SIM_CHIP_HPP
@@ -12,6 +14,7 @@
 #include <cstdint>
 #include <memory>
 
+#include "ecc/scheme.hpp"
 #include "sim/cache_array.hpp"
 #include "sim/environment.hpp"
 #include "sim/error_log.hpp"
@@ -19,6 +22,7 @@
 #include "sim/self_test.hpp"
 #include "sim/variation.hpp"
 #include "sim/voltage_regulator.hpp"
+#include "substrate/substrate.hpp"
 #include "util/stats_registry.hpp"
 
 namespace authenticache::sim {
@@ -35,21 +39,23 @@ struct ChipConfig
     std::size_t errorLogCapacity = 4096;
 };
 
-class SimulatedChip
+class SimulatedChip final : public substrate::FingerprintSubstrate
 {
   public:
     /**
      * Manufacture a chip. The seed is the die identity: two chips
      * with different seeds have independent error maps (Figure 3).
+     * @param scheme Protection code; null selects SECDED(72,64).
      */
-    SimulatedChip(const ChipConfig &config, std::uint64_t chip_seed);
+    SimulatedChip(const ChipConfig &config, std::uint64_t chip_seed,
+                  std::shared_ptr<ecc::EccScheme> scheme = nullptr);
 
-    const CacheGeometry &geometry() const { return geom; }
+    const CacheGeometry &geometry() const override { return geom; }
     const VminField &vminField() const { return field; }
-    std::uint64_t seed() const { return chipSeed; }
+    std::uint64_t seed() const override { return chipSeed; }
 
-    EccErrorLog &errorLog() { return log; }
-    const EccErrorLog &errorLog() const { return log; }
+    EccErrorLog &errorLog() override { return log; }
+    const EccErrorLog &errorLog() const override { return log; }
     SramCacheArray &cacheArray() { return array; }
     const SramCacheArray &cacheArray() const { return array; }
     VoltageRegulator &regulator() { return vr; }
@@ -58,8 +64,11 @@ class SimulatedChip
     const SelfTestEngine &selfTest() const { return tester; }
 
     /** Set operating conditions (temperature, aging, supply noise). */
-    void setConditions(const Conditions &c) { array.setConditions(c); }
-    const Conditions &conditions() const
+    void setConditions(const Conditions &c) override
+    {
+        array.setConditions(c);
+    }
+    const Conditions &conditions() const override
     {
         return array.currentConditions();
     }
@@ -74,6 +83,47 @@ class SimulatedChip
     double emergencyRaise();
 
     double vddMv() const { return vr.vddMv(); }
+
+    // --- FingerprintSubstrate: stress axis = supply voltage (mV). ---
+
+    std::string kind() const override { return "sram_vmin"; }
+    double level() const override { return vr.vddMv(); }
+    double nominalLevel() const override { return vr.nominalMv(); }
+
+    substrate::LevelStatus
+    setLevel(double level_mv, double *latency_us = nullptr) override;
+
+    void setLevelFloor(double floor) override
+    {
+        vr.setFloorMv(floor);
+    }
+
+    double emergencyRestore() override { return emergencyRaise(); }
+
+    std::uint64_t levelTransitions() const override
+    {
+        return vr.transitions();
+    }
+
+    SweepResult sweepAll(std::uint32_t passes = 1) override
+    {
+        return tester.sweepAll(passes);
+    }
+
+    LineTestResult testLine(const LinePoint &p,
+                            std::uint32_t max_attempts = 1) override
+    {
+        return tester.testLine(p, max_attempts);
+    }
+
+    std::uint64_t lineTestsPerformed() const override
+    {
+        return tester.lineTestsPerformed();
+    }
+
+    void reportStats(util::StatsRegistry &registry,
+                     const std::string &component =
+                         "substrate") const override;
 
   private:
     ChipConfig cfg;

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Per-line fault models: the physics half of a fingerprint substrate.
+ *
+ * A DeviceFaultModel answers one question for the generic ECC cache
+ * array: "does this access of this line misbehave at this stress
+ * level, and how badly?" -- plus which cell(s) of the line flip when
+ * it does. Everything substrate-specific (threshold distributions,
+ * environmental response, persistence) lives behind this interface;
+ * the array, the self-test engine, the error log, and every layer
+ * above them are shared between substrates.
+ *
+ * RNG discipline: faultOn() must consume the access RNG in a fixed
+ * per-call draw order regardless of outcome branches that *follow*
+ * the draws, because replay determinism across the whole stack hinges
+ * on the access stream. The SRAM model draws exactly one jitter
+ * normal per call, plus one Bernoulli only when the line is inside
+ * its correctable window (matching the pre-plugin implementation
+ * bit-for-bit).
+ */
+
+#ifndef AUTH_SIM_FAULT_MODEL_HPP
+#define AUTH_SIM_FAULT_MODEL_HPP
+
+#include <cstdint>
+
+#include "sim/environment.hpp"
+#include "sim/geometry.hpp"
+#include "sim/variation.hpp"
+#include "util/rng.hpp"
+
+namespace authenticache::sim {
+
+/** Severity of a fault on one access, if any. */
+enum class FaultKind
+{
+    None,
+    Single,  ///< One cell flips (correctable under SECDED).
+    Double,  ///< Two cells flip (detectable, uncorrectable).
+};
+
+/** Substrate physics: when and where a line's weak cells flip. */
+class DeviceFaultModel
+{
+  public:
+    virtual ~DeviceFaultModel() = default;
+
+    virtual const CacheGeometry &geometry() const = 0;
+
+    /**
+     * Fault outcome of one access of @p line at stress @p level under
+     * @p conditions. Consumes @p rng (per-access jitter/persistence);
+     * the draw order is part of the model's replay contract.
+     */
+    virtual FaultKind faultOn(std::uint64_t line, double level,
+                              const Conditions &conditions,
+                              util::Rng &rng) const = 0;
+
+    /** Word within the line holding the weak cell. */
+    virtual std::uint32_t weakWord(std::uint64_t line) const = 0;
+
+    /** Flipping bit; values >= 64 denote a check bit. */
+    virtual std::uint32_t weakBit(std::uint64_t line) const = 0;
+
+    /** Second bit flipped in the uncorrectable regime. */
+    virtual std::uint32_t weakBit2(std::uint64_t line) const = 0;
+};
+
+/**
+ * The paper's SRAM Vmin model: a line misreads when the effective
+ * supply voltage (level + measurement jitter) drops below its
+ * environment-shifted failure threshold; persistence gates whether
+ * the weak cell actually fires on a given access.
+ */
+class SramVminFaultModel final : public DeviceFaultModel
+{
+  public:
+    /** Both references must outlive the model. */
+    SramVminFaultModel(const VminField &field_,
+                       const EnvironmentModel &env_)
+        : field(field_), env(env_)
+    {
+    }
+
+    const CacheGeometry &
+    geometry() const override
+    {
+        return field.geometry();
+    }
+
+    FaultKind
+    faultOn(std::uint64_t line, double level,
+            const Conditions &conditions,
+            util::Rng &rng) const override
+    {
+        const double shift = env.thresholdShiftMv(line, conditions);
+        const double jitter =
+            env.measurementJitterMv(conditions, rng);
+        const double v_eff = level + jitter;
+
+        if (v_eff < field.vUncorrectableMv(line) + shift)
+            return FaultKind::Double;
+        if (v_eff < field.vCorrectableMv(line) + shift) {
+            if (rng.nextBool(field.persistence(line)))
+                return FaultKind::Single;
+        }
+        return FaultKind::None;
+    }
+
+    std::uint32_t
+    weakWord(std::uint64_t line) const override
+    {
+        return field.weakWord(line);
+    }
+
+    std::uint32_t
+    weakBit(std::uint64_t line) const override
+    {
+        return field.weakBit(line);
+    }
+
+    std::uint32_t
+    weakBit2(std::uint64_t line) const override
+    {
+        return field.weakBit2(line);
+    }
+
+  private:
+    const VminField &field;
+    const EnvironmentModel &env;
+};
+
+} // namespace authenticache::sim
+
+#endif // AUTH_SIM_FAULT_MODEL_HPP

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Substrate-neutral fault-observation result types.
+ *
+ * These are the only shapes the firmware and everything above it see
+ * from a device's built-in self-test machinery, so they live apart
+ * from any concrete substrate model: an SRAM Vmin chip and a DRAM
+ * multi-row-activation chip both report sweeps and targeted line
+ * tests in exactly these terms.
+ */
+
+#ifndef AUTH_SIM_OBSERVATION_HPP
+#define AUTH_SIM_OBSERVATION_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/geometry.hpp"
+
+namespace authenticache::sim {
+
+/** Result of a full-array sweep at one stress level. */
+struct SweepResult
+{
+    std::vector<LinePoint> correctableLines; ///< Distinct failing lines.
+    std::uint64_t uncorrectableCount = 0;    ///< Uncorrectable events.
+    std::uint64_t linesTested = 0;           ///< Lines exercised.
+};
+
+/** Result of a targeted line test. */
+struct LineTestResult
+{
+    bool triggered = false;      ///< Correctable error observed.
+    bool uncorrectable = false;  ///< Uncorrectable event observed.
+    std::uint32_t attemptsUsed = 0;
+};
+
+} // namespace authenticache::sim
+
+#endif // AUTH_SIM_OBSERVATION_HPP

@@ -11,7 +11,7 @@ constexpr std::uint64_t kInverse = 0x5555555555555555ull;
 
 } // namespace
 
-SelfTestEngine::SelfTestEngine(SramCacheArray &array_, EccErrorLog &log_)
+SelfTestEngine::SelfTestEngine(EccCacheArray &array_, EccErrorLog &log_)
     : array(array_), log(log_)
 {
 }

@@ -19,33 +19,18 @@
 #include "sim/cache_array.hpp"
 #include "sim/error_log.hpp"
 #include "sim/geometry.hpp"
+#include "sim/observation.hpp"
 
 namespace authenticache::sim {
-
-/** Result of a full-cache sweep at one voltage. */
-struct SweepResult
-{
-    std::vector<LinePoint> correctableLines; ///< Distinct failing lines.
-    std::uint64_t uncorrectableCount = 0;    ///< Uncorrectable events.
-    std::uint64_t linesTested = 0;           ///< Lines exercised.
-};
-
-/** Result of a targeted line test. */
-struct LineTestResult
-{
-    bool triggered = false;      ///< Correctable error observed.
-    bool uncorrectable = false;  ///< Uncorrectable event observed.
-    std::uint32_t attemptsUsed = 0;
-};
 
 class SelfTestEngine
 {
   public:
     /**
-     * @param array Cache under test.
+     * @param array Array under test (any substrate's).
      * @param log The array's error log (drained by the engine).
      */
-    SelfTestEngine(SramCacheArray &array, EccErrorLog &log);
+    SelfTestEngine(EccCacheArray &array, EccErrorLog &log);
 
     /**
      * Sweep every line at the array's current voltage with the given
@@ -71,7 +56,7 @@ class SelfTestEngine
     /** One write+readback pass over a line; true if corrected event. */
     LineTestResult testOnce(const LinePoint &p, std::uint64_t pattern);
 
-    SramCacheArray &array;
+    EccCacheArray &array;
     EccErrorLog &log;
     std::uint64_t nLineTests = 0;
     std::uint64_t patternToggle = 0;

@@ -1,0 +1,350 @@
+#include "substrate/config.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "ecc/scheme.hpp"
+#include "substrate/registry.hpp"
+
+namespace authenticache::substrate {
+
+namespace {
+
+[[noreturn]] void
+fail(const std::string &origin, int line, const std::string &msg)
+{
+    throw ConfigError(origin + ":" + std::to_string(line) + ": " + msg);
+}
+
+std::string
+trim(std::string_view s)
+{
+    std::size_t b = s.find_first_not_of(" \t\r");
+    if (b == std::string_view::npos)
+        return {};
+    std::size_t e = s.find_last_not_of(" \t\r");
+    return std::string(s.substr(b, e - b + 1));
+}
+
+std::size_t
+editDistance(std::string_view a, std::string_view b)
+{
+    std::vector<std::size_t> row(b.size() + 1);
+    for (std::size_t j = 0; j <= b.size(); ++j)
+        row[j] = j;
+    for (std::size_t i = 1; i <= a.size(); ++i) {
+        std::size_t diag = row[0];
+        row[0] = i;
+        for (std::size_t j = 1; j <= b.size(); ++j) {
+            std::size_t up = row[j];
+            row[j] = std::min({row[j] + 1, row[j - 1] + 1,
+                               diag + (a[i - 1] == b[j - 1] ? 0 : 1)});
+            diag = up;
+        }
+    }
+    return row[b.size()];
+}
+
+std::string
+suggestion(const std::string &key,
+           const std::vector<std::string> &known)
+{
+    std::string best;
+    std::size_t best_d = 4; // Suggest only within distance 3.
+    for (const auto &k : known) {
+        std::size_t d = editDistance(key, k);
+        if (d < best_d) {
+            best_d = d;
+            best = k;
+        }
+    }
+    return best;
+}
+
+std::string
+joinNames(const std::vector<std::string> &names)
+{
+    std::string out;
+    for (const auto &n : names) {
+        if (!out.empty())
+            out += ", ";
+        out += n;
+    }
+    return out;
+}
+
+bool
+parseBool(const std::string &origin, int line, const std::string &key,
+          const std::string &value)
+{
+    if (value == "true")
+        return true;
+    if (value == "false")
+        return false;
+    fail(origin, line,
+         key + " must be 'true' or 'false' (got '" + value + "')");
+}
+
+double
+parseDouble(const std::string &origin, int line, const std::string &key,
+            const std::string &value)
+{
+    std::size_t used = 0;
+    double v = 0.0;
+    try {
+        v = std::stod(value, &used);
+    } catch (const std::exception &) {
+        used = 0;
+    }
+    if (used != value.size())
+        fail(origin, line,
+             key + " must be a number (got '" + value + "')");
+    return v;
+}
+
+std::uint64_t
+parseU64(const std::string &origin, int line, const std::string &key,
+         const std::string &value)
+{
+    std::size_t used = 0;
+    unsigned long long v = 0;
+    try {
+        v = std::stoull(value, &used);
+    } catch (const std::exception &) {
+        used = 0;
+    }
+    if (used != value.size() || value[0] == '-')
+        fail(origin, line,
+             key + " must be a non-negative integer (got '" + value +
+                 "')");
+    return v;
+}
+
+bool
+isPow2(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+std::uint64_t
+parseRangedPow2(const std::string &origin, int line,
+                const std::string &key, const std::string &value,
+                std::uint64_t lo, std::uint64_t hi)
+{
+    std::uint64_t v = parseU64(origin, line, key, value);
+    if (!isPow2(v) || v < lo || v > hi)
+        fail(origin, line,
+             key + " must be a power of two between " +
+                 std::to_string(lo) + " and " + std::to_string(hi) +
+                 " (got " + value + ")");
+    return v;
+}
+
+double
+parseRanged(const std::string &origin, int line, const std::string &key,
+            const std::string &value, double lo, double hi)
+{
+    double v = parseDouble(origin, line, key, value);
+    if (v < lo || v > hi) {
+        std::ostringstream msg;
+        msg << key << " must be between " << lo << " and " << hi
+            << " (got " << value << ")";
+        fail(origin, line, msg.str());
+    }
+    return v;
+}
+
+const std::vector<std::string> &
+knownKeys()
+{
+    static const std::vector<std::string> keys = {
+        "substrate",
+        "ecc",
+        "remap.enabled",
+        "cache.kb",
+        "cache.line_bytes",
+        "cache.ways",
+        "error_log.capacity",
+        "sram.vcorr_mean_mv",
+        "sram.vcorr_sigma_mv",
+        "sram.window_mv",
+        "sram.tail_density_per_mv",
+        "dram.tcorr_mean",
+        "dram.tcorr_sigma",
+        "dram.window",
+        "dram.tail_density",
+        "regulator.nominal",
+        "regulator.min",
+    };
+    return keys;
+}
+
+} // namespace
+
+sim::ChipConfig
+PlatformConfig::chipConfig() const
+{
+    sim::ChipConfig cfg;
+    cfg.cacheBytes = cacheBytes;
+    cfg.lineBytes = lineBytes;
+    cfg.ways = ways;
+    cfg.variation = sram;
+    cfg.regulator = regulator;
+    cfg.errorLogCapacity = errorLogCapacity;
+    return cfg;
+}
+
+DramMraConfig
+PlatformConfig::dramConfig() const
+{
+    DramMraConfig cfg;
+    cfg.arrayBytes = cacheBytes;
+    cfg.lineBytes = lineBytes;
+    cfg.ways = ways;
+    cfg.disturbance = dram;
+    cfg.timing = regulator;
+    cfg.errorLogCapacity = errorLogCapacity;
+    return cfg;
+}
+
+PlatformConfig
+parsePlatformConfig(std::string_view text, const std::string &origin)
+{
+    PlatformConfig cfg;
+    // Line each key was set on, for cross-field error anchoring.
+    std::map<std::string, int> keyLine;
+
+    std::istringstream stream{std::string(text)};
+    std::string raw;
+    int lineno = 0;
+    while (std::getline(stream, raw)) {
+        ++lineno;
+        std::string line = raw;
+        if (std::size_t hash = line.find('#');
+            hash != std::string::npos)
+            line.erase(hash);
+        line = trim(line);
+        if (line.empty())
+            continue;
+
+        std::size_t colon = line.find(':');
+        if (colon == std::string::npos)
+            fail(origin, lineno,
+                 "expected 'key: value' (got '" + line + "')");
+        std::string key = trim(line.substr(0, colon));
+        std::string value = trim(line.substr(colon + 1));
+        if (key.empty())
+            fail(origin, lineno, "empty key before ':'");
+        if (value.empty())
+            fail(origin, lineno, "missing value for '" + key + "'");
+        if (keyLine.count(key))
+            fail(origin, lineno,
+                 "duplicate key '" + key + "' (first set on line " +
+                     std::to_string(keyLine[key]) + ")");
+        keyLine[key] = lineno;
+
+        if (key == "substrate") {
+            if (!substrateExists(value))
+                fail(origin, lineno,
+                     "unknown substrate '" + value +
+                         "' (available: " + joinNames(substrateNames()) +
+                         ")");
+            cfg.substrate = value;
+        } else if (key == "ecc") {
+            if (!ecc::eccSchemeExists(value))
+                fail(origin, lineno,
+                     "unknown ecc scheme '" + value + "' (available: " +
+                         joinNames(ecc::eccSchemeNames()) + ")");
+            cfg.ecc = value;
+        } else if (key == "remap.enabled") {
+            cfg.remapEnabled = parseBool(origin, lineno, key, value);
+        } else if (key == "cache.kb") {
+            cfg.cacheBytes = 1024 * parseRangedPow2(origin, lineno, key,
+                                                    value, 16, 65536);
+        } else if (key == "cache.line_bytes") {
+            cfg.lineBytes = static_cast<std::uint32_t>(parseRangedPow2(
+                origin, lineno, key, value, 32, 256));
+        } else if (key == "cache.ways") {
+            cfg.ways = static_cast<std::uint32_t>(
+                parseRangedPow2(origin, lineno, key, value, 1, 64));
+        } else if (key == "error_log.capacity") {
+            std::uint64_t v = parseU64(origin, lineno, key, value);
+            if (v < 16 || v > 1'000'000)
+                fail(origin, lineno,
+                     "error_log.capacity must be between 16 and "
+                     "1000000 (got " +
+                         value + ")");
+            cfg.errorLogCapacity = static_cast<std::size_t>(v);
+        } else if (key == "sram.vcorr_mean_mv") {
+            cfg.sram.vcorrMeanMv =
+                parseRanged(origin, lineno, key, value, 550.0, 790.0);
+        } else if (key == "sram.vcorr_sigma_mv") {
+            cfg.sram.vcorrSigmaMv =
+                parseRanged(origin, lineno, key, value, 0.0, 50.0);
+        } else if (key == "sram.window_mv") {
+            cfg.sram.windowMv =
+                parseRanged(origin, lineno, key, value, 10.0, 150.0);
+        } else if (key == "sram.tail_density_per_mv") {
+            cfg.sram.tailDensityPerMv =
+                parseRanged(origin, lineno, key, value, 0.1, 64.0);
+        } else if (key == "dram.tcorr_mean") {
+            cfg.dram.tcorrMean =
+                parseRanged(origin, lineno, key, value, 550.0, 790.0);
+        } else if (key == "dram.tcorr_sigma") {
+            cfg.dram.tcorrSigma =
+                parseRanged(origin, lineno, key, value, 0.0, 50.0);
+        } else if (key == "dram.window") {
+            cfg.dram.window =
+                parseRanged(origin, lineno, key, value, 10.0, 150.0);
+        } else if (key == "dram.tail_density") {
+            cfg.dram.tailDensity =
+                parseRanged(origin, lineno, key, value, 0.1, 64.0);
+        } else if (key == "regulator.nominal") {
+            cfg.regulator.nominalMv =
+                parseRanged(origin, lineno, key, value, 600.0, 1200.0);
+        } else if (key == "regulator.min") {
+            cfg.regulator.absoluteMinMv =
+                parseRanged(origin, lineno, key, value, 300.0, 700.0);
+        } else {
+            std::string near = suggestion(key, knownKeys());
+            std::string msg = "unknown key '" + key + "'";
+            if (!near.empty())
+                msg += " (did you mean '" + near + "'?)";
+            fail(origin, lineno, msg);
+        }
+    }
+
+    // Cross-field validation, anchored to the line that caused it.
+    auto lineOf = [&](const std::string &key) {
+        auto it = keyLine.find(key);
+        return it == keyLine.end() ? 1 : it->second;
+    };
+
+    if (cfg.ecc == "crc_edc" && cfg.remapEnabled)
+        fail(origin, lineOf("ecc"),
+             "ecc 'crc_edc' is detect-only and cannot drive remap key "
+             "derivation; set 'remap.enabled: false' or pick a "
+             "correcting scheme (secded_72_64, bch_127_64)");
+
+    if (cfg.regulator.absoluteMinMv >= cfg.regulator.nominalMv)
+        fail(origin, lineOf("regulator.min"),
+             "regulator.min must be below regulator.nominal");
+
+    return cfg;
+}
+
+PlatformConfig
+loadPlatformConfigFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        throw ConfigError(path + ":1: cannot open platform config file");
+    std::ostringstream text;
+    text << in.rdbuf();
+    return parsePlatformConfig(text.str(), path);
+}
+
+} // namespace authenticache::substrate

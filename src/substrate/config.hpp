@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Typed platform configuration: which substrate, which ECC scheme,
+ * and the device-model knobs, loaded from a small `key: value` file.
+ *
+ * File format -- one directive per line:
+ *
+ *     # comments and blank lines are ignored
+ *     substrate: dram_mra
+ *     ecc: secded_72_64
+ *     remap.enabled: true
+ *     cache.kb: 4096
+ *
+ * Every parse or validation failure raises ConfigError whose what()
+ * is a single actionable line of the form "<origin>:<line>: <what
+ * went wrong and what to do about it>", so callers can print it
+ * verbatim and exit.
+ */
+
+#ifndef AUTH_SUBSTRATE_CONFIG_HPP
+#define AUTH_SUBSTRATE_CONFIG_HPP
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "sim/chip.hpp"
+#include "substrate/dram_mra.hpp"
+
+namespace authenticache::substrate {
+
+/** Single-line, actionable configuration failure. */
+class ConfigError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/** The validated platform selection. */
+struct PlatformConfig
+{
+    std::string substrate = "sram_vmin";
+    std::string ecc = "secded_72_64";
+
+    /** Logical remapping (K_A) on the challenge plane. */
+    bool remapEnabled = true;
+
+    // Shared geometry.
+    std::uint64_t cacheBytes = 4ull * 1024 * 1024;
+    std::uint32_t lineBytes = 64;
+    std::uint32_t ways = 8;
+    std::size_t errorLogCapacity = 4096;
+
+    // Substrate-specific model knobs (only the selected one is used).
+    sim::VariationParams sram;
+    MraParams dram;
+    sim::RegulatorParams regulator;
+
+    /** Assemble the SRAM device config (substrate == "sram_vmin"). */
+    sim::ChipConfig chipConfig() const;
+
+    /** Assemble the DRAM device config (substrate == "dram_mra"). */
+    DramMraConfig dramConfig() const;
+};
+
+/**
+ * Parse and validate a configuration text. @p origin is used in error
+ * messages (a file path, or e.g. "<inline>").
+ */
+PlatformConfig parsePlatformConfig(std::string_view text,
+                                   const std::string &origin);
+
+/** Load, parse, and validate a configuration file. */
+PlatformConfig loadPlatformConfigFile(const std::string &path);
+
+} // namespace authenticache::substrate
+
+#endif // AUTH_SUBSTRATE_CONFIG_HPP

@@ -1,0 +1,155 @@
+#include "substrate/dram_mra.hpp"
+
+#include <algorithm>
+
+namespace authenticache::substrate {
+
+MraField::MraField(const sim::CacheGeometry &geometry,
+                   const MraParams &params, std::uint64_t chip_seed)
+    : geom(geometry)
+{
+    // A distinct stream from the SRAM field so the same die seed
+    // yields independent fingerprints on the two substrates.
+    util::Rng rng(chip_seed ^ 0xD7A111ull);
+    const std::uint64_t n = geom.lines();
+
+    tCorr.resize(n);
+    uncorrGap.resize(n);
+    persist.resize(n);
+    weakWordIdx.resize(n);
+    weakBitIdx.resize(n);
+    weakBit2Idx.resize(n);
+
+    const double chip_tcorr =
+        rng.nextGaussian(params.tcorrMean, params.tcorrSigma);
+
+    const double expected_tail = params.tailDensity * params.window *
+                                 (static_cast<double>(n) /
+                                  params.densityReferenceLines);
+    const double p_tail =
+        std::min(1.0, expected_tail / static_cast<double>(n));
+
+    double max_tcorr = 0.0;
+    for (std::uint64_t i = 0; i < n; ++i) {
+        double t;
+        if (rng.nextBool(p_tail)) {
+            // Weak-tail row: disturbs within the measurable window.
+            t = chip_tcorr - rng.nextDouble() * params.window;
+        } else {
+            // Bulk row: disturbs only under far harder hammering.
+            t = chip_tcorr - params.bulkHigh -
+                rng.nextDouble() * (params.bulkLow - params.bulkHigh);
+        }
+        tCorr[i] = static_cast<float>(t);
+        max_tcorr = std::max(max_tcorr, t);
+
+        uncorrGap[i] = static_cast<float>(
+            params.uncorrGapMin +
+            rng.nextDouble() *
+                (params.uncorrGapMax - params.uncorrGapMin));
+
+        double q = rng.nextBeta(params.persistenceAlpha,
+                                params.persistenceBeta);
+        persist[i] = static_cast<float>(std::clamp(q, 0.05, 1.0));
+
+        weakWordIdx[i] = static_cast<std::uint8_t>(
+            rng.nextBelow(geom.wordsPerLine()));
+        // 72-bit codeword positions; >= 64 denotes a check bit.
+        weakBitIdx[i] = static_cast<std::uint8_t>(rng.nextBelow(72));
+        std::uint32_t second = weakBitIdx[i];
+        while (second == weakBitIdx[i])
+            second = static_cast<std::uint32_t>(rng.nextBelow(72));
+        weakBit2Idx[i] = static_cast<std::uint8_t>(second);
+    }
+    chipTcorr = max_tcorr;
+}
+
+double
+MraField::maxUncorrectable() const
+{
+    double best = -1e9;
+    for (std::size_t i = 0; i < tCorr.size(); ++i)
+        best = std::max(best,
+                        static_cast<double>(tCorr[i]) - uncorrGap[i]);
+    return best;
+}
+
+sim::FaultKind
+MraFaultModel::faultOn(std::uint64_t line, double level,
+                       const sim::Conditions &conditions,
+                       util::Rng &rng) const
+{
+    const double shift = env.thresholdShiftMv(line, conditions);
+    const double jitter = env.measurementJitterMv(conditions, rng);
+    const double t_eff = level + jitter;
+
+    if (t_eff < field.tUncorrectable(line) + shift)
+        return sim::FaultKind::Double;
+    if (t_eff < field.tCorrectable(line) + shift) {
+        if (rng.nextBool(field.persistence(line)))
+            return sim::FaultKind::Single;
+    }
+    return sim::FaultKind::None;
+}
+
+DramMraChip::DramMraChip(const DramMraConfig &config,
+                         std::uint64_t chip_seed,
+                         std::shared_ptr<ecc::EccScheme> scheme)
+    : cfg(config),
+      chipSeed(chip_seed),
+      geom(config.arrayBytes, config.lineBytes, config.ways),
+      field(geom, config.disturbance, chip_seed),
+      env(geom.lines(), config.environment, chip_seed),
+      log(config.errorLogCapacity),
+      model(field, env),
+      array(model, log,
+            scheme ? std::move(scheme)
+                   : ecc::makeEccScheme("secded_72_64"),
+            chip_seed ^ 0xD7A3A11ull),
+      vr(config.timing),
+      tester(array, log)
+{
+    array.setLevel(vr.vddMv());
+}
+
+LevelStatus
+DramMraChip::setLevel(double level, double *latency_us)
+{
+    switch (vr.request(level, latency_us)) {
+      case sim::VoltageStatus::Ok:
+        array.setLevel(vr.vddMv());
+        return LevelStatus::Ok;
+      case sim::VoltageStatus::BelowFloor:
+        return LevelStatus::BelowFloor;
+      case sim::VoltageStatus::OutOfRange:
+        break;
+    }
+    return LevelStatus::OutOfRange;
+}
+
+double
+DramMraChip::emergencyRestore()
+{
+    double latency = vr.emergencyRaise();
+    array.setLevel(vr.vddMv());
+    return latency;
+}
+
+void
+DramMraChip::reportStats(util::StatsRegistry &registry,
+                         const std::string &component) const
+{
+    registry.set(component, "word_reads", array.wordReads());
+    registry.set(component, "word_writes", array.wordWrites());
+    registry.set(component, "ecc_corrected", log.totalCorrected());
+    registry.set(component, "ecc_uncorrectable",
+                 log.totalUncorrectable());
+    registry.set(component, "ecc_log_overflows", log.overflowCount());
+    registry.set(component, "level_transitions", vr.transitions());
+    registry.set(component, "line_self_tests",
+                 tester.lineTestsPerformed());
+    registry.set(component, "level", vr.vddMv());
+    array.scheme().reportStats(registry, "ecc");
+}
+
+} // namespace authenticache::substrate

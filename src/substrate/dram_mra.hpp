@@ -1,0 +1,284 @@
+/**
+ * @file
+ * DRAM multi-row-activation (MRA) fingerprint substrate.
+ *
+ * Models the disturbance-error fingerprint of Başer et al.: rapidly
+ * re-activating aggressor rows drains charge from neighboring victim
+ * cells, and which cells flip first is a manufacturing-variation
+ * fingerprint, just like SRAM Vmin weak cells. The stress axis here is
+ * the aggressor activation interval in tenth-nanosecond units: the
+ * shorter the interval, the harder the hammering, the more victim
+ * cells flip. We use the same numeric band as the SRAM substrate
+ * (nominal 800 = a relaxed 80 ns interval, hardware floor 500), so
+ * the firmware's floor-calibration, challenge scheduling, and timing
+ * logic run unchanged.
+ *
+ * Per-row profile (manufactured from the chip seed):
+ *  - tCorrectable: interval below which the row's weakest victim cell
+ *    flips (one bit -- ECC-correctable).
+ *  - tUncorrectable: a second, shorter interval below which a second
+ *    victim in the same codeword flips (uncorrectable). The gap is the
+ *    usable operating window, exactly as in the SRAM model.
+ *  - persistence: probability a sub-threshold activation burst
+ *    actually flips the victim on a given test (cell charge state and
+ *    data-pattern dependence make disturbance errors flaky too).
+ *
+ * Temperature raises retention leakage, so hotter parts fail at longer
+ * (less aggressive) intervals -- the same sign convention as the SRAM
+ * environment model, which we reuse with DRAM-tuned coefficients.
+ */
+
+#ifndef AUTH_SUBSTRATE_DRAM_MRA_HPP
+#define AUTH_SUBSTRATE_DRAM_MRA_HPP
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "ecc/scheme.hpp"
+#include "sim/cache_array.hpp"
+#include "sim/environment.hpp"
+#include "sim/error_log.hpp"
+#include "sim/fault_model.hpp"
+#include "sim/geometry.hpp"
+#include "sim/self_test.hpp"
+#include "sim/voltage_regulator.hpp"
+#include "substrate/substrate.hpp"
+#include "util/rng.hpp"
+
+namespace authenticache::substrate {
+
+/** Tunables of the MRA disturbance model (activation-interval units). */
+struct MraParams
+{
+    /** Mean first-disturbance interval across chips. */
+    double tcorrMean = 712.0;
+
+    /** Chip-to-chip sigma of the first-disturbance interval. */
+    double tcorrSigma = 9.0;
+
+    /** Width of the weak-tail window below the chip threshold. */
+    double window = 70.0;
+
+    /**
+     * Expected weak rows per interval unit per 64K rows. Disturbance
+     * weak rows are denser than SRAM Vmin weak lines: every row has
+     * victims, only the threshold varies, so the measurable tail is
+     * thicker. Density also keeps the nearest-error response function
+     * stable -- a sparse plane makes single marginal rows flip large
+     * regions of the challenge space.
+     */
+    double tailDensity = 3.0;
+
+    /** Reference row count the density is quoted at. */
+    double densityReferenceLines = 65536.0;
+
+    /**
+     * Gap between correctable and uncorrectable intervals: bounds.
+     * The gap is what the floor calibration converts into a usable
+     * challenge window, so it sits in the same band as the SRAM
+     * model's Vmin gap.
+     */
+    double uncorrGapMin = 68.0;
+    double uncorrGapMax = 92.0;
+
+    /** Bulk (non-tail) rows disturb only far below the window. */
+    double bulkLow = 300.0;
+    double bulkHigh = 120.0;
+
+    /** Beta parameters of the per-row flip persistence. */
+    double persistenceAlpha = 1.45;
+    double persistenceBeta = 0.48;
+};
+
+/** Immutable per-row disturbance profile generated from a chip seed. */
+class MraField
+{
+  public:
+    MraField(const sim::CacheGeometry &geometry, const MraParams &params,
+             std::uint64_t chip_seed);
+
+    const sim::CacheGeometry &geometry() const { return geom; }
+
+    /** Chip's first-disturbance interval (highest tCorrectable). */
+    double tcorr() const { return chipTcorr; }
+
+    /** Single-flip interval threshold of a row. */
+    double tCorrectable(std::uint64_t line) const { return tCorr[line]; }
+
+    /** Double-flip interval threshold of a row. */
+    double tUncorrectable(std::uint64_t line) const
+    {
+        return tCorr[line] - uncorrGap[line];
+    }
+
+    /** Flip persistence of a row's weakest victim. */
+    double persistence(std::uint64_t line) const { return persist[line]; }
+
+    std::uint32_t weakWord(std::uint64_t line) const
+    {
+        return weakWordIdx[line];
+    }
+    std::uint32_t weakBit(std::uint64_t line) const
+    {
+        return weakBitIdx[line];
+    }
+    std::uint32_t weakBit2(std::uint64_t line) const
+    {
+        return weakBit2Idx[line];
+    }
+
+    /** Highest tUncorrectable across the chip (the raw floor). */
+    double maxUncorrectable() const;
+
+  private:
+    sim::CacheGeometry geom;
+    double chipTcorr = 0.0;
+    std::vector<float> tCorr;
+    std::vector<float> uncorrGap;
+    std::vector<float> persist;
+    std::vector<std::uint8_t> weakWordIdx;
+    std::vector<std::uint8_t> weakBitIdx;
+    std::vector<std::uint8_t> weakBit2Idx;
+};
+
+/**
+ * MRA disturbance physics behind the generic DeviceFaultModel
+ * interface. Same replay contract as the SRAM model: exactly one
+ * jitter draw per call, plus one Bernoulli only inside the
+ * correctable window.
+ */
+class MraFaultModel final : public sim::DeviceFaultModel
+{
+  public:
+    /** Both references must outlive the model. */
+    MraFaultModel(const MraField &field_,
+                  const sim::EnvironmentModel &env_)
+        : field(field_), env(env_)
+    {
+    }
+
+    const sim::CacheGeometry &geometry() const override
+    {
+        return field.geometry();
+    }
+
+    sim::FaultKind faultOn(std::uint64_t line, double level,
+                           const sim::Conditions &conditions,
+                           util::Rng &rng) const override;
+
+    std::uint32_t weakWord(std::uint64_t line) const override
+    {
+        return field.weakWord(line);
+    }
+    std::uint32_t weakBit(std::uint64_t line) const override
+    {
+        return field.weakBit(line);
+    }
+    std::uint32_t weakBit2(std::uint64_t line) const override
+    {
+        return field.weakBit2(line);
+    }
+
+  private:
+    const MraField &field;
+    const sim::EnvironmentModel &env;
+};
+
+/** Everything needed to manufacture a DRAM MRA device. */
+struct DramMraConfig
+{
+    std::uint64_t arrayBytes = 4ull * 1024 * 1024;
+    std::uint32_t lineBytes = 64;
+    std::uint32_t ways = 8;
+    MraParams disturbance;
+    sim::EnvironmentParams environment = dramEnvironmentDefaults();
+    sim::RegulatorParams timing; // Interval controller, nominal 800.
+    std::size_t errorLogCapacity = 4096;
+
+    /**
+     * DRAM-tuned environmental response: retention leakage roughly
+     * doubles every ~10C, which dominates the SRAM-style threshold
+     * drift -- so the per-degree coefficient is much larger.
+     */
+    static sim::EnvironmentParams dramEnvironmentDefaults()
+    {
+        sim::EnvironmentParams p;
+        p.tempCoeffMvPerC = 0.6;
+        p.tempCoeffSigma = 0.2;
+        p.agingMvPerYear = 0.5;
+        p.agingSigma = 0.4;
+        return p;
+    }
+};
+
+/** The assembled DRAM MRA device: second FingerprintSubstrate plugin. */
+class DramMraChip final : public FingerprintSubstrate
+{
+  public:
+    /** @param scheme Protection code; null selects SECDED(72,64). */
+    DramMraChip(const DramMraConfig &config, std::uint64_t chip_seed,
+                std::shared_ptr<ecc::EccScheme> scheme = nullptr);
+
+    std::string kind() const override { return "dram_mra"; }
+    const sim::CacheGeometry &geometry() const override { return geom; }
+    std::uint64_t seed() const override { return chipSeed; }
+
+    const MraField &mraField() const { return field; }
+
+    double level() const override { return vr.vddMv(); }
+    double nominalLevel() const override { return vr.nominalMv(); }
+    LevelStatus setLevel(double level,
+                         double *latency_us = nullptr) override;
+    void setLevelFloor(double floor) override { vr.setFloorMv(floor); }
+    double emergencyRestore() override;
+    std::uint64_t levelTransitions() const override
+    {
+        return vr.transitions();
+    }
+
+    void setConditions(const sim::Conditions &c) override
+    {
+        array.setConditions(c);
+    }
+    const sim::Conditions &conditions() const override
+    {
+        return array.currentConditions();
+    }
+
+    sim::SweepResult sweepAll(std::uint32_t passes = 1) override
+    {
+        return tester.sweepAll(passes);
+    }
+    sim::LineTestResult testLine(const sim::LinePoint &p,
+                                 std::uint32_t max_attempts = 1) override
+    {
+        return tester.testLine(p, max_attempts);
+    }
+    sim::EccErrorLog &errorLog() override { return log; }
+    const sim::EccErrorLog &errorLog() const override { return log; }
+    std::uint64_t lineTestsPerformed() const override
+    {
+        return tester.lineTestsPerformed();
+    }
+
+    void reportStats(util::StatsRegistry &registry,
+                     const std::string &component =
+                         "substrate") const override;
+
+  private:
+    DramMraConfig cfg;
+    std::uint64_t chipSeed;
+    sim::CacheGeometry geom;
+    MraField field;
+    sim::EnvironmentModel env;
+    sim::EccErrorLog log;
+    MraFaultModel model;
+    sim::EccCacheArray array;
+    sim::VoltageRegulator vr;
+    sim::SelfTestEngine tester;
+};
+
+} // namespace authenticache::substrate
+
+#endif // AUTH_SUBSTRATE_DRAM_MRA_HPP

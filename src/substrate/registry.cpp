@@ -1,0 +1,77 @@
+#include "substrate/registry.hpp"
+
+#include <map>
+#include <stdexcept>
+
+#include "ecc/scheme.hpp"
+#include "sim/chip.hpp"
+#include "substrate/config.hpp"
+#include "substrate/dram_mra.hpp"
+
+namespace authenticache::substrate {
+
+namespace {
+
+using SubstrateFactory = std::unique_ptr<FingerprintSubstrate> (*)(
+    const PlatformConfig &, std::uint64_t);
+
+// Plain function-pointer registry; lazily populated so static-library
+// dead-stripping can't lose the builtins.
+std::map<std::string, SubstrateFactory> &
+factories()
+{
+    static std::map<std::string, SubstrateFactory> map;
+    return map;
+}
+
+void
+ensureBuiltins()
+{
+    auto &map = factories();
+    if (!map.empty())
+        return;
+    map["sram_vmin"] = [](const PlatformConfig &config,
+                          std::uint64_t seed)
+        -> std::unique_ptr<FingerprintSubstrate> {
+        return std::make_unique<sim::SimulatedChip>(
+            config.chipConfig(), seed, ecc::makeEccScheme(config.ecc));
+    };
+    map["dram_mra"] = [](const PlatformConfig &config,
+                         std::uint64_t seed)
+        -> std::unique_ptr<FingerprintSubstrate> {
+        return std::make_unique<DramMraChip>(
+            config.dramConfig(), seed, ecc::makeEccScheme(config.ecc));
+    };
+}
+
+} // namespace
+
+std::unique_ptr<FingerprintSubstrate>
+makeSubstrate(const PlatformConfig &config, std::uint64_t seed)
+{
+    ensureBuiltins();
+    auto it = factories().find(config.substrate);
+    if (it == factories().end())
+        throw std::invalid_argument("unknown substrate: " +
+                                    config.substrate);
+    return it->second(config, seed);
+}
+
+std::vector<std::string>
+substrateNames()
+{
+    ensureBuiltins();
+    std::vector<std::string> names;
+    for (const auto &[name, factory] : factories())
+        names.push_back(name);
+    return names;
+}
+
+bool
+substrateExists(const std::string &name)
+{
+    ensureBuiltins();
+    return factories().count(name) != 0;
+}
+
+} // namespace authenticache::substrate

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Substrate plugin registry: name -> factory, mirroring the ECC scheme
+ * registry. makeSubstrate() is how the CLI, tests, and benchmarks turn
+ * a validated PlatformConfig plus a die seed into a live device; the
+ * layers above only ever hold the FingerprintSubstrate interface.
+ */
+
+#ifndef AUTH_SUBSTRATE_REGISTRY_HPP
+#define AUTH_SUBSTRATE_REGISTRY_HPP
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "substrate/substrate.hpp"
+
+namespace authenticache::substrate {
+
+struct PlatformConfig;
+
+/**
+ * Build the substrate selected by @p config with the given die seed
+ * and the config's ECC scheme. Throws std::invalid_argument for an
+ * unregistered name (a validated PlatformConfig can't trigger this).
+ */
+std::unique_ptr<FingerprintSubstrate>
+makeSubstrate(const PlatformConfig &config, std::uint64_t seed);
+
+/** Registered substrate names, sorted. */
+std::vector<std::string> substrateNames();
+
+/** True when @p name is a registered substrate. */
+bool substrateExists(const std::string &name);
+
+} // namespace authenticache::substrate
+
+#endif // AUTH_SUBSTRATE_REGISTRY_HPP

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * The fingerprint-substrate plugin interface.
+ *
+ * Authenticache's firmware, protocol, server, and verifier only ever
+ * need four things from a device: its geometry, a seeded manufacture
+ * identity, a controllable stress axis, and condition-dependent fault
+ * observations through an ECC channel. FingerprintSubstrate is that
+ * contract; everything above the device layer is written against it
+ * and runs unmodified on any substrate the registry can build.
+ *
+ * The stress axis is deliberately opaque: for the SRAM Vmin substrate
+ * it is the supply voltage in mV, for the DRAM multi-row-activation
+ * substrate it is the aggressor activation interval in tenth-ns
+ * units. Both use the same numeric band (nominal ~800, hardware floor
+ * ~500, lower = more stress), so the firmware's floor-calibration and
+ * challenge-voltage logic works unchanged -- "Vdd" in a challenge is
+ * just a stress level the substrate interprets.
+ *
+ * Substrates self-report their counters into a StatsRegistry
+ * (reportStats), including their ECC scheme's "ecc.*" namespace.
+ */
+
+#ifndef AUTH_SUBSTRATE_SUBSTRATE_HPP
+#define AUTH_SUBSTRATE_SUBSTRATE_HPP
+
+#include <cstdint>
+#include <string>
+
+#include "sim/environment.hpp"
+#include "sim/error_log.hpp"
+#include "sim/geometry.hpp"
+#include "sim/observation.hpp"
+#include "util/stats_registry.hpp"
+
+namespace authenticache::substrate {
+
+/** Outcome of a stress-level request. */
+enum class LevelStatus
+{
+    Ok,           ///< Level set.
+    BelowFloor,   ///< Rejected: below the configured safety floor.
+    OutOfRange,   ///< Rejected: outside the hardware range.
+};
+
+class FingerprintSubstrate
+{
+  public:
+    virtual ~FingerprintSubstrate() = default;
+
+    /** Registry name of the substrate ("sram_vmin", "dram_mra"). */
+    virtual std::string kind() const = 0;
+
+    /** Challenge plane shape (sets x ways). */
+    virtual const sim::CacheGeometry &geometry() const = 0;
+
+    /** Die identity: two substrates with different seeds have
+     *  independent fingerprints. */
+    virtual std::uint64_t seed() const = 0;
+
+    // --- Stress axis -------------------------------------------------
+
+    /** Current stress level. */
+    virtual double level() const = 0;
+
+    /** Power-on (least stressed) operating level. */
+    virtual double nominalLevel() const = 0;
+
+    /**
+     * Request a stress-level change. On success @p latency_us (if
+     * non-null) receives the transition time charged by the timing
+     * model.
+     */
+    virtual LevelStatus setLevel(double level,
+                                 double *latency_us = nullptr) = 0;
+
+    /**
+     * Safety floor; requests below it fail with BelowFloor. Zero
+     * (the power-on state) disables the check so boot calibration
+     * can probe downward.
+     */
+    virtual void setLevelFloor(double floor) = 0;
+
+    /** Emergency ramp to nominal; returns latency in microseconds. */
+    virtual double emergencyRestore() = 0;
+
+    /** Cumulative level transitions (timing/telemetry input). */
+    virtual std::uint64_t levelTransitions() const = 0;
+
+    // --- Environment -------------------------------------------------
+
+    /** Operating conditions (temperature, aging, supply noise). */
+    virtual void setConditions(const sim::Conditions &c) = 0;
+    virtual const sim::Conditions &conditions() const = 0;
+
+    // --- Fault observation -------------------------------------------
+
+    /**
+     * Sweep every line at the current stress level with the given
+     * number of passes (alternating test patterns).
+     */
+    virtual sim::SweepResult sweepAll(std::uint32_t passes = 1) = 0;
+
+    /**
+     * Test a single line up to @p max_attempts times, stopping at
+     * the first correctable event.
+     */
+    virtual sim::LineTestResult
+    testLine(const sim::LinePoint &p,
+             std::uint32_t max_attempts = 1) = 0;
+
+    /** The substrate's ECC event channel. */
+    virtual sim::EccErrorLog &errorLog() = 0;
+    virtual const sim::EccErrorLog &errorLog() const = 0;
+
+    /** Total individual line tests performed. */
+    virtual std::uint64_t lineTestsPerformed() const = 0;
+
+    // --- Telemetry ---------------------------------------------------
+
+    /**
+     * Publish the substrate's counters under "<component>.*" and its
+     * ECC scheme's under "ecc.*".
+     */
+    virtual void
+    reportStats(util::StatsRegistry &registry,
+                const std::string &component = "substrate") const = 0;
+};
+
+} // namespace authenticache::substrate
+
+#endif // AUTH_SUBSTRATE_SUBSTRATE_HPP

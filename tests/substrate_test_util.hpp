@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Substrate selection for substrate-agnostic test suites.
+ *
+ * Suites that exercise the full firmware/protocol/server stack
+ * without depending on any one device model build their device
+ * through makeTestSubstrate(), which honors the AUTHENTICACHE_PLATFORM
+ * environment variable ("sram_vmin" by default, "dram_mra" in the
+ * second CI leg). Both substrates occupy the same stress-level band,
+ * so suite constants (challenge levels, floors) work unchanged.
+ */
+
+#ifndef AUTH_TESTS_SUBSTRATE_TEST_UTIL_HPP
+#define AUTH_TESTS_SUBSTRATE_TEST_UTIL_HPP
+
+#include <cstdint>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "substrate/config.hpp"
+#include "substrate/registry.hpp"
+
+namespace authenticache::testutil {
+
+/** Substrate under test: $AUTHENTICACHE_PLATFORM or "sram_vmin". */
+inline std::string
+platformName()
+{
+    const char *env = std::getenv("AUTHENTICACHE_PLATFORM");
+    return (env != nullptr && *env != '\0') ? env : "sram_vmin";
+}
+
+/** Platform selection for the suite with the given cache size. */
+inline substrate::PlatformConfig
+platformConfig(std::uint64_t cache_bytes = 256 * 1024)
+{
+    substrate::PlatformConfig cfg;
+    cfg.substrate = platformName();
+    cfg.cacheBytes = cache_bytes;
+    return cfg;
+}
+
+/** Manufacture the suite's device with the given die seed. */
+inline std::unique_ptr<substrate::FingerprintSubstrate>
+makeTestSubstrate(std::uint64_t seed,
+                  std::uint64_t cache_bytes = 256 * 1024)
+{
+    return substrate::makeSubstrate(platformConfig(cache_bytes), seed);
+}
+
+} // namespace authenticache::testutil
+
+#endif // AUTH_TESTS_SUBSTRATE_TEST_UTIL_HPP

@@ -13,6 +13,7 @@
 #include "firmware/keygen.hpp"
 #include "mc/mapgen.hpp"
 #include "server/server.hpp"
+#include "sim/chip.hpp"
 
 namespace fw = authenticache::firmware;
 namespace sim = authenticache::sim;

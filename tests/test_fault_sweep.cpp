@@ -19,9 +19,10 @@
 #include <gtest/gtest.h>
 
 #include "server/server.hpp"
+#include "substrate_test_util.hpp"
 
 namespace fw = authenticache::firmware;
-namespace sim = authenticache::sim;
+namespace testutil = authenticache::testutil;
 namespace core = authenticache::core;
 namespace proto = authenticache::protocol;
 namespace srv = authenticache::server;
@@ -64,14 +65,6 @@ faultName(proto::FaultType t)
     return "?";
 }
 
-sim::ChipConfig
-chipConfig()
-{
-    sim::ChipConfig cfg;
-    cfg.cacheBytes = 256 * 1024;
-    return cfg;
-}
-
 srv::ServerConfig
 serverConfig()
 {
@@ -96,11 +89,11 @@ struct DeviceTemplate
 DeviceTemplate
 captureTemplate()
 {
-    sim::SimulatedChip chip(chipConfig(), kChipSeed);
+    auto chip = testutil::makeTestSubstrate(kChipSeed);
     fw::SimulatedMachine machine(kDeviceId);
     fw::ClientConfig ccfg;
     ccfg.selfTestAttempts = 8;
-    fw::AuthenticacheClient client(chip, machine, ccfg);
+    fw::AuthenticacheClient client(*chip, machine, ccfg);
 
     double floor = client.boot();
     auto levels = srv::defaultChallengeLevels(client, 1);
@@ -171,11 +164,11 @@ runFaultedExchange(const DeviceTemplate &tmpl,
                    const proto::FaultPlan &fault_plan,
                    proto::Transcript *tap = nullptr)
 {
-    sim::SimulatedChip chip(chipConfig(), kChipSeed);
+    auto chip = testutil::makeTestSubstrate(kChipSeed);
     fw::SimulatedMachine machine(kDeviceId);
     fw::ClientConfig ccfg;
     ccfg.selfTestAttempts = 8;
-    fw::AuthenticacheClient client(chip, machine, ccfg);
+    fw::AuthenticacheClient client(*chip, machine, ccfg);
     client.adoptFloor(tmpl.floorMv);
 
     srv::AuthenticationServer server(serverConfig(), kServerSeed);

@@ -11,6 +11,7 @@
 
 #include "core/nearest.hpp"
 #include "firmware/client.hpp"
+#include "sim/chip.hpp"
 
 namespace fw = authenticache::firmware;
 namespace sim = authenticache::sim;

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Platform config loader: golden bad-config fixtures and the parsed
+ * shape of good configs.
+ *
+ * Every fixture under config_fixtures/ carries its expected failure
+ * in a "# expect-error:" header; the test asserts the loader throws a
+ * single-line ConfigError whose message contains that text (which
+ * includes the ":<line>:" anchor, so mis-anchored errors fail too).
+ * This keeps error-message quality under test: a config typo must
+ * come back with the file, the line, and what to do about it.
+ */
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "substrate/config.hpp"
+
+namespace sub = authenticache::substrate;
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr const char *kFixtureDir = AUTH_CONFIG_FIXTURE_DIR;
+constexpr const char *kExpectTag = "# expect-error:";
+
+std::string
+slurp(const fs::path &path)
+{
+    std::ifstream in(path);
+    std::ostringstream text;
+    text << in.rdbuf();
+    return text.str();
+}
+
+/** The "# expect-error:" payload of a fixture's header line. */
+std::string
+expectedError(const std::string &text)
+{
+    std::istringstream stream(text);
+    std::string first;
+    std::getline(stream, first);
+    if (first.rfind(kExpectTag, 0) != 0)
+        return {};
+    std::size_t b = first.find_first_not_of(' ',
+                                            std::strlen(kExpectTag));
+    return b == std::string::npos ? std::string{} : first.substr(b);
+}
+
+} // namespace
+
+TEST(PlatformConfig, EveryBadFixtureFailsWithItsGoldenMessage)
+{
+    std::size_t fixtures = 0;
+    for (const auto &entry : fs::directory_iterator(kFixtureDir)) {
+        if (entry.path().extension() != ".conf")
+            continue;
+        ++fixtures;
+        SCOPED_TRACE(entry.path().filename().string());
+
+        const std::string text = slurp(entry.path());
+        const std::string expected = expectedError(text);
+        ASSERT_FALSE(expected.empty())
+            << "fixture lacks a '# expect-error:' header";
+
+        try {
+            (void)sub::parsePlatformConfig(
+                text, entry.path().filename().string());
+            FAIL() << "expected ConfigError, parsed cleanly";
+        } catch (const sub::ConfigError &e) {
+            const std::string msg = e.what();
+            EXPECT_NE(msg.find(expected), std::string::npos)
+                << "error was: " << msg;
+            // Single line, "<origin>:<line>: ..." shape.
+            EXPECT_EQ(msg.find('\n'), std::string::npos);
+            EXPECT_EQ(msg.rfind(entry.path().filename().string(), 0),
+                      0u);
+        }
+    }
+    EXPECT_GE(fixtures, 10u);
+}
+
+TEST(PlatformConfig, GoodConfigRoundTripsEveryField)
+{
+    const char *text = R"(# full config
+substrate: dram_mra
+ecc: bch_127_64
+remap.enabled: true
+cache.kb: 256
+cache.line_bytes: 128
+cache.ways: 16
+error_log.capacity: 1024
+dram.tcorr_mean: 700
+dram.tcorr_sigma: 12
+dram.window: 80
+dram.tail_density: 4
+regulator.nominal: 820
+regulator.min: 510
+)";
+    auto cfg = sub::parsePlatformConfig(text, "inline");
+    EXPECT_EQ(cfg.substrate, "dram_mra");
+    EXPECT_EQ(cfg.ecc, "bch_127_64");
+    EXPECT_TRUE(cfg.remapEnabled);
+    EXPECT_EQ(cfg.cacheBytes, 256u * 1024u);
+    EXPECT_EQ(cfg.lineBytes, 128u);
+    EXPECT_EQ(cfg.ways, 16u);
+    EXPECT_EQ(cfg.errorLogCapacity, 1024u);
+    EXPECT_DOUBLE_EQ(cfg.dram.tcorrMean, 700.0);
+    EXPECT_DOUBLE_EQ(cfg.dram.tcorrSigma, 12.0);
+    EXPECT_DOUBLE_EQ(cfg.dram.window, 80.0);
+    EXPECT_DOUBLE_EQ(cfg.dram.tailDensity, 4.0);
+    EXPECT_DOUBLE_EQ(cfg.regulator.nominalMv, 820.0);
+    EXPECT_DOUBLE_EQ(cfg.regulator.absoluteMinMv, 510.0);
+}
+
+TEST(PlatformConfig, EmptyConfigYieldsDefaults)
+{
+    auto cfg = sub::parsePlatformConfig("# nothing\n\n", "inline");
+    EXPECT_EQ(cfg.substrate, "sram_vmin");
+    EXPECT_EQ(cfg.ecc, "secded_72_64");
+    EXPECT_TRUE(cfg.remapEnabled);
+}
+
+TEST(PlatformConfig, CrcEdcAllowedWhenRemapDisabled)
+{
+    auto cfg = sub::parsePlatformConfig(
+        "ecc: crc_edc\nremap.enabled: false\n", "inline");
+    EXPECT_EQ(cfg.ecc, "crc_edc");
+    EXPECT_FALSE(cfg.remapEnabled);
+}
+
+TEST(PlatformConfig, MissingFileFailsWithPathAndLine)
+{
+    try {
+        (void)sub::loadPlatformConfigFile("/nonexistent/x.conf");
+        FAIL() << "expected ConfigError";
+    } catch (const sub::ConfigError &e) {
+        EXPECT_NE(std::string(e.what()).find(
+                      "/nonexistent/x.conf:1: cannot open"),
+                  std::string::npos);
+    }
+}
+
+TEST(PlatformConfig, ShippedExampleConfigsParse)
+{
+    const fs::path repo_configs =
+        fs::path(kFixtureDir).parent_path().parent_path() / "configs";
+    auto sram =
+        sub::loadPlatformConfigFile((repo_configs / "sram_vmin.conf")
+                                        .string());
+    EXPECT_EQ(sram.substrate, "sram_vmin");
+    auto dram =
+        sub::loadPlatformConfigFile((repo_configs / "dram_mra.conf")
+                                        .string());
+    EXPECT_EQ(dram.substrate, "dram_mra");
+    EXPECT_DOUBLE_EQ(dram.dram.tailDensity, 3.0);
+}

@@ -10,6 +10,7 @@
 
 #include "server/server.hpp"
 #include "server/storage.hpp"
+#include "sim/chip.hpp"
 
 namespace fw = authenticache::firmware;
 namespace sim = authenticache::sim;

@@ -12,6 +12,7 @@
 #include <gtest/gtest.h>
 
 #include "server/server.hpp"
+#include "sim/chip.hpp"
 
 namespace fw = authenticache::firmware;
 namespace sim = authenticache::sim;

@@ -8,6 +8,7 @@
 
 #include "mc/mapgen.hpp"
 #include "server/server.hpp"
+#include "sim/chip.hpp"
 
 namespace core = authenticache::core;
 namespace sim = authenticache::sim;

@@ -16,6 +16,7 @@
 #include "core/crp.hpp"
 #include "mc/mapgen.hpp"
 #include "server/server.hpp"
+#include "sim/chip.hpp"
 
 namespace fw = authenticache::firmware;
 namespace sim = authenticache::sim;

@@ -37,10 +37,10 @@
 #include "crypto/fuzzy_extractor.hpp"
 #include "mc/mapgen.hpp"
 #include "server/server.hpp"
+#include "substrate_test_util.hpp"
 #include "util/logging.hpp"
 
 namespace fw = authenticache::firmware;
-namespace sim = authenticache::sim;
 namespace core = authenticache::core;
 namespace mc = authenticache::mc;
 namespace proto = authenticache::protocol;
@@ -429,14 +429,6 @@ constexpr std::uint64_t kSessionTimeout = 40;
 constexpr std::uint64_t kMaxSteps = 400;
 constexpr std::uint64_t kBaselineFrames = 7;
 
-sim::ChipConfig
-chipConfig()
-{
-    sim::ChipConfig cfg;
-    cfg.cacheBytes = 256 * 1024;
-    return cfg;
-}
-
 srv::ServerConfig
 sweepServerConfig()
 {
@@ -460,11 +452,11 @@ struct DeviceTemplate
 DeviceTemplate
 captureTemplate()
 {
-    sim::SimulatedChip chip(chipConfig(), kChipSeed);
+    auto chip = authenticache::testutil::makeTestSubstrate(kChipSeed);
     fw::SimulatedMachine machine(kDeviceId);
     fw::ClientConfig ccfg;
     ccfg.selfTestAttempts = 8;
-    fw::AuthenticacheClient client(chip, machine, ccfg);
+    fw::AuthenticacheClient client(*chip, machine, ccfg);
 
     double floor = client.boot();
     auto levels = srv::defaultChallengeLevels(client, 1);
@@ -580,11 +572,11 @@ runFaultedExchange(const DeviceTemplate &tmpl,
                    const proto::FaultPlan &fault_plan,
                    util::ThreadPool *pool)
 {
-    sim::SimulatedChip chip(chipConfig(), kChipSeed);
+    auto chip = authenticache::testutil::makeTestSubstrate(kChipSeed);
     fw::SimulatedMachine machine(kDeviceId);
     fw::ClientConfig ccfg;
     ccfg.selfTestAttempts = 8;
-    fw::AuthenticacheClient client(chip, machine, ccfg);
+    fw::AuthenticacheClient client(*chip, machine, ccfg);
     client.adoptFloor(tmpl.floorMv);
 
     srv::AuthenticationServer server(sweepServerConfig(),

@@ -14,6 +14,7 @@
 
 #include "mc/mapgen.hpp"
 #include "server/server.hpp"
+#include "sim/chip.hpp"
 
 namespace fw = authenticache::firmware;
 namespace sim = authenticache::sim;

@@ -1,16 +1,23 @@
 /**
  * @file
  * Tests for statistics helpers, including the binomial machinery the
- * identifiability analysis (FAR/FRR, Eq 3-4) depends on.
+ * identifiability analysis (FAR/FRR, Eq 3-4) depends on, plus the
+ * registerStat-style self-reporting of the substrate plugins.
  */
 
 #include <cmath>
 
 #include <gtest/gtest.h>
 
+#include "firmware/client.hpp"
+#include "substrate/config.hpp"
+#include "substrate/registry.hpp"
 #include "util/stats.hpp"
+#include "util/stats_registry.hpp"
 
 namespace u = authenticache::util;
+namespace fw = authenticache::firmware;
+namespace sub = authenticache::substrate;
 
 TEST(RunningStats, EmptyIsZero)
 {
@@ -156,4 +163,44 @@ TEST(Proportion, ConfidenceShrinksWithSamples)
     double narrow = u::proportionConfidence95(0.5, 10000);
     EXPECT_GT(wide, narrow);
     EXPECT_NEAR(narrow, 1.96 * 0.005, 1e-9);
+}
+
+TEST(PluginStats, EverySubstrateSelfReportsUnderItsNamespace)
+{
+    // Both builtin plugins must publish the same substrate.* schema
+    // plus their ECC scheme's ecc.* namespace -- the CLI's --stats
+    // output and any external scraper depend on these names.
+    for (const std::string &name : sub::substrateNames()) {
+        SCOPED_TRACE(name);
+        sub::PlatformConfig cfg;
+        cfg.substrate = name;
+        cfg.cacheBytes = 64 * 1024;
+        auto chip = sub::makeSubstrate(cfg, 0x57A7);
+        fw::SimulatedMachine machine;
+        fw::AuthenticacheClient client(*chip, machine);
+        client.boot();
+
+        u::StatsRegistry registry;
+        chip->reportStats(registry, "substrate");
+
+        for (const char *stat :
+             {"word_reads", "word_writes", "ecc_corrected",
+              "ecc_uncorrectable", "ecc_log_overflows",
+              "level_transitions", "line_self_tests"}) {
+            SCOPED_TRACE(stat);
+            EXPECT_TRUE(
+                registry.getInt("substrate", stat).has_value());
+        }
+        // Boot calibration sweeps the array and moves the level, so
+        // the activity counters must already be live.
+        EXPECT_GT(*registry.getInt("substrate", "line_self_tests"),
+                  0u);
+        EXPECT_GT(*registry.getInt("substrate", "level_transitions"),
+                  0u);
+        EXPECT_GT(*registry.getFloat("substrate", "level"), 0.0);
+
+        EXPECT_EQ(*registry.getInt("ecc", "data_bits"), 64u);
+        EXPECT_EQ(*registry.getInt("ecc", "corrects"), 1u);
+        EXPECT_GT(*registry.getInt("ecc", "decodes"), 0u);
+    }
 }

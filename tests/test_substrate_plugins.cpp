@@ -1,0 +1,254 @@
+/**
+ * @file
+ * Substrate plugin architecture: the refactor's load-bearing
+ * guarantees.
+ *
+ *  1. Golden equivalence: the sram_vmin plugin built through the
+ *     registry is bit-identical to the pre-refactor monolithic
+ *     SimulatedChip. The constants below were captured by running the
+ *     capture recipe against the tree at the commit before the
+ *     FingerprintSubstrate interface existed; if any of them drifts,
+ *     the refactor changed device physics.
+ *  2. Factory transparency: registry construction and direct
+ *     construction of the same substrate are indistinguishable.
+ *  3. Registry surface: builtins are listed, unknowns are rejected.
+ *  4. Substrate agnosticism end to end: both builtin substrates
+ *     enroll and authenticate over the real socket transport with the
+ *     server/protocol/verifier stack unmodified.
+ */
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/challenge.hpp"
+#include "net/epoll_transport.hpp"
+#include "net/socket_client.hpp"
+#include "server/server.hpp"
+#include "sim/chip.hpp"
+#include "substrate/config.hpp"
+#include "substrate/dram_mra.hpp"
+#include "substrate/registry.hpp"
+#include "util/crc32.hpp"
+#include "util/rng.hpp"
+#include "util/sim_clock.hpp"
+
+namespace core = authenticache::core;
+namespace ecc = authenticache::ecc;
+namespace fw = authenticache::firmware;
+namespace net = authenticache::net;
+namespace protocol = authenticache::protocol;
+namespace sim = authenticache::sim;
+namespace srv = authenticache::server;
+namespace sub = authenticache::substrate;
+namespace util = authenticache::util;
+
+namespace {
+
+constexpr std::uint64_t kCacheBytes = 256 * 1024;
+
+/** One pre-refactor observation of the monolithic SRAM chip. */
+struct GoldenRow
+{
+    std::uint64_t seed;
+    double floorMv;
+    std::uint32_t mapChecksum;
+    std::size_t totalErrors;
+    const char *responseBits;
+};
+
+/**
+ * Captured against the pre-plugin tree: 256 KB cache, default client
+ * config, boot -> two challenge levels -> 4-attempt error map -> a
+ * 32-bit challenge drawn from Rng(seed ^ 0xC4A11E46E).
+ */
+constexpr GoldenRow kGolden[] = {
+    {0x5eedull, 660.000000, 0xe9b07de9u, 19,
+     "11011101001000111100010101000110"},
+    {0xd1e42ull, 655.000000, 0x565edae6u, 20,
+     "01100111100111100001011011010001"},
+    {0xbadc0deull, 645.000000, 0xa4842f2fu, 8,
+     "01011001011001111111011011010000"},
+};
+
+/** Canonical serialization of an error map, per the capture recipe. */
+std::uint32_t
+mapChecksum(const core::ErrorMap &map)
+{
+    std::vector<std::uint8_t> bytes;
+    for (core::VddMv level : map.levels()) {
+        const auto &plane = map.plane(level);
+        bytes.push_back(static_cast<std::uint8_t>(level & 0xff));
+        bytes.push_back(static_cast<std::uint8_t>(level >> 8));
+        for (const auto &p : plane.errors()) {
+            for (int s = 0; s < 4; ++s)
+                bytes.push_back(
+                    static_cast<std::uint8_t>(p.set >> (8 * s)));
+            for (int s = 0; s < 4; ++s)
+                bytes.push_back(
+                    static_cast<std::uint8_t>(p.way >> (8 * s)));
+        }
+    }
+    return util::crc32(bytes);
+}
+
+sub::PlatformConfig
+platformFor(const std::string &name)
+{
+    sub::PlatformConfig cfg;
+    cfg.substrate = name;
+    cfg.cacheBytes = kCacheBytes;
+    return cfg;
+}
+
+} // namespace
+
+TEST(SubstratePlugins, SramGoldenEquivalence)
+{
+    for (const GoldenRow &row : kGolden) {
+        SCOPED_TRACE(row.seed);
+        auto chip =
+            sub::makeSubstrate(platformFor("sram_vmin"), row.seed);
+        fw::SimulatedMachine machine;
+        fw::AuthenticacheClient client(*chip, machine);
+
+        double floor = client.boot();
+        EXPECT_DOUBLE_EQ(floor, row.floorMv);
+
+        auto levels = srv::defaultChallengeLevels(client, 2);
+        core::ErrorMap map = client.captureErrorMap(levels, 4);
+        EXPECT_EQ(mapChecksum(map), row.mapChecksum);
+        EXPECT_EQ(map.totalErrors(), row.totalErrors);
+
+        core::Challenge ch;
+        util::Rng rng(row.seed ^ 0xC4A11E46E);
+        const auto &geom = chip->geometry();
+        for (int i = 0; i < 32; ++i) {
+            core::ChallengeBit bit;
+            bit.a.line = geom.pointOf(rng.nextBelow(geom.lines()));
+            bit.a.vddMv = levels[rng.nextBelow(levels.size())];
+            bit.b.line = geom.pointOf(rng.nextBelow(geom.lines()));
+            bit.b.vddMv = levels[rng.nextBelow(levels.size())];
+            ch.bits.push_back(bit);
+        }
+        auto out = client.authenticate(ch);
+
+        std::string bits;
+        for (std::size_t i = 0; i < out.response.size(); ++i)
+            bits += out.response.get(i) ? '1' : '0';
+        EXPECT_EQ(bits, row.responseBits);
+    }
+}
+
+TEST(SubstratePlugins, FactoryMatchesDirectConstruction)
+{
+    constexpr std::uint64_t kSeed = 0xFAC7;
+    const sub::PlatformConfig sram = platformFor("sram_vmin");
+    const sub::PlatformConfig dram = platformFor("dram_mra");
+
+    std::unique_ptr<sub::FingerprintSubstrate> direct[] = {
+        std::make_unique<sim::SimulatedChip>(
+            sram.chipConfig(), kSeed,
+            ecc::makeEccScheme(sram.ecc)),
+        std::make_unique<sub::DramMraChip>(
+            dram.dramConfig(), kSeed, ecc::makeEccScheme(dram.ecc)),
+    };
+    const sub::PlatformConfig *configs[] = {&sram, &dram};
+
+    for (std::size_t i = 0; i < 2; ++i) {
+        SCOPED_TRACE(configs[i]->substrate);
+        auto made = sub::makeSubstrate(*configs[i], kSeed);
+        EXPECT_EQ(made->kind(), direct[i]->kind());
+
+        fw::SimulatedMachine ma, mb;
+        fw::AuthenticacheClient ca(*made, ma), cb(*direct[i], mb);
+        EXPECT_DOUBLE_EQ(ca.boot(), cb.boot());
+
+        auto levels = srv::defaultChallengeLevels(ca, 2);
+        EXPECT_EQ(mapChecksum(ca.captureErrorMap(levels, 4)),
+                  mapChecksum(cb.captureErrorMap(levels, 4)));
+    }
+}
+
+TEST(SubstratePlugins, RegistryListsBuiltinsAndRejectsUnknown)
+{
+    EXPECT_TRUE(sub::substrateExists("sram_vmin"));
+    EXPECT_TRUE(sub::substrateExists("dram_mra"));
+    EXPECT_FALSE(sub::substrateExists("fram_hammer"));
+    auto names = sub::substrateNames();
+    EXPECT_EQ(names.size(), 2u);
+
+    sub::PlatformConfig cfg;
+    cfg.substrate = "fram_hammer";
+    EXPECT_THROW((void)sub::makeSubstrate(cfg, 1),
+                 std::invalid_argument);
+
+    EXPECT_TRUE(ecc::eccSchemeExists("secded_72_64"));
+    EXPECT_TRUE(ecc::eccSchemeExists("bch_127_64"));
+    EXPECT_TRUE(ecc::eccSchemeExists("crc_edc"));
+}
+
+TEST(SubstratePlugins, BothSubstratesAuthenticateOverSocket)
+{
+    constexpr std::uint64_t kDeviceId = 42;
+    constexpr std::uint64_t kSeed = 0x50C4E7;
+
+    for (const char *name : {"sram_vmin", "dram_mra"}) {
+        SCOPED_TRACE(name);
+        auto chip = sub::makeSubstrate(platformFor(name), kSeed);
+        fw::SimulatedMachine machine(kDeviceId);
+        fw::AuthenticacheClient client(*chip, machine);
+        client.boot();
+        auto levels = srv::defaultChallengeLevels(client, 1);
+        auto map = client.captureErrorMap(levels, 8);
+
+        srv::ServerConfig scfg;
+        scfg.challengeBits = 32;
+        scfg.verifier.pIntra = 0.08;
+        srv::AuthenticationServer server(scfg, 777);
+        util::SimClock clock;
+        server.bindClock(&clock);
+        server.enrollWithMap(kDeviceId, map, client, levels, {});
+
+        net::EpollTransport transport(server.frontEnd(),
+                                      net::TransportConfig{});
+        util::ThreadPool pool{2};
+        net::SocketClient wire;
+        ASSERT_TRUE(wire.connectTo(transport.port()));
+
+        auto await = [&]() {
+            using Reply =
+                std::pair<std::uint64_t, protocol::Message>;
+            std::optional<Reply> reply;
+            for (int i = 0; i < 2000 && !reply; ++i) {
+                transport.pump(pool, 1);
+                reply = wire.readMessage(2);
+            }
+            return reply;
+        };
+
+        ASSERT_TRUE(wire.sendMessage(
+            1, protocol::Message{protocol::AuthRequest{kDeviceId}}));
+        auto challenge = await();
+        ASSERT_TRUE(challenge.has_value());
+        auto *ch =
+            std::get_if<protocol::ChallengeMsg>(&challenge->second);
+        ASSERT_NE(ch, nullptr);
+
+        // The device answers from hardware: the firmware measures the
+        // live fingerprint under K_A, no map replay involved.
+        auto out = client.authenticate(ch->challenge);
+        ASSERT_TRUE(wire.sendMessage(
+            1, protocol::Message{
+                   protocol::ResponseMsg{ch->nonce, out.response}}));
+        auto decision = await();
+        ASSERT_TRUE(decision.has_value());
+        auto *d =
+            std::get_if<protocol::AuthDecision>(&decision->second);
+        ASSERT_NE(d, nullptr);
+        EXPECT_TRUE(d->accepted);
+    }
+}

@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include "server/server.hpp"
+#include "sim/chip.hpp"
 #include "util/stats_registry.hpp"
 
 namespace fw = authenticache::firmware;

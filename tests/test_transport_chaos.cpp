@@ -359,6 +359,47 @@ TEST(TransportChaos, DroppedRequestLeavesNoTrace)
     completeAuth(rig, client, kFirstId);
 }
 
+TEST(TransportChaos, LongLivedConnectionDoesNotGrowSinkTable)
+{
+    // A device that reuses one connection for many exchanges, each on
+    // a fresh stream id. Without per-stream sink GC the connection's
+    // stream table would gain one entry per exchange forever; with it,
+    // every terminal AuthDecision retires its sink and the table is
+    // empty between exchanges.
+    Rig rig(1);
+    net::SocketClient client;
+    ASSERT_TRUE(client.connectTo(rig.transport.port()));
+
+    constexpr int kRounds = 16;
+    for (int i = 0; i < kRounds; ++i) {
+        const std::uint64_t stream = 1000 + i;
+        ASSERT_TRUE(client.sendMessage(
+            stream, proto::Message{proto::AuthRequest{kFirstId}}));
+        auto challenge = rig.awaitReply(client);
+        ASSERT_TRUE(challenge.has_value());
+        auto *ch = std::get_if<proto::ChallengeMsg>(&challenge->second);
+        ASSERT_NE(ch, nullptr);
+
+        auto resp = honestResponse(rig.server.database().at(kFirstId),
+                                   ch->challenge);
+        ASSERT_TRUE(client.sendMessage(
+            stream,
+            proto::Message{proto::ResponseMsg{ch->nonce, resp}}));
+        auto decision = rig.awaitReply(client);
+        ASSERT_TRUE(decision.has_value());
+        ASSERT_NE(std::get_if<proto::AuthDecision>(&decision->second),
+                  nullptr);
+    }
+
+    std::size_t live_sinks = 0;
+    for (auto &[id, conn] :
+         rig.transport.transportCore().connections())
+        live_sinks += conn->streams.size();
+    EXPECT_EQ(live_sinks, 0u);
+    EXPECT_EQ(rig.transport.counters().sinksRetired,
+              static_cast<std::uint64_t>(kRounds));
+}
+
 TEST(TransportChaos, ManyConnectionsSurviveOneAbusiveNeighbor)
 {
     // One slow-loris + one corrupter + one resetter, interleaved with

@@ -27,11 +27,18 @@
  *
  *   authenticache_cli info --db FILE
  *       Summarize the enrollment database.
+ *
+ * Device-manufacturing commands accept --platform FILE to pick the
+ * fingerprint substrate (sram_vmin, dram_mra) and its physics from a
+ * platform config; the default is the SRAM Vmin chip the paper
+ * models. --stats dumps the substrate.* and ecc.* self-reported
+ * counters alongside the client and server ones.
  */
 
 #include <cstring>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -40,6 +47,8 @@
 #include "server/durability.hpp"
 #include "server/server.hpp"
 #include "server/storage.hpp"
+#include "substrate/config.hpp"
+#include "substrate/registry.hpp"
 #include "util/table.hpp"
 
 using namespace authenticache;
@@ -100,36 +109,51 @@ usage()
     std::cerr
         << "usage:\n"
         << "  authenticache_cli enroll   --db FILE --device ID"
-           " [--device ID ...] [--cache-kb N]\n"
+           " [--device ID ...] [--cache-kb N] [--platform FILE]\n"
         << "  authenticache_cli auth     --db FILE --device ID"
-           " [--rounds N] [--cache-kb N] [--shards N] [--stats]"
-           " [--durable DIR]\n"
+           " [--rounds N] [--cache-kb N] [--platform FILE]"
+           " [--shards N] [--stats] [--durable DIR]\n"
         << "  authenticache_cli recover  --durable DIR"
            " [--export FILE]\n"
         << "  authenticache_cli imposter --db FILE --device ID"
-           " --die SEED [--cache-kb N]\n"
-        << "  authenticache_cli keygen   --die SEED [--cache-kb N]\n"
+           " --die SEED [--cache-kb N] [--platform FILE]\n"
+        << "  authenticache_cli keygen   --die SEED [--cache-kb N]"
+           " [--platform FILE]\n"
         << "  authenticache_cli info     --db FILE\n";
     return 2;
+}
+
+/**
+ * Substrate selection: --platform FILE loads a platform config
+ * (substrate kind, ECC scheme, device physics); otherwise the
+ * defaults model the paper's SRAM Vmin chip. --cache-kb overrides
+ * the array size either way, preserving the pre-plugin CLI default
+ * of a 1 MB cache.
+ */
+substrate::PlatformConfig
+devicePlatform(const Args &args)
+{
+    substrate::PlatformConfig cfg;
+    std::string path = args.get("platform");
+    if (!path.empty())
+        cfg = substrate::loadPlatformConfigFile(path);
+    if (args.has("cache-kb") || path.empty())
+        cfg.cacheBytes = args.getU64("cache-kb", 1024) * 1024;
+    return cfg;
 }
 
 /** A device re-manufactured from its die seed. */
 struct Device
 {
-    sim::SimulatedChip chip;
+    std::unique_ptr<substrate::FingerprintSubstrate> chip;
     firmware::SimulatedMachine machine;
     firmware::AuthenticacheClient client;
 
-    Device(std::uint64_t die_seed, std::uint64_t cache_kb)
-        : chip(
-              [&] {
-                  sim::ChipConfig cfg;
-                  cfg.cacheBytes = cache_kb * 1024;
-                  return cfg;
-              }(),
-              die_seed),
+    Device(std::uint64_t die_seed,
+           const substrate::PlatformConfig &platform)
+        : chip(substrate::makeSubstrate(platform, die_seed)),
           machine(4),
-          client(chip, machine,
+          client(*chip, machine,
                  [] {
                      firmware::ClientConfig cfg;
                      cfg.selfTestAttempts = 8;
@@ -146,7 +170,7 @@ cmdEnroll(const Args &args)
     std::string path = args.get("db");
     if (path.empty() || !args.has("device"))
         return usage();
-    std::uint64_t cache_kb = args.getU64("cache-kb", 1024);
+    const auto platform = devicePlatform(args);
 
     server::ServerConfig cfg;
     cfg.challengeBits = 128;
@@ -155,7 +179,7 @@ cmdEnroll(const Args &args)
 
     for (const auto &id_str : args.options.at("device")) {
         std::uint64_t id = std::stoull(id_str, nullptr, 0);
-        Device device(id, cache_kb);
+        Device device(id, platform);
         auto levels =
             server::defaultChallengeLevels(device.client, 2);
         auto reserved = server::defaultReservedLevel(device.client);
@@ -179,7 +203,7 @@ cmdAuth(const Args &args)
         return usage();
     std::uint64_t id = args.getU64("device", 0);
     std::uint64_t rounds = args.getU64("rounds", 1);
-    std::uint64_t cache_kb = args.getU64("cache-kb", 1024);
+    const auto platform = devicePlatform(args);
 
     server::ServerConfig cfg;
     cfg.challengeBits = 128;
@@ -215,7 +239,7 @@ cmdAuth(const Args &args)
         return 1;
     }
 
-    Device device(id, cache_kb);
+    Device device(id, platform);
     device.client.setMapKey(server.database().at(id).mapKey());
 
     protocol::InMemoryChannel channel;
@@ -240,7 +264,7 @@ cmdAuth(const Args &args)
 
     if (args.has("stats")) {
         util::StatsRegistry registry;
-        sim::collectChipStats(device.chip, registry);
+        device.chip->reportStats(registry, "substrate");
         firmware::collectClientStats(device.client, registry);
         server::collectServerStats(server, registry);
         std::cout << "\n";
@@ -320,7 +344,7 @@ cmdImposter(const Args &args)
         return usage();
     std::uint64_t id = args.getU64("device", 0);
     std::uint64_t die = args.getU64("die", 0);
-    std::uint64_t cache_kb = args.getU64("cache-kb", 1024);
+    const auto platform = devicePlatform(args);
 
     server::ServerConfig cfg;
     cfg.challengeBits = 128;
@@ -330,7 +354,7 @@ cmdImposter(const Args &args)
     for (const auto &[record_id, record] : db.all())
         server.database().enroll(record);
 
-    Device imposter(die, cache_kb);
+    Device imposter(die, platform);
     imposter.client.setMapKey(server.database().at(id).mapKey());
 
     protocol::InMemoryChannel channel;
@@ -362,9 +386,8 @@ cmdKeygen(const Args &args)
     if (!args.has("die"))
         return usage();
     std::uint64_t die = args.getU64("die", 0);
-    std::uint64_t cache_kb = args.getU64("cache-kb", 1024);
 
-    Device device(die, cache_kb);
+    Device device(die, devicePlatform(args));
     firmware::PufKeyGenerator keygen(device.client);
     auto level = static_cast<core::VddMv>(
         device.client.floorMv() + 10.0);
@@ -378,7 +401,7 @@ cmdKeygen(const Args &args)
     for (double dt : {0.0, 15.0, 25.0}) {
         sim::Conditions c;
         c.temperatureDeltaC = dt;
-        device.chip.setConditions(c);
+        device.chip->setConditions(c);
         auto key = keygen.regenerate(provisioned.slot);
         std::cout << "regenerate at +" << dt << "C: "
                   << (key ? (*key == provisioned.key
