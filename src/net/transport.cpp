@@ -49,7 +49,8 @@ isContinuationPayload(std::span<const std::uint8_t> payload)
     const auto type = protocol::peekMessageType(payload);
     return type == protocol::MessageType::ResponseMsg ||
            type == protocol::MessageType::RemapAck ||
-           type == protocol::MessageType::RemapCommit;
+           type == protocol::MessageType::RemapCommit ||
+           type == protocol::MessageType::HeartbeatProof;
 }
 
 void
@@ -57,8 +58,12 @@ TransportCore::StreamSink::send(const protocol::Message &m)
 {
     // Terminal messages end the exchange; the sink becomes
     // garbage-collectable whether or not delivery succeeds.
+    // Heartbeat and TrustUpdate are deliberately *not* terminal: a
+    // heartbeat session streams rounds over one sink indefinitely.
+    // Revoke ends the session, so it retires the sink like a decision.
     if (std::holds_alternative<protocol::AuthDecision>(m) ||
         std::holds_alternative<protocol::RemapCommit>(m) ||
+        std::holds_alternative<protocol::Revoke>(m) ||
         std::holds_alternative<protocol::ErrorMsg>(m))
         isRetired = true;
     if (conn.closed)

@@ -83,6 +83,14 @@ messageType(const Message &m)
                 return MessageType::RemapAck;
             else if constexpr (std::is_same_v<T, RemapCommit>)
                 return MessageType::RemapCommit;
+            else if constexpr (std::is_same_v<T, Heartbeat>)
+                return MessageType::Heartbeat;
+            else if constexpr (std::is_same_v<T, HeartbeatProof>)
+                return MessageType::HeartbeatProof;
+            else if constexpr (std::is_same_v<T, TrustUpdate>)
+                return MessageType::TrustUpdate;
+            else if constexpr (std::is_same_v<T, Revoke>)
+                return MessageType::Revoke;
             else
                 return MessageType::ErrorMsg;
         },
@@ -96,7 +104,7 @@ peekMessageType(std::span<const std::uint8_t> frame)
         return std::nullopt;
     const std::uint8_t tag = frame[4]; // After the u32 payload length.
     if (tag < static_cast<std::uint8_t>(MessageType::AuthRequest) ||
-        tag > static_cast<std::uint8_t>(MessageType::RemapCommit))
+        tag > static_cast<std::uint8_t>(MessageType::Revoke))
         return std::nullopt;
     return static_cast<MessageType>(tag);
 }
@@ -133,6 +141,22 @@ encodePayload(ByteWriter &w, const Message &m)
             } else if constexpr (std::is_same_v<T, RemapCommit>) {
                 w.putU64(v.nonce);
                 w.putU8(v.committed ? 1 : 0);
+            } else if constexpr (std::is_same_v<T, Heartbeat>) {
+                w.putU64(v.nonce);
+                w.putU64(v.seq);
+                encodeChallenge(w, v.challenge);
+            } else if constexpr (std::is_same_v<T, HeartbeatProof>) {
+                w.putU64(v.nonce);
+                encodeBitVec(w, v.response);
+            } else if constexpr (std::is_same_v<T, TrustUpdate>) {
+                w.putU64(v.nonce);
+                w.putU32(v.trust);
+                w.putU8(v.tier);
+                w.putU8(v.accepted ? 1 : 0);
+                w.putU32(v.hammingDistance);
+            } else if constexpr (std::is_same_v<T, Revoke>) {
+                w.putU64(v.deviceId);
+                w.putString(v.reason);
             } else {
                 w.putString(v.reason);
             }
@@ -196,6 +220,34 @@ decodePayload(MessageType type, ByteReader &r)
         m.committed = r.getU8() != 0;
         return m;
       }
+      case MessageType::Heartbeat: {
+        Heartbeat m;
+        m.nonce = r.getU64();
+        m.seq = r.getU64();
+        m.challenge = decodeChallenge(r);
+        return m;
+      }
+      case MessageType::HeartbeatProof: {
+        HeartbeatProof m;
+        m.nonce = r.getU64();
+        m.response = decodeBitVec(r);
+        return m;
+      }
+      case MessageType::TrustUpdate: {
+        TrustUpdate m;
+        m.nonce = r.getU64();
+        m.trust = r.getU32();
+        m.tier = r.getU8();
+        m.accepted = r.getU8() != 0;
+        m.hammingDistance = r.getU32();
+        return m;
+      }
+      case MessageType::Revoke: {
+        Revoke m;
+        m.deviceId = r.getU64();
+        m.reason = r.getString();
+        return m;
+      }
     }
     throw DecodeError("unknown message type");
 }
@@ -230,7 +282,7 @@ decodeMessage(std::span<const std::uint8_t> frame)
     ByteReader pr(payload);
     auto raw_type = pr.getU8();
     if (raw_type < 1 ||
-        raw_type > static_cast<std::uint8_t>(MessageType::RemapCommit))
+        raw_type > static_cast<std::uint8_t>(MessageType::Revoke))
         throw DecodeError("unknown message type");
     Message m = decodePayload(static_cast<MessageType>(raw_type), pr);
     pr.expectEnd();

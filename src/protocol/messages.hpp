@@ -39,6 +39,24 @@ enum class MessageType : std::uint8_t
     RemapAck = 6,
     ErrorMsg = 7,
     RemapCommit = 8,
+    Heartbeat = 9,
+    HeartbeatProof = 10,
+    TrustUpdate = 11,
+    Revoke = 12,
+};
+
+/**
+ * Graceful-degradation tier reported with each heartbeat verdict.
+ * Ordered by severity; the server moves a device down the ladder as
+ * its trust score decays and back up as clean heartbeats accumulate.
+ */
+enum class TrustTier : std::uint8_t
+{
+    Nominal = 0,         ///< Low-cost heartbeats only.
+    StepUp = 1,          ///< Next heartbeat uses a full-width challenge.
+    RemapScheduled = 2,  ///< Proactive remap issued alongside verdict.
+    ReenrollRequired = 3,///< Remap budget exhausted; auth refused.
+    Revoked = 4,         ///< Device revoked pending admin unlock.
 };
 
 /** Client -> server: start an authentication. */
@@ -110,9 +128,54 @@ struct ErrorMsg
     std::string reason;
 };
 
+/**
+ * Server -> client: one round of a long-lived heartbeat session.
+ * `seq` numbers the rounds within the session so transcripts order
+ * totally even when the cadence interleaves with other traffic.
+ */
+struct Heartbeat
+{
+    std::uint64_t nonce = 0;
+    std::uint64_t seq = 0;
+    core::Challenge challenge;
+};
+
+/** Client -> server: response to a heartbeat challenge. */
+struct HeartbeatProof
+{
+    std::uint64_t nonce = 0;
+    util::BitVec response;
+};
+
+/**
+ * Server -> client: heartbeat verdict plus the device's updated trust
+ * score and degradation tier, so the client can observe its own decay
+ * trajectory (and anticipate a step-up or remap).
+ */
+struct TrustUpdate
+{
+    std::uint64_t nonce = 0;
+    std::uint32_t trust = 0;
+    std::uint8_t tier = 0; ///< A TrustTier value.
+    bool accepted = false;
+    std::uint32_t hammingDistance = 0;
+};
+
+/**
+ * Server -> client: the device has been revoked (trust exhausted).
+ * Also used by the CLI as an admin command record. Authentication is
+ * refused until an admin unlock clears the flag.
+ */
+struct Revoke
+{
+    std::uint64_t deviceId = 0;
+    std::string reason;
+};
+
 using Message =
     std::variant<AuthRequest, ChallengeMsg, ResponseMsg, AuthDecision,
-                 RemapRequest, RemapAck, ErrorMsg, RemapCommit>;
+                 RemapRequest, RemapAck, ErrorMsg, RemapCommit,
+                 Heartbeat, HeartbeatProof, TrustUpdate, Revoke>;
 
 /** Type tag of a decoded message. */
 MessageType messageType(const Message &m);

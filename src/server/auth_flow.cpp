@@ -16,8 +16,17 @@ AuthFlow::onRequest(SessionShard &sh, const protocol::AuthRequest &msg)
         return out;
     }
     DeviceRecord &record = devices.at(msg.deviceId);
+    if (record.revoked()) {
+        out.replies.push_back(protocol::ErrorMsg{"device revoked"});
+        return out;
+    }
     if (record.locked()) {
         out.replies.push_back(protocol::ErrorMsg{"device locked"});
+        return out;
+    }
+    if (record.reenrollRequired()) {
+        out.replies.push_back(
+            protocol::ErrorMsg{"re-enrollment required"});
         return out;
     }
 

@@ -15,6 +15,69 @@
 
 namespace authenticache::server {
 
+/**
+ * Continuous-authentication (heartbeat) trust-ledger policy.
+ *
+ * Trust is a per-device integer in [0, max]. Clean heartbeats recover
+ * it, marginal ones (accepted but close to threshold) and failures
+ * decay it, and thresholds below define a tiered graceful-degradation
+ * ladder: step-up -> proactive remap -> forced re-enrollment ->
+ * revocation. All arithmetic is integral so trajectories replay
+ * bit-for-bit.
+ */
+struct TrustPolicy
+{
+    /** Trust assigned at enrollment / heartbeat-session start. */
+    std::uint32_t initial = 80;
+
+    /** Ceiling trust can recover to. */
+    std::uint32_t max = 100;
+
+    /** Trust regained per clean heartbeat. */
+    std::uint32_t cleanRecovery = 4;
+
+    /** Trust lost per marginal heartbeat (accepted, but close). */
+    std::uint32_t marginalPenalty = 8;
+
+    /** Trust lost per failed or missed heartbeat. */
+    std::uint32_t failPenalty = 20;
+
+    /** Below this, the next heartbeat steps up to a full challenge. */
+    std::uint32_t stepUpBelow = 60;
+
+    /** Below this, schedule a proactive remap (budget permitting). */
+    std::uint32_t remapBelow = 35;
+
+    /** Below this, revoke the device outright. */
+    std::uint32_t revokeBelow = 12;
+
+    /** Trust granted back when a proactive remap is scheduled. */
+    std::uint32_t remapRecovery = 30;
+
+    /** Proactive remaps allowed before forcing re-enrollment. */
+    std::uint32_t remapBudget = 2;
+
+    /**
+     * A heartbeat is *marginal* when accepted with hammingDistance >=
+     * threshold * marginPercent / 100 (and threshold > 0): still
+     * within tolerance, but drifting toward the boundary.
+     */
+    std::uint32_t marginPercent = 60;
+
+    /**
+     * Bits per low-cost heartbeat challenge (step-up uses
+     * ServerConfig::challengeBits instead). 64 keeps a round at half
+     * the full-auth cost while leaving enough bits that a healthy
+     * device at nominal conditions reliably clears the EER threshold;
+     * narrower widths make nominal rounds noisy enough to decay a
+     * genuine device's trust.
+     */
+    std::size_t heartbeatBits = 64;
+
+    /** Clock steps between heartbeat rounds. */
+    std::uint64_t periodSteps = 4;
+};
+
 /** Server behaviour knobs. */
 struct ServerConfig
 {
@@ -92,6 +155,8 @@ struct ServerConfig
     std::uint64_t counterCheckpointEvery = 0;
 
     VerifierPolicy verifier;
+
+    TrustPolicy trust;
 };
 
 /** Record of one completed authentication (for reporting/tests). */

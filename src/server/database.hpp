@@ -142,14 +142,29 @@ class DeviceRecord
     }
 
     // Lockout state (set by the server's policy, cleared by an
-    // administrator action).
+    // administrator action). unlock() is the single admin escape
+    // hatch: it also clears revocation and restores heartbeat trust,
+    // so one command recovers a device from any degradation tier.
     bool locked() const { return isLocked; }
     void lock() { isLocked = true; }
-    void unlock()
+    void unlock(std::uint32_t restored_trust = 100)
     {
         isLocked = false;
         consecutiveFails = 0;
+        isRevoked = false;
+        reenrollNeeded = false;
+        trust = restored_trust;
     }
+
+    // Continuous-authentication trust ledger (TrustPolicy).
+    std::uint32_t trustScore() const { return trust; }
+    void setTrustScore(std::uint32_t t) { trust = t; }
+    std::uint32_t remapBudgetUsed() const { return remapsUsed; }
+    void setRemapBudgetUsed(std::uint32_t n) { remapsUsed = n; }
+    bool revoked() const { return isRevoked; }
+    void revoke() { isRevoked = true; }
+    bool reenrollRequired() const { return reenrollNeeded; }
+    void setReenrollRequired(bool v) { reenrollNeeded = v; }
 
   private:
     static std::uint64_t pairKey(std::uint64_t a, std::uint64_t b);
@@ -178,6 +193,13 @@ class DeviceRecord
     std::uint64_t nRejected = 0;
     std::uint64_t consecutiveFails = 0;
     bool isLocked = false;
+    // Trust ledger (heartbeat sessions). The default matches
+    // TrustPolicy::max so records predating the ledger replay as
+    // fully trusted.
+    std::uint32_t trust = 100;
+    std::uint32_t remapsUsed = 0;
+    bool isRevoked = false;
+    bool reenrollNeeded = false;
 };
 
 /** The database: device id -> record. */

@@ -106,6 +106,45 @@ DeviceAgent::answerChallenge(const protocol::ChallengeMsg &ch)
     armAuthSend(std::move(resp));
 }
 
+void
+DeviceAgent::answerHeartbeat(const protocol::Heartbeat &hb)
+{
+    // Duplicated round (a lost TrustUpdate made the server re-issue,
+    // or the channel duplicated the frame): replay the cached proof.
+    // Re-measuring would burn line tests and could flip noisy bits.
+    auto seen = answeredHeartbeats.find(hb.nonce);
+    if (seen != answeredHeartbeats.end()) {
+        endpoint.send(seen->second);
+        return;
+    }
+    if (isRevoked)
+        return;
+
+    auto outcome = client.authenticate(hb.challenge);
+    if (!outcome.ok()) {
+        errorLog.push_back("heartbeat aborted: " +
+                           outcome.abortReason);
+        endpoint.send(protocol::ErrorMsg{outcome.abortReason});
+        return;
+    }
+    protocol::HeartbeatProof proof;
+    proof.nonce = hb.nonce;
+    proof.response = std::move(outcome.response);
+    if (answeredHeartbeats.emplace(hb.nonce, proof).second)
+        heartbeatOrder.push_back(hb.nonce);
+    while (answeredHeartbeats.size() > 32) {
+        answeredHeartbeats.erase(heartbeatOrder.front());
+        heartbeatOrder.pop_front();
+    }
+    ++nHeartbeats;
+    endpoint.send(proof);
+    OutstandingSend waiting;
+    waiting.frame = std::move(proof);
+    if (simClock)
+        waiting.deadline = policy.deadlineFor(simClock->now(), 0);
+    awaitVerdict[hb.nonce] = std::move(waiting);
+}
+
 bool
 DeviceAgent::pumpOnce()
 {
@@ -170,6 +209,22 @@ DeviceAgent::pumpOnce()
         decision = *dec;
         authPhase = AuthPhase::Idle;
         authStatus = firmware::AuthOutcome::Status::Ok;
+    } else if (auto *hb = std::get_if<protocol::Heartbeat>(&*msg)) {
+        answerHeartbeat(*hb);
+    } else if (auto *verdict =
+                   std::get_if<protocol::TrustUpdate>(&*msg)) {
+        awaitVerdict.erase(verdict->nonce);
+        trustScore = verdict->trust;
+        trustTier = verdict->tier;
+        lastVerdictMsg = *verdict;
+    } else if (auto *rev = std::get_if<protocol::Revoke>(&*msg)) {
+        if (rev->deviceId == deviceId) {
+            isRevoked = true;
+            awaitVerdict.clear();
+            answeredHeartbeats.clear();
+            heartbeatOrder.clear();
+            errorLog.push_back("revoked: " + rev->reason);
+        }
     } else if (auto *err = std::get_if<protocol::ErrorMsg>(&*msg)) {
         // Transport-level errors (decode failures, dead nonces) are
         // logged but do not end the session: the retry state machine
@@ -218,6 +273,30 @@ DeviceAgent::tick()
             errorLog.push_back(
                 "remap timed out: retries exhausted");
             it = awaitCommit.erase(it);
+        } else {
+            ++it->second.attempt;
+            ++nRetransmits;
+            endpoint.send(it->second.frame);
+            it->second.deadline =
+                policy.deadlineFor(step, it->second.attempt);
+            ++it;
+        }
+        acted = true;
+    }
+
+    // A lost HeartbeatProof is retransmitted like a remap ack; once
+    // the budget is gone the round is abandoned -- the server's
+    // cadence wheel scores it as missed and decays trust, so a silent
+    // client cannot coast on an old score.
+    for (auto it = awaitVerdict.begin(); it != awaitVerdict.end();) {
+        if (it->second.deadline > step) {
+            ++it;
+            continue;
+        }
+        if (it->second.attempt + 1 >= policy.maxAttempts) {
+            errorLog.push_back(
+                "heartbeat proof timed out: retries exhausted");
+            it = awaitVerdict.erase(it);
         } else {
             ++it->second.attempt;
             ++nRetransmits;

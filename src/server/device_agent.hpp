@@ -95,6 +95,9 @@ class DeviceAgent
     /**
      * An exchange is still in flight: an authentication awaiting its
      * challenge or decision, or a remap awaiting its commit.
+     * Heartbeat rounds are deliberately *not* counted: a continuous
+     * session never quiesces, so it must not keep stepped drivers
+     * (runExchangeSteps) from declaring the foreground work done.
      */
     bool sessionActive() const
     {
@@ -129,6 +132,30 @@ class DeviceAgent
     /** Frames retransmitted by the retry state machine. */
     std::uint64_t retransmissions() const { return nRetransmits; }
 
+    /** Trust score from the most recent TrustUpdate, if any. */
+    const std::optional<std::uint32_t> &lastTrust() const
+    {
+        return trustScore;
+    }
+
+    /** Trust tier from the most recent TrustUpdate, if any. */
+    const std::optional<std::uint8_t> &lastTier() const
+    {
+        return trustTier;
+    }
+
+    /** Full verdict from the most recent TrustUpdate, if any. */
+    const std::optional<protocol::TrustUpdate> &lastVerdict() const
+    {
+        return lastVerdictMsg;
+    }
+
+    /** The server revoked this device's heartbeat session. */
+    bool revoked() const { return isRevoked; }
+
+    /** Heartbeat challenges answered (fresh, not cached replays). */
+    std::uint64_t heartbeatsAnswered() const { return nHeartbeats; }
+
   private:
     enum class AuthPhase
     {
@@ -148,6 +175,7 @@ class DeviceAgent
     void armAuthSend(protocol::Message frame);
     void failAuthSession();
     void answerChallenge(const protocol::ChallengeMsg &ch);
+    void answerHeartbeat(const protocol::Heartbeat &hb);
 
     std::uint64_t deviceId;
     firmware::AuthenticacheClient &client;
@@ -164,12 +192,23 @@ class DeviceAgent
     std::deque<std::uint64_t> answeredOrder;
     /** Remap nonce -> ack awaiting the server's commit. */
     std::unordered_map<std::uint64_t, OutstandingSend> awaitCommit;
+    /** Answered heartbeat nonces -> cached proof (bounded FIFO). */
+    std::unordered_map<std::uint64_t, protocol::HeartbeatProof>
+        answeredHeartbeats;
+    std::deque<std::uint64_t> heartbeatOrder;
+    /** Heartbeat nonce -> proof awaiting the server's TrustUpdate. */
+    std::unordered_map<std::uint64_t, OutstandingSend> awaitVerdict;
     std::vector<std::string> errorLog;
     std::uint64_t nRemaps = 0;
     std::uint64_t nRemapsTimedOut = 0;
     std::uint64_t nRetransmits = 0;
     std::unordered_map<std::uint64_t, crypto::Key256>
         pendingRemapKeys;
+    std::optional<std::uint32_t> trustScore;
+    std::optional<std::uint8_t> trustTier;
+    std::optional<protocol::TrustUpdate> lastVerdictMsg;
+    bool isRevoked = false;
+    std::uint64_t nHeartbeats = 0;
 };
 
 } // namespace authenticache::server

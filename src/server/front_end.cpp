@@ -28,6 +28,12 @@ ServerFrontEnd::dispatch(const protocol::Message &msg)
             util::MutexLock lock(sh.mutex);
             return remap.onAck(sh, *ack);
         }
+        if (auto *proof =
+                std::get_if<protocol::HeartbeatProof>(&msg)) {
+            SessionShard &sh = sessions.shardForNonce(proof->nonce);
+            util::MutexLock lock(sh.mutex);
+            return heartbeat.onProof(sh, *proof);
+        }
         FlowOutput out;
         if (std::get_if<protocol::ErrorMsg>(&msg) == nullptr)
             out.replies.push_back(
@@ -123,6 +129,10 @@ ServerFrontEnd::handleBatch(std::span<Frame> frames,
         } else if (auto *ack = std::get_if<protocol::RemapAck>(&m)) {
             perShard[sessions.shardIndexForNonce(ack->nonce)]
                 .push_back(i);
+        } else if (auto *proof =
+                       std::get_if<protocol::HeartbeatProof>(&m)) {
+            perShard[sessions.shardIndexForNonce(proof->nonce)]
+                .push_back(i);
         } else if (std::get_if<protocol::ErrorMsg>(&m) == nullptr) {
             outputs[i].replies.push_back(
                 protocol::ErrorMsg{"unexpected message"});
@@ -203,6 +213,61 @@ ServerFrontEnd::startRemap(std::uint64_t device_id,
     Frame frame;
     frame.reply = &endpoint;
     mergeOutputs(std::span<Frame>(&frame, 1), outputs, base);
+}
+
+void
+ServerFrontEnd::startHeartbeat(std::uint64_t device_id,
+                               protocol::ReplySink &endpoint)
+{
+    const std::uint64_t base = sessions.reserveOrdinals(1);
+    std::vector<FlowOutput> outputs(1);
+    try {
+        SessionShard &sh = sessions.shardForDevice(device_id);
+        util::MutexLock lock(sh.mutex);
+        outputs[0] = heartbeat.start(sh, device_id);
+    } catch (const std::exception &e) {
+        outputs[0].replies.push_back(protocol::ErrorMsg{
+            std::string("heartbeat: ") + e.what()});
+    }
+    Frame frame;
+    frame.reply = &endpoint;
+    mergeOutputs(std::span<Frame>(&frame, 1), outputs, base);
+}
+
+void
+ServerFrontEnd::tickHeartbeats(protocol::ReplySink &endpoint)
+{
+    // Shard index order, single-threaded: the cadence walk (and the
+    // RNG draws it triggers) must not depend on a pool width. Every
+    // due session yields one FlowOutput so proactively opened remap
+    // nonces rank with deterministic per-output ordinals.
+    const std::uint64_t now = sessions.currentStep();
+    std::vector<FlowOutput> outputs;
+    for (unsigned s = 0; s < sessions.shardCount(); ++s) {
+        SessionShard &sh = sessions.shard(s);
+        util::MutexLock lock(sh.mutex);
+        for (auto &out : heartbeat.tick(sh, now))
+            outputs.push_back(std::move(out));
+    }
+    if (outputs.empty()) {
+        // Nothing came due; skip the batch tail (journal sync would
+        // be a no-op, but the rotation check is not free).
+        return;
+    }
+    const std::uint64_t base =
+        sessions.reserveOrdinals(outputs.size());
+    std::vector<Frame> frames(outputs.size());
+    for (auto &frame : frames)
+        frame.reply = &endpoint;
+    mergeOutputs(frames, outputs, base);
+}
+
+bool
+ServerFrontEnd::stopHeartbeat(std::uint64_t device_id)
+{
+    SessionShard &sh = sessions.shardForDevice(device_id);
+    util::MutexLock lock(sh.mutex);
+    return heartbeat.stop(sh, device_id);
 }
 
 } // namespace authenticache::server

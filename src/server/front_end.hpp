@@ -36,6 +36,7 @@
 
 #include "protocol/channel.hpp"
 #include "server/auth_flow.hpp"
+#include "server/heartbeat_flow.hpp"
 #include "server/remap_flow.hpp"
 #include "util/thread_pool.hpp"
 
@@ -63,7 +64,8 @@ class ServerFrontEnd
                    const Verifier &verifier)
         : sessions(sessions_), devices(devices_),
           auth(sessions_, devices_, generator, verifier),
-          remap(sessions_, devices_, generator)
+          remap(sessions_, devices_, generator),
+          heartbeat(sessions_, devices_, generator, verifier, remap)
     {
     }
 
@@ -104,6 +106,22 @@ class ServerFrontEnd
     void startRemap(std::uint64_t device_id,
                     protocol::ServerEndpoint &endpoint);
 
+    /** Open a continuous-authentication heartbeat session. */
+    void startHeartbeat(std::uint64_t device_id,
+                        protocol::ReplySink &endpoint);
+
+    /**
+     * Advance every shard's heartbeat cadence to the bound clock:
+     * missed rounds are penalized and due sessions get their next
+     * challenge, all emitted to @p endpoint. Runs shards in index
+     * order, single-threaded, so the trust trajectory is a pure
+     * function of the clock and the device streams.
+     */
+    void tickHeartbeats(protocol::ReplySink &endpoint);
+
+    /** Tear down a device's heartbeat session. @return one existed. */
+    bool stopHeartbeat(std::uint64_t device_id);
+
     /** Completed-authentication reports, in completion order. */
     const std::vector<AuthReport> &reports() const { return log; }
 
@@ -130,6 +148,7 @@ class ServerFrontEnd
     DeviceDirectory &devices;
     AuthFlow auth;
     RemapFlow remap;
+    HeartbeatFlow heartbeat;
     DurabilityManager *dur = nullptr;
     std::vector<AuthReport> log;
 };

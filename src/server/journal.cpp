@@ -27,6 +27,15 @@ struct JournalApplyAccess
         record.nRejected = rejected;
         record.consecutiveFails = fails;
     }
+
+    static void
+    setTrustState(DeviceRecord &record, std::uint32_t trust,
+                  std::uint32_t remaps_used, bool reenroll)
+    {
+        record.trust = trust;
+        record.remapsUsed = remaps_used;
+        record.reenrollNeeded = reenroll;
+    }
 };
 
 namespace journal {
@@ -49,6 +58,8 @@ enum EventType : std::uint8_t
     kDeviceRemoved = 6,
     kEnrolled = 7,
     kCounterCheckpoint = 8,
+    kTrustUpdate = 9,
+    kDeviceRevoked = 10,
 };
 
 void
@@ -113,6 +124,15 @@ encodeEvent(protocol::ByteWriter &w, const Event &event)
                 w.putU64(e.accepted);
                 w.putU64(e.rejected);
                 w.putU64(e.consecutiveFails);
+            } else if constexpr (std::is_same_v<T, TrustUpdate>) {
+                w.putU8(kTrustUpdate);
+                w.putU64(e.deviceId);
+                w.putU32(e.trust);
+                w.putU32(e.remapBudgetUsed);
+                w.putU8(e.reenrollRequired ? 1 : 0);
+            } else if constexpr (std::is_same_v<T, DeviceRevoked>) {
+                w.putU8(kDeviceRevoked);
+                w.putU64(e.deviceId);
             }
         },
         event);
@@ -187,6 +207,16 @@ decodeEvent(protocol::ByteReader &r)
         e.consecutiveFails = r.getU64();
         return e;
     }
+    case kTrustUpdate: {
+        TrustUpdate e;
+        e.deviceId = r.getU64();
+        e.trust = r.getU32();
+        e.remapBudgetUsed = r.getU32();
+        e.reenrollRequired = r.getU8() != 0;
+        return e;
+    }
+    case kDeviceRevoked:
+        return DeviceRevoked{r.getU64()};
     default:
         throw protocol::DecodeError("journal: unknown event type");
     }
@@ -250,6 +280,14 @@ applyEvent(EnrollmentDatabase &db, const Event &event)
                 JournalApplyAccess::setCounters(
                     db.at(e.deviceId), e.accepted, e.rejected,
                     e.consecutiveFails);
+            } else if constexpr (std::is_same_v<T, TrustUpdate>) {
+                requireDevice(db, e.deviceId);
+                JournalApplyAccess::setTrustState(
+                    db.at(e.deviceId), e.trust, e.remapBudgetUsed,
+                    e.reenrollRequired);
+            } else if constexpr (std::is_same_v<T, DeviceRevoked>) {
+                requireDevice(db, e.deviceId);
+                db.at(e.deviceId).revoke();
             }
         },
         event);

@@ -124,10 +124,31 @@ struct CounterCheckpoint
     std::uint64_t consecutiveFails = 0;
 };
 
+/**
+ * Absolute trust-ledger state after a heartbeat verdict or admin
+ * unlock. Absolute (not a delta) so replay never depends on the
+ * restarted server's TrustPolicy config -- the same rule as
+ * AuthOutcome's lockedNow.
+ */
+struct TrustUpdate
+{
+    std::uint64_t deviceId = 0;
+    std::uint32_t trust = 0;
+    std::uint32_t remapBudgetUsed = 0;
+    bool reenrollRequired = false;
+};
+
+/** The trust policy revoked a device (cleared by DeviceUnlocked). */
+struct DeviceRevoked
+{
+    std::uint64_t deviceId = 0;
+};
+
 using Event =
     std::variant<PairsRetired, AuthOutcome, RemapPrepared,
                  RemapCommitted, RemapRejected, DeviceUnlocked,
-                 DeviceRemoved, Enrolled, CounterCheckpoint>;
+                 DeviceRemoved, Enrolled, CounterCheckpoint,
+                 TrustUpdate, DeviceRevoked>;
 
 /** Serialize one event (type byte + fields). */
 void encodeEvent(protocol::ByteWriter &w, const Event &event);

@@ -87,11 +87,48 @@ AuthenticationServer::reenroll(
 void
 AuthenticationServer::unlockDevice(std::uint64_t device_id)
 {
-    devices.at(device_id).unlock();
+    DeviceRecord &record = devices.at(device_id);
+    record.unlock(cfg.trust.max);
+    ++unlockCount;
     if (durability() != nullptr) {
         durability()->append(journal::DeviceUnlocked{device_id});
+        // The absolute trust restore follows as its own event so
+        // replay never depends on the restarted server's policy
+        // (DeviceUnlocked alone replays the record-level default).
+        durability()->append(journal::TrustUpdate{
+            device_id, record.trustScore(), record.remapBudgetUsed(),
+            record.reenrollRequired()});
         durability()->sync();
     }
+}
+
+void
+AuthenticationServer::revokeDevice(std::uint64_t device_id)
+{
+    SessionShard &sh = sessionsMgr.shardForDevice(device_id);
+    DeviceRecord &record = devices.at(device_id);
+    {
+        util::MutexLock lock(sh.mutex);
+        record.revoke();
+        ++sh.counters.revocations;
+        // Tear down any live heartbeat session (inline: the flow's
+        // stop() would re-lock the shard).
+        auto hb = sh.heartbeats.find(device_id);
+        if (hb != sh.heartbeats.end()) {
+            if (hb->second.activeNonce != 0)
+                sh.heartbeatByNonce.erase(hb->second.activeNonce);
+            sh.heartbeats.erase(hb);
+        }
+    }
+    if (durability() != nullptr) {
+        durability()->append(journal::TrustUpdate{
+            device_id, record.trustScore(), record.remapBudgetUsed(),
+            record.reenrollRequired()});
+        durability()->append(journal::DeviceRevoked{device_id});
+        durability()->sync();
+    }
+    AUTH_LOG_WARN("server")
+        << "device " << device_id << " revoked by administrator";
 }
 
 void
@@ -204,6 +241,21 @@ collectServerStats(const AuthenticationServer &server,
     registry.set(component, "lockouts", server.lockouts());
     registry.set(component, "session_shards",
                  std::uint64_t(server.sessions().shardCount()));
+
+    // Continuous-authentication trust ledger.
+    const std::string trust = component + ".trust";
+    const SessionManager &sess = server.sessions();
+    registry.set(trust, "decays", sess.trustDecays());
+    registry.set(trust, "step_ups", sess.stepUps());
+    registry.set(trust, "proactive_remaps", sess.proactiveRemaps());
+    registry.set(trust, "revocations", sess.revocations());
+    registry.set(trust, "unlocks", server.adminUnlocks());
+    registry.set(trust, "heartbeats_clean", sess.heartbeatsClean());
+    registry.set(trust, "heartbeats_marginal",
+                 sess.heartbeatsMarginal());
+    registry.set(trust, "heartbeats_failed", sess.heartbeatsFailed());
+    registry.set(trust, "heartbeats_active",
+                 std::uint64_t(sess.activeHeartbeats()));
     server.sessions().collectStats(registry, component);
     if (const DurabilityManager *dur = server.durability())
         dur->collectStats(registry, component);

@@ -146,6 +146,42 @@ class AuthenticationServer
         front.startRemap(device_id, endpoint);
     }
 
+    /**
+     * Open a continuous-authentication heartbeat session: the server
+     * streams periodic low-cost challenges to the device and feeds
+     * the verdicts into its trust ledger (ServerConfig::trust). The
+     * first challenge is emitted immediately; subsequent rounds fire
+     * from tickHeartbeats() on the bound clock's cadence.
+     */
+    void startHeartbeat(std::uint64_t device_id,
+                        protocol::ReplySink &endpoint)
+    {
+        front.startHeartbeat(device_id, endpoint);
+    }
+
+    /**
+     * Advance heartbeat cadence to the bound clock: penalize missed
+     * rounds, emit due challenges. Call once per clock step (after
+     * tick()); drivers without heartbeats can skip it.
+     */
+    void tickHeartbeats(protocol::ReplySink &endpoint)
+    {
+        front.tickHeartbeats(endpoint);
+    }
+
+    /** Tear down a device's heartbeat session. @return one existed. */
+    bool stopHeartbeat(std::uint64_t device_id)
+    {
+        return front.stopHeartbeat(device_id);
+    }
+
+    /**
+     * Administrator action: revoke a device outright (journaled).
+     * Tears down any live heartbeat session; authentication is
+     * refused until unlockDevice().
+     */
+    void revokeDevice(std::uint64_t device_id);
+
     EnrollmentDatabase &database() { return devices.database(); }
     const EnrollmentDatabase &database() const
     {
@@ -211,7 +247,27 @@ class AuthenticationServer
     /** Devices locked by the lockout policy since construction. */
     std::uint64_t lockouts() const { return sessionsMgr.lockouts(); }
 
-    /** Administrator action: clear a device's lockout (journaled). */
+    // Trust-ledger aggregates (continuous authentication).
+    std::uint64_t trustDecays() const
+    {
+        return sessionsMgr.trustDecays();
+    }
+    std::uint64_t stepUps() const { return sessionsMgr.stepUps(); }
+    std::uint64_t proactiveRemaps() const
+    {
+        return sessionsMgr.proactiveRemaps();
+    }
+    std::uint64_t revocations() const
+    {
+        return sessionsMgr.revocations();
+    }
+    std::uint64_t adminUnlocks() const { return unlockCount; }
+
+    /**
+     * Administrator action: clear a device's lockout, revocation and
+     * re-enroll flag, restoring trust to the policy ceiling
+     * (journaled as DeviceUnlocked + an absolute TrustUpdate).
+     */
     void unlockDevice(std::uint64_t device_id);
 
     /**
@@ -258,6 +314,7 @@ class AuthenticationServer
     Verifier verify;
     SessionManager sessionsMgr;
     ServerFrontEnd front;
+    std::uint64_t unlockCount = 0; ///< Admin unlocks (stats).
 };
 
 /**

@@ -290,6 +290,59 @@ SessionManager::lockouts() const
     return sumCounter(&ShardCounters::lockouts);
 }
 
+std::uint64_t
+SessionManager::trustDecays() const
+{
+    return sumCounter(&ShardCounters::trustDecays);
+}
+
+std::uint64_t
+SessionManager::stepUps() const
+{
+    return sumCounter(&ShardCounters::stepUps);
+}
+
+std::uint64_t
+SessionManager::proactiveRemaps() const
+{
+    return sumCounter(&ShardCounters::proactiveRemaps);
+}
+
+std::uint64_t
+SessionManager::revocations() const
+{
+    return sumCounter(&ShardCounters::revocations);
+}
+
+std::uint64_t
+SessionManager::heartbeatsClean() const
+{
+    return sumCounter(&ShardCounters::heartbeatsClean);
+}
+
+std::uint64_t
+SessionManager::heartbeatsMarginal() const
+{
+    return sumCounter(&ShardCounters::heartbeatsMarginal);
+}
+
+std::uint64_t
+SessionManager::heartbeatsFailed() const
+{
+    return sumCounter(&ShardCounters::heartbeatsFailed);
+}
+
+std::size_t
+SessionManager::activeHeartbeats() const
+{
+    std::size_t total = 0;
+    for (const auto &sh : shards) {
+        util::MutexLock guard(sh->mutex);
+        total += sh->heartbeats.size();
+    }
+    return total;
+}
+
 void
 SessionManager::collectStats(util::StatsRegistry &registry,
                              const std::string &component) const
@@ -306,6 +359,9 @@ SessionManager::collectStats(util::StatsRegistry &registry,
         registry.set(name, "gc_evictions", sh->counters.expired);
         registry.set(name, "cap_evictions", sh->counters.evicted);
         registry.set(name, "lockouts", sh->counters.lockouts);
+        registry.set(name, "heartbeats_active",
+                     std::uint64_t(sh->heartbeats.size()));
+        registry.set(name, "trust_decays", sh->counters.trustDecays);
     }
 }
 

@@ -60,6 +60,23 @@ struct PendingRemap
     std::uint64_t deadline = 0;
 };
 
+/**
+ * One long-lived continuous-authentication session. Unlike
+ * PendingAuth these are deliberately exempt from the pending-session
+ * cap and the deadline GC: a heartbeat session lives until the device
+ * is revoked, forced to re-enroll, or explicitly stopped, and its
+ * cadence runs off the heartbeatWheel instead.
+ */
+struct HeartbeatSession
+{
+    std::uint64_t deviceId = 0;
+    std::uint64_t seq = 0;         ///< Rounds issued so far.
+    std::uint64_t activeNonce = 0; ///< Outstanding round; 0 = answered.
+    core::Response expected;
+    std::uint64_t nextDue = 0;     ///< Step the next round fires at.
+    bool stepUp = false;           ///< Next round uses a full challenge.
+};
+
 /** Per-shard event counters (published via collectStats). */
 struct ShardCounters
 {
@@ -70,6 +87,14 @@ struct ShardCounters
     std::uint64_t lockouts = 0;       ///< Devices locked by policy.
     std::uint64_t remapsCommitted = 0;
     std::uint64_t remapsRejected = 0;
+    // Continuous-authentication trust ledger.
+    std::uint64_t trustDecays = 0;     ///< Heartbeats that lowered trust.
+    std::uint64_t stepUps = 0;         ///< Escalations to full challenges.
+    std::uint64_t proactiveRemaps = 0; ///< Remaps the ledger scheduled.
+    std::uint64_t revocations = 0;     ///< Devices revoked (policy+admin).
+    std::uint64_t heartbeatsClean = 0;
+    std::uint64_t heartbeatsMarginal = 0;
+    std::uint64_t heartbeatsFailed = 0; ///< Rejected or missed rounds.
 };
 
 /**
@@ -102,6 +127,17 @@ struct SessionShard
         AUTH_GUARDED_BY(mutex);
     /** Lazily created per-device RNG streams. */
     std::unordered_map<std::uint64_t, util::Rng> deviceRngs
+        AUTH_GUARDED_BY(mutex);
+    /** Live heartbeat sessions, keyed by device id. */
+    std::unordered_map<std::uint64_t, HeartbeatSession> heartbeats
+        AUTH_GUARDED_BY(mutex);
+    /** Outstanding heartbeat nonce -> device id (proof routing). */
+    std::unordered_map<std::uint64_t, std::uint64_t> heartbeatByNonce
+        AUTH_GUARDED_BY(mutex);
+    /** Cadence wheel: due step -> device id. Entries are validated
+     *  lazily against the session's current nextDue, same idiom as
+     *  deadlineWheel. */
+    std::multimap<std::uint64_t, std::uint64_t> heartbeatWheel
         AUTH_GUARDED_BY(mutex);
     ShardCounters counters AUTH_GUARDED_BY(mutex);
 
@@ -206,6 +242,12 @@ class SessionManager
     /** Deadline for a session opened now (0 when expiry is off). */
     std::uint64_t sessionDeadline() const;
 
+    /** Current step of the bound clock (0 without a clock). */
+    std::uint64_t currentStep() const
+    {
+        return simClock == nullptr ? 0 : simClock->now();
+    }
+
     /** GC every shard against the bound clock (single-threaded). */
     void expireAll();
 
@@ -235,6 +277,14 @@ class SessionManager
     std::uint64_t remapsCommitted() const;
     std::uint64_t remapsRejected() const;
     std::uint64_t lockouts() const;
+    std::uint64_t trustDecays() const;
+    std::uint64_t stepUps() const;
+    std::uint64_t proactiveRemaps() const;
+    std::uint64_t revocations() const;
+    std::uint64_t heartbeatsClean() const;
+    std::uint64_t heartbeatsMarginal() const;
+    std::uint64_t heartbeatsFailed() const;
+    std::size_t activeHeartbeats() const;
 
     /**
      * Publish per-shard counters as "<component>.shard<k>" entries:

@@ -59,6 +59,12 @@ struct RecordStorageAccess
         w.putU64(record.nRejected);
         w.putU64(record.consecutiveFails);
         w.putU8(record.isLocked ? 1 : 0);
+
+        // Trust ledger (continuous authentication).
+        w.putU32(record.trust);
+        w.putU32(record.remapsUsed);
+        w.putU8(record.isRevoked ? 1 : 0);
+        w.putU8(record.reenrollNeeded ? 1 : 0);
     }
 
     static DeviceRecord
@@ -111,6 +117,10 @@ struct RecordStorageAccess
         record.nRejected = r.getU64();
         record.consecutiveFails = r.getU64();
         record.isLocked = r.getU8() != 0;
+        record.trust = r.getU32();
+        record.remapsUsed = r.getU32();
+        record.isRevoked = r.getU8() != 0;
+        record.reenrollNeeded = r.getU8() != 0;
         return record;
     }
 };

@@ -1,0 +1,62 @@
+#include "sim/drift.hpp"
+
+#include <algorithm>
+
+#include "util/rng.hpp"
+
+namespace authenticache::sim {
+
+DriftSchedule::DriftSchedule(std::uint64_t seed,
+                             std::uint64_t device_id,
+                             const DriftScheduleConfig &config)
+    : cfg(config)
+{
+    // One per-device stream, consumed here and never again: the
+    // trajectory must not depend on how often `at` is called.
+    util::Rng rng = util::Rng::forStream(seed, device_id);
+    if (cfg.phaseJitterSteps > 0)
+        phase = rng.nextBelow(cfg.phaseJitterSteps + 1);
+    if (cfg.peakJitter > 0.0)
+        scale = 1.0 + cfg.peakJitter * (2.0 * rng.nextDouble() - 1.0);
+}
+
+Conditions
+DriftSchedule::at(std::uint64_t step) const
+{
+    // Fraction of the excursion reached at `step`: 0 before the phase
+    // offset, a linear ramp to 1 over rampSteps, 1 through the hold,
+    // then (optionally) a linear ramp back down.
+    double f = 0.0;
+    if (step > phase) {
+        const std::uint64_t t = step - phase;
+        if (cfg.rampSteps == 0 || t >= cfg.rampSteps) {
+            const std::uint64_t past_peak =
+                t - std::min(t, cfg.rampSteps);
+            if (past_peak <= cfg.holdSteps || !cfg.returnToNominal) {
+                f = 1.0;
+            } else {
+                const std::uint64_t down = past_peak - cfg.holdSteps;
+                f = cfg.rampSteps == 0 || down >= cfg.rampSteps
+                        ? 0.0
+                        : 1.0 - static_cast<double>(down) /
+                                    static_cast<double>(cfg.rampSteps);
+            }
+        } else {
+            f = static_cast<double>(t) /
+                static_cast<double>(cfg.rampSteps);
+        }
+    }
+    f *= scale;
+
+    Conditions c = Conditions::nominal();
+    c.temperatureDeltaC = cfg.peakTemperatureDeltaC * f;
+    c.agingYears = cfg.peakAgingYears * f;
+    // Supply noise ramps from the nominal sigma, not from zero.
+    c.measurementSigmaMv =
+        c.measurementSigmaMv +
+        (cfg.peakSigmaMv - Conditions::nominal().measurementSigmaMv) *
+            f;
+    return c;
+}
+
+} // namespace authenticache::sim

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Deterministic environmental drift schedules for long-lived
+ * (continuous-authentication) sessions.
+ *
+ * A DriftSchedule maps a simulated clock step to the sim::Conditions a
+ * device experiences at that step: a piecewise-linear ramp from the
+ * enrollment environment up to a configured peak (temperature delta,
+ * field aging, supply noise), an optional hold at the peak, and an
+ * optional return ramp. Per-device variation -- phase offset and peak
+ * scaling -- is drawn exactly once from Rng::forStream(seed, deviceId)
+ * at construction, so the whole trajectory is a pure function of
+ * (seed, deviceId, config, step). That is the determinism contract the
+ * heartbeat drift sweep depends on: byte-identical trust trajectories
+ * across reruns, thread counts, and pool widths.
+ *
+ * The schedule itself never touches a device; DriftInjector (in the
+ * substrate layer) applies `at(step)` through
+ * FingerprintSubstrate::setConditions.
+ */
+
+#ifndef AUTH_SIM_DRIFT_HPP
+#define AUTH_SIM_DRIFT_HPP
+
+#include <cstdint>
+
+#include "sim/environment.hpp"
+
+namespace authenticache::sim {
+
+/** Shape of a drift excursion, in simulated clock steps. */
+struct DriftScheduleConfig
+{
+    /** Peak temperature delta over enrollment, degrees C. */
+    double peakTemperatureDeltaC = 25.0;
+
+    /** Peak field aging, years. */
+    double peakAgingYears = 2.0;
+
+    /** Peak supply-noise sigma, mV (ramped from the nominal 1.0). */
+    double peakSigmaMv = 2.5;
+
+    /** Steps to ramp from nominal to peak. */
+    std::uint64_t rampSteps = 64;
+
+    /** Steps held at peak before (optionally) returning. */
+    std::uint64_t holdSteps = 32;
+
+    /** Ramp back to nominal after the hold (else stay at peak). */
+    bool returnToNominal = true;
+
+    /** Max per-device phase delay before the ramp starts, steps. */
+    std::uint64_t phaseJitterSteps = 16;
+
+    /** Per-device peak scale drawn from [1-s, 1+s] (0 = identical). */
+    double peakJitter = 0.15;
+};
+
+/**
+ * One device's drift trajectory. `at(step)` is const and pure: all
+ * randomness was consumed at construction.
+ */
+class DriftSchedule
+{
+  public:
+    DriftSchedule(std::uint64_t seed, std::uint64_t device_id,
+                  const DriftScheduleConfig &config);
+
+    /** Conditions at @p step (monotone inputs not required). */
+    Conditions at(std::uint64_t step) const;
+
+    /** Phase offset drawn for this device, steps. */
+    std::uint64_t phaseSteps() const { return phase; }
+
+    /** Peak scale drawn for this device. */
+    double peakScale() const { return scale; }
+
+  private:
+    DriftScheduleConfig cfg;
+    std::uint64_t phase = 0;
+    double scale = 1.0;
+};
+
+} // namespace authenticache::sim
+
+#endif // AUTH_SIM_DRIFT_HPP

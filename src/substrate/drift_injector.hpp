@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Binds a sim::DriftSchedule to a live FingerprintSubstrate: each
+ * clock step the injector evaluates the schedule and pushes the
+ * conditions through setConditions -- but only when they actually
+ * changed, so an idle plateau costs nothing and substrates that
+ * invalidate caches on condition changes are not thrashed.
+ */
+
+#ifndef AUTH_SUBSTRATE_DRIFT_INJECTOR_HPP
+#define AUTH_SUBSTRATE_DRIFT_INJECTOR_HPP
+
+#include <cstdint>
+#include <utility>
+
+#include "sim/drift.hpp"
+#include "substrate/substrate.hpp"
+
+namespace authenticache::substrate {
+
+class DriftInjector
+{
+  public:
+    DriftInjector(FingerprintSubstrate &substrate_,
+                  sim::DriftSchedule schedule_)
+        : target(substrate_), schedule(std::move(schedule_)),
+          last(target.conditions())
+    {
+    }
+
+    /**
+     * Apply the scheduled conditions for @p step.
+     * @return true when the substrate's conditions changed.
+     */
+    bool apply(std::uint64_t step)
+    {
+        const sim::Conditions next = schedule.at(step);
+        if (next.temperatureDeltaC == last.temperatureDeltaC &&
+            next.agingYears == last.agingYears &&
+            next.measurementSigmaMv == last.measurementSigmaMv)
+            return false;
+        target.setConditions(next);
+        last = next;
+        return true;
+    }
+
+    const sim::DriftSchedule &driftSchedule() const
+    {
+        return schedule;
+    }
+
+  private:
+    FingerprintSubstrate &target;
+    sim::DriftSchedule schedule;
+    sim::Conditions last;
+};
+
+} // namespace authenticache::substrate
+
+#endif // AUTH_SUBSTRATE_DRIFT_INJECTOR_HPP

@@ -4,7 +4,9 @@
  *
  * A fixed, deterministic workload -- enrollments, honest and failing
  * authentications (driving a lockout), a committed remap exchange,
- * rotation mid-run -- executes against a server with the durability
+ * heartbeat rounds (clean and failed, exercising the trust ledger),
+ * an admin revocation and unlock, rotation mid-run -- executes
+ * against a server with the durability
  * layer attached and a CrashInjector armed at one opportunity. The
  * injector kills the process (via CrashException) at every journal
  * append, every fsync boundary, every snapshot write step, and every
@@ -233,6 +235,25 @@ runWorkload(const std::string &dir, std::uint64_t rotate_every,
             drainToClient();
         };
 
+        auto heartbeat = [&](std::uint64_t id, bool honest) {
+            server.startHeartbeat(id, sep);
+            std::optional<proto::Heartbeat> hb;
+            for (const auto &m : drainToClient())
+                if (const auto *h = std::get_if<proto::Heartbeat>(&m))
+                    hb = *h;
+            ASSERT_TRUE(hb.has_value());
+            auto resp = honestResponse(server.database().at(id),
+                                       hb->challenge);
+            if (!honest)
+                for (std::size_t b = 0; b < resp.size(); ++b)
+                    resp.flip(b);
+            chan.sendToServer(proto::encodeMessage(
+                proto::HeartbeatProof{hb->nonce, resp}));
+            server.pumpAll(sep);
+            drainToClient();
+            server.stopHeartbeat(id);
+        };
+
         const std::vector<std::function<void()>> steps = {
             [&] { server.enrollRecord(makeRecord(201)); },
             [&] { server.enrollRecord(makeRecord(202)); },
@@ -245,6 +266,11 @@ runWorkload(const std::string &dir, std::uint64_t rotate_every,
             [&] { remap(201); },       // Key switches here.
             [&] { auth(201, true); },  // Under the new key.
             [&] { auth(202, true); },
+            [&] { heartbeat(201, true); },  // Clean round: trust up.
+            [&] { heartbeat(202, false); }, // Failed round: decay.
+            [&] { server.revokeDevice(202); },
+            [&] { server.unlockDevice(202); },
+            [&] { auth(202, true); }, // Operational post-unlock.
             [&] { auth(201, true); },
         };
         for (const auto &step : steps) {
@@ -289,7 +315,7 @@ TEST(CrashRecovery, WorkloadSweepRestoresExactPrefix)
     TempDir ref_dir("auth_crash_ref");
     auto ref = runWorkload(ref_dir.str(), 0, nullptr);
     ASSERT_FALSE(ref.crashed);
-    ASSERT_EQ(ref.completedSteps, 12u);
+    ASSERT_EQ(ref.completedSteps, 17u);
 
     std::vector<jnl::Event> events;
     auto rr = jnl::Journal::replay(
@@ -302,6 +328,23 @@ TEST(CrashRecovery, WorkloadSweepRestoresExactPrefix)
     ASSERT_FALSE(rr.tornTail);
     ASSERT_GE(events.size(), 20u);
     ASSERT_EQ(events.size(), ref.seqAfterStep.back());
+
+    // The sweep must demonstrably cover the trust-ledger events: the
+    // heartbeat, revoke, and unlock steps journal TrustUpdate /
+    // DeviceRevoked / DeviceUnlocked records, so every crash point
+    // around them gets a trial below.
+    std::size_t trust_updates = 0, revoked = 0, unlocked = 0;
+    for (const auto &event : events) {
+        if (std::holds_alternative<jnl::TrustUpdate>(event))
+            ++trust_updates;
+        else if (std::holds_alternative<jnl::DeviceRevoked>(event))
+            ++revoked;
+        else if (std::holds_alternative<jnl::DeviceUnlocked>(event))
+            ++unlocked;
+    }
+    EXPECT_GE(trust_updates, 4u); // Session starts + verdicts + admin.
+    EXPECT_EQ(revoked, 1u);
+    EXPECT_EQ(unlocked, 1u);
 
     // The reference database equals its own event-stream replay:
     // the journal is a complete, faithful history.

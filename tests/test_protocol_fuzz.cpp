@@ -44,12 +44,12 @@ randomBits(std::size_t n, Rng &rng)
     return v;
 }
 
-/** A random valid instance of any of the 8 message types. */
+/** A random valid instance of any of the 12 message types. */
 proto::Message
 randomMessage(Rng &rng)
 {
     const sim::CacheGeometry geom(256 * 1024);
-    switch (rng.nextBelow(8)) {
+    switch (rng.nextBelow(12)) {
       case 0:
         return proto::AuthRequest{rng.next()};
       case 1: {
@@ -95,6 +95,39 @@ randomMessage(Rng &rng)
         proto::RemapCommit m;
         m.nonce = rng.next();
         m.committed = rng.nextBool();
+        return m;
+      }
+      case 7: {
+        proto::Heartbeat m;
+        m.nonce = rng.next();
+        m.seq = rng.next();
+        m.challenge = core::randomChallenge(
+            geom, 700, 1 + rng.nextBelow(64), rng);
+        return m;
+      }
+      case 8: {
+        proto::HeartbeatProof m;
+        m.nonce = rng.next();
+        m.response = randomBits(1 + rng.nextBelow(256), rng);
+        return m;
+      }
+      case 9: {
+        proto::TrustUpdate m;
+        m.nonce = rng.next();
+        m.trust = static_cast<std::uint32_t>(rng.nextBelow(101));
+        m.tier = static_cast<std::uint8_t>(rng.nextBelow(5));
+        m.accepted = rng.nextBool();
+        m.hammingDistance =
+            static_cast<std::uint32_t>(rng.nextBelow(512));
+        return m;
+      }
+      case 10: {
+        proto::Revoke m;
+        m.deviceId = rng.next();
+        std::size_t len = rng.nextBelow(48);
+        for (std::size_t i = 0; i < len; ++i)
+            m.reason.push_back(
+                static_cast<char>(' ' + rng.nextBelow(95)));
         return m;
       }
       default: {
@@ -147,6 +180,25 @@ messagesEqual(const proto::Message &a, const proto::Message &b)
         const auto &y = std::get<proto::RemapCommit>(b);
         return x->nonce == y.nonce && x->committed == y.committed;
     }
+    if (auto *x = std::get_if<proto::Heartbeat>(&a)) {
+        const auto &y = std::get<proto::Heartbeat>(b);
+        return x->nonce == y.nonce && x->seq == y.seq &&
+               x->challenge.bits == y.challenge.bits;
+    }
+    if (auto *x = std::get_if<proto::HeartbeatProof>(&a)) {
+        const auto &y = std::get<proto::HeartbeatProof>(b);
+        return x->nonce == y.nonce && x->response == y.response;
+    }
+    if (auto *x = std::get_if<proto::TrustUpdate>(&a)) {
+        const auto &y = std::get<proto::TrustUpdate>(b);
+        return x->nonce == y.nonce && x->trust == y.trust &&
+               x->tier == y.tier && x->accepted == y.accepted &&
+               x->hammingDistance == y.hammingDistance;
+    }
+    if (auto *x = std::get_if<proto::Revoke>(&a)) {
+        const auto &y = std::get<proto::Revoke>(b);
+        return x->deviceId == y.deviceId && x->reason == y.reason;
+    }
     if (auto *x = std::get_if<proto::ErrorMsg>(&a))
         return x->reason == std::get<proto::ErrorMsg>(b).reason;
     return false;
@@ -162,7 +214,7 @@ validFrame(Rng &rng)
 
 TEST(ProtocolRoundTrip, DecodeInvertsEncodeForEveryType)
 {
-    // Property: decode(encode(m)) == m, across all 8 message types
+    // Property: decode(encode(m)) == m, across all 12 message types
     // with randomized field contents.
     Rng rng(0xF021);
     for (int trial = 0; trial < 800; ++trial) {

@@ -10,14 +10,21 @@
 #include <gtest/gtest.h>
 
 #include "firmware/client.hpp"
+#include "mc/mapgen.hpp"
+#include "protocol/channel.hpp"
+#include "server/server.hpp"
 #include "substrate/config.hpp"
 #include "substrate/registry.hpp"
+#include "util/sim_clock.hpp"
 #include "util/stats.hpp"
 #include "util/stats_registry.hpp"
 
 namespace u = authenticache::util;
 namespace fw = authenticache::firmware;
 namespace sub = authenticache::substrate;
+namespace srv = authenticache::server;
+namespace sim = authenticache::sim;
+namespace proto = authenticache::protocol;
 
 TEST(RunningStats, EmptyIsZero)
 {
@@ -203,4 +210,61 @@ TEST(PluginStats, EverySubstrateSelfReportsUnderItsNamespace)
         EXPECT_EQ(*registry.getInt("ecc", "corrects"), 1u);
         EXPECT_GT(*registry.getInt("ecc", "decodes"), 0u);
     }
+}
+
+TEST(ServerTrustStats, LedgerCountersSurfaceInRegistry)
+{
+    // A heartbeat session with a silent client: two missed rounds are
+    // enough to light up the decay / failed-heartbeat / step-up
+    // counters, and the full server.trust.* schema the CLI's --stats
+    // output depends on must be present from the first collection.
+    srv::ServerConfig cfg;
+    cfg.trust.periodSteps = 2;
+    srv::AuthenticationServer server(cfg, 0x57A8);
+    u::SimClock clock;
+    server.bindClock(&clock);
+
+    const sim::CacheGeometry geom(256 * 1024);
+    u::Rng rng(0x57A9);
+    auto map = authenticache::mc::randomErrorMap(geom, 700, 20, rng);
+    map.plane(690);
+    server.enrollRecord(
+        srv::DeviceRecord(1, std::move(map), {700}, {690}));
+
+    proto::InMemoryChannel channel;
+    proto::ServerEndpoint sink(channel);
+    server.startHeartbeat(1, sink);
+    for (int i = 0; i < 4; ++i) {
+        clock.advance();
+        server.tickHeartbeats(sink);
+        server.tick();
+    }
+
+    u::StatsRegistry registry;
+    srv::collectServerStats(server, registry);
+    for (const char *stat :
+         {"decays", "step_ups", "proactive_remaps", "revocations",
+          "unlocks", "heartbeats_clean", "heartbeats_marginal",
+          "heartbeats_failed", "heartbeats_active"}) {
+        SCOPED_TRACE(stat);
+        EXPECT_TRUE(
+            registry.getInt("server.trust", stat).has_value());
+    }
+    EXPECT_EQ(*registry.getInt("server.trust", "heartbeats_failed"),
+              2u);
+    EXPECT_EQ(*registry.getInt("server.trust", "decays"), 2u);
+    EXPECT_EQ(*registry.getInt("server.trust", "step_ups"), 1u);
+    EXPECT_EQ(*registry.getInt("server.trust", "heartbeats_active"),
+              1u);
+    EXPECT_EQ(*registry.getInt("server.trust", "heartbeats_clean"),
+              0u);
+    EXPECT_EQ(*registry.getInt("server.trust", "revocations"), 0u);
+
+    // Admin revoke + unlock round-trips through the same schema.
+    server.revokeDevice(1);
+    server.unlockDevice(1);
+    u::StatsRegistry after;
+    srv::collectServerStats(server, after);
+    EXPECT_EQ(*after.getInt("server.trust", "unlocks"), 1u);
+    EXPECT_EQ(*after.getInt("server.trust", "heartbeats_active"), 0u);
 }

@@ -4,7 +4,7 @@
  * hostile and fragmented input without crashing, over-reading, or
  * accepting a damaged frame.
  *
- *  - Round-trip of all 8 protocol message types through
+ *  - Round-trip of all 12 protocol message types through
  *    encodeWireMessage -> WireDecoder -> decodeMessage, across
  *    boundary stream ids.
  *  - Torn reads: a multi-frame byte stream split at *every* offset,
@@ -65,6 +65,13 @@ allMessageTypes()
     for (std::size_t i = 0; i < ack.confirmation.size(); ++i)
         ack.confirmation[i] = static_cast<std::uint8_t>(i * 7);
 
+    proto::TrustUpdate verdict;
+    verdict.nonce = 48;
+    verdict.trust = 73;
+    verdict.tier = 1;
+    verdict.accepted = true;
+    verdict.hammingDistance = 9;
+
     return {
         proto::AuthRequest{0xDEADBEEFCAFEULL},
         proto::ChallengeMsg{42, sampleChallenge()},
@@ -74,6 +81,10 @@ allMessageTypes()
         ack,
         proto::ErrorMsg{"wire codec test"},
         proto::RemapCommit{46, true},
+        proto::Heartbeat{47, 12, sampleChallenge()},
+        proto::HeartbeatProof{47, sampleBits(96)},
+        verdict,
+        proto::Revoke{0xFEEDULL, "trust exhausted"},
     };
 }
 
@@ -138,12 +149,13 @@ TEST(WireCodec, RoundTripsAllMessageTypes)
 
 TEST(WireCodec, TornReadAtEverySplitOffset)
 {
-    // Three frames back to back; the stream is split into two feeds
-    // at every possible offset. Decoding must be split-invariant.
+    // One frame of every message type back to back; the stream is
+    // split into two feeds at every possible offset. Decoding must be
+    // split-invariant.
     auto msgs = allMessageTypes();
     std::vector<std::uint8_t> stream;
-    for (std::size_t i = 0; i < 3; ++i) {
-        auto f = net::encodeWireMessage(100 + i, msgs[i * 2]);
+    for (std::size_t i = 0; i < msgs.size(); ++i) {
+        auto f = net::encodeWireMessage(100 + i, msgs[i]);
         stream.insert(stream.end(), f.begin(), f.end());
     }
 
@@ -159,11 +171,10 @@ TEST(WireCodec, TornReadAtEverySplitOffset)
             got.push_back(std::move(*f));
 
         ASSERT_FALSE(dec.failed()) << "split=" << split;
-        ASSERT_EQ(got.size(), 3u) << "split=" << split;
-        for (std::size_t i = 0; i < 3; ++i) {
+        ASSERT_EQ(got.size(), msgs.size()) << "split=" << split;
+        for (std::size_t i = 0; i < msgs.size(); ++i) {
             EXPECT_EQ(got[i].stream, 100 + i);
-            EXPECT_EQ(got[i].payload,
-                      proto::encodeMessage(msgs[i * 2]));
+            EXPECT_EQ(got[i].payload, proto::encodeMessage(msgs[i]));
         }
         EXPECT_EQ(dec.buffered(), 0u);
     }
@@ -235,8 +246,20 @@ TEST(WireCodec, ExactBoundsAccepted)
 
 TEST(WireCodec, EverySingleByteCorruptionRejected)
 {
-    auto clean = net::encodeWireMessage(
-        0x1234, proto::Message{proto::AuthDecision{5, true, 1}});
+    // Representative small frames of both classic and heartbeat-era
+    // message types; every type gets the every-byte-flip treatment.
+    proto::TrustUpdate verdict;
+    verdict.nonce = 5;
+    verdict.trust = 41;
+    verdict.tier = 2;
+    verdict.accepted = false;
+    verdict.hammingDistance = 17;
+    const std::vector<proto::Message> victims = {
+        proto::AuthDecision{5, true, 1},
+        proto::HeartbeatProof{6, sampleBits(48)},
+        verdict,
+        proto::Revoke{9, "corruption test"},
+    };
 
     // A flipped length byte can *grow* the claimed payload, which
     // legitimately looks like a torn frame until that many bytes
@@ -244,15 +267,24 @@ TEST(WireCodec, EverySingleByteCorruptionRejected)
     // The outer CRC then convicts the frame (it covers the length
     // field), so every flip must end in failure with zero frames.
     const std::vector<std::uint8_t> padding(20000, 0);
-    for (std::size_t pos = 0; pos < clean.size(); ++pos) {
-        auto bad = clean;
-        bad[pos] ^= 0x40;
-        net::WireDecoder dec;
-        auto frames = decodeAll(dec, bad);
-        EXPECT_TRUE(frames.empty()) << "corrupt byte " << pos;
-        dec.feed(padding);
-        EXPECT_FALSE(dec.next().has_value()) << "corrupt byte " << pos;
-        EXPECT_TRUE(dec.failed()) << "corrupt byte " << pos;
+    for (const auto &victim : victims) {
+        auto clean = net::encodeWireMessage(0x1234, victim);
+        for (std::size_t pos = 0; pos < clean.size(); ++pos) {
+            auto bad = clean;
+            bad[pos] ^= 0x40;
+            net::WireDecoder dec;
+            auto frames = decodeAll(dec, bad);
+            EXPECT_TRUE(frames.empty())
+                << "type " << int(proto::messageType(victim))
+                << " corrupt byte " << pos;
+            dec.feed(padding);
+            EXPECT_FALSE(dec.next().has_value())
+                << "type " << int(proto::messageType(victim))
+                << " corrupt byte " << pos;
+            EXPECT_TRUE(dec.failed())
+                << "type " << int(proto::messageType(victim))
+                << " corrupt byte " << pos;
+        }
     }
 }
 

@@ -19,6 +19,20 @@
  *       what it found, and optionally export the recovered database
  *       as a plain snapshot file.
  *
+ *   authenticache_cli heartbeat --db FILE --device ID [--steps N]
+ *       Open a continuous-authentication heartbeat session and drive
+ *       it N simulated clock steps, printing the trust trajectory.
+ *       With --drift the device experiences a deterministic
+ *       temperature/aging/noise excursion while the session runs, so
+ *       the graceful-degradation ladder (step-up challenges,
+ *       proactive remap, re-enrollment, revocation) can be observed
+ *       from the command line.
+ *
+ *   authenticache_cli revoke --db FILE --device ID
+ *   authenticache_cli unlock --db FILE --device ID
+ *       Administratively revoke a device, or clear a lockout /
+ *       revocation / re-enrollment flag and restore trust.
+ *
  *   authenticache_cli imposter --db FILE --device ID --die SEED
  *       A different die (SEED) presents device ID's identity.
  *
@@ -47,7 +61,9 @@
 #include "server/durability.hpp"
 #include "server/server.hpp"
 #include "server/storage.hpp"
+#include "sim/drift.hpp"
 #include "substrate/config.hpp"
+#include "substrate/drift_injector.hpp"
 #include "substrate/registry.hpp"
 #include "util/table.hpp"
 
@@ -115,6 +131,13 @@ usage()
            " [--shards N] [--stats] [--durable DIR]\n"
         << "  authenticache_cli recover  --durable DIR"
            " [--export FILE]\n"
+        << "  authenticache_cli heartbeat --db FILE --device ID"
+           " [--steps N] [--drift] [--cache-kb N] [--platform FILE]"
+           " [--stats] [--durable DIR]\n"
+        << "  authenticache_cli revoke   --db FILE --device ID"
+           " [--durable DIR]\n"
+        << "  authenticache_cli unlock   --db FILE --device ID"
+           " [--durable DIR]\n"
         << "  authenticache_cli imposter --db FILE --device ID"
            " --die SEED [--cache-kb N] [--platform FILE]\n"
         << "  authenticache_cli keygen   --die SEED [--cache-kb N]"
@@ -195,6 +218,35 @@ cmdEnroll(const Args &args)
     return 0;
 }
 
+/**
+ * Adopt server state. With --durable DIR the durability directory is
+ * authoritative: run crash recovery and continue from whatever state
+ * it restores (the --db snapshot only seeds a fresh directory).
+ * Without it, the plain snapshot file is loaded directly.
+ */
+void
+adoptState(const Args &args, server::AuthenticationServer &server,
+           std::optional<server::DurabilityManager> &durability)
+{
+    std::string path = args.get("db");
+    std::string durable_dir = args.get("durable");
+    if (!durable_dir.empty()) {
+        server::DurabilityConfig dcfg{durable_dir, 4096};
+        auto recovered = server::DurabilityManager::recover(dcfg);
+        if (recovered.freshStart)
+            server.adoptDatabase(server::loadDatabaseFile(path));
+        else
+            server.adoptDatabase(std::move(recovered.db));
+        durability.emplace(dcfg, server.database(),
+                           recovered.lastSeq);
+        durability->noteRecovery(recovered);
+        server.attachDurability(&*durability);
+        server.seedCompletedRemaps(recovered.remapOutcomes);
+    } else {
+        server.adoptDatabase(server::loadDatabaseFile(path));
+    }
+}
+
 int
 cmdAuth(const Args &args)
 {
@@ -212,27 +264,8 @@ cmdAuth(const Args &args)
         static_cast<unsigned>(args.getU64("shards", 8));
     server::AuthenticationServer server(cfg, 0xA17A);
 
-    // With --durable, the durability directory is authoritative: run
-    // crash recovery and continue from whatever state it restores
-    // (the --db snapshot only seeds a fresh directory). Without it,
-    // the plain snapshot file is loaded as before.
-    std::string durable_dir = args.get("durable");
     std::optional<server::DurabilityManager> durability;
-    if (!durable_dir.empty()) {
-        server::DurabilityConfig dcfg{durable_dir, 4096};
-        auto recovered = server::DurabilityManager::recover(dcfg);
-        if (recovered.freshStart)
-            server.adoptDatabase(server::loadDatabaseFile(path));
-        else
-            server.adoptDatabase(std::move(recovered.db));
-        durability.emplace(dcfg, server.database(),
-                           recovered.lastSeq);
-        durability->noteRecovery(recovered);
-        server.attachDurability(&*durability);
-        server.seedCompletedRemaps(recovered.remapOutcomes);
-    } else {
-        server.adoptDatabase(server::loadDatabaseFile(path));
-    }
+    adoptState(args, server, durability);
     if (!server.database().contains(id)) {
         std::cerr << "device " << id << " not enrolled in " << path
                   << "\n";
@@ -333,6 +366,178 @@ cmdRecover(const Args &args)
         std::cout << "recovered database exported to " << export_path
                   << "\n";
     }
+    return 0;
+}
+
+const char *
+tierName(std::uint8_t tier)
+{
+    switch (static_cast<protocol::TrustTier>(tier)) {
+    case protocol::TrustTier::Nominal:
+        return "nominal";
+    case protocol::TrustTier::StepUp:
+        return "step-up";
+    case protocol::TrustTier::RemapScheduled:
+        return "remap-scheduled";
+    case protocol::TrustTier::ReenrollRequired:
+        return "reenroll-required";
+    case protocol::TrustTier::Revoked:
+        return "revoked";
+    }
+    return "?";
+}
+
+int
+cmdHeartbeat(const Args &args)
+{
+    std::string path = args.get("db");
+    if (path.empty() || !args.has("device"))
+        return usage();
+    std::uint64_t id = args.getU64("device", 0);
+    std::uint64_t steps = args.getU64("steps", 64);
+    const auto platform = devicePlatform(args);
+
+    server::ServerConfig cfg;
+    cfg.challengeBits = 128;
+    cfg.verifier.pIntra = 0.08;
+    server::AuthenticationServer server(cfg, 0xBEA7);
+
+    std::optional<server::DurabilityManager> durability;
+    adoptState(args, server, durability);
+    if (!server.database().contains(id)) {
+        std::cerr << "device " << id << " not enrolled in " << path
+                  << "\n";
+        return 1;
+    }
+
+    Device device(id, platform);
+    device.client.setMapKey(server.database().at(id).mapKey());
+
+    util::SimClock clock;
+    server.bindClock(&clock);
+
+    protocol::InMemoryChannel channel;
+    protocol::ServerEndpoint server_end(channel);
+    server::DeviceAgent agent(id, device.client,
+                              protocol::ClientEndpoint(channel));
+    agent.bindClock(&clock);
+
+    // --drift: a deterministic excursion peaking halfway through the
+    // run and holding, so short runs still reach the interesting part
+    // of the degradation ladder.
+    std::optional<substrate::DriftInjector> drift;
+    if (args.has("drift")) {
+        sim::DriftScheduleConfig dcfg;
+        dcfg.rampSteps = steps / 2 == 0 ? 1 : steps / 2;
+        dcfg.holdSteps = steps;
+        dcfg.returnToNominal = false;
+        drift.emplace(*device.chip,
+                      sim::DriftSchedule(0xD21F7, id, dcfg));
+        drift->apply(clock.now());
+    }
+
+    server.startHeartbeat(id, server_end);
+
+    util::Table table(
+        {"step", "trust", "tier", "round", "hamming_distance"});
+    std::optional<std::uint32_t> seen_trust;
+    std::optional<std::uint8_t> seen_tier;
+    std::uint64_t seen_rounds = 0;
+    for (std::uint64_t s = 0; s < steps; ++s) {
+        bool progress = true;
+        while (progress) {
+            progress = server.pumpOnce(server_end);
+            progress |= agent.pumpOnce();
+        }
+        if (agent.lastTrust() != seen_trust ||
+            agent.lastTier() != seen_tier ||
+            agent.heartbeatsAnswered() != seen_rounds) {
+            seen_trust = agent.lastTrust();
+            seen_tier = agent.lastTier();
+            seen_rounds = agent.heartbeatsAnswered();
+            const auto &v = agent.lastVerdict();
+            if (seen_trust && seen_tier)
+                table.row()
+                    .cell(clock.now())
+                    .cell(std::uint64_t(*seen_trust))
+                    .cell(tierName(*seen_tier))
+                    .cell(v ? (v->accepted ? "accepted" : "failed")
+                            : "-")
+                    .cell(v ? std::to_string(v->hammingDistance)
+                            : "-");
+        }
+        if (agent.revoked())
+            break;
+        clock.advance(1);
+        if (drift)
+            drift->apply(clock.now());
+        server.tickHeartbeats(server_end);
+        server.tick();
+        agent.tick();
+    }
+    server.stopHeartbeat(id);
+
+    table.print(std::cout);
+    std::cout << "\nheartbeats answered: "
+              << agent.heartbeatsAnswered() << ", remaps: "
+              << agent.remapsProcessed() << ", final trust: "
+              << (seen_trust ? std::to_string(*seen_trust) : "-")
+              << " ("
+              << (seen_tier ? tierName(*seen_tier) : "no verdict")
+              << ")" << (agent.revoked() ? ", REVOKED" : "") << "\n";
+    const auto &record = server.database().at(id);
+    std::cout << "server record: trust " << record.trustScore()
+              << ", remap budget used " << record.remapBudgetUsed()
+              << (record.reenrollRequired()
+                      ? ", re-enrollment required"
+                      : "")
+              << (record.revoked() ? ", revoked" : "") << "\n";
+
+    if (args.has("stats")) {
+        util::StatsRegistry registry;
+        device.chip->reportStats(registry, "substrate");
+        firmware::collectClientStats(device.client, registry);
+        server::collectServerStats(server, registry);
+        std::cout << "\n";
+        registry.dump(std::cout);
+    }
+
+    if (durability)
+        durability->rotate(server.database());
+    server::saveDatabaseFile(server.database(), path);
+    return 0;
+}
+
+int
+cmdAdmin(const Args &args, bool revoke)
+{
+    std::string path = args.get("db");
+    if (path.empty() || !args.has("device"))
+        return usage();
+    std::uint64_t id = args.getU64("device", 0);
+
+    server::ServerConfig cfg;
+    server::AuthenticationServer server(cfg, 0xAD317);
+    std::optional<server::DurabilityManager> durability;
+    adoptState(args, server, durability);
+    if (!server.database().contains(id)) {
+        std::cerr << "device " << id << " not enrolled in " << path
+                  << "\n";
+        return 1;
+    }
+
+    if (revoke) {
+        server.revokeDevice(id);
+        std::cout << "device " << id << " revoked\n";
+    } else {
+        server.unlockDevice(id);
+        std::cout << "device " << id
+                  << " unlocked (trust restored to "
+                  << server.database().at(id).trustScore() << ")\n";
+    }
+    if (durability)
+        durability->rotate(server.database());
+    server::saveDatabaseFile(server.database(), path);
     return 0;
 }
 
@@ -451,6 +656,12 @@ main(int argc, char **argv)
             return cmdAuth(args);
         if (args.command == "recover")
             return cmdRecover(args);
+        if (args.command == "heartbeat")
+            return cmdHeartbeat(args);
+        if (args.command == "revoke")
+            return cmdAdmin(args, /*revoke=*/true);
+        if (args.command == "unlock")
+            return cmdAdmin(args, /*revoke=*/false);
         if (args.command == "imposter")
             return cmdImposter(args);
         if (args.command == "keygen")

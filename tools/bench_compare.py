@@ -78,8 +78,21 @@ def compare_pair(baseline_path, current_path, threshold,
     same_width = (base.get("detected_simd") ==
                   cur.get("detected_simd"))
 
+    # Benchmark-set drift is reported in *both* modes: a silently
+    # vanished series is how a gate stops gating. In absolute mode a
+    # removal is also a failure; in ratios-only mode it stays a note
+    # (CI runners enforce ratios/floors, not series identity).
+    bmap, cmap = series_map(base), series_map(cur)
+    for key in sorted(set(cmap) - set(bmap)):
+        notes.append(
+            f"note: benchmark added: {key[0]} [{key[1]}] "
+            "(in current, no baseline series)")
+    for key in sorted(set(bmap) - set(cmap)):
+        notes.append(
+            f"note: benchmark removed: {key[0]} [{key[1]}] "
+            "(in baseline, missing from current)")
+
     if not ratios_only:
-        bmap, cmap = series_map(base), series_map(cur)
         for key, bs in sorted(bmap.items()):
             cs = cmap.get(key)
             if cs is None:
@@ -93,9 +106,6 @@ def compare_pair(baseline_path, current_path, threshold,
                     f"ops/s < {floor:.0f} "
                     f"(baseline {bs['ops_per_s']:.0f}, "
                     f"threshold {threshold:.0%})")
-        for key in sorted(set(cmap) - set(bmap)):
-            notes.append(
-                f"note: {key[0]} [{key[1]}] is new (no baseline)")
 
     bder = base.get("derived", {})
     cder = cur.get("derived", {})
