@@ -131,6 +131,32 @@ AuthenticationServer::revokeDevice(std::uint64_t device_id)
         << "device " << device_id << " revoked by administrator";
 }
 
+bool
+AuthenticationServer::removeDevice(std::uint64_t device_id)
+{
+    SessionShard &sh = sessionsMgr.shardForDevice(device_id);
+    {
+        // Tear down any live heartbeat session first, so a later
+        // tick never dereferences the vanished record.
+        util::MutexLock lock(sh.mutex);
+        auto hb = sh.heartbeats.find(device_id);
+        if (hb != sh.heartbeats.end()) {
+            if (hb->second.activeNonce != 0)
+                sh.heartbeatByNonce.erase(hb->second.activeNonce);
+            sh.heartbeats.erase(hb);
+        }
+    }
+    if (!devices.remove(device_id))
+        return false;
+    if (durability() != nullptr) {
+        durability()->append(journal::DeviceRemoved{device_id});
+        durability()->sync();
+    }
+    AUTH_LOG_WARN("server")
+        << "device " << device_id << " removed by administrator";
+    return true;
+}
+
 void
 AuthenticationServer::seedCompletedRemaps(
     const std::vector<std::pair<std::uint64_t, bool>> &outcomes)

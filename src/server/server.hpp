@@ -182,6 +182,14 @@ class AuthenticationServer
      */
     void revokeDevice(std::uint64_t device_id);
 
+    /**
+     * Administrator action: permanently delete a device's enrollment
+     * (journaled as DeviceRemoved and synced before return). Tears
+     * down any live heartbeat session first.
+     * @return whether the device existed.
+     */
+    bool removeDevice(std::uint64_t device_id);
+
     EnrollmentDatabase &database() { return devices.database(); }
     const EnrollmentDatabase &database() const
     {

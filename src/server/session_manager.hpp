@@ -104,7 +104,8 @@ struct ShardCounters
  */
 struct SessionShard
 {
-    unsigned index = 0; ///< Immutable after construction.
+    // Immutable after construction. LINT:allow(lock-annotation)
+    unsigned index = 0;
 
     /** `mutable` so const aggregation APIs can lock; DESIGN.md 5g. */
     mutable util::Mutex mutex;

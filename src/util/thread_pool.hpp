@@ -96,8 +96,9 @@ class ThreadPool
     {
         /** Immutable after publication (set before the batch becomes
          *  visible to any worker), so not lock-guarded. */
+        // LINT:allow(lock-annotation)
         const std::function<void(std::size_t)> *body = nullptr;
-        std::size_t count = 0;
+        std::size_t count = 0; // LINT:allow(lock-annotation)
         std::atomic<std::size_t> next{0};
         std::atomic<std::size_t> finished{0};
         std::atomic<bool> failed{false};

@@ -1,0 +1,22 @@
+// Fixture: the codec mentions every id, but the range guard's upper
+// bound no longer tracks the enum (highest value missing).
+
+namespace protocol {
+
+void
+encodeMessage(Writer &w, MessageType t)
+{
+    w.tag(MessageType::kHello);
+    w.tag(MessageType::kData);
+    w.tag(MessageType::kBye);
+}
+
+MessageType
+peekMessageType(const Frame &f)
+{
+    if (f.tag < static_cast<int>(MessageType::kHello))
+        reject(f);
+    return static_cast<MessageType>(f.tag);
+}
+
+} // namespace protocol

@@ -1,0 +1,43 @@
+// Fixture: journal enum whose decoder and round-trip test lag the
+// serializer, plus a switch hiding a value behind default:
+// (invariant_lint rule "exhaustiveness").
+
+namespace journal {
+
+enum class EventType { kAlpha = 1, kBeta = 2 };
+
+struct Alpha {};
+struct Beta {};
+
+void
+encodeEvent(Writer &w, const Event &ev)
+{
+    w.tag(EventType::kAlpha);
+    w.tag(EventType::kBeta);
+}
+
+Event
+decodeEvent(Reader &r)
+{
+    return makeEvent(EventType::kAlpha);
+}
+
+void
+applyEvent(State &st, const Event &ev)
+{
+    st.apply(Alpha{});
+    st.apply(Beta{});
+}
+
+const char *
+eventName(EventType t)
+{
+    switch (t) {
+      case EventType::kAlpha:
+        return "alpha";
+      default:
+        return "other";
+    }
+}
+
+} // namespace journal

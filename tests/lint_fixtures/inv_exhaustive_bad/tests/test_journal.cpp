@@ -1,0 +1,7 @@
+// Fixture round-trip test: the Beta alternative is never exercised.
+
+void
+roundTripCoversAlpha(Harness &h)
+{
+    h.roundTrip(Alpha{});
+}

@@ -1,0 +1,9 @@
+// Fixture fuzzer: covers every wire id.
+
+void
+fuzzAllTypes(Fuzzer &f)
+{
+    f.type(MessageType::kHello);
+    f.type(MessageType::kData);
+    f.type(MessageType::kBye);
+}

@@ -1,0 +1,23 @@
+// Fixture: codec covers every id and the range guard references both
+// bounds of the enum.
+
+namespace protocol {
+
+void
+encodeMessage(Writer &w, MessageType t)
+{
+    w.tag(MessageType::kHello);
+    w.tag(MessageType::kData);
+    w.tag(MessageType::kBye);
+}
+
+MessageType
+peekMessageType(const Frame &f)
+{
+    if (f.tag < static_cast<int>(MessageType::kHello) ||
+        f.tag > static_cast<int>(MessageType::kBye))
+        reject(f);
+    return static_cast<MessageType>(f.tag);
+}
+
+} // namespace protocol

@@ -1,0 +1,7 @@
+// Fixture: wire message ids; the range guard lives in messages.cpp.
+
+namespace protocol {
+
+enum class MessageType { kHello = 1, kData = 2, kBye = 3 };
+
+} // namespace protocol

@@ -1,0 +1,8 @@
+// Fixture crash-sweep workload: drives every alternative.
+
+void
+referenceWorkload(Harness &h)
+{
+    h.drive(Alpha{});
+    h.drive(Beta{});
+}

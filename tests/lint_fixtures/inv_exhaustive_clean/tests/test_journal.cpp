@@ -1,0 +1,8 @@
+// Fixture round-trip test: every alternative exercised.
+
+void
+roundTripCoversAll(Harness &h)
+{
+    h.roundTrip(Alpha{});
+    h.roundTrip(Beta{});
+}

@@ -1,0 +1,14 @@
+// Fixture: reaches the concrete substrate header transitively,
+// through its own header.
+
+#include "server/handler.hpp"
+
+namespace server {
+
+void
+drive(Handler &h)
+{
+    h.timing.step();
+}
+
+} // namespace server

@@ -1,0 +1,13 @@
+// Fixture: a server header leaking a concrete substrate type
+// (invariant_lint rule "layering").
+
+#include "substrate/dram_timing.hpp"
+
+namespace server {
+
+struct Handler
+{
+    substrate::DramTiming timing;
+};
+
+} // namespace server

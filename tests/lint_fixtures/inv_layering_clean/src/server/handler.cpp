@@ -1,0 +1,14 @@
+// Fixture: server code reaching the substrate through the published
+// interface header only.
+
+#include "substrate/substrate.hpp"
+
+namespace server {
+
+void
+drive(Substrate &s)
+{
+    s.step();
+}
+
+} // namespace server

@@ -1,0 +1,12 @@
+// Fixture concrete substrate header (forbidden to server/).
+
+namespace substrate {
+
+struct DramTiming
+{
+    int rowCycleNs = 48;
+
+    void step();
+};
+
+} // namespace substrate

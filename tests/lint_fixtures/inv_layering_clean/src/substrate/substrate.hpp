@@ -1,0 +1,13 @@
+// Fixture interface header: its concrete includes are the published
+// surface, so the lint must not traverse through it.
+
+#include "substrate/dram_timing.hpp"
+
+namespace substrate {
+
+struct Substrate
+{
+    void step();
+};
+
+} // namespace substrate

@@ -1,0 +1,20 @@
+// Fixture: a mutex-holding class with one unannotated mutable field
+// (invariant_lint rule "lock-annotation"). The guarded, const and
+// atomic fields are all fine; only `misses` must fire.
+
+namespace server {
+
+class SessionTable
+{
+  public:
+    int lookup(int id);
+
+  private:
+    util::Mutex mu;
+    int hits AUTH_GUARDED_BY(mu);
+    int misses;
+    const int capacity = 64;
+    std::atomic<int> generation;
+};
+
+} // namespace server

@@ -1,0 +1,23 @@
+// Fixture: every mutable field next to the mutex is annotated, and
+// the one publication-immutable exception is documented with the
+// escape hatch.
+
+namespace server {
+
+class SessionTable
+{
+  public:
+    int lookup(int id);
+
+  private:
+    util::Mutex mu;
+    int hits AUTH_GUARDED_BY(mu);
+    int misses AUTH_GUARDED_BY(mu);
+    const int capacity = 64;
+
+    // Filled once before the table is published, read-only after.
+    // LINT:allow(lock-annotation)
+    int seed;
+};
+
+} // namespace server

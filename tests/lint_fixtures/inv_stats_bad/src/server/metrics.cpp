@@ -1,0 +1,15 @@
+// Fixture: one typo'd stats key (near-miss of the covered key) and
+// one key missing from the coverage corpus entirely
+// (invariant_lint rule "stats-key").
+
+namespace server {
+
+void
+publish(Stats &stats, const Counters &c)
+{
+    stats.set("server", "remaps_committed", c.remaps);
+    stats.set("server", "remaps_comitted", c.remapsLegacy);
+    stats.add("server", "weird_key", 1);
+}
+
+} // namespace server

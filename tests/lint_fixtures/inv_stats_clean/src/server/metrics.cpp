@@ -1,0 +1,11 @@
+// Fixture: every published stats key appears in the coverage corpus.
+
+namespace server {
+
+void
+publish(Stats &stats, const Counters &c)
+{
+    stats.set("server", "remaps_committed", c.remaps);
+}
+
+} // namespace server

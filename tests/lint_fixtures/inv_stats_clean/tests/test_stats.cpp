@@ -1,0 +1,7 @@
+// Fixture coverage schema: the only registered key.
+
+void
+schemaCoversCommitted(Reg &reg)
+{
+    expectKey(reg, "remaps_committed");
+}

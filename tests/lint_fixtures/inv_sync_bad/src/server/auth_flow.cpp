@@ -1,0 +1,13 @@
+// Fixture: journals and replies with no durability barrier between
+// (invariant_lint rule "sync-before-reply").
+
+namespace server {
+
+void
+onRequest(Shard &sh, Peer &peer, const Request &req)
+{
+    sh.wal.push_back(makeEvent(req));
+    peer.send(makeReply(req));
+}
+
+} // namespace server

@@ -1,0 +1,23 @@
+// Fixture: barrier between journal mutation and reply, plus one
+// documented escape-hatch use for a stateless probe reply.
+
+namespace server {
+
+void
+onRequest(Shard &sh, Peer &peer, const Request &req)
+{
+    sh.wal.push_back(makeEvent(req));
+    sh.dur.sync();
+    peer.send(makeReply(req));
+}
+
+void
+onProbe(Shard &sh, Peer &peer, const Request &req)
+{
+    sh.wal.push_back(traceEvent(req));
+    // Probe replies disclose no journaled state; barrier elided.
+    // LINT:allow(sync-before-reply)
+    peer.send(makeProbeReply(req));
+}
+
+} // namespace server

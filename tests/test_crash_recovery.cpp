@@ -127,7 +127,10 @@ makeConfig()
     cfg.remapSecretBits = 32;
     cfg.lockoutThreshold = 2;
     cfg.sessionShards = 4;
-    cfg.counterCheckpointEvery = 4;
+    // Each device completes at most three auth sessions, so a
+    // checkpoint every three outcomes guarantees the sweep covers
+    // CounterCheckpoint crash points.
+    cfg.counterCheckpointEvery = 3;
     return cfg;
 }
 
@@ -235,6 +238,21 @@ runWorkload(const std::string &dir, std::uint64_t rotate_every,
             drainToClient();
         };
 
+        auto remapRejected = [&](std::uint64_t id) {
+            server.startRemap(id, sep);
+            std::optional<proto::RemapRequest> rr;
+            for (const auto &m : drainToClient())
+                if (const auto *r =
+                        std::get_if<proto::RemapRequest>(&m))
+                    rr = *r;
+            ASSERT_TRUE(rr.has_value());
+            auto ack = craftAck(server.database().at(id), *rr);
+            ack.confirmation[0] ^= 0xFF; // Key confirmation fails.
+            chan.sendToServer(proto::encodeMessage(ack));
+            server.pumpAll(sep);
+            drainToClient();
+        };
+
         auto heartbeat = [&](std::uint64_t id, bool honest) {
             server.startHeartbeat(id, sep);
             std::optional<proto::Heartbeat> hb;
@@ -272,6 +290,8 @@ runWorkload(const std::string &dir, std::uint64_t rotate_every,
             [&] { server.unlockDevice(202); },
             [&] { auth(202, true); }, // Operational post-unlock.
             [&] { auth(201, true); },
+            [&] { remapRejected(202); }, // Old key stays in force.
+            [&] { server.removeDevice(203); },
         };
         for (const auto &step : steps) {
             step();
@@ -315,7 +335,7 @@ TEST(CrashRecovery, WorkloadSweepRestoresExactPrefix)
     TempDir ref_dir("auth_crash_ref");
     auto ref = runWorkload(ref_dir.str(), 0, nullptr);
     ASSERT_FALSE(ref.crashed);
-    ASSERT_EQ(ref.completedSteps, 17u);
+    ASSERT_EQ(ref.completedSteps, 19u);
 
     std::vector<jnl::Event> events;
     auto rr = jnl::Journal::replay(
@@ -329,22 +349,58 @@ TEST(CrashRecovery, WorkloadSweepRestoresExactPrefix)
     ASSERT_GE(events.size(), 20u);
     ASSERT_EQ(events.size(), ref.seqAfterStep.back());
 
-    // The sweep must demonstrably cover the trust-ledger events: the
-    // heartbeat, revoke, and unlock steps journal TrustUpdate /
-    // DeviceRevoked / DeviceUnlocked records, so every crash point
-    // around them gets a trial below.
-    std::size_t trust_updates = 0, revoked = 0, unlocked = 0;
+    // The sweep must demonstrably cover every journal event type:
+    // each crash point around each record kind gets a trial below,
+    // so an alternative missing from this census would mean a
+    // recovery path the sweep never exercises.
+    std::size_t pairs_retired = 0, auth_outcomes = 0;
+    std::size_t remaps_prepared = 0, remaps_committed = 0;
+    std::size_t remaps_rejected = 0, unlocked = 0, removed = 0;
+    std::size_t enrolled = 0, checkpoints = 0;
+    std::size_t trust_updates = 0, revoked = 0;
     for (const auto &event : events) {
-        if (std::holds_alternative<jnl::TrustUpdate>(event))
+        if (std::holds_alternative<jnl::PairsRetired>(event))
+            ++pairs_retired;
+        else if (std::holds_alternative<jnl::AuthOutcome>(event))
+            ++auth_outcomes;
+        else if (std::holds_alternative<jnl::RemapPrepared>(event))
+            ++remaps_prepared;
+        else if (std::holds_alternative<jnl::RemapCommitted>(event))
+            ++remaps_committed;
+        else if (std::holds_alternative<jnl::RemapRejected>(event))
+            ++remaps_rejected;
+        else if (std::holds_alternative<jnl::DeviceUnlocked>(event))
+            ++unlocked;
+        else if (std::holds_alternative<jnl::DeviceRemoved>(event))
+            ++removed;
+        else if (std::holds_alternative<jnl::Enrolled>(event))
+            ++enrolled;
+        else if (std::holds_alternative<jnl::CounterCheckpoint>(event))
+            ++checkpoints;
+        else if (std::holds_alternative<jnl::TrustUpdate>(event))
             ++trust_updates;
         else if (std::holds_alternative<jnl::DeviceRevoked>(event))
             ++revoked;
-        else if (std::holds_alternative<jnl::DeviceUnlocked>(event))
-            ++unlocked;
     }
-    EXPECT_GE(trust_updates, 4u); // Session starts + verdicts + admin.
+    // Deterministic singletons / admin actions.
+    EXPECT_EQ(enrolled, 3u);
+    EXPECT_EQ(remaps_committed, 1u); // remap(201).
+    EXPECT_EQ(remaps_rejected, 1u);  // remapRejected(202).
     EXPECT_EQ(revoked, 1u);
     EXPECT_EQ(unlocked, 1u);
+    EXPECT_EQ(removed, 1u); // removeDevice(203).
+    // Round-dependent counts (auth sessions + heartbeat rounds).
+    EXPECT_GE(pairs_retired, 8u);
+    EXPECT_GE(auth_outcomes, 8u);
+    EXPECT_GE(remaps_prepared, 2u);
+    EXPECT_GE(checkpoints, 1u); // Third outcome on 201 and 202.
+    EXPECT_GE(trust_updates, 4u); // Session starts + verdicts + admin.
+    // The census is itself exhaustive: every event was counted.
+    EXPECT_EQ(pairs_retired + auth_outcomes + remaps_prepared +
+                  remaps_committed + remaps_rejected + unlocked +
+                  removed + enrolled + checkpoints + trust_updates +
+                  revoked,
+              events.size());
 
     // The reference database equals its own event-stream replay:
     // the journal is a complete, faithful history.

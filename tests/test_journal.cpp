@@ -157,6 +157,16 @@ TEST(JournalEvents, AllTypesRoundTrip)
         roundTrip(jnl::CounterCheckpoint{7, 10, 4, 2}));
     EXPECT_EQ(cc.accepted, 10u);
     EXPECT_EQ(cc.consecutiveFails, 2u);
+
+    auto tu = std::get<jnl::TrustUpdate>(
+        roundTrip(jnl::TrustUpdate{7, 55, 2, true}));
+    EXPECT_EQ(tu.trust, 55u);
+    EXPECT_EQ(tu.remapBudgetUsed, 2u);
+    EXPECT_TRUE(tu.reenrollRequired);
+
+    auto rv = std::get<jnl::DeviceRevoked>(
+        roundTrip(jnl::DeviceRevoked{9}));
+    EXPECT_EQ(rv.deviceId, 9u);
 }
 
 TEST(JournalEvents, DecodeRejectsBadType)

@@ -44,16 +44,9 @@
 #include <string>
 #include <vector>
 
-namespace authenticache::lint {
+#include "lint_core.hpp"
 
-/** One rule violation, with a file:line anchor for the diagnostic. */
-struct Finding
-{
-    std::string file; ///< Path label as given to lintSource.
-    std::size_t line = 0;
-    std::string rule;
-    std::string message;
-};
+namespace authenticache::lint {
 
 /** Scanner configuration: per-rule path allowlists. */
 struct Options

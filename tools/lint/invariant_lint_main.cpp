@@ -1,0 +1,113 @@
+/**
+ * @file
+ * CLI for the invariant lint (see invariant_lint.hpp). Run by ctest
+ * (InvariantLint.Tree) and the static-analysis CI job:
+ *
+ *   invariant_lint [--list-rules] [--baseline FILE]
+ *                  [--update-baseline] [--json FILE] <repo-root>
+ *
+ * Exit 0: clean (baselined findings tolerated). Exit 1: unbaselined
+ * findings, or stale baseline entries (the ratchet only shrinks).
+ * Exit 2: usage / I/O error.
+ */
+
+#include <cstring>
+#include <fstream>
+#include <iostream>
+
+#include "invariant_lint.hpp"
+
+int
+main(int argc, char **argv)
+{
+    using namespace authenticache::lint;
+    const InvariantOptions options = InvariantOptions::defaults();
+
+    const char *root = nullptr;
+    const char *baseline_path = nullptr;
+    const char *json_path = nullptr;
+    bool update_baseline = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--list-rules") == 0) {
+            for (const auto &[rule, summary] :
+                 invariantRuleInventory())
+                std::cout << rule << ": " << summary << "\n";
+            return 0;
+        }
+        if (std::strcmp(argv[i], "--baseline") == 0 &&
+            i + 1 < argc) {
+            baseline_path = argv[++i];
+        } else if (std::strcmp(argv[i], "--json") == 0 &&
+                   i + 1 < argc) {
+            json_path = argv[++i];
+        } else if (std::strcmp(argv[i], "--update-baseline") == 0) {
+            update_baseline = true;
+        } else if (root == nullptr) {
+            root = argv[i];
+        } else {
+            root = nullptr;
+            break;
+        }
+    }
+    if (root == nullptr || (update_baseline && baseline_path == nullptr)) {
+        std::cerr << "usage: invariant_lint [--list-rules] "
+                     "[--baseline FILE] [--update-baseline] "
+                     "[--json FILE] <repo-root>\n";
+        return 2;
+    }
+
+    std::vector<std::string> baseline;
+    if (baseline_path != nullptr && !update_baseline)
+        baseline = loadBaselineFile(baseline_path);
+
+    const InvariantReport report =
+        lintInvariantTree(root, options, baseline);
+
+    if (update_baseline) {
+        std::ofstream out(baseline_path);
+        if (!out.good()) {
+            std::cerr << "invariant_lint: cannot write "
+                      << baseline_path << "\n";
+            return 2;
+        }
+        out << "# Invariant-lint baseline (ratchet: shrink-only).\n"
+               "# One finding key per line; '#' comments allowed.\n"
+               "# Regenerate: invariant_lint --baseline <this> "
+               "--update-baseline <repo-root>\n";
+        for (const auto &f : report.findings)
+            out << f.key << "\n";
+        std::cout << "invariant_lint: wrote " << baseline_path
+                  << " with " << report.findings.size()
+                  << " entr(ies)\n";
+        return 0;
+    }
+
+    if (json_path != nullptr) {
+        std::ofstream out(json_path);
+        if (!out.good()) {
+            std::cerr << "invariant_lint: cannot write " << json_path
+                      << "\n";
+            return 2;
+        }
+        out << reportToJson(report);
+    }
+
+    for (const auto &f : report.findings)
+        std::cerr << f.file << ":" << f.line << ": [" << f.rule
+                  << "] " << f.message << "\n    baseline key: "
+                  << f.key << "\n";
+    for (const auto &stale : report.staleBaseline)
+        std::cerr << "stale baseline entry (violation fixed -- "
+                     "delete the line): "
+                  << stale << "\n";
+    if (!report.findings.empty() || !report.staleBaseline.empty()) {
+        std::cerr << report.findings.size() << " finding(s), "
+                  << report.staleBaseline.size()
+                  << " stale baseline entr(ies); see "
+                     "tools/lint/invariant_lint.hpp for the rule "
+                     "inventory, the LINT:allow escape hatch and the "
+                     "baseline ratchet\n";
+        return 1;
+    }
+    return 0;
+}

@@ -1,0 +1,650 @@
+#include "source_model.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <set>
+
+#include "lint_core.hpp"
+
+namespace authenticache::lint {
+
+namespace {
+
+constexpr std::size_t npos = std::string::npos;
+
+bool
+isIdentStart(char c)
+{
+    return (std::isalpha(static_cast<unsigned char>(c)) != 0) ||
+           c == '_';
+}
+
+std::size_t
+skipWs(const std::string &s, std::size_t p)
+{
+    while (p < s.size() &&
+           std::isspace(static_cast<unsigned char>(s[p])))
+        ++p;
+    return p;
+}
+
+/** Index of the delimiter matching s[open], or npos. */
+std::size_t
+matchForward(const std::string &s, std::size_t open, char oc, char cc)
+{
+    int depth = 0;
+    for (std::size_t i = open; i < s.size(); ++i) {
+        if (s[i] == oc)
+            ++depth;
+        else if (s[i] == cc && --depth == 0)
+            return i;
+    }
+    return npos;
+}
+
+std::string
+readIdent(const std::string &s, std::size_t p, std::size_t *end)
+{
+    std::string out;
+    if (p < s.size() && isIdentStart(s[p])) {
+        while (p < s.size() && isIdentChar(s[p]))
+            out += s[p++];
+    }
+    if (end != nullptr)
+        *end = p;
+    return out;
+}
+
+/** Identifier whose last character sits just before @p p (skipping
+ *  whitespace backwards); empty if none. */
+std::string
+identEndingBefore(const std::string &s, std::size_t p)
+{
+    while (p > 0 &&
+           std::isspace(static_cast<unsigned char>(s[p - 1])))
+        --p;
+    std::size_t e = p;
+    while (p > 0 && isIdentChar(s[p - 1]))
+        --p;
+    return s.substr(p, e - p);
+}
+
+bool
+isAnnotationMacro(const std::string &w)
+{
+    return w.rfind("AUTH_", 0) == 0 || w == "decltype" ||
+           w == "alignas" || w == "noexcept";
+}
+
+std::vector<std::string>
+identTokens(const std::string &s)
+{
+    std::vector<std::string> out;
+    for (std::size_t i = 0; i < s.size();) {
+        if (isIdentStart(s[i])) {
+            std::size_t e = i;
+            out.push_back(readIdent(s, i, &e));
+            i = e;
+        } else {
+            ++i;
+        }
+    }
+    return out;
+}
+
+void
+extractIncludes(const std::vector<std::string> &raw_lines,
+                std::vector<std::string> &out)
+{
+    for (const auto &line : raw_lines) {
+        std::size_t p = skipWs(line, 0);
+        if (p >= line.size() || line[p] != '#')
+            continue;
+        p = skipWs(line, p + 1);
+        if (line.compare(p, 7, "include") != 0)
+            continue;
+        p = skipWs(line, p + 7);
+        if (p >= line.size() || line[p] != '"')
+            continue;
+        const std::size_t close = line.find('"', p + 1);
+        if (close == npos)
+            continue;
+        out.push_back(line.substr(p + 1, close - p - 1));
+    }
+}
+
+void
+extractEnums(const std::string &s, std::vector<EnumDef> &out)
+{
+    for (std::size_t pos : findToken(s, "enum")) {
+        std::size_t p = skipWs(s, pos + 4);
+        std::size_t e = p;
+        std::string word = readIdent(s, p, &e);
+        if (word == "class" || word == "struct") {
+            p = skipWs(s, e);
+            word = readIdent(s, p, &e);
+        }
+        if (word.empty())
+            continue; // Anonymous enum: never a contract target.
+        p = skipWs(s, e);
+        // Optional underlying type, then the body (or a fwd decl).
+        while (p < s.size() && s[p] != '{' && s[p] != ';')
+            ++p;
+        if (p >= s.size() || s[p] != '{')
+            continue;
+        const std::size_t close = matchForward(s, p, '{', '}');
+        if (close == npos)
+            continue;
+        EnumDef def;
+        def.name = word;
+        def.line = lineOfOffset(s, pos);
+        long long next_value = 0;
+        std::size_t item = p + 1;
+        while (item < close) {
+            std::size_t comma = item;
+            int depth = 0;
+            for (; comma < close; ++comma) {
+                const char c = s[comma];
+                if (c == '(' || c == '{' || c == '<')
+                    ++depth;
+                else if (c == ')' || c == '}' || c == '>')
+                    --depth;
+                else if (c == ',' && depth == 0)
+                    break;
+            }
+            std::size_t q = skipWs(s, item);
+            std::size_t qe = q;
+            const std::string name = readIdent(s, q, &qe);
+            if (!name.empty()) {
+                long long value = next_value;
+                const std::size_t eq =
+                    s.find('=', qe) < comma ? s.find('=', qe) : npos;
+                if (eq != npos && eq < comma)
+                    value = std::strtoll(s.c_str() + eq + 1, nullptr,
+                                         0);
+                def.enumerators.push_back({name, value});
+                next_value = value + 1;
+            }
+            item = comma + 1;
+        }
+        if (!def.enumerators.empty())
+            out.push_back(def);
+    }
+}
+
+void
+extractSwitches(const std::string &s, std::vector<SwitchDef> &out)
+{
+    for (std::size_t pos : findToken(s, "switch")) {
+        std::size_t p = skipWs(s, pos + 6);
+        if (p >= s.size() || s[p] != '(')
+            continue;
+        const std::size_t cend = matchForward(s, p, '(', ')');
+        if (cend == npos)
+            continue;
+        std::size_t bp = skipWs(s, cend + 1);
+        if (bp >= s.size() || s[bp] != '{')
+            continue;
+        const std::size_t bend = matchForward(s, bp, '{', '}');
+        if (bend == npos)
+            continue;
+        const std::string body = s.substr(bp, bend - bp + 1);
+        SwitchDef def;
+        def.line = lineOfOffset(s, pos);
+        for (std::size_t cp : findToken(body, "case")) {
+            const std::size_t colon_limit = body.find(';', cp);
+            std::string last;
+            std::size_t q = cp + 4;
+            while (q < body.size() &&
+                   (colon_limit == npos || q < colon_limit)) {
+                if (body[q] == ':' &&
+                    (q + 1 >= body.size() || body[q + 1] != ':') &&
+                    (q == 0 || body[q - 1] != ':'))
+                    break;
+                if (isIdentStart(body[q])) {
+                    last = readIdent(body, q, &q);
+                    continue;
+                }
+                ++q;
+            }
+            if (!last.empty())
+                def.caseNames.push_back(last);
+        }
+        for (std::size_t dp : findToken(body, "default")) {
+            const std::size_t q = skipWs(body, dp + 7);
+            if (q < body.size() && body[q] == ':')
+                def.hasDefault = true;
+        }
+        out.push_back(def);
+    }
+}
+
+/**
+ * Classify one member-declaration statement (annotation macros and
+ * initializers included in the text) and append it as a field.
+ * @p stmt_begin / @p stmt_end delimit the statement in @p s, with the
+ * trailing ';' / '{' excluded.
+ */
+void
+finalizeField(const std::string &s, std::size_t stmt_begin,
+              std::size_t stmt_end, ClassDef &cls)
+{
+    const std::string stmt =
+        s.substr(stmt_begin, stmt_end - stmt_begin);
+
+    // The declarator part: everything before the first annotation
+    // macro, initializer, or array extent.
+    std::size_t cut = stmt.size();
+    for (const char *macro :
+         {"AUTH_GUARDED_BY", "AUTH_PT_GUARDED_BY",
+          "AUTH_ACQUIRED_BEFORE", "AUTH_ACQUIRED_AFTER"}) {
+        const auto hits = findToken(stmt, macro);
+        if (!hits.empty() && hits.front() < cut)
+            cut = hits.front();
+    }
+    for (const char c : {'=', '['}) {
+        const std::size_t p = stmt.find(c);
+        if (p != npos && p < cut)
+            cut = p;
+    }
+    const std::string decl = stmt.substr(0, cut);
+
+    const auto tokens = identTokens(decl);
+    if (tokens.empty())
+        return;
+    static const std::set<std::string> skip_first = {
+        "using",  "friend",  "typedef",   "static", "template",
+        "enum",   "struct",  "class",     "union",  "public",
+        "private", "protected", "operator"};
+    if (skip_first.count(tokens.front()) != 0 ||
+        tokens.back() == "operator")
+        return;
+
+    FieldDef field;
+    field.name = tokens.back();
+    // Anchor the diagnostic at the declarator's last identifier.
+    const auto name_hits = findToken(decl, field.name);
+    const std::size_t name_off =
+        name_hits.empty() ? 0 : name_hits.back();
+    field.line = lineOfOffset(s, stmt_begin + name_off);
+    field.guarded = !findToken(stmt, "AUTH_GUARDED_BY").empty() ||
+                    !findToken(stmt, "AUTH_PT_GUARDED_BY").empty();
+    field.mutexLike = !findToken(decl, "Mutex").empty() ||
+                      !findToken(decl, "SharedMutex").empty();
+    field.waitable = !findToken(decl, "CondVar").empty() ||
+                     !findToken(decl, "condition_variable").empty();
+    field.isAtomic = !findToken(decl, "atomic").empty();
+    // const pointers-to-const stay mutable; only a const value (no
+    // top-level '*') is immutable by construction.
+    field.isConst = (!findToken(decl, "const").empty() ||
+                     !findToken(decl, "constexpr").empty()) &&
+                    decl.find('*') == npos;
+    field.isRef = decl.find('&') != npos;
+    cls.fields.push_back(field);
+}
+
+void
+parseClassBody(const std::string &s, std::size_t body_open,
+               std::size_t body_close, ClassDef &cls)
+{
+    std::size_t i = body_open + 1;
+    std::size_t stmt_begin = i;
+    bool saw_call_paren = false;
+    bool in_init = false;
+    int angle_depth = 0;
+    const auto reset = [&](std::size_t next) {
+        i = next;
+        stmt_begin = next;
+        saw_call_paren = false;
+        in_init = false;
+        angle_depth = 0;
+    };
+    while (i < body_close) {
+        const char c = s[i];
+        if (c == '(') {
+            const std::size_t close = matchForward(s, i, '(', ')');
+            if (close == npos || close > body_close)
+                return;
+            if (!in_init && angle_depth == 0 &&
+                !isAnnotationMacro(identEndingBefore(s, i)))
+                saw_call_paren = true;
+            i = close + 1;
+            continue;
+        }
+        if (c == '<' && !in_init) {
+            ++angle_depth;
+            ++i;
+            continue;
+        }
+        if (c == '>' && !in_init) {
+            if (angle_depth > 0)
+                --angle_depth;
+            ++i;
+            continue;
+        }
+        if (c == '=' && !in_init && angle_depth == 0) {
+            in_init = true;
+            ++i;
+            continue;
+        }
+        if (c == '{') {
+            const std::size_t close = matchForward(s, i, '{', '}');
+            if (close == npos || close > body_close)
+                return;
+            if (in_init) {
+                i = close + 1;
+                continue;
+            }
+            std::size_t q = skipWs(s, stmt_begin);
+            std::size_t qe = q;
+            const std::string first = readIdent(s, q, &qe);
+            if (saw_call_paren || first == "enum" ||
+                first == "struct" || first == "class" ||
+                first == "union") {
+                // Inline function body or nested type: skip it.
+                i = skipWs(s, close + 1);
+                if (i < body_close && s[i] == ';')
+                    ++i;
+                reset(i);
+                continue;
+            }
+            // Brace-initialized field.
+            finalizeField(s, stmt_begin, i, cls);
+            i = skipWs(s, close + 1);
+            if (i < body_close && s[i] == ';')
+                ++i;
+            reset(i);
+            continue;
+        }
+        if (c == ';') {
+            if (!saw_call_paren)
+                finalizeField(s, stmt_begin, i, cls);
+            reset(i + 1);
+            continue;
+        }
+        if (c == ':' && !in_init &&
+            (i + 1 >= s.size() || s[i + 1] != ':') &&
+            (i == 0 || s[i - 1] != ':')) {
+            std::size_t q = skipWs(s, stmt_begin);
+            std::size_t qe = q;
+            const std::string word = readIdent(s, q, &qe);
+            if ((word == "public" || word == "private" ||
+                 word == "protected") &&
+                skipWs(s, qe) >= i) {
+                reset(i + 1);
+                continue;
+            }
+        }
+        ++i;
+    }
+}
+
+void
+extractClasses(const std::string &s, std::vector<ClassDef> &out)
+{
+    std::vector<std::size_t> starts = findToken(s, "class");
+    for (std::size_t p : findToken(s, "struct"))
+        starts.push_back(p);
+    for (std::size_t pos : starts) {
+        const std::string prev = identEndingBefore(s, pos);
+        if (prev == "enum" || prev == "friend")
+            continue;
+        const std::size_t kw_len = s[pos] == 'c' ? 5 : 6;
+        std::size_t p = skipWs(s, pos + kw_len);
+        std::size_t e = p;
+        const std::string name = readIdent(s, p, &e);
+        if (name.empty())
+            continue;
+        p = skipWs(s, e);
+        std::size_t fe = p;
+        if (readIdent(s, p, &fe) == "final")
+            p = skipWs(s, fe);
+        if (p < s.size() && s[p] == ':') {
+            // Base list: advance to the body brace (template
+            // arguments and parens balanced).
+            int depth = 0;
+            for (; p < s.size(); ++p) {
+                const char c = s[p];
+                if (c == '<' || c == '(')
+                    ++depth;
+                else if (c == '>' || c == ')')
+                    --depth;
+                else if ((c == '{' || c == ';') && depth == 0)
+                    break;
+            }
+        }
+        if (p >= s.size() || s[p] != '{')
+            continue; // Fwd decl, template parameter, variable decl.
+        const std::size_t close = matchForward(s, p, '{', '}');
+        if (close == npos)
+            continue;
+        ClassDef def;
+        def.name = name;
+        def.line = lineOfOffset(s, pos);
+        parseClassBody(s, p, close, def);
+        out.push_back(def);
+    }
+}
+
+bool
+isStmtKeyword(const std::string &w)
+{
+    static const std::set<std::string> kw = {
+        "if",     "for",    "while",    "switch", "catch",
+        "return", "sizeof", "alignof",  "new",    "delete",
+        "throw",  "static_assert", "decltype", "typeid",
+        "assert", "co_return", "co_await", "co_yield"};
+    return kw.count(w) != 0;
+}
+
+/** Advance past a constructor member-init list; returns the offset of
+ *  the body '{', or npos when the shape is not an init list. */
+std::size_t
+skipCtorInitList(const std::string &s, std::size_t p)
+{
+    while (true) {
+        p = skipWs(s, p);
+        // Member name, possibly qualified.
+        std::size_t e = p;
+        if (readIdent(s, p, &e).empty())
+            return npos;
+        while (e + 1 < s.size() && s[e] == ':' && s[e + 1] == ':') {
+            std::size_t f = e + 2;
+            if (readIdent(s, f, &f).empty())
+                return npos;
+            e = f;
+        }
+        p = skipWs(s, e);
+        if (p >= s.size() || (s[p] != '(' && s[p] != '{'))
+            return npos;
+        const std::size_t close =
+            s[p] == '(' ? matchForward(s, p, '(', ')')
+                        : matchForward(s, p, '{', '}');
+        if (close == npos)
+            return npos;
+        p = skipWs(s, close + 1);
+        if (p < s.size() && s[p] == ',') {
+            ++p;
+            continue;
+        }
+        if (p < s.size() && s[p] == '{')
+            return p;
+        return npos;
+    }
+}
+
+void
+extractFunctions(const std::string &s, std::vector<FunctionDef> &out)
+{
+    std::size_t i = 0;
+    while (i < s.size()) {
+        if (!isIdentStart(s[i])) {
+            ++i;
+            continue;
+        }
+        const std::size_t b = i;
+        const std::string name = readIdent(s, i, &i);
+        if (isStmtKeyword(name))
+            continue;
+        std::size_t p = skipWs(s, i);
+        if (p >= s.size() || s[p] != '(')
+            continue;
+        const std::size_t close = matchForward(s, p, '(', ')');
+        if (close == npos)
+            break;
+        std::size_t q = close + 1;
+        bool fail = false;
+        while (true) {
+            q = skipWs(s, q);
+            if (q >= s.size()) {
+                fail = true;
+                break;
+            }
+            const char c = s[q];
+            if (c == '{')
+                break;
+            if (isIdentStart(c)) {
+                std::size_t e = q;
+                const std::string w = readIdent(s, q, &e);
+                if (w == "const" || w == "noexcept" ||
+                    w == "override" || w == "final" ||
+                    w == "mutable" || w.rfind("AUTH_", 0) == 0) {
+                    q = skipWs(s, e);
+                    if (q < s.size() && s[q] == '(') {
+                        const std::size_t mc =
+                            matchForward(s, q, '(', ')');
+                        if (mc == npos) {
+                            fail = true;
+                            break;
+                        }
+                        q = mc + 1;
+                    }
+                    continue;
+                }
+                fail = true;
+                break;
+            }
+            if (c == '-' && q + 1 < s.size() && s[q + 1] == '>') {
+                // Trailing return type: consume up to the body.
+                q += 2;
+                while (q < s.size() && s[q] != '{' && s[q] != ';') {
+                    if (s[q] == '(') {
+                        const std::size_t mc =
+                            matchForward(s, q, '(', ')');
+                        if (mc == npos)
+                            break;
+                        q = mc + 1;
+                    } else {
+                        ++q;
+                    }
+                }
+                continue;
+            }
+            if (c == ':' &&
+                (q + 1 >= s.size() || s[q + 1] != ':')) {
+                const std::size_t body = skipCtorInitList(s, q + 1);
+                if (body == npos) {
+                    fail = true;
+                    break;
+                }
+                q = body;
+                continue;
+            }
+            fail = true;
+            break;
+        }
+        if (fail)
+            continue;
+        const std::size_t body_close = matchForward(s, q, '{', '}');
+        if (body_close == npos)
+            break;
+        FunctionDef fn;
+        fn.name = name;
+        fn.line = lineOfOffset(s, b);
+        fn.bodyOffset = q;
+        fn.body = s.substr(q, body_close - q + 1);
+        out.push_back(fn);
+        i = body_close + 1;
+    }
+}
+
+void
+extractStatsCalls(const std::string &stripped, const std::string &raw,
+                  std::vector<StatsCall> &out)
+{
+    for (const char *method : {"set(", "add("}) {
+        for (std::size_t pos : findToken(stripped, method)) {
+            if (pos == 0 || stripped[pos - 1] != '.')
+                continue;
+            const std::size_t open = stripped.find('(', pos);
+            const std::size_t close =
+                matchForward(stripped, open, '(', ')');
+            if (close == npos)
+                continue;
+            // Top-level comma split of the argument list.
+            std::vector<std::pair<std::size_t, std::size_t>> args;
+            std::size_t arg_begin = open + 1;
+            int depth = 0;
+            for (std::size_t q = open + 1; q <= close; ++q) {
+                const char c = stripped[q];
+                if (c == '(' || c == '{' || c == '[') {
+                    ++depth;
+                } else if (c == ')' || c == '}' || c == ']') {
+                    if (q == close) {
+                        args.emplace_back(arg_begin, q);
+                        break;
+                    }
+                    --depth;
+                } else if (c == ',' && depth == 0) {
+                    args.emplace_back(arg_begin, q);
+                    arg_begin = q + 1;
+                }
+            }
+            if (args.size() < 3)
+                continue; // set/add(component, name, value).
+            const auto literalIn =
+                [&raw](std::size_t b, std::size_t e) -> std::string {
+                const std::size_t q1 = raw.find('"', b);
+                if (q1 == npos || q1 >= e)
+                    return "";
+                const std::size_t q2 = raw.find('"', q1 + 1);
+                if (q2 == npos || q2 > e)
+                    return "";
+                return raw.substr(q1 + 1, q2 - q1 - 1);
+            };
+            const std::string key =
+                literalIn(args[1].first, args[1].second);
+            if (key.empty())
+                continue; // Key is a variable: not a literal to check.
+            StatsCall call;
+            call.method = std::string(method, 3);
+            call.component =
+                literalIn(args[0].first, args[0].second);
+            call.keyName = key;
+            call.line = lineOfOffset(stripped, pos);
+            out.push_back(call);
+        }
+    }
+}
+
+} // namespace
+
+SourceModel
+buildSourceModel(const std::string &label,
+                 const std::string &contents)
+{
+    SourceModel model;
+    model.label = label;
+    model.raw = contents;
+    model.stripped = stripCommentsAndStrings(contents);
+    model.rawLines = splitLines(contents);
+    extractIncludes(model.rawLines, model.includes);
+    extractEnums(model.stripped, model.enums);
+    extractSwitches(model.stripped, model.switches);
+    extractClasses(model.stripped, model.classes);
+    extractFunctions(model.stripped, model.functions);
+    extractStatsCalls(model.stripped, model.raw, model.statsCalls);
+    return model;
+}
+
+} // namespace authenticache::lint

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Per-file source model for the invariant lint: a lightweight,
+ * token-level extraction of the declarations and statements the
+ * cross-file rules reason about. This is deliberately not a C++
+ * parser -- it relies on the project's clang-format conventions and
+ * errs toward recall, with the LINT:allow escape hatch and the
+ * baseline absorbing the residue.
+ *
+ * Extracted facts (all offsets into the comment/string-stripped text,
+ * so line numbers survive):
+ *   - named enum definitions with enumerator names and values
+ *   - switch statements: case-label names and default: presence
+ *   - quoted #include directives (project-relative paths)
+ *   - class/struct definitions with data-member classification
+ *     (GUARDED_BY annotation, const, reference, mutex, condvar,
+ *     atomic) for the lock-annotation rule
+ *   - function bodies with their names, for ordered-call-sequence
+ *     scans (sync-before-reply) and site-scoped exhaustiveness checks
+ *   - StatsRegistry set()/add() calls whose key argument is a string
+ *     literal, for the stats-key registry rule
+ */
+
+#ifndef AUTH_TOOLS_LINT_SOURCE_MODEL_HPP
+#define AUTH_TOOLS_LINT_SOURCE_MODEL_HPP
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace authenticache::lint {
+
+struct EnumeratorDef
+{
+    std::string name;
+    long long value = 0;
+};
+
+struct EnumDef
+{
+    std::string name;
+    std::size_t line = 0;
+    std::vector<EnumeratorDef> enumerators;
+};
+
+struct SwitchDef
+{
+    std::size_t line = 0;
+    bool hasDefault = false;
+    /** Last identifier of each case label (MessageType::X -> X). */
+    std::vector<std::string> caseNames;
+};
+
+struct FieldDef
+{
+    std::string name;
+    std::size_t line = 0;
+    bool guarded = false;   ///< AUTH_GUARDED_BY / AUTH_PT_GUARDED_BY
+    bool isConst = false;   ///< const/constexpr value (not ptr-to-const)
+    bool isRef = false;
+    bool mutexLike = false; ///< util::Mutex / util::SharedMutex
+    bool waitable = false;  ///< CondVar / condition_variable
+    bool isAtomic = false;
+};
+
+struct ClassDef
+{
+    std::string name;
+    std::size_t line = 0;
+    std::vector<FieldDef> fields;
+
+    bool holdsMutex() const
+    {
+        for (const auto &f : fields)
+            if (f.mutexLike)
+                return true;
+        return false;
+    }
+};
+
+struct FunctionDef
+{
+    std::string name;
+    std::size_t line = 0;
+    std::size_t bodyOffset = 0; ///< Offset of '{' in the stripped text.
+    std::string body;           ///< Stripped body text, braces included.
+};
+
+struct StatsCall
+{
+    std::string method;    ///< "set" or "add"
+    std::string component; ///< First-arg literal, or "" if a variable.
+    std::string keyName;   ///< Second-arg string literal.
+    std::size_t line = 0;
+};
+
+struct SourceModel
+{
+    std::string label; ///< Repo-relative path, forward slashes.
+    std::string raw;
+    std::string stripped;
+    std::vector<std::string> rawLines;
+    std::vector<std::string> includes; ///< Quoted includes, verbatim.
+    std::vector<EnumDef> enums;
+    std::vector<SwitchDef> switches;
+    std::vector<ClassDef> classes;
+    std::vector<FunctionDef> functions;
+    std::vector<StatsCall> statsCalls;
+};
+
+SourceModel buildSourceModel(const std::string &label,
+                             const std::string &contents);
+
+} // namespace authenticache::lint
+
+#endif // AUTH_TOOLS_LINT_SOURCE_MODEL_HPP
