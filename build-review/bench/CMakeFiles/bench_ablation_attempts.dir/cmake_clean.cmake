@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_attempts.dir/bench_ablation_attempts.cpp.o"
+  "CMakeFiles/bench_ablation_attempts.dir/bench_ablation_attempts.cpp.o.d"
+  "bench_ablation_attempts"
+  "bench_ablation_attempts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_attempts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_decoys.dir/bench_ablation_decoys.cpp.o"
+  "CMakeFiles/bench_ablation_decoys.dir/bench_ablation_decoys.cpp.o.d"
+  "bench_ablation_decoys"
+  "bench_ablation_decoys.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_decoys.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_fuzzy.dir/bench_ablation_fuzzy.cpp.o"
+  "CMakeFiles/bench_ablation_fuzzy.dir/bench_ablation_fuzzy.cpp.o.d"
+  "bench_ablation_fuzzy"
+  "bench_ablation_fuzzy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_fuzzy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

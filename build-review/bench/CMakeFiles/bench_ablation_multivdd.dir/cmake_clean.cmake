@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_multivdd.dir/bench_ablation_multivdd.cpp.o"
+  "CMakeFiles/bench_ablation_multivdd.dir/bench_ablation_multivdd.cpp.o.d"
+  "bench_ablation_multivdd"
+  "bench_ablation_multivdd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_multivdd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

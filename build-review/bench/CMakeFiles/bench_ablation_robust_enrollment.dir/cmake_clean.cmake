@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_robust_enrollment.dir/bench_ablation_robust_enrollment.cpp.o"
+  "CMakeFiles/bench_ablation_robust_enrollment.dir/bench_ablation_robust_enrollment.cpp.o.d"
+  "bench_ablation_robust_enrollment"
+  "bench_ablation_robust_enrollment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_robust_enrollment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_tie_rule.dir/bench_ablation_tie_rule.cpp.o"
+  "CMakeFiles/bench_ablation_tie_rule.dir/bench_ablation_tie_rule.cpp.o.d"
+  "bench_ablation_tie_rule"
+  "bench_ablation_tie_rule.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_tie_rule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

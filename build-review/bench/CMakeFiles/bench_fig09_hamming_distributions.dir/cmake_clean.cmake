@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_hamming_distributions.dir/bench_fig09_hamming_distributions.cpp.o"
+  "CMakeFiles/bench_fig09_hamming_distributions.dir/bench_fig09_hamming_distributions.cpp.o.d"
+  "bench_fig09_hamming_distributions"
+  "bench_fig09_hamming_distributions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_hamming_distributions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

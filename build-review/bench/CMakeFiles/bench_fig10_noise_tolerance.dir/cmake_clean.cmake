@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_noise_tolerance.dir/bench_fig10_noise_tolerance.cpp.o"
+  "CMakeFiles/bench_fig10_noise_tolerance.dir/bench_fig10_noise_tolerance.cpp.o.d"
+  "bench_fig10_noise_tolerance"
+  "bench_fig10_noise_tolerance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_noise_tolerance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

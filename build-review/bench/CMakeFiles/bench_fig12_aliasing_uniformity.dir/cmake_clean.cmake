@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_aliasing_uniformity.dir/bench_fig12_aliasing_uniformity.cpp.o"
+  "CMakeFiles/bench_fig12_aliasing_uniformity.dir/bench_fig12_aliasing_uniformity.cpp.o.d"
+  "bench_fig12_aliasing_uniformity"
+  "bench_fig12_aliasing_uniformity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_aliasing_uniformity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig14_runtime_vs_errors.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_heartbeat_drift.dir/bench_heartbeat_drift.cpp.o"
+  "CMakeFiles/bench_heartbeat_drift.dir/bench_heartbeat_drift.cpp.o.d"
+  "bench_heartbeat_drift"
+  "bench_heartbeat_drift.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_heartbeat_drift.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

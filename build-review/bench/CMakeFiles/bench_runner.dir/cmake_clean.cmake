@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_runner.dir/bench_runner.cpp.o"
+  "CMakeFiles/bench_runner.dir/bench_runner.cpp.o.d"
+  "bench_runner"
+  "bench_runner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_runner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

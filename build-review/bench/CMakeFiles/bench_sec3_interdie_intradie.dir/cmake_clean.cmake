@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec3_interdie_intradie.dir/bench_sec3_interdie_intradie.cpp.o"
+  "CMakeFiles/bench_sec3_interdie_intradie.dir/bench_sec3_interdie_intradie.cpp.o.d"
+  "bench_sec3_interdie_intradie"
+  "bench_sec3_interdie_intradie.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec3_interdie_intradie.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec64_size_invariance.dir/bench_sec64_size_invariance.cpp.o"
+  "CMakeFiles/bench_sec64_size_invariance.dir/bench_sec64_size_invariance.cpp.o.d"
+  "bench_sec64_size_invariance"
+  "bench_sec64_size_invariance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec64_size_invariance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_sec64_size_invariance.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_lifetime.dir/bench_table1_lifetime.cpp.o"
+  "CMakeFiles/bench_table1_lifetime.dir/bench_table1_lifetime.cpp.o.d"
+  "bench_table1_lifetime"
+  "bench_table1_lifetime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_lifetime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_transport_load.dir/bench_transport_load.cpp.o"
+  "CMakeFiles/bench_transport_load.dir/bench_transport_load.cpp.o.d"
+  "bench_transport_load"
+  "bench_transport_load.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_transport_load.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_fleet_enrollment.dir/fleet_enrollment.cpp.o"
+  "CMakeFiles/example_fleet_enrollment.dir/fleet_enrollment.cpp.o.d"
+  "example_fleet_enrollment"
+  "example_fleet_enrollment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_fleet_enrollment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

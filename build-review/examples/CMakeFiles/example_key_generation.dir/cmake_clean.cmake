@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_key_generation.dir/key_generation.cpp.o"
+  "CMakeFiles/example_key_generation.dir/key_generation.cpp.o.d"
+  "example_key_generation"
+  "example_key_generation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_key_generation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_key_remap_rotation.dir/key_remap_rotation.cpp.o"
+  "CMakeFiles/example_key_remap_rotation.dir/key_remap_rotation.cpp.o.d"
+  "example_key_remap_rotation"
+  "example_key_remap_rotation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_key_remap_rotation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for example_key_remap_rotation.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_key_remap_rotation.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_model_attack_study.dir/model_attack_study.cpp.o"
+  "CMakeFiles/example_model_attack_study.dir/model_attack_study.cpp.o.d"
+  "example_model_attack_study"
+  "example_model_attack_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_model_attack_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_noisy_field_auth.dir/noisy_field_auth.cpp.o"
+  "CMakeFiles/example_noisy_field_auth.dir/noisy_field_auth.cpp.o.d"
+  "example_noisy_field_auth"
+  "example_noisy_field_auth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_noisy_field_auth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

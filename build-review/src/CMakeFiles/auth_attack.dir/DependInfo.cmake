@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/attack/model_attack.cpp" "src/CMakeFiles/auth_attack.dir/attack/model_attack.cpp.o" "gcc" "src/CMakeFiles/auth_attack.dir/attack/model_attack.cpp.o.d"
+  "/root/repo/src/attack/physical_access.cpp" "src/CMakeFiles/auth_attack.dir/attack/physical_access.cpp.o" "gcc" "src/CMakeFiles/auth_attack.dir/attack/physical_access.cpp.o.d"
+  "/root/repo/src/attack/replay.cpp" "src/CMakeFiles/auth_attack.dir/attack/replay.cpp.o" "gcc" "src/CMakeFiles/auth_attack.dir/attack/replay.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/CMakeFiles/auth_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/auth_protocol.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/auth_metrics.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/auth_crypto.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/auth_sim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/auth_ecc.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/auth_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/auth_attack.dir/attack/model_attack.cpp.o"
+  "CMakeFiles/auth_attack.dir/attack/model_attack.cpp.o.d"
+  "CMakeFiles/auth_attack.dir/attack/physical_access.cpp.o"
+  "CMakeFiles/auth_attack.dir/attack/physical_access.cpp.o.d"
+  "CMakeFiles/auth_attack.dir/attack/replay.cpp.o"
+  "CMakeFiles/auth_attack.dir/attack/replay.cpp.o.d"
+  "libauth_attack.a"
+  "libauth_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/auth_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

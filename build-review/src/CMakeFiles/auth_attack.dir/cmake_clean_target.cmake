@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libauth_attack.a"
+)

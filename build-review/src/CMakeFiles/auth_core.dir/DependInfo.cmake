@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/challenge.cpp" "src/CMakeFiles/auth_core.dir/core/challenge.cpp.o" "gcc" "src/CMakeFiles/auth_core.dir/core/challenge.cpp.o.d"
+  "/root/repo/src/core/error_index.cpp" "src/CMakeFiles/auth_core.dir/core/error_index.cpp.o" "gcc" "src/CMakeFiles/auth_core.dir/core/error_index.cpp.o.d"
+  "/root/repo/src/core/error_map.cpp" "src/CMakeFiles/auth_core.dir/core/error_map.cpp.o" "gcc" "src/CMakeFiles/auth_core.dir/core/error_map.cpp.o.d"
+  "/root/repo/src/core/nearest.cpp" "src/CMakeFiles/auth_core.dir/core/nearest.cpp.o" "gcc" "src/CMakeFiles/auth_core.dir/core/nearest.cpp.o.d"
+  "/root/repo/src/core/nearest_scan.cpp" "src/CMakeFiles/auth_core.dir/core/nearest_scan.cpp.o" "gcc" "src/CMakeFiles/auth_core.dir/core/nearest_scan.cpp.o.d"
+  "/root/repo/src/core/remap.cpp" "src/CMakeFiles/auth_core.dir/core/remap.cpp.o" "gcc" "src/CMakeFiles/auth_core.dir/core/remap.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/CMakeFiles/auth_util.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/auth_crypto.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/auth_sim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/auth_ecc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

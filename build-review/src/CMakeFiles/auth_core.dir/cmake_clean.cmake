@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/auth_core.dir/core/challenge.cpp.o"
+  "CMakeFiles/auth_core.dir/core/challenge.cpp.o.d"
+  "CMakeFiles/auth_core.dir/core/error_index.cpp.o"
+  "CMakeFiles/auth_core.dir/core/error_index.cpp.o.d"
+  "CMakeFiles/auth_core.dir/core/error_map.cpp.o"
+  "CMakeFiles/auth_core.dir/core/error_map.cpp.o.d"
+  "CMakeFiles/auth_core.dir/core/nearest.cpp.o"
+  "CMakeFiles/auth_core.dir/core/nearest.cpp.o.d"
+  "CMakeFiles/auth_core.dir/core/nearest_scan.cpp.o"
+  "CMakeFiles/auth_core.dir/core/nearest_scan.cpp.o.d"
+  "CMakeFiles/auth_core.dir/core/remap.cpp.o"
+  "CMakeFiles/auth_core.dir/core/remap.cpp.o.d"
+  "libauth_core.a"
+  "libauth_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/auth_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/bch_fuzzy_extractor.cpp" "src/CMakeFiles/auth_crypto.dir/crypto/bch_fuzzy_extractor.cpp.o" "gcc" "src/CMakeFiles/auth_crypto.dir/crypto/bch_fuzzy_extractor.cpp.o.d"
+  "/root/repo/src/crypto/feistel.cpp" "src/CMakeFiles/auth_crypto.dir/crypto/feistel.cpp.o" "gcc" "src/CMakeFiles/auth_crypto.dir/crypto/feistel.cpp.o.d"
+  "/root/repo/src/crypto/fuzzy_extractor.cpp" "src/CMakeFiles/auth_crypto.dir/crypto/fuzzy_extractor.cpp.o" "gcc" "src/CMakeFiles/auth_crypto.dir/crypto/fuzzy_extractor.cpp.o.d"
+  "/root/repo/src/crypto/key.cpp" "src/CMakeFiles/auth_crypto.dir/crypto/key.cpp.o" "gcc" "src/CMakeFiles/auth_crypto.dir/crypto/key.cpp.o.d"
+  "/root/repo/src/crypto/sha256.cpp" "src/CMakeFiles/auth_crypto.dir/crypto/sha256.cpp.o" "gcc" "src/CMakeFiles/auth_crypto.dir/crypto/sha256.cpp.o.d"
+  "/root/repo/src/crypto/siphash.cpp" "src/CMakeFiles/auth_crypto.dir/crypto/siphash.cpp.o" "gcc" "src/CMakeFiles/auth_crypto.dir/crypto/siphash.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/CMakeFiles/auth_util.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/auth_ecc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/auth_crypto.dir/crypto/bch_fuzzy_extractor.cpp.o"
+  "CMakeFiles/auth_crypto.dir/crypto/bch_fuzzy_extractor.cpp.o.d"
+  "CMakeFiles/auth_crypto.dir/crypto/feistel.cpp.o"
+  "CMakeFiles/auth_crypto.dir/crypto/feistel.cpp.o.d"
+  "CMakeFiles/auth_crypto.dir/crypto/fuzzy_extractor.cpp.o"
+  "CMakeFiles/auth_crypto.dir/crypto/fuzzy_extractor.cpp.o.d"
+  "CMakeFiles/auth_crypto.dir/crypto/key.cpp.o"
+  "CMakeFiles/auth_crypto.dir/crypto/key.cpp.o.d"
+  "CMakeFiles/auth_crypto.dir/crypto/sha256.cpp.o"
+  "CMakeFiles/auth_crypto.dir/crypto/sha256.cpp.o.d"
+  "CMakeFiles/auth_crypto.dir/crypto/siphash.cpp.o"
+  "CMakeFiles/auth_crypto.dir/crypto/siphash.cpp.o.d"
+  "libauth_crypto.a"
+  "libauth_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/auth_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ecc/bch.cpp" "src/CMakeFiles/auth_ecc.dir/ecc/bch.cpp.o" "gcc" "src/CMakeFiles/auth_ecc.dir/ecc/bch.cpp.o.d"
+  "/root/repo/src/ecc/gf2m.cpp" "src/CMakeFiles/auth_ecc.dir/ecc/gf2m.cpp.o" "gcc" "src/CMakeFiles/auth_ecc.dir/ecc/gf2m.cpp.o.d"
+  "/root/repo/src/ecc/scheme.cpp" "src/CMakeFiles/auth_ecc.dir/ecc/scheme.cpp.o" "gcc" "src/CMakeFiles/auth_ecc.dir/ecc/scheme.cpp.o.d"
+  "/root/repo/src/ecc/secded.cpp" "src/CMakeFiles/auth_ecc.dir/ecc/secded.cpp.o" "gcc" "src/CMakeFiles/auth_ecc.dir/ecc/secded.cpp.o.d"
+  "/root/repo/src/ecc/secded_simd.cpp" "src/CMakeFiles/auth_ecc.dir/ecc/secded_simd.cpp.o" "gcc" "src/CMakeFiles/auth_ecc.dir/ecc/secded_simd.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/CMakeFiles/auth_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/auth_ecc.dir/ecc/bch.cpp.o"
+  "CMakeFiles/auth_ecc.dir/ecc/bch.cpp.o.d"
+  "CMakeFiles/auth_ecc.dir/ecc/gf2m.cpp.o"
+  "CMakeFiles/auth_ecc.dir/ecc/gf2m.cpp.o.d"
+  "CMakeFiles/auth_ecc.dir/ecc/scheme.cpp.o"
+  "CMakeFiles/auth_ecc.dir/ecc/scheme.cpp.o.d"
+  "CMakeFiles/auth_ecc.dir/ecc/secded.cpp.o"
+  "CMakeFiles/auth_ecc.dir/ecc/secded.cpp.o.d"
+  "CMakeFiles/auth_ecc.dir/ecc/secded_simd.cpp.o"
+  "CMakeFiles/auth_ecc.dir/ecc/secded_simd.cpp.o.d"
+  "libauth_ecc.a"
+  "libauth_ecc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/auth_ecc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

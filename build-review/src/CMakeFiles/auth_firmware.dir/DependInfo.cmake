@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/firmware/client.cpp" "src/CMakeFiles/auth_firmware.dir/firmware/client.cpp.o" "gcc" "src/CMakeFiles/auth_firmware.dir/firmware/client.cpp.o.d"
+  "/root/repo/src/firmware/error_handler.cpp" "src/CMakeFiles/auth_firmware.dir/firmware/error_handler.cpp.o" "gcc" "src/CMakeFiles/auth_firmware.dir/firmware/error_handler.cpp.o.d"
+  "/root/repo/src/firmware/keygen.cpp" "src/CMakeFiles/auth_firmware.dir/firmware/keygen.cpp.o" "gcc" "src/CMakeFiles/auth_firmware.dir/firmware/keygen.cpp.o.d"
+  "/root/repo/src/firmware/machine.cpp" "src/CMakeFiles/auth_firmware.dir/firmware/machine.cpp.o" "gcc" "src/CMakeFiles/auth_firmware.dir/firmware/machine.cpp.o.d"
+  "/root/repo/src/firmware/timing.cpp" "src/CMakeFiles/auth_firmware.dir/firmware/timing.cpp.o" "gcc" "src/CMakeFiles/auth_firmware.dir/firmware/timing.cpp.o.d"
+  "/root/repo/src/firmware/voltage_control.cpp" "src/CMakeFiles/auth_firmware.dir/firmware/voltage_control.cpp.o" "gcc" "src/CMakeFiles/auth_firmware.dir/firmware/voltage_control.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/CMakeFiles/auth_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/auth_sim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/auth_crypto.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/auth_ecc.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/auth_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

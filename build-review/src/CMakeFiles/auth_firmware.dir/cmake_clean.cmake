@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/auth_firmware.dir/firmware/client.cpp.o"
+  "CMakeFiles/auth_firmware.dir/firmware/client.cpp.o.d"
+  "CMakeFiles/auth_firmware.dir/firmware/error_handler.cpp.o"
+  "CMakeFiles/auth_firmware.dir/firmware/error_handler.cpp.o.d"
+  "CMakeFiles/auth_firmware.dir/firmware/keygen.cpp.o"
+  "CMakeFiles/auth_firmware.dir/firmware/keygen.cpp.o.d"
+  "CMakeFiles/auth_firmware.dir/firmware/machine.cpp.o"
+  "CMakeFiles/auth_firmware.dir/firmware/machine.cpp.o.d"
+  "CMakeFiles/auth_firmware.dir/firmware/timing.cpp.o"
+  "CMakeFiles/auth_firmware.dir/firmware/timing.cpp.o.d"
+  "CMakeFiles/auth_firmware.dir/firmware/voltage_control.cpp.o"
+  "CMakeFiles/auth_firmware.dir/firmware/voltage_control.cpp.o.d"
+  "libauth_firmware.a"
+  "libauth_firmware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/auth_firmware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

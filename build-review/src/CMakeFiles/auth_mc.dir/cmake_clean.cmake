@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/auth_mc.dir/mc/experiments.cpp.o"
+  "CMakeFiles/auth_mc.dir/mc/experiments.cpp.o.d"
+  "CMakeFiles/auth_mc.dir/mc/mapgen.cpp.o"
+  "CMakeFiles/auth_mc.dir/mc/mapgen.cpp.o.d"
+  "CMakeFiles/auth_mc.dir/mc/noise.cpp.o"
+  "CMakeFiles/auth_mc.dir/mc/noise.cpp.o.d"
+  "libauth_mc.a"
+  "libauth_mc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/auth_mc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/auth_metrics.dir/metrics/identifiability.cpp.o"
+  "CMakeFiles/auth_metrics.dir/metrics/identifiability.cpp.o.d"
+  "CMakeFiles/auth_metrics.dir/metrics/quality.cpp.o"
+  "CMakeFiles/auth_metrics.dir/metrics/quality.cpp.o.d"
+  "libauth_metrics.a"
+  "libauth_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/auth_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

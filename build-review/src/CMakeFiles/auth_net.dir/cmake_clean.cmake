@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/auth_net.dir/net/epoll_transport.cpp.o"
+  "CMakeFiles/auth_net.dir/net/epoll_transport.cpp.o.d"
+  "CMakeFiles/auth_net.dir/net/loopback.cpp.o"
+  "CMakeFiles/auth_net.dir/net/loopback.cpp.o.d"
+  "CMakeFiles/auth_net.dir/net/socket_client.cpp.o"
+  "CMakeFiles/auth_net.dir/net/socket_client.cpp.o.d"
+  "CMakeFiles/auth_net.dir/net/transport.cpp.o"
+  "CMakeFiles/auth_net.dir/net/transport.cpp.o.d"
+  "CMakeFiles/auth_net.dir/net/wire.cpp.o"
+  "CMakeFiles/auth_net.dir/net/wire.cpp.o.d"
+  "libauth_net.a"
+  "libauth_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/auth_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

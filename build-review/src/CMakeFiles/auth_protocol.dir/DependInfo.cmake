@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/protocol/channel.cpp" "src/CMakeFiles/auth_protocol.dir/protocol/channel.cpp.o" "gcc" "src/CMakeFiles/auth_protocol.dir/protocol/channel.cpp.o.d"
+  "/root/repo/src/protocol/messages.cpp" "src/CMakeFiles/auth_protocol.dir/protocol/messages.cpp.o" "gcc" "src/CMakeFiles/auth_protocol.dir/protocol/messages.cpp.o.d"
+  "/root/repo/src/protocol/serialize.cpp" "src/CMakeFiles/auth_protocol.dir/protocol/serialize.cpp.o" "gcc" "src/CMakeFiles/auth_protocol.dir/protocol/serialize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/CMakeFiles/auth_util.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/auth_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/auth_crypto.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/auth_sim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/auth_ecc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/auth_protocol.dir/protocol/channel.cpp.o"
+  "CMakeFiles/auth_protocol.dir/protocol/channel.cpp.o.d"
+  "CMakeFiles/auth_protocol.dir/protocol/messages.cpp.o"
+  "CMakeFiles/auth_protocol.dir/protocol/messages.cpp.o.d"
+  "CMakeFiles/auth_protocol.dir/protocol/serialize.cpp.o"
+  "CMakeFiles/auth_protocol.dir/protocol/serialize.cpp.o.d"
+  "libauth_protocol.a"
+  "libauth_protocol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/auth_protocol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/server/auth_flow.cpp" "src/CMakeFiles/auth_server.dir/server/auth_flow.cpp.o" "gcc" "src/CMakeFiles/auth_server.dir/server/auth_flow.cpp.o.d"
+  "/root/repo/src/server/challenge_gen.cpp" "src/CMakeFiles/auth_server.dir/server/challenge_gen.cpp.o" "gcc" "src/CMakeFiles/auth_server.dir/server/challenge_gen.cpp.o.d"
+  "/root/repo/src/server/database.cpp" "src/CMakeFiles/auth_server.dir/server/database.cpp.o" "gcc" "src/CMakeFiles/auth_server.dir/server/database.cpp.o.d"
+  "/root/repo/src/server/device_agent.cpp" "src/CMakeFiles/auth_server.dir/server/device_agent.cpp.o" "gcc" "src/CMakeFiles/auth_server.dir/server/device_agent.cpp.o.d"
+  "/root/repo/src/server/durability.cpp" "src/CMakeFiles/auth_server.dir/server/durability.cpp.o" "gcc" "src/CMakeFiles/auth_server.dir/server/durability.cpp.o.d"
+  "/root/repo/src/server/durable_io.cpp" "src/CMakeFiles/auth_server.dir/server/durable_io.cpp.o" "gcc" "src/CMakeFiles/auth_server.dir/server/durable_io.cpp.o.d"
+  "/root/repo/src/server/front_end.cpp" "src/CMakeFiles/auth_server.dir/server/front_end.cpp.o" "gcc" "src/CMakeFiles/auth_server.dir/server/front_end.cpp.o.d"
+  "/root/repo/src/server/heartbeat_flow.cpp" "src/CMakeFiles/auth_server.dir/server/heartbeat_flow.cpp.o" "gcc" "src/CMakeFiles/auth_server.dir/server/heartbeat_flow.cpp.o.d"
+  "/root/repo/src/server/journal.cpp" "src/CMakeFiles/auth_server.dir/server/journal.cpp.o" "gcc" "src/CMakeFiles/auth_server.dir/server/journal.cpp.o.d"
+  "/root/repo/src/server/remap_flow.cpp" "src/CMakeFiles/auth_server.dir/server/remap_flow.cpp.o" "gcc" "src/CMakeFiles/auth_server.dir/server/remap_flow.cpp.o.d"
+  "/root/repo/src/server/server.cpp" "src/CMakeFiles/auth_server.dir/server/server.cpp.o" "gcc" "src/CMakeFiles/auth_server.dir/server/server.cpp.o.d"
+  "/root/repo/src/server/session_manager.cpp" "src/CMakeFiles/auth_server.dir/server/session_manager.cpp.o" "gcc" "src/CMakeFiles/auth_server.dir/server/session_manager.cpp.o.d"
+  "/root/repo/src/server/storage.cpp" "src/CMakeFiles/auth_server.dir/server/storage.cpp.o" "gcc" "src/CMakeFiles/auth_server.dir/server/storage.cpp.o.d"
+  "/root/repo/src/server/verifier.cpp" "src/CMakeFiles/auth_server.dir/server/verifier.cpp.o" "gcc" "src/CMakeFiles/auth_server.dir/server/verifier.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/CMakeFiles/auth_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/auth_protocol.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/auth_metrics.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/auth_firmware.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/auth_crypto.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/auth_sim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/auth_ecc.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/auth_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/auth_server.dir/server/auth_flow.cpp.o"
+  "CMakeFiles/auth_server.dir/server/auth_flow.cpp.o.d"
+  "CMakeFiles/auth_server.dir/server/challenge_gen.cpp.o"
+  "CMakeFiles/auth_server.dir/server/challenge_gen.cpp.o.d"
+  "CMakeFiles/auth_server.dir/server/database.cpp.o"
+  "CMakeFiles/auth_server.dir/server/database.cpp.o.d"
+  "CMakeFiles/auth_server.dir/server/device_agent.cpp.o"
+  "CMakeFiles/auth_server.dir/server/device_agent.cpp.o.d"
+  "CMakeFiles/auth_server.dir/server/durability.cpp.o"
+  "CMakeFiles/auth_server.dir/server/durability.cpp.o.d"
+  "CMakeFiles/auth_server.dir/server/durable_io.cpp.o"
+  "CMakeFiles/auth_server.dir/server/durable_io.cpp.o.d"
+  "CMakeFiles/auth_server.dir/server/front_end.cpp.o"
+  "CMakeFiles/auth_server.dir/server/front_end.cpp.o.d"
+  "CMakeFiles/auth_server.dir/server/heartbeat_flow.cpp.o"
+  "CMakeFiles/auth_server.dir/server/heartbeat_flow.cpp.o.d"
+  "CMakeFiles/auth_server.dir/server/journal.cpp.o"
+  "CMakeFiles/auth_server.dir/server/journal.cpp.o.d"
+  "CMakeFiles/auth_server.dir/server/remap_flow.cpp.o"
+  "CMakeFiles/auth_server.dir/server/remap_flow.cpp.o.d"
+  "CMakeFiles/auth_server.dir/server/server.cpp.o"
+  "CMakeFiles/auth_server.dir/server/server.cpp.o.d"
+  "CMakeFiles/auth_server.dir/server/session_manager.cpp.o"
+  "CMakeFiles/auth_server.dir/server/session_manager.cpp.o.d"
+  "CMakeFiles/auth_server.dir/server/storage.cpp.o"
+  "CMakeFiles/auth_server.dir/server/storage.cpp.o.d"
+  "CMakeFiles/auth_server.dir/server/verifier.cpp.o"
+  "CMakeFiles/auth_server.dir/server/verifier.cpp.o.d"
+  "libauth_server.a"
+  "libauth_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/auth_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cache_array.cpp" "src/CMakeFiles/auth_sim.dir/sim/cache_array.cpp.o" "gcc" "src/CMakeFiles/auth_sim.dir/sim/cache_array.cpp.o.d"
+  "/root/repo/src/sim/chip.cpp" "src/CMakeFiles/auth_sim.dir/sim/chip.cpp.o" "gcc" "src/CMakeFiles/auth_sim.dir/sim/chip.cpp.o.d"
+  "/root/repo/src/sim/drift.cpp" "src/CMakeFiles/auth_sim.dir/sim/drift.cpp.o" "gcc" "src/CMakeFiles/auth_sim.dir/sim/drift.cpp.o.d"
+  "/root/repo/src/sim/environment.cpp" "src/CMakeFiles/auth_sim.dir/sim/environment.cpp.o" "gcc" "src/CMakeFiles/auth_sim.dir/sim/environment.cpp.o.d"
+  "/root/repo/src/sim/error_log.cpp" "src/CMakeFiles/auth_sim.dir/sim/error_log.cpp.o" "gcc" "src/CMakeFiles/auth_sim.dir/sim/error_log.cpp.o.d"
+  "/root/repo/src/sim/geometry.cpp" "src/CMakeFiles/auth_sim.dir/sim/geometry.cpp.o" "gcc" "src/CMakeFiles/auth_sim.dir/sim/geometry.cpp.o.d"
+  "/root/repo/src/sim/self_test.cpp" "src/CMakeFiles/auth_sim.dir/sim/self_test.cpp.o" "gcc" "src/CMakeFiles/auth_sim.dir/sim/self_test.cpp.o.d"
+  "/root/repo/src/sim/variation.cpp" "src/CMakeFiles/auth_sim.dir/sim/variation.cpp.o" "gcc" "src/CMakeFiles/auth_sim.dir/sim/variation.cpp.o.d"
+  "/root/repo/src/sim/voltage_regulator.cpp" "src/CMakeFiles/auth_sim.dir/sim/voltage_regulator.cpp.o" "gcc" "src/CMakeFiles/auth_sim.dir/sim/voltage_regulator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/CMakeFiles/auth_util.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/auth_ecc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

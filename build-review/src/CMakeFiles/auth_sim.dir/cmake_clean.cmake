@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/auth_sim.dir/sim/cache_array.cpp.o"
+  "CMakeFiles/auth_sim.dir/sim/cache_array.cpp.o.d"
+  "CMakeFiles/auth_sim.dir/sim/chip.cpp.o"
+  "CMakeFiles/auth_sim.dir/sim/chip.cpp.o.d"
+  "CMakeFiles/auth_sim.dir/sim/drift.cpp.o"
+  "CMakeFiles/auth_sim.dir/sim/drift.cpp.o.d"
+  "CMakeFiles/auth_sim.dir/sim/environment.cpp.o"
+  "CMakeFiles/auth_sim.dir/sim/environment.cpp.o.d"
+  "CMakeFiles/auth_sim.dir/sim/error_log.cpp.o"
+  "CMakeFiles/auth_sim.dir/sim/error_log.cpp.o.d"
+  "CMakeFiles/auth_sim.dir/sim/geometry.cpp.o"
+  "CMakeFiles/auth_sim.dir/sim/geometry.cpp.o.d"
+  "CMakeFiles/auth_sim.dir/sim/self_test.cpp.o"
+  "CMakeFiles/auth_sim.dir/sim/self_test.cpp.o.d"
+  "CMakeFiles/auth_sim.dir/sim/variation.cpp.o"
+  "CMakeFiles/auth_sim.dir/sim/variation.cpp.o.d"
+  "CMakeFiles/auth_sim.dir/sim/voltage_regulator.cpp.o"
+  "CMakeFiles/auth_sim.dir/sim/voltage_regulator.cpp.o.d"
+  "libauth_sim.a"
+  "libauth_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/auth_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/substrate/config.cpp" "src/CMakeFiles/auth_substrate.dir/substrate/config.cpp.o" "gcc" "src/CMakeFiles/auth_substrate.dir/substrate/config.cpp.o.d"
+  "/root/repo/src/substrate/dram_mra.cpp" "src/CMakeFiles/auth_substrate.dir/substrate/dram_mra.cpp.o" "gcc" "src/CMakeFiles/auth_substrate.dir/substrate/dram_mra.cpp.o.d"
+  "/root/repo/src/substrate/registry.cpp" "src/CMakeFiles/auth_substrate.dir/substrate/registry.cpp.o" "gcc" "src/CMakeFiles/auth_substrate.dir/substrate/registry.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/CMakeFiles/auth_sim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/auth_ecc.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/auth_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/auth_substrate.dir/substrate/config.cpp.o"
+  "CMakeFiles/auth_substrate.dir/substrate/config.cpp.o.d"
+  "CMakeFiles/auth_substrate.dir/substrate/dram_mra.cpp.o"
+  "CMakeFiles/auth_substrate.dir/substrate/dram_mra.cpp.o.d"
+  "CMakeFiles/auth_substrate.dir/substrate/registry.cpp.o"
+  "CMakeFiles/auth_substrate.dir/substrate/registry.cpp.o.d"
+  "libauth_substrate.a"
+  "libauth_substrate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/auth_substrate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

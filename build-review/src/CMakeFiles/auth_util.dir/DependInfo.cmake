@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/arena.cpp" "src/CMakeFiles/auth_util.dir/util/arena.cpp.o" "gcc" "src/CMakeFiles/auth_util.dir/util/arena.cpp.o.d"
+  "/root/repo/src/util/bitvec.cpp" "src/CMakeFiles/auth_util.dir/util/bitvec.cpp.o" "gcc" "src/CMakeFiles/auth_util.dir/util/bitvec.cpp.o.d"
+  "/root/repo/src/util/crc32.cpp" "src/CMakeFiles/auth_util.dir/util/crc32.cpp.o" "gcc" "src/CMakeFiles/auth_util.dir/util/crc32.cpp.o.d"
+  "/root/repo/src/util/logging.cpp" "src/CMakeFiles/auth_util.dir/util/logging.cpp.o" "gcc" "src/CMakeFiles/auth_util.dir/util/logging.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/CMakeFiles/auth_util.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/auth_util.dir/util/rng.cpp.o.d"
+  "/root/repo/src/util/simd.cpp" "src/CMakeFiles/auth_util.dir/util/simd.cpp.o" "gcc" "src/CMakeFiles/auth_util.dir/util/simd.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/CMakeFiles/auth_util.dir/util/stats.cpp.o" "gcc" "src/CMakeFiles/auth_util.dir/util/stats.cpp.o.d"
+  "/root/repo/src/util/stats_registry.cpp" "src/CMakeFiles/auth_util.dir/util/stats_registry.cpp.o" "gcc" "src/CMakeFiles/auth_util.dir/util/stats_registry.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/CMakeFiles/auth_util.dir/util/table.cpp.o" "gcc" "src/CMakeFiles/auth_util.dir/util/table.cpp.o.d"
+  "/root/repo/src/util/thread_pool.cpp" "src/CMakeFiles/auth_util.dir/util/thread_pool.cpp.o" "gcc" "src/CMakeFiles/auth_util.dir/util/thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

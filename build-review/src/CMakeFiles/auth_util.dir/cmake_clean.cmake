@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/auth_util.dir/util/arena.cpp.o"
+  "CMakeFiles/auth_util.dir/util/arena.cpp.o.d"
+  "CMakeFiles/auth_util.dir/util/bitvec.cpp.o"
+  "CMakeFiles/auth_util.dir/util/bitvec.cpp.o.d"
+  "CMakeFiles/auth_util.dir/util/crc32.cpp.o"
+  "CMakeFiles/auth_util.dir/util/crc32.cpp.o.d"
+  "CMakeFiles/auth_util.dir/util/logging.cpp.o"
+  "CMakeFiles/auth_util.dir/util/logging.cpp.o.d"
+  "CMakeFiles/auth_util.dir/util/rng.cpp.o"
+  "CMakeFiles/auth_util.dir/util/rng.cpp.o.d"
+  "CMakeFiles/auth_util.dir/util/simd.cpp.o"
+  "CMakeFiles/auth_util.dir/util/simd.cpp.o.d"
+  "CMakeFiles/auth_util.dir/util/stats.cpp.o"
+  "CMakeFiles/auth_util.dir/util/stats.cpp.o.d"
+  "CMakeFiles/auth_util.dir/util/stats_registry.cpp.o"
+  "CMakeFiles/auth_util.dir/util/stats_registry.cpp.o.d"
+  "CMakeFiles/auth_util.dir/util/table.cpp.o"
+  "CMakeFiles/auth_util.dir/util/table.cpp.o.d"
+  "CMakeFiles/auth_util.dir/util/thread_pool.cpp.o"
+  "CMakeFiles/auth_util.dir/util/thread_pool.cpp.o.d"
+  "libauth_util.a"
+  "libauth_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/auth_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

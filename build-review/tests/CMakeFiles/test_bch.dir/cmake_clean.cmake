@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bch.dir/test_bch.cpp.o"
+  "CMakeFiles/test_bch.dir/test_bch.cpp.o.d"
+  "test_bch"
+  "test_bch.pdb"
+  "test_bch[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

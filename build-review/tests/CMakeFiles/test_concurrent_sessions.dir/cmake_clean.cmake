@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_concurrent_sessions.dir/test_concurrent_sessions.cpp.o"
+  "CMakeFiles/test_concurrent_sessions.dir/test_concurrent_sessions.cpp.o.d"
+  "test_concurrent_sessions"
+  "test_concurrent_sessions.pdb"
+  "test_concurrent_sessions[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_concurrent_sessions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

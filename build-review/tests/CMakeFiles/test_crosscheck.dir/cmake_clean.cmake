@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_crosscheck.dir/test_crosscheck.cpp.o"
+  "CMakeFiles/test_crosscheck.dir/test_crosscheck.cpp.o.d"
+  "test_crosscheck"
+  "test_crosscheck.pdb"
+  "test_crosscheck[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_crosscheck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_determinism_lint.dir/test_determinism_lint.cpp.o"
+  "CMakeFiles/test_determinism_lint.dir/test_determinism_lint.cpp.o.d"
+  "test_determinism_lint"
+  "test_determinism_lint.pdb"
+  "test_determinism_lint[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_determinism_lint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

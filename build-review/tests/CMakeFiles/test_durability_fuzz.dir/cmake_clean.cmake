@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_durability_fuzz.dir/test_durability_fuzz.cpp.o"
+  "CMakeFiles/test_durability_fuzz.dir/test_durability_fuzz.cpp.o.d"
+  "test_durability_fuzz"
+  "test_durability_fuzz.pdb"
+  "test_durability_fuzz[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_durability_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_error_index.dir/test_error_index.cpp.o"
+  "CMakeFiles/test_error_index.dir/test_error_index.cpp.o.d"
+  "test_error_index"
+  "test_error_index.pdb"
+  "test_error_index[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_error_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

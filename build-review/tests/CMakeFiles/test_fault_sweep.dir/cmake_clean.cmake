@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fault_sweep.dir/test_fault_sweep.cpp.o"
+  "CMakeFiles/test_fault_sweep.dir/test_fault_sweep.cpp.o.d"
+  "test_fault_sweep"
+  "test_fault_sweep.pdb"
+  "test_fault_sweep[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fault_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

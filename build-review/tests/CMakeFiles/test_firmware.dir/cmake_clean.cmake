@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_firmware.dir/test_firmware.cpp.o"
+  "CMakeFiles/test_firmware.dir/test_firmware.cpp.o.d"
+  "test_firmware"
+  "test_firmware.pdb"
+  "test_firmware[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_firmware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

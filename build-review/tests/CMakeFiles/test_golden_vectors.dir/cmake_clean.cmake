@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_golden_vectors.dir/test_golden_vectors.cpp.o"
+  "CMakeFiles/test_golden_vectors.dir/test_golden_vectors.cpp.o.d"
+  "test_golden_vectors"
+  "test_golden_vectors.pdb"
+  "test_golden_vectors[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_golden_vectors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

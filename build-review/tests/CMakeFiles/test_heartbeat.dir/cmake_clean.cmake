@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_heartbeat.dir/test_heartbeat.cpp.o"
+  "CMakeFiles/test_heartbeat.dir/test_heartbeat.cpp.o.d"
+  "test_heartbeat"
+  "test_heartbeat.pdb"
+  "test_heartbeat[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_heartbeat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

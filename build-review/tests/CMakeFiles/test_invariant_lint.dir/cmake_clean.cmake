@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_invariant_lint.dir/test_invariant_lint.cpp.o"
+  "CMakeFiles/test_invariant_lint.dir/test_invariant_lint.cpp.o.d"
+  "test_invariant_lint"
+  "test_invariant_lint.pdb"
+  "test_invariant_lint[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_invariant_lint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

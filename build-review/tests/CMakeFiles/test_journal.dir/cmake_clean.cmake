@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_journal.dir/test_journal.cpp.o"
+  "CMakeFiles/test_journal.dir/test_journal.cpp.o.d"
+  "test_journal"
+  "test_journal.pdb"
+  "test_journal[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_journal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mutex.dir/test_mutex.cpp.o"
+  "CMakeFiles/test_mutex.dir/test_mutex.cpp.o.d"
+  "test_mutex"
+  "test_mutex.pdb"
+  "test_mutex[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mutex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

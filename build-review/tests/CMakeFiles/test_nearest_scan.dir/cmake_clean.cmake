@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nearest_scan.dir/test_nearest_scan.cpp.o"
+  "CMakeFiles/test_nearest_scan.dir/test_nearest_scan.cpp.o.d"
+  "test_nearest_scan"
+  "test_nearest_scan.pdb"
+  "test_nearest_scan[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nearest_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_physical_access.dir/test_physical_access.cpp.o"
+  "CMakeFiles/test_physical_access.dir/test_physical_access.cpp.o.d"
+  "test_physical_access"
+  "test_physical_access.pdb"
+  "test_physical_access[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_physical_access.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_remap_commit.dir/test_remap_commit.cpp.o"
+  "CMakeFiles/test_remap_commit.dir/test_remap_commit.cpp.o.d"
+  "test_remap_commit"
+  "test_remap_commit.pdb"
+  "test_remap_commit[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_remap_commit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_robust_enrollment.dir/test_robust_enrollment.cpp.o"
+  "CMakeFiles/test_robust_enrollment.dir/test_robust_enrollment.cpp.o.d"
+  "test_robust_enrollment"
+  "test_robust_enrollment.pdb"
+  "test_robust_enrollment[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_robust_enrollment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

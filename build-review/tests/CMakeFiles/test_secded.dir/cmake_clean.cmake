@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_secded.dir/test_secded.cpp.o"
+  "CMakeFiles/test_secded.dir/test_secded.cpp.o.d"
+  "test_secded"
+  "test_secded.pdb"
+  "test_secded[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_secded.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

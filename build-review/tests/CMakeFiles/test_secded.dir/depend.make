@@ -1,0 +1,2 @@
+# Empty dependencies file for test_secded.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_server_batch.dir/test_server_batch.cpp.o"
+  "CMakeFiles/test_server_batch.dir/test_server_batch.cpp.o.d"
+  "test_server_batch"
+  "test_server_batch.pdb"
+  "test_server_batch[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_server_batch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

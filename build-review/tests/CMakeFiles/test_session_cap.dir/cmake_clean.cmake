@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_session_cap.dir/test_session_cap.cpp.o"
+  "CMakeFiles/test_session_cap.dir/test_session_cap.cpp.o.d"
+  "test_session_cap"
+  "test_session_cap.pdb"
+  "test_session_cap[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_session_cap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

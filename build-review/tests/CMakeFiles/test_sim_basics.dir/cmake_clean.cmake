@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_basics.dir/test_sim_basics.cpp.o"
+  "CMakeFiles/test_sim_basics.dir/test_sim_basics.cpp.o.d"
+  "test_sim_basics"
+  "test_sim_basics.pdb"
+  "test_sim_basics[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_basics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

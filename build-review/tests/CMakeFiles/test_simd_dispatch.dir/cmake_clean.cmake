@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simd_dispatch.dir/test_simd_dispatch.cpp.o"
+  "CMakeFiles/test_simd_dispatch.dir/test_simd_dispatch.cpp.o.d"
+  "test_simd_dispatch"
+  "test_simd_dispatch.pdb"
+  "test_simd_dispatch[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simd_dispatch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_substrate_plugins.dir/test_substrate_plugins.cpp.o"
+  "CMakeFiles/test_substrate_plugins.dir/test_substrate_plugins.cpp.o.d"
+  "test_substrate_plugins"
+  "test_substrate_plugins.pdb"
+  "test_substrate_plugins[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_substrate_plugins.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_transport_chaos.dir/test_transport_chaos.cpp.o"
+  "CMakeFiles/test_transport_chaos.dir/test_transport_chaos.cpp.o.d"
+  "test_transport_chaos"
+  "test_transport_chaos.pdb"
+  "test_transport_chaos[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_transport_chaos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_transport_shed.dir/test_transport_shed.cpp.o"
+  "CMakeFiles/test_transport_shed.dir/test_transport_shed.cpp.o.d"
+  "test_transport_shed"
+  "test_transport_shed.pdb"
+  "test_transport_shed[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_transport_shed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_transport_shed.
+# This may be replaced when dependencies are built.

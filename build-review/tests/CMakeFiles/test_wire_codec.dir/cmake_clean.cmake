@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wire_codec.dir/test_wire_codec.cpp.o"
+  "CMakeFiles/test_wire_codec.dir/test_wire_codec.cpp.o.d"
+  "test_wire_codec"
+  "test_wire_codec.pdb"
+  "test_wire_codec[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wire_codec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

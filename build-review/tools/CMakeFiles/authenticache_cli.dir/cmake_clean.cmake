@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/authenticache_cli.dir/authenticache_cli.cpp.o"
+  "CMakeFiles/authenticache_cli.dir/authenticache_cli.cpp.o.d"
+  "authenticache_cli"
+  "authenticache_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/authenticache_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

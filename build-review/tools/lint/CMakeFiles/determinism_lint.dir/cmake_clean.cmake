@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/determinism_lint.dir/determinism_lint_main.cpp.o"
+  "CMakeFiles/determinism_lint.dir/determinism_lint_main.cpp.o.d"
+  "determinism_lint"
+  "determinism_lint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/determinism_lint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/determinism_lint_core.dir/determinism_lint.cpp.o"
+  "CMakeFiles/determinism_lint_core.dir/determinism_lint.cpp.o.d"
+  "libdeterminism_lint_core.a"
+  "libdeterminism_lint_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/determinism_lint_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdeterminism_lint_core.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/invariant_lint.dir/invariant_lint_main.cpp.o"
+  "CMakeFiles/invariant_lint.dir/invariant_lint_main.cpp.o.d"
+  "invariant_lint"
+  "invariant_lint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/invariant_lint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/invariant_lint_core.dir/invariant_lint.cpp.o"
+  "CMakeFiles/invariant_lint_core.dir/invariant_lint.cpp.o.d"
+  "CMakeFiles/invariant_lint_core.dir/source_model.cpp.o"
+  "CMakeFiles/invariant_lint_core.dir/source_model.cpp.o.d"
+  "libinvariant_lint_core.a"
+  "libinvariant_lint_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/invariant_lint_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libinvariant_lint_core.a"
+)

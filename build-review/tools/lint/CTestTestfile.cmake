@@ -1,0 +1,10 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools/lint
+# Build directory: /root/repo/build-review/tools/lint
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test([=[DeterminismLint.Tree]=] "/root/repo/build-review/tools/lint/determinism_lint" "/root/repo/src")
+set_tests_properties([=[DeterminismLint.Tree]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/lint/CMakeLists.txt;29;add_test;/root/repo/tools/lint/CMakeLists.txt;0;")
+add_test([=[InvariantLint.Tree]=] "/root/repo/build-review/tools/lint/invariant_lint" "--baseline" "/root/repo/tools/lint/invariant_baseline.txt" "--json" "/root/repo/build-review/invariant_findings.json" "/root/repo")
+set_tests_properties([=[InvariantLint.Tree]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/lint/CMakeLists.txt;31;add_test;/root/repo/tools/lint/CMakeLists.txt;0;")
